@@ -1,0 +1,70 @@
+// Ablation: encoder partial evaluation (constant folding).
+//
+// When a tuple's inputs to an encoded-but-unparameterized query are
+// known constants, the encoder folds the query arithmetic instead of
+// emitting the raw Eq. (1)-(6) constraint set. The paper observes CPLEX
+// doing the equivalent pruning implicitly (§7.3, "the solver's ability
+// to prune constraints"); our encoder makes it explicit. This bench
+// quantifies what folding buys by disabling it: identical repairs,
+// several-fold larger MILPs, slower solves — the gap that separates the
+// Figure 4 "basic" bars from the single-query bars at equal log size.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "workload/synthetic.h"
+
+using namespace qfix;
+
+int main() {
+  const bool full = bench::FullMode();
+  const std::vector<size_t> log_sizes =
+      full ? std::vector<size_t>{25, 50, 100, 150}
+           : std::vector<size_t>{25, 50, 75};
+  std::printf("Ablation: encoder constant folding (inc1-all, corrupt "
+              "oldest third)\n\n");
+  harness::Table table({"Nq", "fold", "time(s)", "vars", "constraints",
+                        "F1"});
+
+  for (size_t nq : log_sizes) {
+    for (int fold = 1; fold >= 0; --fold) {
+      bench::Aggregate agg;
+      long long vars = 0;
+      long long cons = 0;
+      int samples = 0;
+      for (int t = 0; t < bench::Trials(); ++t) {
+        workload::SyntheticSpec spec;
+        spec.num_tuples = 300;
+        spec.num_attrs = 10;
+        spec.value_domain = 300;
+        spec.range_size = 12;
+        spec.num_queries = nq;
+        workload::Scenario s = workload::MakeSyntheticScenario(
+            spec, {nq / 3}, 2200 + t);
+        if (s.complaints.empty()) continue;
+        qfixcore::QFixOptions opt;
+        opt.encoder.fold_constants = fold == 1;
+        opt.time_limit_seconds = 30.0;
+        auto res = bench::RunTrial(
+            s,
+            [](qfixcore::QFixEngine& e) { return e.RepairIncremental(1); },
+            opt);
+        if (res.ok) {
+          vars += res.stats.num_vars;
+          cons += res.stats.num_constraints;
+          ++samples;
+        }
+        agg.Add(res);
+      }
+      table.AddRow({std::to_string(nq), fold ? "on" : "off",
+                    agg.TimeCell(),
+                    samples ? std::to_string(vars / samples) : "-",
+                    samples ? std::to_string(cons / samples) : "-",
+                    agg.F1Cell()});
+    }
+  }
+  bench::PrintAndExport(table, "abl_partial_eval");
+  std::printf(
+      "\nExpected: identical F1; folding shrinks the model by the "
+      "constant-input share of the log, and the gap widens with Nq.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation: the tuple-slicing refinement step (§5.1 step 2).
+//
+// Measures the overhead of the second MILP and its effect on precision
+// in the over-generalization scenario of Fig. 5b (non-overlapping dirty
+// and true predicate ranges with stranded non-complaint tuples).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "workload/synthetic.h"
+
+using namespace qfix;
+
+int main() {
+  const bool full = bench::FullMode();
+  const size_t nq = full ? 40 : 20;
+  std::printf("Ablation: refinement step on/off (Nq = %zu, single "
+              "corruption, inc1-all)\n\n", nq);
+  harness::Table table({"refinement", "time(s)", "precision", "recall",
+                        "F1"});
+
+  for (int on = 1; on >= 0; --on) {
+    bench::Aggregate agg;
+    for (int t = 0; t < bench::Trials() * 3; ++t) {
+      workload::SyntheticSpec spec;
+      spec.num_tuples = 400;
+      spec.num_attrs = 8;
+      spec.value_domain = 400;
+      spec.range_size = 12;
+      spec.num_queries = nq;
+      workload::Scenario s = workload::MakeSyntheticScenario(
+          spec, {nq / 2}, 1500 + t);
+      if (s.complaints.empty()) continue;
+      qfixcore::QFixOptions opt;
+      opt.refinement = on == 1;
+      opt.time_limit_seconds = 20.0;
+      agg.Add(bench::RunTrial(
+          s,
+          [](qfixcore::QFixEngine& e) { return e.RepairIncremental(1); },
+          opt));
+    }
+    table.AddRow({on ? "on" : "off", agg.TimeCell(), agg.PrecisionCell(),
+                  agg.RecallCell(), agg.F1Cell()});
+  }
+  bench::PrintAndExport(table, "abl_refinement");
+  std::printf(
+      "\nExpected: refinement costs little extra time and recovers "
+      "precision whenever step 1 over-generalizes (paper §5.1: 0.1-0.5%% "
+      "overhead).\n");
+  return 0;
+}

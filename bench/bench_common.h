@@ -1,0 +1,141 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every bench prints the series its paper figure plots. Scales that had
+// to be reduced for the from-scratch MILP solver are marked in each
+// bench's header comment and in EXPERIMENTS.md. Environment knobs:
+//   QFIX_BENCH_TRIALS=N   trials per configuration (default 3)
+//   QFIX_BENCH_FULL=1     run the larger sweeps (closer to paper scale)
+//   QFIX_BENCH_CSV=DIR    additionally write each printed table as
+//                         DIR/<bench>.csv for plotting
+#ifndef QFIX_BENCH_BENCH_COMMON_H_
+#define QFIX_BENCH_BENCH_COMMON_H_
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "harness/metrics.h"
+#include "harness/table.h"
+#include "qfix/qfix.h"
+#include "workload/scenario.h"
+
+namespace qfix {
+namespace bench {
+
+inline int Trials() {
+  const char* env = std::getenv("QFIX_BENCH_TRIALS");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 2;
+}
+
+inline bool FullMode() {
+  const char* env = std::getenv("QFIX_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+/// Prints the table and, when QFIX_BENCH_CSV names a directory, also
+/// writes it there as <bench_name>.csv. Benches pass their binary name.
+inline void PrintAndExport(const harness::Table& table,
+                           const char* bench_name) {
+  table.Print();
+  const char* dir = std::getenv("QFIX_BENCH_CSV");
+  if (dir == nullptr || dir[0] == '\0') return;
+  std::string path = std::string(dir) + "/" + bench_name + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "QFIX_BENCH_CSV: cannot write %s: %s\n",
+                 path.c_str(), std::strerror(errno));
+    return;
+  }
+  out << table.ToCsv();
+  std::printf("[series written to %s]\n", path.c_str());
+}
+
+/// Outcome of one repair trial.
+struct TrialResult {
+  bool ok = false;
+  std::string failure;  // "infeasible", "timeout", ...
+  double seconds = 0.0;
+  harness::RepairAccuracy accuracy;
+  qfixcore::RepairStats stats;
+};
+
+/// Runs one repair via `solve` (a bound QFixEngine call) and scores it.
+inline TrialResult RunTrial(
+    const workload::Scenario& scenario,
+    const std::function<Result<qfixcore::Repair>(qfixcore::QFixEngine&)>&
+        solve,
+    const qfixcore::QFixOptions& options) {
+  TrialResult out;
+  qfixcore::QFixEngine engine(scenario.dirty_log, scenario.d0,
+                              scenario.dirty, scenario.complaints, options);
+  WallTimer timer;
+  auto repair = solve(engine);
+  out.seconds = timer.ElapsedSeconds();
+  if (!repair.ok()) {
+    out.failure = repair.status().IsInfeasible()       ? "infeasible"
+                  : repair.status().IsResourceExhausted() ? "limit"
+                                                          : "error";
+    return out;
+  }
+  out.ok = true;
+  out.stats = repair->stats;
+  out.accuracy = harness::EvaluateRepair(repair->log, scenario.d0,
+                                         scenario.dirty, scenario.truth);
+  return out;
+}
+
+/// Mean over successful trials plus failure accounting.
+struct Aggregate {
+  double seconds = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  int successes = 0;
+  int failures = 0;
+  std::string failure_kinds;
+
+  void Add(const TrialResult& t) {
+    if (!t.ok) {
+      ++failures;
+      if (failure_kinds.find(t.failure) == std::string::npos) {
+        if (!failure_kinds.empty()) failure_kinds += "/";
+        failure_kinds += t.failure;
+      }
+      return;
+    }
+    ++successes;
+    seconds += t.seconds;
+    precision += t.accuracy.precision;
+    recall += t.accuracy.recall;
+    f1 += t.accuracy.f1;
+  }
+
+  std::string TimeCell() const {
+    if (successes == 0) {
+      return failure_kinds.empty() ? "n/a" : failure_kinds;
+    }
+    return harness::Table::Cell(seconds / successes);
+  }
+  std::string AccCell(double sum) const {
+    if (successes == 0) return "-";
+    return harness::Table::Cell(sum / successes);
+  }
+  std::string PrecisionCell() const { return AccCell(precision); }
+  std::string RecallCell() const { return AccCell(recall); }
+  std::string F1Cell() const { return AccCell(f1); }
+};
+
+}  // namespace bench
+}  // namespace qfix
+
+#endif  // QFIX_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,70 @@
+// Microbenchmarks (google-benchmark) for the QFix encoder and the
+// surrounding per-repair machinery: problem encoding, full-impact
+// analysis, and log execution.
+#include <benchmark/benchmark.h>
+
+#include "provenance/impact.h"
+#include "qfix/encoder.h"
+#include "relational/executor.h"
+#include "workload/synthetic.h"
+
+namespace qfix {
+namespace {
+
+workload::Scenario MakeScenario(size_t nd, size_t nq) {
+  workload::SyntheticSpec spec;
+  spec.num_tuples = nd;
+  spec.num_attrs = 10;
+  spec.value_domain = static_cast<double>(nd);
+  spec.range_size = 10;
+  spec.num_queries = nq;
+  return workload::MakeSyntheticScenario(spec, {nq / 2}, 99);
+}
+
+void BM_EncodeIncremental(benchmark::State& state) {
+  workload::Scenario s =
+      MakeScenario(1000, static_cast<size_t>(state.range(0)));
+  const size_t n = s.dirty_log.size();
+  qfixcore::EncodeRequest req;
+  req.log = &s.dirty_log;
+  req.d0 = &s.d0;
+  req.dirty_dn = &s.dirty;
+  req.complaints = &s.complaints;
+  req.parameterized.assign(n, false);
+  req.parameterized[n / 2] = true;
+  req.encoded.assign(n, true);
+  for (const auto& c : s.complaints.complaints()) {
+    req.tuple_slots.push_back(static_cast<size_t>(c.tid));
+  }
+  for (auto _ : state) {
+    auto problem = qfixcore::Encode(req);
+    benchmark::DoNotOptimize(problem.ok());
+  }
+}
+BENCHMARK(BM_EncodeIncremental)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_FullImpactAnalysis(benchmark::State& state) {
+  workload::Scenario s =
+      MakeScenario(100, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto impacts = provenance::ComputeFullImpacts(
+        s.dirty_log, s.d0.schema().num_attrs());
+    benchmark::DoNotOptimize(impacts.size());
+  }
+}
+BENCHMARK(BM_FullImpactAnalysis)->Arg(100)->Arg(500)->Arg(2000);
+
+void BM_ExecuteLog(benchmark::State& state) {
+  workload::Scenario s =
+      MakeScenario(static_cast<size_t>(state.range(0)), 300);
+  for (auto _ : state) {
+    relational::Database dn = relational::ExecuteLog(s.dirty_log, s.d0);
+    benchmark::DoNotOptimize(dn.NumSlots());
+  }
+}
+BENCHMARK(BM_ExecuteLog)->Arg(1000)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace qfix
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// Cross-checking a diagnosis encoding with external solver formats.
+//
+// The paper solved its encodings with IBM CPLEX; this repository ships
+// its own solver. To audit the substitution, the encoding of any
+// diagnosis can be exported in the two standard interchange formats
+// (CPLEX LP and free MPS), fed to an external solver, and compared.
+// This example closes the loop *without* an external solver: it builds
+// the Figure 2 encoding, writes both formats, reads them back, solves
+// all three models with the built-in branch & bound, and checks that
+// every route yields the same optimal distance — the repair objective
+// d(Q, Q*).
+//
+// Build & run:  ./build/examples/solver_crosscheck
+#include <cmath>
+#include <cstdio>
+
+#include "milp/lp_format.h"
+#include "milp/mps_format.h"
+#include "milp/solver.h"
+#include "provenance/complaint.h"
+#include "qfix/encoder.h"
+#include "relational/executor.h"
+#include "sql/parser.h"
+
+using namespace qfix;
+
+int main() {
+  // ---- The Figure 2 scenario. ----
+  relational::Schema schema({"income", "owed", "pay"});
+  relational::Database d0(schema, "Taxes");
+  d0.AddTuple({9500, 950, 8550});
+  d0.AddTuple({90000, 22500, 67500});
+  d0.AddTuple({86000, 21500, 64500});
+  d0.AddTuple({86500, 21625, 64875});
+
+  auto log = sql::ParseLog(
+      "UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700;"
+      "INSERT INTO Taxes VALUES (87000, 21750, 65250);"
+      "UPDATE Taxes SET pay = income - owed;",
+      schema);
+  if (!log.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 log.status().ToString().c_str());
+    return 1;
+  }
+  relational::Database dirty = relational::ExecuteLog(*log, d0);
+
+  provenance::ComplaintSet complaints;
+  complaints.Add({2, true, {86000, 21500, 64500}});
+  complaints.Add({3, true, {86500, 21625, 64875}});
+
+  // ---- Build the Algorithm 1 encoding (every query parameterized). ----
+  qfixcore::EncodeRequest request;
+  request.log = &*log;
+  request.d0 = &d0;
+  request.dirty_dn = &dirty;
+  request.complaints = &complaints;
+  request.parameterized.assign(log->size(), true);
+  request.encoded.assign(log->size(), true);
+  for (size_t slot = 0; slot < dirty.NumSlots(); ++slot) {
+    request.tuple_slots.push_back(slot);
+  }
+  auto problem = qfixcore::Encode(request);
+  if (!problem.ok()) {
+    std::fprintf(stderr, "encode error: %s\n",
+                 problem.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("encoded Figure 2: %d vars (%d integer), %d constraints\n",
+              problem->model.NumVars(), problem->model.NumIntegerVars(),
+              problem->model.NumConstraints());
+
+  // ---- Export both interchange formats and read them back. ----
+  std::string lp_text = milp::WriteLpFormat(problem->model);
+  std::string mps_text = milp::WriteMpsFormat(problem->model, "fig2");
+  std::printf("LP export: %zu bytes; MPS export: %zu bytes\n",
+              lp_text.size(), mps_text.size());
+
+  auto via_lp = milp::ReadLpFormat(lp_text);
+  auto via_mps = milp::ReadMpsFormat(mps_text);
+  if (!via_lp.ok() || !via_mps.ok()) {
+    std::fprintf(stderr, "re-read failed: %s / %s\n",
+                 via_lp.ok() ? "ok" : via_lp.status().ToString().c_str(),
+                 via_mps.ok() ? "ok" : via_mps.status().ToString().c_str());
+    return 1;
+  }
+
+  // ---- Solve all three routes and compare the optima. ----
+  milp::MilpOptions options;
+  options.time_limit_seconds = 30.0;
+  milp::MilpSolver solver(options);
+
+  struct Route {
+    const char* name;
+    const milp::Model* model;
+  };
+  const Route routes[] = {
+      {"original", &problem->model},
+      {"via LP  ", &*via_lp},
+      {"via MPS ", &*via_mps},
+  };
+  double reference = 0.0;
+  bool first = true;
+  bool agree = true;
+  for (const Route& route : routes) {
+    milp::MilpSolution solution = solver.Solve(*route.model);
+    if (!milp::HasSolution(solution.status)) {
+      std::fprintf(stderr, "%s: solve failed (%s)\n", route.name,
+                   milp::MilpStatusToString(solution.status));
+      return 1;
+    }
+    std::printf("  %s  optimum d(Q,Q*) = %.6f  (%s, %lld nodes)\n",
+                route.name, solution.objective,
+                milp::MilpStatusToString(solution.status),
+                static_cast<long long>(solution.stats.nodes));
+    if (first) {
+      reference = solution.objective;
+      first = false;
+    } else if (std::abs(solution.objective - reference) > 1e-6) {
+      agree = false;
+    }
+  }
+  std::printf("\nall three routes agree on the optimal repair distance: "
+              "%s\n",
+              agree ? "yes" : "NO");
+  std::printf("(the same files can be handed to CPLEX/Gurobi/SCIP/HiGHS "
+              "with `qfix --export-lp/--export-mps`)\n");
+  return agree ? 0 : 1;
+}

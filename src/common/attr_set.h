@@ -1,0 +1,112 @@
+// AttrSet: a small dynamic bitset over attribute indexes.
+//
+// Query/attribute slicing (paper §5.2-5.3) manipulates sets of attribute
+// ids heavily; this type keeps those operations allocation-light for the
+// wide-table experiments (up to ~500 attributes, Fig. 7a).
+#ifndef QFIX_COMMON_ATTR_SET_H_
+#define QFIX_COMMON_ATTR_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace qfix {
+
+/// A set of attribute indexes in [0, capacity), stored as a bitset.
+class AttrSet {
+ public:
+  AttrSet() = default;
+
+  /// Creates an empty set over attributes [0, capacity).
+  explicit AttrSet(size_t capacity)
+      : capacity_(capacity), words_((capacity + 63) / 64, 0) {}
+
+  size_t capacity() const { return capacity_; }
+
+  void Insert(size_t i) {
+    QFIX_CHECK(i < capacity_) << "attr " << i << " >= " << capacity_;
+    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+
+  void Erase(size_t i) {
+    QFIX_CHECK(i < capacity_) << "attr " << i << " >= " << capacity_;
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  bool Contains(size_t i) const {
+    if (i >= capacity_) return false;
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Number of attributes in the set.
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  bool Empty() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// In-place union. Requires identical capacities.
+  AttrSet& UnionWith(const AttrSet& other) {
+    QFIX_CHECK(capacity_ == other.capacity_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  /// Returns the intersection of two sets of identical capacity.
+  AttrSet Intersect(const AttrSet& other) const {
+    QFIX_CHECK(capacity_ == other.capacity_);
+    AttrSet out(capacity_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      out.words_[i] = words_[i] & other.words_[i];
+    }
+    return out;
+  }
+
+  /// True if the two sets share at least one attribute.
+  bool Intersects(const AttrSet& other) const {
+    QFIX_CHECK(capacity_ == other.capacity_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & other.words_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  /// True if every attribute of `other` is also in this set.
+  bool ContainsAll(const AttrSet& other) const {
+    QFIX_CHECK(capacity_ == other.capacity_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if ((other.words_[i] & ~words_[i]) != 0) return false;
+    }
+    return true;
+  }
+
+  bool operator==(const AttrSet& other) const {
+    return capacity_ == other.capacity_ && words_ == other.words_;
+  }
+
+  /// Materializes the member indexes in increasing order.
+  std::vector<size_t> ToVector() const {
+    std::vector<size_t> out;
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (Contains(i)) out.push_back(i);
+    }
+    return out;
+  }
+
+ private:
+  size_t capacity_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace qfix
+
+#endif  // QFIX_COMMON_ATTR_SET_H_

@@ -1,0 +1,152 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace qfix {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (levels_.empty()) {
+    QFIX_CHECK(!root_written_) << "JSON documents have a single root";
+    root_written_ = true;
+    return;
+  }
+  Level& top = levels_.back();
+  if (top.kind == 'o') {
+    QFIX_CHECK(have_key_) << "object values need a Key() first";
+    have_key_ = false;
+  } else {
+    if (top.has_elements) out_ += ',';
+    top.has_elements = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  levels_.push_back({'o', false});
+}
+
+void JsonWriter::EndObject() {
+  QFIX_CHECK(!levels_.empty() && levels_.back().kind == 'o');
+  QFIX_CHECK(!have_key_) << "dangling Key() at EndObject";
+  levels_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  levels_.push_back({'a', false});
+}
+
+void JsonWriter::EndArray() {
+  QFIX_CHECK(!levels_.empty() && levels_.back().kind == 'a');
+  levels_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::Key(std::string_view key) {
+  QFIX_CHECK(!levels_.empty() && levels_.back().kind == 'o')
+      << "Key() outside an object";
+  QFIX_CHECK(!have_key_) << "two keys in a row";
+  if (levels_.back().has_elements) out_ += ',';
+  levels_.back().has_elements = true;
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  have_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  out_ += buf;
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  out_ += buf;
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  // Shortest representation that parses back exactly (same policy as
+  // FormatNumber; JSON numbers are doubles everywhere that matters).
+  char buf[64];
+  for (int precision : {6, 15, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+}  // namespace qfix

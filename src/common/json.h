@@ -1,0 +1,70 @@
+// Minimal JSON document writer.
+//
+// Produces RFC 8259-conformant output for the library's machine-readable
+// reports (diagnosis JSON, tools integration). Writer-only by design: the
+// library never consumes JSON, so a parser would be dead weight.
+//
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("verified"); w.Bool(true);
+//   w.Key("queries");  w.BeginArray(); w.Int(1); w.EndArray();
+//   w.EndObject();
+//   w.str()  // {"verified":true,"queries":[1]}
+#ifndef QFIX_COMMON_JSON_H_
+#define QFIX_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qfix {
+
+/// Streaming JSON writer with automatic comma placement. Structural
+/// misuse (e.g. two keys in a row) trips a QFIX_CHECK — report shapes
+/// are static, so a malformed document is a programming error.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Writes an object key; the next value call supplies its value.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  /// Non-finite doubles are not representable in JSON; they are written
+  /// as null.
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// The document so far. Valid once every Begin has been matched.
+  const std::string& str() const { return out_; }
+
+ private:
+  struct Level {
+    char kind;  // 'o' = object, 'a' = array
+    bool has_elements = false;
+  };
+
+  // Comma/colon bookkeeping shared by every value-writing method.
+  void BeforeValue();
+
+  std::string out_;
+  std::vector<Level> levels_;
+  bool have_key_ = false;
+  bool root_written_ = false;
+};
+
+/// Escapes `s` per JSON string rules (quotes, backslash, control chars).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace qfix
+
+#endif  // QFIX_COMMON_JSON_H_

@@ -1,0 +1,60 @@
+// Minimal assertion and logging macros.
+//
+// QFIX_CHECK(cond) aborts with a message when an internal invariant is
+// violated; it is active in all build types because a wrong repair is far
+// worse than a crash in this domain. Extra context can be streamed in:
+//   QFIX_CHECK(i < n) << "index " << i;
+#ifndef QFIX_COMMON_LOGGING_H_
+#define QFIX_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace qfix {
+namespace internal {
+
+/// Accumulates a failure message and aborts on destruction.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* condition) {
+    stream_ << "QFIX_CHECK failed at " << file << ":" << line << ": "
+            << condition << " ";
+  }
+  [[noreturn]] ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Binds looser than operator<< so streamed context is collected before
+/// the expression is voided (glog idiom).
+class Voidify {
+ public:
+  // Const ref binds both the bare temporary and the result of operator<<.
+  void operator&(const CheckFailStream&) {}
+};
+
+}  // namespace internal
+}  // namespace qfix
+
+#define QFIX_CHECK(cond)                               \
+  (cond) ? (void)0                                     \
+         : ::qfix::internal::Voidify() &               \
+               ::qfix::internal::CheckFailStream(__FILE__, __LINE__, #cond)
+
+#define QFIX_CHECK_OK(status_expr)                                   \
+  do {                                                               \
+    const ::qfix::Status& _qfix_s = (status_expr);                   \
+    QFIX_CHECK(_qfix_s.ok()) << _qfix_s.ToString();                  \
+  } while (0)
+
+#endif  // QFIX_COMMON_LOGGING_H_

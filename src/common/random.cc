@@ -1,0 +1,42 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace qfix {
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  QFIX_CHECK(k <= n) << "cannot sample " << k << " from " << n;
+  // Partial Fisher-Yates: only the first k slots need shuffling.
+  std::vector<size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), size_t{0});
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + Index(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+ZipfianDistribution::ZipfianDistribution(size_t n, double s) {
+  QFIX_CHECK(n > 0) << "zipfian over empty support";
+  QFIX_CHECK(s >= 0.0) << "zipfian exponent must be non-negative";
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding drift
+}
+
+size_t ZipfianDistribution::Sample(Rng& rng) const {
+  double u = rng.UniformReal(0.0, 1.0);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace qfix

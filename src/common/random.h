@@ -1,0 +1,75 @@
+// Deterministic random number generation for workload synthesis.
+//
+// All generators in this library take an explicit Rng so experiments are
+// reproducible from a seed, matching the paper's fixed corruption indexes.
+#ifndef QFIX_COMMON_RANDOM_H_
+#define QFIX_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace qfix {
+
+/// A seeded pseudo-random generator with convenience samplers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    QFIX_CHECK(lo <= hi) << "UniformInt bounds [" << lo << "," << hi << "]";
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double UniformReal(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Picks a uniformly random element index of a container of size n > 0.
+  size_t Index(size_t n) {
+    QFIX_CHECK(n > 0) << "Index() over empty range";
+    return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// Samples k distinct indexes from [0, n) without replacement.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Exposes the engine for std:: distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipfian sampler over {0, ..., n-1} with exponent s >= 0.
+///
+/// s = 0 degenerates to the uniform distribution; larger s concentrates
+/// mass on low indexes. Used for the attribute-skew experiments (Fig. 8d).
+class ZipfianDistribution {
+ public:
+  ZipfianDistribution(size_t n, double s);
+
+  /// Draws one sample in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative probabilities, cdf_.back() == 1
+};
+
+}  // namespace qfix
+
+#endif  // QFIX_COMMON_RANDOM_H_

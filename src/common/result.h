@@ -1,0 +1,69 @@
+// Result<T>: value-or-Status, the library's standard fallible return type.
+#ifndef QFIX_COMMON_RESULT_H_
+#define QFIX_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace qfix {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced. Accessing the value of an errored Result
+/// aborts (library-bug territory), so callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    QFIX_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    QFIX_CHECK(ok()) << "value() on errored Result: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    QFIX_CHECK(ok()) << "value() on errored Result: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    QFIX_CHECK(ok()) << "value() on errored Result: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace qfix
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status to the caller.
+#define QFIX_ASSIGN_OR_RETURN(lhs, expr)           \
+  QFIX_ASSIGN_OR_RETURN_IMPL_(                     \
+      QFIX_CONCAT_(_qfix_result_, __LINE__), lhs, expr)
+
+#define QFIX_CONCAT_INNER_(a, b) a##b
+#define QFIX_CONCAT_(a, b) QFIX_CONCAT_INNER_(a, b)
+#define QFIX_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // QFIX_COMMON_RESULT_H_

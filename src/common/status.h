@@ -1,0 +1,104 @@
+// Status: lightweight error propagation for operations that can fail.
+//
+// Follows the RocksDB/Arrow convention: functions that can fail return a
+// Status (or a Result<T>, see result.h) instead of throwing. Statuses are
+// cheap to copy in the OK case (empty message, small enum).
+#ifndef QFIX_COMMON_STATUS_H_
+#define QFIX_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace qfix {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  /// A caller-supplied argument is malformed or out of range.
+  kInvalidArgument,
+  /// A referenced entity (attribute, tuple, query index) does not exist.
+  kNotFound,
+  /// The MILP encoding admits no solution (e.g., contradictory complaints).
+  kInfeasible,
+  /// The LP relaxation is unbounded (encoding bug or missing bounds).
+  kUnbounded,
+  /// A resource budget (time limit, node limit) was exhausted.
+  kResourceExhausted,
+  /// The requested operation is outside the supported query fragment.
+  kUnsupported,
+  /// An internal invariant was violated; indicates a library bug.
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code, e.g. "Infeasible".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// The result of an operation that may fail. Immutable once constructed.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and diagnostic message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Unbounded(std::string msg) {
+    return Status(StatusCode::kUnbounded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInfeasible() const { return code_ == StatusCode::kInfeasible; }
+  bool IsUnbounded() const { return code_ == StatusCode::kUnbounded; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "<Code>: <message>" (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace qfix
+
+/// Propagates a non-OK status to the caller.
+#define QFIX_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::qfix::Status _qfix_status = (expr);     \
+    if (!_qfix_status.ok()) return _qfix_status; \
+  } while (0)
+
+#endif  // QFIX_COMMON_STATUS_H_

@@ -1,0 +1,24 @@
+// Small string helpers shared by the SQL printer and the bench tables.
+#ifndef QFIX_COMMON_STRINGS_H_
+#define QFIX_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace qfix {
+
+/// Formats a double without trailing zeros: 3.0 -> "3", 0.25 -> "0.25".
+/// Used when printing repaired query constants back as SQL.
+std::string FormatNumber(double v);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace qfix
+
+#endif  // QFIX_COMMON_STRINGS_H_

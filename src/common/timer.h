@@ -1,0 +1,55 @@
+// Wall-clock timing for the experiment harness.
+#ifndef QFIX_COMMON_TIMER_H_
+#define QFIX_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace qfix {
+
+/// Measures elapsed wall-clock time from construction (or Restart()).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A soft deadline. Zero or negative budget means "no limit".
+class Deadline {
+ public:
+  /// Creates a deadline `seconds` from now; non-positive = unlimited.
+  static Deadline AfterSeconds(double seconds) { return Deadline(seconds); }
+  /// Creates an unlimited deadline.
+  static Deadline Unlimited() { return Deadline(0.0); }
+
+  bool Expired() const {
+    return limit_seconds_ > 0.0 && timer_.ElapsedSeconds() >= limit_seconds_;
+  }
+
+  double RemainingSeconds() const {
+    if (limit_seconds_ <= 0.0) return 1e30;
+    double rem = limit_seconds_ - timer_.ElapsedSeconds();
+    return rem > 0.0 ? rem : 0.0;
+  }
+
+ private:
+  explicit Deadline(double limit_seconds) : limit_seconds_(limit_seconds) {}
+  double limit_seconds_;
+  WallTimer timer_;
+};
+
+}  // namespace qfix
+
+#endif  // QFIX_COMMON_TIMER_H_

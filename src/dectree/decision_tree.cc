@@ -1,0 +1,170 @@
+#include "dectree/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qfix {
+namespace dectree {
+namespace {
+
+using relational::CmpOp;
+using relational::Comparison;
+using relational::LinearExpr;
+using relational::Predicate;
+
+double Entropy(size_t positives, size_t total) {
+  if (total == 0 || positives == 0 || positives == total) return 0.0;
+  double p = static_cast<double>(positives) / static_cast<double>(total);
+  return -p * std::log2(p) - (1 - p) * std::log2(1 - p);
+}
+
+}  // namespace
+
+DecisionTree DecisionTree::Train(const std::vector<Example>& examples,
+                                 const DecisionTreeOptions& options) {
+  DecisionTree tree;
+  std::vector<Example> working = examples;
+  if (!working.empty()) {
+    tree.root_ = tree.Build(working, 0, working.size(), 0, options);
+  }
+  return tree;
+}
+
+int32_t DecisionTree::Build(std::vector<Example>& examples, size_t begin,
+                            size_t end, size_t depth,
+                            const DecisionTreeOptions& options) {
+  QFIX_CHECK(begin < end);
+  const size_t n = end - begin;
+  size_t positives = 0;
+  for (size_t i = begin; i < end; ++i) positives += examples[i].label;
+
+  auto make_leaf = [&]() {
+    Node leaf;
+    leaf.is_leaf = true;
+    leaf.label = positives * 2 >= n;  // majority, ties -> positive
+    nodes_.push_back(leaf);
+    return static_cast<int32_t>(nodes_.size() - 1);
+  };
+
+  if (positives == 0 || positives == n || n < options.min_samples_split ||
+      depth >= options.max_depth) {
+    return make_leaf();
+  }
+
+  const double parent_entropy = Entropy(positives, n);
+  const size_t num_features = examples[begin].features.size();
+
+  // Best split by gain ratio: scan candidate thresholds (midpoints of
+  // consecutive distinct values) per attribute.
+  double best_ratio = options.min_gain;
+  size_t best_attr = 0;
+  double best_threshold = 0.0;
+  bool found = false;
+
+  std::vector<std::pair<double, bool>> column(n);
+  for (size_t attr = 0; attr < num_features; ++attr) {
+    for (size_t i = 0; i < n; ++i) {
+      column[i] = {examples[begin + i].features[attr],
+                   examples[begin + i].label};
+    }
+    std::sort(column.begin(), column.end());
+    size_t left_pos = 0;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      left_pos += column[i].second;
+      if (column[i].first == column[i + 1].first) continue;
+      size_t left_n = i + 1;
+      size_t right_n = n - left_n;
+      size_t right_pos = positives - left_pos;
+      double cond = (static_cast<double>(left_n) / n) *
+                        Entropy(left_pos, left_n) +
+                    (static_cast<double>(right_n) / n) *
+                        Entropy(right_pos, right_n);
+      double gain = parent_entropy - cond;
+      // Split information (C4.5's normalization against many-way bias;
+      // binary splits still benefit when partitions are lopsided).
+      double split_info =
+          Entropy(left_n, n);  // H(left_n/n, right_n/n) for binary split
+      double ratio = split_info > 1e-12 ? gain / split_info : 0.0;
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_attr = attr;
+        best_threshold = (column[i].first + column[i + 1].first) / 2.0;
+        found = true;
+      }
+    }
+  }
+  if (!found) return make_leaf();
+
+  // Partition in place around the chosen split.
+  auto mid_it = std::partition(
+      examples.begin() + begin, examples.begin() + end,
+      [&](const Example& e) {
+        return e.features[best_attr] <= best_threshold;
+      });
+  size_t mid = static_cast<size_t>(mid_it - examples.begin());
+  if (mid == begin || mid == end) return make_leaf();  // numerical guard
+
+  int32_t left = Build(examples, begin, mid, depth + 1, options);
+  int32_t right = Build(examples, mid, end, depth + 1, options);
+  Node node;
+  node.is_leaf = false;
+  node.attr = best_attr;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  nodes_.push_back(node);
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+bool DecisionTree::Predict(const std::vector<double>& features) const {
+  if (root_ < 0) return false;
+  int32_t cur = root_;
+  while (!nodes_[cur].is_leaf) {
+    const Node& n = nodes_[cur];
+    QFIX_CHECK(n.attr < features.size());
+    cur = features[n.attr] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[cur].label;
+}
+
+void DecisionTree::CollectRules(int32_t node,
+                                std::vector<Predicate>& path,
+                                std::vector<Predicate>& rules,
+                                size_t num_attrs) const {
+  const Node& n = nodes_[node];
+  if (n.is_leaf) {
+    if (!n.label) return;
+    if (path.empty()) {
+      rules.push_back(Predicate::True());
+    } else {
+      rules.push_back(Predicate::And(path));
+    }
+    return;
+  }
+  path.push_back(Predicate::Atom(
+      Comparison{LinearExpr::Attr(n.attr), CmpOp::kLe, n.threshold}));
+  CollectRules(n.left, path, rules, num_attrs);
+  path.back() = Predicate::Atom(
+      Comparison{LinearExpr::Attr(n.attr), CmpOp::kGt, n.threshold});
+  CollectRules(n.right, path, rules, num_attrs);
+  path.pop_back();
+}
+
+relational::Predicate DecisionTree::ToPredicate(size_t num_attrs) const {
+  std::vector<Predicate> rules;
+  if (root_ >= 0) {
+    std::vector<Predicate> path;
+    CollectRules(root_, path, rules, num_attrs);
+  }
+  if (rules.empty()) {
+    // No positive leaf: a never-true predicate (0 >= 1).
+    return Predicate::Atom(
+        Comparison{LinearExpr::Constant(0.0), CmpOp::kGe, 1.0});
+  }
+  return Predicate::Or(std::move(rules));
+}
+
+}  // namespace dectree
+}  // namespace qfix

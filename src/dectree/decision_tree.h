@@ -1,0 +1,76 @@
+// C4.5-style decision tree over numeric attributes (Appendix A).
+//
+// The DecTree baseline repairs a WHERE clause by training a rule-based
+// binary classifier on labeled tuples and reading the true-leaf paths
+// back as a disjunction of conjunctive range predicates. This is the
+// comparison system of the paper's Figure 10, built from scratch: binary
+// splits on attribute thresholds chosen by gain ratio (information gain
+// normalized by split entropy), with pre-pruning via minimum node size.
+#ifndef QFIX_DECTREE_DECISION_TREE_H_
+#define QFIX_DECTREE_DECISION_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "relational/predicate.h"
+
+namespace qfix {
+namespace dectree {
+
+/// One training example: numeric features plus a boolean label.
+struct Example {
+  std::vector<double> features;
+  bool label = false;
+};
+
+struct DecisionTreeOptions {
+  /// Nodes with fewer examples become leaves (C4.5's pre-pruning).
+  size_t min_samples_split = 2;
+  size_t max_depth = 24;
+  /// Minimum gain ratio for a split to be accepted.
+  double min_gain = 1e-9;
+};
+
+/// A trained binary decision tree.
+class DecisionTree {
+ public:
+  /// Trains on `examples` (gain-ratio splits, depth-first growth).
+  static DecisionTree Train(const std::vector<Example>& examples,
+                            const DecisionTreeOptions& options = {});
+
+  /// Predicts the label for a feature vector.
+  bool Predict(const std::vector<double>& features) const;
+
+  /// Extracts the positive-leaf paths as a predicate: an OR over leaf
+  /// rules, each an AND of `attr <= v` / `attr > v` atoms. Returns
+  /// a never-matching predicate when the tree has no positive leaf
+  /// (the paper's "high selectivity, low precision" failure mode).
+  relational::Predicate ToPredicate(size_t num_attrs) const;
+
+  /// Number of nodes (diagnostics).
+  size_t NumNodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    bool label = false;
+    size_t attr = 0;
+    double threshold = 0.0;  // go left if feature <= threshold
+    int32_t left = -1;
+    int32_t right = -1;
+  };
+
+  int32_t Build(std::vector<Example>& examples, size_t begin, size_t end,
+                size_t depth, const DecisionTreeOptions& options);
+  void CollectRules(int32_t node, std::vector<relational::Predicate>& path,
+                    std::vector<relational::Predicate>& rules,
+                    size_t num_attrs) const;
+
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace dectree
+}  // namespace qfix
+
+#endif  // QFIX_DECTREE_DECISION_TREE_H_

@@ -1,0 +1,90 @@
+#include "dectree/dectree_repair.h"
+
+#include <cmath>
+
+#include "dectree/linear_system.h"
+
+namespace qfix {
+namespace dectree {
+
+using relational::Database;
+using relational::LinearExpr;
+using relational::Predicate;
+using relational::Query;
+using relational::QueryType;
+using relational::SetClause;
+using relational::Tuple;
+
+Result<DecTreeRepairResult> RepairWithDecTree(
+    const Query& query, const Database& pre, const Database& truth_post,
+    const DecisionTreeOptions& options) {
+  if (query.type() != QueryType::kUpdate) {
+    return Status::Unsupported(
+        "DecTree repairs single UPDATE queries only (Appendix A)");
+  }
+  if (pre.NumSlots() > truth_post.NumSlots()) {
+    return Status::InvalidArgument("post state misses tuples of pre state");
+  }
+  const size_t num_attrs = pre.schema().num_attrs();
+
+  // ---- Step 1: learn the WHERE clause. ----
+  std::vector<Example> examples;
+  examples.reserve(pre.NumSlots());
+  for (size_t i = 0; i < pre.NumSlots(); ++i) {
+    const Tuple& before = pre.slot(i);
+    const Tuple& after = truth_post.slot(i);
+    if (!before.alive || !after.alive) continue;
+    bool changed = false;
+    for (size_t a = 0; a < num_attrs && !changed; ++a) {
+      changed = std::fabs(before.values[a] - after.values[a]) > 1e-9;
+    }
+    examples.push_back(Example{before.values, changed});
+  }
+  if (examples.empty()) {
+    return Status::InvalidArgument("no live tuples to learn from");
+  }
+  DecisionTree tree = DecisionTree::Train(examples, options);
+  Predicate where = tree.ToPredicate(num_attrs);
+
+  // ---- Step 2: re-fit the SET clause parameters. ----
+  // Unknowns per clause: one coefficient per existing expression term
+  // plus the additive constant. Equations come from matched tuples.
+  std::vector<SetClause> repaired_sets = query.set_clauses();
+  for (SetClause& sc : repaired_sets) {
+    const size_t num_terms = sc.expr.terms().size();
+    const size_t unknowns = num_terms + 1;
+    std::vector<std::vector<double>> rows;
+    std::vector<double> rhs;
+    for (size_t i = 0; i < pre.NumSlots(); ++i) {
+      const Tuple& before = pre.slot(i);
+      const Tuple& after = truth_post.slot(i);
+      if (!before.alive || !after.alive) continue;
+      if (!where.Eval(before.values)) continue;
+      std::vector<double> row(unknowns, 0.0);
+      for (size_t t = 0; t < num_terms; ++t) {
+        row[t] = before.values[sc.expr.terms()[t].attr];
+      }
+      row[num_terms] = 1.0;  // additive constant
+      rows.push_back(std::move(row));
+      rhs.push_back(after.values[sc.attr]);
+    }
+    if (rows.empty()) continue;  // nothing matched: keep original params
+    auto fit = SolveLeastSquares(rows, rhs);
+    if (!fit.ok()) continue;  // singular (e.g. constant column): keep
+    LinearExpr fitted;
+    for (size_t t = 0; t < num_terms; ++t) {
+      fitted.AddTerm(sc.expr.terms()[t].attr, (*fit)[t]);
+    }
+    fitted.set_constant((*fit)[num_terms]);
+    sc.expr = std::move(fitted);
+  }
+
+  DecTreeRepairResult result{
+      Query::Update(query.table(), std::move(repaired_sets),
+                    std::move(where)),
+      tree.NumNodes()};
+  return result;
+}
+
+}  // namespace dectree
+}  // namespace qfix

@@ -1,0 +1,43 @@
+// DecTree: the learning-based repair baseline of Appendix A.
+//
+// Limited by construction to a single corrupted UPDATE in the log (the
+// appendix explains why the approach cannot extend further): the WHERE
+// clause is re-learned with a decision tree over the pre-state, then the
+// SET clause parameters are re-fit with a linear system over the matched
+// tuples. Compared against QFix in Figure 10.
+#ifndef QFIX_DECTREE_DECTREE_REPAIR_H_
+#define QFIX_DECTREE_DECTREE_REPAIR_H_
+
+#include "common/result.h"
+#include "dectree/decision_tree.h"
+#include "relational/database.h"
+#include "relational/query.h"
+
+namespace qfix {
+namespace dectree {
+
+struct DecTreeRepairResult {
+  relational::Query repaired;
+  /// Nodes in the learned tree (diagnostics).
+  size_t tree_nodes = 0;
+};
+
+/// Repairs a single corrupted UPDATE `query`, given the state it ran on
+/// (`pre`) and the true post state (`truth_post`, i.e. D*_1 = T_C(D_1)
+/// under a complete complaint set).
+///
+/// Step 1 (WHERE): tuples are labeled true iff pre != truth_post and a
+/// decision tree is trained on the pre-state features; the positive-leaf
+/// rules become the repaired WHERE clause. Step 2 (SET): for each SET
+/// clause, the expression parameters (term coefficients and the additive
+/// constant) are re-fit by least squares over the tuples the new WHERE
+/// matches. Structure (which attributes appear) is preserved.
+Result<DecTreeRepairResult> RepairWithDecTree(
+    const relational::Query& query, const relational::Database& pre,
+    const relational::Database& truth_post,
+    const DecisionTreeOptions& options = {});
+
+}  // namespace dectree
+}  // namespace qfix
+
+#endif  // QFIX_DECTREE_DECTREE_REPAIR_H_

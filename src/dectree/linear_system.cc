@@ -1,0 +1,79 @@
+#include "dectree/linear_system.h"
+
+#include <cmath>
+
+namespace qfix {
+namespace dectree {
+
+Result<std::vector<double>> SolveSquare(std::vector<std::vector<double>> a,
+                                        std::vector<double> b) {
+  const size_t n = b.size();
+  if (a.size() != n) {
+    return Status::InvalidArgument("matrix/vector size mismatch");
+  }
+  for (const auto& row : a) {
+    if (row.size() != n) {
+      return Status::InvalidArgument("matrix is not square");
+    }
+  }
+
+  // Forward elimination with partial pivoting.
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-10) {
+      return Status::Infeasible("singular system");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t r = col + 1; r < n; ++r) {
+      double factor = a[r][col] / a[col][col];
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    double v = b[i];
+    for (size_t c = i + 1; c < n; ++c) v -= a[i][c] * x[c];
+    x[i] = v / a[i][i];
+  }
+  return x;
+}
+
+Result<std::vector<double>> SolveLeastSquares(
+    const std::vector<std::vector<double>>& a,
+    const std::vector<double>& b) {
+  const size_t rows = a.size();
+  if (rows == 0 || rows != b.size()) {
+    return Status::InvalidArgument("empty or mismatched system");
+  }
+  const size_t cols = a[0].size();
+  for (const auto& row : a) {
+    if (row.size() != cols) {
+      return Status::InvalidArgument("ragged matrix");
+    }
+  }
+  // Normal equations: (A'A) x = A'b.
+  std::vector<std::vector<double>> ata(cols, std::vector<double>(cols, 0.0));
+  std::vector<double> atb(cols, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t i = 0; i < cols; ++i) {
+      atb[i] += a[r][i] * b[r];
+      for (size_t j = i; j < cols; ++j) {
+        ata[i][j] += a[r][i] * a[r][j];
+      }
+    }
+  }
+  for (size_t i = 0; i < cols; ++i) {
+    for (size_t j = 0; j < i; ++j) ata[i][j] = ata[j][i];
+  }
+  return SolveSquare(std::move(ata), std::move(atb));
+}
+
+}  // namespace dectree
+}  // namespace qfix

@@ -1,0 +1,32 @@
+// Dense linear least-squares solver for the DecTree SET-clause repair.
+//
+// Appendix A models SET-clause errors as a linear system: each matched
+// tuple contributes one equation `expr(t_pre) = t_target.attr` in the
+// unknown expression parameters. The system is usually overdetermined
+// (many tuples, few parameters), so we solve the normal equations by
+// Gaussian elimination with partial pivoting.
+#ifndef QFIX_DECTREE_LINEAR_SYSTEM_H_
+#define QFIX_DECTREE_LINEAR_SYSTEM_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace qfix {
+namespace dectree {
+
+/// Solves min ||A x - b||_2 for x (A is rows x cols, row-major).
+/// Returns InvalidArgument on shape mismatch and Infeasible when the
+/// normal matrix is singular (underdetermined system).
+Result<std::vector<double>> SolveLeastSquares(
+    const std::vector<std::vector<double>>& a, const std::vector<double>& b);
+
+/// Solves a square linear system A x = b by Gaussian elimination with
+/// partial pivoting. Returns Infeasible when A is (numerically) singular.
+Result<std::vector<double>> SolveSquare(std::vector<std::vector<double>> a,
+                                        std::vector<double> b);
+
+}  // namespace dectree
+}  // namespace qfix
+
+#endif  // QFIX_DECTREE_LINEAR_SYSTEM_H_

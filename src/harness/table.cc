@@ -1,0 +1,82 @@
+#include "harness/table.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace qfix {
+namespace harness {
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  QFIX_CHECK(cells.size() == header_.size())
+      << "row arity " << cells.size() << " vs header " << header_.size();
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Cell(double v) {
+  if (std::fabs(v - std::round(v)) < 1e-9 && std::fabs(v) < 1e12) {
+    return StringPrintf("%.0f", v);
+  }
+  return StringPrintf("%.3f", v);
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out;
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += StringPrintf("%-*s", static_cast<int>(widths[c]) + 2,
+                          row[c].c_str());
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += "\n";
+    return out;
+  };
+  std::string out = render_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out += std::string(total > 2 ? total - 2 : total, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string Table::ToCsv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  auto render = [&](const std::vector<std::string>& row) {
+    std::string out;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += escape(row[c]);
+    }
+    out += '\n';
+    return out;
+  };
+  std::string out = render(header_);
+  for (const auto& row : rows_) out += render(row);
+  return out;
+}
+
+}  // namespace harness
+}  // namespace qfix

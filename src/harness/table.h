@@ -1,0 +1,41 @@
+// Aligned-column table printing for the benchmark binaries: every bench
+// prints the same rows/series its paper figure plots.
+#ifndef QFIX_HARNESS_TABLE_H_
+#define QFIX_HARNESS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace qfix {
+namespace harness {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one row; must match the header arity.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles to 3 decimals, integers bare.
+  static std::string Cell(double v);
+  static std::string Cell(const std::string& v) { return v; }
+
+  /// Renders with a separator line under the header.
+  std::string ToString() const;
+  /// Prints to stdout.
+  void Print() const;
+
+  /// Renders as CSV (header + rows). Cells containing commas or quotes
+  /// are quoted per RFC 4180 so downstream plotting tools parse them.
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace harness
+}  // namespace qfix
+
+#endif  // QFIX_HARNESS_TABLE_H_

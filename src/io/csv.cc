@@ -1,0 +1,160 @@
+#include "io/csv.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace qfix {
+namespace io {
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cur;
+  for (char c : line) {
+    if (c == ',') {
+      cells.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur += c;
+    }
+  }
+  cells.push_back(cur);
+  // Trim surrounding whitespace.
+  for (std::string& cell : cells) {
+    size_t b = cell.find_first_not_of(" \t");
+    size_t e = cell.find_last_not_of(" \t");
+    cell = b == std::string::npos ? "" : cell.substr(b, e - b + 1);
+  }
+  return cells;
+}
+
+Result<double> ParseNumber(const std::string& cell, size_t line_no) {
+  char* end = nullptr;
+  double v = std::strtod(cell.c_str(), &end);
+  if (cell.empty() || end == nullptr || *end != '\0') {
+    return Status::InvalidArgument(StringPrintf(
+        "line %zu: '%s' is not a number", line_no, cell.c_str()));
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<relational::Database> DatabaseFromCsv(std::string_view csv,
+                                 std::string table_name) {
+  std::istringstream in{std::string(csv)};
+  std::string line;
+  size_t line_no = 0;
+
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV: missing header");
+  }
+  ++line_no;
+  std::vector<std::string> names = SplitLine(line);
+  if (names.empty() || names[0].empty()) {
+    return Status::InvalidArgument("CSV header has no attribute names");
+  }
+  relational::Database db(relational::Schema(names), std::move(table_name));
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    std::vector<std::string> cells = SplitLine(line);
+    if (cells.size() != names.size()) {
+      return Status::InvalidArgument(StringPrintf(
+          "line %zu: %zu values for %zu attributes", line_no,
+          cells.size(), names.size()));
+    }
+    std::vector<double> values;
+    values.reserve(cells.size());
+    for (const std::string& cell : cells) {
+      QFIX_ASSIGN_OR_RETURN(double v, ParseNumber(cell, line_no));
+      values.push_back(v);
+    }
+    db.AddTuple(std::move(values));
+  }
+  return db;
+}
+
+std::string DatabaseToCsv(const relational::Database& db) {
+  std::string out = Join(db.schema().attr_names(), ",") + "\n";
+  for (const relational::Tuple& t : db.tuples()) {
+    if (!t.alive) continue;
+    std::vector<std::string> cells;
+    cells.reserve(t.values.size());
+    for (double v : t.values) cells.push_back(FormatNumber(v));
+    out += Join(cells, ",") + "\n";
+  }
+  return out;
+}
+
+Result<provenance::ComplaintSet> ComplaintsFromCsv(std::string_view csv,
+                                                   const relational::Schema& schema) {
+  std::istringstream in{std::string(csv)};
+  std::string line;
+  size_t line_no = 0;
+
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty complaints CSV: missing header");
+  }
+  ++line_no;
+  std::vector<std::string> header = SplitLine(line);
+  if (header.size() != schema.num_attrs() + 2 || header[0] != "tid" ||
+      header[1] != "alive") {
+    return Status::InvalidArgument(
+        "complaints CSV header must be 'tid,alive,<attribute names>'");
+  }
+  for (size_t a = 0; a < schema.num_attrs(); ++a) {
+    if (header[a + 2] != schema.attr_name(a)) {
+      return Status::InvalidArgument(StringPrintf(
+          "complaints CSV column '%s' does not match schema attribute "
+          "'%s'",
+          header[a + 2].c_str(), schema.attr_name(a).c_str()));
+    }
+  }
+
+  provenance::ComplaintSet out;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    std::vector<std::string> cells = SplitLine(line);
+    if (cells.size() != schema.num_attrs() + 2) {
+      return Status::InvalidArgument(
+          StringPrintf("line %zu: wrong arity", line_no));
+    }
+    QFIX_ASSIGN_OR_RETURN(double tid, ParseNumber(cells[0], line_no));
+    QFIX_ASSIGN_OR_RETURN(double alive, ParseNumber(cells[1], line_no));
+    provenance::Complaint c;
+    c.tid = static_cast<int64_t>(tid);
+    c.target_alive = alive != 0.0;
+    if (c.target_alive) {
+      for (size_t a = 0; a < schema.num_attrs(); ++a) {
+        QFIX_ASSIGN_OR_RETURN(double v, ParseNumber(cells[a + 2], line_no));
+        c.target_values.push_back(v);
+      }
+    }
+    out.Add(std::move(c));
+  }
+  return out;
+}
+
+std::string ComplaintsToCsv(const provenance::ComplaintSet& complaints,
+                            const relational::Schema& schema) {
+  std::string out = "tid,alive," + Join(schema.attr_names(), ",") + "\n";
+  for (const provenance::Complaint& c : complaints.complaints()) {
+    std::vector<std::string> cells{std::to_string(c.tid),
+                                   c.target_alive ? "1" : "0"};
+    for (size_t a = 0; a < schema.num_attrs(); ++a) {
+      cells.push_back(c.target_alive ? FormatNumber(c.target_values[a])
+                                     : "0");
+    }
+    out += Join(cells, ",") + "\n";
+  }
+  return out;
+}
+
+}  // namespace io
+}  // namespace qfix

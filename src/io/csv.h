@@ -1,0 +1,42 @@
+// CSV import/export for database states and complaint sets — the
+// interchange format of the command-line tool (tools/qfix_cli).
+//
+// Database CSV: first line is the header (attribute names); each
+// subsequent line is one tuple of numeric values. Complaint CSV: header
+// `tid,alive,<attr names...>`; each line names a tuple id, whether it
+// should exist (0/1), and its correct values.
+#ifndef QFIX_IO_CSV_H_
+#define QFIX_IO_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "provenance/complaint.h"
+#include "relational/database.h"
+
+namespace qfix {
+namespace io {
+
+/// Parses a database from CSV text. `table_name` is attached to the
+/// resulting Database (CSV carries no table name).
+Result<relational::Database> DatabaseFromCsv(std::string_view csv,
+                                 std::string table_name);
+
+/// Renders a database as CSV (header + live and dead tuples; dead tuples
+/// are skipped since CSV has no liveness column).
+std::string DatabaseToCsv(const relational::Database& db);
+
+/// Parses complaints against `schema` from CSV text with header
+/// `tid,alive,<attrs...>`.
+Result<provenance::ComplaintSet> ComplaintsFromCsv(std::string_view csv,
+                                                   const relational::Schema& schema);
+
+/// Renders a complaint set as CSV.
+std::string ComplaintsToCsv(const provenance::ComplaintSet& complaints,
+                            const relational::Schema& schema);
+
+}  // namespace io
+}  // namespace qfix
+
+#endif  // QFIX_IO_CSV_H_

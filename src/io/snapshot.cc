@@ -1,0 +1,192 @@
+#include "io/snapshot.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace qfix {
+namespace io {
+
+namespace {
+
+// Lossless double rendering (snapshots are checkpoints; a checkpoint
+// that drifts on reload would silently shift every diagnosis).
+std::string ExactNumber(double v) {
+  char shortest[64];
+  std::snprintf(shortest, sizeof(shortest), "%.15g", v);
+  if (std::strtod(shortest, nullptr) == v) return shortest;
+  char exact[64];
+  std::snprintf(exact, sizeof(exact), "%.17g", v);
+  return exact;
+}
+
+bool HasWhitespace(const std::string& s) {
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) return true;
+  }
+  return false;
+}
+
+// Splits a line on runs of spaces/tabs.
+std::vector<std::string> SplitFields(std::string_view line) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) out.emplace_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+Result<double> ParseNumber(const std::string& field, size_t line_no) {
+  char* end = nullptr;
+  double v = std::strtod(field.c_str(), &end);
+  if (end == nullptr || *end != '\0' || field.empty()) {
+    return Status::InvalidArgument(StringPrintf(
+        "snapshot: malformed number '%s' on line %zu", field.c_str(),
+        line_no));
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string WriteSnapshot(const relational::Database& db) {
+  const relational::Schema& schema = db.schema();
+  QFIX_CHECK(!HasWhitespace(db.table_name()))
+      << "table name with whitespace: '" << db.table_name() << "'";
+  std::string out = "qfix-snapshot v1\n";
+  out += "table " + (db.table_name().empty() ? "T" : db.table_name()) + "\n";
+  out += "attrs";
+  for (const std::string& name : schema.attr_names()) {
+    QFIX_CHECK(!name.empty() && !HasWhitespace(name))
+        << "attribute name unfit for snapshot: '" << name << "'";
+    out += ' ';
+    out += name;
+  }
+  out += '\n';
+  for (const relational::Tuple& t : db.tuples()) {
+    out += StringPrintf("tuple %lld %s", static_cast<long long>(t.tid),
+                        t.alive ? "alive" : "dead");
+    for (double v : t.values) {
+      out += ' ';
+      out += ExactNumber(v);
+    }
+    out += '\n';
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<relational::Database> ReadSnapshot(std::string_view text) {
+  std::vector<std::string_view> lines;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    lines.push_back(text.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+
+  size_t li = 0;
+  auto next_nonempty = [&]() -> std::string_view {
+    while (li < lines.size() && SplitFields(lines[li]).empty()) ++li;
+    return li < lines.size() ? lines[li++] : std::string_view();
+  };
+
+  std::vector<std::string> header = SplitFields(next_nonempty());
+  if (header.size() != 2 || header[0] != "qfix-snapshot" ||
+      header[1] != "v1") {
+    return Status::InvalidArgument("snapshot: missing 'qfix-snapshot v1' "
+                                   "header");
+  }
+  std::vector<std::string> table_line = SplitFields(next_nonempty());
+  if (table_line.size() != 2 || table_line[0] != "table") {
+    return Status::InvalidArgument("snapshot: missing 'table <name>' line");
+  }
+  std::vector<std::string> attrs_line = SplitFields(next_nonempty());
+  if (attrs_line.size() < 2 || attrs_line[0] != "attrs") {
+    return Status::InvalidArgument("snapshot: missing 'attrs ...' line");
+  }
+  std::vector<std::string> attr_names(attrs_line.begin() + 1,
+                                      attrs_line.end());
+  size_t num_attrs = attr_names.size();
+
+  relational::Database db(relational::Schema(std::move(attr_names)),
+                          table_line[1]);
+  while (true) {
+    std::string_view raw = next_nonempty();
+    std::vector<std::string> fields = SplitFields(raw);
+    if (fields.empty()) {
+      return Status::InvalidArgument("snapshot: missing 'end' line");
+    }
+    if (fields[0] == "end") break;
+    if (fields[0] != "tuple") {
+      return Status::InvalidArgument(StringPrintf(
+          "snapshot: expected 'tuple' or 'end' on line %zu", li));
+    }
+    if (fields.size() != 3 + num_attrs) {
+      return Status::InvalidArgument(StringPrintf(
+          "snapshot: tuple arity %zu, expected %zu values on line %zu",
+          fields.size() - 3, num_attrs, li));
+    }
+    QFIX_ASSIGN_OR_RETURN(double tid_value, ParseNumber(fields[1], li));
+    int64_t tid = static_cast<int64_t>(tid_value);
+    if (tid != static_cast<int64_t>(db.NumSlots())) {
+      return Status::InvalidArgument(StringPrintf(
+          "snapshot: tid %lld out of order on line %zu (expected %zu)",
+          static_cast<long long>(tid), li, db.NumSlots()));
+    }
+    bool alive;
+    if (fields[2] == "alive") {
+      alive = true;
+    } else if (fields[2] == "dead") {
+      alive = false;
+    } else {
+      return Status::InvalidArgument(StringPrintf(
+          "snapshot: liveness '%s' on line %zu is not alive|dead",
+          fields[2].c_str(), li));
+    }
+    std::vector<double> values(num_attrs);
+    for (size_t a = 0; a < num_attrs; ++a) {
+      QFIX_ASSIGN_OR_RETURN(values[a], ParseNumber(fields[3 + a], li));
+    }
+    int64_t slot = db.AddTuple(std::move(values));
+    db.slot(static_cast<size_t>(slot)).alive = alive;
+  }
+  return db;
+}
+
+Status WriteSnapshotFile(const relational::Database& db,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("snapshot: cannot open for writing: " +
+                                   path);
+  }
+  out << WriteSnapshot(db);
+  out.close();
+  if (!out) return Status::InvalidArgument("snapshot: write failed: " + path);
+  return Status::OK();
+}
+
+Result<relational::Database> ReadSnapshotFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("snapshot: cannot open for reading: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadSnapshot(buffer.str());
+}
+
+}  // namespace io
+}  // namespace qfix

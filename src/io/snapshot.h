@@ -1,0 +1,49 @@
+// Checkpoint snapshots of database states.
+//
+// The paper's system model keeps exactly two states, D_0 and D_n, and
+// treats D_0 as a trusted checkpoint ("we cannot diagnose errors before
+// this state", §3.1). This module serializes a relational::Database —
+// including dead tuple slots and their stable tids, which CSV (io/csv.h)
+// cannot represent — so checkpoints survive process restarts and can be
+// shipped alongside a query log for offline diagnosis.
+//
+// Format (line-oriented text, lossless for doubles):
+//   qfix-snapshot v1
+//   table <name>
+//   attrs <a1> <a2> ...
+//   tuple <tid> alive|dead <v1> <v2> ...
+//   ...
+//   end
+#ifndef QFIX_IO_SNAPSHOT_H_
+#define QFIX_IO_SNAPSHOT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "relational/database.h"
+
+namespace qfix {
+namespace io {
+
+/// Renders `db` in the snapshot format. Attribute and table names must
+/// be whitespace-free (they are in every workload this library builds);
+/// violations trip a QFIX_CHECK.
+std::string WriteSnapshot(const relational::Database& db);
+
+/// Parses a snapshot document back into a Database. Tids must be the
+/// dense slot indexes the executor maintains (0..n-1 in order); anything
+/// else is a corrupted snapshot and returns InvalidArgument.
+Result<relational::Database> ReadSnapshot(std::string_view text);
+
+/// Writes `db` to `path`; returns InvalidArgument on IO failure.
+Status WriteSnapshotFile(const relational::Database& db,
+                         const std::string& path);
+
+/// Reads a snapshot file; NotFound if the file cannot be opened.
+Result<relational::Database> ReadSnapshotFile(const std::string& path);
+
+}  // namespace io
+}  // namespace qfix
+
+#endif  // QFIX_IO_SNAPSHOT_H_

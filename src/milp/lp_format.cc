@@ -1,0 +1,844 @@
+#include "milp/lp_format.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace qfix {
+namespace milp {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+// True if `c` is allowed anywhere in an LP-format identifier. We restrict
+// to the conservative subset every LP reader accepts.
+bool IsLpNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// LP-format reserved words (section headers and the `free` bound
+// keyword), lower-cased. Variables must not collide with these: the
+// format is newline-insensitive, so a variable named "end" would
+// terminate the file mid-expression.
+bool IsReservedWord(const std::string& lower) {
+  static const char* const kReserved[] = {
+      "minimize", "minimum", "min", "maximize", "maximum", "max",
+      "subject",  "such",    "to",  "that",     "st",      "bounds",
+      "bound",    "binaries", "binary", "bin",  "generals", "general",
+      "gen",      "integers", "integer", "int", "end",      "free",
+      "inf",      "infinity",
+  };
+  for (const char* word : kReserved) {
+    if (lower == word) return true;
+  }
+  return false;
+}
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+// True if `name` can be used verbatim: non-empty, allowed charset, does
+// not start with a digit or '.', and does not look like the start of a
+// number in scientific notation ("e12", "E3.5").
+bool IsValidLpName(const std::string& name) {
+  if (name.empty()) return false;
+  char first = name[0];
+  if (std::isdigit(static_cast<unsigned char>(first)) != 0 || first == '.') {
+    return false;
+  }
+  for (char c : name) {
+    if (!IsLpNameChar(c)) return false;
+  }
+  if ((first == 'e' || first == 'E') && name.size() > 1 &&
+      (std::isdigit(static_cast<unsigned char>(name[1])) != 0 ||
+       name[1] == '.')) {
+    return false;
+  }
+  return !IsReservedWord(ToLower(name));
+}
+
+// Maps every model variable to a unique LP-safe name.
+std::vector<std::string> SanitizeNames(const Model& model, bool* any_renamed) {
+  std::vector<std::string> out(model.NumVars());
+  std::unordered_set<std::string> used;
+  *any_renamed = false;
+  for (VarId v = 0; v < model.NumVars(); ++v) {
+    std::string candidate = model.name(v);
+    for (char& c : candidate) {
+      if (!IsLpNameChar(c)) c = '_';
+    }
+    if (!IsValidLpName(candidate)) candidate = "v_" + candidate;
+    if (!IsValidLpName(candidate) || used.count(candidate) > 0) {
+      candidate = StringPrintf("v%d", v);
+    }
+    // v%d can still collide with a user name that happens to be "v7";
+    // append the id until unique (terminates: ids are unique).
+    while (used.count(candidate) > 0) {
+      candidate += StringPrintf("_%d", v);
+    }
+    if (candidate != model.name(v)) *any_renamed = true;
+    used.insert(candidate);
+    out[v] = std::move(candidate);
+  }
+  return out;
+}
+
+// Formats a coefficient/bound so it round-trips through the reader.
+std::string LpNumber(double v) {
+  if (v == kInf) return "inf";
+  if (v == -kInf) return "-inf";
+  // %.17g is lossless for doubles; trim when a shorter form suffices.
+  char shortest[64];
+  std::snprintf(shortest, sizeof(shortest), "%.15g", v);
+  if (std::strtod(shortest, nullptr) == v) return shortest;
+  char exact[64];
+  std::snprintf(exact, sizeof(exact), "%.17g", v);
+  return exact;
+}
+
+// Appends "<sign> <coeff> <name>" to the current expression line, wrapping
+// when the line grows past `wrap`.
+class ExprWriter {
+ public:
+  ExprWriter(std::string* out, size_t wrap) : out_(out), wrap_(wrap) {}
+
+  void Term(double coeff, const std::string& name) {
+    std::string piece;
+    double mag = std::fabs(coeff);
+    piece += coeff < 0 ? "- " : (first_ ? "" : "+ ");
+    if (mag != 1.0) {
+      piece += LpNumber(mag);
+      piece += ' ';
+    }
+    piece += name;
+    Append(piece);
+  }
+
+  void Constant(double value) {
+    if (value == 0.0) return;
+    std::string piece = value < 0 ? "- " : (first_ ? "" : "+ ");
+    piece += LpNumber(std::fabs(value));
+    Append(piece);
+  }
+
+  // Emits "0" for empty expressions (LP rows must not be blank).
+  void FinishExpr() {
+    if (first_) Append("0");
+  }
+
+ private:
+  void Append(const std::string& piece) {
+    if (!first_ && column_ + piece.size() + 1 > wrap_) {
+      *out_ += "\n   ";
+      column_ = 3;
+    } else if (!first_) {
+      *out_ += ' ';
+      ++column_;
+    }
+    *out_ += piece;
+    column_ += piece.size();
+    first_ = false;
+  }
+
+  std::string* out_;
+  size_t wrap_;
+  size_t column_ = 0;
+  bool first_ = true;
+};
+
+const char* SenseToLp(Sense s) {
+  switch (s) {
+    case Sense::kLe:
+      return "<=";
+    case Sense::kGe:
+      return ">=";
+    case Sense::kEq:
+      return "=";
+  }
+  return "<=";
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+enum class TokKind { kName, kNumber, kOp, kColon, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // kName / kOp
+  double number = 0;  // kNumber
+  size_t line = 0;    // 1-based, for diagnostics
+};
+
+// Splits LP text into tokens, dropping comments ('\' to end of line).
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<Token> Next() {
+    SkipWhitespaceAndComments();
+    Token t;
+    t.line = line_;
+    if (pos_ >= text_.size()) {
+      t.kind = TokKind::kEnd;
+      return t;
+    }
+    char c = text_[pos_];
+    if (c == ':') {
+      ++pos_;
+      t.kind = TokKind::kColon;
+      return t;
+    }
+    if (c == '<' || c == '>' || c == '=') {
+      ++pos_;
+      if (pos_ < text_.size() && text_[pos_] == '=') ++pos_;
+      t.kind = TokKind::kOp;
+      t.text = (c == '=') ? "=" : std::string(1, c) + "=";
+      return t;
+    }
+    if (c == '+' || c == '-') {
+      ++pos_;
+      t.kind = TokKind::kOp;
+      t.text = std::string(1, c);
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '.') {
+      return LexNumber();
+    }
+    if (IsLpNameChar(c)) {
+      size_t start = pos_;
+      while (pos_ < text_.size() && IsLpNameChar(text_[pos_])) ++pos_;
+      t.text = std::string(text_.substr(start, pos_ - start));
+      // "inf"/"infinity" are numeric literals in bounds sections.
+      std::string lower = Lower(t.text);
+      if (lower == "inf" || lower == "infinity") {
+        t.kind = TokKind::kNumber;
+        t.number = kInf;
+        return t;
+      }
+      t.kind = TokKind::kName;
+      return t;
+    }
+    return Status::InvalidArgument(StringPrintf(
+        "lp: unexpected character '%c' on line %zu", c, line_));
+  }
+
+  static std::string Lower(std::string s) {
+    for (char& c : s) c = static_cast<char>(std::tolower(
+        static_cast<unsigned char>(c)));
+    return s;
+  }
+
+ private:
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '\\') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Result<Token> LexNumber() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.')) {
+      ++pos_;
+    }
+    // Optional exponent.
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      size_t mark = pos_;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ < text_.size() &&
+          std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+          ++pos_;
+        }
+      } else {
+        pos_ = mark;  // 'e' belongs to a following name, not the number
+      }
+    }
+    Token t;
+    t.kind = TokKind::kNumber;
+    t.line = line_;
+    std::string digits(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    t.number = std::strtod(digits.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument(StringPrintf(
+          "lp: malformed number '%s' on line %zu", digits.c_str(), line_));
+    }
+    return t;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+// Variable facts accumulated while parsing; the Model is built at the end
+// because Model fixes type and bounds at AddVariable time.
+struct VarDraft {
+  std::string name;
+  double lb = 0.0;    // LP default bounds: [0, +inf)
+  double ub = kInf;
+  bool lb_explicit = false;
+  bool ub_explicit = false;
+  VarType type = VarType::kContinuous;
+};
+
+struct ConstraintDraft {
+  LinearTerms terms;
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+};
+
+enum class Section {
+  kObjective,
+  kConstraints,
+  kBounds,
+  kBinaries,
+  kGenerals,
+  kDone,
+};
+
+// Recursive-descent parser over the token stream.
+class LpParser {
+ public:
+  explicit LpParser(std::string_view text) : lexer_(text) {}
+
+  Result<Model> Parse() {
+    QFIX_RETURN_IF_ERROR(Advance());
+    QFIX_RETURN_IF_ERROR(ParseObjectiveHeader());
+    QFIX_RETURN_IF_ERROR(ParseObjective());
+    while (section_ != Section::kDone) {
+      switch (section_) {
+        case Section::kConstraints:
+          QFIX_RETURN_IF_ERROR(ParseConstraints());
+          break;
+        case Section::kBounds:
+          QFIX_RETURN_IF_ERROR(ParseBounds());
+          break;
+        case Section::kBinaries:
+          QFIX_RETURN_IF_ERROR(ParseIntegralitySection(VarType::kBinary));
+          break;
+        case Section::kGenerals:
+          QFIX_RETURN_IF_ERROR(ParseIntegralitySection(VarType::kInteger));
+          break;
+        case Section::kObjective:
+        case Section::kDone:
+          return Status::Internal("lp: parser section out of order");
+      }
+    }
+    return Build();
+  }
+
+ private:
+  Status Advance() {
+    QFIX_ASSIGN_OR_RETURN(cur_, lexer_.Next());
+    return Status::OK();
+  }
+
+  bool AtName() const { return cur_.kind == TokKind::kName; }
+
+  // A name token usable as a variable (not an LP reserved word). Keyword
+  // handling cannot rely on line breaks: the format is newline-agnostic.
+  bool AtVarName() const {
+    return cur_.kind == TokKind::kName &&
+           !IsReservedWord(Lexer::Lower(cur_.text));
+  }
+
+  // Recognizes a section keyword at the current token (possibly the
+  // two-word "subject to"). Leaves cur_ on the first token after the
+  // header and updates section_. Returns false if not a header.
+  Result<bool> ConsumeSectionHeader() {
+    if (cur_.kind != TokKind::kName) return false;
+    std::string kw = Lexer::Lower(cur_.text);
+    if (kw == "subject" || kw == "such") {
+      QFIX_RETURN_IF_ERROR(Advance());
+      if (cur_.kind != TokKind::kName ||
+          Lexer::Lower(cur_.text) != (kw == "subject" ? "to" : "that")) {
+        return Status::InvalidArgument(StringPrintf(
+            "lp: dangling '%s' on line %zu", kw.c_str(), cur_.line));
+      }
+      QFIX_RETURN_IF_ERROR(Advance());
+      section_ = Section::kConstraints;
+      return true;
+    }
+    if (kw == "st") {
+      QFIX_RETURN_IF_ERROR(Advance());
+      section_ = Section::kConstraints;
+      return true;
+    }
+    if (kw == "bounds" || kw == "bound") {
+      QFIX_RETURN_IF_ERROR(Advance());
+      section_ = Section::kBounds;
+      return true;
+    }
+    if (kw == "binaries" || kw == "binary" || kw == "bin") {
+      QFIX_RETURN_IF_ERROR(Advance());
+      section_ = Section::kBinaries;
+      return true;
+    }
+    if (kw == "generals" || kw == "general" || kw == "gen" ||
+        kw == "integers" || kw == "integer" || kw == "int") {
+      QFIX_RETURN_IF_ERROR(Advance());
+      section_ = Section::kGenerals;
+      return true;
+    }
+    if (kw == "end") {
+      QFIX_RETURN_IF_ERROR(Advance());
+      section_ = Section::kDone;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseObjectiveHeader() {
+    if (cur_.kind != TokKind::kName) {
+      return Status::InvalidArgument("lp: file must start with an "
+                                     "objective sense keyword");
+    }
+    std::string kw = Lexer::Lower(cur_.text);
+    if (kw == "minimize" || kw == "minimum" || kw == "min") {
+      maximize_ = false;
+    } else if (kw == "maximize" || kw == "maximum" || kw == "max") {
+      maximize_ = true;
+    } else {
+      return Status::InvalidArgument(StringPrintf(
+          "lp: expected Minimize/Maximize, got '%s' on line %zu",
+          cur_.text.c_str(), cur_.line));
+    }
+    section_ = Section::kObjective;
+    return Advance();
+  }
+
+  // Parses "[name :] expr" up to the next section header.
+  Status ParseObjective() {
+    QFIX_RETURN_IF_ERROR(MaybeConsumeRowLabel(&objective_terms_));
+    while (true) {
+      QFIX_ASSIGN_OR_RETURN(bool header, ConsumeSectionHeader());
+      if (header) return Status::OK();
+      if (cur_.kind == TokKind::kEnd) {
+        return Status::InvalidArgument("lp: missing End keyword");
+      }
+      QFIX_RETURN_IF_ERROR(ParseOneExprPiece(&objective_terms_,
+                                             &objective_constant_));
+    }
+  }
+
+  Status ParseConstraints() {
+    while (true) {
+      QFIX_ASSIGN_OR_RETURN(bool header, ConsumeSectionHeader());
+      if (header) return Status::OK();
+      if (cur_.kind == TokKind::kEnd) {
+        return Status::InvalidArgument("lp: missing End keyword");
+      }
+      QFIX_RETURN_IF_ERROR(ParseOneConstraint());
+    }
+  }
+
+  // One constraint: "[name :] expr sense number".
+  Status ParseOneConstraint() {
+    ConstraintDraft draft;
+    QFIX_RETURN_IF_ERROR(MaybeConsumeRowLabel(&draft.terms));
+    double lhs_constant = 0.0;
+    while (cur_.kind != TokKind::kOp ||
+           (cur_.text != "<=" && cur_.text != ">=" && cur_.text != "=")) {
+      if (cur_.kind == TokKind::kEnd) {
+        return Status::InvalidArgument(StringPrintf(
+            "lp: constraint without relational operator near line %zu",
+            cur_.line));
+      }
+      QFIX_RETURN_IF_ERROR(ParseOneExprPiece(&draft.terms, &lhs_constant));
+    }
+    draft.sense = cur_.text == "<=" ? Sense::kLe
+                  : cur_.text == ">=" ? Sense::kGe
+                                      : Sense::kEq;
+    QFIX_RETURN_IF_ERROR(Advance());
+    QFIX_ASSIGN_OR_RETURN(double rhs, ParseSignedNumber());
+    draft.rhs = rhs - lhs_constant;
+    constraints_.push_back(std::move(draft));
+    return Status::OK();
+  }
+
+  // "[+|-] [number] name" or "[+|-] number": one additive piece of a
+  // linear expression. Accumulates into terms/constant.
+  Status ParseOneExprPiece(LinearTerms* terms, double* constant) {
+    double sign = 1.0;
+    while (cur_.kind == TokKind::kOp &&
+           (cur_.text == "+" || cur_.text == "-")) {
+      if (cur_.text == "-") sign = -sign;
+      QFIX_RETURN_IF_ERROR(Advance());
+    }
+    if (cur_.kind == TokKind::kNumber) {
+      double value = cur_.number;
+      QFIX_RETURN_IF_ERROR(Advance());
+      if (AtVarName()) {
+        VarId v = InternVariable(cur_.text);
+        terms->push_back({v, sign * value});
+        return Advance();
+      }
+      *constant += sign * value;
+      return Status::OK();
+    }
+    if (AtVarName()) {
+      VarId v = InternVariable(cur_.text);
+      terms->push_back({v, sign});
+      return Advance();
+    }
+    return Status::InvalidArgument(StringPrintf(
+        "lp: expected term on line %zu", cur_.line));
+  }
+
+  Result<double> ParseSignedNumber() {
+    double sign = 1.0;
+    while (cur_.kind == TokKind::kOp &&
+           (cur_.text == "+" || cur_.text == "-")) {
+      if (cur_.text == "-") sign = -sign;
+      QFIX_RETURN_IF_ERROR(Advance());
+    }
+    if (cur_.kind != TokKind::kNumber) {
+      return Status::InvalidArgument(StringPrintf(
+          "lp: expected number on line %zu", cur_.line));
+    }
+    double v = sign * cur_.number;
+    QFIX_RETURN_IF_ERROR(Advance());
+    return v;
+  }
+
+  // Bounds lines come in several shapes; dispatch on the lookahead.
+  Status ParseBounds() {
+    while (true) {
+      QFIX_ASSIGN_OR_RETURN(bool header, ConsumeSectionHeader());
+      if (header) return Status::OK();
+      if (cur_.kind == TokKind::kEnd) {
+        return Status::InvalidArgument("lp: missing End keyword");
+      }
+      QFIX_RETURN_IF_ERROR(ParseOneBound());
+    }
+  }
+
+  Status ParseOneBound() {
+    // Shape A: "number <= name [<= number]".
+    if (cur_.kind == TokKind::kNumber || cur_.kind == TokKind::kOp) {
+      QFIX_ASSIGN_OR_RETURN(double lo, ParseSignedNumber());
+      QFIX_RETURN_IF_ERROR(ExpectOp("<="));
+      QFIX_RETURN_IF_ERROR(ExpectNameNext());
+      VarId v = InternVariable(cur_.text);
+      QFIX_RETURN_IF_ERROR(Advance());
+      SetLower(v, lo);
+      if (cur_.kind == TokKind::kOp && cur_.text == "<=") {
+        QFIX_RETURN_IF_ERROR(Advance());
+        QFIX_ASSIGN_OR_RETURN(double hi, ParseSignedNumber());
+        SetUpper(v, hi);
+      }
+      return Status::OK();
+    }
+    // Shape B: "name free" | "name <= n" | "name >= n" | "name = n".
+    QFIX_RETURN_IF_ERROR(ExpectNameNext());
+    std::string name = cur_.text;
+    QFIX_RETURN_IF_ERROR(Advance());
+    if (AtName() && Lexer::Lower(cur_.text) == "free") {
+      VarId v = InternVariable(name);
+      SetLower(v, -kInf);
+      SetUpper(v, kInf);
+      return Advance();
+    }
+    if (cur_.kind != TokKind::kOp) {
+      return Status::InvalidArgument(StringPrintf(
+          "lp: malformed bound for '%s' on line %zu", name.c_str(),
+          cur_.line));
+    }
+    std::string op = cur_.text;
+    QFIX_RETURN_IF_ERROR(Advance());
+    QFIX_ASSIGN_OR_RETURN(double value, ParseSignedNumber());
+    VarId v = InternVariable(name);
+    if (op == "<=") {
+      SetUpper(v, value);
+    } else if (op == ">=") {
+      SetLower(v, value);
+    } else if (op == "=") {
+      SetLower(v, value);
+      SetUpper(v, value);
+    } else {
+      return Status::InvalidArgument(StringPrintf(
+          "lp: unexpected operator '%s' in bounds on line %zu", op.c_str(),
+          cur_.line));
+    }
+    return Status::OK();
+  }
+
+  Status ParseIntegralitySection(VarType type) {
+    while (true) {
+      QFIX_ASSIGN_OR_RETURN(bool header, ConsumeSectionHeader());
+      if (header) return Status::OK();
+      if (cur_.kind == TokKind::kEnd) {
+        return Status::InvalidArgument("lp: missing End keyword");
+      }
+      if (!AtName()) {
+        return Status::InvalidArgument(StringPrintf(
+            "lp: expected variable name on line %zu", cur_.line));
+      }
+      VarId v = InternVariable(cur_.text);
+      vars_[v].type = type;
+      QFIX_RETURN_IF_ERROR(Advance());
+    }
+  }
+
+  // Consumes "name :" if present (row labels are optional in LP files).
+  // A name *not* followed by ':' was actually the row's first term
+  // (implicit coefficient 1) and is pushed into `terms` directly.
+  Status MaybeConsumeRowLabel(LinearTerms* terms) {
+    if (!AtName()) return Status::OK();
+    std::string name = cur_.text;
+    QFIX_RETURN_IF_ERROR(Advance());
+    if (cur_.kind == TokKind::kColon) {
+      return Advance();  // drop the label
+    }
+    terms->push_back({InternVariable(name), 1.0});
+    return Status::OK();
+  }
+
+  Status ExpectOp(const char* op) {
+    if (cur_.kind != TokKind::kOp || cur_.text != op) {
+      return Status::InvalidArgument(StringPrintf(
+          "lp: expected '%s' on line %zu", op, cur_.line));
+    }
+    return Advance();
+  }
+
+  Status ExpectNameNext() {
+    if (!AtName()) {
+      return Status::InvalidArgument(StringPrintf(
+          "lp: expected variable name on line %zu", cur_.line));
+    }
+    return Status::OK();
+  }
+
+  VarId InternVariable(const std::string& name) {
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+    VarId id = static_cast<VarId>(vars_.size());
+    index_.emplace(name, id);
+    VarDraft draft;
+    draft.name = name;
+    vars_.push_back(std::move(draft));
+    return id;
+  }
+
+  void SetLower(VarId v, double value) {
+    vars_[v].lb = value;
+    vars_[v].lb_explicit = true;
+  }
+  void SetUpper(VarId v, double value) {
+    vars_[v].ub = value;
+    vars_[v].ub_explicit = true;
+  }
+
+  Result<Model> Build() {
+    Model model;
+    for (VarDraft& draft : vars_) {
+      double lb = draft.lb;
+      double ub = draft.ub;
+      if (draft.type == VarType::kBinary) {
+        // Explicit bounds shrink the binary [0,1] box; defaults do not.
+        lb = draft.lb_explicit ? std::max(lb, 0.0) : 0.0;
+        ub = draft.ub_explicit ? std::min(ub, 1.0) : 1.0;
+      }
+      if (lb > ub) {
+        return Status::InvalidArgument(StringPrintf(
+            "lp: variable '%s' has empty bound interval [%g, %g]",
+            draft.name.c_str(), lb, ub));
+      }
+      model.AddVariable(draft.type, lb, ub, std::move(draft.name));
+    }
+    for (ConstraintDraft& c : constraints_) {
+      model.AddConstraint(std::move(c.terms), c.sense, c.rhs);
+    }
+    double sign = maximize_ ? -1.0 : 1.0;
+    for (const Term& t : objective_terms_) {
+      model.AddObjectiveTerm(t.var, sign * t.coeff);
+    }
+    model.AddObjectiveConstant(sign * objective_constant_);
+    QFIX_RETURN_IF_ERROR(model.Validate());
+    return model;
+  }
+
+  Lexer lexer_;
+  Token cur_;
+  Section section_ = Section::kObjective;
+  bool maximize_ = false;
+
+  std::vector<VarDraft> vars_;
+  std::unordered_map<std::string, VarId> index_;
+  LinearTerms objective_terms_;
+  double objective_constant_ = 0.0;
+  std::vector<ConstraintDraft> constraints_;
+};
+
+}  // namespace
+
+std::string WriteLpFormat(const Model& model, const LpWriteOptions& options) {
+  bool any_renamed = false;
+  std::vector<std::string> names = SanitizeNames(model, &any_renamed);
+
+  std::string out;
+  out += "\\ QFix MILP export: ";
+  out += StringPrintf("%d vars, %d constraints, %d integer\n",
+                      model.NumVars(), model.NumConstraints(),
+                      model.NumIntegerVars());
+  if (any_renamed && options.comment_renames) {
+    for (VarId v = 0; v < model.NumVars(); ++v) {
+      if (names[v] != model.name(v)) {
+        out += "\\ ";
+        out += names[v];
+        out += " := ";
+        out += model.name(v);
+        out += '\n';
+      }
+    }
+  }
+
+  out += "Minimize\n ";
+  out += options.objective_name;
+  out += ": ";
+  {
+    ExprWriter expr(&out, options.wrap_column);
+    const std::vector<double>& obj = model.objective();
+    for (VarId v = 0; v < model.NumVars(); ++v) {
+      if (obj[v] != 0.0) expr.Term(obj[v], names[v]);
+    }
+    expr.Constant(model.objective_constant());
+    expr.FinishExpr();
+  }
+  out += "\nSubject To\n";
+  for (int32_t i = 0; i < model.NumConstraints(); ++i) {
+    const Constraint& c = model.constraint(i);
+    out += ' ';
+    out += options.constraint_prefix;
+    out += StringPrintf("%d: ", i);
+    ExprWriter expr(&out, options.wrap_column);
+    for (const Term& t : c.terms) expr.Term(t.coeff, names[t.var]);
+    expr.FinishExpr();
+    out += ' ';
+    out += SenseToLp(c.sense);
+    out += ' ';
+    out += LpNumber(c.rhs);
+    out += '\n';
+  }
+
+  // Every variable gets explicit bounds: the LP default ([0, inf)) does
+  // not match arbitrary models, and explicit bounds make the file
+  // self-describing.
+  out += "Bounds\n";
+  for (VarId v = 0; v < model.NumVars(); ++v) {
+    double lb = model.lb(v);
+    double ub = model.ub(v);
+    out += ' ';
+    if (lb == -kInf && ub == kInf) {
+      out += names[v];
+      out += " free";
+    } else if (lb == ub) {
+      out += names[v];
+      out += " = ";
+      out += LpNumber(lb);
+    } else {
+      out += LpNumber(lb);
+      out += " <= ";
+      out += names[v];
+      out += " <= ";
+      out += LpNumber(ub);
+    }
+    out += '\n';
+  }
+
+  bool have_binary = false;
+  bool have_integer = false;
+  for (VarId v = 0; v < model.NumVars(); ++v) {
+    have_binary |= model.type(v) == VarType::kBinary;
+    have_integer |= model.type(v) == VarType::kInteger;
+  }
+  if (have_binary) {
+    out += "Binaries\n";
+    for (VarId v = 0; v < model.NumVars(); ++v) {
+      if (model.type(v) == VarType::kBinary) {
+        out += ' ';
+        out += names[v];
+        out += '\n';
+      }
+    }
+  }
+  if (have_integer) {
+    out += "Generals\n";
+    for (VarId v = 0; v < model.NumVars(); ++v) {
+      if (model.type(v) == VarType::kInteger) {
+        out += ' ';
+        out += names[v];
+        out += '\n';
+      }
+    }
+  }
+  out += "End\n";
+  return out;
+}
+
+Result<Model> ReadLpFormat(std::string_view text) {
+  LpParser parser(text);
+  return parser.Parse();
+}
+
+Status WriteLpFile(const Model& model, const std::string& path,
+                   const LpWriteOptions& options) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("lp: cannot open for writing: " + path);
+  }
+  out << WriteLpFormat(model, options);
+  out.close();
+  if (!out) {
+    return Status::InvalidArgument("lp: write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Model> ReadLpFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("lp: cannot open for reading: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadLpFormat(buffer.str());
+}
+
+}  // namespace milp
+}  // namespace qfix

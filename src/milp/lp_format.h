@@ -1,0 +1,61 @@
+// CPLEX LP text format export/import for MILP models.
+//
+// The paper hands its encodings to IBM CPLEX; this module writes our
+// milp::Model in the solver-neutral LP file format (accepted by CPLEX,
+// Gurobi, SCIP, CBC, HiGHS, ...) so users can cross-check QFix encodings
+// against a commercial solver, and reads LP files back for testing and
+// for driving the built-in solver on externally produced instances.
+//
+// Coverage: minimization and maximization (maximization is folded into
+// the minimization form our Model stores), <=/>=/= constraints, explicit
+// variable bounds including free/infinite ones, Binaries and Generals
+// sections, and an objective constant. Semi-continuous variables, SOS
+// sections, and ranged rows are not part of Model and are rejected.
+#ifndef QFIX_MILP_LP_FORMAT_H_
+#define QFIX_MILP_LP_FORMAT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "milp/model.h"
+
+namespace qfix {
+namespace milp {
+
+struct LpWriteOptions {
+  /// Name written on the objective row.
+  std::string objective_name = "obj";
+  /// Prefix for constraint row names (row i becomes "<prefix><i>").
+  std::string constraint_prefix = "c";
+  /// Wrap expression lines at roughly this many characters. The LP
+  /// format caps physical lines at 510 characters; we stay far below.
+  size_t wrap_column = 72;
+  /// Emit the original variable names as a comment header when they had
+  /// to be sanitized (LP names cannot contain '[', ' ', ...).
+  bool comment_renames = true;
+};
+
+/// Renders `model` in LP format. Variable names are sanitized to the LP
+/// charset and deduplicated; the mapping is emitted as comments.
+std::string WriteLpFormat(const Model& model,
+                          const LpWriteOptions& options = LpWriteOptions());
+
+/// Parses an LP-format document into a Model. Variables appear in the
+/// returned model in order of first mention. Maximization objectives are
+/// negated into minimization form (Model is minimize-only); the negation
+/// is reflected in objective coefficients and constant.
+Result<Model> ReadLpFormat(std::string_view text);
+
+/// Writes `model` to `path` in LP format. Returns an IO failure as
+/// InvalidArgument (no dedicated IO code in StatusCode).
+Status WriteLpFile(const Model& model, const std::string& path,
+                   const LpWriteOptions& options = LpWriteOptions());
+
+/// Reads an LP-format file from disk.
+Result<Model> ReadLpFile(const std::string& path);
+
+}  // namespace milp
+}  // namespace qfix
+
+#endif  // QFIX_MILP_LP_FORMAT_H_

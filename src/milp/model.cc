@@ -1,0 +1,122 @@
+#include "milp/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qfix {
+namespace milp {
+
+VarId Model::AddVariable(VarType type, double lb, double ub,
+                         std::string name) {
+  QFIX_CHECK(lb <= ub) << "variable '" << name << "' has lb " << lb
+                       << " > ub " << ub;
+  types_.push_back(type);
+  lb_.push_back(lb);
+  ub_.push_back(ub);
+  names_.push_back(std::move(name));
+  objective_.push_back(0.0);
+  if (type != VarType::kContinuous) ++num_integer_vars_;
+  return static_cast<VarId>(types_.size() - 1);
+}
+
+void Model::AddConstraint(LinearTerms terms, Sense sense, double rhs) {
+  // Merge duplicate variables so downstream code can assume distinctness.
+  std::sort(terms.begin(), terms.end(),
+            [](const Term& a, const Term& b) { return a.var < b.var; });
+  LinearTerms merged;
+  merged.reserve(terms.size());
+  for (const Term& t : terms) {
+    QFIX_CHECK(t.var >= 0 && t.var < NumVars())
+        << "constraint references unknown var " << t.var;
+    if (!merged.empty() && merged.back().var == t.var) {
+      merged.back().coeff += t.coeff;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  // Drop exact-zero coefficients produced by cancellation.
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const Term& t) { return t.coeff == 0.0; }),
+               merged.end());
+  constraints_.push_back(Constraint{std::move(merged), sense, rhs});
+}
+
+void Model::AddObjectiveTerm(VarId var, double coeff) {
+  QFIX_CHECK(var >= 0 && var < NumVars());
+  objective_[var] += coeff;
+}
+
+Status Model::Validate() const {
+  for (VarId v = 0; v < NumVars(); ++v) {
+    if (std::isnan(lb_[v]) || std::isnan(ub_[v])) {
+      return Status::InvalidArgument("NaN bound on variable " + names_[v]);
+    }
+    if (lb_[v] > ub_[v]) {
+      return Status::InvalidArgument("crossed bounds on " + names_[v]);
+    }
+    if (types_[v] == VarType::kBinary && (lb_[v] < 0.0 || ub_[v] > 1.0)) {
+      return Status::InvalidArgument("binary out of [0,1]: " + names_[v]);
+    }
+    if (!std::isfinite(objective_[v])) {
+      return Status::InvalidArgument("non-finite objective coeff on " +
+                                     names_[v]);
+    }
+  }
+  for (const Constraint& c : constraints_) {
+    if (!std::isfinite(c.rhs)) {
+      return Status::InvalidArgument("non-finite constraint rhs");
+    }
+    for (const Term& t : c.terms) {
+      if (!std::isfinite(t.coeff)) {
+        return Status::InvalidArgument("non-finite coefficient");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double Model::EvalObjective(const std::vector<double>& x) const {
+  QFIX_CHECK(x.size() == objective_.size());
+  double obj = objective_constant_;
+  for (size_t i = 0; i < x.size(); ++i) obj += objective_[i] * x[i];
+  return obj;
+}
+
+bool Model::IsFeasible(const std::vector<double>& x, double tol) const {
+  if (x.size() != static_cast<size_t>(NumVars())) return false;
+  for (VarId v = 0; v < NumVars(); ++v) {
+    if (x[v] < lb_[v] - tol || x[v] > ub_[v] + tol) return false;
+    if (types_[v] != VarType::kContinuous &&
+        std::fabs(x[v] - std::round(x[v])) > tol) {
+      return false;
+    }
+  }
+  for (const Constraint& c : constraints_) {
+    double lhs = 0.0;
+    for (const Term& t : c.terms) lhs += t.coeff * x[t.var];
+    // Scale the tolerance with the row magnitude so big-M rows do not
+    // spuriously fail on accumulated rounding — but cap the scaling so
+    // that a huge big-M coefficient cannot mask a genuine violation.
+    double scale = std::max(1.0, std::fabs(c.rhs));
+    for (const Term& t : c.terms) {
+      scale = std::max(scale, std::fabs(t.coeff * x[t.var]));
+    }
+    scale = std::min(scale, 1e6);
+    double slack = lhs - c.rhs;
+    switch (c.sense) {
+      case Sense::kLe:
+        if (slack > tol * scale) return false;
+        break;
+      case Sense::kGe:
+        if (slack < -tol * scale) return false;
+        break;
+      case Sense::kEq:
+        if (std::fabs(slack) > tol * scale) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace milp
+}  // namespace qfix

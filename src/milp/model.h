@@ -1,0 +1,138 @@
+// Mixed-integer linear program model.
+//
+// This is the interface the QFix encoder targets (the role CPLEX's model
+// API plays in the paper). A Model owns variables (continuous / binary /
+// general integer, each with bounds), sparse linear constraints, and a
+// linear minimization objective.
+#ifndef QFIX_MILP_MODEL_H_
+#define QFIX_MILP_MODEL_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace qfix {
+namespace milp {
+
+/// Identifies a variable within its Model (dense index).
+using VarId = int32_t;
+
+/// Positive infinity used for unbounded variable bounds.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class VarType { kContinuous, kBinary, kInteger };
+
+enum class Sense { kLe, kGe, kEq };
+
+/// One term of a linear expression: coeff * var.
+struct Term {
+  VarId var;
+  double coeff;
+};
+
+/// A sparse linear expression sum_i coeff_i * var_i.
+using LinearTerms = std::vector<Term>;
+
+/// A linear constraint: terms <sense> rhs.
+struct Constraint {
+  LinearTerms terms;
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+};
+
+/// Lower/upper bound vectors for all variables of a model; the unit that
+/// presolve tightens and branch & bound copies per node.
+struct Domains {
+  std::vector<double> lb;
+  std::vector<double> ub;
+
+  bool Empty() const { return lb.empty(); }
+  size_t size() const { return lb.size(); }
+
+  /// True if variable v is fixed (lb == ub).
+  bool Fixed(VarId v) const { return lb[v] == ub[v]; }
+};
+
+/// A mixed-integer linear program under minimization.
+class Model {
+ public:
+  Model() = default;
+
+  /// Adds a variable and returns its id. `name` is kept for diagnostics
+  /// and for mapping solutions back to query parameters.
+  VarId AddVariable(VarType type, double lb, double ub, std::string name);
+
+  /// Shorthand for a [0, 1] binary variable.
+  VarId AddBinary(std::string name) {
+    return AddVariable(VarType::kBinary, 0.0, 1.0, std::move(name));
+  }
+  /// Shorthand for a bounded continuous variable.
+  VarId AddContinuous(double lb, double ub, std::string name) {
+    return AddVariable(VarType::kContinuous, lb, ub, std::move(name));
+  }
+
+  /// Adds `terms <sense> rhs`; terms with duplicate vars are merged.
+  void AddConstraint(LinearTerms terms, Sense sense, double rhs);
+
+  /// Adds `coeff * var` to the objective (minimization).
+  void AddObjectiveTerm(VarId var, double coeff);
+
+  /// Adds a constant to the objective value.
+  void AddObjectiveConstant(double c) { objective_constant_ += c; }
+
+  /// Fixes a variable to a constant value by collapsing its bounds.
+  void FixVariable(VarId var, double value) {
+    QFIX_CHECK(var >= 0 && var < NumVars());
+    lb_[var] = value;
+    ub_[var] = value;
+  }
+
+  int32_t NumVars() const { return static_cast<int32_t>(lb_.size()); }
+  int32_t NumConstraints() const {
+    return static_cast<int32_t>(constraints_.size());
+  }
+  /// Number of binary/integer variables (drives solver difficulty).
+  int32_t NumIntegerVars() const { return num_integer_vars_; }
+
+  VarType type(VarId v) const { return types_[v]; }
+  double lb(VarId v) const { return lb_[v]; }
+  double ub(VarId v) const { return ub_[v]; }
+  const std::string& name(VarId v) const { return names_[v]; }
+  const Constraint& constraint(int32_t i) const { return constraints_[i]; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+  const std::vector<double>& objective() const { return objective_; }
+  double objective_constant() const { return objective_constant_; }
+
+  /// Snapshot of the variable bounds, the starting point for presolve.
+  Domains InitialDomains() const { return Domains{lb_, ub_}; }
+
+  /// Checks structural sanity (finite coefficients, bounds ordered,
+  /// binaries within [0,1]). Returns InvalidArgument on violation.
+  Status Validate() const;
+
+  /// Evaluates the objective at a full assignment.
+  double EvalObjective(const std::vector<double>& x) const;
+
+  /// True if `x` satisfies all constraints and bounds within `tol`, with
+  /// integer variables within `tol` of an integer.
+  bool IsFeasible(const std::vector<double>& x, double tol) const;
+
+ private:
+  std::vector<VarType> types_;
+  std::vector<double> lb_;
+  std::vector<double> ub_;
+  std::vector<std::string> names_;
+  std::vector<Constraint> constraints_;
+  std::vector<double> objective_;  // dense, aligned with variables
+  double objective_constant_ = 0.0;
+  int32_t num_integer_vars_ = 0;
+};
+
+}  // namespace milp
+}  // namespace qfix
+
+#endif  // QFIX_MILP_MODEL_H_

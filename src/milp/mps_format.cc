@@ -1,0 +1,526 @@
+#include "milp/mps_format.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace qfix {
+namespace milp {
+
+namespace {
+
+std::string MpsNumber(double v) {
+  if (v == kInf) return "1e30";  // MPS has no infinity literal
+  if (v == -kInf) return "-1e30";
+  char shortest[64];
+  std::snprintf(shortest, sizeof(shortest), "%.15g", v);
+  if (std::strtod(shortest, nullptr) == v) return shortest;
+  char exact[64];
+  std::snprintf(exact, sizeof(exact), "%.17g", v);
+  return exact;
+}
+
+bool IsMpsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::vector<std::string> SanitizeNames(const Model& model) {
+  std::vector<std::string> out(model.NumVars());
+  std::unordered_set<std::string> used;
+  for (VarId v = 0; v < model.NumVars(); ++v) {
+    std::string candidate = model.name(v);
+    for (char& c : candidate) {
+      if (!IsMpsNameChar(c)) c = '_';
+    }
+    if (candidate.empty() ||
+        std::isdigit(static_cast<unsigned char>(candidate[0])) != 0) {
+      candidate = "v_" + candidate;
+    }
+    if (used.count(candidate) > 0) {
+      candidate = StringPrintf("v%d", v);
+    }
+    while (used.count(candidate) > 0) {
+      candidate += StringPrintf("_%d", v);
+    }
+    used.insert(candidate);
+    out[v] = std::move(candidate);
+  }
+  return out;
+}
+
+char RowSense(Sense s) {
+  switch (s) {
+    case Sense::kLe:
+      return 'L';
+    case Sense::kGe:
+      return 'G';
+    case Sense::kEq:
+      return 'E';
+  }
+  return 'L';
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+std::vector<std::string> SplitFields(std::string_view line) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])) == 0) {
+      ++i;
+    }
+    if (i > start) out.emplace_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string Upper(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+Result<double> ParseMpsNumber(const std::string& field, size_t line_no) {
+  char* end = nullptr;
+  double v = std::strtod(field.c_str(), &end);
+  if (end == nullptr || *end != '\0' || field.empty()) {
+    return Status::InvalidArgument(StringPrintf(
+        "mps: malformed number '%s' on line %zu", field.c_str(), line_no));
+  }
+  if (v >= 1e30) return kInf;
+  if (v <= -1e30) return -kInf;
+  return v;
+}
+
+struct MpsVarDraft {
+  std::string name;
+  double lb = 0.0;
+  double ub = kInf;
+  bool lb_explicit = false;
+  bool ub_explicit = false;
+  VarType type = VarType::kContinuous;
+  LinearTerms rows;     // (row index, coeff)
+  double obj_coeff = 0.0;
+};
+
+class MpsParser {
+ public:
+  explicit MpsParser(std::string_view text) : text_(text) {}
+
+  Result<Model> Parse() {
+    std::string section;
+    bool in_integers = false;
+    bool saw_endata = false;
+
+    size_t pos = 0;
+    size_t line_no = 0;
+    while (pos <= text_.size() && !saw_endata) {
+      size_t eol = text_.find('\n', pos);
+      if (eol == std::string_view::npos) eol = text_.size();
+      std::string_view raw = text_.substr(pos, eol - pos);
+      pos = eol + 1;
+      ++line_no;
+      if (!raw.empty() && raw[0] == '*') continue;  // comment
+      std::vector<std::string> fields = SplitFields(raw);
+      if (fields.empty()) continue;
+
+      // Section headers start in column 1 (no leading whitespace).
+      bool is_header =
+          std::isspace(static_cast<unsigned char>(raw[0])) == 0;
+      if (is_header) {
+        section = Upper(fields[0]);
+        if (section == "NAME") continue;
+        if (section == "OBJSENSE") {
+          // Either "OBJSENSE MAX" inline or the sense on the next line.
+          if (fields.size() >= 2) maximize_ = Upper(fields[1]) == "MAX";
+          pending_objsense_ = fields.size() < 2;
+          continue;
+        }
+        if (section == "ENDATA") {
+          saw_endata = true;
+          continue;
+        }
+        if (section != "ROWS" && section != "COLUMNS" && section != "RHS" &&
+            section != "BOUNDS") {
+          return Status::Unsupported(StringPrintf(
+              "mps: unsupported section '%s' on line %zu",
+              fields[0].c_str(), line_no));
+        }
+        continue;
+      }
+
+      if (pending_objsense_) {
+        maximize_ = Upper(fields[0]) == "MAX";
+        pending_objsense_ = false;
+        continue;
+      }
+
+      if (section == "ROWS") {
+        QFIX_RETURN_IF_ERROR(ParseRowLine(fields, line_no));
+      } else if (section == "COLUMNS") {
+        QFIX_RETURN_IF_ERROR(
+            ParseColumnLine(fields, line_no, &in_integers));
+      } else if (section == "RHS") {
+        QFIX_RETURN_IF_ERROR(ParseRhsLine(fields, line_no));
+      } else if (section == "BOUNDS") {
+        QFIX_RETURN_IF_ERROR(ParseBoundLine(fields, line_no));
+      } else {
+        return Status::InvalidArgument(StringPrintf(
+            "mps: data before any section header on line %zu", line_no));
+      }
+    }
+    if (!saw_endata) {
+      return Status::InvalidArgument("mps: missing ENDATA");
+    }
+    return Build();
+  }
+
+ private:
+  Status ParseRowLine(const std::vector<std::string>& fields,
+                      size_t line_no) {
+    if (fields.size() != 2) {
+      return Status::InvalidArgument(StringPrintf(
+          "mps: ROWS line needs 'sense name' on line %zu", line_no));
+    }
+    std::string sense = Upper(fields[0]);
+    if (sense == "N") {
+      if (objective_row_.empty()) objective_row_ = fields[1];
+      return Status::OK();  // extra free rows are ignored per tradition
+    }
+    Sense s;
+    if (sense == "L") {
+      s = Sense::kLe;
+    } else if (sense == "G") {
+      s = Sense::kGe;
+    } else if (sense == "E") {
+      s = Sense::kEq;
+    } else {
+      return Status::InvalidArgument(StringPrintf(
+          "mps: unknown row sense '%s' on line %zu", fields[0].c_str(),
+          line_no));
+    }
+    if (row_index_.count(fields[1]) > 0) {
+      return Status::InvalidArgument(StringPrintf(
+          "mps: duplicate row '%s' on line %zu", fields[1].c_str(),
+          line_no));
+    }
+    row_index_.emplace(fields[1], rows_.size());
+    rows_.push_back({LinearTerms{}, s, 0.0});
+    return Status::OK();
+  }
+
+  Status ParseColumnLine(const std::vector<std::string>& fields,
+                         size_t line_no, bool* in_integers) {
+    // Marker lines toggle integrality.
+    if (fields.size() >= 3 && Upper(fields[1]) == "'MARKER'") {
+      std::string kind = Upper(fields[2]);
+      if (kind == "'INTORG'") {
+        *in_integers = true;
+      } else if (kind == "'INTEND'") {
+        *in_integers = false;
+      } else {
+        return Status::InvalidArgument(StringPrintf(
+            "mps: unknown marker on line %zu", line_no));
+      }
+      return Status::OK();
+    }
+    if (fields.size() != 3 && fields.size() != 5) {
+      return Status::InvalidArgument(StringPrintf(
+          "mps: COLUMNS line needs 'var row value [row value]' on line "
+          "%zu",
+          line_no));
+    }
+    VarId v = InternVariable(fields[0]);
+    if (*in_integers && vars_[v].type == VarType::kContinuous) {
+      vars_[v].type = VarType::kInteger;
+    }
+    for (size_t f = 1; f + 1 < fields.size(); f += 2) {
+      QFIX_ASSIGN_OR_RETURN(double value,
+                            ParseMpsNumber(fields[f + 1], line_no));
+      if (fields[f] == objective_row_) {
+        vars_[v].obj_coeff += value;
+        continue;
+      }
+      auto it = row_index_.find(fields[f]);
+      if (it == row_index_.end()) {
+        return Status::InvalidArgument(StringPrintf(
+            "mps: unknown row '%s' on line %zu", fields[f].c_str(),
+            line_no));
+      }
+      rows_[it->second].terms.push_back({v, value});
+    }
+    return Status::OK();
+  }
+
+  Status ParseRhsLine(const std::vector<std::string>& fields,
+                      size_t line_no) {
+    if (fields.size() != 3 && fields.size() != 5) {
+      return Status::InvalidArgument(StringPrintf(
+          "mps: RHS line needs 'set row value [row value]' on line %zu",
+          line_no));
+    }
+    for (size_t f = 1; f + 1 < fields.size(); f += 2) {
+      QFIX_ASSIGN_OR_RETURN(double value,
+                            ParseMpsNumber(fields[f + 1], line_no));
+      if (fields[f] == objective_row_) {
+        // Convention: objective constant is the negated RHS of the
+        // objective row.
+        objective_constant_ = -value;
+        continue;
+      }
+      auto it = row_index_.find(fields[f]);
+      if (it == row_index_.end()) {
+        return Status::InvalidArgument(StringPrintf(
+            "mps: unknown RHS row '%s' on line %zu", fields[f].c_str(),
+            line_no));
+      }
+      rows_[it->second].rhs = value;
+    }
+    return Status::OK();
+  }
+
+  Status ParseBoundLine(const std::vector<std::string>& fields,
+                        size_t line_no) {
+    if (fields.size() < 3) {
+      return Status::InvalidArgument(StringPrintf(
+          "mps: BOUNDS line needs 'type set var [value]' on line %zu",
+          line_no));
+    }
+    std::string type = Upper(fields[0]);
+    VarId v = InternVariable(fields[2]);
+    bool needs_value = type == "UP" || type == "LO" || type == "FX" ||
+                       type == "UI" || type == "LI";
+    double value = 0.0;
+    if (needs_value) {
+      if (fields.size() < 4) {
+        return Status::InvalidArgument(StringPrintf(
+            "mps: bound '%s' needs a value on line %zu", type.c_str(),
+            line_no));
+      }
+      QFIX_ASSIGN_OR_RETURN(value, ParseMpsNumber(fields[3], line_no));
+    }
+    MpsVarDraft& draft = vars_[v];
+    if (type == "UP" || type == "UI") {
+      draft.ub = value;
+      draft.ub_explicit = true;
+      // Historical quirk: UP with a negative value and no explicit lower
+      // bound implies lb = -inf.
+      if (value < 0.0 && !draft.lb_explicit) draft.lb = -kInf;
+    } else if (type == "LO" || type == "LI") {
+      draft.lb = value;
+      draft.lb_explicit = true;
+    } else if (type == "FX") {
+      draft.lb = draft.ub = value;
+      draft.lb_explicit = draft.ub_explicit = true;
+    } else if (type == "FR") {
+      draft.lb = -kInf;
+      draft.ub = kInf;
+      draft.lb_explicit = draft.ub_explicit = true;
+    } else if (type == "MI") {
+      draft.lb = -kInf;
+      draft.lb_explicit = true;
+    } else if (type == "PL") {
+      draft.ub = kInf;
+      draft.ub_explicit = true;
+    } else if (type == "BV") {
+      draft.type = VarType::kBinary;
+      draft.lb = 0.0;
+      draft.ub = 1.0;
+      draft.lb_explicit = draft.ub_explicit = true;
+    } else {
+      return Status::InvalidArgument(StringPrintf(
+          "mps: unknown bound type '%s' on line %zu", fields[0].c_str(),
+          line_no));
+    }
+    return Status::OK();
+  }
+
+  VarId InternVariable(const std::string& name) {
+    auto it = var_index_.find(name);
+    if (it != var_index_.end()) return it->second;
+    VarId id = static_cast<VarId>(vars_.size());
+    var_index_.emplace(name, id);
+    MpsVarDraft draft;
+    draft.name = name;
+    vars_.push_back(std::move(draft));
+    return id;
+  }
+
+  Result<Model> Build() {
+    Model model;
+    double sign = maximize_ ? -1.0 : 1.0;
+    for (MpsVarDraft& draft : vars_) {
+      if (draft.lb > draft.ub) {
+        return Status::InvalidArgument(StringPrintf(
+            "mps: variable '%s' has empty bound interval",
+            draft.name.c_str()));
+      }
+      VarId v = model.AddVariable(draft.type, draft.lb, draft.ub,
+                                  std::move(draft.name));
+      if (draft.obj_coeff != 0.0) {
+        model.AddObjectiveTerm(v, sign * draft.obj_coeff);
+      }
+    }
+    for (Constraint& row : rows_) {
+      model.AddConstraint(std::move(row.terms), row.sense, row.rhs);
+    }
+    model.AddObjectiveConstant(sign * objective_constant_);
+    QFIX_RETURN_IF_ERROR(model.Validate());
+    return model;
+  }
+
+  std::string_view text_;
+  bool maximize_ = false;
+  bool pending_objsense_ = false;
+  std::string objective_row_;
+  std::unordered_map<std::string, size_t> row_index_;
+  std::vector<Constraint> rows_;
+  std::unordered_map<std::string, VarId> var_index_;
+  std::vector<MpsVarDraft> vars_;
+  double objective_constant_ = 0.0;
+};
+
+}  // namespace
+
+std::string WriteMpsFormat(const Model& model,
+                           const std::string& problem_name) {
+  std::vector<std::string> names = SanitizeNames(model);
+
+  std::string out;
+  out += "* QFix MILP export (free MPS): ";
+  out += StringPrintf("%d vars, %d constraints, %d integer\n",
+                      model.NumVars(), model.NumConstraints(),
+                      model.NumIntegerVars());
+  out += "NAME " + problem_name + "\n";
+
+  out += "ROWS\n";
+  out += " N obj\n";
+  for (int32_t i = 0; i < model.NumConstraints(); ++i) {
+    out += StringPrintf(" %c c%d\n", RowSense(model.constraint(i).sense), i);
+  }
+
+  // Column-major coefficient lists.
+  std::vector<std::vector<std::pair<int32_t, double>>> by_var(
+      model.NumVars());
+  for (int32_t i = 0; i < model.NumConstraints(); ++i) {
+    for (const Term& t : model.constraint(i).terms) {
+      by_var[t.var].emplace_back(i, t.coeff);
+    }
+  }
+
+  out += "COLUMNS\n";
+  bool in_integers = false;
+  int marker = 0;
+  for (VarId v = 0; v < model.NumVars(); ++v) {
+    bool integral = model.type(v) != VarType::kContinuous;
+    if (integral && !in_integers) {
+      out += StringPrintf(" M%d 'MARKER' 'INTORG'\n", marker++);
+      in_integers = true;
+    } else if (!integral && in_integers) {
+      out += StringPrintf(" M%d 'MARKER' 'INTEND'\n", marker++);
+      in_integers = false;
+    }
+    double obj = model.objective()[v];
+    bool wrote_any = false;
+    if (obj != 0.0) {
+      out += " " + names[v] + " obj " + MpsNumber(obj) + "\n";
+      wrote_any = true;
+    }
+    for (const auto& [row, coeff] : by_var[v]) {
+      out += " " + names[v] + StringPrintf(" c%d ", row) +
+             MpsNumber(coeff) + "\n";
+      wrote_any = true;
+    }
+    if (!wrote_any) {
+      // MPS variables exist only via COLUMNS entries; emit a harmless
+      // zero objective coefficient so the variable is declared.
+      out += " " + names[v] + " obj 0\n";
+    }
+  }
+  if (in_integers) out += StringPrintf(" M%d 'MARKER' 'INTEND'\n", marker++);
+
+  out += "RHS\n";
+  for (int32_t i = 0; i < model.NumConstraints(); ++i) {
+    double rhs = model.constraint(i).rhs;
+    if (rhs != 0.0) {
+      out += StringPrintf(" rhs c%d ", i) + MpsNumber(rhs) + "\n";
+    }
+  }
+  if (model.objective_constant() != 0.0) {
+    out += " rhs obj " + MpsNumber(-model.objective_constant()) + "\n";
+  }
+
+  out += "BOUNDS\n";
+  for (VarId v = 0; v < model.NumVars(); ++v) {
+    double lb = model.lb(v);
+    double ub = model.ub(v);
+    if (model.type(v) == VarType::kBinary && lb == 0.0 && ub == 1.0) {
+      out += " BV bnd " + names[v] + "\n";
+      continue;
+    }
+    if (lb == -kInf && ub == kInf) {
+      out += " FR bnd " + names[v] + "\n";
+      continue;
+    }
+    if (lb == ub) {
+      out += " FX bnd " + names[v] + " " + MpsNumber(lb) + "\n";
+      continue;
+    }
+    if (lb == -kInf) {
+      out += " MI bnd " + names[v] + "\n";
+    } else {
+      out += " LO bnd " + names[v] + " " + MpsNumber(lb) + "\n";
+    }
+    if (ub != kInf) {
+      out += " UP bnd " + names[v] + " " + MpsNumber(ub) + "\n";
+    }
+  }
+  out += "ENDATA\n";
+  return out;
+}
+
+Result<Model> ReadMpsFormat(std::string_view text) {
+  MpsParser parser(text);
+  return parser.Parse();
+}
+
+Status WriteMpsFile(const Model& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("mps: cannot open for writing: " + path);
+  }
+  out << WriteMpsFormat(model);
+  out.close();
+  if (!out) return Status::InvalidArgument("mps: write failed: " + path);
+  return Status::OK();
+}
+
+Result<Model> ReadMpsFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("mps: cannot open for reading: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadMpsFormat(buffer.str());
+}
+
+}  // namespace milp
+}  // namespace qfix

@@ -1,0 +1,47 @@
+// Free-format MPS export/import for MILP models.
+//
+// MPS is the oldest and most universally accepted interchange format for
+// linear and mixed-integer programs (every solver CPLEX ever competed
+// with reads it). Alongside the LP format (lp_format.h) this lets QFix
+// encodings travel to any external solver and lets externally produced
+// instances drive the built-in solver in tests.
+//
+// Dialect notes (documented because MPS has decades of them):
+//  * free format: whitespace-separated fields, not column positions;
+//  * objective constant: carried as an RHS entry on the objective row
+//    with negated sign (the de-facto convention);
+//  * binaries: written as BV bounds inside INTORG/INTEND markers;
+//  * every variable gets explicit bounds (MPS's integer-default-[0,1]
+//    quirk never applies to our output);
+//  * RANGES and SOS sections are not part of Model and are rejected.
+#ifndef QFIX_MILP_MPS_FORMAT_H_
+#define QFIX_MILP_MPS_FORMAT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "milp/model.h"
+
+namespace qfix {
+namespace milp {
+
+/// Renders `model` in free MPS format. Variable names are sanitized to
+/// alphanumerics/underscore and deduplicated (same policy as the LP
+/// writer).
+std::string WriteMpsFormat(const Model& model,
+                           const std::string& problem_name = "qfix");
+
+/// Parses a free-format MPS document. Variables appear in the returned
+/// model in COLUMNS-section order; maximization (OBJSENSE MAX) is
+/// negated into minimization form.
+Result<Model> ReadMpsFormat(std::string_view text);
+
+/// File convenience wrappers (same error mapping as lp_format.h).
+Status WriteMpsFile(const Model& model, const std::string& path);
+Result<Model> ReadMpsFile(const std::string& path);
+
+}  // namespace milp
+}  // namespace qfix
+
+#endif  // QFIX_MILP_MPS_FORMAT_H_

@@ -1,0 +1,216 @@
+#include "milp/presolve.h"
+
+#include <cmath>
+
+namespace qfix {
+namespace milp {
+namespace {
+
+constexpr double kFeasTol = 1e-7;
+
+// Minimum activity contribution of one term under `d`. (Maximum activity
+// is obtained by negating the row, so no TermMax is needed.)
+double TermMin(const Term& t, const Domains& d) {
+  return t.coeff > 0 ? t.coeff * d.lb[t.var] : t.coeff * d.ub[t.var];
+}
+
+// Records the previous bounds of `var` before a modification.
+void Record(BoundTrail* trail, VarId var, const Domains& d) {
+  if (trail != nullptr) trail->push_back({var, d.lb[var], d.ub[var]});
+}
+
+// Integer-aware bound tightening. Returns true if the domain changed,
+// false if no change, and sets *infeasible when bounds cross.
+bool TightenUpper(const Model& model, Domains& d, VarId v, double new_ub,
+                  BoundTrail* trail, bool* infeasible) {
+  if (model.type(v) != VarType::kContinuous) {
+    new_ub = std::floor(new_ub + kFeasTol);
+  }
+  if (new_ub >= d.ub[v] - 1e-12) return false;
+  if (new_ub < d.lb[v] - kFeasTol) {
+    *infeasible = true;
+    return false;
+  }
+  Record(trail, v, d);
+  d.ub[v] = std::max(new_ub, d.lb[v]);
+  return true;
+}
+
+bool TightenLower(const Model& model, Domains& d, VarId v, double new_lb,
+                  BoundTrail* trail, bool* infeasible) {
+  if (model.type(v) != VarType::kContinuous) {
+    new_lb = std::ceil(new_lb - kFeasTol);
+  }
+  if (new_lb <= d.lb[v] + 1e-12) return false;
+  if (new_lb > d.ub[v] + kFeasTol) {
+    *infeasible = true;
+    return false;
+  }
+  Record(trail, v, d);
+  d.lb[v] = std::min(new_lb, d.ub[v]);
+  return true;
+}
+
+// Propagates one <= inequality: terms <= rhs. Returns true on any change.
+bool PropagateLe(const Model& model, const LinearTerms& terms, double rhs,
+                 Domains& d, BoundTrail* trail, bool* infeasible) {
+  // Minimum possible activity; count infinite contributions so a single
+  // unbounded variable can still be tightened.
+  double min_act = 0.0;
+  int num_inf = 0;
+  VarId inf_var = -1;
+  for (const Term& t : terms) {
+    double m = TermMin(t, d);
+    if (std::isinf(m)) {
+      ++num_inf;
+      inf_var = t.var;
+    } else {
+      min_act += m;
+    }
+  }
+  if (num_inf == 0 && min_act > rhs + kFeasTol * (1.0 + std::fabs(rhs))) {
+    *infeasible = true;
+    return false;
+  }
+  if (num_inf >= 2) return false;
+
+  bool changed = false;
+  for (const Term& t : terms) {
+    double rest;
+    if (num_inf == 1) {
+      if (t.var != inf_var) continue;  // only the unbounded var tightens
+      rest = min_act;
+    } else {
+      rest = min_act - TermMin(t, d);
+    }
+    double limit = rhs - rest;  // t.coeff * x <= limit
+    if (t.coeff > 0) {
+      changed |= TightenUpper(model, d, t.var, limit / t.coeff, trail,
+                              infeasible);
+    } else {
+      changed |= TightenLower(model, d, t.var, limit / t.coeff, trail,
+                              infeasible);
+    }
+    if (*infeasible) return changed;
+  }
+  return changed;
+}
+
+}  // namespace
+
+Status PropagateBounds(const Model& model, Domains& domains, int max_rounds,
+                       BoundTrail* trail) {
+  bool infeasible = false;
+  for (int round = 0; round < max_rounds; ++round) {
+    bool changed = false;
+    for (const Constraint& c : model.constraints()) {
+      switch (c.sense) {
+        case Sense::kLe:
+          changed |= PropagateLe(model, c.terms, c.rhs, domains, trail,
+                                 &infeasible);
+          break;
+        case Sense::kGe: {
+          // -terms <= -rhs
+          LinearTerms neg = c.terms;
+          for (Term& t : neg) t.coeff = -t.coeff;
+          changed |= PropagateLe(model, neg, -c.rhs, domains, trail,
+                                 &infeasible);
+          break;
+        }
+        case Sense::kEq: {
+          changed |= PropagateLe(model, c.terms, c.rhs, domains, trail,
+                                 &infeasible);
+          if (infeasible) break;
+          LinearTerms neg = c.terms;
+          for (Term& t : neg) t.coeff = -t.coeff;
+          changed |= PropagateLe(model, neg, -c.rhs, domains, trail,
+                                 &infeasible);
+          break;
+        }
+      }
+      if (infeasible) {
+        return Status::Infeasible("bound propagation proved infeasibility");
+      }
+    }
+    if (!changed) break;
+  }
+  return Status::OK();
+}
+
+Status ProbeBinaries(const Model& model, Domains& domains,
+                     int propagation_rounds, int max_passes,
+                     BoundTrail* trail, ProbeResult* result) {
+  ProbeResult local;
+  ProbeResult* res = result != nullptr ? result : &local;
+  *res = ProbeResult{};
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool changed = false;
+    for (VarId v = 0; v < model.NumVars(); ++v) {
+      if (model.type(v) != VarType::kBinary) continue;
+      if (domains.Fixed(v)) continue;
+      if (domains.lb[v] > 0.0 || domains.ub[v] < 1.0) continue;
+
+      // Propagate each tentative side on a scratch copy.
+      Domains zero = domains;
+      zero.ub[v] = 0.0;
+      bool zero_ok =
+          PropagateBounds(model, zero, propagation_rounds, nullptr).ok();
+      Domains one = domains;
+      one.lb[v] = 1.0;
+      bool one_ok =
+          PropagateBounds(model, one, propagation_rounds, nullptr).ok();
+      ++res->probed;
+
+      if (!zero_ok && !one_ok) {
+        return Status::Infeasible("probing proved infeasibility");
+      }
+      if (!zero_ok || !one_ok) {
+        Record(trail, v, domains);
+        domains.lb[v] = zero_ok ? 0.0 : 1.0;
+        domains.ub[v] = domains.lb[v];
+        ++res->fixed_binaries;
+        changed = true;
+        // Make the fixing's consequences visible to later probes.
+        Status s = PropagateBounds(model, domains, propagation_rounds, trail);
+        if (!s.ok()) return s;
+        continue;
+      }
+
+      // Both sides survive: any feasible solution lives in one of the two
+      // propagated boxes, so their union bounds every variable globally.
+      for (VarId w = 0; w < model.NumVars(); ++w) {
+        double nl = std::min(zero.lb[w], one.lb[w]);
+        double nu = std::max(zero.ub[w], one.ub[w]);
+        if (nl > domains.lb[w] + 1e-12) {
+          Record(trail, w, domains);
+          domains.lb[w] = std::min(nl, domains.ub[w]);
+          ++res->tightened_bounds;
+          changed = true;
+        }
+        if (nu < domains.ub[w] - 1e-12) {
+          Record(trail, w, domains);
+          domains.ub[w] = std::max(nu, domains.lb[w]);
+          ++res->tightened_bounds;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return Status::OK();
+}
+
+void RewindTrail(Domains& domains, BoundTrail& trail, size_t mark) {
+  QFIX_CHECK(mark <= trail.size());
+  // Undo in reverse so the oldest record wins for multiply-changed vars.
+  for (size_t i = trail.size(); i > mark; --i) {
+    const BoundChange& bc = trail[i - 1];
+    domains.lb[bc.var] = bc.lb;
+    domains.ub[bc.var] = bc.ub;
+  }
+  trail.resize(mark);
+}
+
+}  // namespace milp
+}  // namespace qfix

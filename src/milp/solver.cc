@@ -1,0 +1,384 @@
+#include "milp/solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "milp/presolve.h"
+
+namespace qfix {
+namespace milp {
+
+const char* MilpStatusToString(MilpStatus status) {
+  switch (status) {
+    case MilpStatus::kOptimal:
+      return "optimal";
+    case MilpStatus::kFeasible:
+      return "feasible";
+    case MilpStatus::kInfeasible:
+      return "infeasible";
+    case MilpStatus::kTimeLimit:
+      return "time_limit";
+    case MilpStatus::kTooLarge:
+      return "too_large";
+    case MilpStatus::kUnbounded:
+      return "unbounded";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Search state shared across the DFS.
+class BranchAndBound {
+ public:
+  BranchAndBound(const Model& model, const MilpOptions& options)
+      : model_(model),
+        options_(options),
+        deadline_(Deadline::AfterSeconds(options.time_limit_seconds)),
+        pcosts_(static_cast<size_t>(model.NumVars())) {}
+
+  MilpSolution Run() {
+    MilpSolution out;
+    out.stats.num_vars = model_.NumVars();
+    out.stats.num_constraints = model_.NumConstraints();
+    out.stats.num_integer_vars = model_.NumIntegerVars();
+
+    WallTimer timer;
+    Status valid = model_.Validate();
+    QFIX_CHECK(valid.ok()) << valid.ToString();
+
+    Domains domains = model_.InitialDomains();
+    if (options_.enable_presolve) {
+      Status s = PropagateBounds(model_, domains,
+                                 options_.propagation_rounds, nullptr);
+      if (s.IsInfeasible()) {
+        out.status = MilpStatus::kInfeasible;
+        out.stats.wall_seconds = timer.ElapsedSeconds();
+        return out;
+      }
+      if (options_.enable_probing &&
+          CountUnfixedBinaries(domains) <= options_.probe_max_binaries) {
+        ProbeResult probe;
+        s = ProbeBinaries(model_, domains, options_.propagation_rounds,
+                          options_.probe_passes, nullptr, &probe);
+        out.stats.probe_fixed = probe.fixed_binaries;
+        out.stats.probe_tightened = probe.tightened_bounds;
+        if (s.IsInfeasible()) {
+          out.status = MilpStatus::kInfeasible;
+          out.stats.wall_seconds = timer.ElapsedSeconds();
+          return out;
+        }
+      }
+    }
+
+    Dfs(domains, /*depth=*/0, /*try_rounding=*/true);
+
+    out.stats.nodes = nodes_;
+    out.stats.lp_iterations = lp_iterations_;
+    out.stats.wall_seconds = timer.ElapsedSeconds();
+
+    if (too_large_) {
+      out.status = MilpStatus::kTooLarge;
+      return out;
+    }
+    if (unbounded_ && !have_incumbent_) {
+      out.status = MilpStatus::kUnbounded;
+      return out;
+    }
+    if (have_incumbent_) {
+      out.objective = incumbent_obj_;
+      out.x = incumbent_x_;
+      out.status = (limit_hit_ || !exact_) ? MilpStatus::kFeasible
+                                           : MilpStatus::kOptimal;
+      return out;
+    }
+    out.status = (limit_hit_ || !exact_) ? MilpStatus::kTimeLimit
+                                         : MilpStatus::kInfeasible;
+    return out;
+  }
+
+ private:
+  // Depth-first node processing. `domains` is mutated in place; callers
+  // rewind via the trail. When `entry_obj` is non-null it receives this
+  // node's LP relaxation objective (NaN if the LP did not reach
+  // optimality) — the parent uses it to update pseudo-costs.
+  void Dfs(Domains& domains, int depth, bool try_rounding,
+           double* entry_obj = nullptr) {
+    if (entry_obj != nullptr) {
+      *entry_obj = std::numeric_limits<double>::quiet_NaN();
+    }
+    if (too_large_ || unbounded_) return;
+    if (deadline_.Expired() || nodes_ >= options_.max_nodes) {
+      limit_hit_ = true;
+      return;
+    }
+    ++nodes_;
+
+    LpResult lp = SolveLp(model_, domains, LpOptionsForNode());
+    lp_iterations_ += lp.iterations;
+    switch (lp.status) {
+      case LpStatus::kInfeasible:
+        return;
+      case LpStatus::kTooLarge:
+        too_large_ = true;
+        return;
+      case LpStatus::kUnbounded:
+        unbounded_ = true;
+        return;
+      case LpStatus::kIterLimit:
+        // No dual bound available; continue branching blindly but drop
+        // the optimality certificate.
+        exact_ = false;
+        BranchWithoutBound(domains, depth);
+        return;
+      case LpStatus::kOptimal:
+        break;
+    }
+    if (entry_obj != nullptr) *entry_obj = lp.objective;
+
+    // Bound pruning (minimization).
+    if (have_incumbent_ && lp.objective >= incumbent_obj_ - 1e-9) return;
+
+    int branch_var = PickBranchVariable(lp.x, domains);
+    if (branch_var < 0) {
+      AcceptIncumbent(lp.x);
+      return;
+    }
+
+    if (try_rounding && options_.enable_rounding_heuristic) {
+      TryRounding(domains, lp.x);
+      if (have_incumbent_ && lp.objective >= incumbent_obj_ - 1e-9) return;
+    }
+
+    double xv = lp.x[branch_var];
+    double floor_v = std::floor(xv);
+    double ceil_v = floor_v + 1.0;
+    double frac = xv - floor_v;
+    // Explore the side nearer the LP value first (dive).
+    bool floor_first = frac <= 0.5;
+    for (int side = 0; side < 2; ++side) {
+      bool use_floor = (side == 0) == floor_first;
+      size_t mark = trail_.size();
+      trail_.push_back(
+          {branch_var, domains.lb[branch_var], domains.ub[branch_var]});
+      if (use_floor) {
+        domains.ub[branch_var] = std::min(domains.ub[branch_var], floor_v);
+      } else {
+        domains.lb[branch_var] = std::max(domains.lb[branch_var], ceil_v);
+      }
+      if (domains.lb[branch_var] <= domains.ub[branch_var]) {
+        Status s = PropagateBounds(model_, domains,
+                                   options_.propagation_rounds, &trail_);
+        if (s.ok()) {
+          double child_obj;
+          Dfs(domains, depth + 1, /*try_rounding=*/false, &child_obj);
+          UpdatePseudoCost(branch_var, use_floor, frac, lp.objective,
+                           child_obj);
+        }
+      }
+      RewindTrail(domains, trail_, mark);
+      if (too_large_ || unbounded_) return;
+      if (limit_hit_) return;
+    }
+  }
+
+  // Records how much fixing `var` down/up degraded the child's LP bound,
+  // normalized per unit of fractionality removed.
+  void UpdatePseudoCost(int var, bool went_down, double frac,
+                        double parent_obj, double child_obj) {
+    if (options_.branch_rule != BranchRule::kPseudoCost) return;
+    if (std::isnan(child_obj)) return;
+    double removed = went_down ? frac : 1.0 - frac;
+    if (removed < 1e-6) return;
+    double degradation = std::max(child_obj - parent_obj, 0.0) / removed;
+    PseudoCost& pc = pcosts_[var];
+    if (went_down) {
+      pc.down_sum += degradation;
+      ++pc.down_n;
+    } else {
+      pc.up_sum += degradation;
+      ++pc.up_n;
+    }
+  }
+
+  int CountUnfixedBinaries(const Domains& domains) const {
+    int n = 0;
+    for (VarId v = 0; v < model_.NumVars(); ++v) {
+      if (model_.type(v) == VarType::kBinary && !domains.Fixed(v)) ++n;
+    }
+    return n;
+  }
+
+  // Fallback branching when the LP failed to converge: fix the first
+  // unfixed integer variable to its bounds' midpoint split.
+  void BranchWithoutBound(Domains& domains, int depth) {
+    int branch_var = -1;
+    for (VarId v = 0; v < model_.NumVars(); ++v) {
+      if (model_.type(v) == VarType::kContinuous) continue;
+      if (domains.lb[v] < domains.ub[v] - 0.5) {
+        branch_var = v;
+        break;
+      }
+    }
+    if (branch_var < 0) return;  // cannot certify anything here
+    double mid = std::floor((domains.lb[branch_var] +
+                             domains.ub[branch_var]) / 2.0);
+    for (int side = 0; side < 2; ++side) {
+      size_t mark = trail_.size();
+      trail_.push_back(
+          {branch_var, domains.lb[branch_var], domains.ub[branch_var]});
+      if (side == 0) {
+        domains.ub[branch_var] = mid;
+      } else {
+        domains.lb[branch_var] = mid + 1.0;
+      }
+      if (domains.lb[branch_var] <= domains.ub[branch_var]) {
+        Status s = PropagateBounds(model_, domains,
+                                   options_.propagation_rounds, &trail_);
+        if (s.ok()) Dfs(domains, depth + 1, /*try_rounding=*/false);
+      }
+      RewindTrail(domains, trail_, mark);
+      if (too_large_ || unbounded_ || limit_hit_) return;
+    }
+  }
+
+  // Returns the branching variable per the configured rule, or -1 if the
+  // solution is integral.
+  int PickBranchVariable(const std::vector<double>& x,
+                         const Domains& domains) const {
+    if (options_.branch_rule == BranchRule::kPseudoCost) {
+      return PickByPseudoCost(x, domains);
+    }
+    int best = -1;
+    double best_frac = options_.int_tol;
+    for (VarId v = 0; v < model_.NumVars(); ++v) {
+      if (model_.type(v) == VarType::kContinuous) continue;
+      if (domains.Fixed(v)) continue;
+      double frac = std::fabs(x[v] - std::round(x[v]));
+      double dist_to_half = std::fabs(frac - 0.5);
+      if (frac > options_.int_tol &&
+          (best < 0 || dist_to_half < best_frac)) {
+        best = v;
+        best_frac = dist_to_half;
+      }
+    }
+    return best;
+  }
+
+  // Product rule over estimated down/up bound degradations; variables
+  // without history in a direction estimate with their raw fraction, so
+  // unexplored variables stay competitive (a crude reliability rule).
+  int PickByPseudoCost(const std::vector<double>& x,
+                       const Domains& domains) const {
+    int best = -1;
+    double best_score = -1.0;
+    for (VarId v = 0; v < model_.NumVars(); ++v) {
+      if (model_.type(v) == VarType::kContinuous) continue;
+      if (domains.Fixed(v)) continue;
+      double frac = x[v] - std::floor(x[v]);
+      double dist = std::min(frac, 1.0 - frac);
+      if (dist <= options_.int_tol) continue;
+      const PseudoCost& pc = pcosts_[v];
+      double down_est =
+          pc.down_n > 0 ? (pc.down_sum / pc.down_n) * frac : frac;
+      double up_est =
+          pc.up_n > 0 ? (pc.up_sum / pc.up_n) * (1.0 - frac) : 1.0 - frac;
+      double score = std::max(down_est, 1e-6) * std::max(up_est, 1e-6);
+      if (score > best_score) {
+        best = v;
+        best_score = score;
+      }
+    }
+    return best;
+  }
+
+  // Records an integral LP solution as the new incumbent after verifying
+  // it against the original model.
+  void AcceptIncumbent(std::vector<double> x) {
+    // Snap integer variables exactly.
+    for (VarId v = 0; v < model_.NumVars(); ++v) {
+      if (model_.type(v) != VarType::kContinuous) x[v] = std::round(x[v]);
+    }
+    if (!model_.IsFeasible(x, 1e-5)) return;  // numerical mirage; skip
+    double obj = model_.EvalObjective(x);
+    if (!have_incumbent_ || obj < incumbent_obj_) {
+      have_incumbent_ = true;
+      incumbent_obj_ = obj;
+      incumbent_x_ = std::move(x);
+    }
+  }
+
+  // Root heuristic: fix every integer variable to the rounded LP value,
+  // propagate, and re-solve the LP for the continuous remainder.
+  void TryRounding(Domains& domains, const std::vector<double>& x) {
+    size_t mark = trail_.size();
+    bool viable = true;
+    for (VarId v = 0; v < model_.NumVars() && viable; ++v) {
+      if (model_.type(v) == VarType::kContinuous) continue;
+      double r = std::round(x[v]);
+      r = std::clamp(r, domains.lb[v], domains.ub[v]);
+      trail_.push_back({v, domains.lb[v], domains.ub[v]});
+      domains.lb[v] = r;
+      domains.ub[v] = r;
+    }
+    Status s = PropagateBounds(model_, domains,
+                               options_.propagation_rounds, &trail_);
+    if (s.ok()) {
+      LpResult lp = SolveLp(model_, domains, LpOptionsForNode());
+      lp_iterations_ += lp.iterations;
+      if (lp.status == LpStatus::kOptimal) AcceptIncumbent(lp.x);
+    }
+    RewindTrail(domains, trail_, mark);
+  }
+
+  // LP options with the solver's remaining wall-clock budget threaded
+  // through, so a single large LP cannot outlive the MILP deadline.
+  SimplexOptions LpOptionsForNode() const {
+    SimplexOptions opts = options_.lp;
+    double remaining = deadline_.RemainingSeconds();
+    if (remaining < 1e20 &&
+        (opts.time_limit_seconds <= 0.0 ||
+         remaining < opts.time_limit_seconds)) {
+      opts.time_limit_seconds = std::max(remaining, 1e-3);
+    }
+    return opts;
+  }
+
+  /// Running per-variable estimates of LP bound degradation when the
+  /// variable is pushed down/up (pseudo-cost branching).
+  struct PseudoCost {
+    double down_sum = 0.0;
+    double up_sum = 0.0;
+    int down_n = 0;
+    int up_n = 0;
+  };
+
+  const Model& model_;
+  const MilpOptions& options_;
+  Deadline deadline_;
+  std::vector<PseudoCost> pcosts_;
+
+  BoundTrail trail_;
+  bool have_incumbent_ = false;
+  double incumbent_obj_ = 0.0;
+  std::vector<double> incumbent_x_;
+  bool limit_hit_ = false;
+  bool too_large_ = false;
+  bool unbounded_ = false;
+  bool exact_ = true;
+  int64_t nodes_ = 0;
+  int64_t lp_iterations_ = 0;
+};
+
+}  // namespace
+
+MilpSolution MilpSolver::Solve(const Model& model) const {
+  BranchAndBound bb(model, options_);
+  return bb.Run();
+}
+
+}  // namespace milp
+}  // namespace qfix

@@ -1,0 +1,98 @@
+#include "provenance/complaint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qfix {
+namespace provenance {
+
+void ComplaintSet::Add(Complaint c) {
+  QFIX_CHECK(c.tid >= 0) << "complaint on unnamed tuple";
+  auto it = std::lower_bound(
+      complaints_.begin(), complaints_.end(), c.tid,
+      [](const Complaint& a, int64_t tid) { return a.tid < tid; });
+  if (it != complaints_.end() && it->tid == c.tid) {
+    *it = std::move(c);  // keep the set consistent: one complaint per tuple
+  } else {
+    complaints_.insert(it, std::move(c));
+  }
+}
+
+const Complaint* ComplaintSet::Find(int64_t tid) const {
+  auto it = std::lower_bound(
+      complaints_.begin(), complaints_.end(), tid,
+      [](const Complaint& a, int64_t t) { return a.tid < t; });
+  if (it != complaints_.end() && it->tid == tid) return &*it;
+  return nullptr;
+}
+
+AttrSet ComplaintSet::ComplaintAttributes(
+    const relational::Database& dirty) const {
+  const size_t num_attrs = dirty.schema().num_attrs();
+  AttrSet attrs(num_attrs);
+  for (const Complaint& c : complaints_) {
+    QFIX_CHECK(static_cast<size_t>(c.tid) < dirty.NumSlots())
+        << "complaint tid " << c.tid << " beyond dirty state";
+    const relational::Tuple& t = dirty.slot(static_cast<size_t>(c.tid));
+    if (t.alive != c.target_alive) {
+      for (size_t a = 0; a < num_attrs; ++a) attrs.Insert(a);
+      continue;
+    }
+    for (size_t a = 0; a < num_attrs; ++a) {
+      if (t.values[a] != c.target_values[a]) attrs.Insert(a);
+    }
+  }
+  return attrs;
+}
+
+relational::Database ComplaintSet::ApplyTo(
+    const relational::Database& dirty) const {
+  relational::Database out = dirty;
+  for (const Complaint& c : complaints_) {
+    relational::Tuple& t = out.slot(static_cast<size_t>(c.tid));
+    t.alive = c.target_alive;
+    if (c.target_alive) t.values = c.target_values;
+  }
+  return out;
+}
+
+ComplaintSet DiffStates(const relational::Database& dirty,
+                        const relational::Database& truth, double tol) {
+  QFIX_CHECK(dirty.NumSlots() == truth.NumSlots())
+      << "states are not slot-aligned: " << dirty.NumSlots() << " vs "
+      << truth.NumSlots();
+  const size_t num_attrs = dirty.schema().num_attrs();
+  ComplaintSet out;
+  for (size_t i = 0; i < dirty.NumSlots(); ++i) {
+    const relational::Tuple& d = dirty.slot(i);
+    const relational::Tuple& t = truth.slot(i);
+    bool differs = d.alive != t.alive;
+    if (!differs && d.alive) {
+      for (size_t a = 0; a < num_attrs && !differs; ++a) {
+        differs = std::fabs(d.values[a] - t.values[a]) > tol;
+      }
+    }
+    if (differs) {
+      out.Add(Complaint{d.tid, t.alive, t.values});
+    }
+  }
+  return out;
+}
+
+ComplaintSet SampleComplaints(const ComplaintSet& full, double keep_fraction,
+                              Rng& rng) {
+  QFIX_CHECK(keep_fraction >= 0.0 && keep_fraction <= 1.0);
+  ComplaintSet out;
+  for (const Complaint& c : full.complaints()) {
+    if (rng.Bernoulli(keep_fraction)) out.Add(c);
+  }
+  if (out.empty() && !full.empty()) {
+    out.Add(full.complaints()[rng.Index(full.size())]);
+  }
+  return out;
+}
+
+}  // namespace provenance
+}  // namespace qfix

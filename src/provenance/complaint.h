@@ -1,0 +1,76 @@
+// Complaints: reported discrepancies on the final database state.
+//
+// A complaint c : t -> t* (paper Def. 4) names a tuple of D_n and its
+// correct value assignment. Value changes, deletions (t -> ⊥) and
+// insertion fixes (⊥ -> t*) are all expressed against the tuple's stable
+// slot: target_alive = false encodes "this tuple should not exist", and a
+// complaint on a dead slot with target_alive = true encodes "this tuple
+// should exist with these values".
+#ifndef QFIX_PROVENANCE_COMPLAINT_H_
+#define QFIX_PROVENANCE_COMPLAINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/attr_set.h"
+#include "common/random.h"
+#include "relational/database.h"
+
+namespace qfix {
+namespace provenance {
+
+/// One complaint: the correct state of tuple `tid` in D_n.
+struct Complaint {
+  int64_t tid = -1;
+  bool target_alive = true;
+  std::vector<double> target_values;
+};
+
+/// A consistent set of complaints (at most one per tuple), kept sorted by
+/// tid. Consistency (no two transformations of the same tuple, §3.1) is
+/// enforced on insertion.
+class ComplaintSet {
+ public:
+  ComplaintSet() = default;
+
+  /// Adds a complaint; replaces any previous complaint on the same tid.
+  void Add(Complaint c);
+
+  const std::vector<Complaint>& complaints() const { return complaints_; }
+  size_t size() const { return complaints_.size(); }
+  bool empty() const { return complaints_.empty(); }
+
+  /// The complaint on `tid`, if any.
+  const Complaint* Find(int64_t tid) const;
+
+  /// A(C): attributes on which some complaint disagrees with the dirty
+  /// state (paper Def. 6). A liveness disagreement marks all attributes.
+  AttrSet ComplaintAttributes(const relational::Database& dirty) const;
+
+  /// Applies all complaint transformations to a copy of `dirty`,
+  /// producing T_C(D_n) — equal to the true D*_n iff C is complete.
+  relational::Database ApplyTo(const relational::Database& dirty) const;
+
+ private:
+  std::vector<Complaint> complaints_;  // sorted by tid
+};
+
+/// Builds the true (complete) complaint set by tuple-wise comparison of
+/// the dirty final state against the true final state (§7.1). Values are
+/// compared with tolerance `tol` to absorb floating-point noise.
+ComplaintSet DiffStates(const relational::Database& dirty,
+                        const relational::Database& truth,
+                        double tol = 1e-9);
+
+/// Simulates incomplete reporting: keeps each complaint independently
+/// with probability `keep_fraction` (the paper's false-negative sweep,
+/// Fig. 8c/8f, removes 0%..75%). Always keeps at least one complaint when
+/// the input is non-empty so the repair problem stays posed.
+ComplaintSet SampleComplaints(const ComplaintSet& full, double keep_fraction,
+                              Rng& rng);
+
+}  // namespace provenance
+}  // namespace qfix
+
+#endif  // QFIX_PROVENANCE_COMPLAINT_H_

@@ -1,0 +1,80 @@
+#include "provenance/denoiser.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace qfix {
+namespace provenance {
+
+namespace {
+
+double Median(std::vector<double> values) {
+  QFIX_CHECK(!values.empty());
+  size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double hi = values[mid];
+  if (values.size() % 2 == 1) return hi;
+  std::nth_element(values.begin(), values.begin() + mid - 1,
+                   values.begin() + mid);
+  return (values[mid - 1] + hi) / 2.0;
+}
+
+}  // namespace
+
+DenoiseResult DenoiseComplaints(const ComplaintSet& complaints,
+                                const relational::Database& dirty,
+                                const DenoiserOptions& options) {
+  DenoiseResult result;
+  if (complaints.size() < options.min_complaints) {
+    result.kept = complaints;
+    return result;
+  }
+
+  // L1 change magnitude per value complaint; -1 for liveness complaints.
+  std::vector<double> magnitudes;
+  std::vector<double> all;
+  for (const Complaint& c : complaints.complaints()) {
+    const relational::Tuple& t = dirty.slot(static_cast<size_t>(c.tid));
+    if (!c.target_alive || !t.alive) {
+      magnitudes.push_back(-1.0);
+      continue;
+    }
+    double delta = 0.0;
+    for (size_t a = 0; a < t.values.size(); ++a) {
+      delta += std::fabs(t.values[a] - c.target_values[a]);
+    }
+    magnitudes.push_back(delta);
+    all.push_back(delta);
+  }
+  if (all.size() < options.min_complaints) {
+    result.kept = complaints;
+    return result;
+  }
+
+  double med = Median(all);
+  std::vector<double> deviations;
+  deviations.reserve(all.size());
+  for (double m : all) deviations.push_back(std::fabs(m - med));
+  // 1.4826 scales MAD to the standard deviation under normality; the
+  // floor keeps the threshold meaningful when most deltas are identical.
+  double mad = std::max(1.4826 * Median(deviations), 1e-9 + 0.01 * med);
+
+  for (size_t i = 0; i < complaints.size(); ++i) {
+    const Complaint& c = complaints.complaints()[i];
+    if (magnitudes[i] < 0.0) {
+      result.kept.Add(c);  // liveness complaints pass through
+      continue;
+    }
+    double score = std::fabs(magnitudes[i] - med) / mad;
+    if (score > options.mad_threshold) {
+      result.dropped.Add(c);
+    } else {
+      result.kept.Add(c);
+    }
+  }
+  return result;
+}
+
+}  // namespace provenance
+}  // namespace qfix

@@ -1,0 +1,44 @@
+// Denoiser: optional screening of suspicious complaints (paper Fig. 1).
+//
+// The paper treats false-positive complaints (users reporting correct
+// values as errors) as out of scope and suggests an outlier-detection
+// pre-processing step (§6). This is that optional component: complaints
+// whose requested change is wildly inconsistent with the rest of the
+// complaint set are flagged and removed before diagnosis. It is off by
+// default and deliberately conservative — dropping a *valid* complaint
+// only costs recall (tuple slicing generalizes), while keeping a fake
+// one can make the repair MILP infeasible.
+#ifndef QFIX_PROVENANCE_DENOISER_H_
+#define QFIX_PROVENANCE_DENOISER_H_
+
+#include "provenance/complaint.h"
+#include "relational/database.h"
+
+namespace qfix {
+namespace provenance {
+
+struct DenoiserOptions {
+  /// A complaint is dropped when its change magnitude exceeds
+  /// median + threshold * MAD of the complaint set's change magnitudes
+  /// (robust z-score on the L1 delta between dirty and target values).
+  double mad_threshold = 8.0;
+  /// Never drop complaints when fewer than this many exist (robust
+  /// statistics over tiny sets are meaningless).
+  size_t min_complaints = 4;
+};
+
+struct DenoiseResult {
+  ComplaintSet kept;
+  ComplaintSet dropped;
+};
+
+/// Screens `complaints` against the dirty state. Liveness complaints are
+/// never dropped (no magnitude to compare).
+DenoiseResult DenoiseComplaints(const ComplaintSet& complaints,
+                                const relational::Database& dirty,
+                                const DenoiserOptions& options = {});
+
+}  // namespace provenance
+}  // namespace qfix
+
+#endif  // QFIX_PROVENANCE_DENOISER_H_

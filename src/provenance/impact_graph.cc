@@ -1,0 +1,93 @@
+#include "provenance/impact_graph.h"
+
+#include <string>
+
+#include "common/strings.h"
+#include "provenance/impact.h"
+
+namespace qfix {
+namespace provenance {
+
+namespace {
+
+// DOT string literal escaping for SQL labels.
+std::string EscapeLabel(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ImpactEdge> ComputeImpactEdges(const relational::QueryLog& log,
+                                           size_t num_attrs) {
+  std::vector<AttrSet> writes;
+  std::vector<AttrSet> reads;
+  writes.reserve(log.size());
+  reads.reserve(log.size());
+  for (const relational::Query& q : log) {
+    writes.push_back(q.DirectImpact(num_attrs));
+    reads.push_back(q.Dependency(num_attrs));
+  }
+
+  std::vector<ImpactEdge> edges;
+  for (size_t i = 0; i < log.size(); ++i) {
+    for (size_t j = i + 1; j < log.size(); ++j) {
+      AttrSet carried = writes[i].Intersect(reads[j]);
+      if (carried.Empty()) continue;
+      edges.push_back({i, j, carried.ToVector()});
+    }
+  }
+  return edges;
+}
+
+std::string WriteImpactGraph(const relational::QueryLog& log,
+                             const relational::Schema& schema,
+                             const ImpactGraphOptions& options) {
+  size_t num_attrs = schema.num_attrs();
+  std::vector<AttrSet> full = ComputeFullImpacts(log, num_attrs);
+
+  std::string out = "digraph qfix_impact {\n";
+  out += "  rankdir=TB;\n";
+  out += "  node [shape=box, fontname=\"monospace\", fontsize=10];\n";
+
+  for (size_t i = 0; i < log.size(); ++i) {
+    std::string label;
+    if (options.sql_labels) {
+      label = StringPrintf("q%zu: %s", i + 1,
+                           EscapeLabel(log[i].ToSql(schema)).c_str());
+    } else {
+      label = StringPrintf("q%zu", i + 1);
+    }
+    bool relevant = !options.complaint_attrs.Empty() &&
+                    full[i].Intersects(options.complaint_attrs);
+    bool highlighted = false;
+    for (size_t h : options.highlight) highlighted |= h == i;
+
+    out += StringPrintf("  q%zu [label=\"%s\"", i + 1, label.c_str());
+    if (relevant) {
+      out += ", style=filled, fillcolor=\"#ffe0b3\"";  // repair candidate
+    }
+    if (highlighted) {
+      out += ", penwidth=2.5, color=\"#cc0000\"";  // diagnosed query
+    }
+    out += "];\n";
+  }
+
+  for (const ImpactEdge& e : ComputeImpactEdges(log, num_attrs)) {
+    std::vector<std::string> names;
+    names.reserve(e.attrs.size());
+    for (size_t a : e.attrs) names.push_back(schema.attr_name(a));
+    out += StringPrintf("  q%zu -> q%zu [label=\"%s\"];\n", e.from + 1,
+                        e.to + 1, EscapeLabel(Join(names, ",")).c_str());
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace provenance
+}  // namespace qfix

@@ -1,0 +1,57 @@
+// Read-write dependency graph export (Graphviz DOT).
+//
+// Query slicing (§5.2) rests on the causal read-write chains between
+// queries: q_i feeds q_j when an attribute q_i writes is read by q_j
+// later in the log. This module renders those chains — plus each query's
+// relevance to a complaint set — as a DOT document, so an administrator
+// can *see* why QFix considers or ignores a query. Render with:
+//
+//   qfix ... --export-graph log.dot && dot -Tsvg log.dot -o log.svg
+#ifndef QFIX_PROVENANCE_IMPACT_GRAPH_H_
+#define QFIX_PROVENANCE_IMPACT_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/attr_set.h"
+#include "relational/query.h"
+#include "relational/schema.h"
+
+namespace qfix {
+namespace provenance {
+
+/// One read-write edge: `from` writes an attribute that `to` reads.
+struct ImpactEdge {
+  size_t from = 0;
+  size_t to = 0;
+  /// The attributes carrying the dependency.
+  std::vector<size_t> attrs;
+};
+
+/// All direct read-write edges of the log, in (from, to) order. An edge
+/// (i, j) exists when i < j and I(q_i) ∩ P(q_j) is non-empty. Chains of
+/// these edges are exactly what Algorithm 2's F(q) closes over.
+std::vector<ImpactEdge> ComputeImpactEdges(const relational::QueryLog& log,
+                                           size_t num_attrs);
+
+struct ImpactGraphOptions {
+  /// Mark queries whose full impact reaches these attributes (complaint
+  /// attributes A(C)); empty = no relevance coloring.
+  AttrSet complaint_attrs;
+  /// Emit each query's SQL as the node label (otherwise "q1", "q2", ...).
+  bool sql_labels = true;
+  /// Highlight these query indexes (e.g. a repair's changed_queries).
+  std::vector<size_t> highlight;
+};
+
+/// Renders the log's dependency graph as a DOT document. Queries whose
+/// full impact intersects `complaint_attrs` are drawn filled (they are
+/// repair candidates, Rel(Q)); highlighted queries get a bold border.
+std::string WriteImpactGraph(const relational::QueryLog& log,
+                             const relational::Schema& schema,
+                             const ImpactGraphOptions& options = {});
+
+}  // namespace provenance
+}  // namespace qfix
+
+#endif  // QFIX_PROVENANCE_IMPACT_GRAPH_H_

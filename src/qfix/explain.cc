@@ -1,0 +1,198 @@
+#include "qfix/explain.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "relational/executor.h"
+#include "sql/diff.h"
+
+namespace qfix {
+namespace qfixcore {
+
+namespace {
+
+constexpr double kValueTol = 1e-6;
+
+// "owed 25800 -> 21500, pay 60200 -> 64500" for the attributes on which
+// `from` and `to` disagree.
+std::string DescribeValueChanges(const relational::Schema& schema,
+                                 const std::vector<double>& from,
+                                 const std::vector<double>& to) {
+  std::vector<std::string> parts;
+  for (size_t a = 0; a < schema.num_attrs(); ++a) {
+    if (std::fabs(from[a] - to[a]) > kValueTol) {
+      parts.push_back(schema.attr_name(a) + " " + FormatNumber(from[a]) +
+                      " -> " + FormatNumber(to[a]));
+    }
+  }
+  return parts.empty() ? "(no value change)" : Join(parts, ", ");
+}
+
+bool TupleMatchesTarget(const relational::Tuple& got,
+                        const provenance::Complaint& want) {
+  if (got.alive != want.target_alive) return false;
+  if (!want.target_alive) return true;  // both dead: values are moot
+  for (size_t a = 0; a < got.values.size(); ++a) {
+    if (std::fabs(got.values[a] - want.target_values[a]) > kValueTol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string ExplainRepair(const Repair& repair,
+                          const relational::QueryLog& original,
+                          const relational::Database& d0,
+                          const relational::Database& dirty,
+                          const provenance::ComplaintSet& complaints,
+                          const ExplainOptions& options) {
+  const relational::Schema& schema = d0.schema();
+  std::string out;
+  out += "QFix diagnosis report\n";
+  out += "=====================\n";
+
+  // Which queries changed.
+  if (repair.changed_queries.empty()) {
+    out += "repaired queries  : none (the log already explains the "
+           "complaints)\n";
+  } else {
+    std::vector<std::string> names;
+    names.reserve(repair.changed_queries.size());
+    for (size_t idx : repair.changed_queries) {
+      names.push_back(StringPrintf("q%zu", idx + 1));
+    }
+    out += StringPrintf("repaired queries  : %zu of %zu (%s)\n",
+                        repair.changed_queries.size(), original.size(),
+                        Join(names, ", ").c_str());
+  }
+  out += "parameter distance: " + FormatNumber(repair.distance) + "\n";
+  out += StringPrintf("verified          : %s\n",
+                      repair.verified
+                          ? "yes (replay resolves every complaint)"
+                          : "NO (replay does not match all targets)");
+  out += StringPrintf(
+      "collateral        : %zu non-complaint tuple(s) moved\n",
+      repair.collateral);
+  out += StringPrintf(
+      "encoded problem   : %d vars (%d integer), %d constraints; "
+      "%zu tuples x %zu queries\n",
+      repair.stats.num_vars, repair.stats.num_integer_vars,
+      repair.stats.num_constraints, repair.stats.encoded_tuples,
+      repair.stats.encoded_queries);
+  out += StringPrintf(
+      "time              : %.3fs total (encode %.3fs, solve %.3fs, "
+      "%d attempt(s)%s)\n",
+      repair.stats.total_seconds, repair.stats.encode_seconds,
+      repair.stats.solve_seconds, repair.stats.attempts,
+      repair.stats.refined ? ", refined" : "");
+
+  if (options.include_diff) {
+    out += "\nQuery repairs:\n";
+    out += sql::FormatLogDiff(original, repair.log, schema);
+  }
+
+  // Replay Q* to report per-complaint resolution and side effects.
+  relational::Database repaired_dn = relational::ExecuteLog(repair.log, d0);
+
+  if (options.include_complaints && !complaints.empty()) {
+    out += "\nComplaint resolution:\n";
+    size_t listed = 0;
+    size_t resolved = 0;
+    for (const provenance::Complaint& c : complaints.complaints()) {
+      size_t slot = static_cast<size_t>(c.tid);
+      bool have_slot = slot < repaired_dn.NumSlots();
+      bool fixed =
+          have_slot && TupleMatchesTarget(repaired_dn.slot(slot), c);
+      resolved += fixed ? 1 : 0;
+      if (listed >= options.max_rows) continue;
+      ++listed;
+      std::string change = "(tuple missing)";
+      if (have_slot && slot < dirty.NumSlots()) {
+        const relational::Tuple& before = dirty.slot(slot);
+        const relational::Tuple& after = repaired_dn.slot(slot);
+        if (before.alive && !after.alive) {
+          change = "deleted";
+        } else if (!before.alive && after.alive) {
+          change = "restored: " +
+                   DescribeValueChanges(schema, before.values, after.values);
+        } else {
+          change = DescribeValueChanges(schema, before.values, after.values);
+        }
+      }
+      out += StringPrintf("  tid %lld: %s  [%s]\n",
+                          static_cast<long long>(c.tid), change.c_str(),
+                          fixed ? "resolved" : "UNRESOLVED");
+    }
+    if (complaints.size() > listed) {
+      out += StringPrintf("  ... and %zu more\n", complaints.size() - listed);
+    }
+    out += StringPrintf("  %zu of %zu complaint(s) resolved\n", resolved,
+                        complaints.size());
+  }
+
+  if (options.include_side_effects) {
+    // Non-complaint tuples whose final state the repair changes: these
+    // are the repair's predictions of unreported errors (§1).
+    std::vector<size_t> moved;
+    size_t slots = std::min(repaired_dn.NumSlots(), dirty.NumSlots());
+    for (size_t slot = 0; slot < slots; ++slot) {
+      if (complaints.Find(static_cast<int64_t>(slot)) != nullptr) continue;
+      const relational::Tuple& a = dirty.slot(slot);
+      const relational::Tuple& b = repaired_dn.slot(slot);
+      bool differs = a.alive != b.alive;
+      if (!differs && a.alive) {
+        for (size_t attr = 0; attr < schema.num_attrs(); ++attr) {
+          if (std::fabs(a.values[attr] - b.values[attr]) > kValueTol) {
+            differs = true;
+            break;
+          }
+        }
+      }
+      if (differs) moved.push_back(slot);
+    }
+    for (size_t slot = dirty.NumSlots(); slot < repaired_dn.NumSlots();
+         ++slot) {
+      moved.push_back(slot);  // tuples only the repaired log created
+    }
+    if (moved.empty()) {
+      out += "\nSide effects: none (only complaint tuples change)\n";
+    } else {
+      out += StringPrintf(
+          "\nSide effects: %zu non-complaint tuple(s) change — likely "
+          "unreported errors:\n",
+          moved.size());
+      size_t listed = 0;
+      for (size_t slot : moved) {
+        if (listed >= options.max_rows) break;
+        ++listed;
+        const relational::Tuple& after = repaired_dn.slot(slot);
+        std::string change;
+        if (slot >= dirty.NumSlots()) {
+          change = "inserted";
+        } else {
+          const relational::Tuple& before = dirty.slot(slot);
+          if (before.alive && !after.alive) {
+            change = "deleted";
+          } else if (!before.alive && after.alive) {
+            change = "restored";
+          } else {
+            change =
+                DescribeValueChanges(schema, before.values, after.values);
+          }
+        }
+        out += StringPrintf("  tid %zu: %s\n", slot, change.c_str());
+      }
+      if (moved.size() > listed) {
+        out += StringPrintf("  ... and %zu more\n", moved.size() - listed);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace qfixcore
+}  // namespace qfix

@@ -1,0 +1,155 @@
+// QFixEngine: the user-facing diagnosis/repair API.
+//
+// Wires together the encoder (encoder.h), the slicing optimizations
+// (provenance/impact.h) and the MILP solver (milp/solver.h) into the
+// paper's algorithms:
+//   * RepairBasic        — Algorithm 1: parameterize every (relevant)
+//                          query and solve one MILP.
+//   * RepairIncremental  — Algorithm 3 (Inc_k): walk the log from most
+//                          recent to oldest in batches of k, repairing
+//                          one batch at a time.
+//   * RepairSingle       — parameterize exactly one query (the "single
+//                          query parameterization" series of Fig. 4).
+// Tuple slicing's two-step refinement (§5.1) runs automatically after a
+// successful sliced solve when non-complaint tuples are caught by the
+// repaired WHERE clauses.
+#ifndef QFIX_QFIX_QFIX_H_
+#define QFIX_QFIX_QFIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/timer.h"
+#include "milp/solver.h"
+#include "provenance/complaint.h"
+#include "provenance/impact.h"
+#include "qfix/encoder.h"
+#include "relational/database.h"
+#include "relational/query.h"
+
+namespace qfix {
+namespace qfixcore {
+
+struct QFixOptions {
+  /// §5.1: encode only complaint tuples (plus refinement).
+  bool tuple_slicing = true;
+  /// §5.2: encode only queries whose full impact reaches the complaints.
+  bool query_slicing = true;
+  /// §5.3: restrict variables/constraints to relevant attributes.
+  bool attribute_slicing = true;
+  /// §5.1 step 2: shrink over-general repairs with a second small MILP.
+  bool refinement = true;
+  /// Incremental mode: use the strict candidate filter F(q) ⊇ A(C) when
+  /// searching for a single corrupted query (k == 1).
+  bool single_corruption_filter = true;
+  /// Round repaired constants to the coarsest decimal whose replay
+  /// reproduces the same final state (MILP optima sit on ugly epsilon
+  /// boundaries; administrators should read "86501", not
+  /// "86500.000001"). Replay-equivalence is re-checked per parameter.
+  bool polish_params = true;
+  /// Wall-clock budget across all attempts (encode + solve + refine).
+  double time_limit_seconds = 120.0;
+  /// Objective weight of the step-2 parameter-distance tiebreak.
+  double refine_distance_weight = 1e-3;
+
+  EncoderOptions encoder;
+  milp::MilpOptions milp;
+};
+
+struct RepairStats {
+  double encode_seconds = 0.0;
+  double solve_seconds = 0.0;
+  double total_seconds = 0.0;
+  /// Size of the (last) MILP handed to the solver.
+  int32_t num_vars = 0;
+  int32_t num_constraints = 0;
+  int32_t num_integer_vars = 0;
+  int64_t solver_nodes = 0;
+  /// Batches attempted (incremental mode).
+  int attempts = 0;
+  /// Whether the step-2 refinement MILP ran.
+  bool refined = false;
+  size_t encoded_tuples = 0;
+  size_t encoded_queries = 0;
+};
+
+/// A successful diagnosis: the repaired log Q* and bookkeeping.
+struct Repair {
+  relational::QueryLog log;
+  /// Indexes of queries whose parameters changed — the diagnosis.
+  std::vector<size_t> changed_queries;
+  /// d(Q, Q*), the Manhattan parameter distance (§4.3).
+  double distance = 0.0;
+  /// True if replaying Q* reproduces every complaint target exactly.
+  bool verified = false;
+  /// Non-complaint tuples whose final state the repair changed away from
+  /// the observed dirty state. Incremental search prefers repairs with
+  /// zero collateral and only falls back to damaged ones when no batch
+  /// yields a clean repair.
+  size_t collateral = 0;
+  RepairStats stats;
+};
+
+class QFixEngine {
+ public:
+  /// All states are copied; the engine is self-contained afterwards.
+  QFixEngine(relational::QueryLog log, relational::Database d0,
+             relational::Database dirty_dn,
+             provenance::ComplaintSet complaints,
+             QFixOptions options = QFixOptions());
+
+  /// Algorithm 1. Returns Infeasible if no parameter assignment resolves
+  /// the complaints, ResourceExhausted on time/size limits.
+  Result<Repair> RepairBasic();
+
+  /// Algorithm 3 (Inc_k): k consecutive queries parameterized per
+  /// attempt, most recent first. k >= 1.
+  Result<Repair> RepairIncremental(int k);
+
+  /// Parameterizes exactly one query.
+  Result<Repair> RepairSingle(size_t query_index);
+
+  /// Extension beyond the paper: enumerates *all* single-query diagnoses
+  /// that resolve the complaint set, ranked best-first (zero-collateral
+  /// repairs before damaged ones, then by parameter distance). Useful
+  /// when an administrator wants alternatives to validate rather than a
+  /// single answer (§1: repairs are confirmed by an expert). Stops after
+  /// `max_diagnoses` hits or when the time limit expires.
+  std::vector<Repair> DiagnoseAll(size_t max_diagnoses = 5);
+
+  /// A(C) for the stored complaint set.
+  const AttrSet& complaint_attrs() const { return complaint_attrs_; }
+  /// F(q_i) for every query (Alg. 2).
+  const std::vector<AttrSet>& full_impacts() const { return full_impacts_; }
+
+ private:
+  Result<Repair> SolveAttempt(const std::vector<bool>& parameterized,
+                              const Deadline& deadline, RepairStats* stats);
+  // Replays `repaired` and collects the non-complaint tuples whose final
+  // state it moved away from the observed dirty state — the tuples the
+  // refinement step (§5.1 step 2) must win back.
+  std::vector<size_t> CollateralSlots(
+      const relational::QueryLog& repaired) const;
+  std::vector<size_t> ComplaintSlots() const;
+  std::vector<size_t> AllSlots() const;
+  // Queries eligible for encoding (loose relevance filter).
+  std::vector<bool> EncodedSet(const std::vector<bool>& parameterized) const;
+
+  relational::QueryLog log_;
+  relational::Database d0_;
+  relational::Database dirty_;
+  provenance::ComplaintSet complaints_;
+  QFixOptions options_;
+
+  size_t num_attrs_ = 0;
+  AttrSet complaint_attrs_;
+  std::vector<AttrSet> full_impacts_;
+  std::vector<bool> relevant_loose_;   // |F ∩ A(C)| > 0
+  std::vector<bool> relevant_strict_;  // F ⊇ A(C)
+};
+
+}  // namespace qfixcore
+}  // namespace qfix
+
+#endif  // QFIX_QFIX_QFIX_H_

@@ -1,0 +1,163 @@
+#include "qfix/report_json.h"
+
+#include <cmath>
+
+#include "common/json.h"
+#include "relational/executor.h"
+#include "sql/diff.h"
+
+namespace qfix {
+namespace qfixcore {
+
+namespace {
+
+constexpr double kValueTol = 1e-6;
+
+bool TupleMatchesTarget(const relational::Tuple& got,
+                        const provenance::Complaint& want) {
+  if (got.alive != want.target_alive) return false;
+  if (!want.target_alive) return true;
+  for (size_t a = 0; a < got.values.size(); ++a) {
+    if (std::fabs(got.values[a] - want.target_values[a]) > kValueTol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string RepairToJson(const Repair& repair,
+                         const relational::QueryLog& original,
+                         const relational::Database& d0,
+                         const relational::Database& dirty,
+                         const provenance::ComplaintSet& complaints) {
+  const relational::Schema& schema = d0.schema();
+  relational::Database fixed = relational::ExecuteLog(repair.log, d0);
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("verified");
+  w.Bool(repair.verified);
+  w.Key("distance");
+  w.Double(repair.distance);
+  w.Key("collateral");
+  w.Uint(repair.collateral);
+
+  // Per-query repairs, derived from the same diff the text report uses.
+  w.Key("repairs");
+  w.BeginArray();
+  for (const sql::QueryDiff& d :
+       sql::DiffLogs(original, repair.log, schema)) {
+    w.BeginObject();
+    w.Key("query");
+    w.Uint(d.index + 1);  // human numbering: q1 is the oldest
+    w.Key("executed_sql");
+    w.String(d.original_sql);
+    w.Key("repaired_sql");
+    w.String(d.repaired_sql);
+    w.Key("params");
+    w.BeginArray();
+    for (const sql::ParamChange& p : d.params) {
+      w.BeginObject();
+      w.Key("where");
+      w.String(p.where);
+      w.Key("before");
+      w.Double(p.before);
+      w.Key("after");
+      w.Double(p.after);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+
+  // Complaint resolution against the replayed repaired log.
+  size_t resolved = 0;
+  w.Key("complaints");
+  w.BeginObject();
+  w.Key("rows");
+  w.BeginArray();
+  for (const provenance::Complaint& c : complaints.complaints()) {
+    size_t slot = static_cast<size_t>(c.tid);
+    bool fixed_row = slot < fixed.NumSlots() &&
+                     TupleMatchesTarget(fixed.slot(slot), c);
+    resolved += fixed_row ? 1 : 0;
+    w.BeginObject();
+    w.Key("tid");
+    w.Int(c.tid);
+    w.Key("resolved");
+    w.Bool(fixed_row);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("total");
+  w.Uint(complaints.size());
+  w.Key("resolved");
+  w.Uint(resolved);
+  w.EndObject();
+
+  // Non-complaint tuples the repair moves: predicted unreported errors.
+  w.Key("side_effects");
+  w.BeginArray();
+  size_t shared = std::min(fixed.NumSlots(), dirty.NumSlots());
+  for (size_t slot = 0; slot < shared; ++slot) {
+    if (complaints.Find(static_cast<int64_t>(slot)) != nullptr) continue;
+    const relational::Tuple& a = dirty.slot(slot);
+    const relational::Tuple& b = fixed.slot(slot);
+    bool differs = a.alive != b.alive;
+    if (!differs && a.alive) {
+      for (size_t attr = 0; attr < schema.num_attrs() && !differs;
+           ++attr) {
+        differs = std::fabs(a.values[attr] - b.values[attr]) > kValueTol;
+      }
+    }
+    if (!differs) continue;
+    w.BeginObject();
+    w.Key("tid");
+    w.Uint(slot);
+    w.EndObject();
+  }
+  for (size_t slot = dirty.NumSlots(); slot < fixed.NumSlots(); ++slot) {
+    w.BeginObject();
+    w.Key("tid");
+    w.Uint(slot);
+    w.Key("inserted");
+    w.Bool(true);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("stats");
+  w.BeginObject();
+  w.Key("vars");
+  w.Int(repair.stats.num_vars);
+  w.Key("constraints");
+  w.Int(repair.stats.num_constraints);
+  w.Key("integer_vars");
+  w.Int(repair.stats.num_integer_vars);
+  w.Key("solver_nodes");
+  w.Int(repair.stats.solver_nodes);
+  w.Key("attempts");
+  w.Int(repair.stats.attempts);
+  w.Key("refined");
+  w.Bool(repair.stats.refined);
+  w.Key("encoded_tuples");
+  w.Uint(repair.stats.encoded_tuples);
+  w.Key("encoded_queries");
+  w.Uint(repair.stats.encoded_queries);
+  w.Key("encode_seconds");
+  w.Double(repair.stats.encode_seconds);
+  w.Key("solve_seconds");
+  w.Double(repair.stats.solve_seconds);
+  w.Key("total_seconds");
+  w.Double(repair.stats.total_seconds);
+  w.EndObject();
+
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace qfixcore
+}  // namespace qfix

@@ -1,0 +1,48 @@
+// Machine-readable diagnosis reports (JSON).
+//
+// The text report (explain.h) is for a human reviewer; this rendering
+// is for the systems around them — the paper's Example 1 call-center
+// workflow wants the diagnosis attached to a ticket, not pasted into
+// one. The document carries the same facts as the text report: which
+// queries changed and how, verification and collateral, solver
+// statistics, per-complaint resolution, and predicted unreported
+// errors.
+//
+// Document shape (stable; extended fields are additive):
+// {
+//   "verified": true,
+//   "distance": 801,
+//   "collateral": 0,
+//   "repairs": [{"query": 1, "executed_sql": ..., "repaired_sql": ...,
+//                "params": [{"where": ..., "before": ..., "after": ...}]}],
+//   "complaints": {"total": 2, "resolved": 2,
+//                  "rows": [{"tid": 2, "resolved": true}]},
+//   "side_effects": [{"tid": 5}],
+//   "stats": {"vars": ..., "constraints": ..., "attempts": ...,
+//             "encode_seconds": ..., "solve_seconds": ...}
+// }
+#ifndef QFIX_QFIX_REPORT_JSON_H_
+#define QFIX_QFIX_REPORT_JSON_H_
+
+#include <string>
+
+#include "provenance/complaint.h"
+#include "qfix/qfix.h"
+#include "relational/database.h"
+#include "relational/query.h"
+
+namespace qfix {
+namespace qfixcore {
+
+/// Renders `repair` as a single-line JSON document. Inputs mirror
+/// ExplainRepair (qfix/explain.h).
+std::string RepairToJson(const Repair& repair,
+                         const relational::QueryLog& original,
+                         const relational::Database& d0,
+                         const relational::Database& dirty,
+                         const provenance::ComplaintSet& complaints);
+
+}  // namespace qfixcore
+}  // namespace qfix
+
+#endif  // QFIX_QFIX_REPORT_JSON_H_

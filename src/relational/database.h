@@ -1,0 +1,79 @@
+// In-memory single-relation database with stable row identities.
+//
+// Tuples keep a stable `tid` across database states: replaying either the
+// clean or the corrupted log on the same D0 yields aligned tids, which is
+// how true complaint sets are derived by state diffing (§7.1). Deleted
+// tuples stay in their slot with alive == false so alignment survives
+// DELETE queries.
+#ifndef QFIX_RELATIONAL_DATABASE_H_
+#define QFIX_RELATIONAL_DATABASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "relational/schema.h"
+
+namespace qfix {
+namespace relational {
+
+/// One row: stable id, liveness, and attribute values.
+struct Tuple {
+  int64_t tid = -1;
+  bool alive = true;
+  std::vector<double> values;
+};
+
+/// A single-relation database state (one of the paper's D_i).
+class Database {
+ public:
+  Database() = default;
+  Database(Schema schema, std::string table_name)
+      : schema_(std::move(schema)), table_name_(std::move(table_name)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::string& table_name() const { return table_name_; }
+
+  /// Appends a live tuple; returns its tid (== slot index).
+  int64_t AddTuple(std::vector<double> values) {
+    QFIX_CHECK(values.size() == schema_.num_attrs())
+        << "tuple arity " << values.size() << " vs schema "
+        << schema_.num_attrs();
+    int64_t tid = static_cast<int64_t>(tuples_.size());
+    tuples_.push_back(Tuple{tid, true, std::move(values)});
+    return tid;
+  }
+
+  /// Total slots including dead tuples (tids are slot indexes).
+  size_t NumSlots() const { return tuples_.size(); }
+
+  /// Number of live tuples.
+  size_t NumAlive() const {
+    size_t n = 0;
+    for (const Tuple& t : tuples_) n += t.alive ? 1 : 0;
+    return n;
+  }
+
+  Tuple& slot(size_t i) {
+    QFIX_CHECK(i < tuples_.size());
+    return tuples_[i];
+  }
+  const Tuple& slot(size_t i) const {
+    QFIX_CHECK(i < tuples_.size());
+    return tuples_[i];
+  }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  std::vector<Tuple>& mutable_tuples() { return tuples_; }
+
+ private:
+  Schema schema_;
+  std::string table_name_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace relational
+}  // namespace qfix
+
+#endif  // QFIX_RELATIONAL_DATABASE_H_

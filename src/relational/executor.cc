@@ -1,0 +1,57 @@
+#include "relational/executor.h"
+
+namespace qfix {
+namespace relational {
+
+void ApplyQuery(const Query& query, Database& db) {
+  const size_t num_attrs = db.schema().num_attrs();
+  switch (query.type()) {
+    case QueryType::kInsert: {
+      QFIX_CHECK(query.insert_values().size() == num_attrs)
+          << "INSERT arity mismatch";
+      db.AddTuple(query.insert_values());
+      return;
+    }
+    case QueryType::kDelete: {
+      for (Tuple& t : db.mutable_tuples()) {
+        if (t.alive && query.where().Eval(t.values)) t.alive = false;
+      }
+      return;
+    }
+    case QueryType::kUpdate: {
+      for (Tuple& t : db.mutable_tuples()) {
+        if (!t.alive || !query.where().Eval(t.values)) continue;
+        // Simultaneous assignment: evaluate every SET expression against
+        // the pre-update values before writing any of them.
+        std::vector<double> updated = t.values;
+        for (const SetClause& sc : query.set_clauses()) {
+          QFIX_CHECK(sc.attr < num_attrs) << "SET attr out of range";
+          updated[sc.attr] = sc.expr.Eval(t.values);
+        }
+        t.values = std::move(updated);
+      }
+      return;
+    }
+  }
+}
+
+Database ExecuteLog(const QueryLog& log, const Database& d0) {
+  Database db = d0;
+  for (const Query& q : log) ApplyQuery(q, db);
+  return db;
+}
+
+std::vector<Database> ExecuteLogStates(const QueryLog& log,
+                                       const Database& d0) {
+  std::vector<Database> states;
+  states.reserve(log.size() + 1);
+  states.push_back(d0);
+  for (const Query& q : log) {
+    states.push_back(states.back());
+    ApplyQuery(q, states.back());
+  }
+  return states;
+}
+
+}  // namespace relational
+}  // namespace qfix

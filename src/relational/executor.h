@@ -1,0 +1,29 @@
+// Query-log execution: D_i = q_i(q_{i-1}(... q_1(D_0))).
+#ifndef QFIX_RELATIONAL_EXECUTOR_H_
+#define QFIX_RELATIONAL_EXECUTOR_H_
+
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/query.h"
+
+namespace qfix {
+namespace relational {
+
+/// Applies one query to `db` in place. UPDATE evaluates all SET clauses
+/// against the pre-update tuple (simultaneous assignment); DELETE marks
+/// tuples dead but keeps their slots; INSERT appends a live tuple.
+void ApplyQuery(const Query& query, Database& db);
+
+/// Runs the whole log on a copy of `d0` and returns the final state D_n.
+Database ExecuteLog(const QueryLog& log, const Database& d0);
+
+/// Returns all states D_0 ... D_n (log.size() + 1 entries). Used by tests
+/// and the DecTree baseline; QFix itself only needs D_0 and D_n (§3.1).
+std::vector<Database> ExecuteLogStates(const QueryLog& log,
+                                       const Database& d0);
+
+}  // namespace relational
+}  // namespace qfix
+
+#endif  // QFIX_RELATIONAL_EXECUTOR_H_

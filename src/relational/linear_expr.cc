@@ -1,0 +1,129 @@
+#include "relational/linear_expr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "relational/schema.h"
+
+namespace qfix {
+namespace relational {
+
+LinearExpr LinearExpr::Constant(double c) {
+  LinearExpr e;
+  e.constant_ = c;
+  return e;
+}
+
+LinearExpr LinearExpr::Attr(size_t attr) {
+  return AttrScaled(attr, 1.0, 0.0);
+}
+
+LinearExpr LinearExpr::AttrScaled(size_t attr, double coeff, double c) {
+  LinearExpr e;
+  e.terms_.push_back({attr, coeff});
+  e.constant_ = c;
+  return e;
+}
+
+void LinearExpr::AddTerm(size_t attr, double coeff) {
+  for (AttrTerm& t : terms_) {
+    if (t.attr == attr) {
+      t.coeff += coeff;
+      return;
+    }
+  }
+  terms_.push_back({attr, coeff});
+}
+
+LinearExpr& LinearExpr::operator+=(const LinearExpr& other) {
+  for (const AttrTerm& t : other.terms_) AddTerm(t.attr, t.coeff);
+  constant_ += other.constant_;
+  return *this;
+}
+
+LinearExpr& LinearExpr::operator-=(const LinearExpr& other) {
+  for (const AttrTerm& t : other.terms_) AddTerm(t.attr, -t.coeff);
+  constant_ -= other.constant_;
+  return *this;
+}
+
+LinearExpr& LinearExpr::operator*=(double k) {
+  for (AttrTerm& t : terms_) t.coeff *= k;
+  constant_ *= k;
+  return *this;
+}
+
+bool LinearExpr::IsIdentityOf(size_t attr) const {
+  return constant_ == 0.0 && terms_.size() == 1 && terms_[0].attr == attr &&
+         terms_[0].coeff == 1.0;
+}
+
+double LinearExpr::Eval(const std::vector<double>& values) const {
+  double v = constant_;
+  for (const AttrTerm& t : terms_) {
+    QFIX_CHECK(t.attr < values.size())
+        << "attr " << t.attr << " out of range " << values.size();
+    v += t.coeff * values[t.attr];
+  }
+  return v;
+}
+
+AttrSet LinearExpr::ReadSet(size_t num_attrs) const {
+  AttrSet s(num_attrs);
+  for (const AttrTerm& t : terms_) {
+    if (t.coeff != 0.0) s.Insert(t.attr);
+  }
+  return s;
+}
+
+std::string LinearExpr::ToString(const Schema& schema) const {
+  // Each part carries its sign so "+ -1 * owed" renders as "- owed".
+  struct Part {
+    bool negative;
+    std::string text;
+  };
+  std::vector<Part> parts;
+  for (const AttrTerm& t : terms_) {
+    if (t.coeff == 0.0) continue;
+    const std::string& name = schema.attr_name(t.attr);
+    double mag = std::fabs(t.coeff);
+    parts.push_back({t.coeff < 0.0,
+                     mag == 1.0 ? name : name + " * " + FormatNumber(mag)});
+  }
+  if (constant_ != 0.0 || parts.empty()) {
+    parts.push_back({constant_ < 0.0, FormatNumber(std::fabs(constant_))});
+  }
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i == 0) {
+      out = parts[i].negative ? "-" + parts[i].text : parts[i].text;
+    } else {
+      out += (parts[i].negative ? " - " : " + ") + parts[i].text;
+    }
+  }
+  return out;
+}
+
+bool LinearExpr::operator==(const LinearExpr& other) const {
+  if (constant_ != other.constant_) return false;
+  auto sorted = [](std::vector<AttrTerm> v) {
+    std::sort(v.begin(), v.end(), [](const AttrTerm& a, const AttrTerm& b) {
+      return a.attr < b.attr;
+    });
+    v.erase(std::remove_if(v.begin(), v.end(),
+                           [](const AttrTerm& t) { return t.coeff == 0.0; }),
+            v.end());
+    return v;
+  };
+  auto a = sorted(terms_), b = sorted(other.terms_);
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].attr != b[i].attr || a[i].coeff != b[i].coeff) return false;
+  }
+  return true;
+}
+
+}  // namespace relational
+}  // namespace qfix

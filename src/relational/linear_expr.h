@@ -1,0 +1,79 @@
+// Linear expressions over tuple attributes: sum_i coeff_i * attr_i + c.
+//
+// Both SET clauses and WHERE comparisons are restricted to linear
+// combinations of attributes and constants (paper §3, problem scope).
+#ifndef QFIX_RELATIONAL_LINEAR_EXPR_H_
+#define QFIX_RELATIONAL_LINEAR_EXPR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/attr_set.h"
+
+namespace qfix {
+namespace relational {
+
+class Schema;
+
+/// A linear combination of attributes plus an additive constant.
+class LinearExpr {
+ public:
+  /// One attribute term: coeff * attr.
+  struct AttrTerm {
+    size_t attr;
+    double coeff;
+  };
+
+  LinearExpr() = default;
+
+  /// Constructs the constant expression `c`.
+  static LinearExpr Constant(double c);
+  /// Constructs the single-attribute expression `attr`.
+  static LinearExpr Attr(size_t attr);
+  /// Constructs `coeff * attr + c`.
+  static LinearExpr AttrScaled(size_t attr, double coeff, double c = 0.0);
+
+  /// Adds `coeff * attr` to the expression (merging duplicates).
+  void AddTerm(size_t attr, double coeff);
+  /// Adds to the additive constant.
+  void AddConstant(double c) { constant_ += c; }
+
+  /// In-place sum / difference / scalar multiple.
+  LinearExpr& operator+=(const LinearExpr& other);
+  LinearExpr& operator-=(const LinearExpr& other);
+  LinearExpr& operator*=(double k);
+
+  double constant() const { return constant_; }
+  /// Mutable access for repair application (ConvertQLog).
+  void set_constant(double c) { constant_ = c; }
+
+  const std::vector<AttrTerm>& terms() const { return terms_; }
+  std::vector<AttrTerm>& mutable_terms() { return terms_; }
+
+  /// True when the expression has no attribute terms.
+  bool IsConstant() const { return terms_.empty(); }
+  /// True when the expression is exactly one attribute with coeff 1 and
+  /// no additive constant (an identity copy, e.g. SET a = a).
+  bool IsIdentityOf(size_t attr) const;
+
+  /// Evaluates against a tuple's attribute values.
+  double Eval(const std::vector<double>& values) const;
+
+  /// The set of attributes read by the expression.
+  AttrSet ReadSet(size_t num_attrs) const;
+
+  /// Renders e.g. "income * 0.3 + 5" using schema names.
+  std::string ToString(const Schema& schema) const;
+
+  bool operator==(const LinearExpr& other) const;
+
+ private:
+  std::vector<AttrTerm> terms_;
+  double constant_ = 0.0;
+};
+
+}  // namespace relational
+}  // namespace qfix
+
+#endif  // QFIX_RELATIONAL_LINEAR_EXPR_H_

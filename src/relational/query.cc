@@ -1,0 +1,213 @@
+#include "relational/query.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "relational/schema.h"
+
+namespace qfix {
+namespace relational {
+
+const char* QueryTypeToString(QueryType type) {
+  switch (type) {
+    case QueryType::kUpdate:
+      return "UPDATE";
+    case QueryType::kInsert:
+      return "INSERT";
+    case QueryType::kDelete:
+      return "DELETE";
+  }
+  return "?";
+}
+
+Query Query::Update(std::string table, std::vector<SetClause> set_clauses,
+                    Predicate where) {
+  QFIX_CHECK(!set_clauses.empty()) << "UPDATE without SET clauses";
+  Query q;
+  q.type_ = QueryType::kUpdate;
+  q.table_ = std::move(table);
+  q.set_clauses_ = std::move(set_clauses);
+  q.where_ = std::move(where);
+  return q;
+}
+
+Query Query::Insert(std::string table, std::vector<double> values) {
+  Query q;
+  q.type_ = QueryType::kInsert;
+  q.table_ = std::move(table);
+  q.insert_values_ = std::move(values);
+  return q;
+}
+
+Query Query::Delete(std::string table, Predicate where) {
+  Query q;
+  q.type_ = QueryType::kDelete;
+  q.table_ = std::move(table);
+  q.where_ = std::move(where);
+  return q;
+}
+
+bool Query::Matches(const std::vector<double>& values) const {
+  if (type_ == QueryType::kInsert) return false;
+  return where_.Eval(values);
+}
+
+std::vector<ParamRef> Query::Params() const {
+  std::vector<ParamRef> out;
+  switch (type_) {
+    case QueryType::kInsert:
+      for (size_t i = 0; i < insert_values_.size(); ++i) {
+        out.push_back({ParamRef::Kind::kInsertValue, i, 0});
+      }
+      break;
+    case QueryType::kUpdate:
+      for (size_t i = 0; i < set_clauses_.size(); ++i) {
+        out.push_back({ParamRef::Kind::kSetConstant, i, 0});
+        const auto& terms = set_clauses_[i].expr.terms();
+        for (size_t t = 0; t < terms.size(); ++t) {
+          out.push_back({ParamRef::Kind::kSetCoeff, i, t});
+        }
+      }
+      [[fallthrough]];
+    case QueryType::kDelete: {
+      size_t atom = 0;
+      where_.VisitComparisons([&out, &atom](const Comparison&) {
+        out.push_back({ParamRef::Kind::kWhereRhs, atom, 0});
+        ++atom;
+      });
+      break;
+    }
+  }
+  return out;
+}
+
+double Query::GetParam(const ParamRef& ref) const {
+  switch (ref.kind) {
+    case ParamRef::Kind::kInsertValue:
+      QFIX_CHECK(ref.index < insert_values_.size());
+      return insert_values_[ref.index];
+    case ParamRef::Kind::kSetConstant:
+      QFIX_CHECK(ref.index < set_clauses_.size());
+      return set_clauses_[ref.index].expr.constant();
+    case ParamRef::Kind::kSetCoeff:
+      QFIX_CHECK(ref.index < set_clauses_.size());
+      QFIX_CHECK(ref.term < set_clauses_[ref.index].expr.terms().size());
+      return set_clauses_[ref.index].expr.terms()[ref.term].coeff;
+    case ParamRef::Kind::kWhereRhs: {
+      double value = 0.0;
+      size_t atom = 0;
+      bool found = false;
+      where_.VisitComparisons([&](const Comparison& cmp) {
+        if (atom++ == ref.index) {
+          value = cmp.rhs;
+          found = true;
+        }
+      });
+      QFIX_CHECK(found) << "WHERE atom " << ref.index << " out of range";
+      return value;
+    }
+  }
+  QFIX_CHECK(false) << "unreachable";
+  return 0.0;
+}
+
+void Query::SetParam(const ParamRef& ref, double value) {
+  switch (ref.kind) {
+    case ParamRef::Kind::kInsertValue:
+      QFIX_CHECK(ref.index < insert_values_.size());
+      insert_values_[ref.index] = value;
+      return;
+    case ParamRef::Kind::kSetConstant:
+      QFIX_CHECK(ref.index < set_clauses_.size());
+      set_clauses_[ref.index].expr.set_constant(value);
+      return;
+    case ParamRef::Kind::kSetCoeff:
+      QFIX_CHECK(ref.index < set_clauses_.size());
+      QFIX_CHECK(ref.term < set_clauses_[ref.index].expr.terms().size());
+      set_clauses_[ref.index].expr.mutable_terms()[ref.term].coeff = value;
+      return;
+    case ParamRef::Kind::kWhereRhs: {
+      size_t atom = 0;
+      bool found = false;
+      where_.VisitComparisons([&](Comparison& cmp) {
+        if (atom++ == ref.index) {
+          cmp.rhs = value;
+          found = true;
+        }
+      });
+      QFIX_CHECK(found) << "WHERE atom " << ref.index << " out of range";
+      return;
+    }
+  }
+}
+
+AttrSet Query::DirectImpact(size_t num_attrs) const {
+  AttrSet s(num_attrs);
+  switch (type_) {
+    case QueryType::kUpdate:
+      for (const SetClause& sc : set_clauses_) s.Insert(sc.attr);
+      break;
+    case QueryType::kInsert:
+    case QueryType::kDelete:
+      for (size_t i = 0; i < num_attrs; ++i) s.Insert(i);
+      break;
+  }
+  return s;
+}
+
+AttrSet Query::Dependency(size_t num_attrs) const {
+  AttrSet s(num_attrs);
+  if (type_ == QueryType::kInsert) return s;
+  s.UnionWith(where_.ReadSet(num_attrs));
+  if (type_ == QueryType::kUpdate) {
+    for (const SetClause& sc : set_clauses_) {
+      s.UnionWith(sc.expr.ReadSet(num_attrs));
+    }
+  }
+  return s;
+}
+
+std::string Query::ToSql(const Schema& schema) const {
+  switch (type_) {
+    case QueryType::kInsert: {
+      std::vector<std::string> vals;
+      for (double v : insert_values_) vals.push_back(FormatNumber(v));
+      return "INSERT INTO " + table_ + " VALUES (" + Join(vals, ", ") + ")";
+    }
+    case QueryType::kDelete: {
+      std::string out = "DELETE FROM " + table_;
+      if (!where_.IsTrue()) out += " WHERE " + where_.ToString(schema);
+      return out;
+    }
+    case QueryType::kUpdate: {
+      std::vector<std::string> sets;
+      for (const SetClause& sc : set_clauses_) {
+        sets.push_back(schema.attr_name(sc.attr) + " = " +
+                       sc.expr.ToString(schema));
+      }
+      std::string out = "UPDATE " + table_ + " SET " + Join(sets, ", ");
+      if (!where_.IsTrue()) out += " WHERE " + where_.ToString(schema);
+      return out;
+    }
+  }
+  return "?";
+}
+
+double LogDistance(const QueryLog& a, const QueryLog& b) {
+  QFIX_CHECK(a.size() == b.size()) << "log size mismatch";
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    std::vector<ParamRef> pa = a[i].Params();
+    std::vector<ParamRef> pb = b[i].Params();
+    QFIX_CHECK(pa.size() == pb.size())
+        << "query " << i << " has different parameter counts";
+    for (size_t j = 0; j < pa.size(); ++j) {
+      d += std::fabs(a[i].GetParam(pa[j]) - b[i].GetParam(pb[j]));
+    }
+  }
+  return d;
+}
+
+}  // namespace relational
+}  // namespace qfix

@@ -1,0 +1,115 @@
+// Update-workload queries: UPDATE, INSERT, DELETE.
+//
+// A Query models the paper's (mu_q, sigma_q) pair (§3.1): UPDATE carries a
+// list of SET clauses (the modifier function) and a WHERE predicate (the
+// conditional function); INSERT carries the new tuple's values; DELETE
+// carries only a predicate. Queries expose their numeric constants as an
+// ordered parameter list — the objects of repair (§3, log repair Q*).
+#ifndef QFIX_RELATIONAL_QUERY_H_
+#define QFIX_RELATIONAL_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/attr_set.h"
+#include "relational/linear_expr.h"
+#include "relational/predicate.h"
+
+namespace qfix {
+namespace relational {
+
+class Schema;
+
+enum class QueryType { kUpdate, kInsert, kDelete };
+
+const char* QueryTypeToString(QueryType type);
+
+/// One SET assignment: attr := expr(tuple).
+struct SetClause {
+  size_t attr;
+  LinearExpr expr;
+};
+
+/// Identifies one numeric constant inside a query.
+struct ParamRef {
+  enum class Kind {
+    /// Additive constant of a SET expression.
+    kSetConstant,
+    /// Multiplicative coefficient of a SET expression term.
+    kSetCoeff,
+    /// Right-hand-side constant of a WHERE comparison atom.
+    kWhereRhs,
+    /// One value of an INSERT.
+    kInsertValue,
+  };
+  Kind kind;
+  /// SET clause index, WHERE atom index (visit order), or INSERT slot.
+  size_t index = 0;
+  /// Term index within a SET expression (kSetCoeff only).
+  size_t term = 0;
+};
+
+/// A single update-workload query over one table.
+class Query {
+ public:
+  static Query Update(std::string table, std::vector<SetClause> set_clauses,
+                      Predicate where);
+  static Query Insert(std::string table, std::vector<double> values);
+  static Query Delete(std::string table, Predicate where);
+
+  QueryType type() const { return type_; }
+  const std::string& table() const { return table_; }
+
+  const std::vector<SetClause>& set_clauses() const { return set_clauses_; }
+  std::vector<SetClause>& mutable_set_clauses() { return set_clauses_; }
+  const Predicate& where() const { return where_; }
+  Predicate& mutable_where() { return where_; }
+  const std::vector<double>& insert_values() const { return insert_values_; }
+  std::vector<double>& mutable_insert_values() { return insert_values_; }
+
+  /// Evaluates sigma_q(t). INSERT queries have no condition (false: they
+  /// act on no existing tuple).
+  bool Matches(const std::vector<double>& values) const;
+
+  /// The ordered list of the query's numeric constants. The order is
+  /// deterministic so that d(Q, Q*) can align parameters pairwise.
+  std::vector<ParamRef> Params() const;
+  size_t NumParams() const { return Params().size(); }
+  double GetParam(const ParamRef& ref) const;
+  void SetParam(const ParamRef& ref, double value);
+
+  /// Direct impact I(q): attributes written (Def. 7). INSERT and DELETE
+  /// touch every attribute of the affected tuple.
+  AttrSet DirectImpact(size_t num_attrs) const;
+
+  /// Dependency P(q): attributes read. The paper's Def. 7 counts only the
+  /// WHERE clause; we also include attributes read by SET expressions
+  /// (e.g. SET pay = income - owed reads both), otherwise full-impact
+  /// propagation (Alg. 2) would miss read-write chains through SET and
+  /// query slicing would drop repair-relevant queries. Recorded as a
+  /// deliberate deviation in DESIGN.md.
+  AttrSet Dependency(size_t num_attrs) const;
+
+  /// Renders the query as SQL text.
+  std::string ToSql(const Schema& schema) const;
+
+ private:
+  QueryType type_ = QueryType::kUpdate;
+  std::string table_;
+  std::vector<SetClause> set_clauses_;   // kUpdate
+  Predicate where_;                      // kUpdate / kDelete
+  std::vector<double> insert_values_;    // kInsert
+};
+
+/// The query log Q = {q1, ..., qn} (index 0 = oldest).
+using QueryLog = std::vector<Query>;
+
+/// Sum over queries of |q_i.param_j - q*_i.param_j|: the paper's
+/// normalized Manhattan distance d(Q, Q*) (§4.3). Logs must be
+/// structurally identical.
+double LogDistance(const QueryLog& a, const QueryLog& b);
+
+}  // namespace relational
+}  // namespace qfix
+
+#endif  // QFIX_RELATIONAL_QUERY_H_

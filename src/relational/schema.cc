@@ -1,0 +1,35 @@
+#include "relational/schema.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace qfix {
+namespace relational {
+
+Schema::Schema(std::vector<std::string> attr_names)
+    : names_(std::move(attr_names)) {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    auto [it, inserted] = index_.emplace(names_[i], i);
+    QFIX_CHECK(inserted) << "duplicate attribute name " << names_[i];
+  }
+}
+
+Schema Schema::WithDefaultNames(size_t num_attrs) {
+  std::vector<std::string> names;
+  names.reserve(num_attrs);
+  for (size_t i = 0; i < num_attrs; ++i) {
+    names.push_back(StringPrintf("a%zu", i));
+  }
+  return Schema(std::move(names));
+}
+
+Result<size_t> Schema::AttrIndex(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) {
+    return Status::NotFound("unknown attribute: " + std::string(name));
+  }
+  return it->second;
+}
+
+}  // namespace relational
+}  // namespace qfix

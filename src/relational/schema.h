@@ -1,0 +1,51 @@
+// Relation schema: an ordered list of named numeric attributes.
+//
+// The paper's data model (§3.1) is a single relation with numeric
+// attributes A1..Am; categorical data is out of scope for the distance
+// function, so every attribute is a double here.
+#ifndef QFIX_RELATIONAL_SCHEMA_H_
+#define QFIX_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace qfix {
+namespace relational {
+
+/// Attribute metadata for one relation.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema from attribute names (all numeric). Names must be
+  /// unique; duplicates trip a QFIX_CHECK.
+  explicit Schema(std::vector<std::string> attr_names);
+
+  /// Convenience: attributes named a0..a{n-1}, matching the synthetic
+  /// workload generator.
+  static Schema WithDefaultNames(size_t num_attrs);
+
+  size_t num_attrs() const { return names_.size(); }
+  const std::string& attr_name(size_t i) const { return names_[i]; }
+  const std::vector<std::string>& attr_names() const { return names_; }
+
+  /// Index of a named attribute, or NotFound.
+  Result<size_t> AttrIndex(std::string_view name) const;
+
+  bool operator==(const Schema& other) const {
+    return names_ == other.names_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace relational
+}  // namespace qfix
+
+#endif  // QFIX_RELATIONAL_SCHEMA_H_

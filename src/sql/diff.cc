@@ -1,0 +1,99 @@
+#include "sql/diff.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace qfix {
+namespace sql {
+
+namespace {
+
+// Human-readable location of one repairable constant.
+std::string DescribeParam(const relational::Query& q,
+                          const relational::ParamRef& ref,
+                          const relational::Schema& schema) {
+  using Kind = relational::ParamRef::Kind;
+  switch (ref.kind) {
+    case Kind::kSetConstant: {
+      const auto& clause = q.set_clauses()[ref.index];
+      return "SET " + schema.attr_name(clause.attr) + " constant";
+    }
+    case Kind::kSetCoeff: {
+      const auto& clause = q.set_clauses()[ref.index];
+      return "SET " + schema.attr_name(clause.attr) +
+             StringPrintf(" coefficient #%zu", ref.term);
+    }
+    case Kind::kWhereRhs:
+      return StringPrintf("WHERE atom #%zu threshold", ref.index);
+    case Kind::kInsertValue:
+      if (ref.index < schema.num_attrs()) {
+        return "VALUE " + schema.attr_name(ref.index);
+      }
+      return StringPrintf("VALUE #%zu", ref.index);
+  }
+  return "parameter";
+}
+
+}  // namespace
+
+std::vector<QueryDiff> DiffLogs(const relational::QueryLog& original,
+                                const relational::QueryLog& repaired,
+                                const relational::Schema& schema,
+                                double tol) {
+  QFIX_CHECK(original.size() == repaired.size())
+      << "log diff requires structurally identical logs: " << original.size()
+      << " vs " << repaired.size() << " queries";
+  std::vector<QueryDiff> out;
+  for (size_t i = 0; i < original.size(); ++i) {
+    const relational::Query& a = original[i];
+    const relational::Query& b = repaired[i];
+    QFIX_CHECK(a.type() == b.type())
+        << "query " << i << " changed type; repairs alter constants only";
+    std::vector<relational::ParamRef> params = a.Params();
+    QFIX_CHECK(params.size() == b.Params().size())
+        << "query " << i << " changed shape";
+
+    QueryDiff diff;
+    diff.index = i;
+    for (const relational::ParamRef& ref : params) {
+      double before = a.GetParam(ref);
+      double after = b.GetParam(ref);
+      if (std::fabs(before - after) <= tol) continue;
+      diff.params.push_back({ref, before, after, DescribeParam(a, ref, schema)});
+    }
+    if (diff.params.empty()) continue;
+    diff.original_sql = a.ToSql(schema);
+    diff.repaired_sql = b.ToSql(schema);
+    out.push_back(std::move(diff));
+  }
+  return out;
+}
+
+std::string FormatLogDiff(const std::vector<QueryDiff>& diffs) {
+  if (diffs.empty()) return "(no query changes)\n";
+  std::string out;
+  for (const QueryDiff& d : diffs) {
+    out += StringPrintf("@@ q%zu @@\n", d.index + 1);
+    out += "- " + d.original_sql + "\n";
+    out += "+ " + d.repaired_sql + "\n";
+    for (const ParamChange& p : d.params) {
+      double delta = p.after - p.before;
+      out += "    " + p.where + ": " + FormatNumber(p.before) + " -> " +
+             FormatNumber(p.after) +
+             StringPrintf(" (%s%s)\n", delta >= 0 ? "+" : "",
+                          FormatNumber(delta).c_str());
+    }
+  }
+  return out;
+}
+
+std::string FormatLogDiff(const relational::QueryLog& original,
+                          const relational::QueryLog& repaired,
+                          const relational::Schema& schema) {
+  return FormatLogDiff(DiffLogs(original, repaired, schema));
+}
+
+}  // namespace sql
+}  // namespace qfix

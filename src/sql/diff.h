@@ -1,0 +1,62 @@
+// Log diff: renders the difference between an executed query log Q and a
+// repaired log Q* as SQL, unified-diff style, with a per-parameter change
+// list. This is how QFix presents a diagnosis to the administrator who
+// must validate it (§1: repairs are confirmed by an expert before being
+// applied).
+//
+//   @@ q1 (UPDATE Taxes) @@
+//   - UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700;
+//   + UPDATE Taxes SET owed = income * 0.3 WHERE income >= 87500;
+//       WHERE atom #0 threshold: 85700 -> 87500 (+1800)
+#ifndef QFIX_SQL_DIFF_H_
+#define QFIX_SQL_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/query.h"
+#include "relational/schema.h"
+
+namespace qfix {
+namespace sql {
+
+/// One repaired constant inside a query.
+struct ParamChange {
+  relational::ParamRef ref;
+  double before = 0.0;
+  double after = 0.0;
+  /// Human-readable location, e.g. "SET owed constant" or
+  /// "WHERE atom #2 threshold".
+  std::string where;
+};
+
+/// One query whose parameters differ between the two logs.
+struct QueryDiff {
+  /// Position in the log (0 = oldest, matching q_{index+1} in the paper).
+  size_t index = 0;
+  std::string original_sql;
+  std::string repaired_sql;
+  std::vector<ParamChange> params;
+};
+
+/// Compares two structurally identical logs (same queries, possibly
+/// different constants) and returns the queries whose parameters changed,
+/// in log order. Tolerance `tol` suppresses floating-point dust.
+std::vector<QueryDiff> DiffLogs(const relational::QueryLog& original,
+                                const relational::QueryLog& repaired,
+                                const relational::Schema& schema,
+                                double tol = 1e-9);
+
+/// Renders DiffLogs output as unified-diff-style text. Returns
+/// "(no query changes)\n" for an empty diff.
+std::string FormatLogDiff(const std::vector<QueryDiff>& diffs);
+
+/// Convenience: DiffLogs + FormatLogDiff.
+std::string FormatLogDiff(const relational::QueryLog& original,
+                          const relational::QueryLog& repaired,
+                          const relational::Schema& schema);
+
+}  // namespace sql
+}  // namespace qfix
+
+#endif  // QFIX_SQL_DIFF_H_

@@ -1,0 +1,136 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace qfix {
+namespace sql {
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "UPDATE", "SET",    "WHERE", "INSERT", "INTO", "VALUES",
+      "DELETE", "FROM",   "AND",   "OR",     "TRUE", "BETWEEN",
+      "IN",     "TABLE",
+  };
+  return *kKeywords;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      std::string word(input.substr(start, i - start));
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper)) {
+        tokens.push_back({TokenType::kKeyword, upper, 0.0, start});
+      } else {
+        tokens.push_back({TokenType::kIdentifier, word, 0.0, start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.')) {
+        ++i;
+      }
+      // Optional exponent.
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        size_t exp = i + 1;
+        if (exp < n && (input[exp] == '+' || input[exp] == '-')) ++exp;
+        if (exp < n && std::isdigit(static_cast<unsigned char>(input[exp]))) {
+          i = exp;
+          while (i < n &&
+                 std::isdigit(static_cast<unsigned char>(input[i]))) {
+            ++i;
+          }
+        }
+      }
+      std::string text(input.substr(start, i - start));
+      char* end = nullptr;
+      double value = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument(
+            StringPrintf("bad numeric literal '%s' at offset %zu",
+                         text.c_str(), start));
+      }
+      if (!std::isfinite(value)) {
+        // An infinite constant would poison the MILP encoding (Model
+        // validation rejects non-finite coefficients downstream).
+        return Status::InvalidArgument(
+            StringPrintf("numeric literal '%s' at offset %zu overflows "
+                         "double precision",
+                         text.c_str(), start));
+      }
+      tokens.push_back({TokenType::kNumber, text, value, start});
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < n) {
+      std::string two(input.substr(i, 2));
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+        tokens.push_back({TokenType::kSymbol, two, 0.0, i});
+        i += 2;
+        continue;
+      }
+    }
+    switch (c) {
+      case '(':
+      case ')':
+      case '[':
+      case ']':
+      case ',':
+      case ';':
+      case '+':
+      case '-':
+      case '*':
+      case '/':
+      case '=':
+      case '<':
+      case '>':
+        tokens.push_back({TokenType::kSymbol, std::string(1, c), 0.0, i});
+        ++i;
+        break;
+      default:
+        return Status::InvalidArgument(
+            StringPrintf("unexpected character '%c' at offset %zu", c, i));
+    }
+  }
+  tokens.push_back({TokenType::kEnd, "", 0.0, n});
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace qfix

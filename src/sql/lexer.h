@@ -1,0 +1,37 @@
+// Tokenizer for the supported SQL subset.
+#ifndef QFIX_SQL_LEXER_H_
+#define QFIX_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace qfix {
+namespace sql {
+
+enum class TokenType {
+  kIdentifier,  // attribute / table names (case-preserved)
+  kKeyword,     // UPDATE, SET, WHERE, ... (upper-cased)
+  kNumber,
+  kSymbol,  // ( ) [ ] , ; + - * / = <= < >= > <> !=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;    // keyword/symbol text, identifier name
+  double number = 0.0; // kNumber only
+  size_t offset = 0;   // byte offset into the input, for error messages
+};
+
+/// Splits `input` into tokens. Keywords are recognized case-insensitively
+/// and normalized to upper case. Returns InvalidArgument on characters
+/// outside the language.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace sql
+}  // namespace qfix
+
+#endif  // QFIX_SQL_LEXER_H_

@@ -1,0 +1,328 @@
+#include "sql/parser.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+#include "sql/lexer.h"
+
+namespace qfix {
+namespace sql {
+namespace {
+
+using relational::CmpOp;
+using relational::Comparison;
+using relational::LinearExpr;
+using relational::Predicate;
+using relational::Query;
+using relational::QueryLog;
+using relational::Schema;
+using relational::SetClause;
+
+/// Recursive-descent parser over a token stream.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const Schema& schema)
+      : tokens_(std::move(tokens)), schema_(schema) {}
+
+  Result<Query> ParseStatement() {
+    QFIX_ASSIGN_OR_RETURN(Query q, ParseStatementBody());
+    // Optional trailing semicolon, then end of input.
+    (void)ConsumeSymbol(";");
+    if (!AtEnd()) {
+      return Error("trailing input after statement");
+    }
+    return q;
+  }
+
+  Result<QueryLog> ParseStatements() {
+    QueryLog log;
+    while (!AtEnd()) {
+      QFIX_ASSIGN_OR_RETURN(Query q, ParseStatementBody());
+      log.push_back(std::move(q));
+      if (!ConsumeSymbol(";") && !AtEnd()) {
+        return Error("expected ';' between statements");
+      }
+    }
+    return log;
+  }
+
+ private:
+  Result<Query> ParseStatementBody() {
+    if (ConsumeKeyword("UPDATE")) return ParseUpdate();
+    if (ConsumeKeyword("INSERT")) return ParseInsert();
+    if (ConsumeKeyword("DELETE")) return ParseDelete();
+    return Error("expected UPDATE, INSERT, or DELETE");
+  }
+
+  Result<Query> ParseUpdate() {
+    QFIX_ASSIGN_OR_RETURN(std::string table, ExpectIdentifier("table name"));
+    if (!ConsumeKeyword("SET")) return Error("expected SET");
+    std::vector<SetClause> sets;
+    do {
+      QFIX_ASSIGN_OR_RETURN(std::string attr,
+                            ExpectIdentifier("attribute name"));
+      QFIX_ASSIGN_OR_RETURN(size_t attr_idx, schema_.AttrIndex(attr));
+      if (!ConsumeSymbol("=")) return Error("expected '=' in SET clause");
+      QFIX_ASSIGN_OR_RETURN(LinearExpr expr, ParseLinearExpr());
+      sets.push_back({attr_idx, std::move(expr)});
+    } while (ConsumeSymbol(","));
+    QFIX_ASSIGN_OR_RETURN(Predicate where, ParseOptionalWhere());
+    return Query::Update(std::move(table), std::move(sets),
+                         std::move(where));
+  }
+
+  Result<Query> ParseInsert() {
+    if (!ConsumeKeyword("INTO")) return Error("expected INTO");
+    QFIX_ASSIGN_OR_RETURN(std::string table, ExpectIdentifier("table name"));
+    if (!ConsumeKeyword("VALUES")) return Error("expected VALUES");
+    if (!ConsumeSymbol("(")) return Error("expected '('");
+    std::vector<double> values;
+    do {
+      QFIX_ASSIGN_OR_RETURN(double v, ExpectSignedNumber());
+      values.push_back(v);
+    } while (ConsumeSymbol(","));
+    if (!ConsumeSymbol(")")) return Error("expected ')'");
+    if (values.size() != schema_.num_attrs()) {
+      return Error(StringPrintf("INSERT provides %zu values; schema has %zu",
+                                values.size(), schema_.num_attrs()));
+    }
+    return Query::Insert(std::move(table), std::move(values));
+  }
+
+  Result<Query> ParseDelete() {
+    if (!ConsumeKeyword("FROM")) return Error("expected FROM");
+    QFIX_ASSIGN_OR_RETURN(std::string table, ExpectIdentifier("table name"));
+    QFIX_ASSIGN_OR_RETURN(Predicate where, ParseOptionalWhere());
+    return Query::Delete(std::move(table), std::move(where));
+  }
+
+  Result<Predicate> ParseOptionalWhere() {
+    if (!ConsumeKeyword("WHERE")) return Predicate::True();
+    return ParseOr();
+  }
+
+  Result<Predicate> ParseOr() {
+    std::vector<Predicate> children;
+    QFIX_ASSIGN_OR_RETURN(Predicate first, ParseAnd());
+    children.push_back(std::move(first));
+    while (ConsumeKeyword("OR")) {
+      QFIX_ASSIGN_OR_RETURN(Predicate next, ParseAnd());
+      children.push_back(std::move(next));
+    }
+    return Predicate::Or(std::move(children));
+  }
+
+  Result<Predicate> ParseAnd() {
+    std::vector<Predicate> children;
+    QFIX_ASSIGN_OR_RETURN(Predicate first, ParseFactor());
+    children.push_back(std::move(first));
+    while (ConsumeKeyword("AND")) {
+      QFIX_ASSIGN_OR_RETURN(Predicate next, ParseFactor());
+      children.push_back(std::move(next));
+    }
+    return Predicate::And(std::move(children));
+  }
+
+  Result<Predicate> ParseFactor() {
+    if (ConsumeKeyword("TRUE")) return Predicate::True();
+    if (ConsumeSymbol("(")) {
+      QFIX_ASSIGN_OR_RETURN(Predicate inner, ParseOr());
+      if (!ConsumeSymbol(")")) return Error("expected ')'");
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  Result<Predicate> ParseComparison() {
+    QFIX_ASSIGN_OR_RETURN(LinearExpr lhs, ParseLinearExpr());
+
+    if (ConsumeKeyword("BETWEEN")) {
+      QFIX_ASSIGN_OR_RETURN(double lo, ExpectSignedNumber());
+      if (!ConsumeKeyword("AND")) return Error("expected AND in BETWEEN");
+      QFIX_ASSIGN_OR_RETURN(double hi, ExpectSignedNumber());
+      return MakeRange(std::move(lhs), lo, hi);
+    }
+    if (ConsumeKeyword("IN")) {
+      if (!ConsumeSymbol("[")) return Error("expected '[' after IN");
+      QFIX_ASSIGN_OR_RETURN(double lo, ExpectSignedNumber());
+      if (!ConsumeSymbol(",")) return Error("expected ',' in IN range");
+      QFIX_ASSIGN_OR_RETURN(double hi, ExpectSignedNumber());
+      if (!ConsumeSymbol("]")) return Error("expected ']' after IN range");
+      return MakeRange(std::move(lhs), lo, hi);
+    }
+
+    CmpOp op;
+    if (ConsumeSymbol("<=")) {
+      op = CmpOp::kLe;
+    } else if (ConsumeSymbol(">=")) {
+      op = CmpOp::kGe;
+    } else if (ConsumeSymbol("<>") || ConsumeSymbol("!=")) {
+      op = CmpOp::kNeq;
+    } else if (ConsumeSymbol("<")) {
+      op = CmpOp::kLt;
+    } else if (ConsumeSymbol(">")) {
+      op = CmpOp::kGt;
+    } else if (ConsumeSymbol("=")) {
+      op = CmpOp::kEq;
+    } else {
+      return Error("expected comparison operator");
+    }
+    QFIX_ASSIGN_OR_RETURN(LinearExpr rhs, ParseLinearExpr());
+
+    // Normalize to `attr-terms op constant`: every literal lands in the
+    // right-hand constant, the atom's repairable parameter.
+    LinearExpr combined = std::move(lhs);
+    combined -= rhs;
+    double rhs_const = -combined.constant();
+    combined.set_constant(0.0);
+    return Predicate::Atom(Comparison{std::move(combined), op, rhs_const});
+  }
+
+  Result<Predicate> MakeRange(LinearExpr lhs, double lo, double hi) {
+    double shift = lhs.constant();
+    lhs.set_constant(0.0);
+    LinearExpr copy = lhs;
+    return Predicate::And(
+        {Predicate::Atom(Comparison{std::move(lhs), CmpOp::kGe, lo - shift}),
+         Predicate::Atom(
+             Comparison{std::move(copy), CmpOp::kLe, hi - shift})});
+  }
+
+  // linear-expr := term (('+'|'-') term)*
+  Result<LinearExpr> ParseLinearExpr() {
+    QFIX_ASSIGN_OR_RETURN(LinearExpr expr, ParseTerm());
+    while (true) {
+      if (ConsumeSymbol("+")) {
+        QFIX_ASSIGN_OR_RETURN(LinearExpr t, ParseTerm());
+        expr += t;
+      } else if (ConsumeSymbol("-")) {
+        QFIX_ASSIGN_OR_RETURN(LinearExpr t, ParseTerm());
+        expr -= t;
+      } else {
+        return expr;
+      }
+    }
+  }
+
+  // term := unary (('*'|'/') unary)*, restricted to keep linearity.
+  Result<LinearExpr> ParseTerm() {
+    QFIX_ASSIGN_OR_RETURN(LinearExpr expr, ParseUnary());
+    while (true) {
+      if (ConsumeSymbol("*")) {
+        QFIX_ASSIGN_OR_RETURN(LinearExpr rhs, ParseUnary());
+        if (rhs.IsConstant()) {
+          expr *= rhs.constant();
+        } else if (expr.IsConstant()) {
+          double k = expr.constant();
+          expr = std::move(rhs);
+          expr *= k;
+        } else {
+          return Error("non-linear product of two attribute expressions");
+        }
+      } else if (ConsumeSymbol("/")) {
+        QFIX_ASSIGN_OR_RETURN(LinearExpr rhs, ParseUnary());
+        if (!rhs.IsConstant() || rhs.constant() == 0.0) {
+          return Error("division must be by a non-zero constant");
+        }
+        expr *= 1.0 / rhs.constant();
+      } else {
+        return expr;
+      }
+    }
+  }
+
+  // unary := ('-')* primary;  primary := number | attr | '(' expr ')'
+  Result<LinearExpr> ParseUnary() {
+    if (ConsumeSymbol("-")) {
+      QFIX_ASSIGN_OR_RETURN(LinearExpr inner, ParseUnary());
+      inner *= -1.0;
+      return inner;
+    }
+    if (Peek().type == TokenType::kNumber) {
+      double v = Peek().number;
+      Advance();
+      return LinearExpr::Constant(v);
+    }
+    if (Peek().type == TokenType::kIdentifier) {
+      QFIX_ASSIGN_OR_RETURN(size_t attr, schema_.AttrIndex(Peek().text));
+      Advance();
+      return LinearExpr::Attr(attr);
+    }
+    if (ConsumeSymbol("(")) {
+      QFIX_ASSIGN_OR_RETURN(LinearExpr inner, ParseLinearExpr());
+      if (!ConsumeSymbol(")")) return Error("expected ')'");
+      return inner;
+    }
+    return Error("expected number, attribute, or '('");
+  }
+
+  // --- token-stream helpers ---
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  bool ConsumeKeyword(std::string_view kw) {
+    if (Peek().type == TokenType::kKeyword && Peek().text == kw) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeSymbol(std::string_view sym) {
+    if (Peek().type == TokenType::kSymbol && Peek().text == sym) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ExpectIdentifier(std::string_view what) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error(std::string("expected ") + std::string(what));
+    }
+    std::string name = Peek().text;
+    Advance();
+    return name;
+  }
+
+  Result<double> ExpectSignedNumber() {
+    double sign = 1.0;
+    while (ConsumeSymbol("-")) sign = -sign;
+    if (Peek().type != TokenType::kNumber) {
+      return Error("expected numeric literal");
+    }
+    double v = sign * Peek().number;
+    Advance();
+    return v;
+  }
+
+  Status Error(std::string message) const {
+    return Status::InvalidArgument(StringPrintf(
+        "%s (near offset %zu, at '%s')", message.c_str(), Peek().offset,
+        Peek().type == TokenType::kEnd ? "<end>" : Peek().text.c_str()));
+  }
+
+  std::vector<Token> tokens_;
+  const Schema& schema_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view sql, const Schema& schema) {
+  QFIX_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens), schema);
+  return parser.ParseStatement();
+}
+
+Result<QueryLog> ParseLog(std::string_view sql, const Schema& schema) {
+  QFIX_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens), schema);
+  return parser.ParseStatements();
+}
+
+}  // namespace sql
+}  // namespace qfix

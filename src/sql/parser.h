@@ -1,0 +1,39 @@
+// Parser for the supported SQL subset (paper §3, problem scope):
+//
+//   UPDATE <table> SET a = <linear-expr> [, ...] [WHERE <pred>]
+//   INSERT INTO <table> VALUES (<num>, ...)
+//   DELETE FROM <table> [WHERE <pred>]
+//
+//   <pred>  := disjunctions/conjunctions of comparisons, parentheses,
+//              BETWEEN lo AND hi, attr IN [lo, hi], TRUE
+//   <linear-expr> := sums/differences of attributes, numeric literals,
+//              and products of an attribute with a constant
+//
+// No subqueries, joins, aggregation, or UDFs — exactly the fragment QFix
+// repairs. Comparisons are normalized to `linear-expr op constant` with
+// every literal folded into the right-hand constant, which becomes the
+// atom's repairable parameter.
+#ifndef QFIX_SQL_PARSER_H_
+#define QFIX_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "relational/query.h"
+#include "relational/schema.h"
+
+namespace qfix {
+namespace sql {
+
+/// Parses one statement. Attribute names resolve against `schema`.
+Result<relational::Query> ParseQuery(std::string_view sql,
+                                     const relational::Schema& schema);
+
+/// Parses a ';'-separated sequence of statements into a query log.
+Result<relational::QueryLog> ParseLog(std::string_view sql,
+                                      const relational::Schema& schema);
+
+}  // namespace sql
+}  // namespace qfix
+
+#endif  // QFIX_SQL_PARSER_H_

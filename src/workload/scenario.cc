@@ -1,0 +1,24 @@
+#include "workload/scenario.h"
+
+#include "relational/executor.h"
+
+namespace qfix {
+namespace workload {
+
+Scenario FinalizeScenario(relational::Database d0,
+                          relational::QueryLog clean_log,
+                          relational::QueryLog dirty_log,
+                          std::vector<size_t> corrupted_queries) {
+  Scenario s;
+  s.dirty = relational::ExecuteLog(dirty_log, d0);
+  s.truth = relational::ExecuteLog(clean_log, d0);
+  s.complaints = provenance::DiffStates(s.dirty, s.truth);
+  s.d0 = std::move(d0);
+  s.clean_log = std::move(clean_log);
+  s.dirty_log = std::move(dirty_log);
+  s.corrupted_queries = std::move(corrupted_queries);
+  return s;
+}
+
+}  // namespace workload
+}  // namespace qfix

@@ -1,0 +1,40 @@
+// A complete experiment scenario: clean log, corrupted log, both final
+// states, and the derived true complaint set (the experimental protocol
+// of §7.1).
+#ifndef QFIX_WORKLOAD_SCENARIO_H_
+#define QFIX_WORKLOAD_SCENARIO_H_
+
+#include <vector>
+
+#include "provenance/complaint.h"
+#include "relational/database.h"
+#include "relational/query.h"
+
+namespace qfix {
+namespace workload {
+
+struct Scenario {
+  relational::Database d0;
+  relational::QueryLog clean_log;
+  relational::QueryLog dirty_log;
+  /// Q(D0): the observed, corrupted final state.
+  relational::Database dirty;
+  /// Q*(D0): the true final state (unknown to the repair algorithms;
+  /// used for complaint derivation and accuracy scoring).
+  relational::Database truth;
+  /// The complete complaint set (tuple-wise diff of dirty vs truth).
+  provenance::ComplaintSet complaints;
+  /// Log indexes that were corrupted.
+  std::vector<size_t> corrupted_queries;
+};
+
+/// Executes both logs and derives the complete complaint set.
+Scenario FinalizeScenario(relational::Database d0,
+                          relational::QueryLog clean_log,
+                          relational::QueryLog dirty_log,
+                          std::vector<size_t> corrupted_queries);
+
+}  // namespace workload
+}  // namespace qfix
+
+#endif  // QFIX_WORKLOAD_SCENARIO_H_

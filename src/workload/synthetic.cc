@@ -1,0 +1,247 @@
+#include "workload/synthetic.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "relational/executor.h"
+
+namespace qfix {
+namespace workload {
+
+using relational::CmpOp;
+using relational::Comparison;
+using relational::Database;
+using relational::LinearExpr;
+using relational::ParamRef;
+using relational::Predicate;
+using relational::Query;
+using relational::QueryLog;
+using relational::QueryType;
+using relational::Schema;
+using relational::SetClause;
+
+namespace {
+
+constexpr size_t kIdAttr = 0;  // attribute 0 is the primary key `id`
+
+Schema MakeSchema(size_t num_attrs) {
+  std::vector<std::string> names;
+  names.reserve(num_attrs + 1);
+  names.push_back("id");
+  for (size_t i = 0; i < num_attrs; ++i) {
+    names.push_back(StringPrintf("a%zu", i));
+  }
+  return Schema(std::move(names));
+}
+
+double DrawValue(const SyntheticSpec& spec, Rng& rng) {
+  return static_cast<double>(
+      rng.UniformInt(0, static_cast<int64_t>(spec.value_domain)));
+}
+
+/// Per-dimension range width holding expected cardinality constant: the
+/// one-dimensional selectivity is r / V_d, so each of the d conjuncts
+/// uses width V_d * (r / V_d)^(1/d).
+double PerDimensionRange(const SyntheticSpec& spec) {
+  if (spec.where_dimensions <= 1) return spec.range_size;
+  double sel = spec.range_size / spec.value_domain;
+  return spec.value_domain *
+         std::pow(sel, 1.0 / static_cast<double>(spec.where_dimensions));
+}
+
+/// Picks a (1-based) data attribute index, zipf-skewed when s > 0.
+size_t PickAttr(const SyntheticSpec& spec, const ZipfianDistribution& zipf,
+                Rng& rng) {
+  if (spec.skew <= 0.0) return 1 + rng.Index(spec.num_attrs);
+  return 1 + zipf.Sample(rng);
+}
+
+Predicate MakeWhere(const SyntheticSpec& spec,
+                    const ZipfianDistribution& zipf, Rng& rng,
+                    size_t current_rows) {
+  if (spec.where_type == WhereClauseType::kPoint) {
+    double key = static_cast<double>(
+        rng.UniformInt(0, static_cast<int64_t>(current_rows) - 1));
+    return Predicate::Atom(
+        Comparison{LinearExpr::Attr(kIdAttr), CmpOp::kEq, key});
+  }
+  const double width = PerDimensionRange(spec);
+  std::vector<Predicate> conjuncts;
+  for (size_t d = 0; d < spec.where_dimensions; ++d) {
+    size_t attr = PickAttr(spec, zipf, rng);
+    // Keep the interval inside the value domain so the effective
+    // selectivity matches the target instead of being clipped.
+    double max_lo = std::max(0.0, spec.value_domain - width);
+    double lo = static_cast<double>(
+        rng.UniformInt(0, static_cast<int64_t>(max_lo)));
+    conjuncts.push_back(Predicate::Between(attr, lo, lo + width));
+  }
+  return Predicate::And(std::move(conjuncts));
+}
+
+Query MakeUpdate(const SyntheticSpec& spec, const ZipfianDistribution& zipf,
+                 Rng& rng, size_t current_rows) {
+  size_t set_attr = PickAttr(spec, zipf, rng);
+  LinearExpr expr =
+      spec.set_type == SetClauseType::kConstant
+          ? LinearExpr::Constant(DrawValue(spec, rng))
+          : LinearExpr::AttrScaled(set_attr, 1.0, DrawValue(spec, rng));
+  return Query::Update("T", {{set_attr, std::move(expr)}},
+                       MakeWhere(spec, zipf, rng, current_rows));
+}
+
+Query MakeInsert(const SyntheticSpec& spec, Rng& rng, size_t next_id) {
+  std::vector<double> values;
+  values.reserve(spec.num_attrs + 1);
+  values.push_back(static_cast<double>(next_id));
+  for (size_t a = 0; a < spec.num_attrs; ++a) {
+    values.push_back(DrawValue(spec, rng));
+  }
+  return Query::Insert("T", std::move(values));
+}
+
+}  // namespace
+
+Database GenerateDatabase(const SyntheticSpec& spec, Rng& rng) {
+  Database db(MakeSchema(spec.num_attrs), "T");
+  for (size_t i = 0; i < spec.num_tuples; ++i) {
+    std::vector<double> values;
+    values.reserve(spec.num_attrs + 1);
+    values.push_back(static_cast<double>(i));  // id == tid
+    for (size_t a = 0; a < spec.num_attrs; ++a) {
+      values.push_back(DrawValue(spec, rng));
+    }
+    db.AddTuple(std::move(values));
+  }
+  return db;
+}
+
+QueryLog GenerateLog(const SyntheticSpec& spec, const Database& d0,
+                     Rng& rng) {
+  QFIX_CHECK(spec.insert_fraction + spec.delete_fraction <= 1.0 + 1e-9);
+  ZipfianDistribution zipf(spec.num_attrs, std::max(spec.skew, 1e-9));
+  QueryLog log;
+  log.reserve(spec.num_queries);
+  size_t rows = d0.NumSlots();
+  for (size_t i = 0; i < spec.num_queries; ++i) {
+    double draw = rng.UniformReal(0.0, 1.0);
+    if (draw < spec.insert_fraction) {
+      log.push_back(MakeInsert(spec, rng, rows));
+      ++rows;
+    } else if (draw < spec.insert_fraction + spec.delete_fraction) {
+      log.push_back(Query::Delete("T", MakeWhere(spec, zipf, rng, rows)));
+    } else {
+      log.push_back(MakeUpdate(spec, zipf, rng, rows));
+    }
+  }
+  return log;
+}
+
+namespace {
+
+// Redraws the constants of a WHERE tree following the generation
+// procedure: a range [lo, lo + r] is redrawn as a new range of the same
+// width (the paper's "[?, ?+r]" with a fresh ?), a point constant is
+// redrawn outright. Redrawing both endpoints independently would create
+// degenerate (empty) intervals the generator never produces.
+void CorruptPredicate(Predicate& pred, const SyntheticSpec& spec, Rng& rng) {
+  switch (pred.kind()) {
+    case Predicate::Kind::kTrue:
+      return;
+    case Predicate::Kind::kComparison: {
+      Comparison& cmp = pred.mutable_comparison();
+      double corrupted = cmp.rhs;
+      for (int tries = 0; tries < 64 && corrupted == cmp.rhs; ++tries) {
+        corrupted = DrawValue(spec, rng);
+      }
+      cmp.rhs = corrupted;
+      return;
+    }
+    case Predicate::Kind::kAnd: {
+      // Detect the generator's BETWEEN pattern: And{attr >= lo,
+      // attr <= hi} (possibly nested under a multi-dimension And).
+      auto& children = pred.mutable_children();
+      if (children.size() == 2 &&
+          children[0].kind() == Predicate::Kind::kComparison &&
+          children[1].kind() == Predicate::Kind::kComparison) {
+        Comparison& lo = children[0].mutable_comparison();
+        Comparison& hi = children[1].mutable_comparison();
+        if (lo.op == CmpOp::kGe && hi.op == CmpOp::kLe &&
+            lo.lhs == hi.lhs) {
+          double width = hi.rhs - lo.rhs;
+          double new_lo = lo.rhs;
+          double max_lo = std::max(0.0, spec.value_domain - width);
+          for (int tries = 0; tries < 64 && new_lo == lo.rhs; ++tries) {
+            new_lo = static_cast<double>(
+                rng.UniformInt(0, static_cast<int64_t>(max_lo)));
+          }
+          lo.rhs = new_lo;
+          hi.rhs = new_lo + width;
+          return;
+        }
+      }
+      for (Predicate& c : children) CorruptPredicate(c, spec, rng);
+      return;
+    }
+    case Predicate::Kind::kOr:
+      for (Predicate& c : pred.mutable_children()) {
+        CorruptPredicate(c, spec, rng);
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+void CorruptQueryConstants(QueryLog& log, size_t index,
+                           const SyntheticSpec& spec, Rng& rng) {
+  QFIX_CHECK(index < log.size());
+  Query& q = log[index];
+  switch (q.type()) {
+    case QueryType::kInsert:
+      for (size_t a = 1; a < q.insert_values().size(); ++a) {
+        double original = q.insert_values()[a];
+        double corrupted = original;
+        for (int tries = 0; tries < 64 && corrupted == original; ++tries) {
+          corrupted = DrawValue(spec, rng);
+        }
+        q.mutable_insert_values()[a] = corrupted;
+      }
+      return;
+    case QueryType::kUpdate:
+      for (SetClause& sc : q.mutable_set_clauses()) {
+        // Redraw the additive constant; multiplicative coefficients are
+        // structural (1.0 for relative updates) and stay fixed.
+        double original = sc.expr.constant();
+        double corrupted = original;
+        for (int tries = 0; tries < 64 && corrupted == original; ++tries) {
+          corrupted = DrawValue(spec, rng);
+        }
+        sc.expr.set_constant(corrupted);
+      }
+      [[fallthrough]];
+    case QueryType::kDelete:
+      CorruptPredicate(q.mutable_where(), spec, rng);
+      return;
+  }
+}
+
+Scenario MakeSyntheticScenario(const SyntheticSpec& spec,
+                               const std::vector<size_t>& corrupt_indexes,
+                               uint64_t seed) {
+  Rng rng(seed);
+  Database d0 = GenerateDatabase(spec, rng);
+  QueryLog clean_log = GenerateLog(spec, d0, rng);
+  QueryLog dirty_log = clean_log;
+  for (size_t idx : corrupt_indexes) {
+    CorruptQueryConstants(dirty_log, idx, spec, rng);
+  }
+  return FinalizeScenario(std::move(d0), std::move(clean_log),
+                          std::move(dirty_log), corrupt_indexes);
+}
+
+}  // namespace workload
+}  // namespace qfix

@@ -1,0 +1,75 @@
+// Synthetic workload generator (paper §7.1).
+//
+// Schema: primary key `id` plus Na attributes a0..a{Na-1} with integer
+// values drawn uniformly from [0, Vd]. UPDATE queries combine a Constant
+// or Relative SET clause with a Point (key) or Range (non-key) WHERE
+// clause; DELETE shares the WHERE shapes; INSERT draws fresh uniform
+// values. The zipf parameter s skews which attributes queries touch
+// (Fig. 8d), and the WHERE dimensionality knob adds conjuncts while
+// holding query cardinality constant (Fig. 8e).
+#ifndef QFIX_WORKLOAD_SYNTHETIC_H_
+#define QFIX_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "workload/scenario.h"
+
+namespace qfix {
+namespace workload {
+
+enum class SetClauseType { kConstant, kRelative };
+enum class WhereClauseType { kPoint, kRange };
+
+struct SyntheticSpec {
+  /// N_D: initial database size. Paper default 1000.
+  size_t num_tuples = 1000;
+  /// N_a: non-key attributes. Paper default 10.
+  size_t num_attrs = 10;
+  /// V_d: attribute value domain [0, V_d]. Paper default 200.
+  double value_domain = 200;
+  /// N_q: log length. Paper default 300.
+  size_t num_queries = 300;
+  SetClauseType set_type = SetClauseType::kConstant;
+  WhereClauseType where_type = WhereClauseType::kRange;
+  /// Range width r; the paper's default selectivity 2% of V_d = 200 is
+  /// r = 4.
+  double range_size = 4;
+  /// Number of conjuncts in range WHERE clauses (Fig. 8e). Each extra
+  /// dimension shrinks the per-dimension width so that the expected
+  /// query cardinality stays constant.
+  size_t where_dimensions = 1;
+  /// Attribute skew s: 0 = uniform; higher concentrates SET/WHERE
+  /// attribute choices on low attribute indexes (Fig. 8d).
+  double skew = 0.0;
+  /// Query type mix; fractions must sum to <= 1 with the remainder
+  /// going to UPDATE.
+  double insert_fraction = 0.0;
+  double delete_fraction = 0.0;
+};
+
+/// Generates the initial database D0 (id column = tid).
+relational::Database GenerateDatabase(const SyntheticSpec& spec, Rng& rng);
+
+/// Generates a log of `spec.num_queries` queries against `d0`'s schema.
+relational::QueryLog GenerateLog(const SyntheticSpec& spec,
+                                 const relational::Database& d0, Rng& rng);
+
+/// Corrupts the constants of `log[index]` in place: every parameter is
+/// redrawn from the generation distribution until it differs from the
+/// original (the paper's same-type replacement, restricted to constants
+/// so that repairs-by-constants remain well-posed; see DESIGN.md).
+void CorruptQueryConstants(relational::QueryLog& log, size_t index,
+                           const SyntheticSpec& spec, Rng& rng);
+
+/// End-to-end §7.1 protocol: generate D0 and a clean log, corrupt the
+/// queries at `corrupt_indexes`, execute both logs, and diff the final
+/// states into the complete complaint set.
+Scenario MakeSyntheticScenario(const SyntheticSpec& spec,
+                               const std::vector<size_t>& corrupt_indexes,
+                               uint64_t seed);
+
+}  // namespace workload
+}  // namespace qfix
+
+#endif  // QFIX_WORKLOAD_SYNTHETIC_H_

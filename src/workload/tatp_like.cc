@@ -1,0 +1,91 @@
+#include "workload/tatp_like.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace qfix {
+namespace workload {
+
+using relational::CmpOp;
+using relational::Comparison;
+using relational::Database;
+using relational::LinearExpr;
+using relational::ParamRef;
+using relational::Predicate;
+using relational::Query;
+using relational::QueryLog;
+using relational::Schema;
+
+namespace {
+
+Schema SubscriberSchema() {
+  return Schema({"s_id", "bit_1", "hex_1", "byte2_1", "msc_location",
+                 "vlr_location"});
+}
+
+}  // namespace
+
+Scenario MakeTatpScenario(const TatpSpec& spec, size_t corrupt_age,
+                          uint64_t seed) {
+  QFIX_CHECK(corrupt_age < spec.num_queries);
+  Rng rng(seed);
+
+  Database d0(SubscriberSchema(), "SUBSCRIBER");
+  for (size_t i = 0; i < spec.subscribers; ++i) {
+    d0.AddTuple({static_cast<double>(i),
+                 static_cast<double>(rng.UniformInt(0, 1)),
+                 static_cast<double>(rng.UniformInt(0, 15)),
+                 static_cast<double>(rng.UniformInt(0, 255)),
+                 static_cast<double>(rng.UniformInt(0, 1 << 20)),
+                 static_cast<double>(rng.UniformInt(0, 1 << 20))});
+  }
+
+  QueryLog clean_log;
+  clean_log.reserve(spec.num_queries);
+  for (size_t i = 0; i < spec.num_queries; ++i) {
+    double key = static_cast<double>(
+        rng.UniformInt(0, static_cast<int64_t>(spec.subscribers) - 1));
+    Predicate where = Predicate::Atom(
+        Comparison{LinearExpr::Attr(0), CmpOp::kEq, key});
+    if (rng.Bernoulli(0.5)) {
+      // UPDATE_SUBSCRIBER_DATA: SET bit_1 = ?, byte2_1 = ?.
+      clean_log.push_back(Query::Update(
+          "SUBSCRIBER",
+          {{1, LinearExpr::Constant(
+                   static_cast<double>(rng.UniformInt(0, 1)))},
+           {3, LinearExpr::Constant(
+                   static_cast<double>(rng.UniformInt(0, 255)))}},
+          std::move(where)));
+    } else {
+      // UPDATE_LOCATION: SET vlr_location = ?.
+      clean_log.push_back(Query::Update(
+          "SUBSCRIBER",
+          {{5, LinearExpr::Constant(
+                   static_cast<double>(rng.UniformInt(0, 1 << 20)))}},
+          std::move(where)));
+    }
+  }
+
+  size_t corrupt_index = spec.num_queries - 1 - corrupt_age;
+  QueryLog dirty_log = clean_log;
+  Query& q = dirty_log[corrupt_index];
+  for (const ParamRef& ref : q.Params()) {
+    if (ref.kind == ParamRef::Kind::kWhereRhs) {
+      double orig = q.GetParam(ref);
+      double other = orig;
+      while (other == orig) {
+        other = static_cast<double>(
+            rng.UniformInt(0, static_cast<int64_t>(spec.subscribers) - 1));
+      }
+      q.SetParam(ref, other);
+    } else if (ref.kind == ParamRef::Kind::kSetConstant) {
+      q.SetParam(ref, q.GetParam(ref) + 7.0);
+    }
+  }
+
+  return FinalizeScenario(std::move(d0), std::move(clean_log),
+                          std::move(dirty_log), {corrupt_index});
+}
+
+}  // namespace workload
+}  // namespace qfix

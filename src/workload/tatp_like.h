@@ -1,0 +1,31 @@
+// TATP-like SUBSCRIBER workload (paper §7.4, Figure 9).
+//
+// Mirrors the paper's second benchmark: a SUBSCRIBER table of 5000 rows
+// and a 2000-query UPDATE-only log of point updates on the subscriber
+// key (TATP's UPDATE_SUBSCRIBER_DATA / UPDATE_LOCATION transactions).
+#ifndef QFIX_WORKLOAD_TATP_LIKE_H_
+#define QFIX_WORKLOAD_TATP_LIKE_H_
+
+#include <cstdint>
+
+#include "workload/scenario.h"
+
+namespace qfix {
+namespace workload {
+
+struct TatpSpec {
+  /// Initial SUBSCRIBER rows (paper: 5000).
+  size_t subscribers = 5000;
+  /// Log length (paper: 2000 UPDATEs).
+  size_t num_queries = 2000;
+};
+
+/// Generates the scenario with one corrupted query, `corrupt_age` queries
+/// before the end of the log (0 = most recent).
+Scenario MakeTatpScenario(const TatpSpec& spec, size_t corrupt_age,
+                          uint64_t seed);
+
+}  // namespace workload
+}  // namespace qfix
+
+#endif  // QFIX_WORKLOAD_TATP_LIKE_H_

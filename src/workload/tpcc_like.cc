@@ -1,0 +1,111 @@
+#include "workload/tpcc_like.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "relational/executor.h"
+
+namespace qfix {
+namespace workload {
+
+using relational::CmpOp;
+using relational::Comparison;
+using relational::Database;
+using relational::LinearExpr;
+using relational::ParamRef;
+using relational::Predicate;
+using relational::Query;
+using relational::QueryLog;
+using relational::Schema;
+
+namespace {
+
+// ORDER table columns (numeric projection of TPC-C's ORDER).
+// o_id is the primary key (== tid); o_carrier_id is NULL (0) until the
+// Delivery transaction assigns a carrier.
+Schema OrderSchema() {
+  return Schema({"o_id", "o_d_id", "o_w_id", "o_c_id", "o_entry_d",
+                 "o_carrier_id", "o_ol_cnt", "o_all_local"});
+}
+
+std::vector<double> RandomOrderRow(Rng& rng, size_t o_id, bool delivered) {
+  return {
+      static_cast<double>(o_id),
+      static_cast<double>(rng.UniformInt(1, 10)),    // district
+      1.0,                                           // warehouse (scale 1)
+      static_cast<double>(rng.UniformInt(1, 3000)),  // customer
+      static_cast<double>(rng.UniformInt(1, 100000)),  // entry date
+      delivered ? static_cast<double>(rng.UniformInt(1, 10)) : 0.0,
+      static_cast<double>(rng.UniformInt(5, 15)),    // order lines
+      1.0,                                           // all local
+  };
+}
+
+}  // namespace
+
+Scenario MakeTpccScenario(const TpccSpec& spec, size_t corrupt_age,
+                          uint64_t seed) {
+  QFIX_CHECK(corrupt_age < spec.num_queries)
+      << "corruption age beyond log length";
+  Rng rng(seed);
+
+  Database d0(OrderSchema(), "ORDER");
+  for (size_t i = 0; i < spec.initial_orders; ++i) {
+    d0.AddTuple(RandomOrderRow(rng, i, /*delivered=*/rng.Bernoulli(0.7)));
+  }
+
+  QueryLog clean_log;
+  clean_log.reserve(spec.num_queries);
+  size_t next_o_id = spec.initial_orders;
+  for (size_t i = 0; i < spec.num_queries; ++i) {
+    if (rng.Bernoulli(spec.insert_fraction)) {
+      // New-Order: INSERT INTO ORDER VALUES (...), undelivered.
+      clean_log.push_back(Query::Insert(
+          "ORDER", RandomOrderRow(rng, next_o_id, /*delivered=*/false)));
+      ++next_o_id;
+    } else {
+      // Delivery: UPDATE ORDER SET o_carrier_id = ? WHERE o_id = ?.
+      double target = static_cast<double>(
+          rng.UniformInt(0, static_cast<int64_t>(next_o_id) - 1));
+      clean_log.push_back(Query::Update(
+          "ORDER",
+          {{5, LinearExpr::Constant(
+                   static_cast<double>(rng.UniformInt(1, 10)))}},
+          Predicate::Atom(
+              Comparison{LinearExpr::Attr(0), CmpOp::kEq, target})));
+    }
+  }
+
+  // Corrupt one query, counted backwards from the most recent.
+  size_t corrupt_index = spec.num_queries - 1 - corrupt_age;
+  QueryLog dirty_log = clean_log;
+  Query& q = dirty_log[corrupt_index];
+  if (q.type() == relational::QueryType::kInsert) {
+    // Corrupt the customer id and order-line count.
+    q.mutable_insert_values()[3] =
+        static_cast<double>(rng.UniformInt(3001, 6000));
+    q.mutable_insert_values()[6] =
+        static_cast<double>(rng.UniformInt(20, 40));
+  } else {
+    // Wrong carrier assigned to the wrong order.
+    auto params = q.Params();
+    for (const ParamRef& ref : params) {
+      if (ref.kind == ParamRef::Kind::kSetConstant) {
+        q.SetParam(ref, q.GetParam(ref) + 20.0);
+      } else if (ref.kind == ParamRef::Kind::kWhereRhs) {
+        double orig = q.GetParam(ref);
+        double other = orig;
+        while (other == orig) {
+          other = static_cast<double>(
+              rng.UniformInt(0, static_cast<int64_t>(next_o_id) - 1));
+        }
+        q.SetParam(ref, other);
+      }
+    }
+  }
+
+  return FinalizeScenario(std::move(d0), std::move(clean_log),
+                          std::move(dirty_log), {corrupt_index});
+}
+
+}  // namespace workload
+}  // namespace qfix

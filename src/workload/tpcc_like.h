@@ -1,0 +1,39 @@
+// TPC-C-like ORDER-table workload (paper §7.4, Figure 9).
+//
+// OLTP-bench is a Java harness unavailable offline; this generator emits
+// the same query shapes QFix sees in the paper's TPC-C experiment: the
+// ORDER table at warehouse scale 1 (6000 initial rows), a 2000-query log
+// that is ~92% New-Order INSERTs with the remainder Delivery UPDATEs
+// (point predicates on the order key setting o_carrier_id). QFix only
+// observes the update log and the table states, so matching the mix,
+// predicate shapes, and sizes exercises the identical code paths
+// (substitution documented in DESIGN.md).
+#ifndef QFIX_WORKLOAD_TPCC_LIKE_H_
+#define QFIX_WORKLOAD_TPCC_LIKE_H_
+
+#include <cstdint>
+
+#include "workload/scenario.h"
+
+namespace qfix {
+namespace workload {
+
+struct TpccSpec {
+  /// Initial ORDER rows (paper: 6000, scale 1, one warehouse).
+  size_t initial_orders = 6000;
+  /// Log length (paper: 2000 with 1837 INSERTs).
+  size_t num_queries = 2000;
+  /// INSERT share of the log (paper: 1837 / 2000).
+  double insert_fraction = 1837.0 / 2000.0;
+};
+
+/// Generates the scenario with a single corrupted query at `corrupt_index`
+/// (an index from the *end*: 0 = most recent query, matching the paper's
+/// "vary corrupted query's index from q_N to q_{N-1500}").
+Scenario MakeTpccScenario(const TpccSpec& spec, size_t corrupt_age,
+                          uint64_t seed);
+
+}  // namespace workload
+}  // namespace qfix
+
+#endif  // QFIX_WORKLOAD_TPCC_LIKE_H_

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/attr_set.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/timer.h"
+
+namespace qfix {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Infeasible("no repair resolves all complaints");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInfeasible());
+  EXPECT_EQ(s.code(), StatusCode::kInfeasible);
+  EXPECT_EQ(s.ToString(), "Infeasible: no repair resolves all complaints");
+}
+
+TEST(StatusTest, AllNamedConstructorsMapToCodes) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Unbounded("x").IsUnbounded());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Unsupported("x").IsUnsupported());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+Status FailIfNegative(int v) {
+  if (v < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UsesReturnIfError(int v) {
+  QFIX_RETURN_IF_ERROR(FailIfNegative(v));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_TRUE(UsesReturnIfError(-1).IsInvalidArgument());
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Result<int> DoublePositive(int v) {
+  QFIX_ASSIGN_OR_RETURN(int x, ParsePositive(v));
+  return 2 * x;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> good = ParsePositive(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 21);
+
+  Result<int> bad = ParsePositive(-3);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> good = DoublePositive(4);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 8);
+  EXPECT_FALSE(DoublePositive(0).ok());
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, DeterministicUnderSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndComplete) {
+  Rng rng(3);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 9u);
+
+  auto partial = rng.SampleWithoutReplacement(100, 7);
+  std::set<size_t> distinct(partial.begin(), partial.end());
+  EXPECT_EQ(distinct.size(), 7u);
+  for (size_t v : partial) EXPECT_LT(v, 100u);
+}
+
+TEST(ZipfianTest, UniformWhenExponentZero) {
+  ZipfianDistribution zipf(4, 0.0);
+  Rng rng(11);
+  std::vector<int> counts(4, 0);
+  const int kTrials = 40000;
+  for (int i = 0; i < kTrials; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kTrials / 4.0, kTrials * 0.02);
+  }
+}
+
+TEST(ZipfianTest, SkewConcentratesOnLowIndexes) {
+  ZipfianDistribution zipf(10, 1.5);
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[0], counts[9]);
+  EXPECT_GT(counts[0], 20000 / 4);
+}
+
+TEST(AttrSetTest, InsertEraseContains) {
+  AttrSet s(130);
+  EXPECT_TRUE(s.Empty());
+  s.Insert(0);
+  s.Insert(64);
+  s.Insert(129);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(64));
+  EXPECT_TRUE(s.Contains(129));
+  EXPECT_FALSE(s.Contains(1));
+  EXPECT_EQ(s.Count(), 3u);
+  s.Erase(64);
+  EXPECT_FALSE(s.Contains(64));
+  EXPECT_EQ(s.Count(), 2u);
+}
+
+TEST(AttrSetTest, SetOperations) {
+  AttrSet a(70), b(70);
+  a.Insert(1);
+  a.Insert(65);
+  b.Insert(65);
+  b.Insert(2);
+  EXPECT_TRUE(a.Intersects(b));
+  AttrSet inter = a.Intersect(b);
+  EXPECT_EQ(inter.Count(), 1u);
+  EXPECT_TRUE(inter.Contains(65));
+
+  AttrSet u = a;
+  u.UnionWith(b);
+  EXPECT_EQ(u.Count(), 3u);
+  EXPECT_TRUE(u.ContainsAll(a));
+  EXPECT_TRUE(u.ContainsAll(b));
+  EXPECT_FALSE(a.ContainsAll(b));
+}
+
+TEST(AttrSetTest, ToVectorSorted) {
+  AttrSet s(10);
+  s.Insert(7);
+  s.Insert(2);
+  s.Insert(9);
+  std::vector<size_t> v = s.ToVector();
+  EXPECT_EQ(v, (std::vector<size_t>{2, 7, 9}));
+}
+
+TEST(StringsTest, FormatNumberTrimsIntegers) {
+  EXPECT_EQ(FormatNumber(3.0), "3");
+  EXPECT_EQ(FormatNumber(-42.0), "-42");
+  EXPECT_EQ(FormatNumber(0.25), "0.25");
+  EXPECT_EQ(FormatNumber(85700.0), "85700");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, " AND "), "a AND b AND c");
+}
+
+TEST(StringsTest, StringPrintf) {
+  EXPECT_EQ(StringPrintf("q%d: %s", 3, "UPDATE"), "q3: UPDATE");
+}
+
+TEST(TimerTest, DeadlineSemantics) {
+  EXPECT_FALSE(Deadline::Unlimited().Expired());
+  Deadline d = Deadline::AfterSeconds(1e-9);
+  // A nanosecond budget expires essentially immediately.
+  WallTimer w;
+  while (w.ElapsedSeconds() < 1e-6) {
+  }
+  EXPECT_TRUE(d.Expired());
+  EXPECT_GT(Deadline::Unlimited().RemainingSeconds(), 1e20);
+}
+
+}  // namespace
+}  // namespace qfix

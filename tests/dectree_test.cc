@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "dectree/decision_tree.h"
+#include "dectree/dectree_repair.h"
+#include "dectree/linear_system.h"
+#include "relational/executor.h"
+
+namespace qfix {
+namespace dectree {
+namespace {
+
+using relational::CmpOp;
+using relational::Database;
+using relational::LinearExpr;
+using relational::Predicate;
+using relational::Query;
+using relational::Schema;
+
+TEST(LinearSystemTest, SolvesSquareSystems) {
+  // x + y = 10, x - y = 2.
+  auto x = SolveSquare({{1, 1}, {1, -1}}, {10, 2});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 6.0, 1e-9);
+  EXPECT_NEAR((*x)[1], 4.0, 1e-9);
+}
+
+TEST(LinearSystemTest, PivotingHandlesZeroDiagonal) {
+  // First pivot is zero; partial pivoting must swap rows.
+  auto x = SolveSquare({{0, 2}, {3, 1}}, {4, 5});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-9);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-9);
+}
+
+TEST(LinearSystemTest, SingularIsInfeasible) {
+  EXPECT_TRUE(SolveSquare({{1, 1}, {2, 2}}, {3, 6}).status().IsInfeasible());
+}
+
+TEST(LinearSystemTest, LeastSquaresRecoverLine) {
+  // Fit y = 3x + 2 from noisy-free samples (overdetermined).
+  std::vector<std::vector<double>> a;
+  std::vector<double> b;
+  for (int i = 0; i < 10; ++i) {
+    a.push_back({double(i), 1.0});
+    b.push_back(3.0 * i + 2.0);
+  }
+  auto x = SolveLeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-8);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-8);
+}
+
+TEST(DecisionTreeTest, LearnsThresholdSplit) {
+  std::vector<Example> examples;
+  for (int i = 0; i < 40; ++i) {
+    examples.push_back({{double(i)}, i >= 25});
+  }
+  DecisionTree tree = DecisionTree::Train(examples);
+  EXPECT_FALSE(tree.Predict({10}));
+  EXPECT_FALSE(tree.Predict({24}));
+  EXPECT_TRUE(tree.Predict({25}));
+  EXPECT_TRUE(tree.Predict({39}));
+}
+
+TEST(DecisionTreeTest, LearnsIntervalAsTwoSplits) {
+  std::vector<Example> examples;
+  for (int i = 0; i < 60; ++i) {
+    examples.push_back({{double(i)}, i >= 20 && i <= 40});
+  }
+  DecisionTree tree = DecisionTree::Train(examples);
+  EXPECT_FALSE(tree.Predict({10}));
+  EXPECT_TRUE(tree.Predict({30}));
+  EXPECT_FALSE(tree.Predict({50}));
+}
+
+TEST(DecisionTreeTest, PredicateExtractionMatchesPredictions) {
+  Rng rng(99);
+  std::vector<Example> examples;
+  for (int i = 0; i < 120; ++i) {
+    double x = double(rng.UniformInt(0, 50));
+    double y = double(rng.UniformInt(0, 50));
+    examples.push_back({{x, y}, x >= 15 && y <= 30});
+  }
+  DecisionTree tree = DecisionTree::Train(examples);
+  Predicate pred = tree.ToPredicate(2);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> f{double(rng.UniformInt(0, 50)),
+                          double(rng.UniformInt(0, 50))};
+    EXPECT_EQ(tree.Predict(f), pred.Eval(f)) << f[0] << "," << f[1];
+  }
+}
+
+TEST(DecisionTreeTest, AllNegativeGivesNeverMatchingPredicate) {
+  std::vector<Example> examples;
+  for (int i = 0; i < 10; ++i) examples.push_back({{double(i)}, false});
+  DecisionTree tree = DecisionTree::Train(examples);
+  Predicate pred = tree.ToPredicate(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(pred.Eval({double(i)}));
+  }
+}
+
+TEST(DecTreeRepairTest, RepairsRangePredicateAndSetConstant) {
+  // Dirty: SET a1 = 9 WHERE a0 BETWEEN 10 AND 19 (should have been
+  // SET a1 = 5 WHERE a0 BETWEEN 30 AND 49).
+  Schema schema = Schema::WithDefaultNames(2);
+  Database d0(schema, "T");
+  for (int i = 0; i < 100; ++i) d0.AddTuple({double(i), 0});
+
+  Query dirty_q = Query::Update("T", {{1, LinearExpr::Constant(9)}},
+                                Predicate::Between(0, 10, 19));
+  Query clean_q = Query::Update("T", {{1, LinearExpr::Constant(5)}},
+                                Predicate::Between(0, 30, 49));
+  Database truth = d0;
+  relational::ApplyQuery(clean_q, truth);
+
+  auto result = RepairWithDecTree(dirty_q, d0, truth);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The repaired query must reproduce the truth exactly: with a dense
+  // integer grid the tree boundary lands between 29/30 and 49/50.
+  Database repaired_state = d0;
+  relational::ApplyQuery(result->repaired, repaired_state);
+  for (size_t i = 0; i < repaired_state.NumSlots(); ++i) {
+    EXPECT_DOUBLE_EQ(repaired_state.slot(i).values[1],
+                     truth.slot(i).values[1])
+        << "tuple " << i;
+  }
+}
+
+TEST(DecTreeRepairTest, RefitsRelativeSetExpression) {
+  // SET a1 = a1 + 3 (wrongly + 11) over a fixed predicate.
+  Schema schema = Schema::WithDefaultNames(2);
+  Database d0(schema, "T");
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    d0.AddTuple({double(i), double(rng.UniformInt(0, 40))});
+  }
+  Query dirty_q = Query::Update(
+      "T", {{1, LinearExpr::AttrScaled(1, 1.0, 11.0)}},
+      Predicate::Atom({LinearExpr::Attr(0), CmpOp::kGe, 25}));
+  Query clean_q = Query::Update(
+      "T", {{1, LinearExpr::AttrScaled(1, 1.0, 3.0)}},
+      Predicate::Atom({LinearExpr::Attr(0), CmpOp::kGe, 25}));
+  Database truth = d0;
+  relational::ApplyQuery(clean_q, truth);
+
+  auto result = RepairWithDecTree(dirty_q, d0, truth);
+  ASSERT_TRUE(result.ok());
+  Database repaired_state = d0;
+  relational::ApplyQuery(result->repaired, repaired_state);
+  for (size_t i = 0; i < repaired_state.NumSlots(); ++i) {
+    EXPECT_NEAR(repaired_state.slot(i).values[1], truth.slot(i).values[1],
+                1e-6);
+  }
+}
+
+TEST(DecTreeRepairTest, PointUpdateShowsLowPrecisionFailureMode) {
+  // The paper's "high selectivity, low precision" argument: a key-point
+  // update flips one record out of many; the tree may collapse to the
+  // always-false rule. Either way DecTree must not crash, and we record
+  // whether it missed the single changed tuple.
+  Schema schema = Schema::WithDefaultNames(2);
+  Database d0(schema, "T");
+  for (int i = 0; i < 500; ++i) d0.AddTuple({double(i), 0});
+  Query clean_q = Query::Update(
+      "T", {{1, LinearExpr::Constant(1)}},
+      Predicate::Atom({LinearExpr::Attr(0), CmpOp::kEq, 123}));
+  Database truth = d0;
+  relational::ApplyQuery(clean_q, truth);
+  Query dirty_q = Query::Update(
+      "T", {{1, LinearExpr::Constant(1)}},
+      Predicate::Atom({LinearExpr::Attr(0), CmpOp::kEq, 300}));
+
+  auto result = RepairWithDecTree(dirty_q, d0, truth);
+  ASSERT_TRUE(result.ok());
+  // No assertion on accuracy — this documents the failure mode the
+  // paper's Figure 10 quantifies. The repair must be a valid query.
+  Database repaired_state = d0;
+  relational::ApplyQuery(result->repaired, repaired_state);
+  SUCCEED();
+}
+
+TEST(DecTreeRepairTest, RejectsNonUpdateQueries) {
+  Schema schema = Schema::WithDefaultNames(2);
+  Database d0(schema, "T");
+  d0.AddTuple({1, 2});
+  Query del = Query::Delete("T", Predicate::True());
+  EXPECT_TRUE(
+      RepairWithDecTree(del, d0, d0).status().IsUnsupported());
+}
+
+}  // namespace
+}  // namespace dectree
+}  // namespace qfix

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "provenance/denoiser.h"
+#include "qfix/qfix.h"
+#include "relational/executor.h"
+
+namespace qfix {
+namespace provenance {
+namespace {
+
+using relational::CmpOp;
+using relational::Database;
+using relational::LinearExpr;
+using relational::Predicate;
+using relational::Query;
+using relational::QueryLog;
+using relational::Schema;
+
+Database MakeDirty(size_t n) {
+  Database db(Schema::WithDefaultNames(2), "T");
+  for (size_t i = 0; i < n; ++i) db.AddTuple({double(i), 100});
+  return db;
+}
+
+TEST(DenoiserTest, PassesSmallSetsThrough) {
+  Database dirty = MakeDirty(10);
+  ComplaintSet c;
+  c.Add({0, true, {0, 99999}});  // absurd, but only 1 complaint
+  DenoiseResult r = DenoiseComplaints(c, dirty);
+  EXPECT_EQ(r.kept.size(), 1u);
+  EXPECT_EQ(r.dropped.size(), 0u);
+}
+
+TEST(DenoiserTest, DropsMagnitudeOutlier) {
+  Database dirty = MakeDirty(20);
+  ComplaintSet c;
+  // Consistent complaints: a1 should be 110 (delta 10 each).
+  for (int64_t i = 0; i < 8; ++i) {
+    c.Add({i, true, {double(i), 110}});
+  }
+  // A fake complaint claiming a wild value (delta 1e6).
+  c.Add({10, true, {10, 1000100}});
+  DenoiseResult r = DenoiseComplaints(c, dirty);
+  EXPECT_EQ(r.dropped.size(), 1u);
+  EXPECT_EQ(r.dropped.complaints()[0].tid, 10);
+  EXPECT_EQ(r.kept.size(), 8u);
+}
+
+TEST(DenoiserTest, KeepsConsistentComplaints) {
+  Database dirty = MakeDirty(20);
+  ComplaintSet c;
+  for (int64_t i = 0; i < 10; ++i) {
+    c.Add({i, true, {double(i), 100 + 5.0 * (i % 3)}});
+  }
+  DenoiseResult r = DenoiseComplaints(c, dirty);
+  EXPECT_EQ(r.dropped.size(), 0u);
+  EXPECT_EQ(r.kept.size(), 10u);
+}
+
+TEST(DenoiserTest, LivenessComplaintsPassThrough) {
+  Database dirty = MakeDirty(20);
+  ComplaintSet c;
+  for (int64_t i = 0; i < 6; ++i) {
+    c.Add({i, true, {double(i), 110}});
+  }
+  c.Add({7, false, {}});
+  DenoiseResult r = DenoiseComplaints(c, dirty);
+  EXPECT_NE(r.kept.Find(7), nullptr);
+}
+
+// End-to-end: a fake complaint makes the repair infeasible; denoising
+// first restores the diagnosis (the workflow of paper §6).
+TEST(DenoiserTest, RescuesDiagnosisFromFakeComplaint) {
+  Database d0 = MakeDirty(30);
+  auto make_log = [&](double threshold) {
+    QueryLog log;
+    log.push_back(Query::Update(
+        "T", {{1, LinearExpr::Constant(150)}},
+        Predicate::Atom({LinearExpr::Attr(0), CmpOp::kGe, threshold})));
+    return log;
+  };
+  QueryLog dirty_log = make_log(10);  // should be 20
+  QueryLog clean_log = make_log(20);
+  Database dirty = relational::ExecuteLog(dirty_log, d0);
+  Database truth = relational::ExecuteLog(clean_log, d0);
+  ComplaintSet complaints = DiffStates(dirty, truth);
+  ASSERT_GE(complaints.size(), 4u);
+  // A malicious/buggy report: tuple 25's a1 should allegedly be -9999.
+  complaints.Add({25, true, {25, -9999}});
+
+  // Without denoising the complaint set is contradictory: satisfying the
+  // fake complaint forces the repair to damage neighbouring tuples (or
+  // go infeasible outright, depending on which constants are free).
+  {
+    qfixcore::QFixEngine engine(dirty_log, d0, dirty, complaints);
+    auto repair = engine.RepairIncremental(1);
+    if (repair.ok()) {
+      EXPECT_GT(repair->collateral, 0u);
+    } else {
+      EXPECT_TRUE(repair.status().IsInfeasible());
+    }
+  }
+  // With denoising, the fake complaint is screened out and the repair
+  // succeeds.
+  DenoiseResult screened = DenoiseComplaints(complaints, dirty);
+  ASSERT_EQ(screened.dropped.size(), 1u);
+  EXPECT_EQ(screened.dropped.complaints()[0].tid, 25);
+  qfixcore::QFixEngine engine(dirty_log, d0, dirty, screened.kept);
+  auto repair = engine.RepairIncremental(1);
+  ASSERT_TRUE(repair.ok()) << repair.status().ToString();
+  EXPECT_TRUE(repair->verified);
+}
+
+// ---------------------------------------------------------------------
+// Property sweep: planted fakes of growing magnitude.
+// ---------------------------------------------------------------------
+
+class DenoiserPropertyTest : public testing::TestWithParam<int> {};
+
+TEST_P(DenoiserPropertyTest, PlantedFakeIsCaughtAndRealsSurvive) {
+  Rng rng(8800 + GetParam());
+  Database dirty = MakeDirty(40);
+  ComplaintSet c;
+  // Real complaints: uniform delta with small jitter.
+  size_t reals = 6 + rng.Index(6);
+  for (size_t i = 0; i < reals; ++i) {
+    double jitter = rng.UniformReal(-1.0, 1.0);
+    c.Add({static_cast<int64_t>(i), true,
+           {double(i), 110 + jitter}});
+  }
+  // One fake whose delta dwarfs the reals (>= 40x the real delta of 10
+  // plus jitter; well past any reasonable MAD threshold).
+  double fake_delta = 400 + rng.UniformReal(0, 4000);
+  c.Add({30, true, {30, 100 + fake_delta}});
+
+  DenoiseResult r = DenoiseComplaints(c, dirty);
+  ASSERT_EQ(r.dropped.size(), 1u)
+      << "fake delta " << fake_delta << " not dropped";
+  EXPECT_EQ(r.dropped.complaints()[0].tid, 30);
+  EXPECT_EQ(r.kept.size(), reals);
+}
+
+TEST_P(DenoiserPropertyTest, HomogeneousSetsAreNeverScreened) {
+  Rng rng(9900 + GetParam());
+  Database dirty = MakeDirty(40);
+  ComplaintSet c;
+  size_t n = 5 + rng.Index(10);
+  for (size_t i = 0; i < n; ++i) {
+    c.Add({static_cast<int64_t>(i), true,
+           {double(i), 110 + rng.UniformReal(-1.0, 1.0)}});
+  }
+  DenoiseResult r = DenoiseComplaints(c, dirty);
+  EXPECT_EQ(r.dropped.size(), 0u);
+  EXPECT_EQ(r.kept.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DenoiserPropertyTest, testing::Range(0, 10));
+
+}  // namespace
+}  // namespace provenance
+}  // namespace qfix

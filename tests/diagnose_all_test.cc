@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "qfix/qfix.h"
+#include "relational/executor.h"
+
+namespace qfix {
+namespace qfixcore {
+namespace {
+
+using provenance::ComplaintSet;
+using provenance::DiffStates;
+using relational::CmpOp;
+using relational::Database;
+using relational::ExecuteLog;
+using relational::LinearExpr;
+using relational::Predicate;
+using relational::Query;
+using relational::QueryLog;
+using relational::Schema;
+
+// Two queries could each explain the complaints; DiagnoseAll must list
+// both, best (clean, minimal-distance) first.
+TEST(DiagnoseAllTest, RanksAlternativesByCollateralThenDistance) {
+  Schema schema = Schema::WithDefaultNames(2);
+  Database d0(schema, "T");
+  for (int i = 0; i < 8; ++i) d0.AddTuple({double(i * 10), 0});
+
+  // Both queries write a1 for overlapping ranges; the corruption is in
+  // q0 (threshold 20 should have been 50).
+  auto make_log = [&](double t0) {
+    QueryLog log;
+    log.push_back(Query::Update(
+        "T", {{1, LinearExpr::Constant(5)}},
+        Predicate::Atom({LinearExpr::Attr(0), CmpOp::kGe, t0})));
+    log.push_back(Query::Update(
+        "T", {{1, LinearExpr::Constant(9)}},
+        Predicate::Atom({LinearExpr::Attr(0), CmpOp::kGe, 60})));
+    return log;
+  };
+  QueryLog dirty_log = make_log(20);
+  QueryLog clean_log = make_log(50);
+  Database dirty = ExecuteLog(dirty_log, d0);
+  Database truth = ExecuteLog(clean_log, d0);
+  ComplaintSet complaints = DiffStates(dirty, truth);
+  ASSERT_FALSE(complaints.empty());
+
+  QFixEngine engine(dirty_log, d0, dirty, complaints);
+  auto diagnoses = engine.DiagnoseAll(5);
+  ASSERT_GE(diagnoses.size(), 1u);
+  // Best diagnosis: q0's threshold, collateral-free and verified.
+  EXPECT_EQ(diagnoses[0].changed_queries, (std::vector<size_t>{0}));
+  EXPECT_EQ(diagnoses[0].collateral, 0u);
+  EXPECT_TRUE(diagnoses[0].verified);
+  // Ranking invariant holds across the whole list.
+  for (size_t i = 1; i < diagnoses.size(); ++i) {
+    bool ordered =
+        diagnoses[i - 1].collateral < diagnoses[i].collateral ||
+        (diagnoses[i - 1].collateral == diagnoses[i].collateral &&
+         diagnoses[i - 1].distance <= diagnoses[i].distance);
+    EXPECT_TRUE(ordered) << "rank " << i;
+  }
+}
+
+TEST(DiagnoseAllTest, EmptyComplaintsYieldNothing) {
+  Schema schema = Schema::WithDefaultNames(2);
+  Database d0(schema, "T");
+  d0.AddTuple({1, 1});
+  QueryLog log;
+  log.push_back(Query::Update("T", {{1, LinearExpr::Constant(2)}},
+                              Predicate::True()));
+  Database dirty = ExecuteLog(log, d0);
+  QFixEngine engine(log, d0, dirty, ComplaintSet());
+  EXPECT_TRUE(engine.DiagnoseAll(5).empty());
+}
+
+TEST(DiagnoseAllTest, RespectsMaxDiagnoses) {
+  Schema schema = Schema::WithDefaultNames(2);
+  Database d0(schema, "T");
+  for (int i = 0; i < 6; ++i) d0.AddTuple({double(i * 10), 0});
+  QueryLog dirty_log, clean_log;
+  for (int q = 0; q < 4; ++q) {
+    double c = q == 0 ? 15 : 40;  // q0 corrupted (should be 40)
+    dirty_log.push_back(Query::Update(
+        "T", {{1, LinearExpr::AttrScaled(1, 1.0, 3)}},
+        Predicate::Atom({LinearExpr::Attr(0), CmpOp::kGe, c})));
+    clean_log.push_back(Query::Update(
+        "T", {{1, LinearExpr::AttrScaled(1, 1.0, 3)}},
+        Predicate::Atom({LinearExpr::Attr(0), CmpOp::kGe, 40})));
+  }
+  Database dirty = ExecuteLog(dirty_log, d0);
+  Database truth = ExecuteLog(clean_log, d0);
+  ComplaintSet complaints = DiffStates(dirty, truth);
+  ASSERT_FALSE(complaints.empty());
+  QFixEngine engine(dirty_log, d0, dirty, complaints);
+  EXPECT_LE(engine.DiagnoseAll(1).size(), 1u);
+  EXPECT_LE(engine.DiagnoseAll(2).size(), 2u);
+}
+
+}  // namespace
+}  // namespace qfixcore
+}  // namespace qfix

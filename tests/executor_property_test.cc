@@ -1,0 +1,133 @@
+// Randomized executor properties: the replay semantics every layer of
+// QFix assumes. Tuple slicing, state diffing, and the MILP encoding all
+// lean on these invariants without re-checking them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "relational/database.h"
+#include "relational/executor.h"
+#include "workload/synthetic.h"
+
+namespace qfix {
+namespace relational {
+namespace {
+
+workload::SyntheticSpec MixedSpec() {
+  workload::SyntheticSpec spec;
+  spec.num_tuples = 30;
+  spec.num_attrs = 4;
+  spec.num_queries = 40;
+  spec.insert_fraction = 0.25;
+  spec.delete_fraction = 0.25;
+  return spec;
+}
+
+class ExecutorPropertyTest : public testing::TestWithParam<int> {};
+
+TEST_P(ExecutorPropertyTest, SlotsGrowMonotonicallyAndTidsStayStable) {
+  Rng rng(3100 + GetParam());
+  workload::SyntheticSpec spec = MixedSpec();
+  Database d0 = workload::GenerateDatabase(spec, rng);
+  QueryLog log = workload::GenerateLog(spec, d0, rng);
+
+  std::vector<Database> states = ExecuteLogStates(log, d0);
+  ASSERT_EQ(states.size(), log.size() + 1);
+  for (size_t i = 0; i + 1 < states.size(); ++i) {
+    // Slots never shrink (DELETE marks dead, INSERT appends).
+    EXPECT_GE(states[i + 1].NumSlots(), states[i].NumSlots());
+    // Every slot's tid is its index, in every state.
+    for (size_t slot = 0; slot < states[i].NumSlots(); ++slot) {
+      EXPECT_EQ(states[i].slot(slot).tid, static_cast<int64_t>(slot));
+    }
+  }
+}
+
+TEST_P(ExecutorPropertyTest, StatesArePrefixConsistent) {
+  Rng rng(3200 + GetParam());
+  workload::SyntheticSpec spec = MixedSpec();
+  Database d0 = workload::GenerateDatabase(spec, rng);
+  QueryLog log = workload::GenerateLog(spec, d0, rng);
+
+  std::vector<Database> states = ExecuteLogStates(log, d0);
+  for (size_t i = 0; i < log.size(); ++i) {
+    Database step = states[i];
+    ApplyQuery(log[i], step);
+    ASSERT_EQ(step.NumSlots(), states[i + 1].NumSlots()) << "query " << i;
+    for (size_t slot = 0; slot < step.NumSlots(); ++slot) {
+      EXPECT_EQ(step.slot(slot).alive, states[i + 1].slot(slot).alive);
+      if (!step.slot(slot).alive) continue;
+      for (size_t a = 0; a < d0.schema().num_attrs(); ++a) {
+        EXPECT_EQ(step.slot(slot).values[a],
+                  states[i + 1].slot(slot).values[a])
+            << "query " << i << " slot " << slot << " attr " << a;
+      }
+    }
+  }
+}
+
+TEST_P(ExecutorPropertyTest, DeadTuplesStayDeadAndUnchanged) {
+  Rng rng(3300 + GetParam());
+  workload::SyntheticSpec spec = MixedSpec();
+  Database d0 = workload::GenerateDatabase(spec, rng);
+  QueryLog log = workload::GenerateLog(spec, d0, rng);
+
+  std::vector<Database> states = ExecuteLogStates(log, d0);
+  for (size_t i = 0; i + 1 < states.size(); ++i) {
+    for (size_t slot = 0; slot < states[i].NumSlots(); ++slot) {
+      if (states[i].slot(slot).alive) continue;
+      const Tuple& before = states[i].slot(slot);
+      const Tuple& after = states[i + 1].slot(slot);
+      EXPECT_FALSE(after.alive) << "dead tuple revived by query " << i;
+      for (size_t a = 0; a < d0.schema().num_attrs(); ++a) {
+        EXPECT_EQ(before.values[a], after.values[a])
+            << "dead tuple mutated by query " << i;
+      }
+    }
+  }
+}
+
+TEST_P(ExecutorPropertyTest, UpdateSemanticsMatchManualEvaluation) {
+  Rng rng(3400 + GetParam());
+  workload::SyntheticSpec spec = MixedSpec();
+  spec.insert_fraction = 0.0;
+  spec.delete_fraction = 0.0;  // UPDATE-only for this check
+  spec.set_type = workload::SetClauseType::kRelative;
+  Database d0 = workload::GenerateDatabase(spec, rng);
+  QueryLog log = workload::GenerateLog(spec, d0, rng);
+
+  std::vector<Database> states = ExecuteLogStates(log, d0);
+  for (size_t i = 0; i < log.size(); ++i) {
+    const Query& q = log[i];
+    for (size_t slot = 0; slot < states[i].NumSlots(); ++slot) {
+      const Tuple& before = states[i].slot(slot);
+      const Tuple& after = states[i + 1].slot(slot);
+      if (!before.alive) continue;
+      if (!q.Matches(before.values)) {
+        for (size_t a = 0; a < d0.schema().num_attrs(); ++a) {
+          EXPECT_EQ(before.values[a], after.values[a])
+              << "unmatched tuple changed by query " << i;
+        }
+        continue;
+      }
+      // Matched: every SET clause evaluates against the *pre-update*
+      // tuple (simultaneous assignment), other attributes unchanged.
+      std::vector<double> expected = before.values;
+      for (const SetClause& sc : q.set_clauses()) {
+        expected[sc.attr] = sc.expr.Eval(before.values);
+      }
+      for (size_t a = 0; a < d0.schema().num_attrs(); ++a) {
+        EXPECT_NEAR(after.values[a], expected[a], 1e-9)
+            << "query " << i << " slot " << slot << " attr " << a;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLogs, ExecutorPropertyTest,
+                         testing::Range(0, 12));
+
+}  // namespace
+}  // namespace relational
+}  // namespace qfix

@@ -1,0 +1,249 @@
+// Tests for the SQL log diff (sql/diff.h) and the diagnosis report
+// renderer (qfix/explain.h).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "provenance/complaint.h"
+#include "qfix/explain.h"
+#include "qfix/qfix.h"
+#include "qfix/report_json.h"
+#include "relational/executor.h"
+#include "sql/diff.h"
+
+namespace qfix {
+namespace qfixcore {
+namespace {
+
+using provenance::ComplaintSet;
+using provenance::DiffStates;
+using relational::CmpOp;
+using relational::Database;
+using relational::ExecuteLog;
+using relational::LinearExpr;
+using relational::Predicate;
+using relational::Query;
+using relational::QueryLog;
+using relational::Schema;
+
+Schema TaxSchema() { return Schema({"income", "owed", "pay"}); }
+
+Database TaxD0() {
+  Database db(TaxSchema(), "Taxes");
+  db.AddTuple({9500, 950, 8550});
+  db.AddTuple({90000, 22500, 67500});
+  db.AddTuple({86000, 21500, 64500});
+  db.AddTuple({86500, 21625, 64875});
+  return db;
+}
+
+QueryLog PaperLog(double q1_threshold) {
+  QueryLog log;
+  log.push_back(Query::Update(
+      "Taxes", {{1, LinearExpr::AttrScaled(0, 0.3)}},
+      Predicate::Atom({LinearExpr::Attr(0), CmpOp::kGe, q1_threshold})));
+  log.push_back(Query::Insert("Taxes", {87000, 21750, 65250}));
+  LinearExpr pay = LinearExpr::Attr(0);
+  pay.AddTerm(1, -1.0);
+  log.push_back(Query::Update("Taxes", {{2, pay}}, Predicate::True()));
+  return log;
+}
+
+// ---------------------------------------------------------------------
+// DiffLogs / FormatLogDiff
+// ---------------------------------------------------------------------
+
+TEST(LogDiffTest, IdenticalLogsProduceEmptyDiff) {
+  QueryLog log = PaperLog(85700);
+  auto diffs = sql::DiffLogs(log, log, TaxSchema());
+  EXPECT_TRUE(diffs.empty());
+  EXPECT_EQ(sql::FormatLogDiff(diffs), "(no query changes)\n");
+}
+
+TEST(LogDiffTest, ReportsChangedWhereThreshold) {
+  QueryLog original = PaperLog(85700);
+  QueryLog repaired = PaperLog(87500);
+  auto diffs = sql::DiffLogs(original, repaired, TaxSchema());
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_EQ(diffs[0].index, 0u);
+  ASSERT_EQ(diffs[0].params.size(), 1u);
+  EXPECT_DOUBLE_EQ(diffs[0].params[0].before, 85700);
+  EXPECT_DOUBLE_EQ(diffs[0].params[0].after, 87500);
+  EXPECT_NE(diffs[0].params[0].where.find("WHERE"), std::string::npos);
+
+  std::string text = sql::FormatLogDiff(diffs);
+  EXPECT_NE(text.find("@@ q1 @@"), std::string::npos);
+  EXPECT_NE(text.find("- UPDATE"), std::string::npos);
+  EXPECT_NE(text.find("+ UPDATE"), std::string::npos);
+  EXPECT_NE(text.find("85700 -> 87500"), std::string::npos);
+  EXPECT_NE(text.find("(+1800)"), std::string::npos);
+}
+
+TEST(LogDiffTest, ReportsInsertAndSetChangesWithAttributeNames) {
+  QueryLog original = PaperLog(87500);
+  QueryLog repaired = PaperLog(87500);
+  // Corrupt the INSERT's second value and q3's SET constant.
+  repaired[1].mutable_insert_values()[1] = 30000;
+  repaired[2].mutable_set_clauses()[0].expr.set_constant(5.0);
+
+  auto diffs = sql::DiffLogs(original, repaired, TaxSchema());
+  ASSERT_EQ(diffs.size(), 2u);
+  EXPECT_EQ(diffs[0].index, 1u);
+  EXPECT_NE(diffs[0].params[0].where.find("VALUE owed"), std::string::npos);
+  EXPECT_EQ(diffs[1].index, 2u);
+  EXPECT_NE(diffs[1].params[0].where.find("SET pay"), std::string::npos);
+}
+
+TEST(LogDiffTest, ToleranceSuppressesFloatDust) {
+  QueryLog original = PaperLog(85700);
+  QueryLog repaired = PaperLog(85700 + 1e-12);
+  EXPECT_TRUE(sql::DiffLogs(original, repaired, TaxSchema()).empty());
+}
+
+// ---------------------------------------------------------------------
+// ExplainRepair
+// ---------------------------------------------------------------------
+
+struct Scenario {
+  QueryLog dirty_log;
+  Database d0;
+  Database dirty;
+  ComplaintSet complaints;
+};
+
+Scenario PaperScenario() {
+  Scenario s{PaperLog(85700), TaxD0(), Database(), ComplaintSet()};
+  s.dirty = ExecuteLog(s.dirty_log, s.d0);
+  Database truth = ExecuteLog(PaperLog(87500), s.d0);
+  s.complaints = DiffStates(s.dirty, truth);
+  return s;
+}
+
+TEST(ExplainRepairTest, ReportCoversAllSections) {
+  Scenario s = PaperScenario();
+  QFixEngine engine(s.dirty_log, s.d0, s.dirty, s.complaints);
+  auto repair = engine.RepairIncremental(1);
+  ASSERT_TRUE(repair.ok()) << repair.status().ToString();
+
+  std::string report =
+      ExplainRepair(*repair, s.dirty_log, s.d0, s.dirty, s.complaints);
+  EXPECT_NE(report.find("QFix diagnosis report"), std::string::npos);
+  EXPECT_NE(report.find("repaired queries  : 1 of 3 (q1)"),
+            std::string::npos);
+  EXPECT_NE(report.find("verified          : yes"), std::string::npos);
+  EXPECT_NE(report.find("@@ q1 @@"), std::string::npos);
+  EXPECT_NE(report.find("Complaint resolution:"), std::string::npos);
+  // Both of the paper's complaints (t3, t4 -> tids 2, 3) resolve.
+  EXPECT_NE(report.find("2 of 2 complaint(s) resolved"), std::string::npos);
+  EXPECT_NE(report.find("[resolved]"), std::string::npos);
+  EXPECT_EQ(report.find("UNRESOLVED"), std::string::npos);
+  // A complete complaint set leaves no side effects.
+  EXPECT_NE(report.find("Side effects: none"), std::string::npos);
+}
+
+TEST(ExplainRepairTest, SectionsCanBeDisabled) {
+  Scenario s = PaperScenario();
+  QFixEngine engine(s.dirty_log, s.d0, s.dirty, s.complaints);
+  auto repair = engine.RepairIncremental(1);
+  ASSERT_TRUE(repair.ok());
+
+  ExplainOptions options;
+  options.include_diff = false;
+  options.include_complaints = false;
+  options.include_side_effects = false;
+  std::string report = ExplainRepair(*repair, s.dirty_log, s.d0, s.dirty,
+                                     s.complaints, options);
+  EXPECT_EQ(report.find("@@ q1 @@"), std::string::npos);
+  EXPECT_EQ(report.find("Complaint resolution:"), std::string::npos);
+  EXPECT_EQ(report.find("Side effects"), std::string::npos);
+  EXPECT_NE(report.find("parameter distance"), std::string::npos);
+}
+
+TEST(ExplainRepairTest, IncompleteComplaintsShowSideEffects) {
+  // Drop the complaint on t3 (tid 2): the repair generalizes to it and
+  // the report must surface it as a likely unreported error.
+  Scenario s = PaperScenario();
+  ComplaintSet partial;
+  for (const auto& c : s.complaints.complaints()) {
+    if (c.tid == 3) partial.Add(c);
+  }
+  ASSERT_EQ(partial.size(), 1u);
+
+  QFixEngine engine(s.dirty_log, s.d0, s.dirty, partial);
+  auto repair = engine.RepairIncremental(1);
+  ASSERT_TRUE(repair.ok()) << repair.status().ToString();
+
+  std::string report =
+      ExplainRepair(*repair, s.dirty_log, s.d0, s.dirty, partial);
+  if (repair->collateral > 0) {
+    EXPECT_NE(report.find("likely unreported errors"), std::string::npos);
+    EXPECT_NE(report.find("tid 2:"), std::string::npos);
+  }
+  EXPECT_NE(report.find("1 of 1 complaint(s) resolved"), std::string::npos);
+}
+
+TEST(ExplainRepairTest, RowCapTruncatesLongLists) {
+  Scenario s = PaperScenario();
+  QFixEngine engine(s.dirty_log, s.d0, s.dirty, s.complaints);
+  auto repair = engine.RepairIncremental(1);
+  ASSERT_TRUE(repair.ok());
+
+  ExplainOptions options;
+  options.max_rows = 1;
+  std::string report = ExplainRepair(*repair, s.dirty_log, s.d0, s.dirty,
+                                     s.complaints, options);
+  EXPECT_NE(report.find("... and 1 more"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// RepairToJson
+// ---------------------------------------------------------------------
+
+TEST(RepairJsonTest, CarriesTheSameFactsAsTheTextReport) {
+  Scenario s = PaperScenario();
+  QFixEngine engine(s.dirty_log, s.d0, s.dirty, s.complaints);
+  auto repair = engine.RepairIncremental(1);
+  ASSERT_TRUE(repair.ok()) << repair.status().ToString();
+
+  std::string json =
+      RepairToJson(*repair, s.dirty_log, s.d0, s.dirty, s.complaints);
+  EXPECT_NE(json.find("\"verified\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"query\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"executed_sql\":\"UPDATE Taxes"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"repaired_sql\":\"UPDATE Taxes"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"total\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"resolved\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"side_effects\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"stats\":{"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check; full parsing
+  // is covered by the CLI test piping through a JSON parser).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(RepairJsonTest, SideEffectsListUnreportedErrors) {
+  Scenario s = PaperScenario();
+  ComplaintSet partial;
+  for (const auto& c : s.complaints.complaints()) {
+    if (c.tid == 3) partial.Add(c);
+  }
+  QFixEngine engine(s.dirty_log, s.d0, s.dirty, partial);
+  auto repair = engine.RepairIncremental(1);
+  ASSERT_TRUE(repair.ok());
+  std::string json =
+      RepairToJson(*repair, s.dirty_log, s.d0, s.dirty, partial);
+  if (repair->collateral > 0) {
+    EXPECT_NE(json.find("\"side_effects\":[{\"tid\":2}"),
+              std::string::npos)
+        << json;
+  }
+}
+
+}  // namespace
+}  // namespace qfixcore
+}  // namespace qfix

@@ -1,0 +1,141 @@
+// Failure-injection tests: the library must degrade with clear Status
+// codes (or loud QFIX_CHECK aborts for programming errors), never with
+// silent corruption.
+#include <gtest/gtest.h>
+
+#include "milp/solver.h"
+#include "provenance/complaint.h"
+#include "qfix/encoder.h"
+#include "qfix/qfix.h"
+#include "relational/executor.h"
+#include "workload/synthetic.h"
+
+namespace qfix {
+namespace {
+
+using provenance::ComplaintSet;
+using qfixcore::EncodeRequest;
+using qfixcore::QFixEngine;
+using qfixcore::QFixOptions;
+using relational::CmpOp;
+using relational::Database;
+using relational::ExecuteLog;
+using relational::LinearExpr;
+using relational::Predicate;
+using relational::Query;
+using relational::QueryLog;
+using relational::Schema;
+
+TEST(FailureInjection, TinyTimeLimitReturnsResourceExhausted) {
+  workload::SyntheticSpec spec;
+  spec.num_tuples = 200;
+  spec.num_queries = 40;
+  spec.range_size = 20;
+  workload::Scenario s = workload::MakeSyntheticScenario(spec, {5}, 1);
+  ASSERT_FALSE(s.complaints.empty());
+  QFixOptions opt;
+  opt.time_limit_seconds = 1e-9;
+  QFixEngine engine(s.dirty_log, s.d0, s.dirty, s.complaints, opt);
+  auto repair = engine.RepairIncremental(1);
+  // Either nothing completed in time (error) or a fallback made it.
+  if (!repair.ok()) {
+    EXPECT_TRUE(repair.status().IsResourceExhausted())
+        << repair.status().ToString();
+  }
+}
+
+TEST(FailureInjection, SolverSizeBudgetSurfacesAsResourceExhausted) {
+  workload::SyntheticSpec spec;
+  spec.num_tuples = 400;
+  spec.num_queries = 60;
+  spec.range_size = 40;  // huge complaint sets
+  workload::Scenario s = workload::MakeSyntheticScenario(spec, {0}, 2);
+  ASSERT_GT(s.complaints.size(), 50u);
+  QFixOptions opt;
+  opt.milp.lp.max_rows = 50;  // absurdly small budget
+  QFixEngine engine(s.dirty_log, s.d0, s.dirty, s.complaints, opt);
+  auto repair = engine.RepairSingle(0);
+  ASSERT_FALSE(repair.ok());
+  EXPECT_TRUE(repair.status().IsResourceExhausted());
+}
+
+TEST(FailureInjection, ComplaintOnUnreachableTupleIsInfeasible) {
+  Schema schema = Schema::WithDefaultNames(2);
+  Database d0(schema, "T");
+  d0.AddTuple({1, 1});
+  QueryLog log;
+  log.push_back(Query::Update("T", {{1, LinearExpr::Constant(7)}},
+                              Predicate::True()));
+  Database dirty = ExecuteLog(log, d0);
+  ComplaintSet complaints;
+  complaints.Add({0, true, {999, 7}});  // a0 is never written by the log
+  QFixEngine engine(log, d0, dirty, complaints);
+  EXPECT_TRUE(engine.RepairIncremental(1).status().IsInfeasible());
+  EXPECT_TRUE(engine.RepairBasic().status().IsInfeasible());
+}
+
+TEST(FailureInjection, ContradictoryComplaintsAreInfeasible) {
+  // Two complaints demand different SET constants from the same query
+  // for tuples with identical provenance.
+  Schema schema = Schema::WithDefaultNames(2);
+  Database d0(schema, "T");
+  d0.AddTuple({1, 0});
+  d0.AddTuple({2, 0});
+  QueryLog log;
+  log.push_back(Query::Update("T", {{1, LinearExpr::Constant(5)}},
+                              Predicate::True()));
+  Database dirty = ExecuteLog(log, d0);
+  ComplaintSet complaints;
+  complaints.Add({0, true, {1, 10}});
+  complaints.Add({1, true, {2, 20}});  // same constant cannot be both
+  QFixEngine engine(log, d0, dirty, complaints);
+  auto repair = engine.RepairIncremental(1);
+  ASSERT_FALSE(repair.ok());
+  EXPECT_TRUE(repair.status().IsInfeasible());
+}
+
+TEST(FailureInjection, EncoderRejectsOutOfRangeSlots) {
+  Schema schema = Schema::WithDefaultNames(2);
+  Database d0(schema, "T");
+  d0.AddTuple({1, 1});
+  QueryLog log;
+  log.push_back(Query::Update("T", {{1, LinearExpr::Constant(7)}},
+                              Predicate::True()));
+  Database dirty = ExecuteLog(log, d0);
+  ComplaintSet none;
+  EncodeRequest req;
+  req.log = &log;
+  req.d0 = &d0;
+  req.dirty_dn = &dirty;
+  req.complaints = &none;
+  req.parameterized = {true};
+  req.encoded = {true};
+  req.tuple_slots = {7};  // no such slot
+  EXPECT_TRUE(qfixcore::Encode(req).status().IsInvalidArgument());
+}
+
+TEST(FailureInjection, EncoderRejectsNullInputs) {
+  EncodeRequest req;  // all nulls
+  EXPECT_TRUE(qfixcore::Encode(req).status().IsInvalidArgument());
+}
+
+TEST(FailureInjection, MilpValidateCatchesNonFiniteObjective) {
+  milp::Model m;
+  milp::VarId v = m.AddContinuous(0, 1, "x");
+  m.AddObjectiveTerm(v, std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(m.Validate().IsInvalidArgument());
+}
+
+TEST(FailureInjectionDeathTest, ChecksAbortOnApiMisuse) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  // Inserting a tuple with the wrong arity is a programming error.
+  Schema schema = Schema::WithDefaultNames(2);
+  Database db(schema, "T");
+  EXPECT_DEATH(db.AddTuple({1.0}), "QFIX_CHECK");
+  // Out-of-range attribute access in a linear expression.
+  LinearExpr e = LinearExpr::Attr(5);
+  EXPECT_DEATH(e.Eval({1.0, 2.0}), "QFIX_CHECK");
+}
+
+}  // namespace
+}  // namespace qfix

@@ -1,0 +1,131 @@
+// Tests for the experiment harness (harness/table.h, harness/metrics.h)
+// and the lossless number formatting the SQL printer and checkpoint
+// formats depend on (common/strings.h FormatNumber).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "common/strings.h"
+#include "harness/metrics.h"
+#include "harness/table.h"
+#include "relational/executor.h"
+#include "relational/linear_expr.h"
+#include "relational/predicate.h"
+
+namespace qfix {
+namespace {
+
+// ---------------------------------------------------------------------
+// FormatNumber: pretty for clean values, lossless always.
+// ---------------------------------------------------------------------
+
+TEST(FormatNumberTest, IntegersPrintBare) {
+  EXPECT_EQ(FormatNumber(3.0), "3");
+  EXPECT_EQ(FormatNumber(-42.0), "-42");
+  EXPECT_EQ(FormatNumber(0.0), "0");
+  EXPECT_EQ(FormatNumber(86500.0), "86500");
+}
+
+TEST(FormatNumberTest, ShortDecimalsStayShort) {
+  EXPECT_EQ(FormatNumber(0.25), "0.25");
+  EXPECT_EQ(FormatNumber(86500.5), "86500.5");
+  EXPECT_EQ(FormatNumber(-0.3), "-0.3");
+}
+
+TEST(FormatNumberTest, EveryValueParsesBackExactly) {
+  // The repaired-SQL regression: an epsilon-boundary threshold like
+  // 86500.000001 must NOT print as "86500" (which would re-include the
+  // very tuple the repair excluded).
+  const double cases[] = {86500.000001, 1.0 / 3.0,   -1e-9, 1e17,
+                          5e-324,       0.1 + 0.2,   -0.0,  123456.789012345};
+  for (double v : cases) {
+    std::string text = FormatNumber(v);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+  }
+  EXPECT_NE(FormatNumber(86500.000001), "86500");
+}
+
+TEST(FormatNumberTest, SpecialValues) {
+  EXPECT_EQ(FormatNumber(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(FormatNumber(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(FormatNumber(std::nan("")), "nan");
+}
+
+// ---------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------
+
+TEST(TableTest, AlignsColumnsUnderHeader) {
+  harness::Table t({"name", "time(s)"});
+  t.AddRow({"a", "0.001"});
+  t.AddRow({"longer-name", "12.5"});
+  std::string text = t.ToString();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer-name"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(TableTest, CellFormatsNumbers) {
+  EXPECT_EQ(harness::Table::Cell(3.0), "3");
+  EXPECT_EQ(harness::Table::Cell(0.1234), "0.123");
+}
+
+TEST(TableTest, ToCsvEscapesSpecialCells) {
+  harness::Table t({"config", "note"});
+  t.AddRow({"a,b", "say \"hi\""});
+  t.AddRow({"plain", "ok"});
+  std::string csv = t.ToCsv();
+  EXPECT_EQ(csv,
+            "config,note\n"
+            "\"a,b\",\"say \"\"hi\"\"\"\n"
+            "plain,ok\n");
+}
+
+// ---------------------------------------------------------------------
+// EvaluateRepair
+// ---------------------------------------------------------------------
+
+using relational::CmpOp;
+using relational::Database;
+using relational::ExecuteLog;
+using relational::LinearExpr;
+using relational::Predicate;
+using relational::Query;
+using relational::QueryLog;
+using relational::Schema;
+
+TEST(MetricsTest, PerfectRepairScoresOne) {
+  Database d0(Schema::WithDefaultNames(1), "T");
+  for (int i = 0; i < 10; ++i) d0.AddTuple({double(i)});
+  auto log_with = [&](double threshold) {
+    QueryLog log;
+    log.push_back(Query::Update(
+        "T", {{0, LinearExpr::Constant(100)}},
+        Predicate::Atom({LinearExpr::Attr(0), CmpOp::kGe, threshold})));
+    return log;
+  };
+  Database dirty = ExecuteLog(log_with(3), d0);
+  Database truth = ExecuteLog(log_with(7), d0);
+  auto acc = harness::EvaluateRepair(log_with(7), d0, dirty, truth);
+  EXPECT_DOUBLE_EQ(acc.precision, 1.0);
+  EXPECT_DOUBLE_EQ(acc.recall, 1.0);
+  EXPECT_DOUBLE_EQ(acc.f1, 1.0);
+  EXPECT_EQ(acc.true_complaints, 4u);  // tuples 3..6
+  EXPECT_EQ(acc.resolved_complaints, 4u);
+
+  // A partial repair (threshold 5) fixes only tuples 3, 4.
+  auto partial = harness::EvaluateRepair(log_with(5), d0, dirty, truth);
+  EXPECT_DOUBLE_EQ(partial.precision, 1.0);
+  EXPECT_DOUBLE_EQ(partial.recall, 0.5);
+  EXPECT_GT(partial.f1, 0.0);
+  EXPECT_LT(partial.f1, 1.0);
+}
+
+}  // namespace
+}  // namespace qfix

@@ -1,0 +1,131 @@
+// Tests for the read-write dependency graph (provenance/impact_graph.h):
+// edge derivation, DOT rendering, relevance coloring, and consistency
+// with Algorithm 2's full-impact closure.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "provenance/impact.h"
+#include "provenance/impact_graph.h"
+#include "relational/linear_expr.h"
+#include "relational/predicate.h"
+
+namespace qfix {
+namespace provenance {
+namespace {
+
+using relational::CmpOp;
+using relational::LinearExpr;
+using relational::Predicate;
+using relational::Query;
+using relational::QueryLog;
+using relational::Schema;
+
+// The paper's running example: q1 writes owed (reads income); q2 is an
+// INSERT; q3 writes pay reading income and owed.
+QueryLog PaperLog() {
+  QueryLog log;
+  log.push_back(Query::Update(
+      "Taxes", {{1, LinearExpr::AttrScaled(0, 0.3)}},
+      Predicate::Atom({LinearExpr::Attr(0), CmpOp::kGe, 85700})));
+  log.push_back(Query::Insert("Taxes", {87000, 21750, 65250}));
+  LinearExpr pay = LinearExpr::Attr(0);
+  pay.AddTerm(1, -1.0);
+  log.push_back(Query::Update("Taxes", {{2, pay}}, Predicate::True()));
+  return log;
+}
+
+TEST(ImpactEdgesTest, DerivesReadWriteChains) {
+  QueryLog log = PaperLog();
+  auto edges = ComputeImpactEdges(log, 3);
+  // q1 -> q3 via owed; q2 (INSERT writes everything) -> q3 via
+  // income and owed.
+  bool q1_to_q3 = false;
+  bool q2_to_q3 = false;
+  for (const ImpactEdge& e : edges) {
+    if (e.from == 0 && e.to == 2) {
+      q1_to_q3 = true;
+      ASSERT_EQ(e.attrs.size(), 1u);
+      EXPECT_EQ(e.attrs[0], 1u);  // owed
+    }
+    if (e.from == 1 && e.to == 2) {
+      q2_to_q3 = true;
+      EXPECT_EQ(e.attrs.size(), 2u);  // income, owed
+    }
+  }
+  EXPECT_TRUE(q1_to_q3);
+  EXPECT_TRUE(q2_to_q3);
+}
+
+TEST(ImpactEdgesTest, NoEdgesBetweenDisjointQueries) {
+  QueryLog log;
+  log.push_back(Query::Update("T", {{0, LinearExpr::Constant(1)}},
+                              Predicate::True()));
+  log.push_back(Query::Update("T", {{1, LinearExpr::Constant(2)}},
+                              Predicate::True()));
+  EXPECT_TRUE(ComputeImpactEdges(log, 2).empty());
+}
+
+TEST(ImpactEdgesTest, EdgesAreConsistentWithFullImpactClosure) {
+  // If q_i has a path to q_j in the edge graph, then F(q_i) must contain
+  // I(q_j)'s contribution (Alg. 2 closes over exactly these chains).
+  QueryLog log = PaperLog();
+  size_t num_attrs = 3;
+  auto edges = ComputeImpactEdges(log, num_attrs);
+  auto full = ComputeFullImpacts(log, num_attrs);
+  for (const ImpactEdge& e : edges) {
+    AttrSet to_impact = log[e.to].DirectImpact(num_attrs);
+    EXPECT_TRUE(full[e.from].ContainsAll(to_impact))
+        << "edge q" << e.from + 1 << " -> q" << e.to + 1
+        << " not reflected in F(q" << e.from + 1 << ")";
+  }
+}
+
+TEST(ImpactGraphTest, RendersValidDotDocument) {
+  Schema schema({"income", "owed", "pay"});
+  std::string dot = WriteImpactGraph(PaperLog(), schema);
+  EXPECT_EQ(dot.rfind("digraph qfix_impact {", 0), 0u);
+  EXPECT_NE(dot.find("q1 ["), std::string::npos);
+  EXPECT_NE(dot.find("q3 ["), std::string::npos);
+  EXPECT_NE(dot.find("q1 -> q3"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"owed\""), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("\n}"), std::string::npos);
+  // SQL labels are embedded.
+  EXPECT_NE(dot.find("UPDATE Taxes"), std::string::npos);
+}
+
+TEST(ImpactGraphTest, ColorsRelevantAndHighlightedQueries) {
+  Schema schema({"income", "owed", "pay"});
+  ImpactGraphOptions options;
+  options.complaint_attrs = AttrSet(3);
+  options.complaint_attrs.Insert(2);  // complaints on pay
+  options.highlight = {0};            // diagnosis blames q1
+
+  std::string dot = WriteImpactGraph(PaperLog(), schema, options);
+  // q3 writes pay directly and q1 chains into it: both are filled.
+  size_t q1 = dot.find("q1 [");
+  size_t q3 = dot.find("q3 [");
+  ASSERT_NE(q1, std::string::npos);
+  ASSERT_NE(q3, std::string::npos);
+  EXPECT_NE(dot.find("fillcolor", q1), std::string::npos);
+  std::string q3_line = dot.substr(q3, dot.find('\n', q3) - q3);
+  EXPECT_NE(q3_line.find("filled"), std::string::npos);
+  // Only q1 carries the highlight border.
+  std::string q1_line = dot.substr(q1, dot.find('\n', q1) - q1);
+  EXPECT_NE(q1_line.find("penwidth"), std::string::npos);
+  EXPECT_EQ(q3_line.find("penwidth"), std::string::npos);
+}
+
+TEST(ImpactGraphTest, PlainLabelsWhenSqlDisabled) {
+  Schema schema({"income", "owed", "pay"});
+  ImpactGraphOptions options;
+  options.sql_labels = false;
+  std::string dot = WriteImpactGraph(PaperLog(), schema, options);
+  EXPECT_EQ(dot.find("UPDATE"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"q1\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace provenance
+}  // namespace qfix

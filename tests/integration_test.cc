@@ -1,0 +1,225 @@
+// Cross-module integration tests: mixed workloads, liveness chains,
+// benchmark scenarios, and optimization-equivalence checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/metrics.h"
+#include "qfix/qfix.h"
+#include "relational/executor.h"
+#include "workload/synthetic.h"
+#include "workload/tatp_like.h"
+#include "workload/tpcc_like.h"
+
+namespace qfix {
+namespace {
+
+using provenance::ComplaintSet;
+using provenance::DiffStates;
+using qfixcore::QFixEngine;
+using qfixcore::QFixOptions;
+using relational::CmpOp;
+using relational::Database;
+using relational::ExecuteLog;
+using relational::LinearExpr;
+using relational::Predicate;
+using relational::Query;
+using relational::QueryLog;
+using relational::Schema;
+
+// A corrupted DELETE wrongly kills tuples; a subsequent UPDATE would
+// have modified them. The complaint asks for the tuple to exist with its
+// post-UPDATE value, so the encoder must gate the UPDATE on the repaired
+// liveness (the alive-chain encoding replacing the paper's M+ sentinel).
+TEST(LivenessChain, DeleteThenUpdateRepair) {
+  Schema schema = Schema::WithDefaultNames(2);
+  Database d0(schema, "T");
+  for (int i = 0; i < 10; ++i) d0.AddTuple({double(i * 10), 5});
+
+  auto make_log = [&](double del_threshold) {
+    QueryLog log;
+    log.push_back(Query::Delete(
+        "T",
+        Predicate::Atom({LinearExpr::Attr(0), CmpOp::kGe, del_threshold})));
+    // Everyone surviving gets a1 += 100.
+    log.push_back(Query::Update(
+        "T", {{1, LinearExpr::AttrScaled(1, 1.0, 100.0)}},
+        Predicate::True()));
+    return log;
+  };
+  QueryLog dirty_log = make_log(40);  // killed 40..90
+  QueryLog clean_log = make_log(70);  // should only kill 70..90
+  Database dirty = ExecuteLog(dirty_log, d0);
+  Database truth = ExecuteLog(clean_log, d0);
+  ComplaintSet complaints = DiffStates(dirty, truth);
+  // Tuples 40, 50, 60 should be alive with a1 = 105.
+  ASSERT_EQ(complaints.size(), 3u);
+  ASSERT_TRUE(complaints.complaints()[0].target_alive);
+  EXPECT_DOUBLE_EQ(complaints.complaints()[0].target_values[1], 105);
+
+  QFixEngine engine(dirty_log, d0, dirty, complaints);
+  auto repair = engine.RepairIncremental(1);
+  ASSERT_TRUE(repair.ok()) << repair.status().ToString();
+  EXPECT_TRUE(repair->verified);
+  EXPECT_EQ(repair->changed_queries, (std::vector<size_t>{0}));
+  Database fixed = ExecuteLog(repair->log, d0);
+  EXPECT_TRUE(fixed.slot(4).alive);
+  EXPECT_DOUBLE_EQ(fixed.slot(4).values[1], 105);
+  EXPECT_FALSE(fixed.slot(7).alive);
+}
+
+// The mirror case: a corrupted DELETE failed to kill tuples it should
+// have (complaints with target_alive = false).
+TEST(LivenessChain, RepairRestoresMissingDeletions) {
+  Schema schema = Schema::WithDefaultNames(2);
+  Database d0(schema, "T");
+  for (int i = 0; i < 10; ++i) d0.AddTuple({double(i * 10), 5});
+
+  auto make_log = [&](double del_threshold) {
+    QueryLog log;
+    log.push_back(Query::Delete(
+        "T",
+        Predicate::Atom({LinearExpr::Attr(0), CmpOp::kGe, del_threshold})));
+    return log;
+  };
+  QueryLog dirty_log = make_log(80);  // kept 60, 70 wrongly
+  QueryLog clean_log = make_log(60);
+  Database dirty = ExecuteLog(dirty_log, d0);
+  Database truth = ExecuteLog(clean_log, d0);
+  ComplaintSet complaints = DiffStates(dirty, truth);
+  ASSERT_EQ(complaints.size(), 2u);
+  EXPECT_FALSE(complaints.complaints()[0].target_alive);
+
+  QFixEngine engine(dirty_log, d0, dirty, complaints);
+  auto repair = engine.RepairIncremental(1);
+  ASSERT_TRUE(repair.ok()) << repair.status().ToString();
+  EXPECT_TRUE(repair->verified);
+  Database fixed = ExecuteLog(repair->log, d0);
+  EXPECT_FALSE(fixed.slot(6).alive);
+  EXPECT_FALSE(fixed.slot(7).alive);
+  EXPECT_TRUE(fixed.slot(5).alive);
+}
+
+// Mixed-type log with the corruption at every position (parameterized):
+// the pipeline must identify and repair whichever query was corrupted.
+class MixedLogSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MixedLogSweep, RepairsCorruptionAtAnyPosition) {
+  const size_t corrupt_at = GetParam();
+  Schema schema = Schema::WithDefaultNames(3);
+  Database d0(schema, "T");
+  for (int i = 0; i < 15; ++i) {
+    d0.AddTuple({double(i * 4), double(i % 7), 50});
+  }
+
+  auto make_log = [&](bool corrupted) {
+    QueryLog log;
+    double c0 = corrupted && corrupt_at == 0 ? 16 : 32;
+    log.push_back(Query::Update(
+        "T", {{2, LinearExpr::Constant(9)}},
+        Predicate::Atom({LinearExpr::Attr(0), CmpOp::kGe, c0})));
+    double v1 = corrupted && corrupt_at == 1 ? 3 : 33;
+    log.push_back(Query::Insert("T", {60, v1, 9}));
+    double c2 = corrupted && corrupt_at == 2 ? 1 : 5;
+    log.push_back(Query::Delete(
+        "T", Predicate::Atom({LinearExpr::Attr(1), CmpOp::kEq, c2})));
+    double c3 = corrupted && corrupt_at == 3 ? 44 : 14;
+    log.push_back(Query::Update(
+        "T", {{1, LinearExpr::AttrScaled(1, 1.0, c3)}},
+        Predicate::Atom({LinearExpr::Attr(2), CmpOp::kEq, 9})));
+    return log;
+  };
+  QueryLog dirty_log = make_log(true);
+  QueryLog clean_log = make_log(false);
+  Database dirty = ExecuteLog(dirty_log, d0);
+  Database truth = ExecuteLog(clean_log, d0);
+  ComplaintSet complaints = DiffStates(dirty, truth);
+  ASSERT_FALSE(complaints.empty()) << "corruption was a no-op";
+
+  QFixEngine engine(dirty_log, d0, dirty, complaints);
+  auto repair = engine.RepairIncremental(1);
+  ASSERT_TRUE(repair.ok()) << "corrupt_at=" << corrupt_at << ": "
+                           << repair.status().ToString();
+  EXPECT_TRUE(repair->verified);
+  auto acc = harness::EvaluateRepair(repair->log, d0, dirty, truth);
+  EXPECT_DOUBLE_EQ(acc.recall, 1.0) << "corrupt_at=" << corrupt_at;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, MixedLogSweep,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(BenchmarkScenarios, TpccRepairIsFastAndExact) {
+  workload::TpccSpec spec;
+  spec.initial_orders = 1000;
+  spec.num_queries = 400;
+  workload::Scenario s = workload::MakeTpccScenario(spec, 37, 5);
+  ASSERT_FALSE(s.complaints.empty());
+  QFixEngine engine(s.dirty_log, s.d0, s.dirty, s.complaints);
+  auto repair = engine.RepairIncremental(1);
+  ASSERT_TRUE(repair.ok()) << repair.status().ToString();
+  auto acc = harness::EvaluateRepair(repair->log, s.d0, s.dirty, s.truth);
+  EXPECT_DOUBLE_EQ(acc.f1, 1.0);
+  EXPECT_LT(repair->stats.total_seconds, 30.0);
+}
+
+TEST(BenchmarkScenarios, TatpRepairIsFastAndExact) {
+  workload::TatpSpec spec;
+  spec.subscribers = 1000;
+  spec.num_queries = 400;
+  workload::Scenario s = workload::MakeTatpScenario(spec, 21, 6);
+  ASSERT_FALSE(s.complaints.empty());
+  QFixEngine engine(s.dirty_log, s.d0, s.dirty, s.complaints);
+  auto repair = engine.RepairIncremental(1);
+  ASSERT_TRUE(repair.ok()) << repair.status().ToString();
+  auto acc = harness::EvaluateRepair(repair->log, s.d0, s.dirty, s.truth);
+  EXPECT_DOUBLE_EQ(acc.f1, 1.0);
+}
+
+// Optimized and unoptimized paths agree on the repaired final state for
+// small synthetic scenarios (the paper's claim that slicing does not
+// compromise accuracy, §5).
+class SlicingEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlicingEquivalence, SlicedAndUnslicedResolveIdentically) {
+  workload::SyntheticSpec spec;
+  spec.num_tuples = 30;
+  spec.num_attrs = 6;
+  spec.value_domain = 40;
+  spec.range_size = 8;
+  spec.num_queries = 8;
+  workload::Scenario s = workload::MakeSyntheticScenario(
+      spec, {static_cast<size_t>(GetParam() % 8)}, 5000 + GetParam());
+  if (s.complaints.empty()) {
+    GTEST_SKIP() << "corruption was a no-op";
+  }
+
+  QFixOptions sliced;  // defaults: everything on
+  QFixOptions unsliced;
+  unsliced.tuple_slicing = false;
+  unsliced.query_slicing = false;
+  unsliced.attribute_slicing = false;
+  unsliced.time_limit_seconds = 60.0;
+
+  QFixEngine sliced_engine(s.dirty_log, s.d0, s.dirty, s.complaints,
+                           sliced);
+  QFixEngine unsliced_engine(s.dirty_log, s.d0, s.dirty, s.complaints,
+                             unsliced);
+  auto a = sliced_engine.RepairIncremental(1);
+  auto b = unsliced_engine.RepairIncremental(1);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_TRUE(a->verified);
+  EXPECT_TRUE(b->verified);
+  // Both must fully resolve the complaint set; the repairs themselves
+  // may differ (ties in the distance objective).
+  auto acc_a = harness::EvaluateRepair(a->log, s.d0, s.dirty, s.truth);
+  auto acc_b = harness::EvaluateRepair(b->log, s.d0, s.dirty, s.truth);
+  EXPECT_DOUBLE_EQ(acc_a.recall, 1.0);
+  EXPECT_DOUBLE_EQ(acc_b.recall, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, SlicingEquivalence,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace qfix

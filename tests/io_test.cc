@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "io/csv.h"
+#include "qfix/qfix.h"
+#include "relational/executor.h"
+
+namespace qfix {
+namespace io {
+namespace {
+
+using provenance::ComplaintSet;
+using relational::Database;
+using relational::Schema;
+
+constexpr const char* kTaxCsv =
+    "income,owed,pay\n"
+    "9500,950,8550\n"
+    "90000,22500,67500\n";
+
+TEST(CsvTest, ParsesDatabase) {
+  auto db = DatabaseFromCsv(kTaxCsv, "Taxes");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db->table_name(), "Taxes");
+  EXPECT_EQ(db->schema().num_attrs(), 3u);
+  EXPECT_EQ(db->schema().attr_name(1), "owed");
+  ASSERT_EQ(db->NumSlots(), 2u);
+  EXPECT_DOUBLE_EQ(db->slot(1).values[0], 90000);
+}
+
+TEST(CsvTest, RoundTripsDatabase) {
+  auto db = DatabaseFromCsv(kTaxCsv, "Taxes");
+  ASSERT_TRUE(db.ok());
+  std::string csv = DatabaseToCsv(*db);
+  auto again = DatabaseFromCsv(csv, "Taxes");
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->NumSlots(), db->NumSlots());
+  for (size_t i = 0; i < db->NumSlots(); ++i) {
+    EXPECT_EQ(again->slot(i).values, db->slot(i).values);
+  }
+}
+
+TEST(CsvTest, HandlesWhitespaceAndBlankLines) {
+  auto db = DatabaseFromCsv("a, b\n 1 , 2\n\n3,4\n", "T");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db->NumSlots(), 2u);
+  EXPECT_DOUBLE_EQ(db->slot(0).values[1], 2);
+}
+
+TEST(CsvTest, RejectsMalformedDatabases) {
+  EXPECT_FALSE(DatabaseFromCsv("", "T").ok());
+  EXPECT_FALSE(DatabaseFromCsv("a,b\n1\n", "T").ok());          // arity
+  EXPECT_FALSE(DatabaseFromCsv("a,b\n1,xyz\n", "T").ok());      // number
+  EXPECT_FALSE(DatabaseFromCsv("a,b\n1,2,3\n", "T").ok());      // arity
+}
+
+TEST(CsvTest, ParsesComplaints) {
+  Schema schema({"income", "owed", "pay"});
+  auto c = ComplaintsFromCsv(
+      "tid,alive,income,owed,pay\n"
+      "2,1,86000,21500,64500\n"
+      "5,0,0,0,0\n",
+      schema);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  ASSERT_EQ(c->size(), 2u);
+  EXPECT_EQ(c->complaints()[0].tid, 2);
+  EXPECT_TRUE(c->complaints()[0].target_alive);
+  EXPECT_DOUBLE_EQ(c->complaints()[0].target_values[1], 21500);
+  EXPECT_FALSE(c->complaints()[1].target_alive);
+}
+
+TEST(CsvTest, ComplaintsRoundTrip) {
+  Schema schema({"a", "b"});
+  ComplaintSet original;
+  original.Add({3, true, {1, 2}});
+  original.Add({7, false, {}});
+  std::string csv = ComplaintsToCsv(original, schema);
+  auto again = ComplaintsFromCsv(csv, schema);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  ASSERT_EQ(again->size(), 2u);
+  EXPECT_EQ(again->complaints()[0].target_values,
+            (std::vector<double>{1, 2}));
+  EXPECT_FALSE(again->complaints()[1].target_alive);
+}
+
+TEST(CsvTest, ComplaintsHeaderMustMatchSchema) {
+  Schema schema({"a", "b"});
+  EXPECT_FALSE(ComplaintsFromCsv("tid,alive,a\n", schema).ok());
+  EXPECT_FALSE(ComplaintsFromCsv("tid,alive,x,y\n", schema).ok());
+  EXPECT_FALSE(ComplaintsFromCsv("alive,tid,a,b\n", schema).ok());
+}
+
+// ---------------------------------------------------------------------
+// Additional CSV edge cases.
+// ---------------------------------------------------------------------
+
+TEST(CsvTest, NegativeAndFractionalValuesRoundTrip) {
+  Database db(Schema({"a", "b"}), "T");
+  db.AddTuple({-1.5, 0.000001});
+  db.AddTuple({1e15, -0.25});
+  auto back = DatabaseFromCsv(DatabaseToCsv(db), "T");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->NumSlots(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t a = 0; a < 2; ++a) {
+      EXPECT_EQ(back->slot(i).values[a], db.slot(i).values[a])
+          << i << "," << a;
+    }
+  }
+}
+
+TEST(CsvTest, DeadSlotsAreSkippedOnExport) {
+  Database db(Schema({"a"}), "T");
+  db.AddTuple({1});
+  db.AddTuple({2});
+  db.slot(0).alive = false;
+  std::string csv = DatabaseToCsv(db);
+  auto back = DatabaseFromCsv(csv, "T");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumSlots(), 1u);  // only the live tuple survives CSV
+  EXPECT_DOUBLE_EQ(back->slot(0).values[0], 2.0);
+}
+
+TEST(CsvTest, RejectsArityMismatches) {
+  EXPECT_FALSE(DatabaseFromCsv("a,b\n1\n", "T").ok());
+  EXPECT_FALSE(DatabaseFromCsv("a,b\n1,2,3\n", "T").ok());
+  EXPECT_FALSE(DatabaseFromCsv("a,b\n1,x\n", "T").ok());
+}
+
+TEST(CsvTest, ComplaintLivenessVariantsRoundTrip) {
+  Schema schema({"a", "b"});
+  ComplaintSet c;
+  c.Add({0, true, {1, 2}});       // value fix
+  c.Add({1, false, {}});          // t -> bottom (should not exist)
+  std::string csv = ComplaintsToCsv(c, schema);
+  auto back = ComplaintsFromCsv(csv, schema);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_TRUE(back->Find(0)->target_alive);
+  EXPECT_FALSE(back->Find(1)->target_alive);
+}
+
+TEST(CsvTest, RejectsMalformedComplaints) {
+  Schema schema({"a", "b"});
+  // Non-numeric tid.
+  EXPECT_FALSE(ComplaintsFromCsv("tid,alive,a,b\nx,1,1,2\n", schema).ok());
+  // Missing values.
+  EXPECT_FALSE(ComplaintsFromCsv("tid,alive,a,b\n0,1,1\n", schema).ok());
+  // Wrong header.
+  EXPECT_FALSE(ComplaintsFromCsv("id,alive,a,b\n0,1,1,2\n", schema).ok());
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace qfix

@@ -1,0 +1,127 @@
+// Tests for the JSON writer (common/json.h): document shapes, escaping,
+// number fidelity, and nesting bookkeeping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "common/json.h"
+
+namespace qfix {
+namespace {
+
+TEST(JsonWriterTest, EmptyContainers) {
+  JsonWriter obj;
+  obj.BeginObject();
+  obj.EndObject();
+  EXPECT_EQ(obj.str(), "{}");
+
+  JsonWriter arr;
+  arr.BeginArray();
+  arr.EndArray();
+  EXPECT_EQ(arr.str(), "[]");
+}
+
+TEST(JsonWriterTest, ObjectWithMixedValues) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s");
+  w.String("hi");
+  w.Key("i");
+  w.Int(-7);
+  w.Key("u");
+  w.Uint(7);
+  w.Key("d");
+  w.Double(0.5);
+  w.Key("b");
+  w.Bool(false);
+  w.Key("n");
+  w.Null();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            R"({"s":"hi","i":-7,"u":7,"d":0.5,"b":false,"n":null})");
+}
+
+TEST(JsonWriterTest, NestedArraysAndObjects) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("rows");
+  w.BeginArray();
+  for (int i = 0; i < 3; ++i) {
+    w.BeginObject();
+    w.Key("id");
+    w.Int(i);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("empty");
+  w.BeginArray();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            R"({"rows":[{"id":0},{"id":1},{"id":2}],"empty":[]})");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+
+  JsonWriter w;
+  w.BeginArray();
+  w.String("say \"hi\"\n");
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[\"say \\\"hi\\\"\\n\"]");
+}
+
+TEST(JsonWriterTest, DoublesRoundTripAndStayShort) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(3.0);
+  w.Double(86500.000001);
+  w.Double(1.0 / 3.0);
+  w.EndArray();
+  // Pull the three numbers back out and re-parse them.
+  std::string text = w.str();
+  ASSERT_EQ(text.front(), '[');
+  ASSERT_EQ(text.back(), ']');
+  std::string inner = text.substr(1, text.size() - 2);
+  double values[3];
+  ASSERT_EQ(std::sscanf(inner.c_str(), "%lf,%lf,%lf", &values[0],
+                        &values[1], &values[2]),
+            3);
+  EXPECT_EQ(values[0], 3.0);
+  EXPECT_EQ(values[1], 86500.000001);
+  EXPECT_EQ(values[2], 1.0 / 3.0);
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(std::nan(""));
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonWriterTest, RootScalarsAreValidDocuments) {
+  JsonWriter w;
+  w.Int(42);
+  EXPECT_EQ(w.str(), "42");
+}
+
+TEST(JsonWriterTest, KeysAreEscaped) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("we\"ird");
+  w.Int(1);
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"we\\\"ird\":1}");
+}
+
+}  // namespace
+}  // namespace qfix

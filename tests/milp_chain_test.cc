@@ -1,0 +1,211 @@
+// Property tests on QFix-shaped MILP instances: chains of big-M
+// conditional writes driven by indicator binaries, exactly the structure
+// the encoder emits. Solutions are verified against exhaustive
+// enumeration of the binary assignments.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "milp/model.h"
+#include "milp/presolve.h"
+#include "milp/simplex.h"
+#include "milp/solver.h"
+
+namespace qfix {
+namespace milp {
+namespace {
+
+// Builds a "tuple chain": value v_0 fixed; per stage i an indicator z_i
+// (v_{i-1} >= c_i <-> z_i = 1) gates a conditional write
+// v_i = z_i ? (v_{i-1} + delta_i) : v_{i-1}; the final value is pinned
+// to a target. Minimize sum |c_i - c0_i| via split deviations. This is
+// the single-tuple skeleton of the QFix encoding.
+struct Chain {
+  Model model;
+  std::vector<VarId> thresholds;
+  std::vector<double> original_thresholds;
+  std::vector<VarId> indicators;
+};
+
+Chain BuildChain(int stages, double v0, double target, Rng& rng) {
+  constexpr double kM = 1000.0;
+  constexpr double kEps = 0.5;
+  Chain chain;
+  Model& m = chain.model;
+
+  // v_0 fixed.
+  VarId prev = m.AddContinuous(v0, v0, "v0");
+  for (int i = 0; i < stages; ++i) {
+    double c0 = double(rng.UniformInt(0, 60));
+    double delta = double(rng.UniformInt(1, 15));
+    VarId c = m.AddContinuous(c0 - 200, c0 + 200, "c");
+    VarId dp = m.AddContinuous(0, 400, "d+");
+    VarId dm = m.AddContinuous(0, 400, "d-");
+    m.AddConstraint({{c, 1.0}, {dp, -1.0}, {dm, 1.0}}, Sense::kEq, c0);
+    m.AddObjectiveTerm(dp, 1.0);
+    m.AddObjectiveTerm(dm, 1.0);
+    chain.thresholds.push_back(c);
+    chain.original_thresholds.push_back(c0);
+
+    VarId z = m.AddBinary("z");
+    chain.indicators.push_back(z);
+    // z = 1 <=> prev - c >= 0 (eps-strict on the false side).
+    m.AddConstraint({{prev, 1.0}, {c, -1.0}, {z, -kM}}, Sense::kGe, -kM);
+    m.AddConstraint({{prev, 1.0}, {c, -1.0}, {z, -kM}}, Sense::kLe, -kEps);
+
+    // Conditional write: next = z ? prev + delta : prev.
+    VarId next = m.AddContinuous(-kM, kM, "v");
+    m.AddConstraint({{next, 1.0}, {prev, -1.0}, {z, kM}}, Sense::kLe,
+                    delta + kM);
+    m.AddConstraint({{next, 1.0}, {prev, -1.0}, {z, -kM}}, Sense::kGe,
+                    delta - kM);
+    m.AddConstraint({{next, 1.0}, {prev, -1.0}, {z, -kM}}, Sense::kLe, 0);
+    m.AddConstraint({{next, 1.0}, {prev, -1.0}, {z, kM}}, Sense::kGe, 0);
+    prev = next;
+  }
+  m.AddConstraint({{prev, 1.0}}, Sense::kEq, target);
+  return chain;
+}
+
+// Reference: enumerate all indicator assignments; for each, the minimal
+// distance solution is computable per-stage (threshold moved just enough
+// to flip/keep the comparison).
+double BruteForceChain(int stages, double v0, double target,
+                       const std::vector<double>& c0,
+                       const std::vector<double>& deltas) {
+  constexpr double kEps = 0.5;
+  double best = 1e30;
+  for (int mask = 0; mask < (1 << stages); ++mask) {
+    double v = v0;
+    double cost = 0.0;
+    bool ok = true;
+    for (int i = 0; i < stages && ok; ++i) {
+      bool fire = (mask >> i) & 1;
+      // Cheapest threshold making the comparison come out as `fire`.
+      if (fire) {
+        // need v >= c: move c down to v if c0 > v.
+        if (c0[i] > v) cost += c0[i] - v;
+      } else {
+        // need v <= c - eps: move c up to v + eps if c0 < v + eps.
+        if (c0[i] < v + kEps) cost += v + kEps - c0[i];
+      }
+      if (fire) v += deltas[i];
+    }
+    if (ok && std::fabs(v - target) < 1e-9) best = std::min(best, cost);
+  }
+  return best;
+}
+
+class ChainMilpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainMilpTest, MatchesBruteForceOnConditionalChains) {
+  Rng rng(6000 + GetParam());
+  const int stages = static_cast<int>(rng.UniformInt(2, 5));
+  const double v0 = double(rng.UniformInt(0, 40));
+
+  // Generate stage parameters first so brute force sees the same data.
+  std::vector<double> c0(stages), deltas(stages);
+  Rng rng_copy = rng;  // BuildChain consumes identical draws
+  for (int i = 0; i < stages; ++i) {
+    c0[i] = double(rng_copy.UniformInt(0, 60));
+    deltas[i] = double(rng_copy.UniformInt(1, 15));
+  }
+  // Pick a reachable target: simulate a random subset firing.
+  double target = v0;
+  for (int i = 0; i < stages; ++i) {
+    if ((GetParam() >> i) & 1) target += deltas[i];
+  }
+
+  Chain chain = BuildChain(stages, v0, target, rng);
+  MilpOptions opts;
+  opts.time_limit_seconds = 30.0;
+  MilpSolution sol = MilpSolver(opts).Solve(chain.model);
+  double expected = BruteForceChain(stages, v0, target, c0, deltas);
+
+  if (expected > 1e29) {
+    EXPECT_EQ(sol.status, MilpStatus::kInfeasible);
+    return;
+  }
+  ASSERT_TRUE(HasSolution(sol.status))
+      << MilpStatusToString(sol.status) << " stages=" << stages;
+  EXPECT_NEAR(sol.objective, expected, 1e-4)
+      << "stages=" << stages << " v0=" << v0 << " target=" << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomChains, ChainMilpTest,
+                         ::testing::Range(0, 40));
+
+// Degenerate-LP stress: many redundant rows through one vertex must not
+// stall or mis-solve (exercises the perturbation + Bland fallback).
+TEST(DegenerateStress, ManyRedundantRowsThroughOneVertex) {
+  Model m;
+  VarId x = m.AddContinuous(0, 100, "x");
+  VarId y = m.AddContinuous(0, 100, "y");
+  m.AddObjectiveTerm(x, -1.0);
+  m.AddObjectiveTerm(y, -1.0);
+  for (int i = 1; i <= 40; ++i) {
+    // All of these pass through (50, 50) with different slopes.
+    m.AddConstraint({{x, double(i)}, {y, double(41 - i)}}, Sense::kLe,
+                    50.0 * i + 50.0 * (41 - i));
+  }
+  LpResult r = SolveLp(m, m.InitialDomains(), SimplexOptions{});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -100.0, 1e-5);
+  EXPECT_LT(r.iterations, 500);
+}
+
+// Equality-heavy systems (the encoder pins complaint outputs with
+// equalities): redundant and chained equalities must stay consistent
+// under the inequality-only perturbation.
+TEST(DegenerateStress, LongEqualityChainsStayExact) {
+  Model m;
+  const int n = 120;
+  VarId first = m.AddContinuous(-1e6, 1e6, "v");
+  m.AddConstraint({{first, 1.0}}, Sense::kEq, 21500.0);
+  VarId prev = first;
+  for (int i = 1; i < n; ++i) {
+    VarId next = m.AddContinuous(-1e6, 1e6, "v");
+    m.AddConstraint({{next, 1.0}, {prev, -1.0}}, Sense::kEq, 1.0);
+    // A redundant copy of the same equality.
+    m.AddConstraint({{next, 2.0}, {prev, -2.0}}, Sense::kEq, 2.0);
+    prev = next;
+  }
+  m.AddObjectiveTerm(prev, 1.0);
+  LpResult r = SolveLp(m, m.InitialDomains(), SimplexOptions{});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[prev], 21500.0 + (n - 1), 1e-5);
+}
+
+// The LP time limit must interrupt a large instance promptly.
+TEST(TimeLimit, LargeLpRespectsWallClock) {
+  Rng rng(1);
+  Model m;
+  const int n = 600;
+  for (int j = 0; j < n; ++j) {
+    m.AddContinuous(-10, 10, "x");
+    m.AddObjectiveTerm(j, rng.UniformReal(-1, 1));
+  }
+  for (int i = 0; i < n; ++i) {
+    LinearTerms terms;
+    for (int j = 0; j < n; ++j) {
+      if (rng.Bernoulli(0.3)) terms.push_back({j, rng.UniformReal(-1, 1)});
+    }
+    if (terms.empty()) terms.push_back({i, 1.0});
+    m.AddConstraint(std::move(terms), Sense::kLe,
+                    rng.UniformReal(50, 100));
+  }
+  SimplexOptions opts;
+  opts.time_limit_seconds = 0.05;
+  WallTimer timer;
+  LpResult r = SolveLp(m, m.InitialDomains(), opts);
+  // Either it solved quickly or it stopped near the budget.
+  EXPECT_LT(timer.ElapsedSeconds(), 2.0);
+  (void)r;
+}
+
+}  // namespace
+}  // namespace milp
+}  // namespace qfix

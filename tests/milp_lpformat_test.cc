@@ -1,0 +1,330 @@
+// Tests for the LP-format writer/reader (milp/lp_format.h): golden
+// output, parser coverage for each section shape, error reporting, and
+// write→read→write fixpoint plus solver-equivalence properties on random
+// models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "milp/lp_format.h"
+#include "milp/model.h"
+#include "milp/solver.h"
+
+namespace qfix {
+namespace milp {
+namespace {
+
+Model SmallMip() {
+  Model m;
+  VarId x = m.AddContinuous(0, 10, "x");
+  VarId y = m.AddBinary("y");
+  VarId z = m.AddVariable(VarType::kInteger, -3, 7, "z");
+  m.AddConstraint({{x, 1.0}, {y, 5.0}}, Sense::kLe, 8.0);
+  m.AddConstraint({{x, 2.0}, {z, -1.0}}, Sense::kGe, 1.0);
+  m.AddConstraint({{y, 1.0}, {z, 1.0}}, Sense::kEq, 2.0);
+  m.AddObjectiveTerm(x, 1.0);
+  m.AddObjectiveTerm(z, 3.0);
+  m.AddObjectiveConstant(4.0);
+  return m;
+}
+
+TEST(LpWriterTest, WritesAllSections) {
+  std::string text = WriteLpFormat(SmallMip());
+  EXPECT_NE(text.find("Minimize"), std::string::npos);
+  EXPECT_NE(text.find("Subject To"), std::string::npos);
+  EXPECT_NE(text.find("Bounds"), std::string::npos);
+  EXPECT_NE(text.find("Binaries"), std::string::npos);
+  EXPECT_NE(text.find("Generals"), std::string::npos);
+  EXPECT_NE(text.find("End"), std::string::npos);
+  // Constraint rows are labeled c0..c2.
+  EXPECT_NE(text.find("c0:"), std::string::npos);
+  EXPECT_NE(text.find("c2:"), std::string::npos);
+  // The objective constant is written inline.
+  EXPECT_NE(text.find("+ 4"), std::string::npos);
+}
+
+TEST(LpWriterTest, SanitizesIllegalNames) {
+  Model m;
+  m.AddContinuous(0, 1, "t[3].owed");   // brackets/dots are illegal
+  m.AddContinuous(0, 1, "9lives");      // cannot start with a digit
+  m.AddContinuous(0, 1, "e12");         // looks like scientific notation
+  m.AddContinuous(0, 1, "");            // empty
+  std::string text = WriteLpFormat(m);
+  // The illegal spellings never appear outside comment lines.
+  for (size_t pos = 0; pos < text.size();) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    if (!line.empty() && line[0] != '\\') {
+      EXPECT_EQ(line.find("t[3].owed"), std::string::npos) << line;
+    }
+    pos = eol + 1;
+  }
+  Result<Model> back = ReadLpFormat(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->NumVars(), 4);
+}
+
+TEST(LpWriterTest, DuplicateNamesAreDeduplicated) {
+  Model m;
+  m.AddContinuous(0, 1, "dup");
+  m.AddContinuous(0, 2, "dup");
+  m.AddConstraint({{0, 1.0}, {1, 1.0}}, Sense::kLe, 2.0);
+  Result<Model> back = ReadLpFormat(WriteLpFormat(m));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->NumVars(), 2);
+  EXPECT_NE(back->name(0), back->name(1));
+  EXPECT_DOUBLE_EQ(back->ub(1), 2.0);
+}
+
+TEST(LpReaderTest, ParsesMinimalProgram) {
+  const char* text =
+      "Minimize\n obj: x + 2 y\n"
+      "Subject To\n c: x + y >= 1\n"
+      "Bounds\n 0 <= x <= 4\n 0 <= y <= 4\n"
+      "End\n";
+  Result<Model> m = ReadLpFormat(text);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->NumVars(), 2);
+  EXPECT_EQ(m->NumConstraints(), 1);
+  EXPECT_DOUBLE_EQ(m->EvalObjective({1.0, 0.5}), 2.0);
+}
+
+TEST(LpReaderTest, ParsesUnlabeledRows) {
+  const char* text =
+      "min\n x + y\n"
+      "st\n x - y <= 3\n x + y >= 1\n"
+      "End\n";
+  Result<Model> m = ReadLpFormat(text);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->NumConstraints(), 2);
+  // LP default bounds apply: [0, inf).
+  EXPECT_DOUBLE_EQ(m->lb(0), 0.0);
+  EXPECT_EQ(m->ub(0), kInf);
+}
+
+TEST(LpReaderTest, MaximizeIsNegatedIntoMinimizeForm) {
+  const char* text =
+      "Maximize\n obj: 3 x + 1\n"
+      "Subject To\n c0: x <= 5\n"
+      "End\n";
+  Result<Model> m = ReadLpFormat(text);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_DOUBLE_EQ(m->objective()[0], -3.0);
+  EXPECT_DOUBLE_EQ(m->objective_constant(), -1.0);
+}
+
+TEST(LpReaderTest, ParsesBoundShapes) {
+  const char* text =
+      "Minimize\n obj: a + b + c + d + e\n"
+      "Subject To\n c0: a + b + c + d + e <= 100\n"
+      "Bounds\n"
+      " -2 <= a <= 2\n"
+      " b >= -5\n"
+      " c <= 9\n"
+      " d = 4\n"
+      " e free\n"
+      "End\n";
+  Result<Model> m = ReadLpFormat(text);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_DOUBLE_EQ(m->lb(0), -2.0);
+  EXPECT_DOUBLE_EQ(m->ub(0), 2.0);
+  EXPECT_DOUBLE_EQ(m->lb(1), -5.0);
+  EXPECT_EQ(m->ub(1), kInf);
+  EXPECT_DOUBLE_EQ(m->lb(2), 0.0);  // only ub given; lb keeps LP default
+  EXPECT_DOUBLE_EQ(m->ub(2), 9.0);
+  EXPECT_DOUBLE_EQ(m->lb(3), 4.0);
+  EXPECT_DOUBLE_EQ(m->ub(3), 4.0);
+  EXPECT_EQ(m->lb(4), -kInf);
+  EXPECT_EQ(m->ub(4), kInf);
+}
+
+TEST(LpReaderTest, InfinityTokensInBounds) {
+  const char* text =
+      "Minimize\n obj: x\n"
+      "Subject To\n c0: x >= 0\n"
+      "Bounds\n -inf <= x <= infinity\n"
+      "End\n";
+  Result<Model> m = ReadLpFormat(text);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->lb(0), -kInf);
+  EXPECT_EQ(m->ub(0), kInf);
+}
+
+TEST(LpReaderTest, BinariesAndGeneralsSections) {
+  const char* text =
+      "Minimize\n obj: x + y + z\n"
+      "Subject To\n c0: x + y + z >= 1\n"
+      "Bounds\n 0 <= z <= 12\n"
+      "Binaries\n x\n"
+      "Generals\n y z\n"
+      "End\n";
+  Result<Model> m = ReadLpFormat(text);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->type(0), VarType::kBinary);
+  EXPECT_EQ(m->type(1), VarType::kInteger);
+  EXPECT_EQ(m->type(2), VarType::kInteger);
+  EXPECT_DOUBLE_EQ(m->ub(0), 1.0);  // binary box applied
+  EXPECT_DOUBLE_EQ(m->ub(2), 12.0);
+  EXPECT_EQ(m->NumIntegerVars(), 3);
+}
+
+TEST(LpReaderTest, ConstantsOnTheLeftMoveToTheRhs) {
+  // "x + 3 <= 10" is the same row as "x <= 7".
+  const char* text =
+      "Minimize\n obj: x\n"
+      "Subject To\n c0: x + 3 <= 10\n"
+      "End\n";
+  Result<Model> m = ReadLpFormat(text);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_DOUBLE_EQ(m->constraint(0).rhs, 7.0);
+}
+
+TEST(LpReaderTest, CommentsAreIgnored) {
+  const char* text =
+      "\\ header comment\n"
+      "Minimize \\ trailing comment\n obj: x\n"
+      "Subject To\n c0: x >= 2 \\ another\n"
+      "End\n";
+  Result<Model> m = ReadLpFormat(text);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_DOUBLE_EQ(m->constraint(0).rhs, 2.0);
+}
+
+TEST(LpReaderTest, RejectsMalformedInputs) {
+  EXPECT_FALSE(ReadLpFormat("").ok());
+  EXPECT_FALSE(ReadLpFormat("Hello\n x\nEnd\n").ok());
+  // Constraint with no relational operator.
+  EXPECT_FALSE(
+      ReadLpFormat("Minimize\n obj: x\nSubject To\n c0: x + 1\nEnd\n").ok());
+  // Missing End.
+  EXPECT_FALSE(ReadLpFormat("Minimize\n obj: x\nSubject To\n c: x<=1\n").ok());
+  // Empty bound interval.
+  EXPECT_FALSE(ReadLpFormat("Minimize\n obj: x\nSubject To\n c: x<=1\n"
+                            "Bounds\n 5 <= x <= 2\nEnd\n")
+                   .ok());
+  // Garbage character.
+  EXPECT_FALSE(ReadLpFormat("Minimize\n obj: x ^ 2\nSubject To\n"
+                            " c: x<=1\nEnd\n")
+                   .ok());
+}
+
+TEST(LpFileTest, RoundTripsThroughDisk) {
+  Model m = SmallMip();
+  std::string path = testing::TempDir() + "/qfix_lpformat_test.lp";
+  ASSERT_TRUE(WriteLpFile(m, path).ok());
+  Result<Model> back = ReadLpFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->NumVars(), m.NumVars());
+  EXPECT_EQ(back->NumConstraints(), m.NumConstraints());
+}
+
+TEST(LpFileTest, MissingFileIsNotFound) {
+  Result<Model> r = ReadLpFile("/nonexistent/dir/model.lp");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+// ---------------------------------------------------------------------
+// Property sweeps on random models.
+// ---------------------------------------------------------------------
+
+Model RandomModel(Rng& rng) {
+  Model m;
+  int nvars = static_cast<int>(rng.UniformInt(1, 8));
+  for (int v = 0; v < nvars; ++v) {
+    double roll = rng.UniformReal(0, 1);
+    if (roll < 0.4) {
+      m.AddBinary("b" + std::to_string(v));
+    } else if (roll < 0.6) {
+      m.AddVariable(VarType::kInteger, rng.UniformInt(-5, 0),
+                    rng.UniformInt(1, 6), "i" + std::to_string(v));
+    } else {
+      double lb = rng.UniformReal(-10, 0);
+      m.AddContinuous(lb, lb + rng.UniformReal(0.5, 12),
+                      "x" + std::to_string(v));
+    }
+    if (rng.Bernoulli(0.7)) {
+      m.AddObjectiveTerm(v, std::round(rng.UniformReal(-4, 4) * 4) / 4);
+    }
+  }
+  int ncons = static_cast<int>(rng.UniformInt(1, 10));
+  for (int c = 0; c < ncons; ++c) {
+    LinearTerms terms;
+    for (int v = 0; v < nvars; ++v) {
+      if (rng.Bernoulli(0.5)) {
+        terms.push_back({v, std::round(rng.UniformReal(-3, 3) * 2) / 2});
+      }
+    }
+    if (terms.empty()) terms.push_back({0, 1.0});
+    Sense sense = c % 3 == 0   ? Sense::kLe
+                  : c % 3 == 1 ? Sense::kGe
+                               : Sense::kEq;
+    m.AddConstraint(std::move(terms), sense,
+                    std::round(rng.UniformReal(-6, 6)));
+  }
+  m.AddObjectiveConstant(std::round(rng.UniformReal(-2, 2)));
+  return m;
+}
+
+class LpRoundTripTest : public testing::TestWithParam<int> {};
+
+TEST_P(LpRoundTripTest, WriteReadWriteReachesAFixpoint) {
+  // The reader numbers variables by first appearance, so the first
+  // round-trip may permute ids; after that one normalization pass,
+  // write∘read must be the identity on the text.
+  Rng rng(1234 + GetParam());
+  Model m = RandomModel(rng);
+  Result<Model> m1 = ReadLpFormat(WriteLpFormat(m));
+  ASSERT_TRUE(m1.ok()) << m1.status().ToString();
+  std::string s2 = WriteLpFormat(*m1);
+  Result<Model> m2 = ReadLpFormat(s2);
+  ASSERT_TRUE(m2.ok()) << m2.status().ToString() << "\n" << s2;
+  EXPECT_EQ(s2, WriteLpFormat(*m2));
+  EXPECT_EQ(m1->NumVars(), m.NumVars());
+  EXPECT_EQ(m1->NumConstraints(), m.NumConstraints());
+  EXPECT_EQ(m1->NumIntegerVars(), m.NumIntegerVars());
+}
+
+TEST_P(LpRoundTripTest, RereadModelHasSameOptimum) {
+  Rng rng(987 + GetParam());
+  Model m = RandomModel(rng);
+  Result<Model> back = ReadLpFormat(WriteLpFormat(m));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+
+  MilpOptions options;
+  options.time_limit_seconds = 10.0;
+  MilpSolver solver(options);
+  MilpSolution a = solver.Solve(m);
+  MilpSolution b = solver.Solve(*back);
+  ASSERT_EQ(a.status, b.status)
+      << MilpStatusToString(a.status) << " vs " << MilpStatusToString(b.status);
+  if (HasSolution(a.status)) {
+    EXPECT_NEAR(a.objective, b.objective, 1e-6);
+    // Map the re-read solution back through variable names (ids may be
+    // permuted by first-appearance numbering) and check it is feasible
+    // for the original model too.
+    std::vector<double> remapped(m.NumVars(), 0.0);
+    for (VarId v = 0; v < back->NumVars(); ++v) {
+      bool found = false;
+      for (VarId w = 0; w < m.NumVars(); ++w) {
+        if (m.name(w) == back->name(v)) {
+          remapped[w] = b.x[v];
+          found = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(found) << "unknown variable " << back->name(v);
+    }
+    EXPECT_TRUE(m.IsFeasible(remapped, 1e-5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomModels, LpRoundTripTest, testing::Range(0, 20));
+
+}  // namespace
+}  // namespace milp
+}  // namespace qfix

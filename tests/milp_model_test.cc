@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "milp/model.h"
+
+namespace qfix {
+namespace milp {
+namespace {
+
+TEST(ModelTest, AddVariablesAssignsSequentialIds) {
+  Model m;
+  VarId a = m.AddContinuous(0, 10, "a");
+  VarId b = m.AddBinary("b");
+  VarId c = m.AddVariable(VarType::kInteger, -5, 5, "c");
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(c, 2);
+  EXPECT_EQ(m.NumVars(), 3);
+  EXPECT_EQ(m.NumIntegerVars(), 2);
+  EXPECT_EQ(m.type(b), VarType::kBinary);
+  EXPECT_EQ(m.lb(c), -5);
+  EXPECT_EQ(m.ub(c), 5);
+  EXPECT_EQ(m.name(a), "a");
+}
+
+TEST(ModelTest, ConstraintMergesDuplicateTerms) {
+  Model m;
+  VarId a = m.AddContinuous(0, 10, "a");
+  VarId b = m.AddContinuous(0, 10, "b");
+  m.AddConstraint({{a, 1.0}, {b, 2.0}, {a, 3.0}}, Sense::kLe, 7.0);
+  const Constraint& c = m.constraint(0);
+  ASSERT_EQ(c.terms.size(), 2u);
+  EXPECT_EQ(c.terms[0].var, a);
+  EXPECT_DOUBLE_EQ(c.terms[0].coeff, 4.0);
+  EXPECT_EQ(c.terms[1].var, b);
+}
+
+TEST(ModelTest, ConstraintDropsCancelledTerms) {
+  Model m;
+  VarId a = m.AddContinuous(0, 10, "a");
+  VarId b = m.AddContinuous(0, 10, "b");
+  m.AddConstraint({{a, 1.0}, {a, -1.0}, {b, 1.0}}, Sense::kEq, 2.0);
+  EXPECT_EQ(m.constraint(0).terms.size(), 1u);
+  EXPECT_EQ(m.constraint(0).terms[0].var, b);
+}
+
+TEST(ModelTest, ObjectiveAccumulatesAndEvaluates) {
+  Model m;
+  VarId a = m.AddContinuous(0, 10, "a");
+  VarId b = m.AddContinuous(0, 10, "b");
+  m.AddObjectiveTerm(a, 2.0);
+  m.AddObjectiveTerm(a, 1.0);
+  m.AddObjectiveTerm(b, -1.0);
+  m.AddObjectiveConstant(5.0);
+  EXPECT_DOUBLE_EQ(m.EvalObjective({2.0, 3.0}), 5.0 + 3.0 * 2.0 - 3.0);
+}
+
+TEST(ModelTest, ValidateRejectsBadModels) {
+  Model m;
+  VarId a = m.AddContinuous(0, 10, "a");
+  m.AddConstraint({{a, 1.0}}, Sense::kLe,
+                  std::numeric_limits<double>::quiet_NaN());
+  EXPECT_TRUE(m.Validate().IsInvalidArgument());
+}
+
+TEST(ModelTest, ValidateAcceptsSaneModel) {
+  Model m;
+  VarId a = m.AddBinary("a");
+  m.AddConstraint({{a, 1.0}}, Sense::kGe, 0.0);
+  m.AddObjectiveTerm(a, 1.0);
+  EXPECT_TRUE(m.Validate().ok());
+}
+
+TEST(ModelTest, IsFeasibleChecksBoundsIntegralityAndRows) {
+  Model m;
+  VarId a = m.AddContinuous(0, 10, "a");
+  VarId b = m.AddBinary("b");
+  m.AddConstraint({{a, 1.0}, {b, 5.0}}, Sense::kLe, 8.0);
+
+  EXPECT_TRUE(m.IsFeasible({3.0, 1.0}, 1e-6));
+  EXPECT_FALSE(m.IsFeasible({4.0, 1.0}, 1e-6));   // row violated
+  EXPECT_FALSE(m.IsFeasible({-1.0, 0.0}, 1e-6));  // bound violated
+  EXPECT_FALSE(m.IsFeasible({1.0, 0.5}, 1e-6));   // fractional binary
+  EXPECT_FALSE(m.IsFeasible({1.0}, 1e-6));        // wrong arity
+}
+
+TEST(ModelTest, FixVariableCollapsesBounds) {
+  Model m;
+  VarId a = m.AddContinuous(0, 10, "a");
+  m.FixVariable(a, 4.0);
+  EXPECT_EQ(m.lb(a), 4.0);
+  EXPECT_EQ(m.ub(a), 4.0);
+  Domains d = m.InitialDomains();
+  EXPECT_TRUE(d.Fixed(a));
+}
+
+}  // namespace
+}  // namespace milp
+}  // namespace qfix

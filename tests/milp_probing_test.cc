@@ -1,0 +1,219 @@
+// Tests for presolve probing (milp/presolve.h ProbeBinaries): fixing via
+// one-side contradictions, union bound tightening, infeasibility proofs,
+// trail rewinding, and the property that probing never cuts off the
+// optimum on random models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "milp/model.h"
+#include "milp/presolve.h"
+#include "milp/solver.h"
+
+namespace qfix {
+namespace milp {
+namespace {
+
+TEST(ProbingTest, FixesBinaryWhoseOneSideIsContradictory) {
+  // b = 1 caps both x and y at 3 while x + y >= 12 needs 12 total. The
+  // contradiction only appears when the rows interact, which plain
+  // single-row propagation cannot see — probing can.
+  Model m;
+  VarId x = m.AddContinuous(0, 10, "x");
+  VarId y = m.AddContinuous(0, 10, "y");
+  VarId b = m.AddBinary("b");
+  m.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kGe, 12.0);
+  m.AddConstraint({{x, 1.0}, {b, 10.0}}, Sense::kLe, 13.0);  // b=1: x <= 3
+  m.AddConstraint({{y, 1.0}, {b, 10.0}}, Sense::kLe, 13.0);  // b=1: y <= 3
+
+  Domains d = m.InitialDomains();
+  ASSERT_TRUE(PropagateBounds(m, d, 10, nullptr).ok());
+  ASSERT_FALSE(d.Fixed(b)) << "plain propagation should not fix b yet";
+
+  ProbeResult result;
+  ASSERT_TRUE(ProbeBinaries(m, d, 10, 1, nullptr, &result).ok());
+  EXPECT_EQ(result.fixed_binaries, 1);
+  EXPECT_TRUE(d.Fixed(b));
+  EXPECT_DOUBLE_EQ(d.ub[b], 0.0);
+}
+
+TEST(ProbingTest, ProvesInfeasibilityWhenBothSidesDie) {
+  // b = 0 forces x <= 0; b = 1 forces x >= 9; x is pinned to [4, 5].
+  Model m;
+  VarId x = m.AddContinuous(4, 5, "x");
+  VarId b = m.AddBinary("b");
+  m.AddConstraint({{x, 1.0}, {b, -10.0}}, Sense::kLe, 0.0);   // x <= 10 b
+  m.AddConstraint({{x, 1.0}, {b, -9.0}}, Sense::kGe, 0.0);    // x >= 9 b
+
+  Domains d = m.InitialDomains();
+  Status s = ProbeBinaries(m, d, 10, 1, nullptr, nullptr);
+  EXPECT_TRUE(s.IsInfeasible()) << s.ToString();
+}
+
+TEST(ProbingTest, UnionStepTightensContinuousBounds) {
+  // b = 0 forces x = 2 and b = 1 forces x = 7, so globally x in [2, 7]
+  // even though x starts with bounds [0, 100].
+  Model m;
+  VarId x = m.AddContinuous(0, 100, "x");
+  VarId b = m.AddBinary("b");
+  m.AddConstraint({{x, 1.0}, {b, -5.0}}, Sense::kEq, 2.0);  // x = 2 + 5 b
+
+  Domains d = m.InitialDomains();
+  ProbeResult result;
+  ASSERT_TRUE(ProbeBinaries(m, d, 10, 1, nullptr, &result).ok());
+  EXPECT_GE(result.tightened_bounds, 2);
+  EXPECT_DOUBLE_EQ(d.lb[x], 2.0);
+  EXPECT_DOUBLE_EQ(d.ub[x], 7.0);
+}
+
+TEST(ProbingTest, TrailRewindRestoresDomains) {
+  Model m;
+  VarId x = m.AddContinuous(0, 10, "x");
+  VarId b = m.AddBinary("b");
+  m.AddConstraint({{x, 1.0}}, Sense::kGe, 6.0);
+  m.AddConstraint({{x, 1.0}, {b, -10.0}}, Sense::kLe, 0.0);
+
+  Domains d = m.InitialDomains();
+  Domains before = d;
+  BoundTrail trail;
+  ASSERT_TRUE(ProbeBinaries(m, d, 10, 1, &trail, nullptr).ok());
+  ASSERT_FALSE(trail.empty());
+  RewindTrail(d, trail, 0);
+  for (VarId v = 0; v < m.NumVars(); ++v) {
+    EXPECT_DOUBLE_EQ(d.lb[v], before.lb[v]);
+    EXPECT_DOUBLE_EQ(d.ub[v], before.ub[v]);
+  }
+}
+
+TEST(ProbingTest, SkipsFixedAndShrunkBinaries) {
+  Model m;
+  VarId b0 = m.AddBinary("b0");
+  VarId b1 = m.AddBinary("b1");
+  m.AddConstraint({{b0, 1.0}, {b1, 1.0}}, Sense::kLe, 2.0);
+  Domains d = m.InitialDomains();
+  d.lb[b0] = 1.0;  // already fixed
+  d.ub[b0] = 1.0;
+  ProbeResult result;
+  ASSERT_TRUE(ProbeBinaries(m, d, 10, 1, nullptr, &result).ok());
+  EXPECT_EQ(result.probed, 1);  // only b1
+}
+
+TEST(SolverProbingTest, ProbingStatsAreReported) {
+  Model m;
+  VarId x = m.AddContinuous(0, 10, "x");
+  VarId y = m.AddContinuous(0, 10, "y");
+  VarId b = m.AddBinary("b");
+  m.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kGe, 12.0);
+  m.AddConstraint({{x, 1.0}, {b, 10.0}}, Sense::kLe, 13.0);
+  m.AddConstraint({{y, 1.0}, {b, 10.0}}, Sense::kLe, 13.0);
+  m.AddObjectiveTerm(x, 1.0);
+  m.AddObjectiveTerm(y, 1.0);
+
+  MilpOptions with;
+  with.enable_probing = true;
+  MilpSolution sol = MilpSolver(with).Solve(m);
+  ASSERT_EQ(sol.status, MilpStatus::kOptimal);
+  EXPECT_EQ(sol.stats.probe_fixed, 1);
+  EXPECT_NEAR(sol.objective, 12.0, 1e-6);
+
+  MilpOptions without;
+  without.enable_probing = false;
+  MilpSolution sol2 = MilpSolver(without).Solve(m);
+  ASSERT_EQ(sol2.status, MilpStatus::kOptimal);
+  EXPECT_EQ(sol2.stats.probe_fixed, 0);
+  EXPECT_DOUBLE_EQ(sol2.objective, sol.objective);
+}
+
+// ---------------------------------------------------------------------
+// Property: probing preserves the optimum on random MILPs.
+// ---------------------------------------------------------------------
+
+Model RandomMip(Rng& rng) {
+  Model m;
+  int nbin = static_cast<int>(rng.UniformInt(2, 6));
+  int ncont = static_cast<int>(rng.UniformInt(1, 4));
+  for (int i = 0; i < nbin; ++i) m.AddBinary("b" + std::to_string(i));
+  for (int i = 0; i < ncont; ++i) {
+    m.AddContinuous(-5, 10, "x" + std::to_string(i));
+  }
+  int nvars = nbin + ncont;
+  int ncons = static_cast<int>(rng.UniformInt(2, 8));
+  for (int c = 0; c < ncons; ++c) {
+    LinearTerms terms;
+    for (int v = 0; v < nvars; ++v) {
+      if (rng.Bernoulli(0.6)) {
+        terms.push_back({v, static_cast<double>(rng.UniformInt(-4, 4))});
+      }
+    }
+    if (terms.empty()) continue;
+    m.AddConstraint(std::move(terms),
+                    rng.Bernoulli(0.5) ? Sense::kLe : Sense::kGe,
+                    static_cast<double>(rng.UniformInt(-6, 8)));
+  }
+  for (int v = 0; v < nvars; ++v) {
+    m.AddObjectiveTerm(v, static_cast<double>(rng.UniformInt(-3, 3)));
+  }
+  return m;
+}
+
+class ProbingPropertyTest : public testing::TestWithParam<int> {};
+
+TEST_P(ProbingPropertyTest, ProbingNeverChangesTheOptimum) {
+  Rng rng(5150 + GetParam());
+  Model m = RandomMip(rng);
+
+  MilpOptions plain;
+  plain.enable_probing = false;
+  plain.time_limit_seconds = 10.0;
+  MilpOptions probed = plain;
+  probed.enable_probing = true;
+  probed.probe_passes = 2;
+
+  MilpSolution a = MilpSolver(plain).Solve(m);
+  MilpSolution b = MilpSolver(probed).Solve(m);
+  ASSERT_EQ(a.status, b.status)
+      << MilpStatusToString(a.status) << " vs "
+      << MilpStatusToString(b.status);
+  if (HasSolution(a.status)) {
+    EXPECT_NEAR(a.objective, b.objective, 1e-6);
+    EXPECT_TRUE(m.IsFeasible(b.x, 1e-5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMips, ProbingPropertyTest,
+                         testing::Range(0, 25));
+
+// ---------------------------------------------------------------------
+// Branching-rule property: pseudo-cost and most-fractional agree.
+// ---------------------------------------------------------------------
+
+class BranchRulePropertyTest : public testing::TestWithParam<int> {};
+
+TEST_P(BranchRulePropertyTest, PseudoCostFindsTheSameOptimum) {
+  Rng rng(7300 + GetParam());
+  Model m = RandomMip(rng);
+
+  MilpOptions frac;
+  frac.branch_rule = BranchRule::kMostFractional;
+  frac.time_limit_seconds = 10.0;
+  MilpOptions pseudo = frac;
+  pseudo.branch_rule = BranchRule::kPseudoCost;
+
+  MilpSolution a = MilpSolver(frac).Solve(m);
+  MilpSolution b = MilpSolver(pseudo).Solve(m);
+  ASSERT_EQ(a.status, b.status)
+      << MilpStatusToString(a.status) << " vs "
+      << MilpStatusToString(b.status);
+  if (HasSolution(a.status)) {
+    EXPECT_NEAR(a.objective, b.objective, 1e-6);
+    EXPECT_TRUE(m.IsFeasible(b.x, 1e-5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMips, BranchRulePropertyTest,
+                         testing::Range(0, 25));
+
+}  // namespace
+}  // namespace milp
+}  // namespace qfix

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "milp/model.h"
+#include "milp/simplex.h"
+
+namespace qfix {
+namespace milp {
+namespace {
+
+SimplexOptions DefaultOptions() { return SimplexOptions{}; }
+
+TEST(SimplexTest, UnconstrainedSitsAtBounds) {
+  Model m;
+  VarId a = m.AddContinuous(2, 8, "a");
+  VarId b = m.AddContinuous(-3, 4, "b");
+  m.AddObjectiveTerm(a, 1.0);   // pushed to lb
+  m.AddObjectiveTerm(b, -2.0);  // pushed to ub
+  LpResult r = SolveLp(m, m.InitialDomains(), DefaultOptions());
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(r.x[a], 2.0);
+  EXPECT_DOUBLE_EQ(r.x[b], 4.0);
+  EXPECT_DOUBLE_EQ(r.objective, 2.0 - 8.0);
+}
+
+TEST(SimplexTest, ClassicTwoVariableLp) {
+  // max 3x + 5y s.t. x <= 4; 2y <= 12; 3x + 2y <= 18 (Dantzig's example).
+  // As minimization: min -3x - 5y. Optimum (2, 6), objective -36.
+  Model m;
+  VarId x = m.AddContinuous(0, kInf, "x");
+  VarId y = m.AddContinuous(0, kInf, "y");
+  m.AddConstraint({{x, 1.0}}, Sense::kLe, 4.0);
+  m.AddConstraint({{y, 2.0}}, Sense::kLe, 12.0);
+  m.AddConstraint({{x, 3.0}, {y, 2.0}}, Sense::kLe, 18.0);
+  m.AddObjectiveTerm(x, -3.0);
+  m.AddObjectiveTerm(y, -5.0);
+  LpResult r = SolveLp(m, m.InitialDomains(), DefaultOptions());
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], 2.0, 1e-6);
+  EXPECT_NEAR(r.x[y], 6.0, 1e-6);
+  EXPECT_NEAR(r.objective, -36.0, 1e-6);
+}
+
+TEST(SimplexTest, EqualityConstraints) {
+  // min x + y s.t. x + y = 10, x - y = 2  ->  x = 6, y = 4.
+  Model m;
+  VarId x = m.AddContinuous(0, kInf, "x");
+  VarId y = m.AddContinuous(0, kInf, "y");
+  m.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kEq, 10.0);
+  m.AddConstraint({{x, 1.0}, {y, -1.0}}, Sense::kEq, 2.0);
+  m.AddObjectiveTerm(x, 1.0);
+  m.AddObjectiveTerm(y, 1.0);
+  LpResult r = SolveLp(m, m.InitialDomains(), DefaultOptions());
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], 6.0, 1e-6);
+  EXPECT_NEAR(r.x[y], 4.0, 1e-6);
+}
+
+TEST(SimplexTest, GreaterEqualRows) {
+  // min 2x + 3y s.t. x + y >= 5, x >= 1, y >= 0 -> (5, 0) obj 10.
+  Model m;
+  VarId x = m.AddContinuous(1, kInf, "x");
+  VarId y = m.AddContinuous(0, kInf, "y");
+  m.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kGe, 5.0);
+  m.AddObjectiveTerm(x, 2.0);
+  m.AddObjectiveTerm(y, 3.0);
+  LpResult r = SolveLp(m, m.InitialDomains(), DefaultOptions());
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 10.0, 1e-6);
+  EXPECT_NEAR(r.x[x], 5.0, 1e-6);
+}
+
+TEST(SimplexTest, NegativeRhsRows) {
+  // min x s.t. -x <= -7  (i.e. x >= 7).
+  Model m;
+  VarId x = m.AddContinuous(0, 100, "x");
+  m.AddConstraint({{x, -1.0}}, Sense::kLe, -7.0);
+  m.AddObjectiveTerm(x, 1.0);
+  LpResult r = SolveLp(m, m.InitialDomains(), DefaultOptions());
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], 7.0, 1e-6);
+}
+
+TEST(SimplexTest, DetectsInfeasibility) {
+  Model m;
+  VarId x = m.AddContinuous(0, 5, "x");
+  m.AddConstraint({{x, 1.0}}, Sense::kGe, 6.0);
+  m.AddObjectiveTerm(x, 1.0);
+  LpResult r = SolveLp(m, m.InitialDomains(), DefaultOptions());
+  EXPECT_EQ(r.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnboundedness) {
+  Model m;
+  VarId x = m.AddContinuous(0, kInf, "x");
+  VarId y = m.AddContinuous(0, kInf, "y");
+  m.AddConstraint({{x, 1.0}, {y, -1.0}}, Sense::kLe, 1.0);
+  m.AddObjectiveTerm(x, -1.0);  // x can grow with y forever
+  LpResult r = SolveLp(m, m.InitialDomains(), DefaultOptions());
+  EXPECT_EQ(r.status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, FreeVariables) {
+  // min |shape|: x free, min x s.t. x >= -12 via row.
+  Model m;
+  VarId x = m.AddContinuous(-kInf, kInf, "x");
+  m.AddConstraint({{x, 1.0}}, Sense::kGe, -12.0);
+  m.AddObjectiveTerm(x, 1.0);
+  LpResult r = SolveLp(m, m.InitialDomains(), DefaultOptions());
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], -12.0, 1e-6);
+}
+
+TEST(SimplexTest, DegenerateLpTerminates) {
+  // Multiple redundant constraints through the optimum: classic
+  // degeneracy trigger.
+  Model m;
+  VarId x = m.AddContinuous(0, kInf, "x");
+  VarId y = m.AddContinuous(0, kInf, "y");
+  m.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kLe, 4.0);
+  m.AddConstraint({{x, 2.0}, {y, 2.0}}, Sense::kLe, 8.0);
+  m.AddConstraint({{x, 1.0}}, Sense::kLe, 4.0);
+  m.AddConstraint({{y, 1.0}}, Sense::kLe, 4.0);
+  m.AddObjectiveTerm(x, -1.0);
+  m.AddObjectiveTerm(y, -1.0);
+  LpResult r = SolveLp(m, m.InitialDomains(), DefaultOptions());
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -4.0, 1e-6);
+}
+
+TEST(SimplexTest, RedundantEqualityRows) {
+  Model m;
+  VarId x = m.AddContinuous(0, 10, "x");
+  m.AddConstraint({{x, 1.0}}, Sense::kEq, 3.0);
+  m.AddConstraint({{x, 2.0}}, Sense::kEq, 6.0);  // same information
+  m.AddObjectiveTerm(x, 1.0);
+  LpResult r = SolveLp(m, m.InitialDomains(), DefaultOptions());
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], 3.0, 1e-6);
+}
+
+TEST(SimplexTest, RespectsDomainOverride) {
+  Model m;
+  VarId x = m.AddContinuous(0, 100, "x");
+  m.AddObjectiveTerm(x, -1.0);
+  Domains d = m.InitialDomains();
+  d.ub[x] = 9.0;  // branch-and-bound style tightening
+  LpResult r = SolveLp(m, d, DefaultOptions());
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(r.x[x], 9.0);
+}
+
+TEST(SimplexTest, CrossedDomainsAreInfeasible) {
+  Model m;
+  VarId x = m.AddContinuous(0, 100, "x");
+  Domains d = m.InitialDomains();
+  d.lb[x] = 5.0;
+  d.ub[x] = 4.0;
+  LpResult r = SolveLp(m, d, DefaultOptions());
+  EXPECT_EQ(r.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, RowLimitReportsTooLarge) {
+  // Rows must be non-vacuous (bindable under the bounds), or the
+  // reduction pass drops them before the limit check.
+  Model m;
+  std::vector<VarId> xs;
+  for (int i = 0; i < 10; ++i) {
+    xs.push_back(m.AddContinuous(0, 1, "x" + std::to_string(i)));
+  }
+  for (int i = 0; i < 10; ++i) {
+    m.AddConstraint({{xs[i], 1.0}, {xs[(i + 1) % 10], 1.0}}, Sense::kLe,
+                    0.5);
+  }
+  SimplexOptions opts;
+  opts.max_rows = 5;
+  LpResult r = SolveLp(m, m.InitialDomains(), opts);
+  EXPECT_EQ(r.status, LpStatus::kTooLarge);
+}
+
+// Property test: random LPs constructed so that a set of sampled points is
+// feasible by construction; the simplex optimum must be feasible and at
+// least as good as every sampled point.
+class SimplexRandomLpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomLpTest, OptimumDominatesSampledFeasiblePoints) {
+  Rng rng(1000 + GetParam());
+  const int n = static_cast<int>(rng.UniformInt(2, 6));
+  const int num_points = 8;
+  const int num_rows = static_cast<int>(rng.UniformInt(2, 10));
+
+  // Sample witness points inside the box [-10, 10]^n.
+  std::vector<std::vector<double>> points(num_points,
+                                          std::vector<double>(n));
+  for (auto& p : points) {
+    for (double& v : p) v = rng.UniformReal(-10.0, 10.0);
+  }
+
+  Model m;
+  for (int j = 0; j < n; ++j) {
+    m.AddContinuous(-10.0, 10.0, "x" + std::to_string(j));
+    m.AddObjectiveTerm(j, rng.UniformReal(-2.0, 2.0));
+  }
+  // Each constraint is a random halfspace shifted to contain all points.
+  for (int i = 0; i < num_rows; ++i) {
+    LinearTerms terms;
+    for (int j = 0; j < n; ++j) {
+      terms.push_back({j, rng.UniformReal(-1.0, 1.0)});
+    }
+    double max_activity = -1e30;
+    for (const auto& p : points) {
+      double act = 0.0;
+      for (const Term& t : terms) act += t.coeff * p[t.var];
+      max_activity = std::max(max_activity, act);
+    }
+    m.AddConstraint(terms, Sense::kLe, max_activity);
+  }
+
+  LpResult r = SolveLp(m, m.InitialDomains(), DefaultOptions());
+  ASSERT_EQ(r.status, LpStatus::kOptimal) << "seed case " << GetParam();
+  EXPECT_TRUE(m.IsFeasible(r.x, 1e-5));
+  for (const auto& p : points) {
+    EXPECT_LE(r.objective, m.EvalObjective(p) + 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLps, SimplexRandomLpTest,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace milp
+}  // namespace qfix

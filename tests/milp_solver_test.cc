@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "milp/model.h"
+#include "milp/solver.h"
+
+namespace qfix {
+namespace milp {
+namespace {
+
+TEST(MilpSolverTest, PureLpPassThrough) {
+  Model m;
+  VarId x = m.AddContinuous(0, 10, "x");
+  m.AddConstraint({{x, 1.0}}, Sense::kGe, 3.5);
+  m.AddObjectiveTerm(x, 1.0);
+  MilpSolution s = MilpSolver().Solve(m);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.5, 1e-6);
+}
+
+TEST(MilpSolverTest, SimpleIntegerRounding) {
+  // min x, x integer, x >= 3.2  ->  x = 4.
+  Model m;
+  VarId x = m.AddVariable(VarType::kInteger, 0, 10, "x");
+  m.AddConstraint({{x, 1.0}}, Sense::kGe, 3.2);
+  m.AddObjectiveTerm(x, 1.0);
+  MilpSolution s = MilpSolver().Solve(m);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(s.x[x], 4.0, 1e-9);
+}
+
+TEST(MilpSolverTest, BinaryKnapsackKnownOptimum) {
+  // max 10a + 13b + 7c st 3a + 4b + 2c <= 6 -> a=1,c=1 value 17? Check:
+  // candidates: {a,b}=7kg no; {b,c}=6kg value 20; so optimum is b+c=20.
+  Model m;
+  VarId a = m.AddBinary("a");
+  VarId b = m.AddBinary("b");
+  VarId c = m.AddBinary("c");
+  m.AddConstraint({{a, 3.0}, {b, 4.0}, {c, 2.0}}, Sense::kLe, 6.0);
+  m.AddObjectiveTerm(a, -10.0);
+  m.AddObjectiveTerm(b, -13.0);
+  m.AddObjectiveTerm(c, -7.0);
+  MilpSolution s = MilpSolver().Solve(m);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -20.0, 1e-6);
+  EXPECT_NEAR(s.x[b], 1.0, 1e-9);
+  EXPECT_NEAR(s.x[c], 1.0, 1e-9);
+}
+
+TEST(MilpSolverTest, InfeasibleByPropagation) {
+  Model m;
+  VarId a = m.AddBinary("a");
+  VarId b = m.AddBinary("b");
+  m.AddConstraint({{a, 1.0}, {b, 1.0}}, Sense::kGe, 3.0);
+  MilpSolution s = MilpSolver().Solve(m);
+  EXPECT_EQ(s.status, MilpStatus::kInfeasible);
+}
+
+TEST(MilpSolverTest, InfeasibleRequiringSearch) {
+  // x + y = 1 with x = y (both binary) has no integral solution; the LP
+  // relaxation (0.5, 0.5) is feasible so branching must prove it.
+  Model m;
+  VarId x = m.AddBinary("x");
+  VarId y = m.AddBinary("y");
+  m.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kEq, 1.0);
+  m.AddConstraint({{x, 1.0}, {y, -1.0}}, Sense::kEq, 0.0);
+  MilpSolution s = MilpSolver().Solve(m);
+  EXPECT_EQ(s.status, MilpStatus::kInfeasible);
+}
+
+TEST(MilpSolverTest, BigMIndicatorModel) {
+  // Indicator x=1 <-> v >= 10, minimize v subject to x = 1.
+  const double kM = 1000.0;
+  Model m;
+  VarId v = m.AddContinuous(0, 100, "v");
+  VarId x = m.AddBinary("x");
+  m.AddConstraint({{v, 1.0}, {x, -kM}}, Sense::kGe, 10.0 - kM);
+  m.AddConstraint({{x, 1.0}}, Sense::kEq, 1.0);
+  m.AddObjectiveTerm(v, 1.0);
+  MilpSolution s = MilpSolver().Solve(m);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(s.x[v], 10.0, 1e-6);
+}
+
+TEST(MilpSolverTest, AbsoluteValueSplitObjective) {
+  // Minimize |p - 7| with p in [0, 20] and p >= 9 -> optimum p = 9,
+  // objective 2. Encoded with split variables as in the QFix objective.
+  Model m;
+  VarId p = m.AddContinuous(0, 20, "p");
+  VarId dp = m.AddContinuous(0, kInf, "d+");
+  VarId dm = m.AddContinuous(0, kInf, "d-");
+  // p - 7 = dp - dm
+  m.AddConstraint({{p, 1.0}, {dp, -1.0}, {dm, 1.0}}, Sense::kEq, 7.0);
+  m.AddConstraint({{p, 1.0}}, Sense::kGe, 9.0);
+  m.AddObjectiveTerm(dp, 1.0);
+  m.AddObjectiveTerm(dm, 1.0);
+  MilpSolution s = MilpSolver().Solve(m);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-6);
+  EXPECT_NEAR(s.x[p], 9.0, 1e-6);
+}
+
+TEST(MilpSolverTest, TimeLimitReturnsGracefully) {
+  // A deliberately fiddly equal-weight subset-sum instance; with an
+  // effectively-zero time budget the solver must stop and say so.
+  Rng rng(5);
+  Model m;
+  LinearTerms row;
+  for (int i = 0; i < 30; ++i) {
+    VarId v = m.AddBinary("b" + std::to_string(i));
+    row.push_back({v, rng.UniformReal(1.0, 2.0)});
+    m.AddObjectiveTerm(v, -1.0);
+  }
+  m.AddConstraint(row, Sense::kLe, 20.0);
+  MilpOptions opts;
+  opts.time_limit_seconds = 1e-9;
+  MilpSolution s = MilpSolver(opts).Solve(m);
+  EXPECT_TRUE(s.status == MilpStatus::kTimeLimit ||
+              s.status == MilpStatus::kFeasible);
+}
+
+TEST(MilpSolverTest, StatsArePopulated) {
+  Model m;
+  VarId x = m.AddBinary("x");
+  m.AddConstraint({{x, 1.0}}, Sense::kGe, 1.0);
+  MilpSolution s = MilpSolver().Solve(m);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_EQ(s.stats.num_vars, 1);
+  EXPECT_EQ(s.stats.num_constraints, 1);
+  EXPECT_EQ(s.stats.num_integer_vars, 1);
+  EXPECT_GE(s.stats.nodes, 1);
+  EXPECT_GE(s.stats.wall_seconds, 0.0);
+}
+
+TEST(MilpSolverTest, StatusToStringCoversAll) {
+  EXPECT_STREQ(MilpStatusToString(MilpStatus::kOptimal), "optimal");
+  EXPECT_STREQ(MilpStatusToString(MilpStatus::kFeasible), "feasible");
+  EXPECT_STREQ(MilpStatusToString(MilpStatus::kInfeasible), "infeasible");
+  EXPECT_STREQ(MilpStatusToString(MilpStatus::kTimeLimit), "time_limit");
+  EXPECT_STREQ(MilpStatusToString(MilpStatus::kTooLarge), "too_large");
+  EXPECT_STREQ(MilpStatusToString(MilpStatus::kUnbounded), "unbounded");
+}
+
+// Property test: random binary knapsacks are solved to the same optimum as
+// exhaustive enumeration.
+class MilpKnapsackTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MilpKnapsackTest, MatchesBruteForce) {
+  Rng rng(2000 + GetParam());
+  const int n = static_cast<int>(rng.UniformInt(3, 12));
+  std::vector<double> weight(n), value(n);
+  for (int i = 0; i < n; ++i) {
+    weight[i] = static_cast<double>(rng.UniformInt(1, 20));
+    value[i] = static_cast<double>(rng.UniformInt(1, 30));
+  }
+  double capacity =
+      static_cast<double>(rng.UniformInt(10, 20 + 5 * n));
+
+  Model m;
+  LinearTerms row;
+  for (int i = 0; i < n; ++i) {
+    VarId v = m.AddBinary("b" + std::to_string(i));
+    row.push_back({v, weight[i]});
+    m.AddObjectiveTerm(v, -value[i]);
+  }
+  m.AddConstraint(row, Sense::kLe, capacity);
+
+  MilpSolution s = MilpSolver().Solve(m);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+
+  double best = 0.0;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    double w = 0.0, v = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) {
+        w += weight[i];
+        v += value[i];
+      }
+    }
+    if (w <= capacity) best = std::max(best, v);
+  }
+  EXPECT_NEAR(s.objective, -best, 1e-6) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomKnapsacks, MilpKnapsackTest,
+                         ::testing::Range(0, 30));
+
+// Property test: random mixed big-M models against brute-force over the
+// binary assignments with an LP for the continuous part.
+class MilpMixedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MilpMixedTest, MatchesBinaryEnumeration) {
+  Rng rng(3000 + GetParam());
+  const int nb = static_cast<int>(rng.UniformInt(2, 6));
+  const int nc = static_cast<int>(rng.UniformInt(1, 3));
+  const int rows = static_cast<int>(rng.UniformInt(2, 6));
+
+  Model m;
+  std::vector<VarId> bins(nb), conts(nc);
+  for (int i = 0; i < nb; ++i) {
+    bins[i] = m.AddBinary("b" + std::to_string(i));
+    m.AddObjectiveTerm(bins[i], rng.UniformReal(-3.0, 3.0));
+  }
+  for (int i = 0; i < nc; ++i) {
+    conts[i] = m.AddContinuous(-5.0, 5.0, "c" + std::to_string(i));
+    m.AddObjectiveTerm(conts[i], rng.UniformReal(-2.0, 2.0));
+  }
+  // Random rows shifted so that the all-zeros/midpoint assignment is
+  // feasible, guaranteeing a non-trivial feasible region.
+  for (int r = 0; r < rows; ++r) {
+    LinearTerms terms;
+    for (int i = 0; i < nb; ++i) {
+      terms.push_back({bins[i], rng.UniformReal(-2.0, 2.0)});
+    }
+    for (int i = 0; i < nc; ++i) {
+      terms.push_back({conts[i], rng.UniformReal(-2.0, 2.0)});
+    }
+    m.AddConstraint(terms, Sense::kLe,
+                    rng.UniformReal(0.5, 4.0));  // 0-point feasible
+  }
+
+  MilpSolution s = MilpSolver().Solve(m);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+
+  // Enumerate binary assignments; solve the continuous remainder by LP.
+  double best = 1e30;
+  for (int mask = 0; mask < (1 << nb); ++mask) {
+    Domains d = m.InitialDomains();
+    for (int i = 0; i < nb; ++i) {
+      double v = (mask >> i) & 1;
+      d.lb[bins[i]] = v;
+      d.ub[bins[i]] = v;
+    }
+    LpResult lp = SolveLp(m, d, SimplexOptions{});
+    if (lp.status == LpStatus::kOptimal) best = std::min(best, lp.objective);
+  }
+  ASSERT_LT(best, 1e29);
+  EXPECT_NEAR(s.objective, best, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMixed, MilpMixedTest, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace milp
+}  // namespace qfix

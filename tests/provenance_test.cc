@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "provenance/complaint.h"
+#include "provenance/impact.h"
+#include "relational/executor.h"
+
+namespace qfix {
+namespace provenance {
+namespace {
+
+using relational::CmpOp;
+using relational::Database;
+using relational::LinearExpr;
+using relational::Predicate;
+using relational::Query;
+using relational::QueryLog;
+using relational::Schema;
+
+Schema TaxSchema() { return Schema({"income", "owed", "pay"}); }
+
+Database TaxD0() {
+  Database db(TaxSchema(), "Taxes");
+  db.AddTuple({9500, 950, 8550});
+  db.AddTuple({90000, 22500, 67500});
+  db.AddTuple({86000, 21500, 64500});
+  db.AddTuple({86500, 21625, 64875});
+  return db;
+}
+
+QueryLog PaperLog(double q1_threshold) {
+  QueryLog log;
+  log.push_back(Query::Update(
+      "Taxes", {{1, LinearExpr::AttrScaled(0, 0.3)}},
+      Predicate::Atom({LinearExpr::Attr(0), CmpOp::kGe, q1_threshold})));
+  log.push_back(Query::Insert("Taxes", {87000, 21750, 65250}));
+  LinearExpr pay = LinearExpr::Attr(0);
+  pay.AddTerm(1, -1.0);
+  log.push_back(Query::Update("Taxes", {{2, pay}}, Predicate::True()));
+  return log;
+}
+
+TEST(ComplaintSetTest, AddFindAndConsistency) {
+  ComplaintSet set;
+  set.Add({3, true, {1, 2, 3}});
+  set.Add({1, true, {4, 5, 6}});
+  EXPECT_EQ(set.size(), 2u);
+  ASSERT_NE(set.Find(3), nullptr);
+  EXPECT_EQ(set.Find(3)->target_values[0], 1);
+  EXPECT_EQ(set.Find(7), nullptr);
+  // Re-adding the same tid replaces (consistency: one transform/tuple).
+  set.Add({3, true, {9, 9, 9}});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.Find(3)->target_values[0], 9);
+  // Kept sorted by tid.
+  EXPECT_EQ(set.complaints()[0].tid, 1);
+  EXPECT_EQ(set.complaints()[1].tid, 3);
+}
+
+TEST(ComplaintSetTest, ApplyToPerformsTransformations) {
+  Database dirty = TaxD0();
+  ComplaintSet set;
+  set.Add({0, true, {1, 2, 3}});
+  set.Add({2, false, {}});  // t3 should be deleted
+  Database repaired = set.ApplyTo(dirty);
+  EXPECT_EQ(repaired.slot(0).values, (std::vector<double>{1, 2, 3}));
+  EXPECT_FALSE(repaired.slot(2).alive);
+  EXPECT_TRUE(repaired.slot(1).alive);  // untouched
+}
+
+TEST(ComplaintSetTest, ComplaintAttributes) {
+  Database dirty = TaxD0();
+  ComplaintSet set;
+  // Only `owed` (attr 1) differs.
+  set.Add({2, true, {86000, 99999, 64500}});
+  AttrSet attrs = set.ComplaintAttributes(dirty);
+  EXPECT_EQ(attrs.ToVector(), (std::vector<size_t>{1}));
+  // A liveness complaint marks all attributes.
+  set.Add({0, false, {}});
+  EXPECT_EQ(set.ComplaintAttributes(dirty).Count(), 3u);
+}
+
+TEST(DiffStatesTest, PaperExampleComplaints) {
+  QueryLog dirty_log = PaperLog(85700);   // digit transposition
+  QueryLog clean_log = PaperLog(87500);   // intended policy
+  Database d0 = TaxD0();
+  Database dirty = relational::ExecuteLog(dirty_log, d0);
+  Database truth = relational::ExecuteLog(clean_log, d0);
+
+  ComplaintSet complaints = DiffStates(dirty, truth);
+  // Exactly t3 and t4 (slots 2, 3) are wrong; t2 (90000) is correctly
+  // re-rated by both logs and t5 is inserted identically.
+  ASSERT_EQ(complaints.size(), 2u);
+  EXPECT_EQ(complaints.complaints()[0].tid, 2);
+  EXPECT_EQ(complaints.complaints()[1].tid, 3);
+  EXPECT_EQ(complaints.complaints()[0].target_values,
+            (std::vector<double>{86000, 21500, 64500}));
+  EXPECT_EQ(complaints.complaints()[1].target_values,
+            (std::vector<double>{86500, 21625, 64875}));
+  // A(C) = {owed, pay}.
+  EXPECT_EQ(complaints.ComplaintAttributes(dirty).ToVector(),
+            (std::vector<size_t>{1, 2}));
+}
+
+TEST(DiffStatesTest, DetectsLivenessDifferences) {
+  Schema s = TaxSchema();
+  Database a(s, "T"), b(s, "T");
+  a.AddTuple({1, 2, 3});
+  b.AddTuple({1, 2, 3});
+  b.mutable_tuples()[0].alive = false;
+  ComplaintSet c = DiffStates(a, b);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_FALSE(c.complaints()[0].target_alive);
+}
+
+TEST(SampleComplaintsTest, KeepFractionAndNonEmptyGuarantee) {
+  ComplaintSet full;
+  for (int i = 0; i < 200; ++i) {
+    full.Add({i, true, {0, 0, 0}});
+  }
+  Rng rng(17);
+  ComplaintSet half = SampleComplaints(full, 0.5, rng);
+  EXPECT_GT(half.size(), 60u);
+  EXPECT_LT(half.size(), 140u);
+  ComplaintSet none = SampleComplaints(full, 0.0, rng);
+  EXPECT_EQ(none.size(), 1u);  // at least one survives
+  ComplaintSet all = SampleComplaints(full, 1.0, rng);
+  EXPECT_EQ(all.size(), 200u);
+}
+
+TEST(FullImpactTest, PaperExampleChains) {
+  QueryLog log = PaperLog(85700);
+  auto impacts = ComputeFullImpacts(log, 3);
+  ASSERT_EQ(impacts.size(), 3u);
+  // q3 writes pay only; nothing follows it.
+  EXPECT_EQ(impacts[2].ToVector(), (std::vector<size_t>{2}));
+  // q1 writes owed; q3 reads owed (in SET pay = income - owed), so the
+  // impact propagates: F(q1) = {owed, pay}.
+  EXPECT_EQ(impacts[0].ToVector(), (std::vector<size_t>{1, 2}));
+  // INSERT impacts every attribute, and chains through q3 as well.
+  EXPECT_EQ(impacts[1].Count(), 3u);
+}
+
+TEST(FullImpactTest, NoFalsePropagationWithoutOverlap) {
+  // q0 writes a0; q1 reads a1 writes a2. No chain between them.
+  Schema s = Schema::WithDefaultNames(3);
+  QueryLog log;
+  log.push_back(Query::Update("T", {{0, LinearExpr::Constant(1)}},
+                              Predicate::True()));
+  log.push_back(Query::Update("T", {{2, LinearExpr::Attr(1)}},
+                              Predicate::True()));
+  auto impacts = ComputeFullImpacts(log, 3);
+  EXPECT_EQ(impacts[0].ToVector(), (std::vector<size_t>{0}));
+  EXPECT_EQ(impacts[1].ToVector(), (std::vector<size_t>{2}));
+}
+
+TEST(RelevantQueriesTest, LooseAndStrictFilters) {
+  AttrSet f0(3), f1(3), f2(3), complaint(3);
+  f0.Insert(0);              // disjoint from complaints
+  f1.Insert(1);              // covers part of complaints
+  f2.Insert(1);
+  f2.Insert(2);              // covers all complaints
+  complaint.Insert(1);
+  complaint.Insert(2);
+  std::vector<AttrSet> impacts{f0, f1, f2};
+
+  auto loose = RelevantQueries(impacts, complaint, false);
+  EXPECT_EQ(loose, (std::vector<size_t>{1, 2}));
+  auto strict = RelevantQueries(impacts, complaint, true);
+  EXPECT_EQ(strict, (std::vector<size_t>{2}));
+}
+
+TEST(RelevantAttributesTest, UnionOfImpactAndDependency) {
+  QueryLog log = PaperLog(85700);
+  // Relevant: q1 (index 0) only.
+  AttrSet complaint(3);
+  complaint.Insert(1);
+  AttrSet rel = RelevantAttributes(log, {0}, complaint, 3);
+  // q1 writes owed (1) and reads income (0); complaint adds owed.
+  EXPECT_EQ(rel.ToVector(), (std::vector<size_t>{0, 1}));
+}
+
+}  // namespace
+}  // namespace provenance
+}  // namespace qfix

@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include "relational/database.h"
+#include "relational/executor.h"
+#include "relational/linear_expr.h"
+#include "relational/predicate.h"
+#include "relational/query.h"
+#include "relational/schema.h"
+
+namespace qfix {
+namespace relational {
+namespace {
+
+Schema TaxSchema() { return Schema({"income", "owed", "pay"}); }
+
+// The running example of the paper (Figure 2): Taxes table, three-query
+// log with a digit-transposed predicate in q1.
+Database TaxD0() {
+  Database db(TaxSchema(), "Taxes");
+  db.AddTuple({9500, 950, 8550});
+  db.AddTuple({90000, 22500, 67500});
+  db.AddTuple({86000, 21500, 64500});
+  db.AddTuple({86500, 21625, 64875});
+  return db;
+}
+
+TEST(SchemaTest, NamesAndIndexes) {
+  Schema s = TaxSchema();
+  EXPECT_EQ(s.num_attrs(), 3u);
+  EXPECT_EQ(s.attr_name(1), "owed");
+  auto idx = s.AttrIndex("pay");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 2u);
+  EXPECT_TRUE(s.AttrIndex("bogus").status().IsNotFound());
+}
+
+TEST(SchemaTest, DefaultNames) {
+  Schema s = Schema::WithDefaultNames(3);
+  EXPECT_EQ(s.attr_name(0), "a0");
+  EXPECT_EQ(s.attr_name(2), "a2");
+}
+
+TEST(LinearExprTest, EvalAndMerge) {
+  // 2 * income - owed + 10
+  LinearExpr e = LinearExpr::AttrScaled(0, 2.0, 10.0);
+  e.AddTerm(1, -1.0);
+  EXPECT_DOUBLE_EQ(e.Eval({100, 30, 0}), 180.0);
+  e.AddTerm(0, 1.0);  // merges into coeff 3
+  EXPECT_DOUBLE_EQ(e.Eval({100, 30, 0}), 280.0);
+  EXPECT_EQ(e.terms().size(), 2u);
+}
+
+TEST(LinearExprTest, ArithmeticOperators) {
+  LinearExpr a = LinearExpr::Attr(0);
+  LinearExpr b = LinearExpr::AttrScaled(1, 2.0, 5.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.Eval({1, 1, 0}), 1 + 2 + 5);
+  a -= b;
+  EXPECT_TRUE(a == LinearExpr::Attr(0));
+  a *= 3.0;
+  EXPECT_DOUBLE_EQ(a.Eval({2, 0, 0}), 6.0);
+}
+
+TEST(LinearExprTest, IdentityAndConstant) {
+  EXPECT_TRUE(LinearExpr::Attr(2).IsIdentityOf(2));
+  EXPECT_FALSE(LinearExpr::Attr(2).IsIdentityOf(1));
+  EXPECT_FALSE(LinearExpr::AttrScaled(2, 2.0).IsIdentityOf(2));
+  EXPECT_TRUE(LinearExpr::Constant(4.0).IsConstant());
+  EXPECT_FALSE(LinearExpr::Attr(0).IsConstant());
+}
+
+TEST(LinearExprTest, ReadSetSkipsZeroCoeffs) {
+  LinearExpr e = LinearExpr::Attr(0);
+  e.AddTerm(1, 0.0);
+  AttrSet s = e.ReadSet(3);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_FALSE(s.Contains(1));
+}
+
+TEST(LinearExprTest, ToStringReadable) {
+  Schema s = TaxSchema();
+  LinearExpr e = LinearExpr::AttrScaled(0, 0.3);
+  EXPECT_EQ(e.ToString(s), "income * 0.3");
+  LinearExpr diff = LinearExpr::Attr(0);
+  diff.AddTerm(1, -1.0);
+  EXPECT_EQ(diff.ToString(s), "income - owed");
+  EXPECT_EQ(LinearExpr::Constant(7).ToString(s), "7");
+}
+
+TEST(PredicateTest, ComparisonOps) {
+  std::vector<double> v{10, 0, 0};
+  auto atom = [&](CmpOp op, double rhs) {
+    return Comparison{LinearExpr::Attr(0), op, rhs}.Eval(v);
+  };
+  EXPECT_TRUE(atom(CmpOp::kGe, 10));
+  EXPECT_FALSE(atom(CmpOp::kGt, 10));
+  EXPECT_TRUE(atom(CmpOp::kLe, 10));
+  EXPECT_FALSE(atom(CmpOp::kLt, 10));
+  EXPECT_TRUE(atom(CmpOp::kEq, 10));
+  EXPECT_FALSE(atom(CmpOp::kNeq, 10));
+  EXPECT_TRUE(atom(CmpOp::kNeq, 11));
+}
+
+TEST(PredicateTest, TreeEvalAndHelpers) {
+  // income >= 100 AND (owed = 5 OR pay <= 3)
+  Predicate p = Predicate::And(
+      {Predicate::Atom({LinearExpr::Attr(0), CmpOp::kGe, 100}),
+       Predicate::Or({Predicate::Atom({LinearExpr::Attr(1), CmpOp::kEq, 5}),
+                      Predicate::Atom({LinearExpr::Attr(2), CmpOp::kLe, 3})})});
+  EXPECT_TRUE(p.Eval({100, 5, 10}));
+  EXPECT_TRUE(p.Eval({100, 6, 3}));
+  EXPECT_FALSE(p.Eval({100, 6, 4}));
+  EXPECT_FALSE(p.Eval({99, 5, 3}));
+  EXPECT_EQ(p.NumAtoms(), 3u);
+  AttrSet reads = p.ReadSet(3);
+  EXPECT_EQ(reads.Count(), 3u);
+}
+
+TEST(PredicateTest, TrueAndBetween) {
+  EXPECT_TRUE(Predicate::True().Eval({1, 2, 3}));
+  Predicate b = Predicate::Between(0, 5, 10);
+  EXPECT_TRUE(b.Eval({5, 0, 0}));
+  EXPECT_TRUE(b.Eval({10, 0, 0}));
+  EXPECT_FALSE(b.Eval({4, 0, 0}));
+  EXPECT_FALSE(b.Eval({11, 0, 0}));
+}
+
+TEST(PredicateTest, ToStringNested) {
+  Schema s = TaxSchema();
+  Predicate p = Predicate::Or(
+      {Predicate::And(
+           {Predicate::Atom({LinearExpr::Attr(0), CmpOp::kGe, 1}),
+            Predicate::Atom({LinearExpr::Attr(1), CmpOp::kLt, 2})}),
+       Predicate::Atom({LinearExpr::Attr(2), CmpOp::kNeq, 3})});
+  EXPECT_EQ(p.ToString(s), "income >= 1 AND owed < 2 OR pay <> 3");
+}
+
+TEST(QueryTest, UpdateAppliesSimultaneously) {
+  // SET income = owed, owed = income must swap, not chain.
+  Database db(TaxSchema(), "Taxes");
+  db.AddTuple({1, 2, 0});
+  Query q = Query::Update(
+      "Taxes",
+      {{0, LinearExpr::Attr(1)}, {1, LinearExpr::Attr(0)}},
+      Predicate::True());
+  ApplyQuery(q, db);
+  EXPECT_DOUBLE_EQ(db.slot(0).values[0], 2);
+  EXPECT_DOUBLE_EQ(db.slot(0).values[1], 1);
+}
+
+TEST(QueryTest, DeleteKeepsSlot) {
+  Database db = TaxD0();
+  Query q = Query::Delete(
+      "Taxes", Predicate::Atom({LinearExpr::Attr(0), CmpOp::kLt, 10000}));
+  ApplyQuery(q, db);
+  EXPECT_EQ(db.NumSlots(), 4u);
+  EXPECT_EQ(db.NumAlive(), 3u);
+  EXPECT_FALSE(db.slot(0).alive);
+  // Dead tuples are not updated afterwards.
+  Query q2 = Query::Update("Taxes", {{1, LinearExpr::Constant(0)}},
+                           Predicate::True());
+  ApplyQuery(q2, db);
+  EXPECT_DOUBLE_EQ(db.slot(0).values[1], 950);
+  EXPECT_DOUBLE_EQ(db.slot(1).values[1], 0);
+}
+
+TEST(QueryTest, InsertAssignsNextTid) {
+  Database db = TaxD0();
+  Query q = Query::Insert("Taxes", {87000, 21750, 65250});
+  ApplyQuery(q, db);
+  EXPECT_EQ(db.NumSlots(), 5u);
+  EXPECT_EQ(db.slot(4).tid, 4);
+  EXPECT_DOUBLE_EQ(db.slot(4).values[0], 87000);
+}
+
+// Replays the full Figure 2 example and checks the corrupted final state
+// the paper prints (D4 in the figure, including t5).
+TEST(ExecutorTest, PaperRunningExample) {
+  QueryLog log;
+  // q1 (corrupted): UPDATE Taxes SET owed = income * 0.3
+  //                 WHERE income >= 85700
+  log.push_back(Query::Update(
+      "Taxes", {{1, LinearExpr::AttrScaled(0, 0.3)}},
+      Predicate::Atom({LinearExpr::Attr(0), CmpOp::kGe, 85700})));
+  // q2: INSERT INTO Taxes VALUES (87000, 21750, 65250)
+  log.push_back(Query::Insert("Taxes", {87000, 21750, 65250}));
+  // q3: UPDATE Taxes SET pay = income - owed
+  LinearExpr pay = LinearExpr::Attr(0);
+  pay.AddTerm(1, -1.0);
+  log.push_back(Query::Update("Taxes", {{2, pay}}, Predicate::True()));
+
+  Database dn = ExecuteLog(log, TaxD0());
+  ASSERT_EQ(dn.NumSlots(), 5u);
+  // t1 untouched by q1; pay recomputed by q3 to the same value.
+  EXPECT_DOUBLE_EQ(dn.slot(0).values[1], 950);
+  EXPECT_DOUBLE_EQ(dn.slot(0).values[2], 8550);
+  // t2..t4 hit by the corrupted predicate.
+  EXPECT_DOUBLE_EQ(dn.slot(1).values[1], 27000);
+  EXPECT_DOUBLE_EQ(dn.slot(1).values[2], 63000);
+  EXPECT_DOUBLE_EQ(dn.slot(2).values[1], 25800);
+  EXPECT_DOUBLE_EQ(dn.slot(2).values[2], 60200);
+  EXPECT_DOUBLE_EQ(dn.slot(3).values[1], 25950);
+  EXPECT_DOUBLE_EQ(dn.slot(3).values[2], 60550);
+  // t5 inserted after q1, so only q3 touches it.
+  EXPECT_DOUBLE_EQ(dn.slot(4).values[1], 21750);
+  EXPECT_DOUBLE_EQ(dn.slot(4).values[2], 65250);
+}
+
+TEST(ExecutorTest, CleanLogGivesTrueState) {
+  QueryLog clean;
+  clean.push_back(Query::Update(
+      "Taxes", {{1, LinearExpr::AttrScaled(0, 0.3)}},
+      Predicate::Atom({LinearExpr::Attr(0), CmpOp::kGe, 87500})));
+  clean.push_back(Query::Insert("Taxes", {87000, 21750, 65250}));
+  LinearExpr pay = LinearExpr::Attr(0);
+  pay.AddTerm(1, -1.0);
+  clean.push_back(Query::Update("Taxes", {{2, pay}}, Predicate::True()));
+
+  Database dn = ExecuteLog(clean, TaxD0());
+  // t3, t4 keep their original owed under the correct predicate.
+  EXPECT_DOUBLE_EQ(dn.slot(2).values[1], 21500);
+  EXPECT_DOUBLE_EQ(dn.slot(2).values[2], 64500);
+  EXPECT_DOUBLE_EQ(dn.slot(3).values[1], 21625);
+  EXPECT_DOUBLE_EQ(dn.slot(3).values[2], 64875);
+  // t2 (income 90000) is correctly re-rated.
+  EXPECT_DOUBLE_EQ(dn.slot(1).values[1], 27000);
+}
+
+TEST(ExecutorTest, StatesEnumeratesAllPrefixes) {
+  QueryLog log;
+  log.push_back(Query::Update("T", {{1, LinearExpr::Constant(1)}},
+                              Predicate::True()));
+  log.push_back(Query::Update("T", {{1, LinearExpr::Constant(2)}},
+                              Predicate::True()));
+  Database d0(TaxSchema(), "T");
+  d0.AddTuple({0, 0, 0});
+  auto states = ExecuteLogStates(log, d0);
+  ASSERT_EQ(states.size(), 3u);
+  EXPECT_DOUBLE_EQ(states[0].slot(0).values[1], 0);
+  EXPECT_DOUBLE_EQ(states[1].slot(0).values[1], 1);
+  EXPECT_DOUBLE_EQ(states[2].slot(0).values[1], 2);
+}
+
+TEST(QueryParamsTest, UpdateParamOrderAndMutation) {
+  // SET owed = income * 0.3 + 7 WHERE income >= 85700 AND pay <= 100
+  Query q = Query::Update(
+      "Taxes", {{1, LinearExpr::AttrScaled(0, 0.3, 7.0)}},
+      Predicate::And(
+          {Predicate::Atom({LinearExpr::Attr(0), CmpOp::kGe, 85700}),
+           Predicate::Atom({LinearExpr::Attr(2), CmpOp::kLe, 100})}));
+  auto params = q.Params();
+  // set constant, set coeff, two where rhs.
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_DOUBLE_EQ(q.GetParam(params[0]), 7.0);
+  EXPECT_DOUBLE_EQ(q.GetParam(params[1]), 0.3);
+  EXPECT_DOUBLE_EQ(q.GetParam(params[2]), 85700.0);
+  EXPECT_DOUBLE_EQ(q.GetParam(params[3]), 100.0);
+
+  q.SetParam(params[2], 87500.0);
+  EXPECT_DOUBLE_EQ(q.GetParam(params[2]), 87500.0);
+  EXPECT_FALSE(q.Matches({86000, 0, 0}));
+  EXPECT_TRUE(q.Matches({88000, 0, 0}));
+}
+
+TEST(QueryParamsTest, InsertAndDeleteParams) {
+  Query ins = Query::Insert("T", {1, 2, 3});
+  ASSERT_EQ(ins.NumParams(), 3u);
+  auto p = ins.Params();
+  EXPECT_DOUBLE_EQ(ins.GetParam(p[1]), 2.0);
+  ins.SetParam(p[1], 9.0);
+  EXPECT_DOUBLE_EQ(ins.insert_values()[1], 9.0);
+
+  Query del = Query::Delete(
+      "T", Predicate::Atom({LinearExpr::Attr(0), CmpOp::kEq, 5}));
+  ASSERT_EQ(del.NumParams(), 1u);
+  EXPECT_DOUBLE_EQ(del.GetParam(del.Params()[0]), 5.0);
+}
+
+TEST(QueryImpactTest, DirectImpactAndDependency) {
+  LinearExpr pay = LinearExpr::Attr(0);
+  pay.AddTerm(1, -1.0);
+  Query q = Query::Update(
+      "Taxes", {{2, pay}},
+      Predicate::Atom({LinearExpr::Attr(0), CmpOp::kGe, 0}));
+  AttrSet impact = q.DirectImpact(3);
+  EXPECT_EQ(impact.ToVector(), (std::vector<size_t>{2}));
+  // Dependency includes SET reads (income, owed) plus WHERE reads.
+  AttrSet dep = q.Dependency(3);
+  EXPECT_EQ(dep.ToVector(), (std::vector<size_t>{0, 1}));
+
+  Query ins = Query::Insert("Taxes", {1, 2, 3});
+  EXPECT_EQ(ins.DirectImpact(3).Count(), 3u);
+  EXPECT_TRUE(ins.Dependency(3).Empty());
+
+  Query del = Query::Delete(
+      "Taxes", Predicate::Atom({LinearExpr::Attr(1), CmpOp::kLt, 0}));
+  EXPECT_EQ(del.DirectImpact(3).Count(), 3u);
+  EXPECT_EQ(del.Dependency(3).ToVector(), (std::vector<size_t>{1}));
+}
+
+TEST(QueryTest, ToSqlRendering) {
+  Schema s = TaxSchema();
+  Query q = Query::Update(
+      "Taxes", {{1, LinearExpr::AttrScaled(0, 0.3)}},
+      Predicate::Atom({LinearExpr::Attr(0), CmpOp::kGe, 85700}));
+  EXPECT_EQ(q.ToSql(s),
+            "UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700");
+  EXPECT_EQ(Query::Insert("Taxes", {25, 85800, 21450}).ToSql(s),
+            "INSERT INTO Taxes VALUES (25, 85800, 21450)");
+  EXPECT_EQ(Query::Delete("Taxes", Predicate::True()).ToSql(s),
+            "DELETE FROM Taxes");
+}
+
+TEST(LogDistanceTest, ManhattanOverParams) {
+  QueryLog a, b;
+  a.push_back(Query::Insert("T", {1, 2, 3}));
+  b.push_back(Query::Insert("T", {1, 5, 1}));
+  EXPECT_DOUBLE_EQ(LogDistance(a, b), 3.0 + 2.0);
+  EXPECT_DOUBLE_EQ(LogDistance(a, a), 0.0);
+}
+
+}  // namespace
+}  // namespace relational
+}  // namespace qfix

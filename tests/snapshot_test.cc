@@ -1,0 +1,167 @@
+// Tests for checkpoint snapshots (io/snapshot.h): exact round-trips
+// including dead slots, malformed-input rejection, file IO, and the
+// property that a snapshot taken mid-log replays identically to the
+// original execution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/random.h"
+#include "io/snapshot.h"
+#include "relational/database.h"
+#include "relational/executor.h"
+#include "workload/synthetic.h"
+
+namespace qfix {
+namespace io {
+namespace {
+
+using relational::Database;
+using relational::Schema;
+
+Database SampleDb() {
+  Database db(Schema({"income", "owed", "pay"}), "Taxes");
+  db.AddTuple({9500, 950, 8550});
+  db.AddTuple({90000.125, -22500, 0.1});  // exercises non-integers
+  db.AddTuple({86000, 21500, 64500});
+  db.slot(1).alive = false;  // a deleted tuple keeps its slot
+  return db;
+}
+
+void ExpectSameDatabase(const Database& a, const Database& b) {
+  EXPECT_EQ(a.table_name(), b.table_name());
+  ASSERT_TRUE(a.schema() == b.schema());
+  ASSERT_EQ(a.NumSlots(), b.NumSlots());
+  for (size_t i = 0; i < a.NumSlots(); ++i) {
+    EXPECT_EQ(a.slot(i).tid, b.slot(i).tid);
+    EXPECT_EQ(a.slot(i).alive, b.slot(i).alive);
+    for (size_t attr = 0; attr < a.schema().num_attrs(); ++attr) {
+      // Bit-exact: checkpoints must not drift through serialization.
+      EXPECT_EQ(a.slot(i).values[attr], b.slot(i).values[attr])
+          << "slot " << i << " attr " << attr;
+    }
+  }
+}
+
+TEST(SnapshotTest, RoundTripsValuesLivenessAndTids) {
+  Database db = SampleDb();
+  std::string text = WriteSnapshot(db);
+  Result<Database> back = ReadSnapshot(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectSameDatabase(db, *back);
+}
+
+TEST(SnapshotTest, FormatIsHumanReadable) {
+  std::string text = WriteSnapshot(SampleDb());
+  EXPECT_NE(text.find("qfix-snapshot v1"), std::string::npos);
+  EXPECT_NE(text.find("table Taxes"), std::string::npos);
+  EXPECT_NE(text.find("attrs income owed pay"), std::string::npos);
+  EXPECT_NE(text.find("tuple 1 dead"), std::string::npos);
+  EXPECT_NE(text.find("end"), std::string::npos);
+}
+
+TEST(SnapshotTest, EmptyDatabaseRoundTrips) {
+  Database db(Schema({"a0"}), "T");
+  Result<Database> back = ReadSnapshot(WriteSnapshot(db));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->NumSlots(), 0u);
+}
+
+TEST(SnapshotTest, ExtremeValuesRoundTripExactly) {
+  Database db(Schema({"a0", "a1"}), "T");
+  db.AddTuple({1.0 / 3.0, 1e17});
+  db.AddTuple({-0.1, 5e-324});  // denormal minimum
+  Result<Database> back = ReadSnapshot(WriteSnapshot(db));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectSameDatabase(db, *back);
+}
+
+TEST(SnapshotTest, RejectsMalformedDocuments) {
+  // Wrong header.
+  EXPECT_FALSE(ReadSnapshot("nonsense v1\ntable T\nattrs a\nend\n").ok());
+  // Missing attrs line.
+  EXPECT_FALSE(ReadSnapshot("qfix-snapshot v1\ntable T\nend\n").ok());
+  // Arity mismatch (2 values for 3 attributes).
+  EXPECT_FALSE(ReadSnapshot("qfix-snapshot v1\ntable T\nattrs a b c\n"
+                            "tuple 0 alive 1 2\nend\n")
+                   .ok());
+  // Bad liveness token.
+  EXPECT_FALSE(ReadSnapshot("qfix-snapshot v1\ntable T\nattrs a\n"
+                            "tuple 0 zombie 1\nend\n")
+                   .ok());
+  // Out-of-order tid.
+  EXPECT_FALSE(ReadSnapshot("qfix-snapshot v1\ntable T\nattrs a\n"
+                            "tuple 5 alive 1\nend\n")
+                   .ok());
+  // Malformed number.
+  EXPECT_FALSE(ReadSnapshot("qfix-snapshot v1\ntable T\nattrs a\n"
+                            "tuple 0 alive x7\nend\n")
+                   .ok());
+  // Truncated (no end line).
+  EXPECT_FALSE(ReadSnapshot("qfix-snapshot v1\ntable T\nattrs a\n"
+                            "tuple 0 alive 1\n")
+                   .ok());
+}
+
+TEST(SnapshotTest, IgnoresBlankLines) {
+  const char* text =
+      "qfix-snapshot v1\n\ntable T\n\nattrs a\n\n"
+      "tuple 0 alive 3\n\nend\n\n";
+  Result<Database> back = ReadSnapshot(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->NumSlots(), 1u);
+  EXPECT_DOUBLE_EQ(back->slot(0).values[0], 3.0);
+}
+
+TEST(SnapshotFileTest, RoundTripsThroughDisk) {
+  Database db = SampleDb();
+  std::string path = testing::TempDir() + "/qfix_snapshot_test.snap";
+  ASSERT_TRUE(WriteSnapshotFile(db, path).ok());
+  Result<Database> back = ReadSnapshotFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectSameDatabase(db, *back);
+}
+
+TEST(SnapshotFileTest, MissingFileIsNotFound) {
+  Result<Database> r = ReadSnapshotFile("/nonexistent/dir/x.snap");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+// Property: checkpoint-and-resume equals straight-through execution.
+// This is the paper's deployment story for D_0 ("a state of the database
+// that we assume is correct"): replaying the tail of the log from a
+// reloaded mid-log snapshot must land on the same D_n.
+class SnapshotReplayTest : public testing::TestWithParam<int> {};
+
+TEST_P(SnapshotReplayTest, CheckpointResumeMatchesStraightExecution) {
+  Rng rng(42 + GetParam());
+  workload::SyntheticSpec spec;
+  spec.num_tuples = 40;
+  spec.num_attrs = 5;
+  spec.num_queries = 30;
+  spec.insert_fraction = 0.2;  // exercise slot growth and
+  spec.delete_fraction = 0.2;  // dead-slot serialization
+  Database d0 = workload::GenerateDatabase(spec, rng);
+  relational::QueryLog log = workload::GenerateLog(spec, d0, rng);
+
+  size_t cut = 10 + static_cast<size_t>(GetParam()) % 15;
+  relational::QueryLog head(log.begin(), log.begin() + cut);
+  relational::QueryLog tail(log.begin() + cut, log.end());
+
+  Database mid = relational::ExecuteLog(head, d0);
+  Result<Database> reloaded = ReadSnapshot(WriteSnapshot(mid));
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+
+  Database resumed = relational::ExecuteLog(tail, *reloaded);
+  Database straight = relational::ExecuteLog(log, d0);
+  ExpectSameDatabase(straight, resumed);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorkloads, SnapshotReplayTest,
+                         testing::Range(0, 10));
+
+}  // namespace
+}  // namespace io
+}  // namespace qfix

@@ -1,0 +1,370 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "relational/executor.h"
+#include "relational/query.h"
+#include "relational/schema.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace qfix {
+namespace sql {
+namespace {
+
+using relational::CmpOp;
+using relational::Database;
+using relational::LinearExpr;
+using relational::Predicate;
+using relational::Query;
+using relational::QueryLog;
+using relational::QueryType;
+using relational::Schema;
+
+Schema TaxSchema() { return Schema({"income", "owed", "pay"}); }
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("UPDATE Taxes SET owed = income*0.3;");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = *tokens;
+  ASSERT_EQ(t.size(), 10u);  // incl. kEnd
+  EXPECT_EQ(t[0].type, TokenType::kKeyword);
+  EXPECT_EQ(t[0].text, "UPDATE");
+  EXPECT_EQ(t[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(t[1].text, "Taxes");
+  EXPECT_EQ(t[4].type, TokenType::kSymbol);
+  EXPECT_EQ(t[4].text, "=");
+  EXPECT_EQ(t[6].text, "*");
+  EXPECT_EQ(t[7].type, TokenType::kNumber);
+  EXPECT_DOUBLE_EQ(t[7].number, 0.3);
+  EXPECT_EQ(t[8].text, ";");
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Tokenize("update T set a = 1 where b >= 2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "UPDATE");
+  EXPECT_EQ((*tokens)[2].text, "SET");
+}
+
+TEST(LexerTest, TwoCharOperatorsAndComments) {
+  auto tokens = Tokenize("a <= 1 -- trailing comment\n b <> 2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "<=");
+  EXPECT_EQ((*tokens)[4].text, "<>");
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+}
+
+TEST(ParserTest, PaperQueryQ1) {
+  Schema s = TaxSchema();
+  auto q = ParseQuery(
+      "UPDATE Taxes SET owed=income*0.3 WHERE income>=85700", s);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->type(), QueryType::kUpdate);
+  EXPECT_EQ(q->table(), "Taxes");
+  ASSERT_EQ(q->set_clauses().size(), 1u);
+  EXPECT_EQ(q->set_clauses()[0].attr, 1u);
+  EXPECT_TRUE(q->Matches({85700, 0, 0}));
+  EXPECT_FALSE(q->Matches({85699, 0, 0}));
+}
+
+TEST(ParserTest, InsertAndDelete) {
+  Schema s = TaxSchema();
+  auto ins = ParseQuery("INSERT INTO Taxes VALUES (87000, 21750, 65250)", s);
+  ASSERT_TRUE(ins.ok());
+  EXPECT_EQ(ins->type(), QueryType::kInsert);
+  EXPECT_EQ(ins->insert_values(),
+            (std::vector<double>{87000, 21750, 65250}));
+
+  auto del = ParseQuery("DELETE FROM Taxes WHERE owed > 100", s);
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del->type(), QueryType::kDelete);
+  EXPECT_TRUE(del->Matches({0, 101, 0}));
+}
+
+TEST(ParserTest, NegativeInsertValues) {
+  Schema s = TaxSchema();
+  auto ins = ParseQuery("INSERT INTO Taxes VALUES (-5, 0, -0.5)", s);
+  ASSERT_TRUE(ins.ok());
+  EXPECT_EQ(ins->insert_values(), (std::vector<double>{-5, 0, -0.5}));
+}
+
+TEST(ParserTest, MultipleSetClauses) {
+  Schema s = TaxSchema();
+  auto q = ParseQuery("UPDATE Taxes SET owed = 0, pay = income", s);
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->set_clauses().size(), 2u);
+  EXPECT_TRUE(q->where().IsTrue());
+}
+
+TEST(ParserTest, LinearExpressions) {
+  Schema s = TaxSchema();
+  auto q = ParseQuery(
+      "UPDATE Taxes SET pay = income - owed + 2 * income / 4", s);
+  ASSERT_TRUE(q.ok());
+  const LinearExpr& e = q->set_clauses()[0].expr;
+  // pay = 1.5 * income - owed
+  EXPECT_DOUBLE_EQ(e.Eval({100, 30, 0}), 150 - 30);
+}
+
+TEST(ParserTest, RejectsNonLinear) {
+  Schema s = TaxSchema();
+  EXPECT_FALSE(ParseQuery("UPDATE Taxes SET pay = income * owed", s).ok());
+  EXPECT_FALSE(ParseQuery("UPDATE Taxes SET pay = 1 / income", s).ok());
+}
+
+TEST(ParserTest, WherePrecedenceAndParens) {
+  Schema s = TaxSchema();
+  // AND binds tighter than OR.
+  auto q = ParseQuery(
+      "DELETE FROM T WHERE income = 1 OR owed = 2 AND pay = 3", s);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->Matches({1, 0, 0}));
+  EXPECT_TRUE(q->Matches({0, 2, 3}));
+  EXPECT_FALSE(q->Matches({0, 2, 0}));
+
+  auto q2 = ParseQuery(
+      "DELETE FROM T WHERE (income = 1 OR owed = 2) AND pay = 3", s);
+  ASSERT_TRUE(q2.ok());
+  EXPECT_FALSE(q2->Matches({1, 0, 0}));
+  EXPECT_TRUE(q2->Matches({1, 0, 3}));
+}
+
+TEST(ParserTest, BetweenAndInRanges) {
+  Schema s = TaxSchema();
+  auto q = ParseQuery("DELETE FROM T WHERE income BETWEEN 10 AND 20", s);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->Matches({10, 0, 0}));
+  EXPECT_TRUE(q->Matches({20, 0, 0}));
+  EXPECT_FALSE(q->Matches({21, 0, 0}));
+
+  auto q2 = ParseQuery("DELETE FROM T WHERE owed IN [5, 7]", s);
+  ASSERT_TRUE(q2.ok());
+  EXPECT_TRUE(q2->Matches({0, 6, 0}));
+  EXPECT_FALSE(q2->Matches({0, 4, 0}));
+  // A range contributes two repairable parameters (both endpoints).
+  EXPECT_EQ(q2->NumParams(), 2u);
+}
+
+TEST(ParserTest, ComparisonNormalizationFoldsConstantsRight) {
+  Schema s = TaxSchema();
+  // a + 5 <= b + 10   ==>   (income - owed) <= 5
+  auto q = ParseQuery("DELETE FROM T WHERE income + 5 <= owed + 10", s);
+  ASSERT_TRUE(q.ok());
+  const Predicate& p = q->where();
+  ASSERT_EQ(p.kind(), Predicate::Kind::kComparison);
+  EXPECT_DOUBLE_EQ(p.comparison().rhs, 5.0);
+  EXPECT_DOUBLE_EQ(p.comparison().lhs.constant(), 0.0);
+  EXPECT_TRUE(q->Matches({5, 0, 0}));
+  EXPECT_FALSE(q->Matches({6, 0, 0}));
+}
+
+TEST(ParserTest, TrueWhere) {
+  Schema s = TaxSchema();
+  auto q = ParseQuery("UPDATE T SET owed = 1 WHERE TRUE", s);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->where().IsTrue());
+}
+
+TEST(ParserTest, ErrorsCarryContext) {
+  Schema s = TaxSchema();
+  auto r = ParseQuery("UPDATE T SET bogus = 1", s);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+
+  auto r2 = ParseQuery("SELECT * FROM T", s);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_TRUE(r2.status().IsInvalidArgument());
+
+  auto r3 = ParseQuery("INSERT INTO T VALUES (1, 2)", s);  // arity
+  ASSERT_FALSE(r3.ok());
+
+  auto r4 = ParseQuery("UPDATE T SET owed = 1 extra", s);
+  ASSERT_FALSE(r4.ok());
+}
+
+TEST(ParserTest, ParseLogMultipleStatements) {
+  Schema s = TaxSchema();
+  auto log = ParseLog(
+      "UPDATE Taxes SET owed=income*0.3 WHERE income>=85700;\n"
+      "INSERT INTO Taxes VALUES (87000, 21750, 65250);\n"
+      "UPDATE Taxes SET pay=income-owed;",
+      s);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  ASSERT_EQ(log->size(), 3u);
+  EXPECT_EQ((*log)[0].type(), QueryType::kUpdate);
+  EXPECT_EQ((*log)[1].type(), QueryType::kInsert);
+  EXPECT_EQ((*log)[2].type(), QueryType::kUpdate);
+}
+
+// Round-trip property: print a random query to SQL, reparse it, and check
+// both versions behave identically on random tuples.
+class SqlRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SqlRoundTripTest, PrintParseBehaviourIsIdentical) {
+  Rng rng(4000 + GetParam());
+  const size_t num_attrs = 4;
+  Schema schema = Schema::WithDefaultNames(num_attrs);
+
+  auto random_expr = [&]() {
+    LinearExpr e = LinearExpr::Constant(
+        static_cast<double>(rng.UniformInt(-20, 20)));
+    int terms = static_cast<int>(rng.UniformInt(0, 2));
+    for (int i = 0; i < terms; ++i) {
+      e.AddTerm(rng.Index(num_attrs),
+                static_cast<double>(rng.UniformInt(-3, 3)));
+    }
+    return e;
+  };
+  auto random_pred = [&]() {
+    std::vector<Predicate> atoms;
+    int n = static_cast<int>(rng.UniformInt(1, 3));
+    for (int i = 0; i < n; ++i) {
+      CmpOp op = static_cast<CmpOp>(rng.UniformInt(0, 5));
+      atoms.push_back(relational::Predicate::Atom(
+          {LinearExpr::Attr(rng.Index(num_attrs)), op,
+           static_cast<double>(rng.UniformInt(-10, 10))}));
+    }
+    return rng.Bernoulli(0.5) ? Predicate::And(std::move(atoms))
+                              : Predicate::Or(std::move(atoms));
+  };
+
+  Query original = [&]() {
+    switch (rng.UniformInt(0, 2)) {
+      case 0: {
+        std::vector<relational::SetClause> sets;
+        size_t n = 1 + rng.Index(2);
+        for (size_t i = 0; i < n; ++i) {
+          sets.push_back({rng.Index(num_attrs), random_expr()});
+        }
+        return Query::Update("T", std::move(sets), random_pred());
+      }
+      case 1: {
+        std::vector<double> vals;
+        for (size_t i = 0; i < num_attrs; ++i) {
+          vals.push_back(static_cast<double>(rng.UniformInt(-50, 50)));
+        }
+        return Query::Insert("T", std::move(vals));
+      }
+      default:
+        return Query::Delete("T", random_pred());
+    }
+  }();
+
+  std::string sql_text = original.ToSql(schema);
+  auto reparsed = ParseQuery(sql_text, schema);
+  ASSERT_TRUE(reparsed.ok())
+      << "failed to reparse: " << sql_text << " -- "
+      << reparsed.status().ToString();
+
+  // Behavioural equivalence on random tuples.
+  Database db(schema, "T");
+  for (int i = 0; i < 30; ++i) {
+    std::vector<double> values;
+    for (size_t a = 0; a < num_attrs; ++a) {
+      values.push_back(static_cast<double>(rng.UniformInt(-15, 15)));
+    }
+    db.AddTuple(values);
+  }
+  Database via_original = db, via_reparsed = db;
+  relational::ApplyQuery(original, via_original);
+  relational::ApplyQuery(*reparsed, via_reparsed);
+  ASSERT_EQ(via_original.NumSlots(), via_reparsed.NumSlots());
+  for (size_t i = 0; i < via_original.NumSlots(); ++i) {
+    EXPECT_EQ(via_original.slot(i).alive, via_reparsed.slot(i).alive);
+    for (size_t a = 0; a < num_attrs; ++a) {
+      EXPECT_DOUBLE_EQ(via_original.slot(i).values[a],
+                       via_reparsed.slot(i).values[a])
+          << "sql: " << sql_text;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RoundTrips, SqlRoundTripTest,
+                         ::testing::Range(0, 60));
+
+// ---------------------------------------------------------------------
+// Robustness sweep: mangled inputs never crash, always return a clean
+// InvalidArgument/Unsupported status.
+// ---------------------------------------------------------------------
+
+class SqlFuzzTest : public testing::TestWithParam<int> {};
+
+TEST_P(SqlFuzzTest, MangledStatementsFailCleanly) {
+  // Start from a valid statement and mangle it deterministically:
+  // truncate, duplicate a token, splice random bytes.
+  const std::string base =
+      "UPDATE T SET a0 = a1 * 2 + 3 WHERE a1 >= 10 AND a0 < 5";
+  Rng rng(4400 + GetParam());
+  relational::Schema schema = relational::Schema::WithDefaultNames(3);
+
+  for (int round = 0; round < 50; ++round) {
+    std::string mangled = base;
+    switch (rng.UniformInt(0, 3)) {
+      case 0:  // truncate mid-token
+        mangled = mangled.substr(0, rng.Index(mangled.size()));
+        break;
+      case 1: {  // duplicate a random slice
+        size_t at = rng.Index(mangled.size());
+        mangled.insert(at, mangled.substr(rng.Index(mangled.size()),
+                                          rng.UniformInt(1, 8)));
+        break;
+      }
+      case 2: {  // splice punctuation soup
+        const char* soup[] = {"((", "**", ",,", "= =", ">=<", "'", ";;"};
+        mangled.insert(rng.Index(mangled.size()),
+                       soup[rng.Index(std::size(soup))]);
+        break;
+      }
+      default: {  // flip one byte
+        mangled[rng.Index(mangled.size())] =
+            static_cast<char>(rng.UniformInt(33, 126));
+        break;
+      }
+    }
+    // Must not crash; must either parse (some mangles stay valid) or
+    // return a clean error status.
+    auto result = ParseQuery(mangled, schema);
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty()) << mangled;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Mangles, SqlFuzzTest, testing::Range(0, 10));
+
+TEST(SqlFuzzTest, PathologicalInputsFailCleanly) {
+  relational::Schema schema = relational::Schema::WithDefaultNames(2);
+  const char* inputs[] = {
+      "",
+      ";",
+      ";;;;",
+      "UPDATE",
+      "UPDATE T",
+      "UPDATE T SET",
+      "UPDATE T SET a0",
+      "UPDATE T SET a0 =",
+      "UPDATE T SET a0 = WHERE",
+      "INSERT INTO T VALUES",
+      "INSERT INTO T VALUES (",
+      "INSERT INTO T VALUES (1",
+      "INSERT INTO T VALUES (1,)",
+      "DELETE FROM",
+      "DELETE FROM T WHERE",
+      "UPDATE T SET a0 = 1 WHERE a9 > 0",   // unknown attribute
+      "UPDATE T SET a0 = a0 * a1",          // non-linear
+      "SELECT * FROM T",                    // unsupported statement
+      "UPDATE T SET a0 = 1 WHERE (a1 > 0",  // unbalanced paren
+      "UPDATE T SET a0 = 1e999",            // overflow literal
+  };
+  for (const char* sql : inputs) {
+    auto result = ParseQuery(sql, schema);
+    EXPECT_FALSE(result.ok()) << "accepted: " << sql;
+  }
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace qfix

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/metrics.h"
+#include "harness/table.h"
+#include "relational/executor.h"
+#include "workload/synthetic.h"
+#include "workload/tatp_like.h"
+#include "workload/tpcc_like.h"
+
+namespace qfix {
+namespace workload {
+namespace {
+
+using relational::QueryType;
+
+TEST(SyntheticTest, DatabaseShapeAndDomain) {
+  SyntheticSpec spec;
+  spec.num_tuples = 50;
+  spec.num_attrs = 4;
+  spec.value_domain = 30;
+  Rng rng(1);
+  auto db = GenerateDatabase(spec, rng);
+  EXPECT_EQ(db.NumSlots(), 50u);
+  EXPECT_EQ(db.schema().num_attrs(), 5u);  // id + 4
+  EXPECT_EQ(db.schema().attr_name(0), "id");
+  for (size_t i = 0; i < db.NumSlots(); ++i) {
+    EXPECT_DOUBLE_EQ(db.slot(i).values[0], double(i));  // id == tid
+    for (size_t a = 1; a < 5; ++a) {
+      EXPECT_GE(db.slot(i).values[a], 0);
+      EXPECT_LE(db.slot(i).values[a], 30);
+    }
+  }
+}
+
+TEST(SyntheticTest, LogRespectsTypeMix) {
+  SyntheticSpec spec;
+  spec.num_tuples = 30;
+  spec.num_queries = 400;
+  spec.insert_fraction = 0.3;
+  spec.delete_fraction = 0.2;
+  Rng rng(2);
+  auto d0 = GenerateDatabase(spec, rng);
+  auto log = GenerateLog(spec, d0, rng);
+  ASSERT_EQ(log.size(), 400u);
+  size_t inserts = 0, deletes = 0, updates = 0;
+  for (const auto& q : log) {
+    inserts += q.type() == QueryType::kInsert;
+    deletes += q.type() == QueryType::kDelete;
+    updates += q.type() == QueryType::kUpdate;
+  }
+  EXPECT_NEAR(inserts, 120, 40);
+  EXPECT_NEAR(deletes, 80, 40);
+  EXPECT_EQ(inserts + deletes + updates, 400u);
+}
+
+TEST(SyntheticTest, RangeSelectivityApproximatesTarget) {
+  // With Vd = 200 and r = 4 the paper's default selectivity is ~2%.
+  SyntheticSpec spec;
+  spec.num_tuples = 2000;
+  spec.num_queries = 50;
+  Rng rng(3);
+  auto d0 = GenerateDatabase(spec, rng);
+  auto log = GenerateLog(spec, d0, rng);
+  double total_fraction = 0.0;
+  for (const auto& q : log) {
+    size_t matched = 0;
+    for (const auto& t : d0.tuples()) {
+      matched += q.Matches(t.values);
+    }
+    total_fraction += double(matched) / d0.NumSlots();
+  }
+  EXPECT_NEAR(total_fraction / log.size(), 0.02, 0.015);
+}
+
+TEST(SyntheticTest, DimensionalityPreservesCardinality) {
+  SyntheticSpec spec;
+  spec.num_tuples = 4000;
+  spec.num_queries = 60;
+  spec.range_size = 40;  // 20% per dim at d=1
+  auto card = [&](size_t dims, uint64_t seed) {
+    SyntheticSpec s = spec;
+    s.where_dimensions = dims;
+    Rng rng(seed);
+    auto d0 = GenerateDatabase(s, rng);
+    auto log = GenerateLog(s, d0, rng);
+    double total = 0;
+    for (const auto& q : log) {
+      size_t matched = 0;
+      for (const auto& t : d0.tuples()) matched += q.Matches(t.values);
+      total += double(matched) / d0.NumSlots();
+    }
+    return total / log.size();
+  };
+  double c1 = card(1, 11), c3 = card(3, 12);
+  EXPECT_NEAR(c1, c3, 0.1);
+  EXPECT_GT(c3, 0.05);  // both near 20%
+}
+
+TEST(SyntheticTest, SkewConcentratesAttributes) {
+  SyntheticSpec spec;
+  spec.num_tuples = 20;
+  spec.num_queries = 300;
+  spec.skew = 1.0;
+  Rng rng(4);
+  auto d0 = GenerateDatabase(spec, rng);
+  auto log = GenerateLog(spec, d0, rng);
+  std::vector<int> set_counts(spec.num_attrs + 1, 0);
+  for (const auto& q : log) {
+    if (q.type() == QueryType::kUpdate) {
+      ++set_counts[q.set_clauses()[0].attr];
+    }
+  }
+  // Attribute a0 (index 1) dominates under zipf(1).
+  EXPECT_GT(set_counts[1], set_counts[5] * 2);
+}
+
+TEST(SyntheticTest, CorruptionChangesOnlyConstants) {
+  SyntheticSpec spec;
+  spec.num_tuples = 20;
+  spec.num_queries = 10;
+  Rng rng(5);
+  auto d0 = GenerateDatabase(spec, rng);
+  auto clean = GenerateLog(spec, d0, rng);
+  auto dirty = clean;
+  CorruptQueryConstants(dirty, 4, spec, rng);
+  // Same structure: same parameter count, different values somewhere.
+  auto pc = clean[4].Params();
+  auto pd = dirty[4].Params();
+  ASSERT_EQ(pc.size(), pd.size());
+  EXPECT_GT(relational::LogDistance(clean, dirty), 0.0);
+  for (size_t i = 0; i < clean.size(); ++i) {
+    if (i == 4) continue;
+    EXPECT_EQ(clean[i].ToSql(d0.schema()), dirty[i].ToSql(d0.schema()));
+  }
+}
+
+TEST(SyntheticTest, ScenarioProducesComplaints) {
+  SyntheticSpec spec;
+  spec.num_tuples = 100;
+  spec.num_queries = 20;
+  spec.range_size = 20;  // 10% selectivity: corruption almost surely hits
+  Scenario s = MakeSyntheticScenario(spec, {10}, 42);
+  EXPECT_EQ(s.dirty_log.size(), 20u);
+  EXPECT_EQ(s.corrupted_queries, (std::vector<size_t>{10}));
+  EXPECT_GT(s.complaints.size(), 0u);
+  // Complaints are exactly the dirty-vs-truth differences.
+  auto rediff = provenance::DiffStates(s.dirty, s.truth);
+  EXPECT_EQ(rediff.size(), s.complaints.size());
+}
+
+TEST(TpccTest, WorkloadShape) {
+  TpccSpec spec;
+  spec.initial_orders = 300;
+  spec.num_queries = 200;
+  Scenario s = MakeTpccScenario(spec, /*corrupt_age=*/5, 7);
+  EXPECT_EQ(s.d0.NumSlots(), 300u);
+  ASSERT_EQ(s.dirty_log.size(), 200u);
+  size_t inserts = 0;
+  for (const auto& q : s.dirty_log) {
+    inserts += q.type() == QueryType::kInsert;
+  }
+  // ~92% INSERTs.
+  EXPECT_GT(inserts, 160u);
+  EXPECT_EQ(s.corrupted_queries[0], 200u - 1 - 5);
+  EXPECT_GT(s.complaints.size(), 0u);
+  // Complaint sets in this workload are tiny (1-2 tuples, §7.4).
+  EXPECT_LE(s.complaints.size(), 4u);
+}
+
+TEST(TatpTest, WorkloadShape) {
+  TatpSpec spec;
+  spec.subscribers = 200;
+  spec.num_queries = 100;
+  Scenario s = MakeTatpScenario(spec, /*corrupt_age=*/3, 8);
+  EXPECT_EQ(s.d0.NumSlots(), 200u);
+  for (const auto& q : s.dirty_log) {
+    EXPECT_EQ(q.type(), QueryType::kUpdate);
+    // All point predicates on the key.
+    EXPECT_EQ(q.where().NumAtoms(), 1u);
+  }
+  EXPECT_GT(s.complaints.size(), 0u);
+  EXPECT_LE(s.complaints.size(), 4u);
+}
+
+TEST(MetricsTest, PerfectRepairScoresOne) {
+  SyntheticSpec spec;
+  spec.num_tuples = 50;
+  spec.num_queries = 10;
+  spec.range_size = 20;
+  Scenario s = MakeSyntheticScenario(spec, {5}, 9);
+  ASSERT_GT(s.complaints.size(), 0u);
+  // The clean log is by definition the perfect repair.
+  auto acc = harness::EvaluateRepair(s.clean_log, s.d0, s.dirty, s.truth);
+  EXPECT_DOUBLE_EQ(acc.precision, 1.0);
+  EXPECT_DOUBLE_EQ(acc.recall, 1.0);
+  EXPECT_DOUBLE_EQ(acc.f1, 1.0);
+  EXPECT_EQ(acc.true_complaints, s.complaints.size());
+}
+
+TEST(MetricsTest, NoopRepairScoresZeroRecall) {
+  SyntheticSpec spec;
+  spec.num_tuples = 50;
+  spec.num_queries = 10;
+  spec.range_size = 20;
+  Scenario s = MakeSyntheticScenario(spec, {5}, 10);
+  ASSERT_GT(s.complaints.size(), 0u);
+  // "Repairing" with the dirty log itself changes nothing.
+  auto acc = harness::EvaluateRepair(s.dirty_log, s.d0, s.dirty, s.truth);
+  EXPECT_DOUBLE_EQ(acc.recall, 0.0);
+  EXPECT_DOUBLE_EQ(acc.precision, 0.0);  // complaints exist, none repaired
+  EXPECT_DOUBLE_EQ(acc.f1, 0.0);
+}
+
+TEST(TableTest, AlignedRendering) {
+  harness::Table t({"Nq", "time(s)", "F1"});
+  t.AddRow({"10", harness::Table::Cell(0.5), harness::Table::Cell(1.0)});
+  t.AddRow({"200", harness::Table::Cell(12.25), harness::Table::Cell(0.875)});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("Nq"), std::string::npos);
+  EXPECT_NE(s.find("0.500"), std::string::npos);
+  EXPECT_NE(s.find("12.250"), std::string::npos);
+  EXPECT_NE(s.find("0.875"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace qfix

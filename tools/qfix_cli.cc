@@ -1,0 +1,338 @@
+// qfix — command-line diagnosis tool.
+//
+// Usage:
+//   qfix --d0 <initial.csv> --log <queries.sql> --complaints <c.csv>
+//        [--table NAME] [--k N] [--basic] [--alternatives N]
+//        [--time-limit SECONDS] [--denoise]
+//
+// Reads the trusted initial state (CSV with a header of attribute
+// names), the executed query log (';'-separated SQL), and the complaint
+// set (CSV: tid,alive,<attrs...>). Prints the diagnosis — which query
+// was corrupted and its repaired SQL — plus the repair's effect summary.
+//
+// Example (the paper's Figure 2):
+//   qfix --d0 taxes_d0.csv --log taxes.sql --complaints taxes_fix.csv
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/strings.h"
+#include "io/csv.h"
+#include "io/snapshot.h"
+#include "milp/lp_format.h"
+#include "milp/mps_format.h"
+#include "provenance/denoiser.h"
+#include "provenance/impact_graph.h"
+#include "qfix/encoder.h"
+#include "qfix/explain.h"
+#include "qfix/qfix.h"
+#include "qfix/report_json.h"
+#include "relational/executor.h"
+#include "sql/parser.h"
+
+namespace {
+
+struct CliOptions {
+  std::string d0_path;
+  std::string log_path;
+  std::string complaints_path;
+  std::string table = "T";
+  int k = 1;
+  bool basic = false;
+  bool denoise = false;
+  bool report = false;
+  bool json = false;
+  std::string save_state_path;
+  std::string export_lp_path;
+  std::string export_mps_path;
+  std::string export_graph_path;
+  size_t alternatives = 0;
+  double time_limit = 120.0;
+};
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --d0 <initial.csv> --log <queries.sql> "
+      "--complaints <c.csv>\n"
+      "          [--table NAME] [--k N] [--basic] [--alternatives N]\n"
+      "          [--time-limit SECONDS] [--denoise]\n\n"
+      "  --d0          trusted initial state (CSV, header = attributes)\n"
+      "  --log         executed query log (';'-separated SQL)\n"
+      "  --complaints  complaint set (CSV: tid,alive,<attributes>)\n"
+      "  --table       table name used in the SQL (default: T)\n"
+      "  --k           incremental batch size (default: 1)\n"
+      "  --basic       use Algorithm 1 (parameterize all queries)\n"
+      "  --alternatives N  also print up to N ranked alternatives\n"
+      "  --denoise     screen out outlier complaints first\n"
+      "  --report      print the full diagnosis report (SQL diff,\n"
+      "                per-complaint resolution, side effects)\n"
+      "  --json        print the diagnosis as a single-line JSON\n"
+      "                document (suppresses the text output)\n"
+      "  --save-state PATH  write the repaired final state as a\n"
+      "                checkpoint snapshot (io/snapshot.h format)\n"
+      "  --export-lp PATH   write the diagnosis MILP in CPLEX LP format\n"
+      "                (cross-checkable with CPLEX/Gurobi/SCIP/HiGHS)\n"
+      "  --export-mps PATH  same encoding in free MPS format\n"
+      "  --export-graph PATH  write the log's read-write dependency\n"
+      "                graph (Graphviz DOT); repair candidates filled,\n"
+      "                diagnosed queries outlined\n\n"
+      "  --d0 also accepts a checkpoint snapshot (qfix-snapshot v1).\n",
+      argv0);
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--d0") {
+      opt.d0_path = next() ? argv[i] : "";
+    } else if (arg == "--log") {
+      opt.log_path = next() ? argv[i] : "";
+    } else if (arg == "--complaints") {
+      opt.complaints_path = next() ? argv[i] : "";
+    } else if (arg == "--table") {
+      opt.table = next() ? argv[i] : "T";
+    } else if (arg == "--k") {
+      opt.k = next() ? std::atoi(argv[i]) : 1;
+    } else if (arg == "--basic") {
+      opt.basic = true;
+    } else if (arg == "--denoise") {
+      opt.denoise = true;
+    } else if (arg == "--report") {
+      opt.report = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--save-state") {
+      opt.save_state_path = next() ? argv[i] : "";
+    } else if (arg == "--export-lp") {
+      opt.export_lp_path = next() ? argv[i] : "";
+    } else if (arg == "--export-mps") {
+      opt.export_mps_path = next() ? argv[i] : "";
+    } else if (arg == "--export-graph") {
+      opt.export_graph_path = next() ? argv[i] : "";
+    } else if (arg == "--alternatives") {
+      opt.alternatives = next() ? std::strtoul(argv[i], nullptr, 10) : 0;
+    } else if (arg == "--time-limit") {
+      opt.time_limit = next() ? std::atof(argv[i]) : 120.0;
+    } else {
+      PrintUsage(argv[0]);
+      return 2;
+    }
+  }
+  if (opt.d0_path.empty() || opt.log_path.empty() ||
+      opt.complaints_path.empty()) {
+    PrintUsage(argv[0]);
+    return 2;
+  }
+
+  std::string d0_csv, log_sql, complaints_csv;
+  if (!ReadFile(opt.d0_path, &d0_csv)) {
+    std::fprintf(stderr, "error: cannot read %s\n", opt.d0_path.c_str());
+    return 1;
+  }
+  if (!ReadFile(opt.log_path, &log_sql)) {
+    std::fprintf(stderr, "error: cannot read %s\n", opt.log_path.c_str());
+    return 1;
+  }
+  if (!ReadFile(opt.complaints_path, &complaints_csv)) {
+    std::fprintf(stderr, "error: cannot read %s\n",
+                 opt.complaints_path.c_str());
+    return 1;
+  }
+
+  auto d0 = d0_csv.rfind("qfix-snapshot", 0) == 0
+                ? qfix::io::ReadSnapshot(d0_csv)
+                : qfix::io::DatabaseFromCsv(d0_csv, opt.table);
+  if (!d0.ok()) {
+    std::fprintf(stderr, "error reading d0: %s\n",
+                 d0.status().ToString().c_str());
+    return 1;
+  }
+  auto log = qfix::sql::ParseLog(log_sql, d0->schema());
+  if (!log.ok()) {
+    std::fprintf(stderr, "error parsing log: %s\n",
+                 log.status().ToString().c_str());
+    return 1;
+  }
+  auto complaints =
+      qfix::io::ComplaintsFromCsv(complaints_csv, d0->schema());
+  if (!complaints.ok()) {
+    std::fprintf(stderr, "error reading complaints: %s\n",
+                 complaints.status().ToString().c_str());
+    return 1;
+  }
+
+  qfix::relational::Database dirty =
+      qfix::relational::ExecuteLog(*log, *d0);
+
+  qfix::provenance::ComplaintSet active = *complaints;
+  if (opt.denoise) {
+    auto screened = qfix::provenance::DenoiseComplaints(active, dirty);
+    if (!screened.dropped.empty()) {
+      std::printf("denoiser: dropped %zu outlier complaint(s)\n",
+                  screened.dropped.size());
+    }
+    active = screened.kept;
+  }
+
+  if (!opt.json) {
+    std::printf("loaded: %zu tuples, %zu queries, %zu complaints\n",
+                d0->NumSlots(), log->size(), active.size());
+  }
+
+  qfix::qfixcore::QFixOptions options;
+  options.time_limit_seconds = opt.time_limit;
+  qfix::qfixcore::QFixEngine engine(*log, *d0, dirty, active, options);
+
+  if (!opt.export_lp_path.empty() || !opt.export_mps_path.empty()) {
+    // Export the Algorithm 1 encoding (all queries parameterized, all
+    // tuples encoded) so an external MILP solver can reproduce the
+    // diagnosis from the same constraint system.
+    qfix::qfixcore::EncodeRequest enc;
+    enc.log = &*log;
+    enc.d0 = &*d0;
+    enc.dirty_dn = &dirty;
+    enc.complaints = &active;
+    enc.parameterized.assign(log->size(), true);
+    enc.encoded.assign(log->size(), true);
+    for (size_t slot = 0; slot < dirty.NumSlots(); ++slot) {
+      enc.tuple_slots.push_back(slot);
+    }
+    auto problem = qfix::qfixcore::Encode(enc);
+    if (!problem.ok()) {
+      std::fprintf(stderr, "error encoding for --export-lp: %s\n",
+                   problem.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& [path, is_lp] :
+         {std::pair<const std::string&, bool>{opt.export_lp_path, true},
+          std::pair<const std::string&, bool>{opt.export_mps_path,
+                                              false}}) {
+      if (path.empty()) continue;
+      auto written = is_lp
+                         ? qfix::milp::WriteLpFile(problem->model, path)
+                         : qfix::milp::WriteMpsFile(problem->model, path);
+      if (!written.ok()) {
+        std::fprintf(stderr, "error writing model file: %s\n",
+                     written.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(opt.json ? stderr : stdout,
+                   "MILP encoding (%d vars, %d constraints) written to "
+                   "%s\n",
+                   problem->model.NumVars(),
+                   problem->model.NumConstraints(), path.c_str());
+    }
+  }
+
+  auto repair = opt.basic ? engine.RepairBasic()
+                          : engine.RepairIncremental(opt.k);
+  if (!repair.ok()) {
+    std::fprintf(stderr, "no diagnosis: %s\n",
+                 repair.status().ToString().c_str());
+    return 1;
+  }
+
+  if (opt.json) {
+    std::printf("%s\n", qfix::qfixcore::RepairToJson(*repair, *log, *d0,
+                                                     dirty, active)
+                            .c_str());
+  }
+
+  if (opt.report && !opt.json) {
+    std::printf("\n%s", qfix::qfixcore::ExplainRepair(*repair, *log, *d0,
+                                                      dirty, active)
+                            .c_str());
+  }
+
+  if (!opt.json) {
+    std::printf("\ndiagnosis (%.1f ms, %d attempt(s)):\n",
+                repair->stats.total_seconds * 1e3, repair->stats.attempts);
+    if (repair->changed_queries.empty()) {
+      std::printf("  the log is consistent with the complaints; no repair "
+                  "needed\n");
+    }
+    for (size_t qi : repair->changed_queries) {
+      std::printf("  q%zu executed: %s;\n", qi + 1,
+                  (*log)[qi].ToSql(d0->schema()).c_str());
+      std::printf("  q%zu intended: %s;\n", qi + 1,
+                  repair->log[qi].ToSql(d0->schema()).c_str());
+    }
+    std::printf("\nrepair distance d(Q,Q*): %s\n",
+                qfix::FormatNumber(repair->distance).c_str());
+    std::printf("complaints resolved on replay: %s\n",
+                repair->verified ? "yes" : "NO");
+    if (repair->collateral > 0) {
+      std::printf("note: repair also changes %zu non-complaint tuple(s) — "
+                  "possible unreported errors\n",
+                  repair->collateral);
+    }
+  }
+
+  if (!opt.export_graph_path.empty()) {
+    qfix::provenance::ImpactGraphOptions graph;
+    graph.complaint_attrs = active.ComplaintAttributes(dirty);
+    graph.highlight = repair->changed_queries;
+    std::ofstream dot(opt.export_graph_path);
+    if (!dot) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   opt.export_graph_path.c_str());
+      return 1;
+    }
+    dot << qfix::provenance::WriteImpactGraph(*log, d0->schema(), graph);
+    std::fprintf(opt.json ? stderr : stdout,
+                 "dependency graph written to %s\n",
+                 opt.export_graph_path.c_str());
+  }
+
+  if (!opt.save_state_path.empty()) {
+    qfix::relational::Database repaired_dn =
+        qfix::relational::ExecuteLog(repair->log, *d0);
+    auto saved =
+        qfix::io::WriteSnapshotFile(repaired_dn, opt.save_state_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "error saving state: %s\n",
+                   saved.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(opt.json ? stderr : stdout,
+                 "repaired final state written to %s\n",
+                 opt.save_state_path.c_str());
+  }
+
+  if (opt.alternatives > 0 && !opt.json) {
+    auto all = engine.DiagnoseAll(opt.alternatives);
+    if (all.size() > 1) {
+      std::printf("\nranked alternatives:\n");
+      for (size_t i = 0; i < all.size(); ++i) {
+        const auto& alt = all[i];
+        std::printf("  #%zu (distance %s, collateral %zu):", i + 1,
+                    qfix::FormatNumber(alt.distance).c_str(),
+                    alt.collateral);
+        for (size_t qi : alt.changed_queries) {
+          std::printf(" q%zu -> %s;", qi + 1,
+                      alt.log[qi].ToSql(d0->schema()).c_str());
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  return 0;
+}
