@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Runs every built bench binary and emits one JSON per benchmark into
+# an output directory, so trajectory tracking (BENCH_*.json) has a
+# stable producer.
+#
+# Usage:  bench/run_all.sh [BUILD_DIR] [OUT_DIR]
+#   BUILD_DIR  cmake build tree containing bench/ binaries (default: build)
+#   OUT_DIR    where the JSON files go (default: bench_results)
+#
+# Knobs forwarded to the benches (see bench_common.h):
+#   QFIX_BENCH_TRIALS=N   trials per configuration
+#   QFIX_BENCH_FULL=1     larger, closer-to-paper sweeps
+set -u
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench_results}"
+BENCH_DIR="$BUILD_DIR/bench"
+
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "error: $BENCH_DIR not found - build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+
+case "${QFIX_BENCH_TRIALS:-}" in
+  '' | *[!0-9]*) trials=null ;;
+  *) trials="$QFIX_BENCH_TRIALS" ;;
+esac
+
+# JSON string escaping: drop control bytes other than tab/newline
+# (ANSI color codes, sanitizer sequences), then escape the rest.
+json_escape() {
+  tr -d '\000-\010\013-\037' \
+    | sed -e 's/\\/\\\\/g' -e 's/"/\\"/g' -e 's/\t/\\t/g' \
+    | awk 'NR>1 {printf "\\n"} {printf "%s", $0}'
+}
+
+failures=0
+ran=0
+for bin in "$BENCH_DIR"/*; do
+  [ -f "$bin" ] && [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  out_json="$OUT_DIR/BENCH_${name}.json"
+  echo "== $name"
+
+  start_ns=$(date +%s%N)
+  stdout_file="$(mktemp)"
+  QFIX_BENCH_CSV="$OUT_DIR" "$bin" >"$stdout_file" 2>&1
+  exit_code=$?
+  end_ns=$(date +%s%N)
+  seconds=$(awk -v a="$start_ns" -v b="$end_ns" 'BEGIN {printf "%.3f", (b-a)/1e9}')
+
+  {
+    printf '{\n'
+    printf '  "bench": "%s",\n' "$name"
+    printf '  "exit_code": %d,\n' "$exit_code"
+    printf '  "seconds": %s,\n' "$seconds"
+    printf '  "trials": %s,\n' "$trials"
+    printf '  "full_mode": %s,\n' "$([ -n "${QFIX_BENCH_FULL:-}" ] && echo true || echo false)"
+    printf '  "stdout": "'
+    json_escape <"$stdout_file"
+    printf '"\n}\n'
+  } >"$out_json"
+  rm -f "$stdout_file"
+
+  ran=$((ran + 1))
+  if [ "$exit_code" -ne 0 ]; then
+    echo "   FAILED (exit $exit_code), see $out_json" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+echo
+echo "ran $ran benches, $failures failed; JSON in $OUT_DIR/"
+[ "$failures" -eq 0 ]

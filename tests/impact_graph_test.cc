@@ -9,6 +9,7 @@
 #include "provenance/impact_graph.h"
 #include "relational/linear_expr.h"
 #include "relational/predicate.h"
+#include "test_support.h"
 
 namespace qfix {
 namespace provenance {
@@ -23,17 +24,7 @@ using relational::Schema;
 
 // The paper's running example: q1 writes owed (reads income); q2 is an
 // INSERT; q3 writes pay reading income and owed.
-QueryLog PaperLog() {
-  QueryLog log;
-  log.push_back(Query::Update(
-      "Taxes", {{1, LinearExpr::AttrScaled(0, 0.3)}},
-      Predicate::Atom({LinearExpr::Attr(0), CmpOp::kGe, 85700})));
-  log.push_back(Query::Insert("Taxes", {87000, 21750, 65250}));
-  LinearExpr pay = LinearExpr::Attr(0);
-  pay.AddTerm(1, -1.0);
-  log.push_back(Query::Update("Taxes", {{2, pay}}, Predicate::True()));
-  return log;
-}
+QueryLog PaperLog() { return qfix::test::PaperLog(85700); }
 
 TEST(ImpactEdgesTest, DerivesReadWriteChains) {
   QueryLog log = PaperLog();

@@ -8,6 +8,7 @@
 #include "qfix/qfix.h"
 #include "relational/executor.h"
 #include "sql/parser.h"
+#include "test_support.h"
 #include "workload/synthetic.h"
 
 namespace qfix {
@@ -25,28 +26,9 @@ using relational::Query;
 using relational::QueryLog;
 using relational::Schema;
 
-Schema TaxSchema() { return Schema({"income", "owed", "pay"}); }
-
-Database TaxD0() {
-  Database db(TaxSchema(), "Taxes");
-  db.AddTuple({9500, 950, 8550});
-  db.AddTuple({90000, 22500, 67500});
-  db.AddTuple({86000, 21500, 64500});
-  db.AddTuple({86500, 21625, 64875});
-  return db;
-}
-
-QueryLog PaperLog(double q1_threshold) {
-  QueryLog log;
-  log.push_back(Query::Update(
-      "Taxes", {{1, LinearExpr::AttrScaled(0, 0.3)}},
-      Predicate::Atom({LinearExpr::Attr(0), CmpOp::kGe, q1_threshold})));
-  log.push_back(Query::Insert("Taxes", {87000, 21750, 65250}));
-  LinearExpr pay = LinearExpr::Attr(0);
-  pay.AddTerm(1, -1.0);
-  log.push_back(Query::Update("Taxes", {{2, pay}}, Predicate::True()));
-  return log;
-}
+using test::PaperLog;
+using test::TaxD0;
+using test::TaxSchema;
 
 // Builds an engine for (dirty log, clean log) over d0 with the complete
 // complaint set derived by state diffing.

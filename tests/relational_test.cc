@@ -6,23 +6,14 @@
 #include "relational/predicate.h"
 #include "relational/query.h"
 #include "relational/schema.h"
+#include "test_support.h"
 
 namespace qfix {
 namespace relational {
 namespace {
 
-Schema TaxSchema() { return Schema({"income", "owed", "pay"}); }
-
-// The running example of the paper (Figure 2): Taxes table, three-query
-// log with a digit-transposed predicate in q1.
-Database TaxD0() {
-  Database db(TaxSchema(), "Taxes");
-  db.AddTuple({9500, 950, 8550});
-  db.AddTuple({90000, 22500, 67500});
-  db.AddTuple({86000, 21500, 64500});
-  db.AddTuple({86500, 21625, 64875});
-  return db;
-}
+using qfix::test::TaxD0;
+using qfix::test::TaxSchema;
 
 TEST(SchemaTest, NamesAndIndexes) {
   Schema s = TaxSchema();

@@ -6,6 +6,7 @@
 #include "relational/schema.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
+#include "test_support.h"
 
 namespace qfix {
 namespace sql {
@@ -20,7 +21,7 @@ using relational::QueryLog;
 using relational::QueryType;
 using relational::Schema;
 
-Schema TaxSchema() { return Schema({"income", "owed", "pay"}); }
+using qfix::test::TaxSchema;
 
 TEST(LexerTest, TokenKinds) {
   auto tokens = Tokenize("UPDATE Taxes SET owed = income*0.3;");
