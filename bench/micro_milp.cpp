@@ -3,6 +3,8 @@
 // knapsacks — the primitives every QFix repair pays for.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "common/random.h"
 #include "milp/lp_format.h"
 #include "milp/model.h"
@@ -90,6 +92,32 @@ void BM_KnapsackBranchAndBound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KnapsackBranchAndBound)->Arg(12)->Arg(20)->Arg(28);
+
+// Jobs scaling on a strongly correlated knapsack (tight LP bounds force
+// real enumeration); compare the Arg(1) and Arg(4) rows for the
+// parallel branch & bound speedup on this machine.
+void BM_KnapsackJobs(benchmark::State& state) {
+  const int n = 26;
+  Rng rng(9);
+  Model m;
+  LinearTerms row;
+  double total = 0;
+  for (int i = 0; i < n; ++i) {
+    VarId v = m.AddBinary("b");
+    double w = double(rng.UniformInt(10, 30));
+    total += w;
+    row.push_back({v, w});
+    m.AddObjectiveTerm(v, -(w + rng.UniformReal(0.0, 1.0)));
+  }
+  m.AddConstraint(row, Sense::kLe, std::floor(total / 2.0) + 0.5);
+  MilpOptions opts;
+  opts.jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    MilpSolution s = MilpSolver(opts).Solve(m);
+    benchmark::DoNotOptimize(s.objective);
+  }
+}
+BENCHMARK(BM_KnapsackJobs)->Arg(1)->Arg(2)->Arg(4);
 
 // Big-M indicator chain of the shape QFix emits: x >= k forces b_k = 1.
 Model IndicatorChain(int chains) {

@@ -1,0 +1,172 @@
+// Parallel execution scaling: the two consumers of src/exec measured
+// against their serial baselines on the same inputs.
+//
+//  1. Solver-level: 1-job vs 4-job branch & bound on strongly
+//     correlated knapsacks (tight LP bounds force real enumeration —
+//     the branching-heavy regime where extra workers pay off), checking
+//     identical proven optima.
+//  2. Engine-level: BatchDiagnoser throughput over independent
+//     corruption scenarios, pooled workers vs the deterministic serial
+//     mode, checking identical diagnoses.
+//
+// The emitted table is the first checked-in perf trajectory point for
+// the solver (BENCH_milp.json). Speedups are hardware-dependent: on a
+// single-core container the parallel runs only measure overhead; on
+// N-core hardware the knapsack rows approach the core count.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "milp/model.h"
+#include "milp/solver.h"
+#include "qfix/batch.h"
+#include "workload/synthetic.h"
+
+using namespace qfix;
+
+namespace {
+
+// Strongly correlated knapsack (value ~= weight): the LP bound is tight
+// everywhere, so branch & bound must genuinely enumerate.
+milp::Model HardKnapsack(int n, uint64_t seed) {
+  Rng rng(seed);
+  milp::Model m;
+  milp::LinearTerms row;
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    milp::VarId v = m.AddBinary("b" + std::to_string(i));
+    double w = double(rng.UniformInt(10, 30));
+    total += w;
+    row.push_back({v, w});
+    m.AddObjectiveTerm(v, -(w + rng.UniformReal(0.0, 1.0)));
+  }
+  m.AddConstraint(row, milp::Sense::kLe, std::floor(total / 2.0) + 0.5);
+  return m;
+}
+
+// One independent single-corruption diagnosis request (the service-loop
+// unit of work for BatchDiagnoser).
+qfixcore::BatchItem ScenarioItem(uint64_t seed) {
+  workload::SyntheticSpec spec;
+  spec.num_tuples = 40;
+  spec.num_attrs = 6;
+  spec.num_queries = 16;
+  spec.value_domain = 60;
+  spec.range_size = 10;
+  workload::Scenario s = workload::MakeSyntheticScenario(
+      spec, /*corrupt=*/{spec.num_queries / 2}, seed);
+  qfixcore::BatchItem item;
+  item.log = s.dirty_log;
+  item.d0 = s.d0;
+  item.dirty_dn = s.dirty;
+  item.complaints = s.complaints;
+  item.options.time_limit_seconds = 30.0;
+  return item;
+}
+
+}  // namespace
+
+int main() {
+  const bool full = bench::FullMode();
+  const int parallel_jobs = 4;
+  bool all_equal = true;
+
+  std::printf("src/exec scaling: serial vs %d workers "
+              "(hardware threads: %u)\n\n",
+              parallel_jobs, std::thread::hardware_concurrency());
+
+  // ---- 1. Parallel branch & bound on knapsacks. ----
+  harness::Table solver_table({"instance", "vars", "s_1job",
+                               "s_" + std::to_string(parallel_jobs) + "job",
+                               "speedup", "obj_equal", "nodes_1",
+                               "nodes_N"});
+  const int n = full ? 34 : 30;
+  for (uint64_t seed : {7u, 11u, 23u}) {
+    milp::Model m = HardKnapsack(n, seed);
+    double best_1 = 1e30, best_n = 1e30;
+    milp::MilpSolution sol_1, sol_n;
+    for (int t = 0; t < bench::Trials(); ++t) {
+      milp::MilpOptions serial;
+      serial.jobs = 1;
+      double s0 = MonotonicSeconds();
+      sol_1 = milp::MilpSolver(serial).Solve(m);
+      best_1 = std::min(best_1, MonotonicSeconds() - s0);
+
+      milp::MilpOptions parallel = serial;
+      parallel.jobs = parallel_jobs;
+      s0 = MonotonicSeconds();
+      sol_n = milp::MilpSolver(parallel).Solve(m);
+      best_n = std::min(best_n, MonotonicSeconds() - s0);
+    }
+    bool equal = sol_1.status == milp::MilpStatus::kOptimal &&
+                 sol_n.status == milp::MilpStatus::kOptimal &&
+                 std::fabs(sol_1.objective - sol_n.objective) < 1e-6;
+    all_equal = all_equal && equal;
+    solver_table.AddRow(
+        {"knapsack-" + std::to_string(n) + "-s" + std::to_string(seed),
+         std::to_string(sol_1.stats.num_vars), harness::Table::Cell(best_1),
+         harness::Table::Cell(best_n),
+         harness::Table::Cell(best_1 / best_n), equal ? "yes" : "NO",
+         std::to_string(sol_1.stats.nodes),
+         std::to_string(sol_n.stats.nodes)});
+  }
+  bench::PrintAndExport(solver_table, "milp");
+
+  // ---- 2. Batched diagnosis throughput. ----
+  const size_t batch_size = full ? 16 : 8;
+  std::vector<qfixcore::BatchItem> items;
+  for (size_t i = 0; i < batch_size; ++i) {
+    items.push_back(ScenarioItem(300 + i));
+  }
+
+  double serial_s = 1e30, pooled_s = 1e30;
+  std::vector<Result<qfixcore::Repair>> serial_out, pooled_out;
+  for (int t = 0; t < bench::Trials(); ++t) {
+    qfixcore::BatchOptions serial;
+    serial.jobs = 0;  // deterministic inline mode
+    double s0 = MonotonicSeconds();
+    serial_out = qfixcore::BatchDiagnoser(serial).Run(items);
+    serial_s = std::min(serial_s, MonotonicSeconds() - s0);
+
+    qfixcore::BatchOptions pooled;
+    pooled.jobs = parallel_jobs;
+    s0 = MonotonicSeconds();
+    pooled_out = qfixcore::BatchDiagnoser(pooled).Run(items);
+    pooled_s = std::min(pooled_s, MonotonicSeconds() - s0);
+  }
+  size_t agree = 0, diagnosed = 0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (serial_out[i].ok()) ++diagnosed;
+    bool same =
+        serial_out[i].ok() == pooled_out[i].ok() &&
+        (!serial_out[i].ok() ||
+         std::fabs(serial_out[i]->distance - pooled_out[i]->distance) < 1e-6);
+    if (same) ++agree;
+  }
+  all_equal = all_equal && agree == items.size();
+
+  std::printf("\n");
+  harness::Table batch_table({"batch", "items", "diagnosed", "s_serial",
+                              "s_" + std::to_string(parallel_jobs) + "job",
+                              "speedup", "items/s", "agree"});
+  batch_table.AddRow(
+      {"synthetic-1corr", std::to_string(items.size()),
+       std::to_string(diagnosed), harness::Table::Cell(serial_s),
+       harness::Table::Cell(pooled_s),
+       harness::Table::Cell(serial_s / pooled_s),
+       harness::Table::Cell(double(items.size()) / pooled_s),
+       std::to_string(agree) + "/" + std::to_string(items.size())});
+  bench::PrintAndExport(batch_table, "milp_batch");
+
+  if (!all_equal) {
+    std::fprintf(stderr,
+                 "FAIL: parallel results diverged from serial baseline\n");
+    return 1;
+  }
+  return 0;
+}

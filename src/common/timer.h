@@ -6,6 +6,16 @@
 
 namespace qfix {
 
+/// Seconds on the process-wide monotonic clock. All solver/engine timing
+/// goes through this single helper so timestamps taken on different
+/// threads (e.g. per-worker MilpStats) are directly comparable and never
+/// subject to wall-clock adjustments.
+inline double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 /// Measures elapsed wall-clock time from construction (or Restart()).
 class WallTimer {
  public:

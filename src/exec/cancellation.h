@@ -1,0 +1,56 @@
+// Cooperative cancellation for the execution subsystem.
+//
+// A CancellationSource owns the cancel flag; CancellationTokens are
+// cheap copyable views that long-running tasks poll at convenient
+// checkpoints (a branch & bound node boundary, a batch item boundary).
+// Cancellation is advisory: a task that never polls simply runs to
+// completion. The flag only ever transitions false -> true.
+#ifndef QFIX_EXEC_CANCELLATION_H_
+#define QFIX_EXEC_CANCELLATION_H_
+
+#include <atomic>
+#include <memory>
+
+namespace qfix {
+namespace exec {
+
+class CancellationSource;
+
+/// A read-only view on a cancel flag. Default-constructed tokens are
+/// never cancelled (the "no cancellation requested" case).
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+/// Owns the flag and hands out tokens. Tokens keep the flag alive, so a
+/// source may be destroyed while tasks still hold tokens.
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() { flag_->store(true, std::memory_order_release); }
+
+  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+
+  CancellationToken token() const { return CancellationToken(flag_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace exec
+}  // namespace qfix
+
+#endif  // QFIX_EXEC_CANCELLATION_H_

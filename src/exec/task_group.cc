@@ -1,0 +1,69 @@
+#include "exec/task_group.h"
+
+#include <chrono>
+#include <utility>
+
+namespace qfix {
+namespace exec {
+
+TaskGroup::TaskGroup(ThreadPool* pool, CancellationToken parent)
+    : pool_(pool), parent_(std::move(parent)) {}
+
+TaskGroup::~TaskGroup() {
+  try {
+    Wait();
+  } catch (...) {
+    // The caller chose not to Wait(); the error has nowhere to go.
+  }
+}
+
+void TaskGroup::Spawn(std::function<void()> fn) {
+  // Lazily propagate an external cancellation into the group token so
+  // tasks polling token() observe it.
+  if (parent_.cancelled()) cancel_.Cancel();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_->Submit([this, fn = std::move(fn)]() mutable {
+    if (!cancelled()) {
+      try {
+        fn();
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (!first_error_) first_error_ = std::current_exception();
+        }
+        cancel_.Cancel();
+      }
+    }
+    OnTaskDone();
+  });
+}
+
+void TaskGroup::OnTaskDone() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--pending_ == 0) done_cv_.notify_all();
+}
+
+void TaskGroup::Wait() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_ == 0) break;
+    }
+    // Help run queued tasks (ours or anyone's) rather than idling; fall
+    // back to a timed sleep when every queue is empty but our tasks are
+    // still in flight on other workers.
+    if (!pool_->TryRunOneTask()) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (pending_ == 0) break;
+      done_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+}  // namespace exec
+}  // namespace qfix

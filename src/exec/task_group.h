@@ -1,0 +1,76 @@
+// TaskGroup: a structured fork/join scope over a ThreadPool.
+//
+// Spawn() schedules tasks; Wait() blocks until every spawned task (plus
+// any tasks they spawned into the same group) has finished, then
+// rethrows the first exception any of them raised. A failing task also
+// cancels the group, so queued-but-not-started siblings are skipped and
+// running ones can bail early via token(). The waiting thread helps run
+// pool tasks instead of idling, which also makes nested Wait() on a
+// worker thread deadlock-free.
+#ifndef QFIX_EXEC_TASK_GROUP_H_
+#define QFIX_EXEC_TASK_GROUP_H_
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+
+#include "exec/cancellation.h"
+#include "exec/thread_pool.h"
+
+namespace qfix {
+namespace exec {
+
+class TaskGroup {
+ public:
+  /// The pool must outlive the group. An external `parent` token lets a
+  /// caller cancel many groups at once; the group's own token (token())
+  /// additionally fires when a task throws or Cancel() is called.
+  explicit TaskGroup(ThreadPool* pool,
+                     CancellationToken parent = CancellationToken());
+
+  /// Waits for stragglers (exceptions are swallowed here; call Wait()
+  /// yourself to observe them).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules `fn`. May be called from inside a group task to split
+  /// work recursively. Tasks scheduled after cancellation are counted
+  /// but never run (they complete as no-ops).
+  void Spawn(std::function<void()> fn);
+
+  /// Blocks until all spawned tasks completed; rethrows the first task
+  /// exception. Safe to call multiple times.
+  void Wait();
+
+  /// Requests cancellation of not-yet-started tasks in this group.
+  void Cancel() { cancel_.Cancel(); }
+
+  /// True once Cancel() was called, a task threw, or the parent token
+  /// fired.
+  bool cancelled() const {
+    return cancel_.cancelled() || parent_.cancelled();
+  }
+
+  /// Token for group tasks to poll (also reflects the parent token).
+  CancellationToken token() const { return cancel_.token(); }
+
+ private:
+  void OnTaskDone();
+
+  ThreadPool* pool_;
+  CancellationToken parent_;
+  CancellationSource cancel_;
+
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  int pending_ = 0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace exec
+}  // namespace qfix
+
+#endif  // QFIX_EXEC_TASK_GROUP_H_

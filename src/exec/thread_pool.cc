@@ -1,0 +1,134 @@
+#include "exec/thread_pool.h"
+
+#include <chrono>
+#include <utility>
+
+namespace qfix {
+namespace exec {
+
+namespace {
+
+// Which pool (and worker slot) the current thread belongs to, so
+// Submit() from inside a task targets the submitting worker's own deque.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local int tls_worker_index = -1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_workers) {
+  if (num_workers <= 0) return;  // deterministic inline mode
+  queues_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    stop_ = true;
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int ThreadPool::DefaultParallelism() {
+  unsigned int n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::Submit(Task task) {
+  if (workers_.empty()) {
+    task();  // deterministic mode: submission order == execution order
+    return;
+  }
+  int self = tls_pool == this ? tls_worker_index : -1;
+  if (self >= 0) {
+    std::lock_guard<std::mutex> lock(queues_[self]->mu);
+    queues_[self]->tasks.push_back(std::move(task));
+  } else {
+    std::lock_guard<std::mutex> lock(injector_mu_);
+    injector_.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    ++pending_signals_;
+  }
+  sleep_cv_.notify_one();
+}
+
+ThreadPool::Task ThreadPool::FindTask(int self) {
+  const int n = static_cast<int>(queues_.size());
+  if (self >= 0) {
+    WorkerQueue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      Task t = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return t;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(injector_mu_);
+    if (!injector_.empty()) {
+      Task t = std::move(injector_.front());
+      injector_.pop_front();
+      return t;
+    }
+  }
+  // Steal the oldest task from the first victim that has one; starting
+  // at self+1 spreads thieves across victims instead of all hammering
+  // worker 0.
+  for (int k = 1; k <= n; ++k) {
+    int victim = self >= 0 ? (self + k) % n : k - 1;
+    if (victim == self) continue;
+    WorkerQueue& q = *queues_[victim];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      Task t = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return t;
+    }
+  }
+  return Task();
+}
+
+bool ThreadPool::TryRunOneTask() {
+  if (workers_.empty()) return false;  // deterministic mode has no queue
+  int self = tls_pool == this ? tls_worker_index : -1;
+  Task t = FindTask(self);
+  if (!t) return false;
+  t();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(int index) {
+  tls_pool = this;
+  tls_worker_index = index;
+  for (;;) {
+    Task t = FindTask(index);
+    if (t) {
+      t();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    if (pending_signals_ > 0) {
+      --pending_signals_;
+      continue;  // a Submit raced with our scan; look again
+    }
+    if (stop_) break;
+    // Timed wait as a belt-and-braces backstop: correctness only needs
+    // the pending_signals_ protocol, the timeout bounds the cost of any
+    // future protocol slip to a periodic re-scan.
+    sleep_cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+  tls_pool = nullptr;
+  tls_worker_index = -1;
+}
+
+}  // namespace exec
+}  // namespace qfix

@@ -1,0 +1,96 @@
+// Fixed-size thread pool with per-worker work-stealing deques.
+//
+// Each worker owns a deque: it pushes and pops work at the back (LIFO,
+// cache-friendly for divide-and-conquer search trees) while idle workers
+// steal from the front (FIFO, so thieves take the oldest — typically
+// largest — subproblems). Tasks submitted from outside the pool land in
+// a shared injection queue that workers drain before stealing.
+//
+// A pool constructed with `num_workers <= 0` runs in *deterministic
+// mode*: no threads are spawned and Submit() executes the task inline on
+// the calling thread, so execution order equals submission order and
+// test runs are exactly reproducible. Callers pick the mode once and the
+// rest of their code is oblivious (this is how `--jobs 1` and unit tests
+// exercise the same code paths as the parallel build).
+#ifndef QFIX_EXEC_THREAD_POOL_H_
+#define QFIX_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qfix {
+namespace exec {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns `num_workers` threads; <= 0 selects deterministic inline
+  /// mode (no threads at all).
+  explicit ThreadPool(int num_workers);
+
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker threads owned by the pool (0 in deterministic mode).
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// True when Submit() runs tasks inline on the calling thread.
+  bool deterministic() const { return workers_.empty(); }
+
+  /// Schedules `task`. From a worker thread the task goes to that
+  /// worker's own deque (stealable by the others); from any other thread
+  /// it goes to the shared injection queue. In deterministic mode the
+  /// task runs before Submit() returns.
+  void Submit(Task task);
+
+  /// Runs one queued task on the calling thread if any is immediately
+  /// available. Returns false when every queue was empty. Lets a thread
+  /// blocked in TaskGroup::Wait() help instead of idling (and makes
+  /// nested Wait() on a worker thread deadlock-free).
+  bool TryRunOneTask();
+
+  /// A sane worker count for this machine (hardware_concurrency, at
+  /// least 1).
+  static int DefaultParallelism();
+
+ private:
+  /// One worker's deque. A plain mutex per deque keeps the stealing
+  /// protocol obviously correct (and TSan-clean); the lock is held only
+  /// for a push/pop, never while a task runs.
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  void WorkerLoop(int index);
+  /// Pops from `self`'s back, then the injection queue, then steals from
+  /// the front of the other workers' deques. Returns an empty function
+  /// when nothing is runnable.
+  Task FindTask(int self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex injector_mu_;
+  std::deque<Task> injector_;
+
+  // Sleep/wake: Submit() leaves a signal so a worker that raced past the
+  // queues re-scans instead of sleeping through the notification.
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  int pending_signals_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace exec
+}  // namespace qfix
+
+#endif  // QFIX_EXEC_THREAD_POOL_H_

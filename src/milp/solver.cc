@@ -1,11 +1,17 @@
 #include "milp/solver.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <mutex>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "exec/cancellation.h"
+#include "exec/task_group.h"
+#include "exec/thread_pool.h"
 #include "milp/presolve.h"
 
 namespace qfix {
@@ -31,76 +37,152 @@ const char* MilpStatusToString(MilpStatus status) {
 
 namespace {
 
-/// Search state shared across the DFS.
-class BranchAndBound {
+/// Search state shared by every subtree worker of one Solve() call.
+/// Workers prune against `PruneBound()` with a single atomic load; the
+/// full incumbent vector sits behind a mutex taken only on improvement,
+/// which is rare compared to node processing.
+class SharedSearch {
  public:
-  BranchAndBound(const Model& model, const MilpOptions& options)
+  SharedSearch(const Model& model, const MilpOptions& options)
       : model_(model),
         options_(options),
-        deadline_(Deadline::AfterSeconds(options.time_limit_seconds)),
-        pcosts_(static_cast<size_t>(model.NumVars())) {}
+        deadline_(Deadline::AfterSeconds(options.time_limit_seconds)) {}
 
-  MilpSolution Run() {
-    MilpSolution out;
-    out.stats.num_vars = model_.NumVars();
-    out.stats.num_constraints = model_.NumConstraints();
-    out.stats.num_integer_vars = model_.NumIntegerVars();
+  const Model& model() const { return model_; }
+  const MilpOptions& options() const { return options_; }
+  const Deadline& deadline() const { return deadline_; }
+  exec::CancellationToken token() const { return cancel_.token(); }
 
-    WallTimer timer;
-    Status valid = model_.Validate();
-    QFIX_CHECK(valid.ok()) << valid.ToString();
+  /// True once any terminal condition fired; workers return from their
+  /// subtree as soon as they observe it.
+  bool Halted() const {
+    return cancel_.cancelled() || limit_hit_.load(std::memory_order_relaxed);
+  }
 
-    Domains domains = model_.InitialDomains();
-    if (options_.enable_presolve) {
-      Status s = PropagateBounds(model_, domains,
-                                 options_.propagation_rounds, nullptr);
-      if (s.IsInfeasible()) {
-        out.status = MilpStatus::kInfeasible;
-        out.stats.wall_seconds = timer.ElapsedSeconds();
-        return out;
-      }
-      if (options_.enable_probing &&
-          CountUnfixedBinaries(domains) <= options_.probe_max_binaries) {
-        ProbeResult probe;
-        s = ProbeBinaries(model_, domains, options_.propagation_rounds,
-                          options_.probe_passes, nullptr, &probe);
-        out.stats.probe_fixed = probe.fixed_binaries;
-        out.stats.probe_tightened = probe.tightened_bounds;
-        if (s.IsInfeasible()) {
-          out.status = MilpStatus::kInfeasible;
-          out.stats.wall_seconds = timer.ElapsedSeconds();
-          return out;
-        }
-      }
+  /// Claims one node against the global budget. Returns false (and
+  /// latches the limit) when the deadline or node budget is exhausted.
+  bool TakeNode() {
+    if (deadline_.Expired() ||
+        nodes_.load(std::memory_order_relaxed) >= options_.max_nodes) {
+      SetLimitHit();
+      return false;
     }
+    nodes_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
 
-    Dfs(domains, /*depth=*/0, /*try_rounding=*/true);
+  void SetLimitHit() {
+    limit_hit_.store(true, std::memory_order_relaxed);
+    cancel_.Cancel();  // queued subtree tasks are skipped, not searched
+  }
+  void SetTooLarge() {
+    too_large_.store(true, std::memory_order_relaxed);
+    cancel_.Cancel();
+  }
+  void SetUnbounded() {
+    unbounded_.store(true, std::memory_order_relaxed);
+    cancel_.Cancel();
+  }
+  void SetInexact() { inexact_.store(true, std::memory_order_relaxed); }
 
-    out.stats.nodes = nodes_;
-    out.stats.lp_iterations = lp_iterations_;
-    out.stats.wall_seconds = timer.ElapsedSeconds();
+  bool limit_hit() const { return limit_hit_.load(std::memory_order_relaxed); }
+  bool too_large() const { return too_large_.load(std::memory_order_relaxed); }
+  bool unbounded() const { return unbounded_.load(std::memory_order_relaxed); }
+  bool inexact() const { return inexact_.load(std::memory_order_relaxed); }
+  int64_t nodes() const { return nodes_.load(std::memory_order_relaxed); }
 
-    if (too_large_) {
-      out.status = MilpStatus::kTooLarge;
-      return out;
+  /// The objective every worker prunes against (+inf until a feasible
+  /// solution exists). Lock-free on the hot path.
+  double PruneBound() const {
+    return incumbent_bound_.load(std::memory_order_acquire);
+  }
+
+  /// Installs `x` as the incumbent if it beats the current one. `x` must
+  /// already be verified feasible against the original model.
+  void OfferIncumbent(double obj, std::vector<double> x) {
+    std::lock_guard<std::mutex> lock(incumbent_mu_);
+    if (!have_incumbent_ || obj < incumbent_obj_) {
+      have_incumbent_ = true;
+      incumbent_obj_ = obj;
+      incumbent_x_ = std::move(x);
+      incumbent_bound_.store(obj, std::memory_order_release);
     }
-    if (unbounded_ && !have_incumbent_) {
-      out.status = MilpStatus::kUnbounded;
-      return out;
-    }
-    if (have_incumbent_) {
-      out.objective = incumbent_obj_;
-      out.x = incumbent_x_;
-      out.status = (limit_hit_ || !exact_) ? MilpStatus::kFeasible
-                                           : MilpStatus::kOptimal;
-      return out;
-    }
-    out.status = (limit_hit_ || !exact_) ? MilpStatus::kTimeLimit
-                                         : MilpStatus::kInfeasible;
-    return out;
+  }
+
+  bool GetIncumbent(double* obj, std::vector<double>* x) {
+    std::lock_guard<std::mutex> lock(incumbent_mu_);
+    if (!have_incumbent_) return false;
+    *obj = incumbent_obj_;
+    *x = incumbent_x_;
+    return true;
+  }
+
+  // --- subtree task throttling ---
+  bool WantMoreTasks() const {
+    return open_tasks_.load(std::memory_order_relaxed) <
+           options_.jobs * 4;
+  }
+  void TaskStarted() { open_tasks_.fetch_add(1, std::memory_order_relaxed); }
+  void TaskFinished() { open_tasks_.fetch_sub(1, std::memory_order_relaxed); }
+
+  void MergeStats(const MilpStats& worker) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    merged_stats_.MergeFrom(worker);
+  }
+  MilpStats merged_stats() {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return merged_stats_;
   }
 
  private:
+  const Model& model_;
+  const MilpOptions& options_;
+  Deadline deadline_;
+  exec::CancellationSource cancel_;
+
+  std::atomic<int64_t> nodes_{0};
+  std::atomic<bool> limit_hit_{false};
+  std::atomic<bool> too_large_{false};
+  std::atomic<bool> unbounded_{false};
+  std::atomic<bool> inexact_{false};
+  std::atomic<int> open_tasks_{0};
+
+  std::atomic<double> incumbent_bound_{
+      std::numeric_limits<double>::infinity()};
+  std::mutex incumbent_mu_;
+  bool have_incumbent_ = false;
+  double incumbent_obj_ = 0.0;
+  std::vector<double> incumbent_x_;
+
+  std::mutex stats_mu_;
+  MilpStats merged_stats_;
+};
+
+/// One worker's depth-first search over a subtree. Owns its own bound
+/// trail and pseudo-cost table (pseudo-costs are a per-worker heuristic;
+/// sharing them would serialize every node on a lock for marginal
+/// benefit). With a TaskGroup attached, the second branch side at a node
+/// may be packaged as a fresh subtree task for idle workers to steal;
+/// without one (serial mode) the search is the original deterministic
+/// DFS.
+class SubtreeWorker {
+ public:
+  SubtreeWorker(SharedSearch& shared, exec::TaskGroup* group)
+      : shared_(shared),
+        group_(group),
+        pcosts_(static_cast<size_t>(shared.model().NumVars())) {}
+
+  /// Runs the DFS rooted at `domains`, then folds this worker's counters
+  /// into the shared stats.
+  void Search(Domains domains, bool try_rounding) {
+    Dfs(domains, /*depth=*/0, try_rounding);
+    shared_.MergeStats(stats_);
+  }
+
+ private:
+  const Model& model() const { return shared_.model(); }
+  const MilpOptions& options() const { return shared_.options(); }
+
   // Depth-first node processing. `domains` is mutated in place; callers
   // rewind via the trail. When `entry_obj` is non-null it receives this
   // node's LP relaxation objective (NaN if the LP did not reach
@@ -110,28 +192,25 @@ class BranchAndBound {
     if (entry_obj != nullptr) {
       *entry_obj = std::numeric_limits<double>::quiet_NaN();
     }
-    if (too_large_ || unbounded_) return;
-    if (deadline_.Expired() || nodes_ >= options_.max_nodes) {
-      limit_hit_ = true;
-      return;
-    }
-    ++nodes_;
+    if (shared_.Halted()) return;
+    if (!shared_.TakeNode()) return;
+    ++stats_.nodes;
 
-    LpResult lp = SolveLp(model_, domains, LpOptionsForNode());
-    lp_iterations_ += lp.iterations;
+    LpResult lp = SolveLp(model(), domains, LpOptionsForNode());
+    stats_.lp_iterations += lp.iterations;
     switch (lp.status) {
       case LpStatus::kInfeasible:
         return;
       case LpStatus::kTooLarge:
-        too_large_ = true;
+        shared_.SetTooLarge();
         return;
       case LpStatus::kUnbounded:
-        unbounded_ = true;
+        shared_.SetUnbounded();
         return;
       case LpStatus::kIterLimit:
         // No dual bound available; continue branching blindly but drop
         // the optimality certificate.
-        exact_ = false;
+        shared_.SetInexact();
         BranchWithoutBound(domains, depth);
         return;
       case LpStatus::kOptimal:
@@ -139,8 +218,8 @@ class BranchAndBound {
     }
     if (entry_obj != nullptr) *entry_obj = lp.objective;
 
-    // Bound pruning (minimization).
-    if (have_incumbent_ && lp.objective >= incumbent_obj_ - 1e-9) return;
+    // Bound pruning (minimization) against the global incumbent.
+    if (lp.objective >= shared_.PruneBound() - 1e-9) return;
 
     int branch_var = PickBranchVariable(lp.x, domains);
     if (branch_var < 0) {
@@ -148,9 +227,9 @@ class BranchAndBound {
       return;
     }
 
-    if (try_rounding && options_.enable_rounding_heuristic) {
+    if (try_rounding && options().enable_rounding_heuristic) {
       TryRounding(domains, lp.x);
-      if (have_incumbent_ && lp.objective >= incumbent_obj_ - 1e-9) return;
+      if (lp.objective >= shared_.PruneBound() - 1e-9) return;
     }
 
     double xv = lp.x[branch_var];
@@ -161,6 +240,13 @@ class BranchAndBound {
     bool floor_first = frac <= 0.5;
     for (int side = 0; side < 2; ++side) {
       bool use_floor = (side == 0) == floor_first;
+      // Offload the away-side subtree to the pool when workers are
+      // hungry; the dive side stays on this worker so the incumbent
+      // arrives as fast as in the serial search.
+      if (side == 1 && group_ != nullptr && shared_.WantMoreTasks()) {
+        SpawnSubtree(domains, branch_var, use_floor, floor_v, ceil_v);
+        continue;
+      }
       size_t mark = trail_.size();
       trail_.push_back(
           {branch_var, domains.lb[branch_var], domains.ub[branch_var]});
@@ -170,8 +256,8 @@ class BranchAndBound {
         domains.lb[branch_var] = std::max(domains.lb[branch_var], ceil_v);
       }
       if (domains.lb[branch_var] <= domains.ub[branch_var]) {
-        Status s = PropagateBounds(model_, domains,
-                                   options_.propagation_rounds, &trail_);
+        Status s = PropagateBounds(model(), domains,
+                                   options().propagation_rounds, &trail_);
         if (s.ok()) {
           double child_obj;
           Dfs(domains, depth + 1, /*try_rounding=*/false, &child_obj);
@@ -180,16 +266,43 @@ class BranchAndBound {
         }
       }
       RewindTrail(domains, trail_, mark);
-      if (too_large_ || unbounded_) return;
-      if (limit_hit_) return;
+      if (shared_.Halted()) return;
     }
+  }
+
+  // Packages one branch side as an independent subtree task: snapshot
+  // the domains, apply the branch bound, and hand it to the group. The
+  // child propagates and searches with its own worker state.
+  void SpawnSubtree(const Domains& domains, int branch_var, bool use_floor,
+                    double floor_v, double ceil_v) {
+    Domains child = domains;
+    if (use_floor) {
+      child.ub[branch_var] = std::min(child.ub[branch_var], floor_v);
+    } else {
+      child.lb[branch_var] = std::max(child.lb[branch_var], ceil_v);
+    }
+    if (child.lb[branch_var] > child.ub[branch_var]) return;
+    ++stats_.spawned_subtrees;
+    shared_.TaskStarted();
+    SharedSearch& shared = shared_;
+    exec::TaskGroup* group = group_;
+    group->Spawn([&shared, group, child = std::move(child)]() mutable {
+      Status s = PropagateBounds(shared.model(), child,
+                                 shared.options().propagation_rounds,
+                                 nullptr);
+      if (s.ok() && !shared.Halted()) {
+        SubtreeWorker worker(shared, group);
+        worker.Search(std::move(child), /*try_rounding=*/false);
+      }
+      shared.TaskFinished();
+    });
   }
 
   // Records how much fixing `var` down/up degraded the child's LP bound,
   // normalized per unit of fractionality removed.
   void UpdatePseudoCost(int var, bool went_down, double frac,
                         double parent_obj, double child_obj) {
-    if (options_.branch_rule != BranchRule::kPseudoCost) return;
+    if (options().branch_rule != BranchRule::kPseudoCost) return;
     if (std::isnan(child_obj)) return;
     double removed = went_down ? frac : 1.0 - frac;
     if (removed < 1e-6) return;
@@ -204,20 +317,12 @@ class BranchAndBound {
     }
   }
 
-  int CountUnfixedBinaries(const Domains& domains) const {
-    int n = 0;
-    for (VarId v = 0; v < model_.NumVars(); ++v) {
-      if (model_.type(v) == VarType::kBinary && !domains.Fixed(v)) ++n;
-    }
-    return n;
-  }
-
   // Fallback branching when the LP failed to converge: fix the first
   // unfixed integer variable to its bounds' midpoint split.
   void BranchWithoutBound(Domains& domains, int depth) {
     int branch_var = -1;
-    for (VarId v = 0; v < model_.NumVars(); ++v) {
-      if (model_.type(v) == VarType::kContinuous) continue;
+    for (VarId v = 0; v < model().NumVars(); ++v) {
+      if (model().type(v) == VarType::kContinuous) continue;
       if (domains.lb[v] < domains.ub[v] - 0.5) {
         branch_var = v;
         break;
@@ -236,12 +341,12 @@ class BranchAndBound {
         domains.lb[branch_var] = mid + 1.0;
       }
       if (domains.lb[branch_var] <= domains.ub[branch_var]) {
-        Status s = PropagateBounds(model_, domains,
-                                   options_.propagation_rounds, &trail_);
+        Status s = PropagateBounds(model(), domains,
+                                   options().propagation_rounds, &trail_);
         if (s.ok()) Dfs(domains, depth + 1, /*try_rounding=*/false);
       }
       RewindTrail(domains, trail_, mark);
-      if (too_large_ || unbounded_ || limit_hit_) return;
+      if (shared_.Halted()) return;
     }
   }
 
@@ -249,17 +354,17 @@ class BranchAndBound {
   // solution is integral.
   int PickBranchVariable(const std::vector<double>& x,
                          const Domains& domains) const {
-    if (options_.branch_rule == BranchRule::kPseudoCost) {
+    if (options().branch_rule == BranchRule::kPseudoCost) {
       return PickByPseudoCost(x, domains);
     }
     int best = -1;
-    double best_frac = options_.int_tol;
-    for (VarId v = 0; v < model_.NumVars(); ++v) {
-      if (model_.type(v) == VarType::kContinuous) continue;
+    double best_frac = options().int_tol;
+    for (VarId v = 0; v < model().NumVars(); ++v) {
+      if (model().type(v) == VarType::kContinuous) continue;
       if (domains.Fixed(v)) continue;
       double frac = std::fabs(x[v] - std::round(x[v]));
       double dist_to_half = std::fabs(frac - 0.5);
-      if (frac > options_.int_tol &&
+      if (frac > options().int_tol &&
           (best < 0 || dist_to_half < best_frac)) {
         best = v;
         best_frac = dist_to_half;
@@ -275,12 +380,12 @@ class BranchAndBound {
                        const Domains& domains) const {
     int best = -1;
     double best_score = -1.0;
-    for (VarId v = 0; v < model_.NumVars(); ++v) {
-      if (model_.type(v) == VarType::kContinuous) continue;
+    for (VarId v = 0; v < model().NumVars(); ++v) {
+      if (model().type(v) == VarType::kContinuous) continue;
       if (domains.Fixed(v)) continue;
       double frac = x[v] - std::floor(x[v]);
       double dist = std::min(frac, 1.0 - frac);
-      if (dist <= options_.int_tol) continue;
+      if (dist <= options().int_tol) continue;
       const PseudoCost& pc = pcosts_[v];
       double down_est =
           pc.down_n > 0 ? (pc.down_sum / pc.down_n) * frac : frac;
@@ -295,40 +400,35 @@ class BranchAndBound {
     return best;
   }
 
-  // Records an integral LP solution as the new incumbent after verifying
+  // Offers an integral LP solution as the new incumbent after verifying
   // it against the original model.
   void AcceptIncumbent(std::vector<double> x) {
     // Snap integer variables exactly.
-    for (VarId v = 0; v < model_.NumVars(); ++v) {
-      if (model_.type(v) != VarType::kContinuous) x[v] = std::round(x[v]);
+    for (VarId v = 0; v < model().NumVars(); ++v) {
+      if (model().type(v) != VarType::kContinuous) x[v] = std::round(x[v]);
     }
-    if (!model_.IsFeasible(x, 1e-5)) return;  // numerical mirage; skip
-    double obj = model_.EvalObjective(x);
-    if (!have_incumbent_ || obj < incumbent_obj_) {
-      have_incumbent_ = true;
-      incumbent_obj_ = obj;
-      incumbent_x_ = std::move(x);
-    }
+    if (!model().IsFeasible(x, 1e-5)) return;  // numerical mirage; skip
+    double obj = model().EvalObjective(x);
+    shared_.OfferIncumbent(obj, std::move(x));
   }
 
   // Root heuristic: fix every integer variable to the rounded LP value,
   // propagate, and re-solve the LP for the continuous remainder.
   void TryRounding(Domains& domains, const std::vector<double>& x) {
     size_t mark = trail_.size();
-    bool viable = true;
-    for (VarId v = 0; v < model_.NumVars() && viable; ++v) {
-      if (model_.type(v) == VarType::kContinuous) continue;
+    for (VarId v = 0; v < model().NumVars(); ++v) {
+      if (model().type(v) == VarType::kContinuous) continue;
       double r = std::round(x[v]);
       r = std::clamp(r, domains.lb[v], domains.ub[v]);
       trail_.push_back({v, domains.lb[v], domains.ub[v]});
       domains.lb[v] = r;
       domains.ub[v] = r;
     }
-    Status s = PropagateBounds(model_, domains,
-                               options_.propagation_rounds, &trail_);
+    Status s = PropagateBounds(model(), domains,
+                               options().propagation_rounds, &trail_);
     if (s.ok()) {
-      LpResult lp = SolveLp(model_, domains, LpOptionsForNode());
-      lp_iterations_ += lp.iterations;
+      LpResult lp = SolveLp(model(), domains, LpOptionsForNode());
+      stats_.lp_iterations += lp.iterations;
       if (lp.status == LpStatus::kOptimal) AcceptIncumbent(lp.x);
     }
     RewindTrail(domains, trail_, mark);
@@ -337,8 +437,8 @@ class BranchAndBound {
   // LP options with the solver's remaining wall-clock budget threaded
   // through, so a single large LP cannot outlive the MILP deadline.
   SimplexOptions LpOptionsForNode() const {
-    SimplexOptions opts = options_.lp;
-    double remaining = deadline_.RemainingSeconds();
+    SimplexOptions opts = options().lp;
+    double remaining = shared_.deadline().RemainingSeconds();
     if (remaining < 1e20 &&
         (opts.time_limit_seconds <= 0.0 ||
          remaining < opts.time_limit_seconds)) {
@@ -356,28 +456,107 @@ class BranchAndBound {
     int up_n = 0;
   };
 
-  const Model& model_;
-  const MilpOptions& options_;
-  Deadline deadline_;
+  SharedSearch& shared_;
+  exec::TaskGroup* group_;
   std::vector<PseudoCost> pcosts_;
-
   BoundTrail trail_;
-  bool have_incumbent_ = false;
-  double incumbent_obj_ = 0.0;
-  std::vector<double> incumbent_x_;
-  bool limit_hit_ = false;
-  bool too_large_ = false;
-  bool unbounded_ = false;
-  bool exact_ = true;
-  int64_t nodes_ = 0;
-  int64_t lp_iterations_ = 0;
+  MilpStats stats_;
 };
+
+int NormalizedJobs(const MilpOptions& options) {
+  if (options.jobs == 0) return exec::ThreadPool::DefaultParallelism();
+  return std::max(options.jobs, 1);
+}
 
 }  // namespace
 
 MilpSolution MilpSolver::Solve(const Model& model) const {
-  BranchAndBound bb(model, options_);
-  return bb.Run();
+  MilpOptions options = options_;
+  options.jobs = NormalizedJobs(options);
+
+  MilpSolution out;
+  out.stats.num_vars = model.NumVars();
+  out.stats.num_constraints = model.NumConstraints();
+  out.stats.num_integer_vars = model.NumIntegerVars();
+  out.stats.workers = options.jobs;
+
+  const double start = MonotonicSeconds();
+  Status valid = model.Validate();
+  QFIX_CHECK(valid.ok()) << valid.ToString();
+
+  SharedSearch shared(model, options);
+
+  Domains domains = model.InitialDomains();
+  if (options.enable_presolve) {
+    Status s = PropagateBounds(model, domains, options.propagation_rounds,
+                               nullptr);
+    if (s.IsInfeasible()) {
+      out.status = MilpStatus::kInfeasible;
+      out.stats.wall_seconds = MonotonicSeconds() - start;
+      return out;
+    }
+    int unfixed_binaries = 0;
+    for (VarId v = 0; v < model.NumVars(); ++v) {
+      if (model.type(v) == VarType::kBinary && !domains.Fixed(v)) {
+        ++unfixed_binaries;
+      }
+    }
+    if (options.enable_probing &&
+        unfixed_binaries <= options.probe_max_binaries) {
+      ProbeResult probe;
+      s = ProbeBinaries(model, domains, options.propagation_rounds,
+                        options.probe_passes, nullptr, &probe);
+      out.stats.probe_fixed = probe.fixed_binaries;
+      out.stats.probe_tightened = probe.tightened_bounds;
+      if (s.IsInfeasible()) {
+        out.status = MilpStatus::kInfeasible;
+        out.stats.wall_seconds = MonotonicSeconds() - start;
+        return out;
+      }
+    }
+  }
+
+  if (options.jobs <= 1) {
+    SubtreeWorker worker(shared, /*group=*/nullptr);
+    worker.Search(std::move(domains), /*try_rounding=*/true);
+  } else {
+    exec::ThreadPool pool(options.jobs);
+    exec::TaskGroup group(&pool, shared.token());
+    shared.TaskStarted();
+    group.Spawn([&shared, &group, root = std::move(domains)]() mutable {
+      SubtreeWorker worker(shared, &group);
+      worker.Search(std::move(root), /*try_rounding=*/true);
+      shared.TaskFinished();
+    });
+    group.Wait();
+  }
+
+  MilpStats merged = shared.merged_stats();
+  out.stats.nodes = merged.nodes;
+  out.stats.lp_iterations = merged.lp_iterations;
+  out.stats.spawned_subtrees = merged.spawned_subtrees;
+  out.stats.wall_seconds = MonotonicSeconds() - start;
+
+  if (shared.too_large()) {
+    out.status = MilpStatus::kTooLarge;
+    return out;
+  }
+  double obj;
+  std::vector<double> x;
+  bool have_incumbent = shared.GetIncumbent(&obj, &x);
+  if (shared.unbounded() && !have_incumbent) {
+    out.status = MilpStatus::kUnbounded;
+    return out;
+  }
+  bool proven = !shared.limit_hit() && !shared.inexact();
+  if (have_incumbent) {
+    out.objective = obj;
+    out.x = std::move(x);
+    out.status = proven ? MilpStatus::kOptimal : MilpStatus::kFeasible;
+    return out;
+  }
+  out.status = proven ? MilpStatus::kInfeasible : MilpStatus::kTimeLimit;
+  return out;
 }
 
 }  // namespace milp

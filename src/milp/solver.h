@@ -3,7 +3,11 @@
 // Depth-first search over binary/integer variable fixings, with bound
 // propagation at every node, LP relaxation bounds from the bounded-
 // variable simplex (simplex.h), a most-fractional branching rule, and a
-// root rounding heuristic for early incumbents.
+// root rounding heuristic for early incumbents. With `jobs > 1` the
+// search runs on a work-stealing thread pool (src/exec): shallow branch
+// siblings are packaged as subtree tasks that idle workers steal, and
+// the incumbent objective is shared through an atomic bound so every
+// worker prunes against the global best without taking a lock.
 #ifndef QFIX_MILP_SOLVER_H_
 #define QFIX_MILP_SOLVER_H_
 
@@ -42,7 +46,13 @@ const char* MilpStatusToString(MilpStatus status);
 struct MilpStats {
   int64_t nodes = 0;
   int64_t lp_iterations = 0;
+  /// Elapsed time, measured via MonotonicSeconds() (common/timer.h) so
+  /// per-worker stats taken on different threads are comparable.
   double wall_seconds = 0.0;
+  /// Subtree tasks handed to the work-stealing pool (0 in serial runs).
+  int64_t spawned_subtrees = 0;
+  /// Worker threads the search actually used.
+  int workers = 1;
   /// Binaries fixed by root probing (0 when probing is disabled).
   int probe_fixed = 0;
   /// Bounds tightened by root probing's union step.
@@ -53,6 +63,15 @@ struct MilpStats {
   int32_t num_vars = 0;
   int32_t num_constraints = 0;
   int32_t num_integer_vars = 0;
+
+  /// Folds a per-worker search record into this one: the search
+  /// counters add up. Timing and the root-only fields (probe_*, model
+  /// sizes) are owned by the top-level Solve(), not by workers.
+  void MergeFrom(const MilpStats& worker) {
+    nodes += worker.nodes;
+    lp_iterations += worker.lp_iterations;
+    spawned_subtrees += worker.spawned_subtrees;
+  }
 };
 
 struct MilpSolution {
@@ -100,6 +119,14 @@ struct MilpOptions {
   bool enable_rounding_heuristic = true;
   /// Variable selection rule at branch nodes.
   BranchRule branch_rule = BranchRule::kMostFractional;
+  /// Worker threads for branch & bound. 1 (default) runs the
+  /// deterministic serial search; > 1 runs parallel branch & bound on a
+  /// work-stealing pool (src/exec) — workers steal open subtree nodes
+  /// and share the incumbent through an atomic bound; 0 means "one per
+  /// hardware thread". Parallel search visits nodes in a different
+  /// order, so node counts vary run to run, but proven-optimal
+  /// objectives are identical to the serial search.
+  int jobs = 1;
   SimplexOptions lp;
 };
 

@@ -1,0 +1,75 @@
+#include "qfix/batch.h"
+
+#include <optional>
+#include <utility>
+
+#include "common/timer.h"
+#include "exec/cancellation.h"
+#include "exec/task_group.h"
+#include "exec/thread_pool.h"
+#include "relational/executor.h"
+
+namespace qfix {
+namespace qfixcore {
+
+BatchItem MakeBatchItem(relational::QueryLog log, relational::Database d0,
+                        provenance::ComplaintSet complaints,
+                        QFixOptions options, int k) {
+  BatchItem item;
+  item.dirty_dn = relational::ExecuteLog(log, d0);
+  item.log = std::move(log);
+  item.d0 = std::move(d0);
+  item.complaints = std::move(complaints);
+  item.options = options;
+  item.k = k;
+  return item;
+}
+
+std::vector<Result<Repair>> BatchDiagnoser::Run(
+    const std::vector<BatchItem>& items) const {
+  // Slots are written by exactly one task each and only read after
+  // Wait(), so no per-slot locking is needed.
+  std::vector<std::optional<Result<Repair>>> slots(items.size());
+
+  Deadline deadline = Deadline::AfterSeconds(options_.time_limit_seconds);
+  exec::CancellationSource batch_cancel;
+
+  exec::ThreadPool pool(options_.jobs);
+  exec::TaskGroup group(&pool, batch_cancel.token());
+  for (size_t i = 0; i < items.size(); ++i) {
+    group.Spawn([&items, &slots, &deadline, &batch_cancel, i] {
+      if (batch_cancel.cancelled() || deadline.Expired()) {
+        batch_cancel.Cancel();
+        slots[i] = Status::ResourceExhausted("batch time limit reached");
+        return;
+      }
+      const BatchItem& item = items[i];
+      QFixOptions options = item.options;
+      // Clamp the per-item budget to what is left of the batch budget;
+      // a disabled (<= 0) per-item limit must not escape the clamp.
+      if (options.time_limit_seconds <= 0.0 ||
+          deadline.RemainingSeconds() < options.time_limit_seconds) {
+        options.time_limit_seconds = deadline.RemainingSeconds();
+      }
+      QFixEngine engine(item.log, item.d0, item.dirty_dn, item.complaints,
+                        options);
+      slots[i] = item.k <= 0 ? engine.RepairBasic()
+                             : engine.RepairIncremental(item.k);
+    });
+  }
+  group.Wait();
+
+  std::vector<Result<Repair>> out;
+  out.reserve(items.size());
+  for (std::optional<Result<Repair>>& slot : slots) {
+    // A task skipped by cancellation never filled its slot.
+    out.push_back(slot.has_value()
+                      ? std::move(*slot)
+                      : Result<Repair>(Status::ResourceExhausted(
+                            "batch cancelled before this item started")));
+  }
+  return out;
+}
+
+}  // namespace qfixcore
+}  // namespace qfix

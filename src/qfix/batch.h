@@ -1,0 +1,70 @@
+// BatchDiagnoser: many independent complaint -> encode -> solve
+// pipelines over one work-stealing pool (src/exec).
+//
+// This is the entry point a multi-tenant diagnosis service loop would
+// call: each BatchItem is a self-contained diagnosis request (its own
+// log, checkpoint, dirty state, and complaint set), items run
+// concurrently on the pool, and the result vector lines up with the
+// input vector. With `jobs <= 0` the batch runs in the pool's
+// deterministic serial mode — identical results, reproducible order —
+// which is what the tests and single-core deployments use.
+#ifndef QFIX_QFIX_BATCH_H_
+#define QFIX_QFIX_BATCH_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "provenance/complaint.h"
+#include "qfix/qfix.h"
+#include "relational/database.h"
+#include "relational/query.h"
+
+namespace qfix {
+namespace qfixcore {
+
+/// One independent diagnosis request.
+struct BatchItem {
+  relational::QueryLog log;
+  relational::Database d0;
+  /// The observed (complained-about) final state. Pass the result of
+  /// replaying `log` on `d0` — or use MakeBatchItem() to derive it.
+  relational::Database dirty_dn;
+  provenance::ComplaintSet complaints;
+  QFixOptions options;
+  /// Incremental batch size (RepairIncremental); 0 selects RepairBasic.
+  int k = 1;
+};
+
+/// Convenience constructor that derives `dirty_dn` by replaying the log.
+BatchItem MakeBatchItem(relational::QueryLog log, relational::Database d0,
+                        provenance::ComplaintSet complaints,
+                        QFixOptions options = QFixOptions(), int k = 1);
+
+struct BatchOptions {
+  /// Pool workers; <= 0 runs deterministically on the calling thread.
+  int jobs = 1;
+  /// Wall-clock budget for the whole batch; items that have not started
+  /// when it expires fail with ResourceExhausted instead of running.
+  /// <= 0 disables (each item still honors its own per-item limit).
+  double time_limit_seconds = 0.0;
+};
+
+/// Diagnoses every item and returns one Result per item, in input
+/// order. Items are independent: a failure (infeasible, limits) in one
+/// never affects the others. Thread-safe; a single BatchDiagnoser may
+/// be shared across calls.
+class BatchDiagnoser {
+ public:
+  explicit BatchDiagnoser(BatchOptions options = BatchOptions())
+      : options_(options) {}
+
+  std::vector<Result<Repair>> Run(const std::vector<BatchItem>& items) const;
+
+ private:
+  BatchOptions options_;
+};
+
+}  // namespace qfixcore
+}  // namespace qfix
+
+#endif  // QFIX_QFIX_BATCH_H_

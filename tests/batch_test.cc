@@ -1,0 +1,146 @@
+// Tests for qfixcore::BatchDiagnoser: many independent diagnosis
+// pipelines over one exec pool, matching serial per-item results, with
+// per-item failure isolation and a batch-level time limit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "provenance/complaint.h"
+#include "qfix/batch.h"
+#include "qfix/qfix.h"
+#include "relational/executor.h"
+#include "test_support.h"
+
+namespace qfix {
+namespace qfixcore {
+namespace {
+
+using provenance::ComplaintSet;
+using provenance::DiffStates;
+using relational::Database;
+using relational::ExecuteLog;
+using relational::QueryLog;
+using test::PaperLog;
+using test::TaxD0;
+
+// One Figure-2-style diagnosis request whose corrupted threshold is
+// `dirty_threshold` (the intended value is 87500).
+BatchItem PaperItem(double dirty_threshold) {
+  QueryLog dirty_log = PaperLog(dirty_threshold);
+  QueryLog clean_log = PaperLog(87500);
+  Database d0 = TaxD0();
+  Database dirty = ExecuteLog(dirty_log, d0);
+  Database truth = ExecuteLog(clean_log, d0);
+  BatchItem item;
+  item.complaints = DiffStates(dirty, truth);
+  item.log = std::move(dirty_log);
+  item.d0 = std::move(d0);
+  item.dirty_dn = std::move(dirty);
+  return item;
+}
+
+TEST(BatchDiagnoserTest, ResultsLineUpWithInputsAndMatchSerialRuns) {
+  std::vector<double> thresholds = {85700, 86200, 85000, 86400};
+  std::vector<BatchItem> items;
+  for (double t : thresholds) items.push_back(PaperItem(t));
+
+  BatchOptions parallel;
+  parallel.jobs = 4;
+  std::vector<Result<Repair>> batch = BatchDiagnoser(parallel).Run(items);
+  ASSERT_EQ(batch.size(), items.size());
+
+  for (size_t i = 0; i < items.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok())
+        << "item " << i << ": " << batch[i].status().ToString();
+    EXPECT_TRUE(batch[i]->verified) << "item " << i;
+    EXPECT_EQ(batch[i]->changed_queries, (std::vector<size_t>{0}));
+
+    // The pooled run must agree with a plain one-engine-per-item run.
+    QFixEngine engine(items[i].log, items[i].d0, items[i].dirty_dn,
+                      items[i].complaints, items[i].options);
+    auto serial = engine.RepairIncremental(1);
+    ASSERT_TRUE(serial.ok());
+    EXPECT_NEAR(batch[i]->distance, serial->distance, 1e-6) << "item " << i;
+  }
+}
+
+TEST(BatchDiagnoserTest, DeterministicModeMatchesParallelMode) {
+  std::vector<BatchItem> items = {PaperItem(85700), PaperItem(86000)};
+  BatchOptions serial;
+  serial.jobs = 0;  // deterministic inline mode
+  BatchOptions parallel;
+  parallel.jobs = 3;
+  auto a = BatchDiagnoser(serial).Run(items);
+  auto b = BatchDiagnoser(parallel).Run(items);
+  ASSERT_EQ(a.size(), 2u);
+  ASSERT_EQ(b.size(), 2u);
+  for (size_t i = 0; i < items.size(); ++i) {
+    ASSERT_TRUE(a[i].ok());
+    ASSERT_TRUE(b[i].ok());
+    EXPECT_NEAR(a[i]->distance, b[i]->distance, 1e-6);
+    EXPECT_EQ(a[i]->changed_queries, b[i]->changed_queries);
+  }
+}
+
+TEST(BatchDiagnoserTest, MakeBatchItemDerivesDirtyState) {
+  QueryLog dirty_log = PaperLog(85700);
+  Database d0 = TaxD0();
+  Database dirty = ExecuteLog(dirty_log, d0);
+  Database truth = ExecuteLog(PaperLog(87500), d0);
+  BatchItem item =
+      MakeBatchItem(dirty_log, d0, DiffStates(dirty, truth));
+  ASSERT_EQ(item.dirty_dn.NumSlots(), dirty.NumSlots());
+  auto results = BatchDiagnoser().Run({item});
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  EXPECT_TRUE(results[0]->verified);
+}
+
+TEST(BatchDiagnoserTest, FailuresAreIsolatedPerItem) {
+  // Item 1's complaints demand a final state no single-query repair (or
+  // any parameter assignment) can produce: tuple 0 (income 9500, far
+  // from every predicate boundary) is claimed to end at income -1 while
+  // everything else matches the dirty state. Neighbors must still
+  // diagnose fine.
+  std::vector<BatchItem> items = {PaperItem(85700), PaperItem(85700),
+                                  PaperItem(86200)};
+  provenance::Complaint bad;
+  bad.tid = 0;
+  bad.target_alive = true;
+  bad.target_values = {-1, -1, -1};
+  ComplaintSet bad_set;
+  bad_set.Add(bad);
+  items[1].complaints = bad_set;
+  items[1].options.time_limit_seconds = 10.0;
+
+  auto results = BatchDiagnoser(BatchOptions{4, 0.0}).Run(items);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_TRUE(results[2].ok());
+}
+
+TEST(BatchDiagnoserTest, BatchTimeLimitFailsUnstartedItems) {
+  // An already-expired batch deadline: every item must come back as
+  // ResourceExhausted without running (deterministic mode makes the
+  // "nothing started" claim exact).
+  std::vector<BatchItem> items = {PaperItem(85700), PaperItem(86200)};
+  BatchOptions options;
+  options.jobs = 0;
+  options.time_limit_seconds = 1e-9;
+  auto results = BatchDiagnoser(options).Run(items);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status().ToString();
+  }
+}
+
+TEST(BatchDiagnoserTest, EmptyBatchIsFine) {
+  EXPECT_TRUE(BatchDiagnoser().Run({}).empty());
+}
+
+}  // namespace
+}  // namespace qfixcore
+}  // namespace qfix

@@ -1,0 +1,189 @@
+// Regression tests for parallel branch & bound (MilpOptions::jobs > 1):
+// solver limits must be respected under concurrency, and parallel runs
+// must reach the same proven optimum as the deterministic serial search
+// — including on the paper's Figure-2 fixture through the full engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "milp/model.h"
+#include "milp/solver.h"
+#include "provenance/complaint.h"
+#include "qfix/qfix.h"
+#include "relational/executor.h"
+#include "test_support.h"
+
+namespace qfix {
+namespace milp {
+namespace {
+
+// A knapsack with enough correlated weights to force real branching.
+Model HardKnapsack(int n, uint64_t seed) {
+  Rng rng(seed);
+  Model m;
+  LinearTerms row;
+  for (int i = 0; i < n; ++i) {
+    VarId v = m.AddBinary("b" + std::to_string(i));
+    row.push_back({v, double(rng.UniformInt(1, 20))});
+    m.AddObjectiveTerm(v, -double(rng.UniformInt(1, 30)));
+  }
+  m.AddConstraint(row, Sense::kLe, 10.0 * n / 4.0);
+  return m;
+}
+
+TEST(MilpParallelTest, SameObjectiveAsSerialOnKnapsacks) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Model m = HardKnapsack(18, seed);
+    MilpOptions serial;
+    serial.jobs = 1;
+    MilpOptions parallel = serial;
+    parallel.jobs = 4;
+    MilpSolution s1 = MilpSolver(serial).Solve(m);
+    MilpSolution s4 = MilpSolver(parallel).Solve(m);
+    ASSERT_EQ(s1.status, MilpStatus::kOptimal) << "seed " << seed;
+    ASSERT_EQ(s4.status, MilpStatus::kOptimal) << "seed " << seed;
+    EXPECT_NEAR(s1.objective, s4.objective, 1e-6) << "seed " << seed;
+    EXPECT_EQ(s4.stats.workers, 4);
+  }
+}
+
+TEST(MilpParallelTest, InfeasibleStaysInfeasibleWithJobs) {
+  // x + y = 1 with x = y (both binary) needs branching to refute.
+  Model m;
+  VarId x = m.AddBinary("x");
+  VarId y = m.AddBinary("y");
+  m.AddConstraint({{x, 1.0}, {y, 1.0}}, Sense::kEq, 1.0);
+  m.AddConstraint({{x, 1.0}, {y, -1.0}}, Sense::kEq, 0.0);
+  MilpOptions opts;
+  opts.jobs = 4;
+  MilpSolution s = MilpSolver(opts).Solve(m);
+  EXPECT_EQ(s.status, MilpStatus::kInfeasible);
+}
+
+TEST(MilpParallelTest, TimeLimitRespectedWithJobs) {
+  // A fiddly equal-weight subset-sum instance; with an effectively-zero
+  // budget the parallel solver must stop promptly across all workers.
+  Rng rng(5);
+  Model m;
+  LinearTerms row;
+  for (int i = 0; i < 30; ++i) {
+    VarId v = m.AddBinary("b" + std::to_string(i));
+    row.push_back({v, rng.UniformReal(1.0, 2.0)});
+    m.AddObjectiveTerm(v, -1.0);
+  }
+  m.AddConstraint(row, Sense::kLe, 20.0);
+  MilpOptions opts;
+  opts.jobs = 4;
+  opts.time_limit_seconds = 1e-9;
+  double start = MonotonicSeconds();
+  MilpSolution s = MilpSolver(opts).Solve(m);
+  double elapsed = MonotonicSeconds() - start;
+  EXPECT_TRUE(s.status == MilpStatus::kTimeLimit ||
+              s.status == MilpStatus::kFeasible)
+      << MilpStatusToString(s.status);
+  // Generous bound: the point is that workers observed the deadline
+  // rather than finishing the search.
+  EXPECT_LT(elapsed, 20.0);
+}
+
+TEST(MilpParallelTest, NodeBudgetSharedAcrossWorkers) {
+  Rng rng(11);
+  Model m;
+  LinearTerms row;
+  for (int i = 0; i < 26; ++i) {
+    VarId v = m.AddBinary("b" + std::to_string(i));
+    row.push_back({v, rng.UniformReal(1.0, 2.0)});
+    m.AddObjectiveTerm(v, -1.0);
+  }
+  m.AddConstraint(row, Sense::kLe, 17.0);
+  MilpOptions opts;
+  opts.jobs = 4;
+  opts.max_nodes = 40;
+  MilpSolution s = MilpSolver(opts).Solve(m);
+  // The budget is claimed atomically before LP work; each in-flight
+  // worker can overshoot by at most the one node it already claimed.
+  EXPECT_LE(s.stats.nodes, opts.max_nodes + opts.jobs);
+  EXPECT_NE(s.status, MilpStatus::kOptimal);
+}
+
+TEST(MilpParallelTest, TooLargeBudgetRespectedWithJobs) {
+  // More rows than SimplexOptions::max_rows allows: the first LP reports
+  // kTooLarge and every worker must stand down. Two-variable rows so
+  // LP reduction cannot fold them into bounds.
+  Model m;
+  std::vector<VarId> vars;
+  for (int i = 0; i < 20; ++i) {
+    vars.push_back(m.AddContinuous(0, 1, "x" + std::to_string(i)));
+    m.AddObjectiveTerm(vars.back(), -1.0);
+  }
+  VarId b = m.AddBinary("flip");
+  m.AddObjectiveTerm(b, -0.5);
+  for (int i = 0; i < 40; ++i) {
+    VarId u = vars[i % vars.size()];
+    VarId v = vars[(i + 7) % vars.size()];
+    if (u == v) continue;
+    m.AddConstraint({{u, 1.0}, {v, 1.0}}, Sense::kLe, 1.5);
+  }
+  MilpOptions opts;
+  opts.jobs = 4;
+  opts.enable_presolve = false;  // keep all rows alive for the LP
+  opts.lp.max_rows = 8;
+  MilpSolution s = MilpSolver(opts).Solve(m);
+  EXPECT_EQ(s.status, MilpStatus::kTooLarge);
+}
+
+TEST(MilpParallelTest, JobsZeroMeansHardwareParallelism) {
+  Model m;
+  VarId x = m.AddBinary("x");
+  m.AddConstraint({{x, 1.0}}, Sense::kGe, 1.0);
+  MilpOptions opts;
+  opts.jobs = 0;
+  MilpSolution s = MilpSolver(opts).Solve(m);
+  ASSERT_EQ(s.status, MilpStatus::kOptimal);
+  EXPECT_GE(s.stats.workers, 1);
+}
+
+// ---------------------------------------------------------------------
+// Figure-2 fixture: 1-job and 4-job runs must produce the same repair.
+// ---------------------------------------------------------------------
+
+TEST(MilpParallelTest, Figure2RepairIdenticalAcrossJobCounts) {
+  using test::PaperLog;
+  using test::TaxD0;
+  relational::QueryLog dirty_log = PaperLog(85700);
+  relational::QueryLog clean_log = PaperLog(87500);
+  relational::Database d0 = TaxD0();
+  relational::Database dirty = relational::ExecuteLog(dirty_log, d0);
+  relational::Database truth = relational::ExecuteLog(clean_log, d0);
+  provenance::ComplaintSet complaints =
+      provenance::DiffStates(dirty, truth);
+
+  auto repair_with_jobs = [&](int jobs) {
+    qfixcore::QFixOptions options;
+    options.milp.jobs = jobs;
+    qfixcore::QFixEngine engine(dirty_log, d0, dirty, complaints, options);
+    return engine.RepairIncremental(1);
+  };
+
+  auto serial = repair_with_jobs(1);
+  auto parallel = repair_with_jobs(4);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  EXPECT_TRUE(serial->verified);
+  EXPECT_TRUE(parallel->verified);
+  EXPECT_EQ(serial->changed_queries, parallel->changed_queries);
+  // Same optimal parameter distance, and the same repaired threshold
+  // after polishing — both runs prove optimality of the same objective.
+  EXPECT_NEAR(serial->distance, parallel->distance, 1e-6);
+  relational::ParamRef q1_where{relational::ParamRef::Kind::kWhereRhs, 0, 0};
+  EXPECT_NEAR(serial->log[0].GetParam(q1_where),
+              parallel->log[0].GetParam(q1_where), 1e-6);
+}
+
+}  // namespace
+}  // namespace milp
+}  // namespace qfix

@@ -50,6 +50,7 @@ struct CliOptions {
   std::string export_graph_path;
   size_t alternatives = 0;
   double time_limit = 120.0;
+  int jobs = 1;
 };
 
 void PrintUsage(const char* argv0) {
@@ -58,7 +59,7 @@ void PrintUsage(const char* argv0) {
       "usage: %s --d0 <initial.csv> --log <queries.sql> "
       "--complaints <c.csv>\n"
       "          [--table NAME] [--k N] [--basic] [--alternatives N]\n"
-      "          [--time-limit SECONDS] [--denoise]\n\n"
+      "          [--time-limit SECONDS] [--jobs N] [--denoise]\n\n"
       "  --d0          trusted initial state (CSV, header = attributes)\n"
       "  --log         executed query log (';'-separated SQL)\n"
       "  --complaints  complaint set (CSV: tid,alive,<attributes>)\n"
@@ -66,6 +67,8 @@ void PrintUsage(const char* argv0) {
       "  --k           incremental batch size (default: 1)\n"
       "  --basic       use Algorithm 1 (parameterize all queries)\n"
       "  --alternatives N  also print up to N ranked alternatives\n"
+      "  --jobs N      solver worker threads for parallel branch &\n"
+      "                bound (default 1 = serial; 0 = one per core)\n"
       "  --denoise     screen out outlier complaints first\n"
       "  --report      print the full diagnosis report (SQL diff,\n"
       "                per-complaint resolution, side effects)\n"
@@ -131,6 +134,8 @@ int main(int argc, char** argv) {
       opt.alternatives = next() ? std::strtoul(argv[i], nullptr, 10) : 0;
     } else if (arg == "--time-limit") {
       opt.time_limit = next() ? std::atof(argv[i]) : 120.0;
+    } else if (arg == "--jobs") {
+      opt.jobs = next() ? std::atoi(argv[i]) : 1;
     } else {
       PrintUsage(argv[0]);
       return 2;
@@ -199,6 +204,7 @@ int main(int argc, char** argv) {
 
   qfix::qfixcore::QFixOptions options;
   options.time_limit_seconds = opt.time_limit;
+  options.milp.jobs = opt.jobs;
   qfix::qfixcore::QFixEngine engine(*log, *d0, dirty, active, options);
 
   if (!opt.export_lp_path.empty() || !opt.export_mps_path.empty()) {
