@@ -1,0 +1,165 @@
+// Service throughput over real loopback HTTP: requests/sec for the
+// three request classes — health probes (protocol floor), sequential
+// diagnoses (one Figure-2 repair per request, the paper's Example-1
+// call-center shape), and concurrent diagnoses from several clients
+// sharing one registered dataset.
+//
+// Numbers are hardware-dependent: on a single-core container the
+// concurrent rows only measure scheduling overhead over the sequential
+// ones (same caveat as BENCH_milp); re-record on multi-core hardware
+// where the shared pool actually spreads the solves. The emitted table
+// is the checked-in baseline BENCH_service.json.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/json.h"
+#include "common/timer.h"
+#include "service/client.h"
+#include "service/server.h"
+
+using namespace qfix;
+
+namespace {
+
+constexpr const char* kTaxD0Csv =
+    "income,owed,pay\n"
+    "9500,950,8550\n"
+    "90000,22500,67500\n"
+    "86000,21500,64500\n"
+    "86500,21625,64875\n";
+
+constexpr const char* kTaxLogSql =
+    "UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700;\n"
+    "INSERT INTO Taxes VALUES (87000, 21750, 65250);\n"
+    "UPDATE Taxes SET pay = income - owed;\n";
+
+constexpr const char* kTaxComplaintsCsv =
+    "tid,alive,income,owed,pay\n"
+    "2,1,86000,21500,64500\n"
+    "3,1,86500,21625,64875\n";
+
+std::string DiagnoseBody() {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("dataset");
+  w.String("taxes");
+  w.Key("complaints_csv");
+  w.String(kTaxComplaintsCsv);
+  w.EndObject();
+  return w.str();
+}
+
+struct Load {
+  int requests = 0;
+  int errors = 0;
+  double seconds = 0.0;
+  double ReqPerSec() const {
+    return seconds > 0.0 ? requests / seconds : 0.0;
+  }
+};
+
+// Fires `total` requests from `clients` threads and aggregates.
+Load Drive(int port, const std::string& path, const std::string& body,
+           int clients, int total) {
+  Load out;
+  out.requests = total;
+  std::vector<std::thread> threads;
+  std::vector<int> errors(clients, 0);
+  WallTimer timer;
+  for (int c = 0; c < clients; ++c) {
+    int n = total / clients + (c < total % clients ? 1 : 0);
+    threads.emplace_back([port, &path, &body, n, c, &errors] {
+      for (int i = 0; i < n; ++i) {
+        auto r = body.empty()
+                     ? service::HttpGet("127.0.0.1", port, path)
+                     : service::HttpPost("127.0.0.1", port, path, body);
+        if (!r.ok() || r->status != 200) ++errors[c];
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  out.seconds = timer.ElapsedSeconds();
+  for (int e : errors) out.errors += e;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const int trials = bench::Trials();
+  const int health_n = bench::FullMode() ? 2000 : 400;
+  const int diag_n = bench::FullMode() ? 200 : 40;
+
+  service::ServerOptions options;
+  options.jobs = 2;
+  options.max_inflight = 32;
+  service::DiagnosisServer server(options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("name");
+    w.String("taxes");
+    w.Key("table");
+    w.String("Taxes");
+    w.Key("d0_csv");
+    w.String(kTaxD0Csv);
+    w.Key("log_sql");
+    w.String(kTaxLogSql);
+    w.EndObject();
+    auto reg = service::HttpPost("127.0.0.1", server.port(), "/v1/datasets",
+                                 w.str());
+    if (!reg.ok() || reg->status != 200) {
+      std::fprintf(stderr, "cannot register dataset\n");
+      return 1;
+    }
+  }
+
+  std::printf("loopback HTTP serving throughput (hardware threads: %u)\n\n",
+              std::thread::hardware_concurrency());
+
+  struct Config {
+    const char* name;
+    const char* path;
+    bool diagnose;
+    int clients;
+    int requests;
+  };
+  const Config configs[] = {
+      {"healthz-seq", "/v1/healthz", false, 1, health_n},
+      {"diagnose-seq", "/v1/diagnose", true, 1, diag_n},
+      {"diagnose-4client", "/v1/diagnose", true, 4, diag_n},
+  };
+
+  harness::Table table(
+      {"request", "clients", "requests", "req/s", "ms/req", "errors"});
+  const std::string diagnose_body = DiagnoseBody();
+  for (const Config& config : configs) {
+    double best_rps = 0.0;
+    int errors = 0;
+    for (int t = 0; t < trials; ++t) {
+      Load load = Drive(server.port(), config.path,
+                        config.diagnose ? diagnose_body : std::string(),
+                        config.clients, config.requests);
+      best_rps = std::max(best_rps, load.ReqPerSec());
+      errors += load.errors;
+    }
+    table.AddRow({config.name, harness::Table::Cell(double(config.clients)),
+                  harness::Table::Cell(double(config.requests)),
+                  harness::Table::Cell(best_rps),
+                  harness::Table::Cell(best_rps > 0 ? 1e3 / best_rps : 0.0),
+                  harness::Table::Cell(double(errors))});
+  }
+  bench::PrintAndExport(table, "service");
+
+  server.Stop();
+  return 0;
+}

@@ -149,4 +149,10 @@ void JsonWriter::Null() {
   out_ += "null";
 }
 
+void JsonWriter::Raw(std::string_view json) {
+  QFIX_CHECK(!json.empty()) << "Raw() with empty document";
+  BeforeValue();
+  out_.append(json.data(), json.size());
+}
+
 }  // namespace qfix

@@ -2,7 +2,8 @@
 //
 // Produces RFC 8259-conformant output for the library's machine-readable
 // reports (diagnosis JSON, tools integration). Writer-only by design: the
-// library never consumes JSON, so a parser would be dead weight.
+// library core never consumes JSON; the service front-end, which does,
+// has its own parser (service/json_value.h).
 //
 //   JsonWriter w;
 //   w.BeginObject();
@@ -43,6 +44,13 @@ class JsonWriter {
   void Double(double value);
   void Bool(bool value);
   void Null();
+
+  /// Splices `json` — which must itself be one complete, valid JSON
+  /// value — verbatim as the next value. Lets composite documents embed
+  /// pre-rendered sub-documents (e.g. a report_json rendering inside a
+  /// service response) without reparsing. The caller vouches for
+  /// validity; nothing is checked beyond non-emptiness.
+  void Raw(std::string_view json);
 
   /// The document so far. Valid once every Begin has been matched.
   const std::string& str() const { return out_; }

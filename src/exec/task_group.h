@@ -54,7 +54,10 @@ class TaskGroup {
     return cancel_.cancelled() || parent_.cancelled();
   }
 
-  /// Token for group tasks to poll (also reflects the parent token).
+  /// Token for group tasks to poll. Fires on Cancel() or a task
+  /// failure; parent-token cancellation is folded in lazily (observed
+  /// at the next Spawn), so poll cancelled() when the parent must be
+  /// seen promptly.
   CancellationToken token() const { return cancel_.token(); }
 
  private:

@@ -1,10 +1,10 @@
 #include "io/csv.h"
 
-#include <cstdlib>
 #include <sstream>
 #include <vector>
 
 #include "common/strings.h"
+#include "io/parse_common.h"
 
 namespace qfix {
 namespace io {
@@ -32,13 +32,7 @@ std::vector<std::string> SplitLine(const std::string& line) {
 }
 
 Result<double> ParseNumber(const std::string& cell, size_t line_no) {
-  char* end = nullptr;
-  double v = std::strtod(cell.c_str(), &end);
-  if (cell.empty() || end == nullptr || *end != '\0') {
-    return Status::InvalidArgument(StringPrintf(
-        "line %zu: '%s' is not a number", line_no, cell.c_str()));
-  }
-  return v;
+  return internal::ParseFiniteNumber(cell, "CSV", line_no);
 }
 
 }  // namespace
@@ -54,9 +48,7 @@ Result<relational::Database> DatabaseFromCsv(std::string_view csv,
   }
   ++line_no;
   std::vector<std::string> names = SplitLine(line);
-  if (names.empty() || names[0].empty()) {
-    return Status::InvalidArgument("CSV header has no attribute names");
-  }
+  QFIX_RETURN_IF_ERROR(internal::ValidateAttrNames(names, "CSV"));
   relational::Database db(relational::Schema(names), std::move(table_name));
 
   while (std::getline(in, line)) {
@@ -128,7 +120,8 @@ Result<provenance::ComplaintSet> ComplaintsFromCsv(std::string_view csv,
     QFIX_ASSIGN_OR_RETURN(double tid, ParseNumber(cells[0], line_no));
     QFIX_ASSIGN_OR_RETURN(double alive, ParseNumber(cells[1], line_no));
     provenance::Complaint c;
-    c.tid = static_cast<int64_t>(tid);
+    QFIX_ASSIGN_OR_RETURN(c.tid,
+                          internal::TidFromDouble(tid, "CSV", line_no));
     c.target_alive = alive != 0.0;
     if (c.target_alive) {
       for (size_t a = 0; a < schema.num_attrs(); ++a) {

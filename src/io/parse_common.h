@@ -1,0 +1,108 @@
+// Shared input-hardening helpers for the io text readers (csv.cc,
+// snapshot.cc). Internal to src/io — both parsers face raw network
+// bytes through the service, and keeping one copy of the rules stops
+// the CSV and snapshot paths of POST /v1/datasets from drifting apart
+// (same field caps, same NUL/non-finite handling, same header
+// validation).
+#ifndef QFIX_IO_PARSE_COMMON_H_
+#define QFIX_IO_PARSE_COMMON_H_
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/strings.h"
+
+namespace qfix {
+namespace io {
+namespace internal {
+
+// Hard caps on untrusted input: no real workload has numbers longer
+// than a few dozen characters, attribute names longer than a line, or
+// millions of columns — anything beyond bounces as a Status instead of
+// growing unbounded state.
+constexpr size_t kMaxFieldBytes = 512;
+constexpr size_t kMaxAttrs = 16384;
+
+/// Parses one numeric field completely. `what` names the document kind
+/// for error messages ("CSV", "snapshot"). Rejects empty and oversized
+/// fields, trailing bytes (the end-pointer comparison against c_str()
+/// catches embedded NUL bytes, which strtod would silently treat as a
+/// terminator), and non-finite values.
+inline Result<double> ParseFiniteNumber(const std::string& field,
+                                        const char* what, size_t line_no) {
+  if (field.empty() || field.size() > kMaxFieldBytes) {
+    return Status::InvalidArgument(StringPrintf(
+        "%s line %zu: numeric field is empty or longer than %zu bytes",
+        what, line_no, kMaxFieldBytes));
+  }
+  char* end = nullptr;
+  double v = std::strtod(field.c_str(), &end);
+  if (end != field.c_str() + field.size()) {
+    return Status::InvalidArgument(StringPrintf(
+        "%s line %zu: '%s' is not a number", what, line_no,
+        field.c_str()));
+  }
+  if (!std::isfinite(v)) {
+    return Status::InvalidArgument(StringPrintf(
+        "%s line %zu: non-finite value '%s'", what, line_no,
+        field.c_str()));
+  }
+  return v;
+}
+
+/// Range-checks a parsed tid before the double -> int64 cast (casting
+/// an out-of-range double is undefined behavior, not an error value).
+inline Result<int64_t> TidFromDouble(double tid, const char* what,
+                                     size_t line_no) {
+  if (tid < 0.0 || tid > 1e15 || tid != std::floor(tid)) {
+    return Status::InvalidArgument(StringPrintf(
+        "%s line %zu: tid %g is not a non-negative integer", what,
+        line_no, tid));
+  }
+  return static_cast<int64_t>(tid);
+}
+
+/// Header names must be usable as Schema attributes: non-empty, unique,
+/// bounded, and free of control bytes. Duplicates would otherwise trip
+/// the Schema constructor's QFIX_CHECK — a crash, which untrusted bytes
+/// must never cause.
+inline Status ValidateAttrNames(const std::vector<std::string>& names,
+                                const char* what) {
+  if (names.empty()) {
+    return Status::InvalidArgument(
+        StringPrintf("%s header has no attribute names", what));
+  }
+  if (names.size() > kMaxAttrs) {
+    return Status::InvalidArgument(StringPrintf(
+        "%s header declares %zu attributes (limit %zu)", what,
+        names.size(), kMaxAttrs));
+  }
+  std::unordered_set<std::string> seen;
+  for (const std::string& name : names) {
+    if (name.empty() || name.size() > kMaxFieldBytes) {
+      return Status::InvalidArgument(StringPrintf(
+          "%s header: attribute name is empty or oversized", what));
+    }
+    for (char c : name) {
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Status::InvalidArgument(StringPrintf(
+            "%s header: attribute name contains control bytes", what));
+      }
+    }
+    if (!seen.insert(name).second) {
+      return Status::InvalidArgument(StringPrintf(
+          "%s header: duplicate attribute name: %s", what, name.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace internal
+}  // namespace io
+}  // namespace qfix
+
+#endif  // QFIX_IO_PARSE_COMMON_H_

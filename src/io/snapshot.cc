@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "io/parse_common.h"
 
 namespace qfix {
 namespace io {
@@ -47,14 +48,7 @@ std::vector<std::string> SplitFields(std::string_view line) {
 }
 
 Result<double> ParseNumber(const std::string& field, size_t line_no) {
-  char* end = nullptr;
-  double v = std::strtod(field.c_str(), &end);
-  if (end == nullptr || *end != '\0' || field.empty()) {
-    return Status::InvalidArgument(StringPrintf(
-        "snapshot: malformed number '%s' on line %zu", field.c_str(),
-        line_no));
-  }
-  return v;
+  return internal::ParseFiniteNumber(field, "snapshot", line_no);
 }
 
 }  // namespace
@@ -118,6 +112,7 @@ Result<relational::Database> ReadSnapshot(std::string_view text) {
   }
   std::vector<std::string> attr_names(attrs_line.begin() + 1,
                                       attrs_line.end());
+  QFIX_RETURN_IF_ERROR(internal::ValidateAttrNames(attr_names, "snapshot"));
   size_t num_attrs = attr_names.size();
 
   relational::Database db(relational::Schema(std::move(attr_names)),
@@ -139,7 +134,8 @@ Result<relational::Database> ReadSnapshot(std::string_view text) {
           fields.size() - 3, num_attrs, li));
     }
     QFIX_ASSIGN_OR_RETURN(double tid_value, ParseNumber(fields[1], li));
-    int64_t tid = static_cast<int64_t>(tid_value);
+    QFIX_ASSIGN_OR_RETURN(int64_t tid,
+                          internal::TidFromDouble(tid_value, "snapshot", li));
     if (tid != static_cast<int64_t>(db.NumSlots())) {
       return Status::InvalidArgument(StringPrintf(
           "snapshot: tid %lld out of order on line %zu (expected %zu)",

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 #include <mutex>
+#include <optional>
 #include <utility>
 
 #include "common/logging.h"
@@ -60,9 +61,10 @@ class SharedSearch {
   }
 
   /// Claims one node against the global budget. Returns false (and
-  /// latches the limit) when the deadline or node budget is exhausted.
+  /// latches the limit) when the deadline or node budget is exhausted
+  /// or an external caller (service shutdown) cancelled the solve.
   bool TakeNode() {
-    if (deadline_.Expired() ||
+    if (deadline_.Expired() || options_.cancel.cancelled() ||
         nodes_.load(std::memory_order_relaxed) >= options_.max_nodes) {
       SetLimitHit();
       return false;
@@ -464,6 +466,12 @@ class SubtreeWorker {
 };
 
 int NormalizedJobs(const MilpOptions& options) {
+  // A caller-owned pool dictates the parallelism: its worker count is
+  // what the search can actually use (a deterministic pool has zero
+  // workers, which selects the serial search).
+  if (options.pool != nullptr) {
+    return std::max(options.pool->num_workers(), 1);
+  }
   if (options.jobs == 0) return exec::ThreadPool::DefaultParallelism();
   return std::max(options.jobs, 1);
 }
@@ -520,8 +528,15 @@ MilpSolution MilpSolver::Solve(const Model& model) const {
     SubtreeWorker worker(shared, /*group=*/nullptr);
     worker.Search(std::move(domains), /*try_rounding=*/true);
   } else {
-    exec::ThreadPool pool(options.jobs);
-    exec::TaskGroup group(&pool, shared.token());
+    // Reuse the caller's pool when one was provided; otherwise build a
+    // private one for this call (the original owning path).
+    std::optional<exec::ThreadPool> owned;
+    exec::ThreadPool* pool = options.pool;
+    if (pool == nullptr) {
+      owned.emplace(options.jobs);
+      pool = &*owned;
+    }
+    exec::TaskGroup group(pool, shared.token());
     shared.TaskStarted();
     group.Spawn([&shared, &group, root = std::move(domains)]() mutable {
       SubtreeWorker worker(shared, &group);

@@ -14,10 +14,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/cancellation.h"
 #include "milp/model.h"
 #include "milp/simplex.h"
 
 namespace qfix {
+namespace exec {
+class ThreadPool;
+}  // namespace exec
 namespace milp {
 
 enum class MilpStatus {
@@ -127,6 +131,18 @@ struct MilpOptions {
   /// order, so node counts vary run to run, but proven-optimal
   /// objectives are identical to the serial search.
   int jobs = 1;
+  /// Optional caller-owned pool the parallel search runs on instead of
+  /// building (and tearing down) its own — the thread-churn fix for
+  /// callers that issue many solves per request (incremental diagnosis,
+  /// the batch service). Non-owning; must outlive the Solve() call. When
+  /// set, `jobs` is ignored: parallelism follows the pool's worker count,
+  /// and a deterministic (<= 0 workers) pool runs the serial search.
+  exec::ThreadPool* pool = nullptr;
+  /// External cancellation, polled at node boundaries like the time
+  /// limit (a cancelled search reports kTimeLimit/kFeasible). Lets a
+  /// service shut down without waiting out in-flight solves. The
+  /// default token never fires.
+  exec::CancellationToken cancel;
   SimplexOptions lp;
 };
 

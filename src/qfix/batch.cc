@@ -34,10 +34,21 @@ std::vector<Result<Repair>> BatchDiagnoser::Run(
   Deadline deadline = Deadline::AfterSeconds(options_.time_limit_seconds);
   exec::CancellationSource batch_cancel;
 
-  exec::ThreadPool pool(options_.jobs);
-  exec::TaskGroup group(&pool, batch_cancel.token());
+  // Reuse the caller's pool when one was provided; otherwise build a
+  // private one for this call (the original owning path).
+  std::optional<exec::ThreadPool> owned;
+  exec::ThreadPool* pool = options_.pool;
+  if (pool == nullptr) {
+    owned.emplace(options_.jobs);
+    pool = &*owned;
+  }
+  exec::TaskGroup group(pool, batch_cancel.token());
   for (size_t i = 0; i < items.size(); ++i) {
-    group.Spawn([&items, &slots, &deadline, &batch_cancel, i] {
+    group.Spawn([this, &items, &slots, &deadline, &batch_cancel, i] {
+      if (options_.cancel.cancelled()) {
+        slots[i] = Status::ResourceExhausted("batch cancelled");
+        return;
+      }
       if (batch_cancel.cancelled() || deadline.Expired()) {
         batch_cancel.Cancel();
         slots[i] = Status::ResourceExhausted("batch time limit reached");

@@ -14,12 +14,16 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/cancellation.h"
 #include "provenance/complaint.h"
 #include "qfix/qfix.h"
 #include "relational/database.h"
 #include "relational/query.h"
 
 namespace qfix {
+namespace exec {
+class ThreadPool;
+}  // namespace exec
 namespace qfixcore {
 
 /// One independent diagnosis request.
@@ -47,6 +51,15 @@ struct BatchOptions {
   /// when it expires fail with ResourceExhausted instead of running.
   /// <= 0 disables (each item still honors its own per-item limit).
   double time_limit_seconds = 0.0;
+  /// Optional caller-owned pool the batch runs on instead of building
+  /// one per Run() call — a long-lived service shares one pool across
+  /// every request instead of churning threads. Non-owning; must outlive
+  /// Run(). When set, `jobs` is ignored.
+  exec::ThreadPool* pool = nullptr;
+  /// External cancellation (e.g. service shutdown): items that have not
+  /// started when the token fires fail with ResourceExhausted instead of
+  /// running. Default-constructed tokens never fire.
+  exec::CancellationToken cancel;
 };
 
 /// Diagnoses every item and returns one Result per item, in input

@@ -1,0 +1,187 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strings.h"
+#include "common/timer.h"
+
+namespace qfix {
+namespace service {
+
+namespace {
+
+Result<HttpResponse> Roundtrip(const std::string& host, int port,
+                               const std::string& request_bytes,
+                               double timeout_seconds) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StringPrintf("socket(): %s", strerror(errno)));
+  }
+
+  timeval tv;
+  tv.tv_sec = 0;
+  tv.tv_usec = 200 * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  // Non-blocking connect bounded by the caller's timeout — a plain
+  // ::connect to a dropped-SYN host would otherwise block for the
+  // kernel's full retry period (minutes) regardless of timeout_seconds.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    Status s = Status::Internal(StringPrintf(
+        "connect(%s:%d): %s", host.c_str(), port, strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  if (rc != 0) {
+    pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    int ready = ::poll(&pfd, 1,
+                       static_cast<int>(timeout_seconds * 1e3));
+    int so_error = 0;
+    socklen_t so_len = sizeof(so_error);
+    if (ready > 0) {
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len);
+    }
+    if (ready <= 0 || so_error != 0) {
+      Status s = ready <= 0
+                     ? Status::ResourceExhausted(StringPrintf(
+                           "connect(%s:%d) timed out", host.c_str(), port))
+                     : Status::Internal(StringPrintf(
+                           "connect(%s:%d): %s", host.c_str(), port,
+                           strerror(so_error)));
+      ::close(fd);
+      return s;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+
+  size_t sent = 0;
+  while (sent < request_bytes.size()) {
+    ssize_t n = ::send(fd, request_bytes.data() + sent,
+                       request_bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = Status::Internal(StringPrintf("send(): %s",
+                                               strerror(errno)));
+      ::close(fd);
+      return s;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+
+  // Connection: close — the response is everything until EOF.
+  std::string raw;
+  Deadline deadline = Deadline::AfterSeconds(timeout_seconds);
+  char buf[8192];
+  while (true) {
+    if (deadline.Expired()) {
+      ::close(fd);
+      return Status::ResourceExhausted("HTTP response not received in time");
+    }
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      Status s = Status::Internal(StringPrintf("recv(): %s",
+                                               strerror(errno)));
+      ::close(fd);
+      return s;
+    }
+    if (n == 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return ParseHttpResponse(raw);
+}
+
+std::string BuildRequest(const char* method, const std::string& host,
+                         int port, const std::string& path,
+                         const std::string& body) {
+  std::string out = StringPrintf("%s %s HTTP/1.1\r\n", method, path.c_str());
+  out += StringPrintf("Host: %s:%d\r\n", host.c_str(), port);
+  if (!body.empty()) {
+    out += "Content-Type: application/json\r\n";
+  }
+  out += StringPrintf("Content-Length: %zu\r\n", body.size());
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+Result<HttpResponse> HttpPost(const std::string& host, int port,
+                              const std::string& path,
+                              const std::string& body,
+                              double timeout_seconds) {
+  return Roundtrip(host, port, BuildRequest("POST", host, port, path, body),
+                   timeout_seconds);
+}
+
+Result<HttpResponse> HttpGet(const std::string& host, int port,
+                             const std::string& path,
+                             double timeout_seconds) {
+  return Roundtrip(host, port, BuildRequest("GET", host, port, path, ""),
+                   timeout_seconds);
+}
+
+Result<HostPort> ParseUrl(std::string_view url) {
+  std::string_view rest = url;
+  const std::string_view scheme = "http://";
+  if (rest.substr(0, scheme.size()) == scheme) {
+    rest.remove_prefix(scheme.size());
+  } else if (rest.find("://") != std::string_view::npos) {
+    return Status::InvalidArgument("only http:// URLs are supported");
+  }
+  // Strip any path suffix.
+  size_t slash = rest.find('/');
+  if (slash != std::string_view::npos) rest = rest.substr(0, slash);
+  size_t colon = rest.rfind(':');
+  if (colon == std::string_view::npos || colon + 1 >= rest.size()) {
+    return Status::InvalidArgument(
+        "URL must name an explicit port: http://HOST:PORT");
+  }
+  HostPort out;
+  out.host = std::string(rest.substr(0, colon));
+  std::string port_str(rest.substr(colon + 1));
+  char* end = nullptr;
+  long port = std::strtol(port_str.c_str(), &end, 10);
+  if (end != port_str.c_str() + port_str.size() || port < 1 ||
+      port > 65535) {
+    return Status::InvalidArgument("invalid port: " + port_str);
+  }
+  out.port = static_cast<int>(port);
+  if (out.host.empty()) {
+    return Status::InvalidArgument("URL has an empty host");
+  }
+  if (out.host == "localhost") out.host = "127.0.0.1";
+  return out;
+}
+
+}  // namespace service
+}  // namespace qfix

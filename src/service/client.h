@@ -1,0 +1,40 @@
+// Minimal blocking HTTP/1.1 client for driving a DiagnosisServer:
+// `qfix_cli --client` smoke runs, the end-to-end tests, and the
+// loopback throughput bench. One request per connection, mirroring the
+// server's Connection: close semantics.
+#ifndef QFIX_SERVICE_CLIENT_H_
+#define QFIX_SERVICE_CLIENT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "service/http.h"
+
+namespace qfix {
+namespace service {
+
+/// POSTs `body` (application/json) to http://host:port/path and returns
+/// the parsed response. Fails with InvalidArgument/Internal on socket
+/// or protocol errors; HTTP error statuses are returned, not errors.
+Result<HttpResponse> HttpPost(const std::string& host, int port,
+                              const std::string& path,
+                              const std::string& body,
+                              double timeout_seconds = 30.0);
+
+/// GETs http://host:port/path.
+Result<HttpResponse> HttpGet(const std::string& host, int port,
+                             const std::string& path,
+                             double timeout_seconds = 30.0);
+
+/// Splits "http://HOST:PORT" (scheme optional) into host and port.
+struct HostPort {
+  std::string host;
+  int port = 0;
+};
+Result<HostPort> ParseUrl(std::string_view url);
+
+}  // namespace service
+}  // namespace qfix
+
+#endif  // QFIX_SERVICE_CLIENT_H_

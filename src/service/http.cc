@@ -1,0 +1,272 @@
+#include "service/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace qfix {
+namespace service {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Splits `head` into lines, accepting both CRLF and bare LF endings
+// (curl and the tests send CRLF; hand-rolled smoke clients often LF).
+std::vector<std::string_view> SplitHeadLines(std::string_view head) {
+  std::vector<std::string_view> lines;
+  size_t pos = 0;
+  while (pos < head.size()) {
+    size_t eol = head.find('\n', pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view line = head.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    lines.push_back(line);
+    pos = eol + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+std::string_view HttpRequest::path() const {
+  std::string_view t = target;
+  size_t q = t.find('?');
+  return q == std::string_view::npos ? t : t.substr(0, q);
+}
+
+std::string_view HttpRequest::query() const {
+  std::string_view t = target;
+  size_t q = t.find('?');
+  return q == std::string_view::npos ? std::string_view() : t.substr(q + 1);
+}
+
+HttpRequestParser::State HttpRequestParser::Fail(int http_status,
+                                                 std::string message) {
+  state_ = State::kError;
+  error_status_ = http_status;
+  error_ = std::move(message);
+  buffer_.clear();
+  return state_;
+}
+
+HttpRequestParser::State HttpRequestParser::ParseHead() {
+  // buffer_ holds the head (without the blank line) at this point.
+  std::vector<std::string_view> lines = SplitHeadLines(buffer_);
+  if (lines.empty() || lines[0].empty()) {
+    return Fail(400, "empty request line");
+  }
+  std::string_view req_line = lines[0];
+  size_t sp1 = req_line.find(' ');
+  size_t sp2 = sp1 == std::string_view::npos
+                   ? std::string_view::npos
+                   : req_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return Fail(400, "malformed request line");
+  }
+  request_.method = std::string(req_line.substr(0, sp1));
+  request_.target = std::string(req_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request_.version = std::string(req_line.substr(sp2 + 1));
+  if (request_.method.empty() || request_.target.empty() ||
+      request_.target[0] != '/') {
+    return Fail(400, "malformed request target");
+  }
+  if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
+    return Fail(400, "unsupported HTTP version: " + request_.version);
+  }
+
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    size_t colon = lines[i].find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Fail(400, "malformed header line");
+    }
+    std::string_view name = Trim(lines[i].substr(0, colon));
+    std::string_view value = Trim(lines[i].substr(colon + 1));
+    request_.headers.emplace_back(std::string(name), std::string(value));
+  }
+
+  if (request_.FindHeader("Transfer-Encoding") != nullptr) {
+    return Fail(501, "chunked transfer encoding is not supported");
+  }
+  body_expected_ = 0;
+  if (const std::string* cl = request_.FindHeader("Content-Length")) {
+    // Digits only: strtoull would silently wrap a leading '-' (and
+    // accept '+'), turning "-1" into a huge value that reads as 413
+    // instead of the 400 a malformed header deserves.
+    if (cl->empty() ||
+        !std::all_of(cl->begin(), cl->end(),
+                     [](unsigned char c) { return c >= '0' && c <= '9'; })) {
+      return Fail(400, "malformed Content-Length: " + *cl);
+    }
+    char* end = nullptr;
+    unsigned long long n = std::strtoull(cl->c_str(), &end, 10);
+    if (end != cl->c_str() + cl->size()) {
+      return Fail(400, "malformed Content-Length: " + *cl);
+    }
+    if (n > limits_.max_body_bytes) {
+      return Fail(413, StringPrintf("body of %llu bytes exceeds the %zu "
+                                    "byte limit",
+                                    n, limits_.max_body_bytes));
+    }
+    body_expected_ = static_cast<size_t>(n);
+  }
+  head_done_ = true;
+  buffer_.clear();
+  return State::kNeedMore;
+}
+
+HttpRequestParser::State HttpRequestParser::Feed(std::string_view bytes) {
+  if (state_ != State::kNeedMore) return state_;
+  buffer_.append(bytes.data(), bytes.size());
+
+  if (!head_done_) {
+    // Find the blank line on CRLF or LF conventions — whichever comes
+    // FIRST: an LF-terminated head may be followed in the same segment
+    // by a body that happens to contain "\r\n\r\n".
+    size_t crlf = buffer_.find("\r\n\r\n");
+    size_t lf = buffer_.find("\n\n");
+    size_t head_end;
+    size_t sep;
+    if (crlf != std::string::npos && (lf == std::string::npos || crlf < lf)) {
+      head_end = crlf;
+      sep = 4;
+    } else {
+      head_end = lf;
+      sep = 2;
+    }
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_head_bytes) {
+        return Fail(431, StringPrintf("request head exceeds %zu bytes",
+                                      limits_.max_head_bytes));
+      }
+      return State::kNeedMore;
+    }
+    if (head_end > limits_.max_head_bytes) {
+      return Fail(431, StringPrintf("request head exceeds %zu bytes",
+                                    limits_.max_head_bytes));
+    }
+    std::string rest = buffer_.substr(head_end + sep);
+    buffer_.resize(head_end);
+    State s = ParseHead();
+    if (s == State::kError) return s;
+    buffer_ = std::move(rest);
+  }
+
+  if (buffer_.size() >= body_expected_) {
+    request_.body = buffer_.substr(0, body_expected_);
+    // Bytes beyond Content-Length would be a pipelined second request;
+    // with Connection: close semantics they are simply ignored.
+    buffer_.clear();
+    state_ = State::kComplete;
+  }
+  return state_;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string HttpResponse::Serialize() const {
+  std::string out = StringPrintf("HTTP/1.1 %d %s\r\n", status,
+                                 ReasonPhrase(status));
+  bool have_type = false;
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, "Content-Type")) have_type = true;
+    out += key;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  if (!have_type) out += "Content-Type: application/json\r\n";
+  out += StringPrintf("Content-Length: %zu\r\n", body.size());
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+Result<HttpResponse> ParseHttpResponse(std::string_view raw) {
+  size_t head_end = raw.find("\r\n\r\n");
+  size_t sep = 4;
+  if (head_end == std::string_view::npos) {
+    head_end = raw.find("\n\n");
+    sep = 2;
+  }
+  if (head_end == std::string_view::npos) {
+    return Status::InvalidArgument("HTTP response has no header terminator");
+  }
+  std::vector<std::string_view> lines =
+      SplitHeadLines(raw.substr(0, head_end));
+  if (lines.empty()) {
+    return Status::InvalidArgument("empty HTTP response head");
+  }
+  // Status line: HTTP/1.1 <code> <reason...>
+  std::string_view status_line = lines[0];
+  size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string_view::npos ||
+      status_line.substr(0, 5) != "HTTP/") {
+    return Status::InvalidArgument("malformed HTTP status line");
+  }
+  std::string code_str(Trim(status_line.substr(sp1 + 1, 3)));
+  char* end = nullptr;
+  long code = std::strtol(code_str.c_str(), &end, 10);
+  if (code_str.empty() || end != code_str.c_str() + code_str.size() ||
+      code < 100 || code > 599) {
+    return Status::InvalidArgument("malformed HTTP status code");
+  }
+  HttpResponse out;
+  out.status = static_cast<int>(code);
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    size_t colon = lines[i].find(':');
+    if (colon == std::string_view::npos) continue;
+    out.headers.emplace_back(std::string(Trim(lines[i].substr(0, colon))),
+                             std::string(Trim(lines[i].substr(colon + 1))));
+  }
+  out.body = std::string(raw.substr(head_end + sep));
+  return out;
+}
+
+}  // namespace service
+}  // namespace qfix

@@ -1,0 +1,109 @@
+// Minimal HTTP/1.1 message layer for the embedded diagnosis server.
+//
+// Dependency-free by design (the container bakes in no HTTP library,
+// and the service only needs the request/response subset the paper's
+// Example-1 workflow exercises): one request per connection, explicit
+// Content-Length bodies, `Connection: close` semantics. Keep-alive,
+// chunked transfer, and TLS are deliberately out of scope — the ROADMAP
+// lists them as proxy-layer follow-ons.
+//
+// The parser is incremental: the server feeds it whatever recv() hands
+// back and asks "complete yet?", so slow clients and pipelined bytes in
+// one segment both work. Limits are enforced while bytes arrive, never
+// after, so an oversized header or body stops accumulating immediately
+// (the server answers 431/413 instead of buffering garbage).
+#ifndef QFIX_SERVICE_HTTP_H_
+#define QFIX_SERVICE_HTTP_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace qfix {
+namespace service {
+
+/// One parsed HTTP request.
+struct HttpRequest {
+  std::string method;   // uppercase, e.g. "POST"
+  std::string target;   // as sent, e.g. "/v1/diagnose?verbose=1"
+  std::string version;  // "HTTP/1.1" or "HTTP/1.0"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Header value by case-insensitive name, or nullptr.
+  const std::string* FindHeader(std::string_view name) const;
+  /// `target` up to (not including) the first '?'.
+  std::string_view path() const;
+  /// Everything after the first '?', or empty.
+  std::string_view query() const;
+};
+
+/// Byte budgets for one request.
+struct HttpLimits {
+  /// Request line + headers.
+  size_t max_head_bytes = 64 * 1024;
+  /// Declared Content-Length.
+  size_t max_body_bytes = 8 * 1024 * 1024;
+};
+
+/// Incremental request parser. Feed() bytes as they arrive; once it
+/// returns kComplete, request() holds the message. On kError,
+/// error_status() names the HTTP status the server should answer with
+/// (400/413/431/501) and error() the diagnostic.
+class HttpRequestParser {
+ public:
+  explicit HttpRequestParser(HttpLimits limits = HttpLimits())
+      : limits_(limits) {}
+
+  enum class State { kNeedMore, kComplete, kError };
+
+  /// Consumes `bytes`; cheap to call with partial input. Calling after
+  /// kComplete/kError returns the settled state unchanged.
+  State Feed(std::string_view bytes);
+
+  State state() const { return state_; }
+  const HttpRequest& request() const { return request_; }
+  /// Suggested HTTP response status for a kError outcome.
+  int error_status() const { return error_status_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  State Fail(int http_status, std::string message);
+  State ParseHead();
+
+  HttpLimits limits_;
+  State state_ = State::kNeedMore;
+  std::string buffer_;
+  bool head_done_ = false;
+  size_t body_expected_ = 0;
+  HttpRequest request_;
+  int error_status_ = 400;
+  std::string error_;
+};
+
+/// One response to serialize. `Serialize()` fills in Content-Length,
+/// Connection: close, and a Content-Type of application/json unless the
+/// headers already carry one.
+struct HttpResponse {
+  int status = 200;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  std::string Serialize() const;
+};
+
+/// Standard reason phrase for the status codes the service emits;
+/// "Unknown" otherwise.
+const char* ReasonPhrase(int status);
+
+/// Parses a complete HTTP response (head + body as read until EOF under
+/// Connection: close). Used by the loopback client.
+Result<HttpResponse> ParseHttpResponse(std::string_view raw);
+
+}  // namespace service
+}  // namespace qfix
+
+#endif  // QFIX_SERVICE_HTTP_H_

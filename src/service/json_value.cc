@@ -1,0 +1,371 @@
+#include "service/json_value.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace qfix {
+namespace service {
+
+bool JsonValue::AsBool() const {
+  QFIX_CHECK(is_bool()) << "AsBool on non-bool JSON value";
+  return bool_;
+}
+
+double JsonValue::AsNumber() const {
+  QFIX_CHECK(is_number()) << "AsNumber on non-number JSON value";
+  return number_;
+}
+
+const std::string& JsonValue::AsString() const {
+  QFIX_CHECK(is_string()) << "AsString on non-string JSON value";
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  QFIX_CHECK(is_array()) << "AsArray on non-array JSON value";
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::AsObject()
+    const {
+  QFIX_CHECK(is_object()) << "AsObject on non-object JSON value";
+  return members_;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Result<double> JsonValue::NumberOr(std::string_view key,
+                                   double fallback) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    return Status::InvalidArgument(StringPrintf(
+        "request field '%.*s' must be a number",
+        static_cast<int>(key.size()), key.data()));
+  }
+  return v->AsNumber();
+}
+
+Result<bool> JsonValue::BoolOr(std::string_view key, bool fallback) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_bool()) {
+    return Status::InvalidArgument(StringPrintf(
+        "request field '%.*s' must be a boolean",
+        static_cast<int>(key.size()), key.data()));
+  }
+  return v->AsBool();
+}
+
+Result<std::string> JsonValue::RequiredString(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_string()) {
+    return Status::InvalidArgument(StringPrintf(
+        "request field '%.*s' is required and must be a string",
+        static_cast<int>(key.size()), key.data()));
+  }
+  return v->AsString();
+}
+
+JsonValue JsonValue::MakeNull() { return JsonValue(); }
+JsonValue JsonValue::MakeBool(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+JsonValue JsonValue::MakeNumber(double v) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.number_ = v;
+  return out;
+}
+JsonValue JsonValue::MakeString(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> items) {
+  JsonValue out;
+  out.kind_ = Kind::kArray;
+  out.items_ = std::move(items);
+  return out;
+}
+JsonValue JsonValue::MakeObject(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue out;
+  out.kind_ = Kind::kObject;
+  out.members_ = std::move(members);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view with an explicit cursor.
+class Parser {
+ public:
+  Parser(std::string_view text, size_t max_depth, size_t max_nodes)
+      : text_(text), max_depth_(max_depth), max_nodes_(max_nodes) {}
+
+  Result<JsonValue> Parse() {
+    QFIX_ASSIGN_OR_RETURN(JsonValue v, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        StringPrintf("JSON parse error at byte %zu: %s", pos_,
+                     what.c_str()));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeLiteral(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Result<JsonValue> ParseValue(size_t depth) {
+    if (depth > max_depth_) return Error("nesting too deep");
+    // Each parsed value costs sizeof(JsonValue) (~100 bytes), so a
+    // body of "[1,1,1,...]" would amplify its own size ~50x in memory;
+    // the node budget keeps one request's transient footprint bounded.
+    if (++nodes_ > max_nodes_) return Error("too many values");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(depth);
+      case '[': return ParseArray(depth);
+      case '"': {
+        QFIX_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue::MakeString(std::move(s));
+      }
+      case 't':
+        if (ConsumeLiteral("true")) return JsonValue::MakeBool(true);
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return JsonValue::MakeBool(false);
+        return Error("invalid literal");
+      case 'n':
+        if (ConsumeLiteral("null")) return JsonValue::MakeNull();
+        return Error("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseObject(size_t depth) {
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, JsonValue>> members;
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return JsonValue::MakeObject(std::move(members));
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      QFIX_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Error("expected ':' after object key");
+      }
+      ++pos_;
+      QFIX_ASSIGN_OR_RETURN(JsonValue v, ParseValue(depth + 1));
+      members.emplace_back(std::move(key), std::move(v));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Error("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return JsonValue::MakeObject(std::move(members));
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray(size_t depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return JsonValue::MakeArray(std::move(items));
+    }
+    while (true) {
+      QFIX_ASSIGN_OR_RETURN(JsonValue v, ParseValue(depth + 1));
+      items.push_back(std::move(v));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Error("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return JsonValue::MakeArray(std::move(items));
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  // Appends the UTF-8 encoding of `cp` to `out`.
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + i];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid \\u escape digit");
+      }
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          QFIX_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00-\uDFFF.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("unpaired high surrogate");
+            }
+            pos_ += 2;
+            QFIX_ASSIGN_OR_RETURN(uint32_t lo, ParseHex4());
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          }
+          AppendUtf8(cp, &out);
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+            text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a JSON value");
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(v)) {
+      return Error("malformed number '" + token + "'");
+    }
+    return JsonValue::MakeNumber(v);
+  }
+
+  std::string_view text_;
+  size_t max_depth_;
+  size_t max_nodes_;
+  size_t nodes_ = 0;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text, size_t max_depth,
+                            size_t max_nodes) {
+  Parser parser(text, max_depth, max_nodes);
+  return parser.Parse();
+}
+
+}  // namespace service
+}  // namespace qfix

@@ -1,0 +1,90 @@
+// Minimal JSON document parser for the service's request bodies.
+//
+// The library core stays writer-only (common/json.h renders reports);
+// consuming JSON is a service concern, so the parser lives here. It
+// accepts RFC 8259 documents — objects, arrays, strings with escapes
+// (including \uXXXX and surrogate pairs), numbers, booleans, null —
+// with a recursion-depth cap, and rejects trailing garbage. All numbers
+// are doubles, matching the data model (§3.1: every attribute is
+// numeric).
+#ifndef QFIX_SERVICE_JSON_VALUE_H_
+#define QFIX_SERVICE_JSON_VALUE_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace qfix {
+namespace service {
+
+/// One parsed JSON value. A tagged struct rather than a std::variant so
+/// lookups read naturally at call sites (v.Find("k"), v.AsString()).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; calling the wrong one trips a QFIX_CHECK (request
+  /// handlers must test the kind first).
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+  const std::vector<std::pair<std::string, JsonValue>>& AsObject() const;
+
+  /// Object member by key, or nullptr (also nullptr on non-objects, so
+  /// handlers can chain lookups without kind checks at every step).
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Convenience lookups with defaults for optional request fields.
+  /// Returns the fallback when the key is absent; a present key of the
+  /// wrong kind is InvalidArgument — silently dropping a mistyped
+  /// parameter would diagnose with defaults and report success.
+  Result<double> NumberOr(std::string_view key, double fallback) const;
+  Result<bool> BoolOr(std::string_view key, bool fallback) const;
+  /// Required string member; InvalidArgument when missing or not a
+  /// string.
+  Result<std::string> RequiredString(std::string_view key) const;
+
+  static JsonValue MakeNull();
+  static JsonValue MakeBool(bool v);
+  static JsonValue MakeNumber(double v);
+  static JsonValue MakeString(std::string v);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one JSON document. The whole input must be consumed (trailing
+/// non-whitespace is an error). `max_depth` bounds nesting so a
+/// "[[[[..." request cannot blow the stack; `max_nodes` bounds the
+/// total value count so a body of tiny scalars ("[1,1,1,...]") cannot
+/// amplify ~50x into JsonValue memory. The default is far above any
+/// legitimate service request (64 items with modest parameter sets use
+/// a few hundred nodes) while capping transient parse memory at a few
+/// megabytes.
+Result<JsonValue> ParseJson(std::string_view text, size_t max_depth = 64,
+                            size_t max_nodes = 65536);
+
+}  // namespace service
+}  // namespace qfix
+
+#endif  // QFIX_SERVICE_JSON_VALUE_H_

@@ -1,0 +1,94 @@
+#include "service/registry.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "io/csv.h"
+#include "io/snapshot.h"
+#include "relational/executor.h"
+#include "sql/parser.h"
+
+namespace qfix {
+namespace service {
+
+namespace {
+
+Status ValidateName(const std::string& name) {
+  if (name.empty() || name.size() > 128) {
+    return Status::InvalidArgument(
+        "dataset name must be 1..128 bytes long");
+  }
+  for (char c : name) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (u <= 0x20 || u == 0x7F) {
+      return Status::InvalidArgument(
+          "dataset name must not contain whitespace or control bytes");
+    }
+  }
+  return Status::OK();
+}
+
+Status RegistryFullError(size_t max_datasets) {
+  return Status::ResourceExhausted(StringPrintf(
+      "registry is full (%zu datasets); replace an existing name",
+      max_datasets));
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const Dataset>> DatasetRegistry::Register(
+    std::string name, std::string_view d0_text, std::string table_name,
+    std::string_view log_sql) {
+  QFIX_RETURN_IF_ERROR(ValidateName(name));
+
+  // Reject a full registry before parsing: parse + replay of an
+  // untrusted multi-megabyte body is the expensive part, and the cap
+  // exists precisely to bound what rejected requests can cost. Checked
+  // again at publish — a concurrent Register can still win the last
+  // slot while this one parses.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (max_datasets_ > 0 && map_.size() >= max_datasets_ &&
+        map_.find(name) == map_.end()) {
+      return RegistryFullError(max_datasets_);
+    }
+  }
+
+  auto ds = std::make_shared<Dataset>();
+  ds->name = name;
+  // Auto-detect the checkpoint format the CLI also accepts.
+  if (d0_text.rfind("qfix-snapshot", 0) == 0) {
+    QFIX_ASSIGN_OR_RETURN(ds->d0, io::ReadSnapshot(d0_text));
+  } else {
+    QFIX_ASSIGN_OR_RETURN(ds->d0,
+                          io::DatabaseFromCsv(d0_text, std::move(table_name)));
+  }
+  QFIX_ASSIGN_OR_RETURN(ds->log, sql::ParseLog(log_sql, ds->d0.schema()));
+  ds->dirty = relational::ExecuteLog(ds->log, ds->d0);
+
+  std::shared_ptr<const Dataset> published = std::move(ds);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (max_datasets_ > 0 && map_.size() >= max_datasets_ &&
+        map_.find(name) == map_.end()) {
+      return RegistryFullError(max_datasets_);
+    }
+    map_[std::move(name)] = published;
+  }
+  return published;
+}
+
+std::shared_ptr<const Dataset> DatasetRegistry::Get(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(std::string(name));
+  return it == map_.end() ? nullptr : it->second;
+}
+
+size_t DatasetRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace service
+}  // namespace qfix

@@ -1,0 +1,73 @@
+// DatasetRegistry: named, immutable diagnosis snapshots shared between
+// registration and in-flight requests.
+//
+// A dataset is the paper's system-model triple — trusted checkpoint D0,
+// the executed query log Q, and the replayed dirty state D_n — parsed
+// once at registration (io CSV/snapshot readers + the SQL parser) and
+// frozen behind shared_ptr<const Dataset>. Registration replacing a
+// name while diagnoses run against the old version is safe by
+// construction: readers hold their own reference, so the old snapshot
+// stays alive until the last request drops it, and nobody mutates a
+// published Dataset.
+#ifndef QFIX_SERVICE_REGISTRY_H_
+#define QFIX_SERVICE_REGISTRY_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/database.h"
+#include "relational/query.h"
+
+namespace qfix {
+namespace service {
+
+/// One registered diagnosis snapshot. Immutable after construction.
+struct Dataset {
+  std::string name;
+  relational::Database d0;
+  relational::QueryLog log;
+  /// The observed final state, replay of `log` on `d0` — what complaints
+  /// are filed against.
+  relational::Database dirty;
+};
+
+class DatasetRegistry {
+ public:
+  /// `max_datasets` bounds how many distinct names may be registered
+  /// (0 = unbounded). Datasets are pinned in memory for the process
+  /// lifetime, so a served registry must cap them or a client looping
+  /// over fresh names exhausts memory; replacement of an existing name
+  /// is always allowed.
+  explicit DatasetRegistry(size_t max_datasets = 0)
+      : max_datasets_(max_datasets) {}
+
+  /// Parses and publishes a dataset. `d0_text` is either a CSV document
+  /// (header of attribute names) or a `qfix-snapshot v1` checkpoint,
+  /// auto-detected; `log_sql` is the ';'-separated executed query log.
+  /// Replaces any existing dataset of the same name (in-flight requests
+  /// keep their reference to the old version). Thread-safe.
+  Result<std::shared_ptr<const Dataset>> Register(std::string name,
+                                                  std::string_view d0_text,
+                                                  std::string table_name,
+                                                  std::string_view log_sql);
+
+  /// The current snapshot for `name`, or nullptr. Thread-safe.
+  std::shared_ptr<const Dataset> Get(std::string_view name) const;
+
+  size_t size() const;
+
+ private:
+  size_t max_datasets_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const Dataset>> map_;
+};
+
+}  // namespace service
+}  // namespace qfix
+
+#endif  // QFIX_SERVICE_REGISTRY_H_

@@ -1,0 +1,728 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "io/csv.h"
+#include "provenance/denoiser.h"
+#include "qfix/batch.h"
+#include "qfix/report_json.h"
+#include "service/json_value.h"
+
+namespace qfix {
+namespace service {
+
+namespace {
+
+/// RAII slot in the admission gate. `admitted()` is false when the gate
+/// was full — the request must be shed with 429.
+class AdmissionSlot {
+ public:
+  AdmissionSlot(std::atomic<int>* inflight, int capacity)
+      : inflight_(inflight) {
+    int cur = inflight_->load(std::memory_order_relaxed);
+    while (cur < capacity) {
+      if (inflight_->compare_exchange_weak(cur, cur + 1,
+                                           std::memory_order_acq_rel)) {
+        admitted_ = true;
+        return;
+      }
+    }
+  }
+  ~AdmissionSlot() {
+    if (admitted_) inflight_->fetch_sub(1, std::memory_order_acq_rel);
+  }
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+  bool admitted() const { return admitted_; }
+
+ private:
+  std::atomic<int>* inflight_;
+  bool admitted_ = false;
+};
+
+HttpResponse JsonError(int http_status, const std::string& code,
+                       const std::string& message) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("error");
+  w.BeginObject();
+  w.Key("code");
+  w.String(code);
+  w.Key("message");
+  w.String(message);
+  w.EndObject();
+  w.EndObject();
+  HttpResponse out;
+  out.status = http_status;
+  out.body = w.str();
+  return out;
+}
+
+HttpResponse StatusError(int http_status, const Status& status) {
+  return JsonError(http_status, std::string(StatusCodeToString(status.code())),
+                   status.message());
+}
+
+/// Sends all bytes, bounded by `deadline` and the shutdown token. A
+/// peer that accepts the request but never reads the response (zero
+/// TCP window) must not block the handler thread forever — that would
+/// pin a connection slot permanently and hang Stop(), which waits for
+/// every handler to finish. Short send timeouts let a blocked write
+/// poll both exits; a response that fits the kernel buffer still goes
+/// out in one non-blocking send even mid-shutdown.
+bool SendAll(int fd, std::string_view bytes, Deadline deadline,
+             const exec::CancellationToken& cancel) {
+  timeval tv;
+  tv.tv_sec = 0;
+  tv.tv_usec = 200 * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (cancel.cancelled() || deadline.Expired()) return false;
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Half-closes, briefly drains, then closes. close() on a socket with
+/// unread received bytes (a rejected oversized body, a 503 shed before
+/// the request was read) makes the kernel answer with RST, which can
+/// destroy the queued response before the peer reads it. Waiting a
+/// bounded moment for the peer's EOF after SHUT_WR lets the response
+/// and FIN deliver first; misbehaving peers only cost `drain_ms`.
+void ShutdownAndClose(int fd, int drain_ms) {
+  ::shutdown(fd, SHUT_WR);
+  timeval tv;
+  tv.tv_sec = 0;
+  tv.tv_usec = drain_ms * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  char buf[4096];
+  for (int i = 0; i < 16; ++i) {  // discard at most 64 KiB
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF, timeout, or peer reset
+  }
+  ::close(fd);
+}
+
+/// One diagnosis sub-request, decoded from JSON.
+struct DiagnoseItem {
+  std::shared_ptr<const Dataset> dataset;
+  provenance::ComplaintSet complaints;
+  int k = 1;
+  double time_limit_seconds = 0.0;
+  bool denoise = false;
+};
+
+}  // namespace
+
+DiagnosisServer::DiagnosisServer(ServerOptions options)
+    : options_(std::move(options)),
+      registry_(static_cast<size_t>(std::max(options_.max_datasets, 0))) {
+  options_.max_inflight = std::max(options_.max_inflight, 1);
+  options_.max_connections = std::max(options_.max_connections, 1);
+  options_.max_items = std::max(options_.max_items, 1);
+}
+
+DiagnosisServer::~DiagnosisServer() { Stop(); }
+
+Status DiagnosisServer::Start() {
+  QFIX_CHECK(!running_.load()) << "Start() on a running server";
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(StringPrintf("socket(): %s", strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("not an IPv4 address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status s = Status::InvalidArgument(StringPrintf(
+        "bind(%s:%d): %s", options_.host.c_str(), options_.port,
+        strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    Status s = Status::Internal(
+        StringPrintf("listen(): %s", strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    bound_port_ = ntohs(addr.sin_port);
+  }
+
+  pool_ = std::make_unique<exec::ThreadPool>(options_.jobs);
+  // Fresh cancellation source: a server restarted after Stop() must
+  // not inherit the fired token (it would 503 every diagnosis).
+  shutdown_ = exec::CancellationSource();
+  started_at_seconds_ = MonotonicSeconds();
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void DiagnosisServer::Stop() {
+  bool was_running = running_.exchange(false);
+  // Fire the token first so queued batch items fail fast, then unblock
+  // the accept loop by shutting the listener down.
+  shutdown_.Cancel();
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    conn_cv_.wait(lock, [this] { return open_connections_ == 0; });
+  }
+  if (was_running) pool_.reset();
+}
+
+void DiagnosisServer::AcceptLoop() {
+  while (running_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) break;  // listener shut down by Stop()
+      // Transient conditions must not kill the accept loop: aborted
+      // handshakes are routine under load, and fd exhaustion clears
+      // once in-flight connections close.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
+        continue;
+      }
+      if (errno == EMFILE || errno == ENFILE) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      break;  // genuinely fatal (EBADF, EINVAL, ...)
+    }
+    if (!running_.load()) {
+      ::close(fd);
+      break;
+    }
+    bool over_capacity = false;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (open_connections_ >= options_.max_connections) {
+        over_capacity = true;
+      } else {
+        ++open_connections_;
+      }
+    }
+    if (over_capacity) {
+      // Shed at the connection level without reading the request; the
+      // canned response fits any kernel send buffer.
+      HttpResponse busy = JsonError(503, "Unavailable",
+                                    "connection limit reached");
+      SendAll(fd, busy.Serialize(), Deadline::AfterSeconds(1.0),
+              shutdown_.token());
+      // Short drain: this runs on the accept thread, so a misbehaving
+      // peer must not stall new connections for long.
+      ShutdownAndClose(fd, /*drain_ms=*/10);
+      counters_.total.fetch_add(1, std::memory_order_relaxed);
+      counters_.err5xx.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::thread([this, fd] {
+      HandleConnection(fd);
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      --open_connections_;
+      conn_cv_.notify_all();
+    }).detach();
+  }
+}
+
+bool DiagnosisServer::ReadRequest(int fd, HttpRequest* request,
+                                  HttpResponse* error_response) {
+  // Short socket timeouts let the loop poll the shutdown token while a
+  // slow client trickles bytes; the overall Deadline bounds the request.
+  timeval tv;
+  tv.tv_sec = 0;
+  tv.tv_usec = 200 * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  HttpRequestParser parser(options_.http);
+  Deadline deadline = Deadline::AfterSeconds(options_.read_timeout_seconds);
+  char buf[8192];
+  while (true) {
+    if (shutdown_.cancelled()) return false;  // no response on shutdown
+    if (deadline.Expired()) {
+      *error_response =
+          JsonError(408, "Timeout", "request not received in time");
+      return false;
+    }
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return false;  // peer vanished; nothing to answer
+    }
+    if (n == 0) {
+      // EOF before a complete request: nothing sensible to answer.
+      return false;
+    }
+    HttpRequestParser::State state =
+        parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    if (state == HttpRequestParser::State::kComplete) {
+      *request = parser.request();
+      return true;
+    }
+    if (state == HttpRequestParser::State::kError) {
+      *error_response = JsonError(parser.error_status(), "BadRequest",
+                                  parser.error());
+      return false;
+    }
+  }
+}
+
+void DiagnosisServer::HandleConnection(int fd) {
+  HttpRequest request;
+  HttpResponse response;
+  response.status = 0;
+  if (ReadRequest(fd, &request, &response)) {
+    response = Dispatch(request);
+  }
+  if (response.status != 0) {
+    // Every answered request counts, including protocol errors the
+    // parser rejected — error rates derived from /v1/stats stay
+    // consistent (errors <= total).
+    counters_.total.fetch_add(1, std::memory_order_relaxed);
+    if (response.status == 429) {
+      counters_.shed.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (response.status >= 400 && response.status < 500) {
+      counters_.err4xx.fetch_add(1, std::memory_order_relaxed);
+    } else if (response.status >= 500) {
+      counters_.err5xx.fetch_add(1, std::memory_order_relaxed);
+    }
+    SendAll(fd, response.Serialize(),
+            Deadline::AfterSeconds(options_.write_timeout_seconds),
+            shutdown_.token());
+  }
+  ShutdownAndClose(fd, /*drain_ms=*/100);
+}
+
+HttpResponse DiagnosisServer::Dispatch(const HttpRequest& request) {
+  std::string_view path = request.path();
+  if (path == "/v1/healthz") {
+    counters_.health.fetch_add(1, std::memory_order_relaxed);
+    if (request.method != "GET") {
+      return JsonError(405, "MethodNotAllowed", "use GET");
+    }
+    return HandleHealthz();
+  }
+  if (path == "/v1/stats") {
+    counters_.stats.fetch_add(1, std::memory_order_relaxed);
+    if (request.method != "GET") {
+      return JsonError(405, "MethodNotAllowed", "use GET");
+    }
+    return HandleStats();
+  }
+  if (path == "/v1/datasets") {
+    counters_.datasets.fetch_add(1, std::memory_order_relaxed);
+    if (request.method != "POST") {
+      return JsonError(405, "MethodNotAllowed", "use POST");
+    }
+    return HandleRegisterDataset(request);
+  }
+  if (path == "/v1/diagnose") {
+    counters_.diagnose.fetch_add(1, std::memory_order_relaxed);
+    if (request.method != "POST") {
+      return JsonError(405, "MethodNotAllowed", "use POST");
+    }
+    // Only served diagnoses feed the percentiles: healthz/stats pollers
+    // and shed 429s run in microseconds and would swamp the sample
+    // window, hiding exactly the latency /v1/stats exists to expose.
+    const double start = MonotonicSeconds();
+    HttpResponse response = HandleDiagnose(request);
+    if (response.status == 200) {
+      latency_.Record(MonotonicSeconds() - start);
+    }
+    return response;
+  }
+  if (options_.enable_test_endpoints && path == "/v1/debug/sleep") {
+    return HandleDebugSleep(request);
+  }
+  return JsonError(404, "NotFound",
+                   "unknown endpoint: " + std::string(path));
+}
+
+HttpResponse DiagnosisServer::HandleHealthz() {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("status");
+  w.String("ok");
+  w.Key("datasets");
+  w.Uint(registry_.size());
+  w.Key("uptime_seconds");
+  w.Double(MonotonicSeconds() - started_at_seconds_);
+  w.EndObject();
+  HttpResponse out;
+  out.body = w.str();
+  return out;
+}
+
+HttpResponse DiagnosisServer::HandleStats() {
+  Stats s = stats();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("requests");
+  w.BeginObject();
+  w.Key("total");
+  w.Uint(s.requests_total);
+  w.Key("datasets");
+  w.Uint(s.requests_datasets);
+  w.Key("diagnose");
+  w.Uint(s.requests_diagnose);
+  w.Key("healthz");
+  w.Uint(s.requests_health);
+  w.Key("stats");
+  w.Uint(s.requests_stats);
+  w.Key("shed_429");
+  w.Uint(s.shed_429);
+  w.Key("errors_4xx");
+  w.Uint(s.errors_4xx);
+  w.Key("errors_5xx");
+  w.Uint(s.errors_5xx);
+  w.EndObject();
+  w.Key("latency");
+  w.BeginObject();
+  w.Key("count");
+  w.Uint(s.latency.count);
+  w.Key("p50_ms");
+  w.Double(s.latency.p50 * 1e3);
+  w.Key("p90_ms");
+  w.Double(s.latency.p90 * 1e3);
+  w.Key("p99_ms");
+  w.Double(s.latency.p99 * 1e3);
+  w.Key("max_ms");
+  w.Double(s.latency.max * 1e3);
+  w.EndObject();
+  w.Key("queue");
+  w.BeginObject();
+  w.Key("inflight");
+  w.Int(s.inflight);
+  w.Key("capacity");
+  w.Int(s.inflight_capacity);
+  w.EndObject();
+  w.Key("pool_workers");
+  w.Int(pool_ != nullptr ? pool_->num_workers() : 0);
+  w.EndObject();
+  HttpResponse out;
+  out.body = w.str();
+  return out;
+}
+
+HttpResponse DiagnosisServer::HandleRegisterDataset(
+    const HttpRequest& request) {
+  auto doc = ParseJson(request.body);
+  if (!doc.ok()) return StatusError(400, doc.status());
+
+  auto name = doc->RequiredString("name");
+  if (!name.ok()) return StatusError(400, name.status());
+  auto log_sql = doc->RequiredString("log_sql");
+  if (!log_sql.ok()) return StatusError(400, log_sql.status());
+
+  const JsonValue* d0_csv = doc->Find("d0_csv");
+  const JsonValue* d0_snapshot = doc->Find("d0_snapshot");
+  const JsonValue* d0 = d0_csv != nullptr ? d0_csv : d0_snapshot;
+  if ((d0_csv != nullptr) == (d0_snapshot != nullptr) || !d0->is_string()) {
+    return JsonError(400, "InvalidArgument",
+                     "exactly one of 'd0_csv' or 'd0_snapshot' must be "
+                     "given as a string");
+  }
+  std::string table = "T";
+  if (const JsonValue* t = doc->Find("table")) {
+    if (!t->is_string()) {
+      return JsonError(400, "InvalidArgument", "'table' must be a string");
+    }
+    table = t->AsString();
+  }
+
+  auto registered = registry_.Register(*name, d0->AsString(), table,
+                                       *log_sql);
+  if (!registered.ok()) {
+    // A full registry is back-pressure (free a name or replace one),
+    // not a malformed request.
+    return StatusError(
+        registered.status().IsResourceExhausted() ? 429 : 400,
+        registered.status());
+  }
+
+  const Dataset& ds = **registered;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String(ds.name);
+  w.Key("table");
+  w.String(ds.d0.table_name());
+  w.Key("attrs");
+  w.Uint(ds.d0.schema().num_attrs());
+  w.Key("tuples");
+  w.Uint(ds.d0.NumSlots());
+  w.Key("queries");
+  w.Uint(ds.log.size());
+  w.EndObject();
+  HttpResponse out;
+  out.body = w.str();
+  return out;
+}
+
+HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
+  auto doc = ParseJson(request.body);
+  if (!doc.ok()) return StatusError(400, doc.status());
+
+  // One request is either a single diagnosis object or {"items":[...]}.
+  std::vector<const JsonValue*> item_docs;
+  bool batched = false;
+  if (const JsonValue* items = doc->Find("items")) {
+    if (!items->is_array() || items->AsArray().empty()) {
+      return JsonError(400, "InvalidArgument",
+                       "'items' must be a non-empty array");
+    }
+    if (items->AsArray().size() > static_cast<size_t>(options_.max_items)) {
+      return JsonError(413, "ResourceExhausted",
+                       StringPrintf("'items' has %zu entries; this server "
+                                    "accepts at most %d per request",
+                                    items->AsArray().size(),
+                                    options_.max_items));
+    }
+    batched = true;
+    for (const JsonValue& item : items->AsArray()) {
+      if (!item.is_object()) {
+        return JsonError(400, "InvalidArgument",
+                         "every item must be an object");
+      }
+      item_docs.push_back(&item);
+    }
+  } else {
+    item_docs.push_back(&*doc);
+  }
+
+  // Decode every item before admitting: malformed requests must not
+  // occupy a slot.
+  std::vector<DiagnoseItem> decoded;
+  decoded.reserve(item_docs.size());
+  for (size_t i = 0; i < item_docs.size(); ++i) {
+    const JsonValue& item = *item_docs[i];
+    auto ds_name = item.RequiredString("dataset");
+    if (!ds_name.ok()) return StatusError(400, ds_name.status());
+    DiagnoseItem di;
+    di.dataset = registry_.Get(*ds_name);
+    if (di.dataset == nullptr) {
+      return JsonError(404, "NotFound",
+                       StringPrintf("item %zu: dataset '%s' is not "
+                                    "registered",
+                                    i, ds_name->c_str()));
+    }
+    auto complaints_csv = item.RequiredString("complaints_csv");
+    if (!complaints_csv.ok()) return StatusError(400, complaints_csv.status());
+    auto complaints =
+        io::ComplaintsFromCsv(*complaints_csv, di.dataset->d0.schema());
+    if (!complaints.ok()) return StatusError(400, complaints.status());
+    di.complaints = std::move(complaints).value();
+    if (di.complaints.empty()) {
+      return JsonError(400, "InvalidArgument",
+                       StringPrintf("item %zu: complaint set is empty", i));
+    }
+    auto k = item.NumberOr("k", 1.0);
+    if (!k.ok()) return StatusError(400, k.status());
+    if (*k < 0.0 || *k > 1000.0 || *k != static_cast<int>(*k)) {
+      return JsonError(400, "InvalidArgument",
+                       "'k' must be an integer in [0, 1000]");
+    }
+    auto basic = item.BoolOr("basic", false);
+    if (!basic.ok()) return StatusError(400, basic.status());
+    auto denoise = item.BoolOr("denoise", false);
+    if (!denoise.ok()) return StatusError(400, denoise.status());
+    di.k = *basic ? 0 : static_cast<int>(*k);
+    di.denoise = *denoise;
+    auto time_limit =
+        item.NumberOr("time_limit_seconds", options_.max_time_limit_seconds);
+    if (!time_limit.ok()) return StatusError(400, time_limit.status());
+    di.time_limit_seconds =
+        std::min(*time_limit, options_.max_time_limit_seconds);
+    if (di.time_limit_seconds <= 0.0) {
+      di.time_limit_seconds = options_.max_time_limit_seconds;
+    }
+    decoded.push_back(std::move(di));
+  }
+
+  // Admission: one slot per request regardless of item count (items
+  // share the pool anyway); over capacity, shed rather than queue.
+  AdmissionSlot slot(&inflight_, options_.max_inflight);
+  if (!slot.admitted()) {
+    return JsonError(429, "OverCapacity",
+                     StringPrintf("diagnosis queue is full (%d in flight)",
+                                  options_.max_inflight));
+  }
+  if (shutdown_.cancelled()) {
+    return JsonError(503, "ShuttingDown", "server is shutting down");
+  }
+
+  std::vector<qfixcore::BatchItem> batch;
+  batch.reserve(decoded.size());
+  for (DiagnoseItem& di : decoded) {
+    qfixcore::BatchItem item;
+    item.log = di.dataset->log;
+    item.d0 = di.dataset->d0;
+    item.dirty_dn = di.dataset->dirty;
+    item.complaints = di.denoise
+                          ? provenance::DenoiseComplaints(di.complaints,
+                                                          di.dataset->dirty)
+                                .kept
+                          : di.complaints;
+    item.options.time_limit_seconds = di.time_limit_seconds;
+    // Share the server's pool with the inner solves: no per-request
+    // thread churn (the MilpOptions/BatchOptions caller-owned hooks).
+    // The shutdown token reaches the solver's node loop too, so Stop()
+    // interrupts running searches instead of waiting out their budget.
+    item.options.milp.pool = pool_.get();
+    item.options.milp.cancel = shutdown_.token();
+    item.k = di.k;
+    batch.push_back(std::move(item));
+  }
+
+  qfixcore::BatchOptions batch_options;
+  batch_options.pool = pool_.get();
+  batch_options.cancel = shutdown_.token();
+  qfixcore::BatchDiagnoser diagnoser(batch_options);
+  std::vector<Result<qfixcore::Repair>> results = diagnoser.Run(batch);
+
+  // Render: per-item ok/report or ok/error. The report document is the
+  // exact report_json rendering — byte-identical to the library path.
+  auto render_item = [](const DiagnoseItem& di,
+                        const qfixcore::BatchItem& item,
+                        const Result<qfixcore::Repair>& result,
+                        JsonWriter* w) {
+    w->BeginObject();
+    w->Key("dataset");
+    w->String(di.dataset->name);
+    w->Key("ok");
+    w->Bool(result.ok());
+    if (result.ok()) {
+      w->Key("report");
+      w->Raw(qfixcore::RepairToJson(*result, item.log, item.d0,
+                                    item.dirty_dn, item.complaints));
+    } else {
+      w->Key("error");
+      w->BeginObject();
+      w->Key("code");
+      w->String(StatusCodeToString(result.status().code()));
+      w->Key("message");
+      w->String(result.status().message());
+      w->EndObject();
+    }
+    w->EndObject();
+  };
+
+  JsonWriter w;
+  if (batched) {
+    w.BeginObject();
+    w.Key("results");
+    w.BeginArray();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      render_item(decoded[i], batch[i], results[i], &w);
+    }
+    w.EndArray();
+    w.EndObject();
+  } else {
+    render_item(decoded[0], batch[0], results[0], &w);
+  }
+  HttpResponse out;
+  out.body = w.str();
+  return out;
+}
+
+HttpResponse DiagnosisServer::HandleDebugSleep(const HttpRequest& request) {
+  if (request.method != "POST") {
+    return JsonError(405, "MethodNotAllowed", "use POST");
+  }
+  auto doc = ParseJson(request.body.empty() ? "{}" : request.body);
+  if (!doc.ok()) return StatusError(400, doc.status());
+  auto requested = doc->NumberOr("seconds", 0.1);
+  if (!requested.ok()) return StatusError(400, requested.status());
+  double seconds = std::clamp(*requested, 0.0, 30.0);
+
+  AdmissionSlot slot(&inflight_, options_.max_inflight);
+  if (!slot.admitted()) {
+    return JsonError(429, "OverCapacity", "diagnosis queue is full");
+  }
+  Deadline deadline = Deadline::AfterSeconds(seconds);
+  while (!deadline.Expired() && !shutdown_.cancelled()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("slept_seconds");
+  w.Double(seconds);
+  w.Key("cancelled");
+  w.Bool(shutdown_.cancelled());
+  w.EndObject();
+  HttpResponse out;
+  out.body = w.str();
+  return out;
+}
+
+DiagnosisServer::Stats DiagnosisServer::stats() const {
+  Stats s;
+  s.requests_total = counters_.total.load(std::memory_order_relaxed);
+  s.requests_datasets = counters_.datasets.load(std::memory_order_relaxed);
+  s.requests_diagnose = counters_.diagnose.load(std::memory_order_relaxed);
+  s.requests_health = counters_.health.load(std::memory_order_relaxed);
+  s.requests_stats = counters_.stats.load(std::memory_order_relaxed);
+  s.shed_429 = counters_.shed.load(std::memory_order_relaxed);
+  s.errors_4xx = counters_.err4xx.load(std::memory_order_relaxed);
+  s.errors_5xx = counters_.err5xx.load(std::memory_order_relaxed);
+  s.inflight = inflight_.load(std::memory_order_relaxed);
+  s.inflight_capacity = options_.max_inflight;
+  s.latency = latency_.Take();
+  return s;
+}
+
+}  // namespace service
+}  // namespace qfix

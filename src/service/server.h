@@ -1,0 +1,184 @@
+// DiagnosisServer: the embedded HTTP/JSON front-end over the QFix
+// pipeline — the network entry point the ROADMAP's multi-tenant story
+// builds on (paper Example 1: a complaint arrives as a request, the
+// diagnosis report goes back attached to the ticket).
+//
+// Architecture (dependency-free sockets, two thread domains):
+//   * A blocking accept loop hands each connection to a short-lived
+//     handler thread (bounded by `max_connections`; overflow gets an
+//     immediate 503). Handler threads only do protocol work: read,
+//     parse, route, write, close — one request per connection.
+//   * Diagnosis work is dispatched onto ONE shared src/exec
+//     work-stealing pool, reused across every request via the
+//     caller-owned-pool hooks in BatchOptions/MilpOptions (no thread
+//     churn per request). An admission gate bounds in-flight diagnosis
+//     work: over capacity, requests shed with 429 instead of queueing
+//     without bound. Health/stats/registration bypass the gate so the
+//     server stays observable under load.
+//   * Stop() is cooperative: the listener closes, the cancellation
+//     token fires (queued batch items fail fast with ResourceExhausted),
+//     and handler threads drain before Stop() returns.
+//
+// Endpoints (all JSON; see README "Running the server" for schemas):
+//   POST /v1/datasets   register a named snapshot + query log
+//   POST /v1/diagnose   run one-or-many complaint sets -> report_json
+//   GET  /v1/healthz    liveness + dataset count
+//   GET  /v1/stats      request counters, latency percentiles, queue
+#ifndef QFIX_SERVICE_SERVER_H_
+#define QFIX_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "exec/cancellation.h"
+#include "exec/thread_pool.h"
+#include "harness/metrics.h"
+#include "service/http.h"
+#include "service/registry.h"
+
+namespace qfix {
+namespace service {
+
+struct ServerOptions {
+  /// Bind address. Loopback by default: exposing the service beyond the
+  /// host is a proxy's job (ROADMAP follow-on).
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 asks the kernel for an ephemeral port (read it back
+  /// via port() — this is what tests and the CI smoke use).
+  int port = 0;
+  /// Workers of the shared diagnosis pool. <= 0 builds a deterministic
+  /// inline pool (diagnosis runs on the handler thread; request
+  /// concurrency then comes from the connection threads alone).
+  int jobs = 1;
+  /// Admission capacity: diagnosis requests in flight (executing or
+  /// waiting for the pool). Beyond it, POST /v1/diagnose sheds with 429.
+  int max_inflight = 8;
+  /// Concurrent connections being served; overflow is answered 503 on
+  /// the accept thread without reading the request.
+  int max_connections = 64;
+  /// Distinct dataset names the registry will hold (datasets are
+  /// pinned for the process lifetime; replacement is always allowed).
+  int max_datasets = 64;
+  /// Cap on items[] per POST /v1/diagnose. Every item materializes its
+  /// own copy of the dataset (BatchItem owns d0/dirty/log), so an
+  /// unbounded array would let one small request amplify a large
+  /// registered dataset into arbitrary memory.
+  int max_items = 64;
+  /// Cap applied to a request's per-item time limit (seconds); also the
+  /// default when the request names none.
+  double max_time_limit_seconds = 30.0;
+  /// Per-request read/write budgets and HTTP byte limits. The write
+  /// budget bounds how long a peer that stops reading its response can
+  /// hold a handler thread (and with it a connection slot).
+  double read_timeout_seconds = 10.0;
+  double write_timeout_seconds = 10.0;
+  HttpLimits http;
+  /// Registers POST /v1/debug/sleep {"seconds":s} — occupies one
+  /// admission slot while sleeping. Tests and the service bench use it
+  /// to make over-capacity bursts deterministic; never enable in
+  /// production.
+  bool enable_test_endpoints = false;
+};
+
+class DiagnosisServer {
+ public:
+  explicit DiagnosisServer(ServerOptions options = ServerOptions());
+  /// Stops the server if still running.
+  ~DiagnosisServer();
+
+  DiagnosisServer(const DiagnosisServer&) = delete;
+  DiagnosisServer& operator=(const DiagnosisServer&) = delete;
+
+  /// Binds, listens, and spawns the accept loop. InvalidArgument on
+  /// address/bind failures.
+  Status Start();
+
+  /// Cooperative shutdown: closes the listener, cancels in-flight batch
+  /// work, drains handler threads. Idempotent.
+  void Stop();
+
+  /// The bound port (resolves port 0 after Start()).
+  int port() const { return bound_port_; }
+
+  /// The dataset registry, e.g. for preloading a dataset from files
+  /// before Start() (tools/qfix_serve --d0/--log).
+  DatasetRegistry& registry() { return registry_; }
+
+  /// Point-in-time serving statistics (what GET /v1/stats renders).
+  struct Stats {
+    uint64_t requests_total = 0;
+    uint64_t requests_datasets = 0;
+    uint64_t requests_diagnose = 0;
+    uint64_t requests_health = 0;
+    uint64_t requests_stats = 0;
+    uint64_t shed_429 = 0;
+    uint64_t errors_4xx = 0;
+    uint64_t errors_5xx = 0;
+    int inflight = 0;
+    int inflight_capacity = 0;
+    /// Percentiles over successfully served /v1/diagnose requests only
+    /// (healthz/stats probes and 429 sheds would swamp the window).
+    harness::LatencyRecorder::Snapshot latency;
+  };
+  Stats stats() const;
+
+ private:
+  struct Counters {
+    std::atomic<uint64_t> total{0};
+    std::atomic<uint64_t> datasets{0};
+    std::atomic<uint64_t> diagnose{0};
+    std::atomic<uint64_t> health{0};
+    std::atomic<uint64_t> stats{0};
+    std::atomic<uint64_t> shed{0};
+    std::atomic<uint64_t> err4xx{0};
+    std::atomic<uint64_t> err5xx{0};
+  };
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// Reads one request off `fd` (bounded by read_timeout_seconds).
+  /// Returns false with `error_response` filled on protocol failure.
+  bool ReadRequest(int fd, HttpRequest* request,
+                   HttpResponse* error_response);
+  HttpResponse Dispatch(const HttpRequest& request);
+  HttpResponse HandleHealthz();
+  HttpResponse HandleStats();
+  HttpResponse HandleRegisterDataset(const HttpRequest& request);
+  HttpResponse HandleDiagnose(const HttpRequest& request);
+  HttpResponse HandleDebugSleep(const HttpRequest& request);
+
+  ServerOptions options_;
+  DatasetRegistry registry_;
+  std::unique_ptr<exec::ThreadPool> pool_;
+  exec::CancellationSource shutdown_;
+
+  int listen_fd_ = -1;
+  int bound_port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+
+  // Connection accounting: incremented on the accept thread before a
+  // handler spawns, decremented when the handler finishes; Stop() waits
+  // on the condition variable for the count to reach zero.
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  int open_connections_ = 0;
+
+  // Admission gate for diagnosis work (and the debug sleep endpoint).
+  std::atomic<int> inflight_{0};
+
+  Counters counters_;
+  harness::LatencyRecorder latency_;
+  double started_at_seconds_ = 0.0;
+};
+
+}  // namespace service
+}  // namespace qfix
+
+#endif  // QFIX_SERVICE_SERVER_H_

@@ -1,0 +1,216 @@
+// Randomized "garbage bytes" regression suite for the src/io readers.
+//
+// The service feeds DatabaseFromCsv / ComplaintsFromCsv / ReadSnapshot
+// straight from network request bodies, so malformed input — truncated
+// rows, embedded NUL bytes, oversized fields, duplicate header names,
+// out-of-range tids — must come back as Result errors, never crash
+// (QFIX_CHECK aborts and double->int64 casts on garbage are UB). The
+// random sweeps are seeded and deterministic.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "io/csv.h"
+#include "io/snapshot.h"
+#include "relational/database.h"
+#include "test_support.h"
+
+namespace qfix {
+namespace {
+
+constexpr const char* kValidDbCsv =
+    "income,owed,pay\n"
+    "9500,950,8550\n"
+    "90000,22500,67500\n"
+    "86000,21500,64500\n";
+
+constexpr const char* kValidComplaintsCsv =
+    "tid,alive,income,owed,pay\n"
+    "2,1,86000,21500,64500\n"
+    "3,0,0,0,0\n";
+
+std::string ValidSnapshot() { return io::WriteSnapshot(test::TaxD0()); }
+
+std::string RandomBytes(Rng& rng, size_t len) {
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+  }
+  return out;
+}
+
+// One random corruption of a valid document: the failure modes a
+// network actually produces (truncation, bit rot, injected bytes).
+std::string Mutate(const std::string& doc, Rng& rng) {
+  std::string out = doc;
+  switch (rng.UniformInt(0, 6)) {
+    case 0:  // truncate at a random offset
+      out.resize(rng.Index(out.size() + 1));
+      break;
+    case 1:  // flip one byte to a random value
+      if (!out.empty()) {
+        out[rng.Index(out.size())] =
+            static_cast<char>(rng.UniformInt(0, 255));
+      }
+      break;
+    case 2:  // inject a NUL byte
+      out.insert(rng.Index(out.size() + 1), 1, '\0');
+      break;
+    case 3:  // duplicate a random slice (misaligns rows)
+      if (!out.empty()) {
+        size_t at = rng.Index(out.size());
+        size_t n = rng.Index(out.size() - at) + 1;
+        out.insert(at, out.substr(at, n));
+      }
+      break;
+    case 4:  // splice in an oversized numeric field
+      out.insert(rng.Index(out.size() + 1), std::string(4096, '9'));
+      break;
+    case 5:  // splice in a non-finite token
+      out.insert(rng.Index(out.size() + 1),
+                 rng.Bernoulli(0.5) ? "inf" : "nan");
+      break;
+    default:  // extra separators
+      out.insert(rng.Index(out.size() + 1),
+                 rng.Bernoulli(0.5) ? ",,,," : "\n\n\r\n");
+      break;
+  }
+  return out;
+}
+
+// Every reader must return (value or error) on arbitrary bytes — this
+// "call and ignore the outcome" helper is the whole assertion: a crash
+// fails the test run.
+void FeedAllReaders(const std::string& bytes) {
+  auto db = io::DatabaseFromCsv(bytes, "T");
+  if (db.ok()) {
+    // Accepted documents must round-trip without crashing either.
+    io::DatabaseToCsv(*db);
+  }
+  auto complaints = io::ComplaintsFromCsv(bytes, test::TaxSchema());
+  if (complaints.ok()) {
+    io::ComplaintsToCsv(*complaints, test::TaxSchema());
+  }
+  auto snapshot = io::ReadSnapshot(bytes);
+  if (snapshot.ok()) {
+    io::WriteSnapshot(*snapshot);
+  }
+}
+
+TEST(IoFuzzTest, SurvivesPureRandomBytes) {
+  Rng rng(20260729);
+  for (int i = 0; i < 400; ++i) {
+    FeedAllReaders(RandomBytes(rng, rng.Index(512)));
+  }
+}
+
+TEST(IoFuzzTest, SurvivesMutatedCsvDocuments) {
+  Rng rng(1);
+  for (int i = 0; i < 400; ++i) {
+    FeedAllReaders(Mutate(kValidDbCsv, rng));
+    FeedAllReaders(Mutate(kValidComplaintsCsv, rng));
+  }
+}
+
+TEST(IoFuzzTest, SurvivesMutatedSnapshots) {
+  Rng rng(2);
+  const std::string snapshot = ValidSnapshot();
+  for (int i = 0; i < 400; ++i) {
+    FeedAllReaders(Mutate(snapshot, rng));
+  }
+}
+
+// -- Specific regressions the sweeps above were built from ------------------
+
+TEST(IoFuzzTest, DuplicateCsvHeaderNamesError) {
+  auto db = io::DatabaseFromCsv("a,b,a\n1,2,3\n", "T");
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsInvalidArgument());
+}
+
+TEST(IoFuzzTest, EmptyCsvHeaderNameErrors) {
+  EXPECT_FALSE(io::DatabaseFromCsv("a,,c\n1,2,3\n", "T").ok());
+}
+
+TEST(IoFuzzTest, EmbeddedNulInNumericCellErrors) {
+  std::string csv = "a,b\n1,2\n";
+  csv[csv.size() - 2] = '\0';  // "1,\0" — strtod would stop silently
+  auto db = io::DatabaseFromCsv(csv, "T");
+  EXPECT_FALSE(db.ok());
+  std::string nul_suffix("a,b\n1,2");
+  nul_suffix += '\0';
+  nul_suffix += "junk\n";
+  EXPECT_FALSE(io::DatabaseFromCsv(nul_suffix, "T").ok());
+}
+
+TEST(IoFuzzTest, OversizedNumericFieldErrors) {
+  std::string csv = "a\n" + std::string(100000, '9') + "\n";
+  auto db = io::DatabaseFromCsv(csv, "T");
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsInvalidArgument());
+}
+
+TEST(IoFuzzTest, NonFiniteValuesError) {
+  EXPECT_FALSE(io::DatabaseFromCsv("a,b\ninf,2\n", "T").ok());
+  EXPECT_FALSE(io::DatabaseFromCsv("a,b\n1,nan\n", "T").ok());
+  // Overflow to infinity is caught too.
+  EXPECT_FALSE(io::DatabaseFromCsv("a\n1e400\n", "T").ok());
+}
+
+TEST(IoFuzzTest, TruncatedRowErrors) {
+  EXPECT_FALSE(io::DatabaseFromCsv("a,b,c\n1,2\n", "T").ok());
+  EXPECT_FALSE(io::ComplaintsFromCsv("tid,alive,income,owed,pay\n1,1,5\n",
+                                     test::TaxSchema())
+                   .ok());
+}
+
+TEST(IoFuzzTest, ComplaintTidRangeChecked) {
+  const relational::Schema schema({"a"});
+  // Out-of-int64-range, negative, and fractional tids must all error
+  // (the cast itself would be UB on the first one).
+  for (const char* tid : {"1e30", "-1", "1.5"}) {
+    std::string csv = std::string("tid,alive,a\n") + tid + ",1,5\n";
+    auto complaints = io::ComplaintsFromCsv(csv, schema);
+    EXPECT_FALSE(complaints.ok()) << tid;
+  }
+}
+
+TEST(IoFuzzTest, SnapshotDuplicateAttrsError) {
+  std::string snap =
+      "qfix-snapshot v1\ntable T\nattrs a a\ntuple 0 alive 1 2\nend\n";
+  auto db = io::ReadSnapshot(snap);
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsInvalidArgument());
+}
+
+TEST(IoFuzzTest, SnapshotHugeTidErrors) {
+  std::string snap =
+      "qfix-snapshot v1\ntable T\nattrs a\ntuple 1e30 alive 1\nend\n";
+  EXPECT_FALSE(io::ReadSnapshot(snap).ok());
+}
+
+TEST(IoFuzzTest, SnapshotNonFiniteValueErrors) {
+  std::string snap =
+      "qfix-snapshot v1\ntable T\nattrs a\ntuple 0 alive inf\nend\n";
+  EXPECT_FALSE(io::ReadSnapshot(snap).ok());
+}
+
+TEST(IoFuzzTest, ValidDocumentsStillParse) {
+  // The hardening must not reject the documents the CLI ships around.
+  auto db = io::DatabaseFromCsv(kValidDbCsv, "Taxes");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db->NumSlots(), 3u);
+  auto complaints =
+      io::ComplaintsFromCsv(kValidComplaintsCsv, test::TaxSchema());
+  ASSERT_TRUE(complaints.ok()) << complaints.status().ToString();
+  EXPECT_EQ(complaints->size(), 2u);
+  auto snapshot = io::ReadSnapshot(ValidSnapshot());
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ(snapshot->NumSlots(), 4u);
+}
+
+}  // namespace
+}  // namespace qfix

@@ -122,6 +122,30 @@ TEST(MilpSolverTest, TimeLimitReturnsGracefully) {
               s.status == MilpStatus::kFeasible);
 }
 
+TEST(MilpSolverTest, ExternalCancellationStopsTheSearch) {
+  // Same fiddly instance as the time-limit test, but halted through
+  // MilpOptions::cancel — the hook a shutting-down service fires to
+  // interrupt in-flight solves without waiting out their budget.
+  Rng rng(5);
+  Model m;
+  LinearTerms row;
+  for (int i = 0; i < 30; ++i) {
+    VarId v = m.AddBinary("b" + std::to_string(i));
+    row.push_back({v, rng.UniformReal(1.0, 2.0)});
+    m.AddObjectiveTerm(v, -1.0);
+  }
+  m.AddConstraint(row, Sense::kLe, 20.0);
+  exec::CancellationSource cancel;
+  cancel.Cancel();  // already fired: the search must stop immediately
+  MilpOptions opts;
+  opts.cancel = cancel.token();
+  MilpSolution s = MilpSolver(opts).Solve(m);
+  EXPECT_TRUE(s.status == MilpStatus::kTimeLimit ||
+              s.status == MilpStatus::kFeasible);
+  // A handful of nodes at most (root heuristics may claim the first).
+  EXPECT_LE(s.stats.nodes, 2);
+}
+
 TEST(MilpSolverTest, StatsArePopulated) {
   Model m;
   VarId x = m.AddBinary("x");

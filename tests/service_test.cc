@@ -1,0 +1,732 @@
+// src/service: HTTP parser and JSON decoder units, DatasetRegistry
+// concurrency (TSan lane), and end-to-end loopback coverage of the
+// diagnosis server — register the Figure-2 fixture over HTTP, post a
+// complaint, and check the JSON repair matches the library result
+// byte-for-byte (modulo timing stats). Also the admission-control
+// acceptance: an over-capacity burst sheds with 429 instead of
+// queueing, and the server recovers afterwards.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/timer.h"
+#include "io/csv.h"
+#include "io/snapshot.h"
+#include "qfix/batch.h"
+#include "qfix/report_json.h"
+#include "service/client.h"
+#include "service/http.h"
+#include "service/json_value.h"
+#include "service/registry.h"
+#include "service/server.h"
+#include "sql/parser.h"
+#include "test_support.h"
+
+namespace qfix {
+namespace {
+
+using service::DatasetRegistry;
+using service::DiagnosisServer;
+using service::HttpRequestParser;
+using service::HttpResponse;
+using service::JsonValue;
+using service::ParseJson;
+using service::ServerOptions;
+
+// ---------------------------------------------------------------------------
+// HTTP request parser
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpRequestParser p;
+  auto state = p.Feed("GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_EQ(state, HttpRequestParser::State::kComplete);
+  EXPECT_EQ(p.request().method, "GET");
+  EXPECT_EQ(p.request().target, "/v1/healthz");
+  EXPECT_EQ(p.request().version, "HTTP/1.1");
+  EXPECT_TRUE(p.request().body.empty());
+}
+
+TEST(HttpParserTest, ParsesPostWithBodyAndHeaders) {
+  HttpRequestParser p;
+  std::string req =
+      "POST /v1/diagnose HTTP/1.1\r\n"
+      "Content-Type: application/json\r\n"
+      "content-length: 11\r\n"
+      "\r\n"
+      "{\"a\": true}";
+  ASSERT_EQ(p.Feed(req), HttpRequestParser::State::kComplete);
+  EXPECT_EQ(p.request().body, "{\"a\": true}");
+  // Header lookup is case-insensitive.
+  ASSERT_NE(p.request().FindHeader("CONTENT-TYPE"), nullptr);
+  EXPECT_EQ(*p.request().FindHeader("CONTENT-TYPE"), "application/json");
+}
+
+TEST(HttpParserTest, AcceptsByteByByteFeeding) {
+  HttpRequestParser p;
+  std::string req =
+      "POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+  HttpRequestParser::State state = HttpRequestParser::State::kNeedMore;
+  for (char c : req) {
+    state = p.Feed(std::string_view(&c, 1));
+  }
+  ASSERT_EQ(state, HttpRequestParser::State::kComplete);
+  EXPECT_EQ(p.request().body, "hello");
+}
+
+TEST(HttpParserTest, AcceptsBareLfLineEndings) {
+  HttpRequestParser p;
+  ASSERT_EQ(p.Feed("GET / HTTP/1.0\nHost: x\n\n"),
+            HttpRequestParser::State::kComplete);
+  EXPECT_EQ(p.request().version, "HTTP/1.0");
+}
+
+TEST(HttpParserTest, LfHeadWithCrlfInBodyParsesCorrectly) {
+  // The earliest blank line wins: an LF-terminated head followed (in
+  // the same segment) by a body containing "\r\n\r\n" must not have
+  // the terminator search skip into the body.
+  HttpRequestParser p;
+  std::string body = "{\"a\":\r\n\r\n1}";  // valid JSON whitespace
+  std::string req = "POST /x HTTP/1.1\nContent-Length: " +
+                    std::to_string(body.size()) + "\n\n" + body;
+  ASSERT_EQ(p.Feed(req), HttpRequestParser::State::kComplete)
+      << p.error();
+  EXPECT_EQ(p.request().body, body);
+}
+
+TEST(HttpParserTest, SplitsPathAndQuery) {
+  HttpRequestParser p;
+  ASSERT_EQ(p.Feed("GET /v1/stats?verbose=1 HTTP/1.1\r\n\r\n"),
+            HttpRequestParser::State::kComplete);
+  EXPECT_EQ(p.request().path(), "/v1/stats");
+  EXPECT_EQ(p.request().query(), "verbose=1");
+}
+
+TEST(HttpParserTest, RejectsMalformedRequestLine) {
+  HttpRequestParser p;
+  ASSERT_EQ(p.Feed("NONSENSE\r\n\r\n"), HttpRequestParser::State::kError);
+  EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(HttpParserTest, RejectsNonHttpVersion) {
+  HttpRequestParser p;
+  ASSERT_EQ(p.Feed("GET / SPDY/9\r\n\r\n"),
+            HttpRequestParser::State::kError);
+  EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(HttpParserTest, RejectsOversizedHead) {
+  service::HttpLimits limits;
+  limits.max_head_bytes = 128;
+  HttpRequestParser p(limits);
+  std::string big = "GET / HTTP/1.1\r\nX-Pad: " + std::string(500, 'a');
+  ASSERT_EQ(p.Feed(big), HttpRequestParser::State::kError);
+  EXPECT_EQ(p.error_status(), 431);
+}
+
+TEST(HttpParserTest, RejectsOversizedBodyUpfront) {
+  service::HttpLimits limits;
+  limits.max_body_bytes = 64;
+  HttpRequestParser p(limits);
+  ASSERT_EQ(p.Feed("POST / HTTP/1.1\r\nContent-Length: 100000\r\n\r\n"),
+            HttpRequestParser::State::kError);
+  EXPECT_EQ(p.error_status(), 413);
+}
+
+TEST(HttpParserTest, RejectsChunkedTransferEncoding) {
+  HttpRequestParser p;
+  ASSERT_EQ(p.Feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            HttpRequestParser::State::kError);
+  EXPECT_EQ(p.error_status(), 501);
+}
+
+TEST(HttpParserTest, RejectsMalformedContentLength) {
+  HttpRequestParser p;
+  ASSERT_EQ(p.Feed("POST / HTTP/1.1\r\nContent-Length: 12abc\r\n\r\n"),
+            HttpRequestParser::State::kError);
+  EXPECT_EQ(p.error_status(), 400);
+  // Signed values must be 400 (malformed), not 413: strtoull would
+  // silently wrap "-1" to ULLONG_MAX.
+  for (const char* bad : {"-1", "+5"}) {
+    HttpRequestParser q;
+    ASSERT_EQ(q.Feed(std::string("POST / HTTP/1.1\r\nContent-Length: ") +
+                     bad + "\r\n\r\n"),
+              HttpRequestParser::State::kError)
+        << bad;
+    EXPECT_EQ(q.error_status(), 400) << bad;
+  }
+}
+
+TEST(HttpResponseTest, SerializeRoundTripsThroughResponseParser) {
+  HttpResponse r;
+  r.status = 429;
+  r.body = "{\"error\":{}}";
+  auto parsed = service::ParseHttpResponse(r.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->status, 429);
+  EXPECT_EQ(parsed->body, "{\"error\":{}}");
+}
+
+// ---------------------------------------------------------------------------
+// JSON request decoder
+
+TEST(JsonValueTest, ParsesScalarsAndContainers) {
+  auto v = ParseJson(
+      " {\"a\": 1.5, \"b\": [true, null, \"x\"], \"c\": {\"d\": -2e3}} ");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_DOUBLE_EQ(v->Find("a")->AsNumber(), 1.5);
+  const JsonValue& b = *v->Find("b");
+  ASSERT_TRUE(b.is_array());
+  ASSERT_EQ(b.AsArray().size(), 3u);
+  EXPECT_TRUE(b.AsArray()[0].AsBool());
+  EXPECT_TRUE(b.AsArray()[1].is_null());
+  EXPECT_EQ(b.AsArray()[2].AsString(), "x");
+  EXPECT_DOUBLE_EQ(v->Find("c")->Find("d")->AsNumber(), -2000.0);
+}
+
+TEST(JsonValueTest, DecodesEscapesAndUnicode) {
+  auto v = ParseJson(R"({"s": "a\"b\\c\nd A 😀"})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->Find("s")->AsString(), "a\"b\\c\nd A \xF0\x9F\x98\x80");
+}
+
+TEST(JsonValueTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseJson("{} extra").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());
+}
+
+TEST(JsonValueTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("truth").ok());
+  EXPECT_FALSE(ParseJson("1e999").ok());  // non-finite
+  EXPECT_FALSE(ParseJson(R"({"s":"\uD800"})").ok());  // lone surrogate
+}
+
+TEST(JsonValueTest, EnforcesDepthLimit) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(ParseJson(deep, /*max_depth=*/64).ok());
+  EXPECT_TRUE(ParseJson("[[[[1]]]]", /*max_depth=*/64).ok());
+}
+
+TEST(JsonValueTest, EnforcesNodeBudget) {
+  // Every value costs ~100 bytes of JsonValue, so a small body of tiny
+  // scalars amplifies ~50x in memory; the node budget bounds it.
+  EXPECT_FALSE(ParseJson("[1,1,1,1,1]", /*max_depth=*/64,
+                         /*max_nodes=*/4)
+                   .ok());
+  EXPECT_TRUE(ParseJson("[1,1,1,1,1]", /*max_depth=*/64,
+                        /*max_nodes=*/6)
+                  .ok());
+  // The service default admits any legitimate request shape.
+  EXPECT_TRUE(ParseJson(R"({"items":[{"dataset":"d","k":2}]})").ok());
+}
+
+TEST(JsonValueTest, LookupHelpers) {
+  auto v = ParseJson(R"({"k": 3, "flag": true, "name": "x"})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->NumberOr("k", 1.0).value(), 3.0);
+  EXPECT_DOUBLE_EQ(v->NumberOr("missing", 1.0).value(), 1.0);
+  EXPECT_TRUE(v->BoolOr("flag", false).value());
+  EXPECT_FALSE(v->BoolOr("missing", false).value());
+  auto name = v->RequiredString("name");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "x");
+  EXPECT_FALSE(v->RequiredString("k").ok());       // wrong kind
+  EXPECT_FALSE(v->RequiredString("missing").ok());  // absent
+}
+
+TEST(JsonValueTest, LookupHelpersRejectWrongKinds) {
+  // A present key of the wrong kind must surface as an error, not fall
+  // back to the default — the request would otherwise be served with
+  // silently different parameters.
+  auto v = ParseJson(R"({"k": "5", "flag": 1})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v->NumberOr("k", 1.0).ok());
+  EXPECT_FALSE(v->BoolOr("flag", false).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Fixtures shared by registry and server tests (the paper's Figure 2)
+
+constexpr const char* kTaxD0Csv =
+    "income,owed,pay\n"
+    "9500,950,8550\n"
+    "90000,22500,67500\n"
+    "86000,21500,64500\n"
+    "86500,21625,64875\n";
+
+constexpr const char* kTaxLogSql =
+    "UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700;\n"
+    "INSERT INTO Taxes VALUES (87000, 21750, 65250);\n"
+    "UPDATE Taxes SET pay = income - owed;\n";
+
+constexpr const char* kTaxComplaintsCsv =
+    "tid,alive,income,owed,pay\n"
+    "2,1,86000,21500,64500\n"
+    "3,1,86500,21625,64875\n";
+
+// ---------------------------------------------------------------------------
+// DatasetRegistry
+
+TEST(DatasetRegistryTest, RegistersAndGets) {
+  DatasetRegistry registry;
+  auto ds = registry.Register("taxes", kTaxD0Csv, "Taxes", kTaxLogSql);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ((*ds)->d0.NumSlots(), 4u);
+  EXPECT_EQ((*ds)->log.size(), 3u);
+  EXPECT_EQ((*ds)->dirty.NumSlots(), 5u);  // the INSERT added a tuple
+  ASSERT_NE(registry.Get("taxes"), nullptr);
+  EXPECT_EQ(registry.Get("taxes").get(), ds->get());
+  EXPECT_EQ(registry.Get("other"), nullptr);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(DatasetRegistryTest, AcceptsSnapshotCheckpoints) {
+  DatasetRegistry registry;
+  std::string snapshot = io::WriteSnapshot(test::TaxD0());
+  auto ds = registry.Register("snap", snapshot, "ignored", kTaxLogSql);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ((*ds)->d0.table_name(), "Taxes");
+}
+
+TEST(DatasetRegistryTest, RejectsBadInputs) {
+  DatasetRegistry registry;
+  EXPECT_FALSE(registry.Register("", kTaxD0Csv, "T", kTaxLogSql).ok());
+  EXPECT_FALSE(
+      registry.Register("bad name", kTaxD0Csv, "T", kTaxLogSql).ok());
+  EXPECT_FALSE(registry.Register("x", "not,a\nvalid", "T", "SELECT").ok());
+  EXPECT_FALSE(
+      registry.Register("x", kTaxD0Csv, "Taxes", "DROP TABLE Taxes").ok());
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(DatasetRegistryTest, CapacityBoundsNewNamesButAllowsReplacement) {
+  DatasetRegistry registry(/*max_datasets=*/2);
+  ASSERT_TRUE(registry.Register("a", kTaxD0Csv, "Taxes", kTaxLogSql).ok());
+  ASSERT_TRUE(registry.Register("b", kTaxD0Csv, "Taxes", kTaxLogSql).ok());
+  auto third = registry.Register("c", kTaxD0Csv, "Taxes", kTaxLogSql);
+  ASSERT_FALSE(third.ok());
+  EXPECT_TRUE(third.status().IsResourceExhausted());
+  // Replacing a registered name is always allowed at capacity.
+  EXPECT_TRUE(registry.Register("a", kTaxD0Csv, "Taxes", kTaxLogSql).ok());
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(DatasetRegistryTest, FullRegistryRejectsBeforeParsing) {
+  DatasetRegistry registry(/*max_datasets=*/1);
+  ASSERT_TRUE(registry.Register("a", kTaxD0Csv, "Taxes", kTaxLogSql).ok());
+  // A new name on a full registry must be rejected with the capacity
+  // error before the body is parsed: garbage d0 text would otherwise
+  // surface as InvalidArgument, proving the expensive parse ran.
+  auto rejected = registry.Register("b", "not,a\nvalid", "T", "garbage");
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsResourceExhausted());
+  // Replacement of the existing name still parses (and still rejects
+  // malformed bodies on their own merits).
+  EXPECT_FALSE(registry.Register("a", "not,a\nvalid", "T", "garbage")
+                   .status()
+                   .IsResourceExhausted());
+}
+
+TEST(DatasetRegistryTest, ReplacementKeepsOldSnapshotAliveForReaders) {
+  DatasetRegistry registry;
+  auto first = registry.Register("d", kTaxD0Csv, "Taxes", kTaxLogSql);
+  ASSERT_TRUE(first.ok());
+  std::shared_ptr<const service::Dataset> held = registry.Get("d");
+  auto second =
+      registry.Register("d", kTaxD0Csv, "Taxes",
+                        "UPDATE Taxes SET pay = income - owed;");
+  ASSERT_TRUE(second.ok());
+  // The held reference still sees the original three-query log.
+  EXPECT_EQ(held->log.size(), 3u);
+  EXPECT_EQ(registry.Get("d")->log.size(), 1u);
+}
+
+// Registration racing lookups on the same name must be clean under
+// TSan: readers hold shared_ptr snapshots, writers swap the map entry.
+TEST(DatasetRegistryTest, ConcurrentRegisterAndGet) {
+  DatasetRegistry registry;
+  ASSERT_TRUE(
+      registry.Register("shared", kTaxD0Csv, "Taxes", kTaxLogSql).ok());
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        if (t % 2 == 0) {
+          auto ds = registry.Register("shared", kTaxD0Csv, "Taxes",
+                                      kTaxLogSql);
+          ASSERT_TRUE(ds.ok());
+        } else {
+          std::shared_ptr<const service::Dataset> ds =
+              registry.Get("shared");
+          ASSERT_NE(ds, nullptr);
+          // Read through the snapshot; stale is fine, torn is not.
+          ASSERT_EQ(ds->log.size(), 3u);
+          ASSERT_EQ(ds->d0.NumSlots(), 4u);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end loopback
+
+// Zeroes the values of the timing stats fields, which legitimately
+// differ between two runs of the same diagnosis.
+std::string NormalizeTiming(std::string json) {
+  for (const char* key :
+       {"\"encode_seconds\":", "\"solve_seconds\":", "\"total_seconds\":"}) {
+    size_t pos = 0;
+    while ((pos = json.find(key, pos)) != std::string::npos) {
+      size_t begin = pos + std::string(key).size();
+      size_t end = begin;
+      while (end < json.size() && json[end] != ',' && json[end] != '}') {
+        ++end;
+      }
+      json.replace(begin, end - begin, "0");
+      pos = begin;
+    }
+  }
+  return json;
+}
+
+// Extracts the balanced JSON object that follows `"report":` — the raw
+// report_json document the server spliced into its response.
+std::string ExtractReport(const std::string& body) {
+  size_t start = body.find("\"report\":");
+  if (start == std::string::npos) return "";
+  start += std::string("\"report\":").size();
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = start; i < body.size(); ++i) {
+    char c = body[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++depth;
+    if (c == '}') {
+      --depth;
+      if (depth == 0) return body.substr(start, i - start + 1);
+    }
+  }
+  return "";
+}
+
+class ServerTest : public testing::Test {
+ protected:
+  void StartServer(ServerOptions options) {
+    server_ = std::make_unique<DiagnosisServer>(options);
+    ASSERT_TRUE(server_->Start().ok());
+    port_ = server_->port();
+    ASSERT_GT(port_, 0);
+  }
+
+  service::HttpResponse Post(const std::string& path,
+                             const std::string& body,
+                             double timeout = 60.0) {
+    auto r = service::HttpPost("127.0.0.1", port_, path, body, timeout);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : service::HttpResponse{};
+  }
+
+  service::HttpResponse Get(const std::string& path) {
+    auto r = service::HttpGet("127.0.0.1", port_, path);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : service::HttpResponse{};
+  }
+
+  std::string RegisterTaxesBody() {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("name");
+    w.String("taxes");
+    w.Key("table");
+    w.String("Taxes");
+    w.Key("d0_csv");
+    w.String(kTaxD0Csv);
+    w.Key("log_sql");
+    w.String(kTaxLogSql);
+    w.EndObject();
+    return w.str();
+  }
+
+  std::string DiagnoseTaxesBody() {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("dataset");
+    w.String("taxes");
+    w.Key("complaints_csv");
+    w.String(kTaxComplaintsCsv);
+    w.EndObject();
+    return w.str();
+  }
+
+  std::unique_ptr<DiagnosisServer> server_;
+  int port_ = 0;
+};
+
+TEST_F(ServerTest, HealthzAndStats) {
+  StartServer(ServerOptions{});
+  auto health = Get("/v1/healthz");
+  EXPECT_EQ(health.status, 200);
+  auto doc = ParseJson(health.body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("status")->AsString(), "ok");
+
+  auto stats = Get("/v1/stats");
+  EXPECT_EQ(stats.status, 200);
+  auto sdoc = ParseJson(stats.body);
+  ASSERT_TRUE(sdoc.ok());
+  // The healthz request above is already counted.
+  EXPECT_GE(sdoc->Find("requests")->Find("healthz")->AsNumber(), 1.0);
+  EXPECT_EQ(sdoc->Find("queue")->Find("capacity")->AsNumber(), 8.0);
+}
+
+TEST_F(ServerTest, RoutingErrors) {
+  StartServer(ServerOptions{});
+  EXPECT_EQ(Get("/v1/nope").status, 404);
+  EXPECT_EQ(Post("/v1/healthz", "{}").status, 405);
+  EXPECT_EQ(Post("/v1/diagnose", "this is not json").status, 400);
+  EXPECT_EQ(Post("/v1/datasets", "{\"name\":\"x\"}").status, 400);
+  // Debug endpoints are off by default.
+  EXPECT_EQ(Post("/v1/debug/sleep", "{}").status, 404);
+  auto diag = Post("/v1/diagnose", DiagnoseTaxesBody());
+  EXPECT_EQ(diag.status, 404);  // dataset not registered
+}
+
+TEST_F(ServerTest, EndToEndMatchesLibraryResult) {
+  // Deterministic pool so the served result is bit-identical to the
+  // serial library path.
+  ServerOptions options;
+  options.jobs = 0;
+  StartServer(options);
+
+  auto reg = Post("/v1/datasets", RegisterTaxesBody());
+  ASSERT_EQ(reg.status, 200) << reg.body;
+  auto reg_doc = ParseJson(reg.body);
+  ASSERT_TRUE(reg_doc.ok());
+  EXPECT_EQ(reg_doc->Find("tuples")->AsNumber(), 4.0);
+  EXPECT_EQ(reg_doc->Find("queries")->AsNumber(), 3.0);
+
+  auto diag = Post("/v1/diagnose", DiagnoseTaxesBody());
+  ASSERT_EQ(diag.status, 200) << diag.body;
+  auto diag_doc = ParseJson(diag.body);
+  ASSERT_TRUE(diag_doc.ok()) << diag.body;
+  EXPECT_TRUE(diag_doc->Find("ok")->AsBool());
+  std::string served_report = ExtractReport(diag.body);
+  ASSERT_FALSE(served_report.empty()) << diag.body;
+
+  // The same diagnosis through the library: identical inputs, the
+  // serial BatchDiagnoser, the same report rendering.
+  auto d0 = io::DatabaseFromCsv(kTaxD0Csv, "Taxes");
+  ASSERT_TRUE(d0.ok());
+  auto log = sql::ParseLog(kTaxLogSql, d0->schema());
+  ASSERT_TRUE(log.ok());
+  auto complaints = io::ComplaintsFromCsv(kTaxComplaintsCsv, d0->schema());
+  ASSERT_TRUE(complaints.ok());
+  qfixcore::QFixOptions qopts;
+  qopts.time_limit_seconds = 30.0;  // the server's default cap
+  qfixcore::BatchItem item = qfixcore::MakeBatchItem(*log, *d0, *complaints,
+                                                     qopts, /*k=*/1);
+  qfixcore::BatchDiagnoser diagnoser(qfixcore::BatchOptions{});
+  auto results = diagnoser.Run({item});
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  std::string direct_report = qfixcore::RepairToJson(
+      *results[0], item.log, item.d0, item.dirty_dn, item.complaints);
+
+  EXPECT_EQ(NormalizeTiming(served_report), NormalizeTiming(direct_report));
+  // And the repair is the paper's: threshold 85700 -> 86501.
+  EXPECT_NE(served_report.find("\"after\":86501"), std::string::npos);
+  // Percentiles sample served diagnoses only; the registration this
+  // test also performed must not be in the window.
+  EXPECT_EQ(server_->stats().latency.count, 1u);
+}
+
+TEST_F(ServerTest, BatchedItemsReturnAlignedResults) {
+  StartServer(ServerOptions{});
+  ASSERT_EQ(Post("/v1/datasets", RegisterTaxesBody()).status, 200);
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("items");
+  w.BeginArray();
+  for (int i = 0; i < 2; ++i) {
+    w.BeginObject();
+    w.Key("dataset");
+    w.String("taxes");
+    w.Key("complaints_csv");
+    w.String(kTaxComplaintsCsv);
+    if (i == 1) {
+      w.Key("basic");
+      w.Bool(true);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  auto response = Post("/v1/diagnose", w.str());
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto doc = ParseJson(response.body);
+  ASSERT_TRUE(doc.ok()) << response.body;
+  const JsonValue* results = doc->Find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->AsArray().size(), 2u);
+  for (const JsonValue& r : results->AsArray()) {
+    EXPECT_TRUE(r.Find("ok")->AsBool());
+    ASSERT_NE(r.Find("report"), nullptr);
+    EXPECT_TRUE(r.Find("report")->Find("verified")->AsBool());
+  }
+}
+
+TEST_F(ServerTest, WrongTypedOptionalFieldsAre400NotDefaults) {
+  StartServer(ServerOptions{});
+  ASSERT_EQ(Post("/v1/datasets", RegisterTaxesBody()).status, 200);
+  // "k" as a string must be rejected, not silently diagnosed with the
+  // default k.
+  std::string body = DiagnoseTaxesBody();
+  body.insert(body.size() - 1, ",\"k\":\"5\"");
+  EXPECT_EQ(Post("/v1/diagnose", body).status, 400);
+  body = DiagnoseTaxesBody();
+  body.insert(body.size() - 1, ",\"denoise\":1");
+  EXPECT_EQ(Post("/v1/diagnose", body).status, 400);
+  body = DiagnoseTaxesBody();
+  body.insert(body.size() - 1, ",\"time_limit_seconds\":\"10\"");
+  EXPECT_EQ(Post("/v1/diagnose", body).status, 400);
+}
+
+TEST_F(ServerTest, OversizedItemsArrayIsRejected) {
+  // Every BatchItem copies the full dataset, so items[] length is the
+  // memory-amplification knob; the cap must bound it before any item
+  // is decoded or admitted.
+  ServerOptions options;
+  options.max_items = 2;
+  StartServer(options);
+  ASSERT_EQ(Post("/v1/datasets", RegisterTaxesBody()).status, 200);
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("items");
+  w.BeginArray();
+  for (int i = 0; i < 3; ++i) {
+    w.BeginObject();
+    w.Key("dataset");
+    w.String("taxes");
+    w.Key("complaints_csv");
+    w.String(kTaxComplaintsCsv);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(Post("/v1/diagnose", w.str()).status, 413);
+}
+
+// Concurrent diagnoses against one shared dataset: the TSan-lane
+// acceptance. Every request must succeed and carry the verified repair.
+TEST_F(ServerTest, ConcurrentDiagnosesOnSharedDataset) {
+  ServerOptions options;
+  options.jobs = 2;
+  options.max_inflight = 16;
+  StartServer(options);
+  ASSERT_EQ(Post("/v1/datasets", RegisterTaxesBody()).status, 200);
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> clients;
+  std::vector<int> statuses(kClients, 0);
+  std::vector<std::string> bodies(kClients);
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([this, c, &statuses, &bodies] {
+      auto r = service::HttpPost("127.0.0.1", port_, "/v1/diagnose",
+                                 DiagnoseTaxesBody(), 60.0);
+      if (r.ok()) {
+        statuses[c] = r->status;
+        bodies[c] = r->body;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(statuses[c], 200) << bodies[c];
+    EXPECT_NE(bodies[c].find("\"verified\":true"), std::string::npos)
+        << bodies[c];
+  }
+}
+
+// Over capacity, diagnosis requests shed with 429 rather than queueing
+// without bound — and the server stays observable and recovers.
+TEST_F(ServerTest, OverCapacityBurstShedsWith429) {
+  ServerOptions options;
+  options.max_inflight = 2;
+  options.enable_test_endpoints = true;
+  StartServer(options);
+  ASSERT_EQ(Post("/v1/datasets", RegisterTaxesBody()).status, 200);
+
+  // Occupy both admission slots with debug sleeps.
+  std::vector<std::thread> sleepers;
+  for (int i = 0; i < 2; ++i) {
+    sleepers.emplace_back([this] {
+      auto r = service::HttpPost("127.0.0.1", port_, "/v1/debug/sleep",
+                                 "{\"seconds\": 3.0}", 30.0);
+      EXPECT_TRUE(r.ok() && r->status == 200);
+    });
+  }
+  // Give the sleepers time to be admitted (generous for TSan).
+  std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+
+  // The burst: every diagnosis request must be shed immediately.
+  for (int i = 0; i < 4; ++i) {
+    auto r = Post("/v1/diagnose", DiagnoseTaxesBody(), 10.0);
+    EXPECT_EQ(r.status, 429) << r.body;
+  }
+  // Health stays responsive under load (it bypasses the gate).
+  EXPECT_EQ(Get("/v1/healthz").status, 200);
+  auto stats = ParseJson(Get("/v1/stats").body);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->Find("requests")->Find("shed_429")->AsNumber(), 4.0);
+  EXPECT_EQ(stats->Find("queue")->Find("inflight")->AsNumber(), 2.0);
+
+  for (std::thread& t : sleepers) t.join();
+  // Capacity freed: the same request now succeeds.
+  auto recovered = Post("/v1/diagnose", DiagnoseTaxesBody());
+  EXPECT_EQ(recovered.status, 200) << recovered.body;
+}
+
+TEST_F(ServerTest, StopCancelsDebugSleepCooperatively) {
+  ServerOptions options;
+  options.enable_test_endpoints = true;
+  StartServer(options);
+  std::thread sleeper([this] {
+    // Long sleep; Stop() must cut it short via the shutdown token.
+    service::HttpPost("127.0.0.1", port_, "/v1/debug/sleep",
+                      "{\"seconds\": 25.0}", 30.0);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  const double stop_started = MonotonicSeconds();
+  server_->Stop();
+  const double stop_seconds = MonotonicSeconds() - stop_started;
+  sleeper.join();
+  // Cooperative cancellation: far less than the requested 25 s.
+  EXPECT_LT(stop_seconds, 10.0);
+}
+
+}  // namespace
+}  // namespace qfix

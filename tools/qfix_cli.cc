@@ -18,6 +18,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/json.h"
 #include "common/strings.h"
 #include "io/csv.h"
 #include "io/snapshot.h"
@@ -30,7 +31,9 @@
 #include "qfix/qfix.h"
 #include "qfix/report_json.h"
 #include "relational/executor.h"
+#include "service/client.h"
 #include "sql/parser.h"
+#include "tool_common.h"
 
 namespace {
 
@@ -51,6 +54,9 @@ struct CliOptions {
   size_t alternatives = 0;
   double time_limit = 120.0;
   int jobs = 1;
+  /// Client mode: drive a running qfix_serve at this URL instead of
+  /// diagnosing in-process.
+  std::string client_url;
 };
 
 void PrintUsage(const char* argv0) {
@@ -81,18 +87,130 @@ void PrintUsage(const char* argv0) {
       "  --export-mps PATH  same encoding in free MPS format\n"
       "  --export-graph PATH  write the log's read-write dependency\n"
       "                graph (Graphviz DOT); repair candidates filled,\n"
-      "                diagnosed queries outlined\n\n"
+      "                diagnosed queries outlined\n"
+      "  --client URL  drive a running qfix_serve instead of\n"
+      "                diagnosing in-process: with --d0/--log/\n"
+      "                --complaints, registers the dataset and posts\n"
+      "                the diagnosis (prints the JSON response); alone,\n"
+      "                prints /v1/healthz and /v1/stats\n\n"
       "  --d0 also accepts a checkpoint snapshot (qfix-snapshot v1).\n",
       argv0);
 }
 
-bool ReadFile(const std::string& path, std::string* out) {
-  std::ifstream in(path);
-  if (!in) return false;
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  *out = ss.str();
-  return true;
+using qfix::tools::ReadFile;
+
+// Client mode: exercise a running qfix_serve end to end — the CI smoke
+// and operators poking a deployment share this path. Returns the
+// process exit code.
+int RunClient(const CliOptions& opt) {
+  auto hp = qfix::service::ParseUrl(opt.client_url);
+  if (!hp.ok()) {
+    std::fprintf(stderr, "error: %s\n", hp.status().ToString().c_str());
+    return 2;
+  }
+
+  auto health = qfix::service::HttpGet(hp->host, hp->port, "/v1/healthz");
+  if (!health.ok()) {
+    std::fprintf(stderr, "error reaching server: %s\n",
+                 health.status().ToString().c_str());
+    return 1;
+  }
+  if (health->status != 200) {
+    std::fprintf(stderr, "healthz returned HTTP %d: %s\n", health->status,
+                 health->body.c_str());
+    return 1;
+  }
+  std::printf("healthz: %s\n", health->body.c_str());
+
+  // Without inputs this is a pure health/stats probe.
+  if (opt.d0_path.empty()) {
+    auto stats = qfix::service::HttpGet(hp->host, hp->port, "/v1/stats");
+    if (stats.ok() && stats->status == 200) {
+      std::printf("stats: %s\n", stats->body.c_str());
+    }
+    return 0;
+  }
+  if (opt.log_path.empty() || opt.complaints_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --client with --d0 also needs --log and "
+                 "--complaints\n");
+    return 2;
+  }
+
+  std::string d0_text, log_sql, complaints_csv;
+  if (!ReadFile(opt.d0_path, &d0_text) || !ReadFile(opt.log_path, &log_sql) ||
+      !ReadFile(opt.complaints_path, &complaints_csv)) {
+    std::fprintf(stderr, "error: cannot read input files\n");
+    return 1;
+  }
+
+  const std::string dataset = opt.table;
+  {
+    qfix::JsonWriter w;
+    w.BeginObject();
+    w.Key("name");
+    w.String(dataset);
+    w.Key("table");
+    w.String(opt.table);
+    w.Key(d0_text.rfind("qfix-snapshot", 0) == 0 ? "d0_snapshot"
+                                                 : "d0_csv");
+    w.String(d0_text);
+    w.Key("log_sql");
+    w.String(log_sql);
+    w.EndObject();
+    auto reg = qfix::service::HttpPost(hp->host, hp->port, "/v1/datasets",
+                                       w.str());
+    if (!reg.ok()) {
+      std::fprintf(stderr, "error registering dataset: %s\n",
+                   reg.status().ToString().c_str());
+      return 1;
+    }
+    if (reg->status != 200) {
+      std::fprintf(stderr, "dataset registration failed (HTTP %d): %s\n",
+                   reg->status, reg->body.c_str());
+      return 1;
+    }
+    std::printf("registered: %s\n", reg->body.c_str());
+  }
+
+  qfix::JsonWriter w;
+  w.BeginObject();
+  w.Key("dataset");
+  w.String(dataset);
+  w.Key("complaints_csv");
+  w.String(complaints_csv);
+  if (opt.basic) {
+    w.Key("basic");
+    w.Bool(true);
+  } else {
+    w.Key("k");
+    w.Int(opt.k);
+  }
+  w.Key("time_limit_seconds");
+  w.Double(opt.time_limit);
+  if (opt.denoise) {
+    w.Key("denoise");
+    w.Bool(true);
+  }
+  w.EndObject();
+  auto diag = qfix::service::HttpPost(hp->host, hp->port, "/v1/diagnose",
+                                      w.str(), opt.time_limit + 30.0);
+  if (!diag.ok()) {
+    std::fprintf(stderr, "error posting diagnosis: %s\n",
+                 diag.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", diag->body.c_str());
+  if (diag->status != 200) {
+    std::fprintf(stderr, "diagnosis failed (HTTP %d)\n", diag->status);
+    return 1;
+  }
+  // The response carries "ok":true when the repair succeeded.
+  if (diag->body.find("\"ok\":true") == std::string::npos) {
+    std::fprintf(stderr, "diagnosis reported no repair\n");
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -136,10 +254,15 @@ int main(int argc, char** argv) {
       opt.time_limit = next() ? std::atof(argv[i]) : 120.0;
     } else if (arg == "--jobs") {
       opt.jobs = next() ? std::atoi(argv[i]) : 1;
+    } else if (arg == "--client") {
+      opt.client_url = next() ? argv[i] : "";
     } else {
       PrintUsage(argv[0]);
       return 2;
     }
+  }
+  if (!opt.client_url.empty()) {
+    return RunClient(opt);
   }
   if (opt.d0_path.empty() || opt.log_path.empty() ||
       opt.complaints_path.empty()) {

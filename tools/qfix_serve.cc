@@ -1,0 +1,162 @@
+// qfix_serve — the embedded HTTP/JSON diagnosis server.
+//
+// Usage:
+//   qfix_serve [--host ADDR] [--port N] [--jobs N] [--max-inflight N]
+//              [--max-connections N] [--time-limit SECONDS]
+//              [--name NAME --table T --d0 FILE --log FILE]
+//              [--test-endpoints]
+//
+// Starts the service (src/service) and blocks until SIGINT/SIGTERM,
+// then shuts down cooperatively (in-flight requests drain, queued batch
+// items fail fast). `--port 0` (the default) binds an ephemeral port;
+// the bound address is printed as
+//   qfix_serve listening on http://HOST:PORT
+// so scripts (the CI smoke, the tests) can scrape it.
+//
+// Endpoints and JSON schemas: README.md, section "Running the server".
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "service/registry.h"
+#include "service/server.h"
+#include "tool_common.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--host ADDR] [--port N] [--jobs N]\n"
+      "          [--max-inflight N] [--max-connections N]\n"
+      "          [--time-limit SECONDS]\n"
+      "          [--name NAME --table T --d0 FILE --log FILE]\n\n"
+      "  --host ADDR         bind address (default 127.0.0.1)\n"
+      "  --port N            TCP port; 0 picks an ephemeral port\n"
+      "                      (default 0)\n"
+      "  --jobs N            diagnosis pool workers (default 1;\n"
+      "                      0 = one per core)\n"
+      "  --max-inflight N    diagnosis requests in flight before the\n"
+      "                      server sheds with 429 (default 8)\n"
+      "  --max-connections N concurrent connections (default 64)\n"
+      "  --max-datasets N    registry capacity; full -> 429 for new\n"
+      "                      names (default 64)\n"
+      "  --max-items N       items[] entries accepted per diagnose\n"
+      "                      request (default 64)\n"
+      "  --time-limit S      cap on any request's per-item time limit\n"
+      "                      (default 30)\n"
+      "  --name/--table/--d0/--log\n"
+      "                      preregister one dataset from files before\n"
+      "                      serving (same formats as qfix --d0/--log)\n"
+      "  --test-endpoints    enable POST /v1/debug/sleep (tests only)\n",
+      argv0);
+}
+
+using qfix::tools::ReadFile;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qfix::service::ServerOptions options;
+  std::string pre_name, pre_table = "T", pre_d0_path, pre_log_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--host") {
+      options.host = next() ? argv[i] : options.host;
+    } else if (arg == "--port") {
+      options.port = next() ? std::atoi(argv[i]) : 0;
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      int jobs = v != nullptr ? std::atoi(v) : 1;
+      options.jobs = jobs == 0
+                         ? qfix::exec::ThreadPool::DefaultParallelism()
+                         : jobs;
+    } else if (arg == "--max-inflight") {
+      options.max_inflight = next() ? std::atoi(argv[i]) : 8;
+    } else if (arg == "--max-connections") {
+      options.max_connections = next() ? std::atoi(argv[i]) : 64;
+    } else if (arg == "--max-datasets") {
+      options.max_datasets = next() ? std::atoi(argv[i]) : 64;
+    } else if (arg == "--max-items") {
+      options.max_items = next() ? std::atoi(argv[i]) : 64;
+    } else if (arg == "--time-limit") {
+      options.max_time_limit_seconds = next() ? std::atof(argv[i]) : 30.0;
+    } else if (arg == "--name") {
+      pre_name = next() ? argv[i] : "";
+    } else if (arg == "--table") {
+      pre_table = next() ? argv[i] : "T";
+    } else if (arg == "--d0") {
+      pre_d0_path = next() ? argv[i] : "";
+    } else if (arg == "--log") {
+      pre_log_path = next() ? argv[i] : "";
+    } else if (arg == "--test-endpoints") {
+      options.enable_test_endpoints = true;
+    } else {
+      PrintUsage(argv[0]);
+      return 2;
+    }
+  }
+
+  qfix::service::DiagnosisServer server(options);
+
+  if (!pre_d0_path.empty() || !pre_log_path.empty()) {
+    if (pre_d0_path.empty() || pre_log_path.empty() || pre_name.empty()) {
+      std::fprintf(stderr,
+                   "error: preregistration needs --name, --d0 and --log\n");
+      return 2;
+    }
+    std::string d0_text, log_sql;
+    if (!ReadFile(pre_d0_path, &d0_text)) {
+      std::fprintf(stderr, "error: cannot read %s\n", pre_d0_path.c_str());
+      return 1;
+    }
+    if (!ReadFile(pre_log_path, &log_sql)) {
+      std::fprintf(stderr, "error: cannot read %s\n", pre_log_path.c_str());
+      return 1;
+    }
+    auto ds = server.registry().Register(pre_name, d0_text, pre_table,
+                                         log_sql);
+    if (!ds.ok()) {
+      std::fprintf(stderr, "error registering dataset: %s\n",
+                   ds.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("registered dataset '%s' (%zu tuples, %zu queries)\n",
+                (*ds)->name.c_str(), (*ds)->d0.NumSlots(),
+                (*ds)->log.size());
+  }
+
+  qfix::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::printf("qfix_serve listening on http://%s:%d\n",
+              options.host.c_str(), server.port());
+  std::fflush(stdout);
+
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("shutting down\n");
+  server.Stop();
+  return 0;
+}

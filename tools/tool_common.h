@@ -1,0 +1,25 @@
+// Helpers shared by the command-line tools (qfix_cli, qfix_serve).
+#ifndef QFIX_TOOLS_TOOL_COMMON_H_
+#define QFIX_TOOLS_TOOL_COMMON_H_
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace qfix {
+namespace tools {
+
+/// Slurps `path` into `*out`; false when the file cannot be opened.
+inline bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace tools
+}  // namespace qfix
+
+#endif  // QFIX_TOOLS_TOOL_COMMON_H_
