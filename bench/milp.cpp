@@ -61,9 +61,7 @@ qfixcore::BatchItem ScenarioItem(uint64_t seed) {
   workload::Scenario s = workload::MakeSyntheticScenario(
       spec, /*corrupt=*/{spec.num_queries / 2}, seed);
   qfixcore::BatchItem item;
-  item.log = s.dirty_log;
-  item.d0 = s.d0;
-  item.dirty_dn = s.dirty;
+  item.data = cache::MakeSnapshot(s.dirty_log, s.d0, s.dirty);
   item.complaints = s.complaints;
   item.options.time_limit_seconds = 30.0;
   return item;

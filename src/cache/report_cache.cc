@@ -1,0 +1,232 @@
+#include "cache/report_cache.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+namespace qfix {
+namespace cache {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvBytes(uint64_t seed, const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    seed ^= p[i];
+    seed *= kFnvPrime;
+  }
+  return seed;
+}
+
+/// Accounting overhead per entry beyond the report bytes: key strings,
+/// map node, LRU node, control block. An estimate — the budget is a
+/// sizing knob, not an allocator contract.
+constexpr size_t kEntryOverheadBytes = 160;
+
+/// How often a blocked FindOrLead() wakes to poll its cancel token even
+/// if the leader has not settled.
+constexpr std::chrono::milliseconds kWaitPoll(50);
+
+}  // namespace
+
+uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return FnvBytes(seed ^ kFnvOffset, &value, sizeof(value));
+}
+
+uint64_t HashComplaints(const provenance::ComplaintSet& complaints) {
+  // ComplaintSet keeps complaints sorted by tid with at most one per
+  // tuple, so iterating is already canonical.
+  uint64_t h = kFnvOffset;
+  for (const provenance::Complaint& c : complaints.complaints()) {
+    h = FnvBytes(h, &c.tid, sizeof(c.tid));
+    unsigned char alive = c.target_alive ? 1 : 0;
+    h = FnvBytes(h, &alive, sizeof(alive));
+    // Hash exact value bits: two sets are "the same request" only if
+    // replaying them would target bit-identical states.
+    for (double v : c.target_values) {
+      uint64_t bits;
+      std::memcpy(&bits, &v, sizeof(bits));
+      h = FnvBytes(h, &bits, sizeof(bits));
+    }
+  }
+  return h;
+}
+
+size_t ReportCache::KeyHash::operator()(const CacheKey& key) const {
+  uint64_t h = FnvBytes(kFnvOffset, key.dataset.data(), key.dataset.size());
+  h = HashCombine(h, key.version);
+  h = HashCombine(h, key.request_hash);
+  return static_cast<size_t>(h);
+}
+
+ReportCache::ReportCache(size_t max_bytes, size_t num_shards)
+    : max_bytes_(max_bytes) {
+  num_shards = std::max<size_t>(num_shards, 1);
+  shard_budget_ = std::max<size_t>(max_bytes / num_shards, 1);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ReportCache::Shard& ReportCache::ShardFor(const CacheKey& key) {
+  return *shards_[KeyHash()(key) % shards_.size()];
+}
+
+void ReportCache::EvictOverBudget(Shard& shard) {
+  while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
+    const CacheKey& victim = shard.lru.back();
+    auto it = shard.map.find(victim);
+    if (it != shard.map.end()) {
+      shard.bytes -= it->second.bytes;
+      shard.map.erase(it);
+      ++shard.evictions;
+    }
+    shard.lru.pop_back();
+  }
+}
+
+ReportCache::Outcome ReportCache::FindOrLead(
+    const CacheKey& key, const exec::CancellationToken& cancel) {
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  bool waited = false;
+  while (true) {
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      // Cold miss: take leadership with a pending (valueless)
+      // placeholder.
+      shard.map.emplace(key, Entry());
+      ++shard.misses;
+      Outcome out;
+      out.lead = true;
+      return out;
+    }
+    if (it->second.value != nullptr) {
+      // Hit: refresh recency.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+      ++shard.hits;
+      if (waited) ++shard.coalesced;
+      Outcome out;
+      out.value = it->second.value;
+      out.coalesced = waited;
+      return out;
+    }
+    // A leader is in flight; wait for it to settle, polling the cancel
+    // token so shutdown (or a crashed leader's waiters) cannot hang.
+    if (cancel.cancelled()) {
+      ++shard.misses;
+      return Outcome();
+    }
+    waited = true;
+    shard.cv.wait_for(lock, kWaitPoll);
+  }
+}
+
+std::shared_ptr<const CachedReport> ReportCache::Peek(const CacheKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end() || it->second.value == nullptr) return nullptr;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  ++shard.hits;
+  return it->second.value;
+}
+
+void ReportCache::Publish(const CacheKey& key, CachedReport report) {
+  Shard& shard = ShardFor(key);
+  size_t bytes = key.dataset.size() + report.report_json.size() +
+                 kEntryOverheadBytes;
+  auto value = std::make_shared<const CachedReport>(std::move(report));
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.map.emplace(key, Entry());
+    Entry& entry = it->second;
+    if (!inserted && entry.value != nullptr) {
+      // Replacing a settled entry (uncoordinated insert): drop the old
+      // accounting and recency slot first.
+      shard.bytes -= entry.bytes;
+      shard.lru.erase(entry.lru_it);
+    }
+    entry.value = std::move(value);
+    entry.bytes = bytes;
+    shard.lru.push_front(key);
+    entry.lru_it = shard.lru.begin();
+    shard.bytes += bytes;
+    ++shard.inserts;
+    EvictOverBudget(shard);
+  }
+  shard.cv.notify_all();
+}
+
+void ReportCache::Abandon(const CacheKey& key) {
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end() && it->second.value == nullptr) {
+      shard.map.erase(it);
+    }
+  }
+  shard.cv.notify_all();
+}
+
+void ReportCache::EraseDataset(std::string_view name) {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.map.begin(); it != shard.map.end();) {
+      // Pending entries stay: their leader still owns Publish/Abandon,
+      // and their stale-version key can never be queried again anyway.
+      if (it->first.dataset == name && it->second.value != nullptr) {
+        shard.bytes -= it->second.bytes;
+        shard.lru.erase(it->second.lru_it);
+        it = shard.map.erase(it);
+        ++shard.invalidations;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void ReportCache::Clear() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.map.begin(); it != shard.map.end();) {
+      if (it->second.value != nullptr) {
+        shard.lru.erase(it->second.lru_it);
+        it = shard.map.erase(it);
+        ++shard.invalidations;
+      } else {
+        ++it;
+      }
+    }
+    shard.bytes = 0;
+  }
+}
+
+ReportCache::Stats ReportCache::stats() const {
+  Stats out;
+  out.capacity_bytes = max_bytes_;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.coalesced += shard.coalesced;
+    out.inserts += shard.inserts;
+    out.evictions += shard.evictions;
+    out.invalidations += shard.invalidations;
+    out.bytes += shard.bytes;
+    out.entries += shard.lru.size();
+  }
+  return out;
+}
+
+}  // namespace cache
+}  // namespace qfix

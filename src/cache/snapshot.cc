@@ -1,0 +1,34 @@
+#include "cache/snapshot.h"
+
+#include <atomic>
+
+#include "relational/executor.h"
+
+namespace qfix {
+namespace cache {
+
+uint64_t NextSnapshotVersion() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+Snapshot MakeSnapshot(relational::QueryLog log, relational::Database d0,
+                      relational::Database dirty, std::string name) {
+  auto ds = std::make_shared<Dataset>();
+  ds->name = std::move(name);
+  ds->version = NextSnapshotVersion();
+  ds->d0 = std::move(d0);
+  ds->log = std::move(log);
+  ds->dirty = std::move(dirty);
+  return Snapshot(std::move(ds));
+}
+
+Snapshot MakeSnapshot(relational::QueryLog log, relational::Database d0,
+                      std::string name) {
+  relational::Database dirty = relational::ExecuteLog(log, d0);
+  return MakeSnapshot(std::move(log), std::move(d0), std::move(dirty),
+                      std::move(name));
+}
+
+}  // namespace cache
+}  // namespace qfix

@@ -1,0 +1,78 @@
+// Versioned zero-copy diagnosis snapshots.
+//
+// A Dataset is the paper's system-model triple — trusted checkpoint D0,
+// the executed query log Q, and the replayed dirty state D_n — frozen
+// behind shared_ptr<const Dataset> so the whole serving stack (registry,
+// batch diagnoser, engine) shares ONE materialization per registration
+// instead of deep-copying it into every request. Every Dataset carries a
+// process-unique, monotonically increasing version id minted at
+// construction: (name, version) is the identity the report cache keys
+// on, and a re-registered name gets a fresh version, which is what makes
+// stale cache entries unreachable without any coordination.
+#ifndef QFIX_CACHE_SNAPSHOT_H_
+#define QFIX_CACHE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "relational/database.h"
+#include "relational/query.h"
+
+namespace qfix {
+namespace cache {
+
+/// Mints the next process-wide snapshot version. Thread-safe; never
+/// returns 0 (0 means "no version" in default-constructed state).
+uint64_t NextSnapshotVersion();
+
+/// One immutable diagnosis snapshot. Nothing mutates a Dataset after
+/// publication; concurrent readers share it by reference counting.
+struct Dataset {
+  std::string name;
+  /// Process-unique registration id (see NextSnapshotVersion()).
+  uint64_t version = 0;
+  relational::Database d0;
+  relational::QueryLog log;
+  /// The observed final state, replay of `log` on `d0` — what
+  /// complaints are filed against.
+  relational::Database dirty;
+};
+
+/// A cheap, copyable handle on an immutable Dataset. Copying a Snapshot
+/// bumps a refcount; it never copies tuples. A default-constructed
+/// Snapshot is empty (boolean false).
+class Snapshot {
+ public:
+  Snapshot() = default;
+  explicit Snapshot(std::shared_ptr<const Dataset> dataset)
+      : dataset_(std::move(dataset)) {}
+
+  explicit operator bool() const { return dataset_ != nullptr; }
+  const Dataset& operator*() const { return *dataset_; }
+  const Dataset* operator->() const { return dataset_.get(); }
+  const std::shared_ptr<const Dataset>& dataset() const { return dataset_; }
+
+  const std::string& name() const { return dataset_->name; }
+  uint64_t version() const { return dataset_ == nullptr ? 0
+                                                        : dataset_->version; }
+
+ private:
+  std::shared_ptr<const Dataset> dataset_;
+};
+
+/// Builds a snapshot from explicit states, minting a fresh version.
+/// Inputs are moved, not copied.
+Snapshot MakeSnapshot(relational::QueryLog log, relational::Database d0,
+                      relational::Database dirty, std::string name = "");
+
+/// Convenience overload that derives the dirty state by replaying `log`
+/// on `d0`.
+Snapshot MakeSnapshot(relational::QueryLog log, relational::Database d0,
+                      std::string name = "");
+
+}  // namespace cache
+}  // namespace qfix
+
+#endif  // QFIX_CACHE_SNAPSHOT_H_

@@ -49,7 +49,7 @@ AttrSet ComplaintSet::ComplaintAttributes(
 
 relational::Database ComplaintSet::ApplyTo(
     const relational::Database& dirty) const {
-  relational::Database out = dirty;
+  relational::Database out = dirty.Clone();
   for (const Complaint& c : complaints_) {
     relational::Tuple& t = out.slot(static_cast<size_t>(c.tid));
     t.alive = c.target_alive;

@@ -1,5 +1,7 @@
 #include "qfix/batch.h"
 
+#include <cstring>
+#include <memory>
 #include <optional>
 #include <utility>
 
@@ -7,22 +9,98 @@
 #include "exec/cancellation.h"
 #include "exec/task_group.h"
 #include "exec/thread_pool.h"
+#include "qfix/report_json.h"
 #include "relational/executor.h"
 
 namespace qfix {
 namespace qfixcore {
 
+namespace {
+
+uint64_t HashDouble(uint64_t seed, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return cache::HashCombine(seed, bits);
+}
+
+/// Folds every QFixOptions knob that changes the *result* (not just the
+/// runtime) of a diagnosis into the cache identity — the slicing
+/// switches and every EncoderOptions field, since each alters the model
+/// (and with it the repair) a solve can produce. Time limits are
+/// deliberately excluded: only proven-optimal solves are published, and
+/// an optimum is the same repair whether the budget was 10s or 120s.
+uint64_t OptionsFingerprint(const QFixOptions& options) {
+  uint64_t bits = 0;
+  bits |= options.tuple_slicing ? 1u : 0u;
+  bits |= options.query_slicing ? 2u : 0u;
+  bits |= options.attribute_slicing ? 4u : 0u;
+  bits |= options.refinement ? 8u : 0u;
+  bits |= options.single_corruption_filter ? 16u : 0u;
+  bits |= options.polish_params ? 32u : 0u;
+  bits |= options.encoder.parameterize_coefficients ? 64u : 0u;
+  bits |= options.encoder.fold_constants ? 128u : 0u;
+  uint64_t h = cache::HashCombine(0, bits);
+  h = HashDouble(h, options.refine_distance_weight);
+  h = HashDouble(h, options.encoder.value_bound);
+  h = HashDouble(h, options.encoder.epsilon);
+  h = HashDouble(h, options.encoder.param_distance_weight);
+  h = HashDouble(h, options.encoder.soft_match_weight);
+  return h;
+}
+
+/// Clears leadership on every exit path: a leader that sheds, fails, or
+/// throws must wake its waiters rather than strand them.
+class LeaderGuard {
+ public:
+  LeaderGuard(cache::ReportCache* cache, const cache::CacheKey& key)
+      : cache_(cache), key_(key) {}
+  ~LeaderGuard() {
+    if (cache_ != nullptr) cache_->Abandon(key_);
+  }
+  /// Publishes instead of abandoning.
+  void Publish(cache::CachedReport report) {
+    cache_->Publish(key_, std::move(report));
+    cache_ = nullptr;
+  }
+
+ private:
+  cache::ReportCache* cache_;
+  cache::CacheKey key_;
+};
+
+}  // namespace
+
 BatchItem MakeBatchItem(relational::QueryLog log, relational::Database d0,
                         provenance::ComplaintSet complaints,
                         QFixOptions options, int k) {
   BatchItem item;
-  item.dirty_dn = relational::ExecuteLog(log, d0);
-  item.log = std::move(log);
-  item.d0 = std::move(d0);
+  item.data = cache::MakeSnapshot(std::move(log), std::move(d0));
   item.complaints = std::move(complaints);
   item.options = options;
   item.k = k;
   return item;
+}
+
+BatchItem MakeBatchItem(cache::Snapshot data,
+                        provenance::ComplaintSet complaints,
+                        QFixOptions options, int k) {
+  BatchItem item;
+  item.data = std::move(data);
+  item.complaints = std::move(complaints);
+  item.options = options;
+  item.k = k;
+  return item;
+}
+
+cache::CacheKey ItemCacheKey(const BatchItem& item) {
+  cache::CacheKey key;
+  key.dataset = item.data ? item.data.name() : std::string();
+  key.version = item.data.version();
+  uint64_t h = cache::HashComplaints(item.complaints);
+  h = cache::HashCombine(h, static_cast<uint64_t>(item.k));
+  h = cache::HashCombine(h, OptionsFingerprint(item.options));
+  key.request_hash = h;
+  return key;
 }
 
 std::vector<Result<Repair>> BatchDiagnoser::Run(
@@ -55,6 +133,37 @@ std::vector<Result<Repair>> BatchDiagnoser::Run(
         return;
       }
       const BatchItem& item = items[i];
+      if (!item.data) {
+        // A default-constructed item never got a snapshot; the by-value
+        // path used to degrade to an empty log, but dereferencing a
+        // null Dataset would crash.
+        slots[i] = Status::InvalidArgument(
+            "BatchItem has no snapshot; build it with MakeBatchItem()");
+        return;
+      }
+
+      // Memoization: a hit skips the solver entirely; a cold miss takes
+      // singleflight leadership so concurrent identical items (in this
+      // or any other batch) wait for this solve instead of repeating it.
+      cache::ReportCache* cache = options_.report_cache;
+      std::optional<cache::CacheKey> key;
+      std::optional<LeaderGuard> lead;
+      if (cache != nullptr && item.data) {
+        key = ItemCacheKey(item);
+        cache::ReportCache::Outcome found =
+            cache->FindOrLead(*key, options_.cancel);
+        if (found.value != nullptr && found.value->payload != nullptr) {
+          Repair hit = *std::static_pointer_cast<const Repair>(
+              found.value->payload);
+          hit.from_cache = true;
+          slots[i] = std::move(hit);
+          return;
+        }
+        if (found.lead) lead.emplace(cache, *key);
+        // A cancelled wait (or a value without payload) degrades to an
+        // uncached solve below.
+      }
+
       QFixOptions options = item.options;
       // Clamp the per-item budget to what is left of the batch budget;
       // a disabled (<= 0) per-item limit must not escape the clamp.
@@ -62,10 +171,23 @@ std::vector<Result<Repair>> BatchDiagnoser::Run(
           deadline.RemainingSeconds() < options.time_limit_seconds) {
         options.time_limit_seconds = deadline.RemainingSeconds();
       }
-      QFixEngine engine(item.log, item.d0, item.dirty_dn, item.complaints,
-                        options);
-      slots[i] = item.k <= 0 ? engine.RepairBasic()
-                             : engine.RepairIncremental(item.k);
+      QFixEngine engine(item.data, item.complaints, options);
+      Result<Repair> result = item.k <= 0 ? engine.RepairBasic()
+                                          : engine.RepairIncremental(item.k);
+      // Memoize only proven-optimal repairs: a limit-truncated feasible
+      // incumbent depends on this request's budget and must not be
+      // served to callers with bigger ones (the key deliberately
+      // excludes time limits). Failures and truncations abandon, so
+      // waiters retry with their own budget.
+      if (lead.has_value() && result.ok() && result->stats.optimal) {
+        cache::CachedReport report;
+        report.report_json =
+            RepairToJson(*result, item.data->log, item.data->d0,
+                         item.data->dirty, item.complaints);
+        report.payload = std::make_shared<const Repair>(*result);
+        lead->Publish(std::move(report));
+      }
+      slots[i] = std::move(result);
     });
   }
   group.Wait();

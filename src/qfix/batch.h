@@ -2,17 +2,27 @@
 // pipelines over one work-stealing pool (src/exec).
 //
 // This is the entry point a multi-tenant diagnosis service loop would
-// call: each BatchItem is a self-contained diagnosis request (its own
-// log, checkpoint, dirty state, and complaint set), items run
-// concurrently on the pool, and the result vector lines up with the
-// input vector. With `jobs <= 0` the batch runs in the pool's
-// deterministic serial mode — identical results, reproducible order —
-// which is what the tests and single-core deployments use.
+// call: each BatchItem is a self-contained diagnosis request (a shared
+// immutable snapshot of the log/checkpoint/dirty state plus its own
+// complaint set), items run concurrently on the pool, and the result
+// vector lines up with the input vector. Snapshots are zero-copy: any
+// number of items (and concurrent batches) reference one cache::Dataset
+// without duplicating tuples. With `jobs <= 0` the batch runs in the
+// pool's deterministic serial mode — identical results, reproducible
+// order — which is what the tests and single-core deployments use.
+//
+// With BatchOptions::report_cache set, items are memoized through a
+// cache::ReportCache keyed by (snapshot name, version, canonical
+// complaint/options hash): repeat requests skip the solver and identical
+// concurrent requests coalesce into one solve (singleflight). Hits are
+// marked Repair::from_cache.
 #ifndef QFIX_QFIX_BATCH_H_
 #define QFIX_QFIX_BATCH_H_
 
 #include <vector>
 
+#include "cache/report_cache.h"
+#include "cache/snapshot.h"
 #include "common/result.h"
 #include "exec/cancellation.h"
 #include "provenance/complaint.h"
@@ -28,19 +38,25 @@ namespace qfixcore {
 
 /// One independent diagnosis request.
 struct BatchItem {
-  relational::QueryLog log;
-  relational::Database d0;
-  /// The observed (complained-about) final state. Pass the result of
-  /// replaying `log` on `d0` — or use MakeBatchItem() to derive it.
-  relational::Database dirty_dn;
+  /// The immutable (D0, Q, D_n) snapshot this request diagnoses —
+  /// shared, never copied. Use MakeBatchItem() to build one from
+  /// by-value states (the tests/CLI adapter path).
+  cache::Snapshot data;
   provenance::ComplaintSet complaints;
   QFixOptions options;
   /// Incremental batch size (RepairIncremental); 0 selects RepairBasic.
   int k = 1;
 };
 
-/// Convenience constructor that derives `dirty_dn` by replaying the log.
+/// By-value adapter (tests, CLI): derives the dirty state by replaying
+/// `log` on `d0` and freezes everything into a fresh snapshot. Inputs
+/// are moved, not copied.
 BatchItem MakeBatchItem(relational::QueryLog log, relational::Database d0,
+                        provenance::ComplaintSet complaints,
+                        QFixOptions options = QFixOptions(), int k = 1);
+
+/// Zero-copy constructor: the item references `data` as-is.
+BatchItem MakeBatchItem(cache::Snapshot data,
                         provenance::ComplaintSet complaints,
                         QFixOptions options = QFixOptions(), int k = 1);
 
@@ -60,7 +76,18 @@ struct BatchOptions {
   /// started when the token fires fail with ResourceExhausted instead of
   /// running. Default-constructed tokens never fire.
   exec::CancellationToken cancel;
+  /// Optional memoization layer. Non-owning; must outlive Run().
+  /// Successful repairs are published under the item's snapshot
+  /// identity; repeat items come back with Repair::from_cache set and
+  /// never touch the solver.
+  cache::ReportCache* report_cache = nullptr;
 };
+
+/// The cache key BatchDiagnoser files an item under: snapshot identity
+/// plus the canonical hash of the complaint set and every option that
+/// changes the diagnosis. Exposed so the service layer can consult the
+/// same cache entry before dispatching to a pool.
+cache::CacheKey ItemCacheKey(const BatchItem& item);
 
 /// Diagnoses every item and returns one Result per item, in input
 /// order. Items are independent: a failure (infeasible, limits) in one

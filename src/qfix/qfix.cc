@@ -97,9 +97,17 @@ void PolishRepairedParams(const QueryLog& original, QueryLog& repaired,
 QFixEngine::QFixEngine(QueryLog log, Database d0, Database dirty_dn,
                        provenance::ComplaintSet complaints,
                        QFixOptions options)
-    : log_(std::move(log)),
-      d0_(std::move(d0)),
-      dirty_(std::move(dirty_dn)),
+    : QFixEngine(cache::MakeSnapshot(std::move(log), std::move(d0),
+                                     std::move(dirty_dn)),
+                 std::move(complaints), options) {}
+
+QFixEngine::QFixEngine(cache::Snapshot data,
+                       provenance::ComplaintSet complaints,
+                       QFixOptions options)
+    : data_(std::move(data)),
+      log_(data_->log),
+      d0_(data_->d0),
+      dirty_(data_->dirty),
       complaints_(std::move(complaints)),
       options_(options) {
   num_attrs_ = d0_.schema().num_attrs();
@@ -185,6 +193,7 @@ Result<Repair> QFixEngine::SolveAttempt(
   stats->solve_seconds += solve_timer.ElapsedSeconds();
   stats->solver_nodes += sol.stats.nodes;
 
+  stats->optimal = sol.status == milp::MilpStatus::kOptimal;
   switch (sol.status) {
     case milp::MilpStatus::kOptimal:
     case milp::MilpStatus::kFeasible:
@@ -294,6 +303,10 @@ Result<Repair> QFixEngine::SolveAttempt(
       repair.changed_queries = std::move(refined_changed);
       repair.distance = relational::LogDistance(log_, repair.log);
       stats->refined = true;
+      // The adopted solution is now the refinement's: optimality (and
+      // with it cacheability) follows the weakest solve behind it.
+      stats->optimal =
+          stats->optimal && rsol.status == milp::MilpStatus::kOptimal;
     }
   }
 

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cache/snapshot.h"
 #include "common/result.h"
 #include "common/timer.h"
 #include "milp/solver.h"
@@ -70,6 +71,12 @@ struct RepairStats {
   int attempts = 0;
   /// Whether the step-2 refinement MILP ran.
   bool refined = false;
+  /// True when every MILP behind the returned repair was solved to
+  /// proven optimality. False means a limit stopped branch & bound at
+  /// a feasible incumbent — the repair is valid but possibly not
+  /// minimal, so it depends on the budget and MUST NOT be memoized
+  /// (the report cache only caches optimal results).
+  bool optimal = false;
   size_t encoded_tuples = 0;
   size_t encoded_queries = 0;
 };
@@ -88,12 +95,23 @@ struct Repair {
   /// zero collateral and only falls back to damaged ones when no batch
   /// yields a clean repair.
   size_t collateral = 0;
+  /// True when this result was served from a cache::ReportCache instead
+  /// of a fresh solve (BatchOptions::report_cache). Not part of the
+  /// rendered report — cached reports are byte-identical to cold ones.
+  bool from_cache = false;
   RepairStats stats;
 };
 
 class QFixEngine {
  public:
-  /// All states are copied; the engine is self-contained afterwards.
+  /// Zero-copy constructor: the engine shares the immutable snapshot
+  /// for its whole lifetime (no tuple is copied). This is the serving
+  /// hot path — see cache/snapshot.h.
+  QFixEngine(cache::Snapshot data, provenance::ComplaintSet complaints,
+             QFixOptions options = QFixOptions());
+
+  /// By-value adapter (tests, CLI): moves the states into a private
+  /// snapshot; the engine is self-contained afterwards.
   QFixEngine(relational::QueryLog log, relational::Database d0,
              relational::Database dirty_dn,
              provenance::ComplaintSet complaints,
@@ -136,9 +154,12 @@ class QFixEngine {
   // Queries eligible for encoding (loose relevance filter).
   std::vector<bool> EncodedSet(const std::vector<bool>& parameterized) const;
 
-  relational::QueryLog log_;
-  relational::Database d0_;
-  relational::Database dirty_;
+  /// Owns (a reference on) the immutable snapshot; the references below
+  /// point into it and stay valid for the engine's lifetime.
+  cache::Snapshot data_;
+  const relational::QueryLog& log_;
+  const relational::Database& d0_;
+  const relational::Database& dirty_;
   provenance::ComplaintSet complaints_;
   QFixOptions options_;
 

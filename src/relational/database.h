@@ -8,8 +8,10 @@
 #ifndef QFIX_RELATIONAL_DATABASE_H_
 #define QFIX_RELATIONAL_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -31,6 +33,46 @@ class Database {
   Database() = default;
   Database(Schema schema, std::string table_name)
       : schema_(std::move(schema)), table_name_(std::move(table_name)) {}
+
+  // Copies are counted (see CopyCount()): the serving hot path is
+  // contractually zero-copy — requests share immutable snapshots — so
+  // every implicit deep copy of a database state is either a bug or
+  // belongs on the explicit Clone() path.
+  Database(const Database& other)
+      : schema_(other.schema_),
+        table_name_(other.table_name_),
+        tuples_(other.tuples_) {
+    copy_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Database& operator=(const Database& other) {
+    if (this != &other) {
+      schema_ = other.schema_;
+      table_name_ = other.table_name_;
+      tuples_ = other.tuples_;
+      copy_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return *this;
+  }
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// An intentional deep copy, excluded from CopyCount(): replaying a
+  /// log onto a working state is solver work that scales with the
+  /// solve, not request plumbing that scales with traffic.
+  Database Clone() const {
+    Database out;
+    out.schema_ = schema_;
+    out.table_name_ = table_name_;
+    out.tuples_ = tuples_;
+    return out;
+  }
+
+  /// Test hook: process-wide number of implicit deep copies
+  /// (copy-construction/assignment) since start. The zero-copy serving
+  /// tests assert this does not move across a request.
+  static int64_t CopyCount() {
+    return copy_count_.load(std::memory_order_relaxed);
+  }
 
   const Schema& schema() const { return schema_; }
   const std::string& table_name() const { return table_name_; }
@@ -68,6 +110,7 @@ class Database {
   std::vector<Tuple>& mutable_tuples() { return tuples_; }
 
  private:
+  inline static std::atomic<int64_t> copy_count_{0};
   Schema schema_;
   std::string table_name_;
   std::vector<Tuple> tuples_;

@@ -36,7 +36,9 @@ void ApplyQuery(const Query& query, Database& db) {
 }
 
 Database ExecuteLog(const QueryLog& log, const Database& d0) {
-  Database db = d0;
+  // Clone, not copy: replay working states are intentional deep copies
+  // and must not trip the zero-copy serving assertion (database.h).
+  Database db = d0.Clone();
   for (const Query& q : log) ApplyQuery(q, db);
   return db;
 }

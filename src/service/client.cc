@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
+#include <strings.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <sys/types.h>
@@ -21,9 +22,11 @@ namespace service {
 
 namespace {
 
-Result<HttpResponse> Roundtrip(const std::string& host, int port,
-                               const std::string& request_bytes,
-                               double timeout_seconds) {
+/// Connects with a bounded non-blocking handshake — a plain ::connect
+/// to a dropped-SYN host would otherwise block for the kernel's full
+/// retry period (minutes) regardless of timeout_seconds.
+Result<int> ConnectTo(const std::string& host, int port,
+                      double timeout_seconds) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::Internal(StringPrintf("socket(): %s", strerror(errno)));
@@ -42,9 +45,6 @@ Result<HttpResponse> Roundtrip(const std::string& host, int port,
     ::close(fd);
     return Status::InvalidArgument("not an IPv4 address: " + host);
   }
-  // Non-blocking connect bounded by the caller's timeout — a plain
-  // ::connect to a dropped-SYN host would otherwise block for the
-  // kernel's full retry period (minutes) regardless of timeout_seconds.
   int flags = ::fcntl(fd, F_GETFL, 0);
   ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
@@ -77,29 +77,64 @@ Result<HttpResponse> Roundtrip(const std::string& host, int port,
     }
   }
   ::fcntl(fd, F_SETFL, flags);
+  return fd;
+}
 
+Status SendRequest(int fd, const std::string& request_bytes) {
   size_t sent = 0;
   while (sent < request_bytes.size()) {
     ssize_t n = ::send(fd, request_bytes.data() + sent,
                        request_bytes.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      Status s = Status::Internal(StringPrintf("send(): %s",
-                                               strerror(errno)));
-      ::close(fd);
-      return s;
+      return Status::Internal(StringPrintf("send(): %s", strerror(errno)));
     }
     sent += static_cast<size_t>(n);
   }
-  ::shutdown(fd, SHUT_WR);
+  return Status::OK();
+}
 
-  // Connection: close — the response is everything until EOF.
+/// Reads one Content-Length-framed response (keep-alive framing: the
+/// connection stays open, so "read until EOF" is not available).
+/// `*got_bytes` reports whether ANY response bytes arrived — the
+/// caller's retry logic must distinguish "server closed an idle
+/// connection before reading the request" (safe to retry) from "failed
+/// mid-response" (the request may have executed; retrying would run it
+/// twice).
+Result<HttpResponse> ReadFramedResponse(int fd, Deadline deadline,
+                                        bool* got_bytes) {
+  *got_bytes = false;
   std::string raw;
-  Deadline deadline = Deadline::AfterSeconds(timeout_seconds);
+  size_t head_end = std::string::npos;
+  size_t sep = 0;
+  size_t need = std::string::npos;
   char buf[8192];
   while (true) {
+    if (head_end == std::string::npos) {
+      head_end = raw.find("\r\n\r\n");
+      sep = 4;
+      if (head_end == std::string::npos) {
+        head_end = raw.find("\n\n");
+        sep = 2;
+      }
+      if (head_end != std::string::npos) {
+        auto head = ParseHttpResponse(raw.substr(0, head_end + sep));
+        if (!head.ok()) return head.status();
+        size_t body_len = 0;
+        for (const auto& [key, value] : head->headers) {
+          if (key.size() == 14 &&
+              strcasecmp(key.c_str(), "Content-Length") == 0) {
+            body_len = static_cast<size_t>(
+                std::strtoull(value.c_str(), nullptr, 10));
+          }
+        }
+        need = head_end + sep + body_len;
+      }
+    }
+    if (need != std::string::npos && raw.size() >= need) {
+      return ParseHttpResponse(std::string_view(raw).substr(0, need));
+    }
     if (deadline.Expired()) {
-      ::close(fd);
       return Status::ResourceExhausted("HTTP response not received in time");
     }
     ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
@@ -107,30 +142,51 @@ Result<HttpResponse> Roundtrip(const std::string& host, int port,
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
         continue;
       }
-      Status s = Status::Internal(StringPrintf("recv(): %s",
-                                               strerror(errno)));
-      ::close(fd);
-      return s;
+      return Status::Internal(StringPrintf("recv(): %s", strerror(errno)));
     }
-    if (n == 0) break;
+    if (n == 0) {
+      // EOF: with a framed head this is a truncated response; without
+      // one the peer closed before answering.
+      return Status::Internal("connection closed before a full response");
+    }
     raw.append(buf, static_cast<size_t>(n));
+    *got_bytes = true;
   }
-  ::close(fd);
-  return ParseHttpResponse(raw);
 }
 
 std::string BuildRequest(const char* method, const std::string& host,
                          int port, const std::string& path,
-                         const std::string& body) {
+                         const std::string& body, bool keep_alive) {
   std::string out = StringPrintf("%s %s HTTP/1.1\r\n", method, path.c_str());
   out += StringPrintf("Host: %s:%d\r\n", host.c_str(), port);
   if (!body.empty()) {
     out += "Content-Type: application/json\r\n";
   }
   out += StringPrintf("Content-Length: %zu\r\n", body.size());
-  out += "Connection: close\r\n\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                    : "Connection: close\r\n\r\n";
   out += body;
   return out;
+}
+
+Result<HttpResponse> Roundtrip(const std::string& host, int port,
+                               const std::string& request_bytes,
+                               double timeout_seconds) {
+  auto fd = ConnectTo(host, port, timeout_seconds);
+  if (!fd.ok()) return fd.status();
+  Status sent = SendRequest(*fd, request_bytes);
+  if (!sent.ok()) {
+    ::close(*fd);
+    return sent;
+  }
+  ::shutdown(*fd, SHUT_WR);
+  // The server always frames with Content-Length, so the one-shot path
+  // shares the keep-alive reader instead of a read-until-EOF twin.
+  bool got_bytes = false;
+  Result<HttpResponse> response = ReadFramedResponse(
+      *fd, Deadline::AfterSeconds(timeout_seconds), &got_bytes);
+  ::close(*fd);
+  return response;
 }
 
 }  // namespace
@@ -139,15 +195,92 @@ Result<HttpResponse> HttpPost(const std::string& host, int port,
                               const std::string& path,
                               const std::string& body,
                               double timeout_seconds) {
-  return Roundtrip(host, port, BuildRequest("POST", host, port, path, body),
+  return Roundtrip(host, port,
+                   BuildRequest("POST", host, port, path, body,
+                                /*keep_alive=*/false),
                    timeout_seconds);
 }
 
 Result<HttpResponse> HttpGet(const std::string& host, int port,
                              const std::string& path,
                              double timeout_seconds) {
-  return Roundtrip(host, port, BuildRequest("GET", host, port, path, ""),
+  return Roundtrip(host, port,
+                   BuildRequest("GET", host, port, path, "",
+                                /*keep_alive=*/false),
                    timeout_seconds);
+}
+
+ClientConnection::ClientConnection(std::string host, int port)
+    : host_(std::move(host)), port_(port) {}
+
+ClientConnection::~ClientConnection() { CloseSocket(); }
+
+void ClientConnection::CloseSocket() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status ClientConnection::EnsureConnected(double timeout_seconds) {
+  if (fd_ >= 0) return Status::OK();
+  auto fd = ConnectTo(host_, port_, timeout_seconds);
+  if (!fd.ok()) return fd.status();
+  fd_ = *fd;
+  ++connects_;
+  return Status::OK();
+}
+
+Result<HttpResponse> ClientConnection::Roundtrip(const char* method,
+                                                 const std::string& path,
+                                                 const std::string& body,
+                                                 double timeout_seconds) {
+  std::string request =
+      BuildRequest(method, host_, port_, path, body, /*keep_alive=*/true);
+  Deadline deadline = Deadline::AfterSeconds(timeout_seconds);
+  // Two attempts: a reused socket may have been closed by the server
+  // (idle timeout, request budget) between requests; the retry runs on
+  // a fresh connection.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    bool reused = fd_ >= 0;
+    QFIX_RETURN_IF_ERROR(EnsureConnected(timeout_seconds));
+    Status sent = SendRequest(fd_, request);
+    bool got_bytes = false;
+    Result<HttpResponse> response =
+        sent.ok() ? ReadFramedResponse(fd_, deadline, &got_bytes)
+                  : Result<HttpResponse>(sent);
+    if (response.ok()) {
+      // Honor the server's verdict on persistence.
+      bool server_keeps = false;
+      for (const auto& [key, value] : response->headers) {
+        if (strcasecmp(key.c_str(), "Connection") == 0) {
+          server_keeps = strcasecmp(value.c_str(), "keep-alive") == 0;
+        }
+      }
+      if (!server_keeps) CloseSocket();
+      return response;
+    }
+    CloseSocket();
+    // Retry only the stale keep-alive race: a *reused* socket that died
+    // before ANY response byte arrived (the server closed it between
+    // requests without reading this one). Once response bytes flowed —
+    // or on a fresh connection — the request may already have executed
+    // server-side, and replaying a non-idempotent POST would run it
+    // twice.
+    if (!reused || got_bytes || deadline.Expired()) return response;
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<HttpResponse> ClientConnection::Post(const std::string& path,
+                                            const std::string& body,
+                                            double timeout_seconds) {
+  return Roundtrip("POST", path, body, timeout_seconds);
+}
+
+Result<HttpResponse> ClientConnection::Get(const std::string& path,
+                                           double timeout_seconds) {
+  return Roundtrip("GET", path, "", timeout_seconds);
 }
 
 Result<HostPort> ParseUrl(std::string_view url) {

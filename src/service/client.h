@@ -1,7 +1,9 @@
 // Minimal blocking HTTP/1.1 client for driving a DiagnosisServer:
 // `qfix_cli --client` smoke runs, the end-to-end tests, and the
-// loopback throughput bench. One request per connection, mirroring the
-// server's Connection: close semantics.
+// loopback throughput bench. The free functions open one connection
+// per request (Connection: close); ClientConnection keeps its socket
+// across requests (HTTP/1.1 keep-alive), which is what repeat callers
+// should use — it saves a TCP handshake per request.
 #ifndef QFIX_SERVICE_CLIENT_H_
 #define QFIX_SERVICE_CLIENT_H_
 
@@ -26,6 +28,41 @@ Result<HttpResponse> HttpPost(const std::string& host, int port,
 Result<HttpResponse> HttpGet(const std::string& host, int port,
                              const std::string& path,
                              double timeout_seconds = 30.0);
+
+/// A persistent connection to one server. Requests reuse the socket
+/// until the server answers `Connection: close` (e.g. its
+/// max_requests_per_conn budget ran out) or the socket dies, at which
+/// point the next request transparently reconnects. Not thread-safe;
+/// one ClientConnection per driving thread.
+class ClientConnection {
+ public:
+  ClientConnection(std::string host, int port);
+  ~ClientConnection();
+
+  ClientConnection(const ClientConnection&) = delete;
+  ClientConnection& operator=(const ClientConnection&) = delete;
+
+  Result<HttpResponse> Post(const std::string& path, const std::string& body,
+                            double timeout_seconds = 30.0);
+  Result<HttpResponse> Get(const std::string& path,
+                           double timeout_seconds = 30.0);
+
+  /// How many TCP connects this client has performed — 1 after any
+  /// number of kept-alive requests; more only when the server closed.
+  int connects() const { return connects_; }
+
+ private:
+  Result<HttpResponse> Roundtrip(const char* method, const std::string& path,
+                                 const std::string& body,
+                                 double timeout_seconds);
+  Status EnsureConnected(double timeout_seconds);
+  void CloseSocket();
+
+  std::string host_;
+  int port_;
+  int fd_ = -1;
+  int connects_ = 0;
+};
 
 /// Splits "http://HOST:PORT" (scheme optional) into host and port.
 struct HostPort {

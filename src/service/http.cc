@@ -69,6 +69,24 @@ std::string_view HttpRequest::query() const {
   return q == std::string_view::npos ? std::string_view() : t.substr(q + 1);
 }
 
+bool HttpRequest::WantsKeepAlive() const {
+  // Scan the Connection header as a comma-separated token list; a
+  // `close` token always wins.
+  bool saw_keep_alive = false;
+  if (const std::string* header = FindHeader("Connection")) {
+    std::string_view rest = *header;
+    while (!rest.empty()) {
+      size_t comma = rest.find(',');
+      std::string_view token = Trim(rest.substr(0, comma));
+      if (EqualsIgnoreCase(token, "close")) return false;
+      if (EqualsIgnoreCase(token, "keep-alive")) saw_keep_alive = true;
+      if (comma == std::string_view::npos) break;
+      rest.remove_prefix(comma + 1);
+    }
+  }
+  return version == "HTTP/1.1" || saw_keep_alive;
+}
+
 HttpRequestParser::State HttpRequestParser::Fail(int http_status,
                                                  std::string message) {
   state_ = State::kError;
@@ -183,8 +201,9 @@ HttpRequestParser::State HttpRequestParser::Feed(std::string_view bytes) {
 
   if (buffer_.size() >= body_expected_) {
     request_.body = buffer_.substr(0, body_expected_);
-    // Bytes beyond Content-Length would be a pipelined second request;
-    // with Connection: close semantics they are simply ignored.
+    // Bytes beyond Content-Length are the start of a pipelined next
+    // request on a kept-alive connection; hand them to the caller.
+    leftover_ = buffer_.substr(body_expected_);
     buffer_.clear();
     state_ = State::kComplete;
   }
@@ -221,7 +240,8 @@ std::string HttpResponse::Serialize() const {
   }
   if (!have_type) out += "Content-Type: application/json\r\n";
   out += StringPrintf("Content-Length: %zu\r\n", body.size());
-  out += "Connection: close\r\n\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                    : "Connection: close\r\n\r\n";
   out += body;
   return out;
 }

@@ -2,10 +2,11 @@
 //
 // Dependency-free by design (the container bakes in no HTTP library,
 // and the service only needs the request/response subset the paper's
-// Example-1 workflow exercises): one request per connection, explicit
-// Content-Length bodies, `Connection: close` semantics. Keep-alive,
-// chunked transfer, and TLS are deliberately out of scope — the ROADMAP
-// lists them as proxy-layer follow-ons.
+// Example-1 workflow exercises): explicit Content-Length bodies,
+// HTTP/1.1 keep-alive honored per the Connection header (bytes beyond
+// one message carry over to the next via TakeLeftover()). Chunked
+// transfer and TLS are deliberately out of scope — the ROADMAP lists
+// them as proxy-layer follow-ons.
 //
 // The parser is incremental: the server feeds it whatever recv() hands
 // back and asks "complete yet?", so slow clients and pipelined bytes in
@@ -39,6 +40,10 @@ struct HttpRequest {
   std::string_view path() const;
   /// Everything after the first '?', or empty.
   std::string_view query() const;
+  /// Connection persistence per RFC 9112 §9.3: HTTP/1.1 defaults to
+  /// keep-alive unless the Connection header carries a `close` token;
+  /// HTTP/1.0 defaults to close unless it carries `keep-alive`.
+  bool WantsKeepAlive() const;
 };
 
 /// Byte budgets for one request.
@@ -70,6 +75,11 @@ class HttpRequestParser {
   int error_status() const { return error_status_; }
   const std::string& error() const { return error_; }
 
+  /// After kComplete: bytes received beyond this message — the start of
+  /// a pipelined next request on a kept-alive connection. Feed them to
+  /// the next parser. Moves the bytes out (empty on repeat calls).
+  std::string TakeLeftover() { return std::move(leftover_); }
+
  private:
   State Fail(int http_status, std::string message);
   State ParseHead();
@@ -77,6 +87,7 @@ class HttpRequestParser {
   HttpLimits limits_;
   State state_ = State::kNeedMore;
   std::string buffer_;
+  std::string leftover_;
   bool head_done_ = false;
   size_t body_expected_ = 0;
   HttpRequest request_;
@@ -85,10 +96,14 @@ class HttpRequestParser {
 };
 
 /// One response to serialize. `Serialize()` fills in Content-Length,
-/// Connection: close, and a Content-Type of application/json unless the
-/// headers already carry one.
+/// the Connection header (close unless `keep_alive`), and a
+/// Content-Type of application/json unless the headers already carry
+/// one.
 struct HttpResponse {
   int status = 200;
+  /// Announce (and honor) connection persistence. The server sets this
+  /// per request from HttpRequest::WantsKeepAlive() and its own limits.
+  bool keep_alive = false;
   std::vector<std::pair<std::string, std::string>> headers;
   std::string body;
 

@@ -56,6 +56,9 @@ Result<std::shared_ptr<const Dataset>> DatasetRegistry::Register(
 
   auto ds = std::make_shared<Dataset>();
   ds->name = name;
+  // Fresh identity per registration: a replaced name gets a new
+  // version, which is what strands stale report-cache entries.
+  ds->version = cache::NextSnapshotVersion();
   // Auto-detect the checkpoint format the CLI also accepts.
   if (d0_text.rfind("qfix-snapshot", 0) == 0) {
     QFIX_ASSIGN_OR_RETURN(ds->d0, io::ReadSnapshot(d0_text));
@@ -67,15 +70,35 @@ Result<std::shared_ptr<const Dataset>> DatasetRegistry::Register(
   ds->dirty = relational::ExecuteLog(ds->log, ds->d0);
 
   std::shared_ptr<const Dataset> published = std::move(ds);
+  bool replaced = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (max_datasets_ > 0 && map_.size() >= max_datasets_ &&
         map_.find(name) == map_.end()) {
       return RegistryFullError(max_datasets_);
     }
-    map_[std::move(name)] = published;
+    auto [it, inserted] = map_.insert_or_assign(std::move(name), published);
+    (void)it;
+    replaced = !inserted;
+  }
+  // Eager invalidation outside the lock: version keys already make the
+  // old entries unreachable, this just frees their bytes now.
+  if (replaced && report_cache_ != nullptr) {
+    report_cache_->EraseDataset(published->name);
   }
   return published;
+}
+
+bool DatasetRegistry::Erase(std::string_view name) {
+  bool erased = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    erased = map_.erase(std::string(name)) > 0;
+  }
+  if (erased && report_cache_ != nullptr) {
+    report_cache_->EraseDataset(name);
+  }
+  return erased;
 }
 
 std::shared_ptr<const Dataset> DatasetRegistry::Get(

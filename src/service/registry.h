@@ -4,11 +4,18 @@
 // A dataset is the paper's system-model triple — trusted checkpoint D0,
 // the executed query log Q, and the replayed dirty state D_n — parsed
 // once at registration (io CSV/snapshot readers + the SQL parser) and
-// frozen behind shared_ptr<const Dataset>. Registration replacing a
-// name while diagnoses run against the old version is safe by
-// construction: readers hold their own reference, so the old snapshot
-// stays alive until the last request drops it, and nobody mutates a
-// published Dataset.
+// frozen behind shared_ptr<const Dataset> (cache::Dataset, so the whole
+// stack down to QFixEngine shares the same zero-copy snapshot type).
+// Registration replacing a name while diagnoses run against the old
+// version is safe by construction: readers hold their own reference, so
+// the old snapshot stays alive until the last request drops it, and
+// nobody mutates a published Dataset.
+//
+// Every registration mints a fresh, process-unique version id
+// (cache::NextSnapshotVersion). (name, version) is the identity the
+// report cache keys on; when a name is replaced the registry also
+// eagerly erases that name's entries from the attached ReportCache so
+// the byte budget is not held by unreachable reports.
 #ifndef QFIX_SERVICE_REGISTRY_H_
 #define QFIX_SERVICE_REGISTRY_H_
 
@@ -19,6 +26,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/report_cache.h"
+#include "cache/snapshot.h"
 #include "common/result.h"
 #include "relational/database.h"
 #include "relational/query.h"
@@ -27,14 +36,7 @@ namespace qfix {
 namespace service {
 
 /// One registered diagnosis snapshot. Immutable after construction.
-struct Dataset {
-  std::string name;
-  relational::Database d0;
-  relational::QueryLog log;
-  /// The observed final state, replay of `log` on `d0` — what complaints
-  /// are filed against.
-  relational::Database dirty;
-};
+using Dataset = cache::Dataset;
 
 class DatasetRegistry {
  public:
@@ -46,6 +48,13 @@ class DatasetRegistry {
   explicit DatasetRegistry(size_t max_datasets = 0)
       : max_datasets_(max_datasets) {}
 
+  /// Attaches the report cache to invalidate when a name is replaced or
+  /// erased. Non-owning; call before serving (not thread-safe against
+  /// concurrent Register).
+  void AttachReportCache(cache::ReportCache* report_cache) {
+    report_cache_ = report_cache;
+  }
+
   /// Parses and publishes a dataset. `d0_text` is either a CSV document
   /// (header of attribute names) or a `qfix-snapshot v1` checkpoint,
   /// auto-detected; `log_sql` is the ';'-separated executed query log.
@@ -56,6 +65,10 @@ class DatasetRegistry {
                                                   std::string table_name,
                                                   std::string_view log_sql);
 
+  /// Removes `name` (dropping its report-cache entries too). Returns
+  /// whether it was registered. In-flight readers keep their reference.
+  bool Erase(std::string_view name);
+
   /// The current snapshot for `name`, or nullptr. Thread-safe.
   std::shared_ptr<const Dataset> Get(std::string_view name) const;
 
@@ -63,6 +76,7 @@ class DatasetRegistry {
 
  private:
   size_t max_datasets_;
+  cache::ReportCache* report_cache_ = nullptr;
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<const Dataset>> map_;
 };

@@ -11,6 +11,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -28,15 +29,19 @@ namespace service {
 
 namespace {
 
-/// RAII slot in the admission gate. `admitted()` is false when the gate
-/// was full — the request must be shed with 429.
+/// RAII slots in the admission gate. The gate is counted in batch
+/// items, not requests — one items[] request buys `count` slots so the
+/// gate bounds solver work, not sockets. `admitted()` is false when the
+/// gate lacked room — the request must be shed with 429. Callers cap
+/// `count` at `capacity` so oversized batches stay admittable (on an
+/// empty gate) instead of being shed forever.
 class AdmissionSlot {
  public:
-  AdmissionSlot(std::atomic<int>* inflight, int capacity)
-      : inflight_(inflight) {
+  AdmissionSlot(std::atomic<int>* inflight, int capacity, int count)
+      : inflight_(inflight), count_(count) {
     int cur = inflight_->load(std::memory_order_relaxed);
-    while (cur < capacity) {
-      if (inflight_->compare_exchange_weak(cur, cur + 1,
+    while (cur + count_ <= capacity) {
+      if (inflight_->compare_exchange_weak(cur, cur + count_,
                                            std::memory_order_acq_rel)) {
         admitted_ = true;
         return;
@@ -44,7 +49,7 @@ class AdmissionSlot {
     }
   }
   ~AdmissionSlot() {
-    if (admitted_) inflight_->fetch_sub(1, std::memory_order_acq_rel);
+    if (admitted_) inflight_->fetch_sub(count_, std::memory_order_acq_rel);
   }
   AdmissionSlot(const AdmissionSlot&) = delete;
   AdmissionSlot& operator=(const AdmissionSlot&) = delete;
@@ -53,6 +58,7 @@ class AdmissionSlot {
 
  private:
   std::atomic<int>* inflight_;
+  int count_;
   bool admitted_ = false;
 };
 
@@ -147,6 +153,11 @@ DiagnosisServer::DiagnosisServer(ServerOptions options)
   options_.max_inflight = std::max(options_.max_inflight, 1);
   options_.max_connections = std::max(options_.max_connections, 1);
   options_.max_items = std::max(options_.max_items, 1);
+  options_.max_requests_per_conn = std::max(options_.max_requests_per_conn, 1);
+  if (options_.cache_bytes > 0) {
+    cache_ = std::make_unique<cache::ReportCache>(options_.cache_bytes);
+    registry_.AttachReportCache(cache_.get());
+  }
 }
 
 DiagnosisServer::~DiagnosisServer() { Stop(); }
@@ -275,8 +286,9 @@ void DiagnosisServer::AcceptLoop() {
   }
 }
 
-bool DiagnosisServer::ReadRequest(int fd, HttpRequest* request,
-                                  HttpResponse* error_response) {
+DiagnosisServer::ReadOutcome DiagnosisServer::ReadRequest(
+    int fd, std::string* leftover, bool first_request, HttpRequest* request,
+    HttpResponse* error_response) {
   // Short socket timeouts let the loop poll the shutdown token while a
   // slow client trickles bytes; the overall Deadline bounds the request.
   timeval tv;
@@ -285,48 +297,91 @@ bool DiagnosisServer::ReadRequest(int fd, HttpRequest* request,
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 
   HttpRequestParser parser(options_.http);
-  Deadline deadline = Deadline::AfterSeconds(options_.read_timeout_seconds);
+  bool got_bytes = false;
+
+  auto feed = [&](std::string_view bytes) -> ReadOutcome {
+    HttpRequestParser::State state = parser.Feed(bytes);
+    if (state == HttpRequestParser::State::kComplete) {
+      *request = parser.request();
+      *leftover = parser.TakeLeftover();
+      return ReadOutcome::kRequest;
+    }
+    if (state == HttpRequestParser::State::kError) {
+      *error_response = JsonError(parser.error_status(), "BadRequest",
+                                  parser.error());
+      return ReadOutcome::kError;
+    }
+    return ReadOutcome::kIdleClose;  // sentinel for "need more"
+  };
+
+  // Pipelined bytes from the previous request on this connection.
+  if (!leftover->empty()) {
+    got_bytes = true;
+    std::string pipelined = std::move(*leftover);
+    leftover->clear();
+    ReadOutcome out = feed(pipelined);
+    if (parser.state() != HttpRequestParser::State::kNeedMore) return out;
+  }
+
+  // Between requests on a kept-alive connection the (usually longer)
+  // idle budget applies; once the request's first byte arrives — and
+  // for the very first request, whose connect already proved intent —
+  // the read timeout governs.
+  Deadline deadline = Deadline::AfterSeconds(
+      first_request || got_bytes ? options_.read_timeout_seconds
+                                 : options_.idle_timeout_seconds);
   char buf[8192];
   while (true) {
-    if (shutdown_.cancelled()) return false;  // no response on shutdown
+    if (shutdown_.cancelled()) return ReadOutcome::kIdleClose;
     if (deadline.Expired()) {
+      if (!got_bytes && !first_request) {
+        // Idle keep-alive connection: close quietly, nothing to answer.
+        return ReadOutcome::kIdleClose;
+      }
       *error_response =
           JsonError(408, "Timeout", "request not received in time");
-      return false;
+      return ReadOutcome::kError;
     }
     ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
         continue;
       }
-      return false;  // peer vanished; nothing to answer
+      return ReadOutcome::kIdleClose;  // peer vanished; nothing to answer
     }
     if (n == 0) {
       // EOF before a complete request: nothing sensible to answer.
-      return false;
+      return ReadOutcome::kIdleClose;
     }
-    HttpRequestParser::State state =
-        parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
-    if (state == HttpRequestParser::State::kComplete) {
-      *request = parser.request();
-      return true;
+    if (!got_bytes) {
+      got_bytes = true;
+      deadline = Deadline::AfterSeconds(options_.read_timeout_seconds);
     }
-    if (state == HttpRequestParser::State::kError) {
-      *error_response = JsonError(parser.error_status(), "BadRequest",
-                                  parser.error());
-      return false;
-    }
+    ReadOutcome out = feed(std::string_view(buf, static_cast<size_t>(n)));
+    if (parser.state() != HttpRequestParser::State::kNeedMore) return out;
   }
 }
 
 void DiagnosisServer::HandleConnection(int fd) {
-  HttpRequest request;
-  HttpResponse response;
-  response.status = 0;
-  if (ReadRequest(fd, &request, &response)) {
-    response = Dispatch(request);
-  }
-  if (response.status != 0) {
+  counters_.connections.fetch_add(1, std::memory_order_relaxed);
+  std::string leftover;
+  for (int served = 0; served < options_.max_requests_per_conn; ++served) {
+    HttpRequest request;
+    HttpResponse response;
+    response.status = 0;
+    ReadOutcome outcome =
+        ReadRequest(fd, &leftover, /*first_request=*/served == 0, &request,
+                    &response);
+    if (outcome == ReadOutcome::kIdleClose) break;
+    if (outcome == ReadOutcome::kRequest) {
+      response = Dispatch(request);
+      // Keep the connection iff the client wants it, the per-connection
+      // request budget allows another, and we are not shutting down.
+      response.keep_alive = request.WantsKeepAlive() &&
+                            served + 1 < options_.max_requests_per_conn &&
+                            !shutdown_.cancelled();
+    }
+    if (response.status == 0) break;
     // Every answered request counts, including protocol errors the
     // parser rejected — error rates derived from /v1/stats stay
     // consistent (errors <= total).
@@ -339,9 +394,12 @@ void DiagnosisServer::HandleConnection(int fd) {
     } else if (response.status >= 500) {
       counters_.err5xx.fetch_add(1, std::memory_order_relaxed);
     }
-    SendAll(fd, response.Serialize(),
-            Deadline::AfterSeconds(options_.write_timeout_seconds),
-            shutdown_.token());
+    if (!SendAll(fd, response.Serialize(),
+                 Deadline::AfterSeconds(options_.write_timeout_seconds),
+                 shutdown_.token())) {
+      break;
+    }
+    if (!response.keep_alive) break;
   }
   ShutdownAndClose(fd, /*drain_ms=*/100);
 }
@@ -428,6 +486,35 @@ HttpResponse DiagnosisServer::HandleStats() {
   w.Uint(s.errors_4xx);
   w.Key("errors_5xx");
   w.Uint(s.errors_5xx);
+  w.Key("connections");
+  w.Uint(s.connections_total);
+  w.Key("items");
+  w.Uint(s.items_total);
+  w.Key("cached_hits");
+  w.Uint(s.cached_hits);
+  w.EndObject();
+  w.Key("cache");
+  w.BeginObject();
+  w.Key("enabled");
+  w.Bool(s.cache_enabled);
+  w.Key("hits");
+  w.Uint(s.cache.hits);
+  w.Key("misses");
+  w.Uint(s.cache.misses);
+  w.Key("coalesced");
+  w.Uint(s.cache.coalesced);
+  w.Key("inserts");
+  w.Uint(s.cache.inserts);
+  w.Key("evictions");
+  w.Uint(s.cache.evictions);
+  w.Key("invalidations");
+  w.Uint(s.cache.invalidations);
+  w.Key("bytes");
+  w.Uint(s.cache.bytes);
+  w.Key("entries");
+  w.Uint(s.cache.entries);
+  w.Key("capacity_bytes");
+  w.Uint(s.cache.capacity_bytes);
   w.EndObject();
   w.Key("latency");
   w.BeginObject();
@@ -569,6 +656,16 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
       return JsonError(400, "InvalidArgument",
                        StringPrintf("item %zu: complaint set is empty", i));
     }
+    auto denoise = item.BoolOr("denoise", false);
+    if (!denoise.ok()) return StatusError(400, denoise.status());
+    di.denoise = *denoise;
+    if (di.denoise) {
+      // Denoise at decode time so the cache key hashes the complaint
+      // set that is actually diagnosed.
+      di.complaints =
+          provenance::DenoiseComplaints(di.complaints, di.dataset->dirty)
+              .kept;
+    }
     auto k = item.NumberOr("k", 1.0);
     if (!k.ok()) return StatusError(400, k.status());
     if (*k < 0.0 || *k > 1000.0 || *k != static_cast<int>(*k)) {
@@ -577,10 +674,7 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
     }
     auto basic = item.BoolOr("basic", false);
     if (!basic.ok()) return StatusError(400, basic.status());
-    auto denoise = item.BoolOr("denoise", false);
-    if (!denoise.ok()) return StatusError(400, denoise.status());
     di.k = *basic ? 0 : static_cast<int>(*k);
-    di.denoise = *denoise;
     auto time_limit =
         item.NumberOr("time_limit_seconds", options_.max_time_limit_seconds);
     if (!time_limit.ok()) return StatusError(400, time_limit.status());
@@ -592,30 +686,14 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
     decoded.push_back(std::move(di));
   }
 
-  // Admission: one slot per request regardless of item count (items
-  // share the pool anyway); over capacity, shed rather than queue.
-  AdmissionSlot slot(&inflight_, options_.max_inflight);
-  if (!slot.admitted()) {
-    return JsonError(429, "OverCapacity",
-                     StringPrintf("diagnosis queue is full (%d in flight)",
-                                  options_.max_inflight));
-  }
-  if (shutdown_.cancelled()) {
-    return JsonError(503, "ShuttingDown", "server is shutting down");
-  }
-
+  // Build the zero-copy batch: every item shares the registered
+  // snapshot by reference (no Dataset deep copy, see cache/snapshot.h).
   std::vector<qfixcore::BatchItem> batch;
   batch.reserve(decoded.size());
   for (DiagnoseItem& di : decoded) {
     qfixcore::BatchItem item;
-    item.log = di.dataset->log;
-    item.d0 = di.dataset->d0;
-    item.dirty_dn = di.dataset->dirty;
-    item.complaints = di.denoise
-                          ? provenance::DenoiseComplaints(di.complaints,
-                                                          di.dataset->dirty)
-                                .kept
-                          : di.complaints;
+    item.data = cache::Snapshot(di.dataset);
+    item.complaints = di.complaints;
     item.options.time_limit_seconds = di.time_limit_seconds;
     // Share the server's pool with the inner solves: no per-request
     // thread churn (the MilpOptions/BatchOptions caller-owned hooks).
@@ -627,34 +705,188 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
     batch.push_back(std::move(item));
   }
 
-  qfixcore::BatchOptions batch_options;
-  batch_options.pool = pool_.get();
-  batch_options.cancel = shutdown_.token();
-  qfixcore::BatchDiagnoser diagnoser(batch_options);
-  std::vector<Result<qfixcore::Repair>> results = diagnoser.Run(batch);
+  // Consult the report cache before touching the admission gate or the
+  // pool: a hit answers with the byte-identical cached report and does
+  // no solver work. A cold miss takes singleflight leadership —
+  // concurrent identical requests block on our solve instead of
+  // repeating it — which this request must settle (publish or abandon)
+  // on every exit path below.
+  struct ItemPlan {
+    /// Non-null: serve from cache (shared with the cache entry — the
+    /// report bytes are referenced, never copied).
+    std::shared_ptr<const cache::CachedReport> cached;
+    bool lead = false;                  // we own Publish/Abandon
+    std::optional<cache::CacheKey> key;
+    size_t dup_of = SIZE_MAX;           // identical item in this
+                                        // request (solve once)
+  };
+  std::vector<ItemPlan> plans(batch.size());
+  size_t solves = 0;
+  if (cache_ == nullptr) {
+    solves = batch.size();
+  } else {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      plans[i].key = qfixcore::ItemCacheKey(batch[i]);
+    }
+    // Acquire lookups/leaderships in globally sorted key order. A
+    // request holds several leaderships at once while later lookups may
+    // block on other requests' leaders; without a total acquisition
+    // order, two requests leading each other's keys in opposite orders
+    // would deadlock. Sorted acquisition means every wait targets a key
+    // strictly greater than anything the waiter holds — no cycles.
+    std::vector<size_t> order(batch.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    auto key_less = [&](size_t a, size_t b) {
+      const cache::CacheKey& ka = *plans[a].key;
+      const cache::CacheKey& kb = *plans[b].key;
+      if (ka.dataset != kb.dataset) return ka.dataset < kb.dataset;
+      if (ka.version != kb.version) return ka.version < kb.version;
+      return ka.request_hash < kb.request_hash;
+    };
+    std::stable_sort(order.begin(), order.end(), key_less);
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+      size_t i = order[pos];
+      ItemPlan& plan = plans[i];
+      // A duplicate of an item this request already leads must not
+      // FindOrLead again — it would block on its own request's solve.
+      // Equal keys are adjacent after sorting.
+      if (pos > 0 && *plans[order[pos - 1]].key == *plan.key) {
+        size_t prev = order[pos - 1];
+        plan.dup_of =
+            plans[prev].dup_of != SIZE_MAX ? plans[prev].dup_of : prev;
+        continue;
+      }
+      cache::ReportCache::Outcome found =
+          cache_->FindOrLead(*plan.key, shutdown_.token());
+      if (found.value != nullptr) {
+        plan.cached = std::move(found.value);
+        counters_.cached_hits.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      plan.lead = found.lead;
+      ++solves;
+    }
+  }
+  auto abandon_leads = [&]() {
+    for (const ItemPlan& plan : plans) {
+      if (plan.lead) cache_->Abandon(*plan.key);
+    }
+  };
 
-  // Render: per-item ok/report or ok/error. The report document is the
-  // exact report_json rendering — byte-identical to the library path.
-  auto render_item = [](const DiagnoseItem& di,
-                        const qfixcore::BatchItem& item,
-                        const Result<qfixcore::Repair>& result,
-                        JsonWriter* w) {
+  // Placeholder status for slots served from the cache (never rendered:
+  // the cached path renders the report string instead).
+  std::vector<Result<qfixcore::Repair>> results(
+      batch.size(),
+      Result<qfixcore::Repair>(Status::Internal("served from cache")));
+  std::vector<std::string> reports(batch.size());
+  if (solves > 0) {
+    // Admission is counted in batch items (one request can fan out
+    // items[]); cache hits took no slot. Over capacity, shed rather
+    // than queue — and release any singleflight leadership first. The
+    // weight is capped at the gate's capacity so a request with more
+    // items than max_inflight is still admittable (it must wait for an
+    // empty gate and then occupies all of it) instead of being 429'd
+    // forever.
+    AdmissionSlot slot(&inflight_, options_.max_inflight,
+                       std::min(static_cast<int>(solves),
+                                options_.max_inflight));
+    if (!slot.admitted()) {
+      abandon_leads();
+      return JsonError(429, "OverCapacity",
+                       StringPrintf("diagnosis queue is full (%zu items "
+                                    "over %d slots)",
+                                    solves, options_.max_inflight));
+    }
+    if (shutdown_.cancelled()) {
+      abandon_leads();
+      return JsonError(503, "ShuttingDown", "server is shutting down");
+    }
+    counters_.items.fetch_add(solves, std::memory_order_relaxed);
+
+    std::vector<qfixcore::BatchItem> to_solve;
+    std::vector<size_t> solve_index;
+    to_solve.reserve(solves);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (plans[i].cached == nullptr && plans[i].dup_of == SIZE_MAX) {
+        to_solve.push_back(batch[i]);
+        solve_index.push_back(i);
+      }
+    }
+
+    qfixcore::BatchOptions batch_options;
+    batch_options.pool = pool_.get();
+    batch_options.cancel = shutdown_.token();
+    // Note: no report_cache here — this request already holds the
+    // singleflight leadership for its keys and publishes below. The
+    // server keeps its own integration (instead of reusing
+    // BatchOptions::report_cache) because hits must bypass the
+    // admission gate and splice the cached report bytes verbatim,
+    // neither of which the library path can know about.
+    qfixcore::BatchDiagnoser diagnoser(batch_options);
+    std::vector<Result<qfixcore::Repair>> solved = diagnoser.Run(to_solve);
+
+    for (size_t s = 0; s < solved.size(); ++s) {
+      size_t i = solve_index[s];
+      if (solved[s].ok()) {
+        reports[i] = qfixcore::RepairToJson(
+            *solved[s], batch[i].data->log, batch[i].data->d0,
+            batch[i].data->dirty, batch[i].complaints);
+        // Memoize only proven-optimal repairs: a limit-truncated
+        // feasible incumbent depends on this request's budget and must
+        // not be served to callers with bigger ones.
+        if (plans[i].lead && solved[s]->stats.optimal) {
+          cache::CachedReport cached;
+          cached.report_json = reports[i];
+          cached.payload =
+              std::make_shared<const qfixcore::Repair>(*solved[s]);
+          cache_->Publish(*plans[i].key, std::move(cached));
+          plans[i].lead = false;
+        }
+      }
+      if (plans[i].lead) {
+        cache_->Abandon(*plans[i].key);
+        plans[i].lead = false;
+      }
+      results[i] = std::move(solved[s]);
+    }
+  }
+  // Resolve in-request duplicates and belt-and-braces any leadership
+  // still held (e.g. an item skipped by cancellation).
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (plans[i].dup_of != SIZE_MAX) {
+      results[i] = results[plans[i].dup_of];
+    }
+  }
+  abandon_leads();
+
+  // Render: per-item ok/report or ok/error, plus whether the report
+  // came from the cache. The report document is the exact report_json
+  // rendering — a cache hit splices the original solve's bytes.
+  auto render_item = [&](size_t i, JsonWriter* w) {
+    const ItemPlan& plan = plans[i];
+    // Duplicates read through the item that did the lookup/solve.
+    const size_t src = plan.dup_of != SIZE_MAX ? plan.dup_of : i;
+    bool cached = plans[src].cached != nullptr;
+    const std::string& report =
+        cached ? plans[src].cached->report_json : reports[src];
+    bool ok = cached || results[i].ok();
     w->BeginObject();
     w->Key("dataset");
-    w->String(di.dataset->name);
+    w->String(decoded[i].dataset->name);
     w->Key("ok");
-    w->Bool(result.ok());
-    if (result.ok()) {
+    w->Bool(ok);
+    w->Key("cached");
+    w->Bool(cached);
+    if (ok) {
       w->Key("report");
-      w->Raw(qfixcore::RepairToJson(*result, item.log, item.d0,
-                                    item.dirty_dn, item.complaints));
+      w->Raw(report);
     } else {
       w->Key("error");
       w->BeginObject();
       w->Key("code");
-      w->String(StatusCodeToString(result.status().code()));
+      w->String(StatusCodeToString(results[i].status().code()));
       w->Key("message");
-      w->String(result.status().message());
+      w->String(results[i].status().message());
       w->EndObject();
     }
     w->EndObject();
@@ -666,12 +898,12 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
     w.Key("results");
     w.BeginArray();
     for (size_t i = 0; i < batch.size(); ++i) {
-      render_item(decoded[i], batch[i], results[i], &w);
+      render_item(i, &w);
     }
     w.EndArray();
     w.EndObject();
   } else {
-    render_item(decoded[0], batch[0], results[0], &w);
+    render_item(0, &w);
   }
   HttpResponse out;
   out.body = w.str();
@@ -688,7 +920,7 @@ HttpResponse DiagnosisServer::HandleDebugSleep(const HttpRequest& request) {
   if (!requested.ok()) return StatusError(400, requested.status());
   double seconds = std::clamp(*requested, 0.0, 30.0);
 
-  AdmissionSlot slot(&inflight_, options_.max_inflight);
+  AdmissionSlot slot(&inflight_, options_.max_inflight, /*count=*/1);
   if (!slot.admitted()) {
     return JsonError(429, "OverCapacity", "diagnosis queue is full");
   }
@@ -718,9 +950,14 @@ DiagnosisServer::Stats DiagnosisServer::stats() const {
   s.shed_429 = counters_.shed.load(std::memory_order_relaxed);
   s.errors_4xx = counters_.err4xx.load(std::memory_order_relaxed);
   s.errors_5xx = counters_.err5xx.load(std::memory_order_relaxed);
+  s.connections_total = counters_.connections.load(std::memory_order_relaxed);
+  s.items_total = counters_.items.load(std::memory_order_relaxed);
+  s.cached_hits = counters_.cached_hits.load(std::memory_order_relaxed);
   s.inflight = inflight_.load(std::memory_order_relaxed);
   s.inflight_capacity = options_.max_inflight;
   s.latency = latency_.Take();
+  s.cache_enabled = cache_ != nullptr;
+  if (cache_ != nullptr) s.cache = cache_->stats();
   return s;
 }
 

@@ -4,17 +4,29 @@
 // diagnosis report goes back attached to the ticket).
 //
 // Architecture (dependency-free sockets, two thread domains):
-//   * A blocking accept loop hands each connection to a short-lived
-//     handler thread (bounded by `max_connections`; overflow gets an
-//     immediate 503). Handler threads only do protocol work: read,
-//     parse, route, write, close — one request per connection.
-//   * Diagnosis work is dispatched onto ONE shared src/exec
-//     work-stealing pool, reused across every request via the
-//     caller-owned-pool hooks in BatchOptions/MilpOptions (no thread
-//     churn per request). An admission gate bounds in-flight diagnosis
-//     work: over capacity, requests shed with 429 instead of queueing
-//     without bound. Health/stats/registration bypass the gate so the
-//     server stays observable under load.
+//   * A blocking accept loop hands each connection to a handler thread
+//     (bounded by `max_connections`; overflow gets an immediate 503).
+//     Handler threads only do protocol work: read, parse, route, write.
+//     Connections are keep-alive by HTTP/1.1 default — the handler
+//     loops over requests until the client closes, asks for
+//     `Connection: close`, idles past `idle_timeout_seconds`, or hits
+//     `max_requests_per_conn`.
+//   * Diagnosis requests resolve against immutable zero-copy dataset
+//     snapshots (cache::Snapshot): no request ever deep-copies a
+//     registered dataset. Before dispatching to the pool the server
+//     consults a cache::ReportCache keyed by (dataset, version,
+//     canonical complaint hash): hits return the byte-identical cached
+//     report (skipping both the solver and the admission gate), misses
+//     take singleflight leadership so concurrent identical requests
+//     coalesce into one solve, and re-registration invalidates.
+//   * Solver work is dispatched onto ONE shared src/exec work-stealing
+//     pool, reused across every request via the caller-owned-pool hooks
+//     in BatchOptions/MilpOptions (no thread churn per request). An
+//     admission gate bounds in-flight diagnosis work — counted in
+//     batch items, since one request can fan out items[] — and sheds
+//     with 429 over capacity instead of queueing without bound.
+//     Health/stats/registration bypass the gate so the server stays
+//     observable under load.
 //   * Stop() is cooperative: the listener closes, the cancellation
 //     token fires (queued batch items fail fast with ResourceExhausted),
 //     and handler threads drain before Stop() returns.
@@ -23,7 +35,8 @@
 //   POST /v1/datasets   register a named snapshot + query log
 //   POST /v1/diagnose   run one-or-many complaint sets -> report_json
 //   GET  /v1/healthz    liveness + dataset count
-//   GET  /v1/stats      request counters, latency percentiles, queue
+//   GET  /v1/stats      request counters, latency percentiles, queue,
+//                       report-cache hit/miss/eviction/bytes
 #ifndef QFIX_SERVICE_SERVER_H_
 #define QFIX_SERVICE_SERVER_H_
 
@@ -35,6 +48,7 @@
 #include <string>
 #include <thread>
 
+#include "cache/report_cache.h"
 #include "common/result.h"
 #include "exec/cancellation.h"
 #include "exec/thread_pool.h"
@@ -56,8 +70,10 @@ struct ServerOptions {
   /// inline pool (diagnosis runs on the handler thread; request
   /// concurrency then comes from the connection threads alone).
   int jobs = 1;
-  /// Admission capacity: diagnosis requests in flight (executing or
-  /// waiting for the pool). Beyond it, POST /v1/diagnose sheds with 429.
+  /// Admission capacity in batch items (one request fans out one slot
+  /// per items[] entry, so the gate bounds solver work, not sockets).
+  /// Beyond it, POST /v1/diagnose sheds with 429. Cache hits bypass the
+  /// gate — they do no solver work.
   int max_inflight = 8;
   /// Concurrent connections being served; overflow is answered 503 on
   /// the accept thread without reading the request.
@@ -65,10 +81,9 @@ struct ServerOptions {
   /// Distinct dataset names the registry will hold (datasets are
   /// pinned for the process lifetime; replacement is always allowed).
   int max_datasets = 64;
-  /// Cap on items[] per POST /v1/diagnose. Every item materializes its
-  /// own copy of the dataset (BatchItem owns d0/dirty/log), so an
-  /// unbounded array would let one small request amplify a large
-  /// registered dataset into arbitrary memory.
+  /// Cap on items[] per POST /v1/diagnose. Items share the dataset
+  /// snapshot zero-copy, but each still buys an admission slot and a
+  /// solve, so the array length stays bounded.
   int max_items = 64;
   /// Cap applied to a request's per-item time limit (seconds); also the
   /// default when the request names none.
@@ -78,6 +93,14 @@ struct ServerOptions {
   /// hold a handler thread (and with it a connection slot).
   double read_timeout_seconds = 10.0;
   double write_timeout_seconds = 10.0;
+  /// Keep-alive: how long an idle connection may sit between requests
+  /// before the server closes it, and how many requests one connection
+  /// may carry (<= 1 disables keep-alive entirely).
+  double idle_timeout_seconds = 5.0;
+  int max_requests_per_conn = 100;
+  /// Report-cache byte budget; 0 disables caching (every diagnosis
+  /// solves cold).
+  size_t cache_bytes = 64 * 1024 * 1024;
   HttpLimits http;
   /// Registers POST /v1/debug/sleep {"seconds":s} — occupies one
   /// admission slot while sleeping. Tests and the service bench use it
@@ -120,13 +143,27 @@ class DiagnosisServer {
     uint64_t shed_429 = 0;
     uint64_t errors_4xx = 0;
     uint64_t errors_5xx = 0;
+    /// TCP connections accepted (one may carry many requests under
+    /// keep-alive).
+    uint64_t connections_total = 0;
+    /// Batch items solved (admitted through the gate); cache hits are
+    /// not items — they never reach the pool.
+    uint64_t items_total = 0;
+    /// Diagnose sub-requests answered straight from the report cache.
+    uint64_t cached_hits = 0;
+    /// In batch items, not requests (one request can fan out items[]).
     int inflight = 0;
     int inflight_capacity = 0;
     /// Percentiles over successfully served /v1/diagnose requests only
     /// (healthz/stats probes and 429 sheds would swamp the window).
     harness::LatencyRecorder::Snapshot latency;
+    bool cache_enabled = false;
+    cache::ReportCache::Stats cache;
   };
   Stats stats() const;
+
+  /// The report cache, or nullptr when disabled (cache_bytes == 0).
+  cache::ReportCache* report_cache() { return cache_.get(); }
 
  private:
   struct Counters {
@@ -138,14 +175,28 @@ class DiagnosisServer {
     std::atomic<uint64_t> shed{0};
     std::atomic<uint64_t> err4xx{0};
     std::atomic<uint64_t> err5xx{0};
+    std::atomic<uint64_t> connections{0};
+    std::atomic<uint64_t> items{0};
+    std::atomic<uint64_t> cached_hits{0};
+  };
+
+  /// Outcome of reading one request off a kept-alive connection.
+  enum class ReadOutcome {
+    kRequest,     // `request` holds a complete message
+    kError,       // protocol failure; `error_response` filled
+    kIdleClose,   // clean close: peer EOF or idle timeout between
+                  // requests — nothing to answer
   };
 
   void AcceptLoop();
   void HandleConnection(int fd);
-  /// Reads one request off `fd` (bounded by read_timeout_seconds).
-  /// Returns false with `error_response` filled on protocol failure.
-  bool ReadRequest(int fd, HttpRequest* request,
-                   HttpResponse* error_response);
+  /// Reads one request off `fd`. `leftover` carries pipelined bytes
+  /// between requests on a kept-alive connection (consumed and
+  /// refilled). `first_request` selects the read deadline
+  /// (read_timeout_seconds) over the keep-alive idle deadline.
+  ReadOutcome ReadRequest(int fd, std::string* leftover, bool first_request,
+                          HttpRequest* request,
+                          HttpResponse* error_response);
   HttpResponse Dispatch(const HttpRequest& request);
   HttpResponse HandleHealthz();
   HttpResponse HandleStats();
@@ -155,6 +206,7 @@ class DiagnosisServer {
 
   ServerOptions options_;
   DatasetRegistry registry_;
+  std::unique_ptr<cache::ReportCache> cache_;
   std::unique_ptr<exec::ThreadPool> pool_;
   exec::CancellationSource shutdown_;
 

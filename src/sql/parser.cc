@@ -127,9 +127,19 @@ class Parser {
   Result<Predicate> ParseFactor() {
     if (ConsumeKeyword("TRUE")) return Predicate::True();
     if (ConsumeSymbol("(")) {
-      QFIX_ASSIGN_OR_RETURN(Predicate inner, ParseOr());
+      // Depth cap: the predicate grammar recurses through '(' and the
+      // parser is network-facing (POST /v1/datasets), so megabytes of
+      // '(' must be an error, not a stack overflow. 64 is far beyond
+      // any legitimate WHERE clause.
+      if (++paren_depth_ > kMaxParenDepth) {
+        return Error("predicate nesting exceeds " +
+                     std::to_string(kMaxParenDepth) + " parentheses");
+      }
+      auto inner = ParseOr();
+      --paren_depth_;
+      if (!inner.ok()) return inner.status();
       if (!ConsumeSymbol(")")) return Error("expected ')'");
-      return inner;
+      return std::move(inner).value();
     }
     return ParseComparison();
   }
@@ -305,9 +315,12 @@ class Parser {
         Peek().type == TokenType::kEnd ? "<end>" : Peek().text.c_str()));
   }
 
+  static constexpr int kMaxParenDepth = 64;
+
   std::vector<Token> tokens_;
   const Schema& schema_;
   size_t pos_ = 0;
+  int paren_depth_ = 0;
 };
 
 }  // namespace

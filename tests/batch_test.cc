@@ -34,9 +34,8 @@ BatchItem PaperItem(double dirty_threshold) {
   Database truth = ExecuteLog(clean_log, d0);
   BatchItem item;
   item.complaints = DiffStates(dirty, truth);
-  item.log = std::move(dirty_log);
-  item.d0 = std::move(d0);
-  item.dirty_dn = std::move(dirty);
+  item.data = cache::MakeSnapshot(std::move(dirty_log), std::move(d0),
+                                  std::move(dirty));
   return item;
 }
 
@@ -56,9 +55,9 @@ TEST(BatchDiagnoserTest, ResultsLineUpWithInputsAndMatchSerialRuns) {
     EXPECT_TRUE(batch[i]->verified) << "item " << i;
     EXPECT_EQ(batch[i]->changed_queries, (std::vector<size_t>{0}));
 
-    // The pooled run must agree with a plain one-engine-per-item run.
-    QFixEngine engine(items[i].log, items[i].d0, items[i].dirty_dn,
-                      items[i].complaints, items[i].options);
+    // The pooled run must agree with a plain one-engine-per-item run
+    // (sharing the same snapshot zero-copy).
+    QFixEngine engine(items[i].data, items[i].complaints, items[i].options);
     auto serial = engine.RepairIncremental(1);
     ASSERT_TRUE(serial.ok());
     EXPECT_NEAR(batch[i]->distance, serial->distance, 1e-6) << "item " << i;
@@ -90,7 +89,7 @@ TEST(BatchDiagnoserTest, MakeBatchItemDerivesDirtyState) {
   Database truth = ExecuteLog(PaperLog(87500), d0);
   BatchItem item =
       MakeBatchItem(dirty_log, d0, DiffStates(dirty, truth));
-  ASSERT_EQ(item.dirty_dn.NumSlots(), dirty.NumSlots());
+  ASSERT_EQ(item.data->dirty.NumSlots(), dirty.NumSlots());
   auto results = BatchDiagnoser().Run({item});
   ASSERT_EQ(results.size(), 1u);
   ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();

@@ -169,6 +169,43 @@ TEST(HttpResponseTest, SerializeRoundTripsThroughResponseParser) {
   EXPECT_EQ(parsed->body, "{\"error\":{}}");
 }
 
+TEST(HttpResponseTest, SerializeAnnouncesConnectionPersistence) {
+  HttpResponse r;
+  EXPECT_NE(r.Serialize().find("Connection: close"), std::string::npos);
+  r.keep_alive = true;
+  EXPECT_NE(r.Serialize().find("Connection: keep-alive"),
+            std::string::npos);
+}
+
+TEST(HttpParserTest, KeepAliveSemanticsFollowVersionAndHeader) {
+  auto wants = [](const std::string& head) {
+    HttpRequestParser p;
+    EXPECT_EQ(p.Feed(head), HttpRequestParser::State::kComplete) << head;
+    return p.request().WantsKeepAlive();
+  };
+  // HTTP/1.1 defaults to keep-alive; `close` wins over anything.
+  EXPECT_TRUE(wants("GET / HTTP/1.1\r\n\r\n"));
+  EXPECT_FALSE(wants("GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+  EXPECT_FALSE(wants("GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n"));
+  // HTTP/1.0 defaults to close unless it opts in.
+  EXPECT_FALSE(wants("GET / HTTP/1.0\r\n\r\n"));
+  EXPECT_TRUE(wants("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n"));
+}
+
+TEST(HttpParserTest, PipelinedBytesCarryOverViaTakeLeftover) {
+  HttpRequestParser p;
+  std::string two =
+      "POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc"
+      "GET /b HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(p.Feed(two), HttpRequestParser::State::kComplete);
+  EXPECT_EQ(p.request().body, "abc");
+  std::string rest = p.TakeLeftover();
+  HttpRequestParser q;
+  ASSERT_EQ(q.Feed(rest), HttpRequestParser::State::kComplete);
+  EXPECT_EQ(q.request().target, "/b");
+  EXPECT_TRUE(q.TakeLeftover().empty());
+}
+
 // ---------------------------------------------------------------------------
 // JSON request decoder
 
@@ -551,7 +588,8 @@ TEST_F(ServerTest, EndToEndMatchesLibraryResult) {
   ASSERT_EQ(results.size(), 1u);
   ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
   std::string direct_report = qfixcore::RepairToJson(
-      *results[0], item.log, item.d0, item.dirty_dn, item.complaints);
+      *results[0], item.data->log, item.data->d0, item.data->dirty,
+      item.complaints);
 
   EXPECT_EQ(NormalizeTiming(served_report), NormalizeTiming(direct_report));
   // And the repair is the paper's: threshold 85700 -> 86501.
@@ -708,6 +746,250 @@ TEST_F(ServerTest, OverCapacityBurstShedsWith429) {
   // Capacity freed: the same request now succeeds.
   auto recovered = Post("/v1/diagnose", DiagnoseTaxesBody());
   EXPECT_EQ(recovered.status, 200) << recovered.body;
+}
+
+// ---------------------------------------------------------------------------
+// Keep-alive
+
+TEST_F(ServerTest, KeepAliveServesManyRequestsOverOneConnection) {
+  StartServer(ServerOptions{});
+  service::ClientConnection conn("127.0.0.1", port_);
+  auto reg = conn.Post("/v1/datasets", RegisterTaxesBody());
+  ASSERT_TRUE(reg.ok()) << reg.status().ToString();
+  ASSERT_EQ(reg->status, 200) << reg->body;
+  for (int i = 0; i < 3; ++i) {
+    auto r = conn.Get("/v1/healthz");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->status, 200);
+  }
+  // One TCP connect carried all four requests.
+  EXPECT_EQ(conn.connects(), 1);
+  DiagnosisServer::Stats stats = server_->stats();
+  EXPECT_EQ(stats.connections_total, 1u);
+  EXPECT_EQ(stats.requests_total, 4u);
+}
+
+TEST_F(ServerTest, MaxRequestsPerConnClosesAndClientReconnects) {
+  ServerOptions options;
+  options.max_requests_per_conn = 2;
+  StartServer(options);
+  service::ClientConnection conn("127.0.0.1", port_);
+  for (int i = 0; i < 4; ++i) {
+    auto r = conn.Get("/v1/healthz");
+    ASSERT_TRUE(r.ok()) << "request " << i << ": " << r.status().ToString();
+    EXPECT_EQ(r->status, 200);
+  }
+  // The server closed after every second request; the client noticed
+  // (Connection: close) and reconnected.
+  EXPECT_EQ(conn.connects(), 2);
+  EXPECT_EQ(server_->stats().connections_total, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Report cache
+
+TEST_F(ServerTest, RepeatDiagnoseServedFromCacheByteIdenticalAndZeroCopy) {
+  ServerOptions options;
+  options.jobs = 0;
+  StartServer(options);
+  ASSERT_EQ(Post("/v1/datasets", RegisterTaxesBody()).status, 200);
+
+  // The acceptance criterion: zero implicit Database deep copies on the
+  // hot path — across the cold solve (miss) AND the warm hit.
+  const int64_t copies_before = relational::Database::CopyCount();
+  auto cold = Post("/v1/diagnose", DiagnoseTaxesBody());
+  ASSERT_EQ(cold.status, 200) << cold.body;
+  EXPECT_NE(cold.body.find("\"cached\":false"), std::string::npos)
+      << cold.body;
+
+  auto warm = Post("/v1/diagnose", DiagnoseTaxesBody());
+  ASSERT_EQ(warm.status, 200) << warm.body;
+  EXPECT_NE(warm.body.find("\"cached\":true"), std::string::npos)
+      << warm.body;
+  EXPECT_EQ(relational::Database::CopyCount(), copies_before);
+
+  // The hit splices the original solve's bytes: identical report
+  // including the timing stats a re-solve could never reproduce.
+  EXPECT_EQ(ExtractReport(cold.body), ExtractReport(warm.body));
+
+  DiagnosisServer::Stats stats = server_->stats();
+  EXPECT_TRUE(stats.cache_enabled);
+  EXPECT_EQ(stats.cached_hits, 1u);
+  EXPECT_GE(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.cache.inserts, 1u);
+  // Only the cold solve bought an admission slot.
+  EXPECT_EQ(stats.items_total, 1u);
+}
+
+TEST_F(ServerTest, ReRegistrationInvalidatesCachedReports) {
+  ServerOptions options;
+  options.jobs = 0;
+  StartServer(options);
+  ASSERT_EQ(Post("/v1/datasets", RegisterTaxesBody()).status, 200);
+  ASSERT_NE(Post("/v1/diagnose", DiagnoseTaxesBody())
+                .body.find("\"cached\":false"),
+            std::string::npos);
+  ASSERT_NE(Post("/v1/diagnose", DiagnoseTaxesBody())
+                .body.find("\"cached\":true"),
+            std::string::npos);
+
+  // Re-registering the name mints a new version: the next diagnosis
+  // must solve cold even though the bytes are identical.
+  ASSERT_EQ(Post("/v1/datasets", RegisterTaxesBody()).status, 200);
+  auto after = Post("/v1/diagnose", DiagnoseTaxesBody());
+  ASSERT_EQ(after.status, 200) << after.body;
+  EXPECT_NE(after.body.find("\"cached\":false"), std::string::npos)
+      << after.body;
+  EXPECT_GE(server_->stats().cache.invalidations, 1u);
+}
+
+TEST_F(ServerTest, CacheOffSolvesEveryRequestCold) {
+  ServerOptions options;
+  options.jobs = 0;
+  options.cache_bytes = 0;
+  StartServer(options);
+  ASSERT_EQ(Post("/v1/datasets", RegisterTaxesBody()).status, 200);
+  for (int i = 0; i < 2; ++i) {
+    auto r = Post("/v1/diagnose", DiagnoseTaxesBody());
+    ASSERT_EQ(r.status, 200) << r.body;
+    EXPECT_NE(r.body.find("\"cached\":false"), std::string::npos) << r.body;
+  }
+  DiagnosisServer::Stats stats = server_->stats();
+  EXPECT_FALSE(stats.cache_enabled);
+  EXPECT_EQ(stats.cached_hits, 0u);
+  EXPECT_EQ(stats.items_total, 2u);
+}
+
+TEST_F(ServerTest, IdenticalItemsInOneRequestSolveOnce) {
+  ServerOptions options;
+  options.jobs = 0;
+  StartServer(options);
+  ASSERT_EQ(Post("/v1/datasets", RegisterTaxesBody()).status, 200);
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("items");
+  w.BeginArray();
+  for (int i = 0; i < 2; ++i) {
+    w.BeginObject();
+    w.Key("dataset");
+    w.String("taxes");
+    w.Key("complaints_csv");
+    w.String(kTaxComplaintsCsv);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  auto response = Post("/v1/diagnose", w.str());
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto doc = ParseJson(response.body);
+  ASSERT_TRUE(doc.ok()) << response.body;
+  const JsonValue* results = doc->Find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->AsArray().size(), 2u);
+  for (const JsonValue& r : results->AsArray()) {
+    EXPECT_TRUE(r.Find("ok")->AsBool());
+    ASSERT_NE(r.Find("report"), nullptr);
+  }
+  // The duplicate coalesced within the request: one solve, one slot.
+  EXPECT_EQ(server_->stats().items_total, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Item-weighted admission
+
+TEST_F(ServerTest, AdmissionGateCountsItemsNotRequests) {
+  ServerOptions options;
+  options.jobs = 0;
+  options.max_inflight = 2;
+  options.enable_test_endpoints = true;
+  StartServer(options);
+  ASSERT_EQ(Post("/v1/datasets", RegisterTaxesBody()).status, 200);
+
+  // Two items with DISTINCT complaint sets (no in-request coalescing).
+  const char* complaint_rows[] = {
+      "tid,alive,income,owed,pay\n2,1,86000,21500,64500\n",
+      "tid,alive,income,owed,pay\n3,1,86500,21625,64875\n"};
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("items");
+  w.BeginArray();
+  for (const char* rows : complaint_rows) {
+    w.BeginObject();
+    w.Key("dataset");
+    w.String("taxes");
+    w.Key("complaints_csv");
+    w.String(rows);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  const std::string two_items = w.str();
+
+  // Occupy ONE of the two slots; a two-item request then wants two
+  // slots over the one remaining and must shed. A request-counting
+  // gate (the old semantics) would have admitted it: one sleeping
+  // request + one new request fit a capacity of 2.
+  std::thread sleeper([this] {
+    auto r = service::HttpPost("127.0.0.1", port_, "/v1/debug/sleep",
+                               "{\"seconds\": 3.0}", 30.0);
+    EXPECT_TRUE(r.ok() && r->status == 200);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+  auto shed = Post("/v1/diagnose", two_items);
+  EXPECT_EQ(shed.status, 429) << shed.body;
+  // A single-item request fits the remaining slot.
+  auto one = Post("/v1/diagnose", DiagnoseTaxesBody());
+  EXPECT_EQ(one.status, 200) << one.body;
+  sleeper.join();
+
+  // With the gate empty the same two-item request is admitted — and an
+  // items[] array larger than the whole capacity is weight-capped, not
+  // shed forever.
+  EXPECT_EQ(Post("/v1/diagnose", two_items).status, 200);
+
+  auto stats = ParseJson(Get("/v1/stats").body);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->Find("requests")->Find("shed_429")->AsNumber(), 1.0);
+  // Items admitted: 1 (single) + 2 (batch); the shed request admitted
+  // none. (The single-item solve was a cache miss of its own key.)
+  EXPECT_EQ(stats->Find("requests")->Find("items")->AsNumber(), 3.0);
+  EXPECT_EQ(stats->Find("queue")->Find("capacity")->AsNumber(), 2.0);
+}
+
+TEST_F(ServerTest, OversizedBatchIsAdmittedOnAnEmptyGate) {
+  // items[] > max_inflight: the weight is capped at capacity, so the
+  // request occupies the whole gate rather than being 429'd forever.
+  ServerOptions options;
+  options.jobs = 0;
+  options.max_inflight = 2;
+  StartServer(options);
+  ASSERT_EQ(Post("/v1/datasets", RegisterTaxesBody()).status, 200);
+
+  const char* complaint_rows[] = {
+      "tid,alive,income,owed,pay\n2,1,86000,21500,64500\n",
+      "tid,alive,income,owed,pay\n3,1,86500,21625,64875\n",
+      "tid,alive,income,owed,pay\n"
+      "2,1,86000,21500,64500\n3,1,86500,21625,64875\n"};
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("items");
+  w.BeginArray();
+  for (const char* rows : complaint_rows) {
+    w.BeginObject();
+    w.Key("dataset");
+    w.String("taxes");
+    w.Key("complaints_csv");
+    w.String(rows);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  auto response = Post("/v1/diagnose", w.str());
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto doc = ParseJson(response.body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("results")->AsArray().size(), 3u);
 }
 
 TEST_F(ServerTest, StopCancelsDebugSleepCooperatively) {

@@ -1,0 +1,181 @@
+// Randomized "garbage bytes" regression suite for the SQL parser.
+//
+// The parser is network-facing: POST /v1/datasets feeds sql::ParseLog
+// straight from request bodies, so malformed input — truncated
+// statements, bit rot, injected NULs, oversized literals, deep
+// parenthesis nests — must come back as Result errors, never crash.
+// Mirrors tests/io_fuzz_test.cc; the random sweeps are seeded and
+// deterministic.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "relational/schema.h"
+#include "sql/parser.h"
+#include "test_support.h"
+
+namespace qfix {
+namespace {
+
+constexpr const char* kValidLogSql =
+    "UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700;\n"
+    "INSERT INTO Taxes VALUES (87000, 21750, 65250);\n"
+    "UPDATE Taxes SET pay = income - owed;\n"
+    "DELETE FROM Taxes WHERE owed > 90000 AND pay < 100;\n"
+    "UPDATE Taxes SET owed = owed + 1 "
+    "WHERE income BETWEEN 1000 AND 2000 OR pay IN [10, 20];\n";
+
+std::string RandomBytes(Rng& rng, size_t len) {
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+  }
+  return out;
+}
+
+// One random corruption of a valid document (same failure modes the io
+// fuzz sweeps model: truncation, bit rot, injected bytes).
+std::string Mutate(const std::string& doc, Rng& rng) {
+  std::string out = doc;
+  switch (rng.UniformInt(0, 6)) {
+    case 0:  // truncate at a random offset
+      out.resize(rng.Index(out.size() + 1));
+      break;
+    case 1:  // flip one byte to a random value
+      if (!out.empty()) {
+        out[rng.Index(out.size())] =
+            static_cast<char>(rng.UniformInt(0, 255));
+      }
+      break;
+    case 2:  // inject a NUL byte
+      out.insert(rng.Index(out.size() + 1), 1, '\0');
+      break;
+    case 3:  // duplicate a random slice (splices keywords mid-token)
+      if (!out.empty()) {
+        size_t at = rng.Index(out.size());
+        size_t n = rng.Index(out.size() - at) + 1;
+        out.insert(at, out.substr(at, n));
+      }
+      break;
+    case 4:  // splice in an oversized numeric literal
+      out.insert(rng.Index(out.size() + 1), std::string(4096, '9'));
+      break;
+    case 5:  // splice in operator soup
+      out.insert(rng.Index(out.size() + 1),
+                 rng.Bernoulli(0.5) ? ">=<=<>*(" : "));((,,AND OR");
+      break;
+    default:  // extra statement separators
+      out.insert(rng.Index(out.size() + 1),
+                 rng.Bernoulli(0.5) ? ";;;;" : ";\n;\r\n;");
+      break;
+  }
+  return out;
+}
+
+// The whole assertion: parse and ignore the outcome — a crash or
+// sanitizer report fails the run. Accepted logs must round-trip
+// through the executor-facing accessors without crashing either.
+void FeedParser(const std::string& sql) {
+  relational::Schema schema = test::TaxSchema();
+  auto log = sql::ParseLog(sql, schema);
+  if (log.ok()) {
+    for (const auto& q : *log) {
+      (void)q.Params();
+    }
+  }
+  (void)sql::ParseQuery(sql, schema);
+}
+
+TEST(SqlFuzzTest, SurvivesPureRandomBytes) {
+  Rng rng(20260729);
+  for (int i = 0; i < 400; ++i) {
+    FeedParser(RandomBytes(rng, rng.Index(512)));
+  }
+}
+
+TEST(SqlFuzzTest, SurvivesMutatedLogs) {
+  Rng rng(1);
+  for (int i = 0; i < 600; ++i) {
+    FeedParser(Mutate(kValidLogSql, rng));
+  }
+}
+
+TEST(SqlFuzzTest, SurvivesKeywordSoup) {
+  // Token-level recombination reaches deeper parser states than byte
+  // noise: every draw is a syntactically plausible token stream.
+  static const char* kTokens[] = {
+      "UPDATE", "Taxes",  "SET",   "owed",  "=",    "income", "*",
+      "0.3",    "WHERE",  ">=",    "85700", "AND",  "OR",     "NOT",
+      "(",      ")",      ",",     ";",     "INSERT", "INTO", "VALUES",
+      "DELETE", "FROM",   "BETWEEN", "IN",  "[",    "]",      "TRUE",
+      "-",      "+",      "1e308", "nan",   "pay",  "unknown_attr"};
+  Rng rng(2);
+  for (int i = 0; i < 400; ++i) {
+    std::string sql;
+    int n = rng.UniformInt(1, 40);
+    for (int t = 0; t < n; ++t) {
+      sql += kTokens[rng.Index(sizeof(kTokens) / sizeof(kTokens[0]))];
+      sql += ' ';
+    }
+    FeedParser(sql);
+  }
+}
+
+// -- Specific regressions the sweeps above were built from ------------------
+
+TEST(SqlFuzzTest, EmptyAndSeparatorOnlyInputs) {
+  FeedParser("");
+  FeedParser(";;;;");
+  FeedParser(" \t\r\n");
+  EXPECT_FALSE(sql::ParseQuery("", test::TaxSchema()).ok());
+}
+
+TEST(SqlFuzzTest, DeepParenthesisNestsDoNotOverflowTheStack) {
+  // A recursive-descent parser must bound its depth: an attacker can
+  // send megabytes of '(' for pennies.
+  std::string deep = "UPDATE Taxes SET owed = 1 WHERE ";
+  deep += std::string(100000, '(');
+  deep += "income > 5";
+  deep += std::string(100000, ')');
+  deep += ";";
+  auto log = sql::ParseLog(deep, test::TaxSchema());
+  EXPECT_FALSE(log.ok());
+}
+
+TEST(SqlFuzzTest, OversizedAndNonFiniteLiteralsError) {
+  relational::Schema schema = test::TaxSchema();
+  EXPECT_FALSE(
+      sql::ParseQuery("UPDATE Taxes SET owed = 1e400 WHERE TRUE", schema)
+          .ok());
+  EXPECT_FALSE(sql::ParseQuery(
+                   "INSERT INTO Taxes VALUES (" + std::string(100000, '9') +
+                       ", 1, 2)",
+                   schema)
+                   .ok());
+}
+
+TEST(SqlFuzzTest, EmbeddedNulErrors) {
+  std::string sql = "UPDATE Taxes SET owed = 1 WHERE income > 5";
+  sql[sql.size() - 1] = '\0';
+  EXPECT_FALSE(sql::ParseQuery(sql, test::TaxSchema()).ok());
+}
+
+TEST(SqlFuzzTest, UnknownAttributesAndTablesError) {
+  relational::Schema schema = test::TaxSchema();
+  EXPECT_FALSE(
+      sql::ParseQuery("UPDATE Taxes SET nope = 1 WHERE TRUE", schema).ok());
+  EXPECT_FALSE(
+      sql::ParseQuery("DELETE FROM Taxes WHERE ghost > 1", schema).ok());
+}
+
+TEST(SqlFuzzTest, ValidLogStillParses) {
+  auto log = sql::ParseLog(kValidLogSql, test::TaxSchema());
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_EQ(log->size(), 5u);
+}
+
+}  // namespace
+}  // namespace qfix

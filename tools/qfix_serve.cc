@@ -53,6 +53,14 @@ void PrintUsage(const char* argv0) {
       "                      request (default 64)\n"
       "  --time-limit S      cap on any request's per-item time limit\n"
       "                      (default 30)\n"
+      "  --cache-bytes N     report-cache byte budget (default 64 MiB)\n"
+      "  --cache-off         disable the report cache entirely\n"
+      "  --idle-timeout S    keep-alive idle budget between requests\n"
+      "                      on one connection (default 5)\n"
+      "  --max-requests-per-conn N\n"
+      "                      requests one connection may carry before\n"
+      "                      the server closes it (default 100;\n"
+      "                      1 disables keep-alive)\n"
       "  --name/--table/--d0/--log\n"
       "                      preregister one dataset from files before\n"
       "                      serving (same formats as qfix --d0/--log)\n"
@@ -93,6 +101,17 @@ int main(int argc, char** argv) {
       options.max_items = next() ? std::atoi(argv[i]) : 64;
     } else if (arg == "--time-limit") {
       options.max_time_limit_seconds = next() ? std::atof(argv[i]) : 30.0;
+    } else if (arg == "--cache-bytes") {
+      const char* v = next();
+      long long bytes = v != nullptr ? std::atoll(v) : 0;
+      options.cache_bytes =
+          bytes > 0 ? static_cast<size_t>(bytes) : 0;
+    } else if (arg == "--cache-off") {
+      options.cache_bytes = 0;
+    } else if (arg == "--idle-timeout") {
+      options.idle_timeout_seconds = next() ? std::atof(argv[i]) : 5.0;
+    } else if (arg == "--max-requests-per-conn") {
+      options.max_requests_per_conn = next() ? std::atoi(argv[i]) : 100;
     } else if (arg == "--name") {
       pre_name = next() ? argv[i] : "";
     } else if (arg == "--table") {
