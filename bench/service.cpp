@@ -9,6 +9,9 @@
 // ones (same caveat as BENCH_milp); re-record on multi-core hardware
 // where the shared pool actually spreads the solves. The emitted table
 // is the checked-in baseline BENCH_service.json.
+#include <sys/resource.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -159,6 +162,63 @@ int main() {
                   harness::Table::Cell(double(errors))});
   }
   bench::PrintAndExport(table, "service");
+
+  // Connection-count sweep: how fast the event loop can establish and
+  // serve N *simultaneously open* connections (ConcurrentSmoke holds
+  // every socket at once, then healthz-es each). Each in-process
+  // connection costs two fds, so the sweep is clamped to the
+  // RLIMIT_NOFILE budget (after trying to raise it). Single-core
+  // containers measure the loop's syscall throughput, not parallelism
+  // — same caveat as above.
+  rlimit nofile;
+  if (::getrlimit(RLIMIT_NOFILE, &nofile) == 0) {
+    rlimit want = nofile;
+    want.rlim_cur = 25000;
+    if (want.rlim_max != RLIM_INFINITY && want.rlim_max < 25000) {
+      want.rlim_max = 25000;
+    }
+    if (::setrlimit(RLIMIT_NOFILE, &want) != 0 &&
+        nofile.rlim_cur < nofile.rlim_max) {
+      want = nofile;
+      want.rlim_cur = nofile.rlim_max;
+      ::setrlimit(RLIMIT_NOFILE, &want);
+    }
+    ::getrlimit(RLIMIT_NOFILE, &nofile);
+  }
+  const int fd_budget =
+      static_cast<int>((nofile.rlim_cur > 400 ? nofile.rlim_cur - 400 : 0) /
+                       2);
+
+  harness::Table sweep(
+      {"connections", "held", "healthz ok", "seconds", "conn/s"});
+  for (int want_conns : {64, 500, 2000, 10000}) {
+    int conns = std::min(want_conns, fd_budget);
+    if (conns <= 0) continue;
+    double best_seconds = 0.0;
+    service::SmokeStats best;
+    for (int t = 0; t < trials; ++t) {
+      WallTimer timer;
+      auto smoke =
+          service::ConcurrentSmoke("127.0.0.1", server.port(), conns, 60.0);
+      double seconds = timer.ElapsedSeconds();
+      if (!smoke.ok()) {
+        std::fprintf(stderr, "smoke(%d): %s\n", conns,
+                     smoke.status().ToString().c_str());
+        continue;
+      }
+      if (best_seconds == 0.0 || seconds < best_seconds) {
+        best_seconds = seconds;
+        best = *smoke;
+      }
+    }
+    if (best_seconds == 0.0) continue;
+    sweep.AddRow({std::to_string(conns),
+                  harness::Table::Cell(double(best.connected)),
+                  harness::Table::Cell(double(best.ok)),
+                  harness::Table::Cell(best_seconds),
+                  harness::Table::Cell(best.ok / best_seconds)});
+  }
+  bench::PrintAndExport(sweep, "service_connections");
 
   server.Stop();
   return 0;

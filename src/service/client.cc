@@ -10,9 +10,11 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "common/strings.h"
 #include "common/timer.h"
@@ -314,6 +316,153 @@ Result<HostPort> ParseUrl(std::string_view url) {
   }
   if (out.host == "localhost") out.host = "127.0.0.1";
   return out;
+}
+
+Result<SmokeStats> ConcurrentSmoke(const std::string& host, int port,
+                                   int connections,
+                                   double timeout_seconds) {
+  SmokeStats stats;
+  stats.requested = std::max(connections, 0);
+  if (stats.requested == 0) return stats;
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+
+  struct Probe {
+    int fd = -1;
+    bool connected = false;
+    bool sent = false;
+    bool done = false;
+    std::string response;
+  };
+  std::vector<Probe> probes(static_cast<size_t>(stats.requested));
+  Deadline deadline = Deadline::AfterSeconds(timeout_seconds);
+
+  // Phase 1: open every socket nonblocking so all handshakes are in
+  // flight together, then wait until they are all established (the
+  // point of the exercise: the server holds them simultaneously).
+  for (Probe& p : probes) {
+    p.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (p.fd < 0) {
+      p.done = true;
+      continue;
+    }
+    int rc = ::connect(p.fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr));
+    if (rc == 0) {
+      p.connected = true;
+    } else if (errno != EINPROGRESS) {
+      ::close(p.fd);
+      p.fd = -1;
+      p.done = true;
+    }
+  }
+  const std::string request = StringPrintf(
+      "GET /v1/healthz HTTP/1.1\r\nHost: %s:%d\r\n"
+      "Connection: close\r\n\r\n",
+      host.c_str(), port);
+  std::vector<pollfd> pfds;
+  auto pending = [&] {
+    pfds.clear();
+    for (Probe& p : probes) {
+      if (p.done || p.fd < 0) continue;
+      pollfd pfd;
+      pfd.fd = p.fd;
+      pfd.events = static_cast<short>(p.sent ? POLLIN : POLLOUT);
+      pfd.revents = 0;
+      pfds.push_back(pfd);
+    }
+    return !pfds.empty();
+  };
+  // Wait for every handshake before sending anything: all N sockets
+  // are then open against the server at once.
+  while (!deadline.Expired()) {
+    bool all = true;
+    for (const Probe& p : probes) {
+      if (!p.done && p.fd >= 0 && !p.connected) all = false;
+    }
+    if (all) break;
+    pfds.clear();
+    for (Probe& p : probes) {
+      if (p.done || p.fd < 0 || p.connected) continue;
+      pollfd pfd;
+      pfd.fd = p.fd;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      pfds.push_back(pfd);
+    }
+    if (pfds.empty()) break;
+    int ready = ::poll(pfds.data(), pfds.size(), 100);
+    if (ready <= 0) continue;
+    for (const pollfd& pfd : pfds) {
+      if (pfd.revents == 0) continue;
+      for (Probe& p : probes) {
+        if (p.fd != pfd.fd) continue;
+        int so_error = 0;
+        socklen_t so_len = sizeof(so_error);
+        ::getsockopt(p.fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len);
+        if (so_error != 0) {
+          ::close(p.fd);
+          p.fd = -1;
+          p.done = true;
+        } else {
+          p.connected = true;
+        }
+        break;
+      }
+    }
+  }
+  for (const Probe& p : probes) {
+    if (p.connected) ++stats.connected;
+  }
+
+  // Phase 2: healthz on every connection, drain until EOF (the request
+  // asks Connection: close), count the 200s.
+  while (!deadline.Expired() && pending()) {
+    int ready = ::poll(pfds.data(), pfds.size(), 100);
+    if (ready <= 0) continue;
+    for (const pollfd& pfd : pfds) {
+      if (pfd.revents == 0) continue;
+      for (Probe& p : probes) {
+        if (p.fd != pfd.fd) continue;
+        if (!p.sent) {
+          ssize_t n = ::send(p.fd, request.data(), request.size(),
+                             MSG_NOSIGNAL);
+          // A healthz request fits any kernel buffer; treat a short
+          // write as failure rather than resuming mid-request.
+          if (n == static_cast<ssize_t>(request.size())) {
+            p.sent = true;
+          } else {
+            ::close(p.fd);
+            p.fd = -1;
+            p.done = true;
+          }
+          break;
+        }
+        char buf[4096];
+        ssize_t n = ::recv(p.fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+          p.response.append(buf, static_cast<size_t>(n));
+        } else if (n == 0 || (errno != EINTR && errno != EAGAIN &&
+                              errno != EWOULDBLOCK)) {
+          ::close(p.fd);
+          p.fd = -1;
+          p.done = true;
+        }
+        break;
+      }
+    }
+  }
+  for (Probe& p : probes) {
+    if (p.fd >= 0) ::close(p.fd);
+    if (p.response.rfind("HTTP/1.1 200", 0) == 0) ++stats.ok;
+  }
+  return stats;
 }
 
 }  // namespace service

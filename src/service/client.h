@@ -71,6 +71,23 @@ struct HostPort {
 };
 Result<HostPort> ParseUrl(std::string_view url);
 
+/// Result of ConcurrentSmoke: how far each of the N connections got.
+struct SmokeStats {
+  int requested = 0;  // connections asked for
+  int connected = 0;  // TCP connects that completed
+  int ok = 0;         // connections whose GET /v1/healthz answered 200
+};
+
+/// Opens `connections` concurrent nonblocking sockets to the server,
+/// holds them all open at once, then sends GET /v1/healthz on each and
+/// reads the responses — the CI serve-smoke uses this to prove the
+/// event-loop server really multiplexes hundreds of simultaneous
+/// connections on O(1) threads. Fails only on setup errors; per-
+/// connection failures just lower the counters.
+Result<SmokeStats> ConcurrentSmoke(const std::string& host, int port,
+                                   int connections,
+                                   double timeout_seconds = 30.0);
+
 }  // namespace service
 }  // namespace qfix
 

@@ -1,0 +1,337 @@
+#include "service/connection.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace qfix {
+namespace service {
+
+Connection::Connection(int fd, EventLoop* loop, ConnectionHost* host,
+                       int loop_index, bool counted)
+    : fd_(fd),
+      loop_(loop),
+      host_(host),
+      loop_index_(loop_index),
+      counted_(counted),
+      parser_(host->conn_config().http) {}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Connection::Begin() {
+  state_ = State::kReading;
+  interest_ = EPOLLIN;
+  (void)loop_->Add(fd_, EPOLLIN, this);
+  ArmReadTimer();
+}
+
+void Connection::BeginReject(HttpResponse response) {
+  interest_ = 0;
+  (void)loop_->Add(fd_, 0, this);
+  response.keep_alive = false;
+  StartWrite(std::move(response));
+}
+
+void Connection::OnEvents(uint32_t events) {
+  if (state_ == State::kClosed) return;
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    Close();
+    return;
+  }
+  if (events & EPOLLIN) {
+    if (state_ == State::kReading) {
+      OnReadable();
+      return;
+    }
+    if (state_ == State::kDraining) {
+      OnDrainReadable();
+      return;
+    }
+    // Spurious/stale readiness in other states: ignored (interest is
+    // narrowed via Mod, but a queued event can still be delivered).
+  }
+  if ((events & EPOLLOUT) && state_ == State::kWriting) TryFlush();
+}
+
+void Connection::OnReadable() {
+  char buf[16384];
+  for (;;) {
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      if (!got_request_bytes_) {
+        got_request_bytes_ = true;
+        // First byte of a keep-alive round: the budget switches from
+        // the idle deadline to the read deadline. The first request's
+        // read deadline runs from accept, so it is already armed.
+        if (!first_request_) ArmReadTimer();
+      }
+      HttpRequestParser::State st =
+          parser_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      if (st == HttpRequestParser::State::kComplete) {
+        HandleParsedRequest();
+        return;
+      }
+      if (st == HttpRequestParser::State::kError) {
+        CancelTimer();
+        StartWrite(host_->ErrorResponse(parser_.error_status(), "BadRequest",
+                                        parser_.error()));
+        return;
+      }
+      continue;  // kNeedMore: the kernel may hold more bytes
+    }
+    if (n == 0) {
+      // Peer EOF before a complete request: nothing to answer (the old
+      // server's kIdleClose), whether mid-request or between requests.
+      Close();
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // stay armed
+    Close();
+    return;
+  }
+}
+
+void Connection::HandleParsedRequest() {
+  CancelTimer();
+  ++served_;
+  HttpRequest request = parser_.request();
+  leftover_ = parser_.TakeLeftover();
+  wants_keep_alive_ = request.WantsKeepAlive();
+  // No read interest while the request is in flight; pipelined bytes
+  // already received sit in leftover_ until the response is out.
+  SetInterest(0);
+
+  HttpResponse inline_response;
+  auto done = [this](HttpResponse response) {
+    // Runs on a worker thread: hop back onto the loop. The connection
+    // outlives the hop — even if it closed meanwhile it lingers as a
+    // zombie until this completion reaps it.
+    loop_->Post([this, response = std::move(response)]() mutable {
+      CompleteDispatch(std::move(response));
+    });
+  };
+  if (host_->HandleRequest(std::move(request), &inline_response,
+                           std::move(done))) {
+    FinishDispatch(std::move(inline_response));
+    return;
+  }
+  state_ = State::kDispatching;
+  dispatch_pending_ = true;
+}
+
+void Connection::CompleteDispatch(HttpResponse response) {
+  dispatch_pending_ = false;
+  if (state_ == State::kClosed) {
+    // Zombie: the socket died while the handler ran. The response has
+    // nowhere to go; hand the carcass back for deletion.
+    host_->OnConnectionClosed(this);
+    return;
+  }
+  FinishDispatch(std::move(response));
+}
+
+void Connection::FinishDispatch(HttpResponse response) {
+  response.keep_alive = wants_keep_alive_ &&
+                        served_ < host_->conn_config().max_requests_per_conn &&
+                        !host_->shutting_down();
+  StartWrite(std::move(response));
+}
+
+void Connection::StartWrite(HttpResponse response) {
+  host_->CountResponse(response.status);
+  keep_after_write_ = response.keep_alive;
+  outbuf_ = response.Serialize();
+  outoff_ = 0;
+  state_ = State::kWriting;
+  SetInterest(0);
+  ArmWriteTimer();
+  TryFlush();
+}
+
+void Connection::TryFlush() {
+  while (outoff_ < outbuf_.size()) {
+    ssize_t n = ::send(fd_, outbuf_.data() + outoff_, outbuf_.size() - outoff_,
+                       MSG_NOSIGNAL);
+    if (n >= 0) {
+      outoff_ += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (host_->shutting_down()) {
+        // Cooperative Stop(): don't wait out the write deadline on a
+        // peer that isn't reading.
+        Close();
+        return;
+      }
+      SetInterest(EPOLLOUT);
+      return;  // the write deadline stays armed
+    }
+    Close();  // EPIPE/ECONNRESET/...: peer is gone
+    return;
+  }
+  FinishResponse();
+}
+
+void Connection::FinishResponse() {
+  CancelTimer();
+  outbuf_.clear();
+  outoff_ = 0;
+  if (!keep_after_write_) {
+    EnterDrain();
+    return;
+  }
+  NextRequest();
+}
+
+void Connection::NextRequest() {
+  state_ = State::kReading;
+  parser_.Reset();
+  got_request_bytes_ = false;
+  first_request_ = false;
+  if (host_->shutting_down()) {
+    Close();
+    return;
+  }
+  if (!leftover_.empty()) {
+    // Pipelined bytes already in hand: serve back-to-back without
+    // waiting for readiness. Depth is bounded by max_requests_per_conn
+    // (keep_alive goes false at the cap, ending the recursion).
+    std::string pipelined;
+    pipelined.swap(leftover_);
+    got_request_bytes_ = true;
+    HttpRequestParser::State st = parser_.Feed(pipelined);
+    if (st == HttpRequestParser::State::kComplete) {
+      HandleParsedRequest();
+      return;
+    }
+    if (st == HttpRequestParser::State::kError) {
+      StartWrite(host_->ErrorResponse(parser_.error_status(), "BadRequest",
+                                      parser_.error()));
+      return;
+    }
+  }
+  SetInterest(EPOLLIN);
+  ArmReadTimer();
+}
+
+void Connection::EnterDrain() {
+  // Graceful close: announce FIN, then briefly drain whatever the
+  // client already sent so close() doesn't turn into a RST that could
+  // destroy the just-queued response.
+  ::shutdown(fd_, SHUT_WR);
+  state_ = State::kDraining;
+  SetInterest(EPOLLIN);
+  ArmDrainTimer();
+}
+
+void Connection::OnDrainReadable() {
+  char buf[4096];
+  for (int rounds = 0; rounds < 16; ++rounds) {
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) continue;
+    if (n == 0) {
+      Close();  // peer FIN: both directions done
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    Close();
+    return;
+  }
+  Close();  // peer is flooding; don't drain forever
+}
+
+void Connection::OnReadTimeout() {
+  if (state_ != State::kReading) return;
+  if (!first_request_ && !got_request_bytes_) {
+    // Keep-alive idle expiry between requests: quiet close.
+    Close();
+    return;
+  }
+  // A started (or first) request stalled: answer 408 then close.
+  StartWrite(
+      host_->ErrorResponse(408, "Timeout", "request not received in time"));
+}
+
+void Connection::OnShutdown() {
+  switch (state_) {
+    case State::kReading:
+    case State::kWriting:
+    case State::kDraining:
+      Close();
+      return;
+    case State::kDispatching:
+      // The handler is still running; its completion writes the final
+      // response (keep_alive already false via shutting_down()).
+      return;
+    case State::kClosed:
+      return;
+  }
+}
+
+void Connection::Close() {
+  if (state_ == State::kClosed) return;
+  CancelTimer();
+  if (fd_ >= 0) {
+    loop_->Del(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  state_ = State::kClosed;
+  // With a dispatch in flight the object must outlive the socket (the
+  // completion lambda holds `this`): reap on CompleteDispatch instead.
+  if (!dispatch_pending_) host_->OnConnectionClosed(this);
+}
+
+void Connection::SetInterest(uint32_t events) {
+  if (events == interest_ || fd_ < 0) return;
+  interest_ = events;
+  (void)loop_->Mod(fd_, events);
+}
+
+void Connection::ArmReadTimer() {
+  CancelTimer();
+  const ConnectionHost::Config& cfg = host_->conn_config();
+  double budget = (first_request_ || got_request_bytes_)
+                      ? cfg.read_timeout_seconds
+                      : cfg.idle_timeout_seconds;
+  timer_id_ = loop_->timers().Schedule(budget, [this] {
+    timer_id_ = 0;
+    OnReadTimeout();
+  });
+}
+
+void Connection::ArmWriteTimer() {
+  CancelTimer();
+  timer_id_ = loop_->timers().Schedule(
+      host_->conn_config().write_timeout_seconds, [this] {
+        timer_id_ = 0;
+        // The whole response didn't drain within the write budget: the
+        // peer stopped reading. Cut it loose.
+        Close();
+      });
+}
+
+void Connection::ArmDrainTimer() {
+  CancelTimer();
+  timer_id_ = loop_->timers().Schedule(0.1, [this] {
+    timer_id_ = 0;
+    Close();
+  });
+}
+
+void Connection::CancelTimer() {
+  if (timer_id_ == 0) return;
+  loop_->timers().Cancel(timer_id_);
+  timer_id_ = 0;
+}
+
+}  // namespace service
+}  // namespace qfix

@@ -1,0 +1,167 @@
+// Connection: the per-socket HTTP state machine that runs on an
+// EventLoop. One instance per accepted TCP connection, owned by the
+// server's loop shard, touched only on that loop's thread.
+//
+// States:
+//   kReading     -> EPOLLIN armed; bytes feed the incremental
+//                   HttpRequestParser. Idle/read deadlines on the timer
+//                   wheel (quiet close when a kept-alive connection
+//                   idles out; 408 when a started request stalls).
+//   kDispatching -> a complete request was handed to the host. Cheap
+//                   GETs answer inline; blocking handlers are offloaded
+//                   to a worker pool and complete by posting back onto
+//                   the loop (CompleteDispatch). Read interest is off.
+//   kWriting     -> the serialized response drains through nonblocking
+//                   send(MSG_NOSIGNAL); EPOLLOUT only when the socket
+//                   buffer fills, with the write deadline on the wheel
+//                   so a non-reading peer cannot pin the connection.
+//   kDraining    -> graceful close: SHUT_WR, then briefly read-drain so
+//                   the last response and FIN deliver before close()
+//                   (closing with unread request bytes would RST and
+//                   could destroy the queued response).
+//   kClosed      -> fd closed. If a dispatched handler is still in
+//                   flight the object lingers as a zombie until the
+//                   completion arrives, then the host reaps it.
+//
+// Keep-alive/pipelining: after a response, leftover bytes from the
+// parser (TakeLeftover) seed the next request, so pipelined requests
+// are served back-to-back without waiting for readiness.
+#ifndef QFIX_SERVICE_CONNECTION_H_
+#define QFIX_SERVICE_CONNECTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "service/event_loop.h"
+#include "service/http.h"
+
+namespace qfix {
+namespace service {
+
+class Connection;
+
+/// What a Connection needs from the server. Implemented by
+/// DiagnosisServer; all methods must be callable from any loop thread.
+class ConnectionHost {
+ public:
+  /// Immutable per-connection policy, snapshotted from ServerOptions.
+  struct Config {
+    double read_timeout_seconds = 10.0;
+    double write_timeout_seconds = 10.0;
+    double idle_timeout_seconds = 5.0;
+    int max_requests_per_conn = 100;
+    HttpLimits http;
+  };
+
+  virtual ~ConnectionHost() = default;
+
+  virtual const Config& conn_config() const = 0;
+
+  /// True once cooperative shutdown began: no new keep-alive rounds,
+  /// and blocked writes abort instead of waiting out their deadline.
+  virtual bool shutting_down() const = 0;
+
+  /// Renders the server's uniform JSON error body (the same bytes the
+  /// pre-event-loop server produced).
+  virtual HttpResponse ErrorResponse(int http_status, const std::string& code,
+                                     const std::string& message) const = 0;
+
+  /// Routes and handles one request. Returns true when `*out` was
+  /// filled inline (cheap, nonblocking handlers). Returns false when
+  /// the request was offloaded; `done` is then invoked exactly once,
+  /// from an arbitrary thread, with the response.
+  virtual bool HandleRequest(HttpRequest request, HttpResponse* out,
+                             std::function<void(HttpResponse)> done) = 0;
+
+  /// Counts one answered request for /v1/stats (total + error class).
+  virtual void CountResponse(int http_status) = 0;
+
+  /// The connection closed and finished every obligation: unregister
+  /// and delete it. Runs on the connection's loop thread.
+  virtual void OnConnectionClosed(Connection* conn) = 0;
+};
+
+class Connection : public FdHandler {
+ public:
+  /// `fd` must be nonblocking; ownership transfers. `loop_index` and
+  /// `counted` are host bookkeeping (which shard owns this connection,
+  /// and whether it occupies a max_connections slot).
+  Connection(int fd, EventLoop* loop, ConnectionHost* host, int loop_index,
+             bool counted);
+  ~Connection() override;
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Starts serving: registers read interest, arms the first-request
+  /// read deadline.
+  void Begin();
+
+  /// Over-capacity path: skip reading, send `response` (e.g. the canned
+  /// 503) and close gracefully.
+  void BeginReject(HttpResponse response);
+
+  void OnEvents(uint32_t events) override;
+
+  /// Cooperative shutdown: closes idle/reading/writing connections now;
+  /// a connection waiting on a dispatched handler stays alive so the
+  /// completion can still write its response.
+  void OnShutdown();
+
+  int loop_index() const { return loop_index_; }
+  bool counted() const { return counted_; }
+
+ private:
+  enum class State { kReading, kDispatching, kWriting, kDraining, kClosed };
+
+  void OnReadable();
+  void OnDrainReadable();
+  /// A complete request sits in the parser: hand it to the host.
+  void HandleParsedRequest();
+  /// Invoked (via EventLoop::Post) when an offloaded handler finishes.
+  void CompleteDispatch(HttpResponse response);
+  /// Applies keep-alive policy to a host response and starts writing.
+  void FinishDispatch(HttpResponse response);
+  void StartWrite(HttpResponse response);
+  void TryFlush();
+  /// Response fully flushed: next keep-alive round or graceful close.
+  void FinishResponse();
+  void NextRequest();
+  void EnterDrain();
+  void OnReadTimeout();
+  /// Closes the fd and unregisters. Self-deletes via the host unless an
+  /// offloaded handler is still in flight (zombie until completion).
+  void Close();
+
+  void SetInterest(uint32_t events);
+  void ArmReadTimer();
+  void ArmWriteTimer();
+  void ArmDrainTimer();
+  void CancelTimer();
+
+  int fd_;
+  EventLoop* loop_;
+  ConnectionHost* host_;
+  const int loop_index_;
+  const bool counted_;
+
+  State state_ = State::kReading;
+  HttpRequestParser parser_;
+  std::string leftover_;      // pipelined bytes beyond the last request
+  std::string outbuf_;        // serialized response being drained
+  size_t outoff_ = 0;
+  bool keep_after_write_ = false;
+  bool wants_keep_alive_ = false;
+  bool dispatch_pending_ = false;
+  bool first_request_ = true;
+  bool got_request_bytes_ = false;  // bytes of the CURRENT request
+  int served_ = 0;
+  uint64_t timer_id_ = 0;
+  uint32_t interest_ = 0;
+};
+
+}  // namespace service
+}  // namespace qfix
+
+#endif  // QFIX_SERVICE_CONNECTION_H_

@@ -1,0 +1,236 @@
+#include "service/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "common/timer.h"
+
+namespace qfix {
+namespace service {
+
+// ---------------------------------------------------------------------------
+// TimerWheel
+
+TimerWheel::TimerWheel(double tick_seconds, size_t num_slots)
+    : tick_(tick_seconds > 0.0 ? tick_seconds : 0.1),
+      num_slots_(std::max<size_t>(num_slots, 2)),
+      anchor_(MonotonicSeconds()),
+      slots_(num_slots_) {}
+
+size_t TimerWheel::SlotFor(double due) const {
+  // Ceiling bucketing: the slot is processed no earlier than `due`, so
+  // timers never fire early. At least one tick ahead — the cursor slot
+  // itself has already begun.
+  double ahead = (due - anchor_) / tick_;
+  size_t ticks = ahead <= 1.0 ? 1 : static_cast<size_t>(std::ceil(ahead));
+  // Beyond the horizon the entry parks in the furthest slot and is
+  // re-bucketed when that slot comes around (it takes another lap).
+  ticks = std::min(ticks, num_slots_ - 1);
+  return (cursor_ + ticks) % num_slots_;
+}
+
+uint64_t TimerWheel::Schedule(double delay_seconds, Callback cb) {
+  uint64_t id = next_id_++;
+  Timer t;
+  t.due = MonotonicSeconds() + std::max(delay_seconds, 0.0);
+  t.cb = std::move(cb);
+  slots_[SlotFor(t.due)].push_back(id);
+  timers_.emplace(id, std::move(t));
+  return id;
+}
+
+void TimerWheel::Cancel(uint64_t id) {
+  // The slot keeps a stale id; Advance() skips ids with no live entry.
+  timers_.erase(id);
+}
+
+double TimerWheel::Advance(double now) {
+  while (anchor_ + tick_ <= now) {
+    anchor_ += tick_;
+    cursor_ = (cursor_ + 1) % num_slots_;
+    std::vector<uint64_t> due_ids;
+    due_ids.swap(slots_[cursor_]);
+    for (uint64_t id : due_ids) {
+      auto it = timers_.find(id);
+      if (it == timers_.end()) continue;  // cancelled
+      if (it->second.due <= now + 1e-9) {
+        Callback cb = std::move(it->second.cb);
+        timers_.erase(it);
+        cb();  // may Schedule/Cancel reentrantly; containers are safe
+      } else {
+        // Parked beyond the horizon (or not yet due): another lap.
+        slots_[SlotFor(it->second.due)].push_back(id);
+      }
+    }
+  }
+  if (timers_.empty()) return -1.0;
+  double next = anchor_ + tick_ - now;
+  return next > 0.0 ? next : 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// EventLoop
+
+EventLoop::EventLoop() { loop_thread_.store(std::this_thread::get_id()); }
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status EventLoop::Init() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Status::Internal(
+        StringPrintf("epoll_create1(): %s", strerror(errno)));
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    return Status::Internal(StringPrintf("eventfd(): %s", strerror(errno)));
+  }
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // sentinel: the wakeup channel
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return Status::Internal(
+        StringPrintf("epoll_ctl(wakeup): %s", strerror(errno)));
+  }
+  return Status::OK();
+}
+
+bool EventLoop::InLoopThread() const {
+  return loop_thread_.load() == std::this_thread::get_id();
+}
+
+void EventLoop::Post(Task fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  ssize_t rc = ::write(wake_fd_, &one, sizeof(one));
+  (void)rc;
+}
+
+void EventLoop::RequestStop() {
+  stop_.store(true, std::memory_order_release);
+  Post([] {});  // wake the loop so it re-evaluates the exit condition
+}
+
+Status EventLoop::Add(int fd, uint32_t events, FdHandler* handler,
+                      uint32_t extra_flags) {
+  QFIX_CHECK(InLoopThread()) << "EventLoop::Add off the loop thread";
+  Watch watch;
+  watch.gen = next_gen_++;
+  if (watch.gen == 0) watch.gen = next_gen_++;
+  watch.handler = handler;
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events | extra_flags;
+  ev.data.u64 =
+      (static_cast<uint64_t>(static_cast<uint32_t>(fd)) << 32) | watch.gen;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Status::Internal(
+        StringPrintf("epoll_ctl(ADD fd=%d): %s", fd, strerror(errno)));
+  }
+  handlers_[fd] = watch;
+  return Status::OK();
+}
+
+Status EventLoop::Mod(int fd, uint32_t events) {
+  QFIX_CHECK(InLoopThread()) << "EventLoop::Mod off the loop thread";
+  auto it = handlers_.find(fd);
+  if (it == handlers_.end()) {
+    return Status::InvalidArgument("Mod() on an unregistered fd");
+  }
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.u64 = (static_cast<uint64_t>(static_cast<uint32_t>(fd)) << 32) |
+                it->second.gen;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status::Internal(
+        StringPrintf("epoll_ctl(MOD fd=%d): %s", fd, strerror(errno)));
+  }
+  return Status::OK();
+}
+
+void EventLoop::Del(int fd) {
+  QFIX_CHECK(InLoopThread()) << "EventLoop::Del off the loop thread";
+  if (handlers_.erase(fd) == 0) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+void EventLoop::DrainWakeups() {
+  uint64_t count = 0;
+  while (::read(wake_fd_, &count, sizeof(count)) > 0) {
+  }
+}
+
+bool EventLoop::RunPostedTasks() {
+  std::vector<Task> tasks;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    tasks.swap(posted_);
+  }
+  for (Task& t : tasks) t();
+  return !tasks.empty();
+}
+
+void EventLoop::Run() {
+  loop_thread_.store(std::this_thread::get_id());
+  running_ = true;
+  constexpr int kMaxEvents = 128;
+  epoll_event events[kMaxEvents];
+  for (;;) {
+    RunPostedTasks();
+    double next_timer = wheel_.Advance(MonotonicSeconds());
+
+    if (stop_requested() && (!drained_ || drained_())) {
+      std::lock_guard<std::mutex> lock(post_mu_);
+      if (posted_.empty()) break;
+      continue;  // a completion raced in; deliver it first
+    }
+
+    int timeout_ms = -1;
+    if (next_timer >= 0.0) {
+      timeout_ms = static_cast<int>(next_timer * 1e3) + 1;
+      timeout_ms = std::min(timeout_ms, 1000);
+    }
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // EBADF and friends: the loop is torn down
+    }
+    for (int i = 0; i < n; ++i) {
+      uint64_t data = events[i].data.u64;
+      if (data == 0) {
+        DrainWakeups();
+        continue;
+      }
+      int fd = static_cast<int>(data >> 32);
+      uint32_t gen = static_cast<uint32_t>(data & 0xffffffffu);
+      auto it = handlers_.find(fd);
+      // An earlier handler in this batch may have closed this fd (and
+      // the number may even have been reused): the generation check
+      // drops the stale delivery.
+      if (it == handlers_.end() || it->second.gen != gen) continue;
+      it->second.handler->OnEvents(events[i].events);
+    }
+  }
+  running_ = false;
+}
+
+}  // namespace service
+}  // namespace qfix

@@ -1,0 +1,182 @@
+// EventLoop: the readiness-driven core of the diagnosis server — one
+// epoll instance, a hashed timer wheel, and an eventfd wakeup channel,
+// all owned by a single thread. Connections register interest in
+// read/write readiness and get called back; nothing on the loop thread
+// ever blocks on a socket, which is what lets one thread hold 10k+
+// concurrent connections where the old thread-per-connection design
+// spent a full stack per idle socket.
+//
+// Threading contract:
+//   * Run() is the loop thread. Every EventLoop method EXCEPT Post(),
+//     Wake() and RequestStop() must be called on that thread (watcher
+//     registration, timer scheduling, ...). QFIX_CHECKed in debug.
+//   * Post(fn) is the only cross-thread entry point: it enqueues `fn`
+//     under a mutex and writes the eventfd, so solver completions on
+//     exec::ThreadPool workers re-arm their connection by posting back
+//     onto the loop (the solve-dispatch/wakeup handshake).
+//   * Timers belong to the wheel (timers()): coarse 100ms ticks, which
+//     is plenty for the second-scale idle/read/write deadlines the
+//     server enforces, and O(1) schedule/cancel so 10k idle connections
+//     cost 10k wheel entries and nothing else.
+//
+// Run() exits when RequestStop() has been called AND the drained check
+// (SetDrainedCheck) reports no remaining work, so a cooperative Stop()
+// can let in-flight solves complete and their responses flush before
+// the thread joins.
+#ifndef QFIX_SERVICE_EVENT_LOOP_H_
+#define QFIX_SERVICE_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace qfix {
+namespace service {
+
+/// Readiness callback for one registered file descriptor. `events` is
+/// the epoll bitmask (EPOLLIN/EPOLLOUT/EPOLLERR/EPOLLHUP...).
+class FdHandler {
+ public:
+  virtual ~FdHandler() = default;
+  virtual void OnEvents(uint32_t events) = 0;
+};
+
+/// Hashed timer wheel: `num_slots` buckets of `tick_seconds` each.
+/// Schedule/Cancel are O(1); Advance() fires whatever came due. Timers
+/// never fire early — entries are bucketed by ceiling, and an entry
+/// whose deadline lies beyond the wheel horizon simply takes another
+/// lap (it is re-bucketed when its slot comes around). Loop-thread
+/// only; callbacks may freely Schedule/Cancel reentrantly.
+class TimerWheel {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit TimerWheel(double tick_seconds = 0.1, size_t num_slots = 512);
+
+  /// Fires `cb` once, no earlier than `delay_seconds` from now.
+  /// Returns an id for Cancel(); 0 is never a valid id.
+  uint64_t Schedule(double delay_seconds, Callback cb);
+
+  /// Forgets a pending timer. Unknown/fired ids are a no-op, so holders
+  /// can cancel unconditionally.
+  void Cancel(uint64_t id);
+
+  /// Fires every timer due at `now` (monotonic seconds). Returns the
+  /// seconds until the wheel should be advanced again, or a negative
+  /// value when no timers are pending.
+  double Advance(double now);
+
+  size_t pending() const { return timers_.size(); }
+
+ private:
+  struct Timer {
+    double due = 0.0;
+    Callback cb;
+  };
+
+  size_t SlotFor(double due) const;
+
+  double tick_;
+  size_t num_slots_;
+  double anchor_;   // wall time of the cursor slot's start
+  size_t cursor_ = 0;
+  uint64_t next_id_ = 1;
+  std::vector<std::vector<uint64_t>> slots_;
+  std::unordered_map<uint64_t, Timer> timers_;
+};
+
+class EventLoop {
+ public:
+  using Task = std::function<void()>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the epoll instance and the wakeup eventfd. Must succeed
+  /// before Run().
+  Status Init();
+
+  /// The loop. Blocks until RequestStop() AND the drained check (if
+  /// set) returns true AND no posted task is pending.
+  void Run();
+
+  /// Thread-safe: enqueues `fn` to run on the loop thread and wakes the
+  /// loop. The only way other threads talk to the loop.
+  void Post(Task fn);
+
+  /// Thread-safe: asks Run() to exit once drained.
+  void RequestStop();
+
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  /// `drained` is consulted (on the loop thread) before exiting after
+  /// RequestStop(); return true when no connection state remains.
+  void SetDrainedCheck(std::function<bool()> drained) {
+    drained_ = std::move(drained);
+  }
+
+  /// Registers `fd` with the given epoll `events` mask (plus the
+  /// implicit ERR/HUP). `extra_flags` is OR'd into the mask verbatim
+  /// (EPOLLEXCLUSIVE for a shared listener). Loop thread only, except
+  /// before Run() starts.
+  Status Add(int fd, uint32_t events, FdHandler* handler,
+             uint32_t extra_flags = 0);
+  /// Changes the interest mask of a registered fd.
+  Status Mod(int fd, uint32_t events);
+  /// Unregisters; the fd is NOT closed. Safe to call for unknown fds.
+  void Del(int fd);
+
+  /// True when `fd` is currently registered.
+  bool Watches(int fd) const { return handlers_.count(fd) != 0; }
+
+  TimerWheel& timers() { return wheel_; }
+
+  /// True on the thread currently inside Run() (always true before Run
+  /// starts, so setup code can assert it).
+  bool InLoopThread() const;
+
+ private:
+  void DrainWakeups();
+  bool RunPostedTasks();  // returns true when any task ran
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+
+  TimerWheel wheel_;
+
+  // fd -> (generation, handler). The generation is carried in the epoll
+  // user data so an event queued for a connection that was closed (and
+  // whose fd number was reused) within the same batch is dropped
+  // instead of delivered to the new owner.
+  struct Watch {
+    uint32_t gen = 0;
+    FdHandler* handler = nullptr;
+  };
+  std::unordered_map<int, Watch> handlers_;
+  uint32_t next_gen_ = 1;
+
+  std::mutex post_mu_;
+  std::vector<Task> posted_;
+
+  std::atomic<bool> stop_{false};
+  std::function<bool()> drained_;
+
+  std::atomic<std::thread::id> loop_thread_;
+  bool running_ = false;
+};
+
+}  // namespace service
+}  // namespace qfix
+
+#endif  // QFIX_SERVICE_EVENT_LOOP_H_

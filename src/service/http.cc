@@ -162,6 +162,17 @@ HttpRequestParser::State HttpRequestParser::ParseHead() {
   return State::kNeedMore;
 }
 
+void HttpRequestParser::Reset() {
+  state_ = State::kNeedMore;
+  buffer_.clear();
+  leftover_.clear();
+  head_done_ = false;
+  body_expected_ = 0;
+  request_ = HttpRequest();
+  error_status_ = 400;
+  error_.clear();
+}
+
 HttpRequestParser::State HttpRequestParser::Feed(std::string_view bytes) {
   if (state_ != State::kNeedMore) return state_;
   buffer_.append(bytes.data(), bytes.size());

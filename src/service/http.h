@@ -80,6 +80,10 @@ class HttpRequestParser {
   /// the next parser. Moves the bytes out (empty on repeat calls).
   std::string TakeLeftover() { return std::move(leftover_); }
 
+  /// Rewinds to a fresh kNeedMore state (limits kept) so one parser can
+  /// serve every request of a kept-alive connection without churn.
+  void Reset();
+
  private:
   State Fail(int http_status, std::string message);
   State ParseHead();

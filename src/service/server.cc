@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -12,16 +13,20 @@
 #include <chrono>
 #include <cstring>
 #include <optional>
+#include <thread>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "common/json.h"
+#include "common/logging.h"
 #include "common/strings.h"
 #include "common/timer.h"
 #include "io/csv.h"
 #include "provenance/denoiser.h"
 #include "qfix/batch.h"
 #include "qfix/report_json.h"
+#include "service/event_loop.h"
 #include "service/json_value.h"
 
 namespace qfix {
@@ -85,57 +90,6 @@ HttpResponse StatusError(int http_status, const Status& status) {
                    status.message());
 }
 
-/// Sends all bytes, bounded by `deadline` and the shutdown token. A
-/// peer that accepts the request but never reads the response (zero
-/// TCP window) must not block the handler thread forever — that would
-/// pin a connection slot permanently and hang Stop(), which waits for
-/// every handler to finish. Short send timeouts let a blocked write
-/// poll both exits; a response that fits the kernel buffer still goes
-/// out in one non-blocking send even mid-shutdown.
-bool SendAll(int fd, std::string_view bytes, Deadline deadline,
-             const exec::CancellationToken& cancel) {
-  timeval tv;
-  tv.tv_sec = 0;
-  tv.tv_usec = 200 * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  size_t sent = 0;
-  while (sent < bytes.size()) {
-    ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
-                       MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        if (cancel.cancelled() || deadline.Expired()) return false;
-        continue;
-      }
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-/// Half-closes, briefly drains, then closes. close() on a socket with
-/// unread received bytes (a rejected oversized body, a 503 shed before
-/// the request was read) makes the kernel answer with RST, which can
-/// destroy the queued response before the peer reads it. Waiting a
-/// bounded moment for the peer's EOF after SHUT_WR lets the response
-/// and FIN deliver first; misbehaving peers only cost `drain_ms`.
-void ShutdownAndClose(int fd, int drain_ms) {
-  ::shutdown(fd, SHUT_WR);
-  timeval tv;
-  tv.tv_sec = 0;
-  tv.tv_usec = drain_ms * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  char buf[4096];
-  for (int i = 0; i < 16; ++i) {  // discard at most 64 KiB
-    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // EOF, timeout, or peer reset
-  }
-  ::close(fd);
-}
-
 /// One diagnosis sub-request, decoded from JSON.
 struct DiagnoseItem {
   std::shared_ptr<const Dataset> dataset;
@@ -147,6 +101,98 @@ struct DiagnoseItem {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Loop shards and the shared-listener acceptor
+
+struct DiagnosisServer::LoopShard {
+  EventLoop loop;
+  std::thread thread;
+  /// Connections owned by this loop (including zombies waiting on a
+  /// dispatched handler). Loop-thread only.
+  std::unordered_set<Connection*> conns;
+  std::unique_ptr<Acceptor> acceptor;
+  int index = 0;
+};
+
+/// One shard's registration on the shared nonblocking listener
+/// (EPOLLIN | EPOLLEXCLUSIVE, so the kernel wakes one loop per pending
+/// connection instead of all of them). On resource exhaustion the
+/// acceptor backs off: it unregisters and re-registers off the timer
+/// wheel 50ms later — EPOLL_CTL_MOD is forbidden on EPOLLEXCLUSIVE
+/// registrations, so Del + Add is the only legal dance.
+class DiagnosisServer::Acceptor : public FdHandler {
+ public:
+  Acceptor(DiagnosisServer* server, LoopShard* shard, int listen_fd)
+      : server_(server), shard_(shard), listen_fd_(listen_fd) {}
+
+  void Register() {
+    if (registered_) return;
+    registered_ = true;
+    (void)shard_->loop.Add(listen_fd_, EPOLLIN, this, EPOLLEXCLUSIVE);
+  }
+
+  void Shutdown() {
+    if (retry_timer_ != 0) {
+      shard_->loop.timers().Cancel(retry_timer_);
+      retry_timer_ = 0;
+    }
+    if (registered_) {
+      shard_->loop.Del(listen_fd_);
+      registered_ = false;
+    }
+  }
+
+  void OnEvents(uint32_t) override { AcceptSome(); }
+
+ private:
+  void AcceptSome() {
+    for (;;) {
+      int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                         SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        // Transient conditions must not kill accepting: aborted
+        // handshakes are routine under load.
+        if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
+          continue;
+        }
+        // Resource exhaustion (EMFILE/ENFILE/ENOMEM/ENOBUFS) clears
+        // once in-flight connections close; anything unexpected gets
+        // the same brief back-off rather than a dead listener.
+        Backoff();
+        return;
+      }
+      if (!server_->running_.load(std::memory_order_acquire)) {
+        ::close(fd);
+        return;
+      }
+      server_->OnAccept(fd, shard_);
+    }
+  }
+
+  void Backoff() {
+    if (registered_) {
+      shard_->loop.Del(listen_fd_);
+      registered_ = false;
+    }
+    if (retry_timer_ != 0) return;
+    retry_timer_ = shard_->loop.timers().Schedule(0.05, [this] {
+      retry_timer_ = 0;
+      Register();
+      AcceptSome();
+    });
+  }
+
+  DiagnosisServer* server_;
+  LoopShard* shard_;
+  int listen_fd_;
+  bool registered_ = false;
+  uint64_t retry_timer_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
 DiagnosisServer::DiagnosisServer(ServerOptions options)
     : options_(std::move(options)),
       registry_(static_cast<size_t>(std::max(options_.max_datasets, 0))) {
@@ -154,6 +200,13 @@ DiagnosisServer::DiagnosisServer(ServerOptions options)
   options_.max_connections = std::max(options_.max_connections, 1);
   options_.max_items = std::max(options_.max_items, 1);
   options_.max_requests_per_conn = std::max(options_.max_requests_per_conn, 1);
+  options_.event_loop_threads =
+      std::clamp(options_.event_loop_threads, 1, 64);
+  conn_config_.read_timeout_seconds = options_.read_timeout_seconds;
+  conn_config_.write_timeout_seconds = options_.write_timeout_seconds;
+  conn_config_.idle_timeout_seconds = options_.idle_timeout_seconds;
+  conn_config_.max_requests_per_conn = options_.max_requests_per_conn;
+  conn_config_.http = options_.http;
   if (options_.cache_bytes > 0) {
     cache_ = std::make_unique<cache::ReportCache>(options_.cache_bytes);
     registry_.AttachReportCache(cache_.get());
@@ -165,7 +218,8 @@ DiagnosisServer::~DiagnosisServer() { Stop(); }
 Status DiagnosisServer::Start() {
   QFIX_CHECK(!running_.load()) << "Start() on a running server";
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
   if (listen_fd_ < 0) {
     return Status::Internal(StringPrintf("socket(): %s", strerror(errno)));
   }
@@ -190,7 +244,9 @@ Status DiagnosisServer::Start() {
     listen_fd_ = -1;
     return s;
   }
-  if (::listen(listen_fd_, 128) != 0) {
+  // Deep backlog: at 10k+ connection scale, connect bursts between two
+  // epoll wakeups are normal and must not see SYN drops.
+  if (::listen(listen_fd_, 4096) != 0) {
     Status s = Status::Internal(
         StringPrintf("listen(): %s", strerror(errno)));
     ::close(listen_fd_);
@@ -204,250 +260,225 @@ Status DiagnosisServer::Start() {
   }
 
   pool_ = std::make_unique<exec::ThreadPool>(options_.jobs);
+  // The handler pool runs blocking endpoint work off the loop threads.
+  // It must be able to saturate the admission gate (so over-capacity
+  // bursts reach the gate and shed 429 instead of queueing behind
+  // busy workers), hence gate capacity plus slack.
+  handler_pool_ =
+      std::make_unique<exec::ThreadPool>(std::max(options_.max_inflight + 2,
+                                                  4));
   // Fresh cancellation source: a server restarted after Stop() must
   // not inherit the fired token (it would 503 every diagnosis).
   shutdown_ = exec::CancellationSource();
   started_at_seconds_ = MonotonicSeconds();
-  running_.store(true);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+
+  shards_.clear();
+  for (int i = 0; i < options_.event_loop_threads; ++i) {
+    auto shard = std::make_unique<LoopShard>();
+    shard->index = i;
+    Status init = shard->loop.Init();
+    if (!init.ok()) {
+      shards_.clear();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      handler_pool_.reset();
+      pool_.reset();
+      return init;
+    }
+    LoopShard* s = shard.get();
+    s->loop.SetDrainedCheck([s] { return s->conns.empty(); });
+    s->acceptor = std::make_unique<Acceptor>(this, s, listen_fd_);
+    // Registration runs on the Start() thread, legal because the loop
+    // has not started yet (InLoopThread() covers the pre-Run owner).
+    s->acceptor->Register();
+    shards_.push_back(std::move(shard));
+  }
+
+  running_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    LoopShard* s = shard.get();
+    s->thread = std::thread([s] { s->loop.Run(); });
+  }
   return Status::OK();
 }
 
 void DiagnosisServer::Stop() {
   bool was_running = running_.exchange(false);
-  // Fire the token first so queued batch items fail fast, then unblock
-  // the accept loop by shutting the listener down.
+  // Fire the token first so queued batch items fail fast and debug
+  // sleeps wake; then ask every loop to close its connections (a
+  // connection waiting on a dispatched handler survives until the
+  // completion flushes its response) and exit once drained.
   shutdown_.Cancel();
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
+  for (auto& shard : shards_) {
+    LoopShard* s = shard.get();
+    s->loop.Post([s] {
+      if (s->acceptor != nullptr) s->acceptor->Shutdown();
+      std::vector<Connection*> conns(s->conns.begin(), s->conns.end());
+      for (Connection* c : conns) c->OnShutdown();
+    });
+    s->loop.RequestStop();
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  shards_.clear();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  {
-    std::unique_lock<std::mutex> lock(conn_mu_);
-    conn_cv_.wait(lock, [this] { return open_connections_ == 0; });
-  }
-  if (was_running) pool_.reset();
-}
-
-void DiagnosisServer::AcceptLoop() {
-  while (running_.load()) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (!running_.load()) break;  // listener shut down by Stop()
-      // Transient conditions must not kill the accept loop: aborted
-      // handshakes are routine under load, and fd exhaustion clears
-      // once in-flight connections close.
-      if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
-        continue;
-      }
-      if (errno == EMFILE || errno == ENFILE) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
-        continue;
-      }
-      break;  // genuinely fatal (EBADF, EINVAL, ...)
-    }
-    if (!running_.load()) {
-      ::close(fd);
-      break;
-    }
-    bool over_capacity = false;
-    {
-      std::lock_guard<std::mutex> lock(conn_mu_);
-      if (open_connections_ >= options_.max_connections) {
-        over_capacity = true;
-      } else {
-        ++open_connections_;
-      }
-    }
-    if (over_capacity) {
-      // Shed at the connection level without reading the request; the
-      // canned response fits any kernel send buffer.
-      HttpResponse busy = JsonError(503, "Unavailable",
-                                    "connection limit reached");
-      SendAll(fd, busy.Serialize(), Deadline::AfterSeconds(1.0),
-              shutdown_.token());
-      // Short drain: this runs on the accept thread, so a misbehaving
-      // peer must not stall new connections for long.
-      ShutdownAndClose(fd, /*drain_ms=*/10);
-      counters_.total.fetch_add(1, std::memory_order_relaxed);
-      counters_.err5xx.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-    std::thread([this, fd] {
-      HandleConnection(fd);
-      std::lock_guard<std::mutex> lock(conn_mu_);
-      --open_connections_;
-      conn_cv_.notify_all();
-    }).detach();
+  if (was_running) {
+    handler_pool_.reset();
+    pool_.reset();
   }
 }
 
-DiagnosisServer::ReadOutcome DiagnosisServer::ReadRequest(
-    int fd, std::string* leftover, bool first_request, HttpRequest* request,
-    HttpResponse* error_response) {
-  // Short socket timeouts let the loop poll the shutdown token while a
-  // slow client trickles bytes; the overall Deadline bounds the request.
-  timeval tv;
-  tv.tv_sec = 0;
-  tv.tv_usec = 200 * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+// ---------------------------------------------------------------------------
+// ConnectionHost
 
-  HttpRequestParser parser(options_.http);
-  bool got_bytes = false;
-
-  auto feed = [&](std::string_view bytes) -> ReadOutcome {
-    HttpRequestParser::State state = parser.Feed(bytes);
-    if (state == HttpRequestParser::State::kComplete) {
-      *request = parser.request();
-      *leftover = parser.TakeLeftover();
-      return ReadOutcome::kRequest;
-    }
-    if (state == HttpRequestParser::State::kError) {
-      *error_response = JsonError(parser.error_status(), "BadRequest",
-                                  parser.error());
-      return ReadOutcome::kError;
-    }
-    return ReadOutcome::kIdleClose;  // sentinel for "need more"
-  };
-
-  // Pipelined bytes from the previous request on this connection.
-  if (!leftover->empty()) {
-    got_bytes = true;
-    std::string pipelined = std::move(*leftover);
-    leftover->clear();
-    ReadOutcome out = feed(pipelined);
-    if (parser.state() != HttpRequestParser::State::kNeedMore) return out;
-  }
-
-  // Between requests on a kept-alive connection the (usually longer)
-  // idle budget applies; once the request's first byte arrives — and
-  // for the very first request, whose connect already proved intent —
-  // the read timeout governs.
-  Deadline deadline = Deadline::AfterSeconds(
-      first_request || got_bytes ? options_.read_timeout_seconds
-                                 : options_.idle_timeout_seconds);
-  char buf[8192];
-  while (true) {
-    if (shutdown_.cancelled()) return ReadOutcome::kIdleClose;
-    if (deadline.Expired()) {
-      if (!got_bytes && !first_request) {
-        // Idle keep-alive connection: close quietly, nothing to answer.
-        return ReadOutcome::kIdleClose;
-      }
-      *error_response =
-          JsonError(408, "Timeout", "request not received in time");
-      return ReadOutcome::kError;
-    }
-    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
-        continue;
-      }
-      return ReadOutcome::kIdleClose;  // peer vanished; nothing to answer
-    }
-    if (n == 0) {
-      // EOF before a complete request: nothing sensible to answer.
-      return ReadOutcome::kIdleClose;
-    }
-    if (!got_bytes) {
-      got_bytes = true;
-      deadline = Deadline::AfterSeconds(options_.read_timeout_seconds);
-    }
-    ReadOutcome out = feed(std::string_view(buf, static_cast<size_t>(n)));
-    if (parser.state() != HttpRequestParser::State::kNeedMore) return out;
-  }
+const ConnectionHost::Config& DiagnosisServer::conn_config() const {
+  return conn_config_;
 }
 
-void DiagnosisServer::HandleConnection(int fd) {
+bool DiagnosisServer::shutting_down() const { return shutdown_.cancelled(); }
+
+HttpResponse DiagnosisServer::ErrorResponse(int http_status,
+                                            const std::string& code,
+                                            const std::string& message) const {
+  return JsonError(http_status, code, message);
+}
+
+void DiagnosisServer::OnAccept(int fd, LoopShard* shard) {
+  int prev = open_connections_.fetch_add(1, std::memory_order_acq_rel);
+  if (prev >= options_.max_connections) {
+    open_connections_.fetch_sub(1, std::memory_order_acq_rel);
+    // Shed at the connection level without reading the request. The
+    // reject rides the normal write path (so the response is counted
+    // and drains gracefully) but never takes a connection slot and is
+    // not a connections_total accept.
+    Connection* conn =
+        new Connection(fd, &shard->loop, this, shard->index,
+                       /*counted=*/false);
+    shard->conns.insert(conn);
+    conn->BeginReject(
+        JsonError(503, "Unavailable", "connection limit reached"));
+    return;
+  }
   counters_.connections.fetch_add(1, std::memory_order_relaxed);
-  std::string leftover;
-  for (int served = 0; served < options_.max_requests_per_conn; ++served) {
-    HttpRequest request;
-    HttpResponse response;
-    response.status = 0;
-    ReadOutcome outcome =
-        ReadRequest(fd, &leftover, /*first_request=*/served == 0, &request,
-                    &response);
-    if (outcome == ReadOutcome::kIdleClose) break;
-    if (outcome == ReadOutcome::kRequest) {
-      response = Dispatch(request);
-      // Keep the connection iff the client wants it, the per-connection
-      // request budget allows another, and we are not shutting down.
-      response.keep_alive = request.WantsKeepAlive() &&
-                            served + 1 < options_.max_requests_per_conn &&
-                            !shutdown_.cancelled();
-    }
-    if (response.status == 0) break;
-    // Every answered request counts, including protocol errors the
-    // parser rejected — error rates derived from /v1/stats stay
-    // consistent (errors <= total).
-    counters_.total.fetch_add(1, std::memory_order_relaxed);
-    if (response.status == 429) {
-      counters_.shed.fetch_add(1, std::memory_order_relaxed);
-    }
-    if (response.status >= 400 && response.status < 500) {
-      counters_.err4xx.fetch_add(1, std::memory_order_relaxed);
-    } else if (response.status >= 500) {
-      counters_.err5xx.fetch_add(1, std::memory_order_relaxed);
-    }
-    if (!SendAll(fd, response.Serialize(),
-                 Deadline::AfterSeconds(options_.write_timeout_seconds),
-                 shutdown_.token())) {
-      break;
-    }
-    if (!response.keep_alive) break;
-  }
-  ShutdownAndClose(fd, /*drain_ms=*/100);
+  Connection* conn = new Connection(fd, &shard->loop, this, shard->index,
+                                    /*counted=*/true);
+  shard->conns.insert(conn);
+  conn->Begin();
 }
 
-HttpResponse DiagnosisServer::Dispatch(const HttpRequest& request) {
-  std::string_view path = request.path();
+void DiagnosisServer::OnConnectionClosed(Connection* conn) {
+  if (conn->counted()) {
+    open_connections_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  shards_[static_cast<size_t>(conn->loop_index())]->conns.erase(conn);
+  delete conn;
+}
+
+void DiagnosisServer::CountResponse(int http_status) {
+  // Every answered request counts, including protocol errors the
+  // parser rejected — error rates derived from /v1/stats stay
+  // consistent (errors <= total).
+  counters_.total.fetch_add(1, std::memory_order_relaxed);
+  if (http_status == 429) {
+    counters_.shed.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (http_status >= 400 && http_status < 500) {
+    counters_.err4xx.fetch_add(1, std::memory_order_relaxed);
+  } else if (http_status >= 500) {
+    counters_.err5xx.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void DiagnosisServer::Offload(std::function<HttpResponse()> handler,
+                              std::function<void(HttpResponse)> done) {
+  handler_pool_->Submit(
+      [handler = std::move(handler), done = std::move(done)] {
+        done(handler());
+      });
+}
+
+bool DiagnosisServer::HandleRequest(HttpRequest request, HttpResponse* out,
+                                    std::function<void(HttpResponse)> done) {
+  const std::string path(request.path());
   if (path == "/v1/healthz") {
     counters_.health.fetch_add(1, std::memory_order_relaxed);
     if (request.method != "GET") {
-      return JsonError(405, "MethodNotAllowed", "use GET");
+      *out = JsonError(405, "MethodNotAllowed", "use GET");
+      return true;
     }
-    return HandleHealthz();
+    *out = HandleHealthz();
+    return true;
   }
   if (path == "/v1/stats") {
     counters_.stats.fetch_add(1, std::memory_order_relaxed);
     if (request.method != "GET") {
-      return JsonError(405, "MethodNotAllowed", "use GET");
+      *out = JsonError(405, "MethodNotAllowed", "use GET");
+      return true;
     }
-    return HandleStats();
+    *out = HandleStats();
+    return true;
   }
   if (path == "/v1/datasets") {
     counters_.datasets.fetch_add(1, std::memory_order_relaxed);
     if (request.method != "POST") {
-      return JsonError(405, "MethodNotAllowed", "use POST");
+      *out = JsonError(405, "MethodNotAllowed", "use POST");
+      return true;
     }
-    return HandleRegisterDataset(request);
+    Offload(
+        [this, request = std::move(request)] {
+          return HandleRegisterDataset(request);
+        },
+        std::move(done));
+    return false;
   }
   if (path == "/v1/diagnose") {
     counters_.diagnose.fetch_add(1, std::memory_order_relaxed);
     if (request.method != "POST") {
-      return JsonError(405, "MethodNotAllowed", "use POST");
+      *out = JsonError(405, "MethodNotAllowed", "use POST");
+      return true;
     }
-    // Only served diagnoses feed the percentiles: healthz/stats pollers
-    // and shed 429s run in microseconds and would swamp the sample
-    // window, hiding exactly the latency /v1/stats exists to expose.
-    const double start = MonotonicSeconds();
-    HttpResponse response = HandleDiagnose(request);
-    if (response.status == 200) {
-      latency_.Record(MonotonicSeconds() - start);
-    }
-    return response;
+    Offload(
+        [this, request = std::move(request)] {
+          // Only served diagnoses feed the percentiles: healthz/stats
+          // pollers and shed 429s run in microseconds and would swamp
+          // the sample window, hiding exactly the latency /v1/stats
+          // exists to expose.
+          const double start = MonotonicSeconds();
+          HttpResponse response = HandleDiagnose(request);
+          if (response.status == 200) {
+            latency_.Record(MonotonicSeconds() - start);
+          }
+          return response;
+        },
+        std::move(done));
+    return false;
   }
   if (options_.enable_test_endpoints && path == "/v1/debug/sleep") {
-    return HandleDebugSleep(request);
+    Offload(
+        [this, request = std::move(request)] {
+          return HandleDebugSleep(request);
+        },
+        std::move(done));
+    return false;
   }
-  return JsonError(404, "NotFound",
-                   "unknown endpoint: " + std::string(path));
+  if (options_.enable_test_endpoints && path == "/v1/debug/payload") {
+    Offload(
+        [this, request = std::move(request)] {
+          return HandleDebugPayload(request);
+        },
+        std::move(done));
+    return false;
+  }
+  *out = JsonError(404, "NotFound", "unknown endpoint: " + path);
+  return true;
 }
+
+// ---------------------------------------------------------------------------
+// Endpoint handlers
 
 HttpResponse DiagnosisServer::HandleHealthz() {
   JsonWriter w;
@@ -940,6 +971,26 @@ HttpResponse DiagnosisServer::HandleDebugSleep(const HttpRequest& request) {
   return out;
 }
 
+HttpResponse DiagnosisServer::HandleDebugPayload(const HttpRequest& request) {
+  if (request.method != "POST") {
+    return JsonError(405, "MethodNotAllowed", "use POST");
+  }
+  auto doc = ParseJson(request.body.empty() ? "{}" : request.body);
+  if (!doc.ok()) return StatusError(400, doc.status());
+  auto requested = doc->NumberOr("bytes", 1024.0);
+  if (!requested.ok()) return StatusError(400, requested.status());
+  size_t n = static_cast<size_t>(
+      std::clamp(*requested, 1.0, 8.0 * 1024.0 * 1024.0));
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("payload");
+  w.String(std::string(n, 'x'));
+  w.EndObject();
+  HttpResponse out;
+  out.body = w.str();
+  return out;
+}
+
 DiagnosisServer::Stats DiagnosisServer::stats() const {
   Stats s;
   s.requests_total = counters_.total.load(std::memory_order_relaxed);
@@ -955,6 +1006,7 @@ DiagnosisServer::Stats DiagnosisServer::stats() const {
   s.cached_hits = counters_.cached_hits.load(std::memory_order_relaxed);
   s.inflight = inflight_.load(std::memory_order_relaxed);
   s.inflight_capacity = options_.max_inflight;
+  s.open_connections = open_connections_.load(std::memory_order_relaxed);
   s.latency = latency_.Take();
   s.cache_enabled = cache_ != nullptr;
   if (cache_ != nullptr) s.cache = cache_->stats();

@@ -3,14 +3,18 @@
 // builds on (paper Example 1: a complaint arrives as a request, the
 // diagnosis report goes back attached to the ticket).
 //
-// Architecture (dependency-free sockets, two thread domains):
-//   * A blocking accept loop hands each connection to a handler thread
-//     (bounded by `max_connections`; overflow gets an immediate 503).
-//     Handler threads only do protocol work: read, parse, route, write.
-//     Connections are keep-alive by HTTP/1.1 default — the handler
-//     loops over requests until the client closes, asks for
-//     `Connection: close`, idles past `idle_timeout_seconds`, or hits
-//     `max_requests_per_conn`.
+// Architecture (dependency-free sockets, readiness-driven):
+//   * One or more EventLoop threads (--event-loop-threads) share a
+//     nonblocking listener via EPOLLEXCLUSIVE and own every connection
+//     as a nonblocking state machine (service/connection.h). An idle
+//     keep-alive connection costs a small struct and a timer-wheel
+//     entry — not a thread stack — so `max_connections` defaults to
+//     10k and the thread count stays O(event-loop-threads).
+//   * Cheap endpoints (healthz, stats, 404/405) answer inline on the
+//     loop thread. Blocking handlers (dataset registration, diagnose,
+//     the debug endpoints) are offloaded to a small handler pool; the
+//     completion re-arms the connection by posting back onto its loop
+//     through the eventfd wakeup (the solve-dispatch handshake).
 //   * Diagnosis requests resolve against immutable zero-copy dataset
 //     snapshots (cache::Snapshot): no request ever deep-copies a
 //     registered dataset. Before dispatching to the pool the server
@@ -27,9 +31,11 @@
 //     with 429 over capacity instead of queueing without bound.
 //     Health/stats/registration bypass the gate so the server stays
 //     observable under load.
-//   * Stop() is cooperative: the listener closes, the cancellation
-//     token fires (queued batch items fail fast with ResourceExhausted),
-//     and handler threads drain before Stop() returns.
+//   * Stop() is cooperative: the cancellation token fires (queued batch
+//     items fail fast with ResourceExhausted), the listeners
+//     unregister, open connections close (ones waiting on a dispatched
+//     handler get their response first), and the loops drain before
+//     Stop() returns.
 //
 // Endpoints (all JSON; see README "Running the server" for schemas):
 //   POST /v1/datasets   register a named snapshot + query log
@@ -41,18 +47,18 @@
 #define QFIX_SERVICE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
+#include <vector>
 
 #include "cache/report_cache.h"
 #include "common/result.h"
 #include "exec/cancellation.h"
 #include "exec/thread_pool.h"
 #include "harness/metrics.h"
+#include "service/connection.h"
 #include "service/http.h"
 #include "service/registry.h"
 
@@ -67,17 +73,25 @@ struct ServerOptions {
   /// via port() — this is what tests and the CI smoke use).
   int port = 0;
   /// Workers of the shared diagnosis pool. <= 0 builds a deterministic
-  /// inline pool (diagnosis runs on the handler thread; request
-  /// concurrency then comes from the connection threads alone).
+  /// inline pool (diagnosis runs on the handler-pool worker; request
+  /// concurrency then comes from the handler pool alone).
   int jobs = 1;
+  /// Event-loop threads sharing the listener (EPOLLEXCLUSIVE). One
+  /// suffices for protocol work — handlers never run on it — but
+  /// multiple loops shard readiness dispatch under very high
+  /// connection counts.
+  int event_loop_threads = 1;
   /// Admission capacity in batch items (one request fans out one slot
   /// per items[] entry, so the gate bounds solver work, not sockets).
   /// Beyond it, POST /v1/diagnose sheds with 429. Cache hits bypass the
   /// gate — they do no solver work.
   int max_inflight = 8;
-  /// Concurrent connections being served; overflow is answered 503 on
-  /// the accept thread without reading the request.
-  int max_connections = 64;
+  /// Concurrent connections being served; overflow is answered 503
+  /// without reading the request. An open connection costs a few
+  /// hundred bytes of state on its event loop, not a thread, so the
+  /// default is four orders of magnitude above the old
+  /// thread-per-connection cap.
+  int max_connections = 10000;
   /// Distinct dataset names the registry will hold (datasets are
   /// pinned for the process lifetime; replacement is always allowed).
   int max_datasets = 64;
@@ -90,7 +104,8 @@ struct ServerOptions {
   double max_time_limit_seconds = 30.0;
   /// Per-request read/write budgets and HTTP byte limits. The write
   /// budget bounds how long a peer that stops reading its response can
-  /// hold a handler thread (and with it a connection slot).
+  /// hold a connection slot (the write deadline lives on the timer
+  /// wheel; no thread is ever blocked on it).
   double read_timeout_seconds = 10.0;
   double write_timeout_seconds = 10.0;
   /// Keep-alive: how long an idle connection may sit between requests
@@ -103,27 +118,29 @@ struct ServerOptions {
   size_t cache_bytes = 64 * 1024 * 1024;
   HttpLimits http;
   /// Registers POST /v1/debug/sleep {"seconds":s} — occupies one
-  /// admission slot while sleeping. Tests and the service bench use it
-  /// to make over-capacity bursts deterministic; never enable in
-  /// production.
+  /// admission slot while sleeping — and POST /v1/debug/payload
+  /// {"bytes":n} — answers with an n-byte body (write-deadline tests).
+  /// Tests and the service bench use them to make over-capacity bursts
+  /// and slow-reader reaping deterministic; never enable in production.
   bool enable_test_endpoints = false;
 };
 
-class DiagnosisServer {
+class DiagnosisServer : private ConnectionHost {
  public:
   explicit DiagnosisServer(ServerOptions options = ServerOptions());
   /// Stops the server if still running.
-  ~DiagnosisServer();
+  ~DiagnosisServer() override;
 
   DiagnosisServer(const DiagnosisServer&) = delete;
   DiagnosisServer& operator=(const DiagnosisServer&) = delete;
 
-  /// Binds, listens, and spawns the accept loop. InvalidArgument on
-  /// address/bind failures.
+  /// Binds, listens, and spawns the event-loop threads. InvalidArgument
+  /// on address/bind failures.
   Status Start();
 
-  /// Cooperative shutdown: closes the listener, cancels in-flight batch
-  /// work, drains handler threads. Idempotent.
+  /// Cooperative shutdown: cancels in-flight batch work, unregisters
+  /// the listeners, closes every connection (dispatched handlers finish
+  /// and flush first), joins the loops. Idempotent.
   void Stop();
 
   /// The bound port (resolves port 0 after Start()).
@@ -154,6 +171,8 @@ class DiagnosisServer {
     /// In batch items, not requests (one request can fan out items[]).
     int inflight = 0;
     int inflight_capacity = 0;
+    /// Connections currently open (excludes over-capacity rejects).
+    int open_connections = 0;
     /// Percentiles over successfully served /v1/diagnose requests only
     /// (healthz/stats probes and 429 sheds would swamp the window).
     harness::LatencyRecorder::Snapshot latency;
@@ -180,47 +199,55 @@ class DiagnosisServer {
     std::atomic<uint64_t> cached_hits{0};
   };
 
-  /// Outcome of reading one request off a kept-alive connection.
-  enum class ReadOutcome {
-    kRequest,     // `request` holds a complete message
-    kError,       // protocol failure; `error_response` filled
-    kIdleClose,   // clean close: peer EOF or idle timeout between
-                  // requests — nothing to answer
-  };
+  /// One event-loop thread plus the connections it owns (loop-thread
+  /// local) and its registration on the shared listener.
+  struct LoopShard;
+  class Acceptor;
+  friend class Acceptor;
 
-  void AcceptLoop();
-  void HandleConnection(int fd);
-  /// Reads one request off `fd`. `leftover` carries pipelined bytes
-  /// between requests on a kept-alive connection (consumed and
-  /// refilled). `first_request` selects the read deadline
-  /// (read_timeout_seconds) over the keep-alive idle deadline.
-  ReadOutcome ReadRequest(int fd, std::string* leftover, bool first_request,
-                          HttpRequest* request,
-                          HttpResponse* error_response);
-  HttpResponse Dispatch(const HttpRequest& request);
+  // ConnectionHost (called by Connection on the loop threads).
+  const ConnectionHost::Config& conn_config() const override;
+  bool shutting_down() const override;
+  HttpResponse ErrorResponse(int http_status, const std::string& code,
+                             const std::string& message) const override;
+  bool HandleRequest(HttpRequest request, HttpResponse* out,
+                     std::function<void(HttpResponse)> done) override;
+  void CountResponse(int http_status) override;
+  void OnConnectionClosed(Connection* conn) override;
+
+  /// Accepted `fd` lands on `shard`: admit as a served connection or
+  /// reject with the canned 503 when over max_connections.
+  void OnAccept(int fd, LoopShard* shard);
+  /// Runs `handler` on the handler pool, then delivers its response
+  /// through `done` (which hops back onto the connection's loop).
+  void Offload(std::function<HttpResponse()> handler,
+               std::function<void(HttpResponse)> done);
+
   HttpResponse HandleHealthz();
   HttpResponse HandleStats();
   HttpResponse HandleRegisterDataset(const HttpRequest& request);
   HttpResponse HandleDiagnose(const HttpRequest& request);
   HttpResponse HandleDebugSleep(const HttpRequest& request);
+  HttpResponse HandleDebugPayload(const HttpRequest& request);
 
   ServerOptions options_;
+  ConnectionHost::Config conn_config_;
   DatasetRegistry registry_;
   std::unique_ptr<cache::ReportCache> cache_;
+  /// The shared solver pool (jobs) — caller-owned by every solve.
   std::unique_ptr<exec::ThreadPool> pool_;
+  /// Small pool running blocking request handlers so the loop threads
+  /// never block; sized to keep the admission gate saturatable.
+  std::unique_ptr<exec::ThreadPool> handler_pool_;
   exec::CancellationSource shutdown_;
 
   int listen_fd_ = -1;
   int bound_port_ = 0;
-  std::thread accept_thread_;
+  std::vector<std::unique_ptr<LoopShard>> shards_;
   std::atomic<bool> running_{false};
 
-  // Connection accounting: incremented on the accept thread before a
-  // handler spawns, decremented when the handler finishes; Stop() waits
-  // on the condition variable for the count to reach zero.
-  std::mutex conn_mu_;
-  std::condition_variable conn_cv_;
-  int open_connections_ = 0;
+  /// Connections currently admitted (shared across shards).
+  std::atomic<int> open_connections_{0};
 
   // Admission gate for diagnosis work (and the debug sleep endpoint).
   std::atomic<int> inflight_{0};

@@ -230,5 +230,62 @@ TEST_F(CliTest, ExportMpsWritesAnMpsModel) {
   EXPECT_NE(content.find("ENDATA"), std::string::npos);
 }
 
+// --- qfix_serve flag parsing ------------------------------------------------
+// The server tool parses numeric flags strictly: trailing garbage and
+// out-of-range values must be usage errors (exit 2), never a silently
+// wrong configuration. Regression for the std::atoi era, when
+// `--port 80x0` bound port 80 and `--max-inflight abc` meant capacity
+// clamped from 0.
+
+#ifndef QFIX_SERVE_PATH
+#error "QFIX_SERVE_PATH must be defined by the build"
+#endif
+
+CommandResult RunServe(const std::string& args) {
+  std::string command = std::string(QFIX_SERVE_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  CommandResult result;
+  if (pipe == nullptr) return result;
+  char buffer[512];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    result.output += buffer;
+  }
+  int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+TEST(ServeFlagsTest, PortWithTrailingGarbageIsAUsageError) {
+  CommandResult r = RunServe("--port 80x0");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("--port"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST(ServeFlagsTest, NonNumericMaxInflightIsAUsageError) {
+  CommandResult r = RunServe("--max-inflight abc");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("--max-inflight"), std::string::npos) << r.output;
+}
+
+TEST(ServeFlagsTest, OutOfRangePortIsAUsageError) {
+  CommandResult r = RunServe("--port 99999");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("--port"), std::string::npos) << r.output;
+}
+
+TEST(ServeFlagsTest, MissingFlagValueIsAUsageError) {
+  CommandResult r = RunServe("--event-loop-threads");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("--event-loop-threads"), std::string::npos)
+      << r.output;
+}
+
+TEST(ServeFlagsTest, NegativeTimeLimitIsAUsageError) {
+  CommandResult r = RunServe("--time-limit -5");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("--time-limit"), std::string::npos) << r.output;
+}
+
 }  // namespace
 }  // namespace qfix

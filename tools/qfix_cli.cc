@@ -57,6 +57,9 @@ struct CliOptions {
   /// Client mode: drive a running qfix_serve at this URL instead of
   /// diagnosing in-process.
   std::string client_url;
+  /// Client mode: also hold N concurrent connections open at once and
+  /// healthz each (the CI serve-smoke's concurrency check).
+  int smoke_connections = 0;
 };
 
 void PrintUsage(const char* argv0) {
@@ -92,7 +95,10 @@ void PrintUsage(const char* argv0) {
       "                diagnosing in-process: with --d0/--log/\n"
       "                --complaints, registers the dataset and posts\n"
       "                the diagnosis (prints the JSON response); alone,\n"
-      "                prints /v1/healthz and /v1/stats\n\n"
+      "                prints /v1/healthz and /v1/stats\n"
+      "  --smoke-connections N  (client mode) additionally open N\n"
+      "                concurrent connections and healthz each; fails\n"
+      "                unless every one answers 200\n\n"
       "  --d0 also accepts a checkpoint snapshot (qfix-snapshot v1).\n",
       argv0);
 }
@@ -121,6 +127,24 @@ int RunClient(const CliOptions& opt) {
     return 1;
   }
   std::printf("healthz: %s\n", health->body.c_str());
+
+  if (opt.smoke_connections > 0) {
+    auto smoke = qfix::service::ConcurrentSmoke(hp->host, hp->port,
+                                                opt.smoke_connections);
+    if (!smoke.ok()) {
+      std::fprintf(stderr, "error running connection smoke: %s\n",
+                   smoke.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("smoke: %d/%d connections held concurrently, %d healthz OK\n",
+                smoke->connected, smoke->requested, smoke->ok);
+    if (smoke->ok != smoke->requested) {
+      std::fprintf(stderr,
+                   "error: %d of %d smoke connections failed\n",
+                   smoke->requested - smoke->ok, smoke->requested);
+      return 1;
+    }
+  }
 
   // Without inputs this is a pure health/stats probe.
   if (opt.d0_path.empty()) {
@@ -256,6 +280,18 @@ int main(int argc, char** argv) {
       opt.jobs = next() ? std::atoi(argv[i]) : 1;
     } else if (arg == "--client") {
       opt.client_url = next() ? argv[i] : "";
+    } else if (arg == "--smoke-connections") {
+      const char* v = next();
+      char* end = nullptr;
+      long n = v != nullptr ? std::strtol(v, &end, 10) : -1;
+      if (v == nullptr || end == v || *end != '\0' || n < 1 || n > 100000) {
+        std::fprintf(stderr,
+                     "error: --smoke-connections needs an integer in "
+                     "[1, 100000]\n");
+        PrintUsage(argv[0]);
+        return 2;
+      }
+      opt.smoke_connections = static_cast<int>(n);
     } else {
       PrintUsage(argv[0]);
       return 2;

@@ -2,7 +2,8 @@
 //
 // Usage:
 //   qfix_serve [--host ADDR] [--port N] [--jobs N] [--max-inflight N]
-//              [--max-connections N] [--time-limit SECONDS]
+//              [--max-connections N] [--event-loop-threads N]
+//              [--time-limit SECONDS]
 //              [--name NAME --table T --d0 FILE --log FILE]
 //              [--test-endpoints]
 //
@@ -13,8 +14,16 @@
 //   qfix_serve listening on http://HOST:PORT
 // so scripts (the CI smoke, the tests) can scrape it.
 //
+// Numeric flags are parsed strictly: trailing garbage ("80x0") and
+// out-of-range values are usage errors, never a silent 0 — a server
+// that binds an ephemeral port because a typo atoi'd to zero is a
+// production incident, not a default. No SIGPIPE handler is installed
+// (or needed): every send in the server and client goes through
+// MSG_NOSIGNAL.
+//
 // Endpoints and JSON schemas: README.md, section "Running the server".
 #include <chrono>
+#include <climits>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -37,7 +46,7 @@ void PrintUsage(const char* argv0) {
       stderr,
       "usage: %s [--host ADDR] [--port N] [--jobs N]\n"
       "          [--max-inflight N] [--max-connections N]\n"
-      "          [--time-limit SECONDS]\n"
+      "          [--event-loop-threads N] [--time-limit SECONDS]\n"
       "          [--name NAME --table T --d0 FILE --log FILE]\n\n"
       "  --host ADDR         bind address (default 127.0.0.1)\n"
       "  --port N            TCP port; 0 picks an ephemeral port\n"
@@ -46,7 +55,10 @@ void PrintUsage(const char* argv0) {
       "                      0 = one per core)\n"
       "  --max-inflight N    diagnosis requests in flight before the\n"
       "                      server sheds with 429 (default 8)\n"
-      "  --max-connections N concurrent connections (default 64)\n"
+      "  --max-connections N concurrent connections (default 10000)\n"
+      "  --event-loop-threads N\n"
+      "                      epoll event-loop threads sharing the\n"
+      "                      listener (default 1)\n"
       "  --max-datasets N    registry capacity; full -> 429 for new\n"
       "                      names (default 64)\n"
       "  --max-items N       items[] entries accepted per diagnose\n"
@@ -64,8 +76,38 @@ void PrintUsage(const char* argv0) {
       "  --name/--table/--d0/--log\n"
       "                      preregister one dataset from files before\n"
       "                      serving (same formats as qfix --d0/--log)\n"
-      "  --test-endpoints    enable POST /v1/debug/sleep (tests only)\n",
+      "  --test-endpoints    enable POST /v1/debug/sleep and\n"
+      "                      /v1/debug/payload (tests only)\n",
       argv0);
+}
+
+/// Strict integer flag parsing: the whole token must be a decimal
+/// number inside [min, max]. "80x0", "", "abc" and out-of-range values
+/// all fail — std::atoi would silently turn each into a wrong server
+/// configuration (ephemeral port, zero capacity).
+bool ParseIntFlag(const char* text, long min_value, long max_value,
+                  long* out) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  long value = std::strtol(text, &end, 10);
+  if (errno == ERANGE || end == text || *end != '\0') return false;
+  if (value < min_value || value > max_value) return false;
+  *out = value;
+  return true;
+}
+
+/// Strict double flag parsing, same contract as ParseIntFlag.
+bool ParseDoubleFlag(const char* text, double min_value, double max_value,
+                     double* out) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(text, &end);
+  if (errno == ERANGE || end == text || *end != '\0') return false;
+  if (value < min_value || value > max_value) return false;
+  *out = value;
+  return true;
 }
 
 using qfix::tools::ReadFile;
@@ -76,42 +118,70 @@ int main(int argc, char** argv) {
   qfix::service::ServerOptions options;
   std::string pre_name, pre_table = "T", pre_d0_path, pre_log_path;
 
-  for (int i = 1; i < argc; ++i) {
+  bool usage_error = false;
+  for (int i = 1; i < argc && !usage_error; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    auto int_flag = [&](long min_value, long max_value, long* out) {
+      if (!ParseIntFlag(next(), min_value, max_value, out)) {
+        std::fprintf(stderr,
+                     "error: %s needs an integer in [%ld, %ld]\n",
+                     arg.c_str(), min_value, max_value);
+        usage_error = true;
+      }
+    };
+    auto double_flag = [&](double min_value, double max_value, double* out) {
+      if (!ParseDoubleFlag(next(), min_value, max_value, out)) {
+        std::fprintf(stderr, "error: %s needs a number in [%g, %g]\n",
+                     arg.c_str(), min_value, max_value);
+        usage_error = true;
+      }
+    };
+    long n = 0;
     if (arg == "--host") {
-      options.host = next() ? argv[i] : options.host;
+      const char* v = next();
+      if (v == nullptr) {
+        std::fprintf(stderr, "error: --host needs an address\n");
+        usage_error = true;
+      } else {
+        options.host = v;
+      }
     } else if (arg == "--port") {
-      options.port = next() ? std::atoi(argv[i]) : 0;
+      int_flag(0, 65535, &n);
+      options.port = static_cast<int>(n);
     } else if (arg == "--jobs") {
-      const char* v = next();
-      int jobs = v != nullptr ? std::atoi(v) : 1;
-      options.jobs = jobs == 0
-                         ? qfix::exec::ThreadPool::DefaultParallelism()
-                         : jobs;
+      int_flag(0, 4096, &n);
+      options.jobs = n == 0 ? qfix::exec::ThreadPool::DefaultParallelism()
+                            : static_cast<int>(n);
     } else if (arg == "--max-inflight") {
-      options.max_inflight = next() ? std::atoi(argv[i]) : 8;
+      int_flag(1, 1000000, &n);
+      options.max_inflight = static_cast<int>(n);
     } else if (arg == "--max-connections") {
-      options.max_connections = next() ? std::atoi(argv[i]) : 64;
+      int_flag(1, 1000000, &n);
+      options.max_connections = static_cast<int>(n);
+    } else if (arg == "--event-loop-threads") {
+      int_flag(1, 64, &n);
+      options.event_loop_threads = static_cast<int>(n);
     } else if (arg == "--max-datasets") {
-      options.max_datasets = next() ? std::atoi(argv[i]) : 64;
+      int_flag(1, 1000000, &n);
+      options.max_datasets = static_cast<int>(n);
     } else if (arg == "--max-items") {
-      options.max_items = next() ? std::atoi(argv[i]) : 64;
+      int_flag(1, 1000000, &n);
+      options.max_items = static_cast<int>(n);
     } else if (arg == "--time-limit") {
-      options.max_time_limit_seconds = next() ? std::atof(argv[i]) : 30.0;
+      double_flag(0.001, 86400.0, &options.max_time_limit_seconds);
     } else if (arg == "--cache-bytes") {
-      const char* v = next();
-      long long bytes = v != nullptr ? std::atoll(v) : 0;
-      options.cache_bytes =
-          bytes > 0 ? static_cast<size_t>(bytes) : 0;
+      int_flag(0, LONG_MAX, &n);
+      options.cache_bytes = static_cast<size_t>(n);
     } else if (arg == "--cache-off") {
       options.cache_bytes = 0;
     } else if (arg == "--idle-timeout") {
-      options.idle_timeout_seconds = next() ? std::atof(argv[i]) : 5.0;
+      double_flag(0.001, 86400.0, &options.idle_timeout_seconds);
     } else if (arg == "--max-requests-per-conn") {
-      options.max_requests_per_conn = next() ? std::atoi(argv[i]) : 100;
+      int_flag(1, 1000000000, &n);
+      options.max_requests_per_conn = static_cast<int>(n);
     } else if (arg == "--name") {
       pre_name = next() ? argv[i] : "";
     } else if (arg == "--table") {
@@ -123,9 +193,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--test-endpoints") {
       options.enable_test_endpoints = true;
     } else {
-      PrintUsage(argv[0]);
-      return 2;
+      std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      usage_error = true;
     }
+  }
+  if (usage_error) {
+    PrintUsage(argv[0]);
+    return 2;
   }
 
   qfix::service::DiagnosisServer server(options);
@@ -165,7 +239,10 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
-  std::signal(SIGPIPE, SIG_IGN);
+  // Note: deliberately NO SIGPIPE handler — every server/client send
+  // path uses MSG_NOSIGNAL, so a write to a reset peer returns EPIPE
+  // instead of raising a process-killing signal. Library embedders get
+  // the same safety without touching process-wide signal state.
 
   std::printf("qfix_serve listening on http://%s:%d\n",
               options.host.c_str(), server.port());
