@@ -62,10 +62,24 @@ size_t ReportCache::KeyHash::operator()(const CacheKey& key) const {
   return static_cast<size_t>(h);
 }
 
-ReportCache::ReportCache(size_t max_bytes, size_t num_shards)
-    : max_bytes_(max_bytes) {
+std::string_view CacheTenantOf(std::string_view dataset_name) {
+  size_t slash = dataset_name.find('/');
+  return slash == std::string_view::npos ? dataset_name
+                                         : dataset_name.substr(0, slash);
+}
+
+ReportCache::ReportCache(size_t max_bytes, size_t num_shards,
+                         double max_tenant_fraction) {
+  max_bytes_ = max_bytes;
   num_shards = std::max<size_t>(num_shards, 1);
   shard_budget_ = std::max<size_t>(max_bytes / num_shards, 1);
+  if (max_tenant_fraction <= 0.0 || max_tenant_fraction > 1.0) {
+    max_tenant_fraction = 1.0;
+  }
+  tenant_budget_ = std::max<size_t>(
+      static_cast<size_t>(static_cast<double>(shard_budget_) *
+                          max_tenant_fraction),
+      1);
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
@@ -76,16 +90,61 @@ ReportCache::Shard& ReportCache::ShardFor(const CacheKey& key) {
   return *shards_[KeyHash()(key) % shards_.size()];
 }
 
+void ReportCache::RemoveSettledLocked(
+    Shard& shard,
+    std::unordered_map<CacheKey, Entry, KeyHash>::iterator it) {
+  shard.bytes -= it->second.bytes;
+  auto tb = shard.tenant_bytes.find(
+      std::string(CacheTenantOf(it->first.dataset)));
+  if (tb != shard.tenant_bytes.end()) {
+    tb->second -= std::min(tb->second, it->second.bytes);
+    if (tb->second == 0) shard.tenant_bytes.erase(tb);
+  }
+  shard.lru.erase(it->second.lru_it);
+  shard.map.erase(it);
+}
+
 void ReportCache::EvictOverBudget(Shard& shard) {
   while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
-    const CacheKey& victim = shard.lru.back();
-    auto it = shard.map.find(victim);
+    auto it = shard.map.find(shard.lru.back());
     if (it != shard.map.end()) {
-      shard.bytes -= it->second.bytes;
-      shard.map.erase(it);
+      RemoveSettledLocked(shard, it);
       ++shard.evictions;
+    } else {
+      shard.lru.pop_back();
     }
-    shard.lru.pop_back();
+  }
+}
+
+void ReportCache::EvictTenantOverBudget(Shard& shard,
+                                        std::string_view tenant,
+                                        const CacheKey& keep) {
+  auto tb = shard.tenant_bytes.find(std::string(tenant));
+  if (tb == shard.tenant_bytes.end() || tb->second <= tenant_budget_) return;
+  // Walk this tenant's entries from the LRU tail. The just-published
+  // entry is spared: a single over-budget report may still be cached
+  // (the global budget bounds it), it just evicts its tenant's older
+  // entries first.
+  for (auto lit = shard.lru.rbegin(); lit != shard.lru.rend();) {
+    auto tb_now = shard.tenant_bytes.find(std::string(tenant));
+    if (tb_now == shard.tenant_bytes.end() ||
+        tb_now->second <= tenant_budget_) {
+      return;
+    }
+    const CacheKey& candidate = *lit;
+    ++lit;
+    if (CacheTenantOf(candidate.dataset) != tenant || candidate == keep) {
+      continue;
+    }
+    auto it = shard.map.find(candidate);
+    if (it != shard.map.end()) {
+      // Erasing invalidates `lit` if it points at the erased node;
+      // restart from the tail (eviction is rare and the tail is where
+      // victims live).
+      RemoveSettledLocked(shard, it);
+      ++shard.evictions;
+      lit = shard.lru.rbegin();
+    }
   }
 }
 
@@ -145,10 +204,15 @@ void ReportCache::Publish(const CacheKey& key, CachedReport report) {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto [it, inserted] = shard.map.emplace(key, Entry());
     Entry& entry = it->second;
+    std::string tenant(CacheTenantOf(key.dataset));
     if (!inserted && entry.value != nullptr) {
       // Replacing a settled entry (uncoordinated insert): drop the old
       // accounting and recency slot first.
       shard.bytes -= entry.bytes;
+      auto tb = shard.tenant_bytes.find(tenant);
+      if (tb != shard.tenant_bytes.end()) {
+        tb->second -= std::min(tb->second, entry.bytes);
+      }
       shard.lru.erase(entry.lru_it);
     }
     entry.value = std::move(value);
@@ -156,7 +220,11 @@ void ReportCache::Publish(const CacheKey& key, CachedReport report) {
     shard.lru.push_front(key);
     entry.lru_it = shard.lru.begin();
     shard.bytes += bytes;
+    shard.tenant_bytes[tenant] += bytes;
     ++shard.inserts;
+    // Partition first (a hungry tenant churns its own tail), then the
+    // global budget.
+    EvictTenantOverBudget(shard, tenant, key);
     EvictOverBudget(shard);
   }
   shard.cv.notify_all();
@@ -182,9 +250,8 @@ void ReportCache::EraseDataset(std::string_view name) {
       // Pending entries stay: their leader still owns Publish/Abandon,
       // and their stale-version key can never be queried again anyway.
       if (it->first.dataset == name && it->second.value != nullptr) {
-        shard.bytes -= it->second.bytes;
-        shard.lru.erase(it->second.lru_it);
-        it = shard.map.erase(it);
+        auto doomed = it++;
+        RemoveSettledLocked(shard, doomed);
         ++shard.invalidations;
       } else {
         ++it;
@@ -207,6 +274,7 @@ void ReportCache::Clear() {
       }
     }
     shard.bytes = 0;
+    shard.tenant_bytes.clear();
   }
 }
 
@@ -224,6 +292,18 @@ ReportCache::Stats ReportCache::stats() const {
     out.invalidations += shard.invalidations;
     out.bytes += shard.bytes;
     out.entries += shard.lru.size();
+  }
+  return out;
+}
+
+size_t ReportCache::TenantBytes(std::string_view tenant) const {
+  size_t out = 0;
+  std::string key(tenant);
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.tenant_bytes.find(key);
+    if (it != shard.tenant_bytes.end()) out += it->second;
   }
   return out;
 }

@@ -21,6 +21,13 @@
 // EraseDataset() additionally drops every entry of a name eagerly —
 // the registry calls it on replacement/eviction so dead bytes do not
 // sit in the budget until LRU pressure finds them.
+//
+// Tenant partitions: entries are attributed to the dataset's namespace
+// (CacheTenantOf — the prefix before the first '/'). An optional
+// per-tenant fraction caps how much of the byte budget any one tenant
+// may hold; past it, that tenant's own LRU tail is evicted first, so a
+// cache-hungry tenant churns its own entries instead of flushing
+// everyone else's working set.
 #ifndef QFIX_CACHE_REPORT_CACHE_H_
 #define QFIX_CACHE_REPORT_CACHE_H_
 
@@ -74,13 +81,21 @@ struct CachedReport {
   std::shared_ptr<const void> payload;
 };
 
+/// The tenant (dataset namespace) a dataset name belongs to: the prefix
+/// before the first '/', or the whole name when it has none. Mirrors
+/// service::TenantOf without depending on the service layer.
+std::string_view CacheTenantOf(std::string_view dataset_name);
+
 class ReportCache {
  public:
   /// `max_bytes` bounds the sum of cached report bytes (plus a small
   /// per-entry overhead estimate) across all shards; the least recently
   /// used entries are evicted beyond it. `num_shards` bounds lock
   /// contention; each shard owns 1/num_shards of the budget.
-  explicit ReportCache(size_t max_bytes, size_t num_shards = 8);
+  /// `max_tenant_fraction` in (0, 1] caps one tenant's slice of each
+  /// shard's budget (1.0 = no partitioning).
+  explicit ReportCache(size_t max_bytes, size_t num_shards = 8,
+                       double max_tenant_fraction = 1.0);
 
   ReportCache(const ReportCache&) = delete;
   ReportCache& operator=(const ReportCache&) = delete;
@@ -136,6 +151,9 @@ class ReportCache {
   };
   Stats stats() const;
 
+  /// Settled bytes currently held by `tenant` across all shards.
+  size_t TenantBytes(std::string_view tenant) const;
+
  private:
   struct Entry {
     /// nullptr while pending (a leader's solve is in flight).
@@ -155,6 +173,8 @@ class ReportCache {
     std::unordered_map<CacheKey, Entry, KeyHash> map;
     /// Most recent at the front; only settled entries live here.
     std::list<CacheKey> lru;
+    /// Settled bytes per tenant (dataset namespace) in this shard.
+    std::unordered_map<std::string, size_t> tenant_bytes;
     size_t bytes = 0;
     uint64_t hits = 0;
     uint64_t misses = 0;
@@ -168,9 +188,18 @@ class ReportCache {
   /// Evicts from the LRU tail until the shard fits its budget. Caller
   /// holds the shard lock.
   void EvictOverBudget(Shard& shard);
+  /// Evicts `tenant`'s own LRU tail until it fits the tenant budget,
+  /// sparing `keep` (the entry just published). Caller holds the lock.
+  void EvictTenantOverBudget(Shard& shard, std::string_view tenant,
+                             const CacheKey& keep);
+  /// Removes one settled entry (map erase + LRU unlink + byte
+  /// accounting, global and tenant). Caller holds the shard lock.
+  void RemoveSettledLocked(
+      Shard& shard, std::unordered_map<CacheKey, Entry, KeyHash>::iterator it);
 
   size_t max_bytes_;
   size_t shard_budget_;
+  size_t tenant_budget_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

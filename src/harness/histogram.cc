@@ -1,0 +1,76 @@
+#include "harness/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qfix {
+namespace harness {
+
+LatencyHistogram::LatencyHistogram()
+    : counts_(kLinearBuckets + static_cast<size_t>(kSubBuckets) * kGroups,
+              0) {}
+
+size_t LatencyHistogram::IndexFor(uint64_t us) {
+  if (us < kLinearBuckets) return static_cast<size_t>(us);
+  // Highest set bit; us >= 64 so msb >= 6.
+  int msb = 63 - __builtin_clzll(us);
+  // Group g holds [2^(5+g), 2^(6+g)) split into kSubBuckets linear
+  // sub-buckets of width 2^g.
+  int g = msb - 5;
+  if (g > kGroups) g = kGroups;
+  uint64_t sub = us >> g;  // in [kSubBuckets, 2*kSubBuckets) when g fits
+  if (sub >= 2 * kSubBuckets) sub = 2 * kSubBuckets - 1;  // clamp overflow
+  return static_cast<size_t>(kLinearBuckets) +
+         static_cast<size_t>(g - 1) * kSubBuckets +
+         static_cast<size_t>(sub - kSubBuckets);
+}
+
+uint64_t LatencyHistogram::UpperEdgeUs(size_t index) {
+  if (index < kLinearBuckets) return static_cast<uint64_t>(index);
+  size_t rest = index - kLinearBuckets;
+  int g = static_cast<int>(rest / kSubBuckets) + 1;
+  uint64_t sub = kSubBuckets + rest % kSubBuckets;
+  return ((sub + 1) << g) - 1;
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (seconds < 0.0 || !std::isfinite(seconds)) seconds = 0.0;
+  uint64_t us = static_cast<uint64_t>(std::llround(seconds * 1e6));
+  size_t index = IndexFor(us);
+  if (index >= counts_.size()) index = counts_.size() - 1;
+  ++counts_[index];
+  if (count_ == 0 || seconds < min_) min_ = seconds;
+  if (seconds > max_) max_ = seconds;
+  sum_ += seconds;
+  ++count_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+double LatencyHistogram::Percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank over the quantized counts.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * count_));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      double edge = static_cast<double>(UpperEdgeUs(i)) * 1e-6;
+      return std::min(edge, max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace harness
+}  // namespace qfix

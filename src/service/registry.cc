@@ -1,8 +1,10 @@
 #include "service/registry.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/strings.h"
+#include "common/timer.h"
 #include "io/csv.h"
 #include "io/snapshot.h"
 #include "relational/executor.h"
@@ -34,7 +36,83 @@ Status RegistryFullError(size_t max_datasets) {
       max_datasets));
 }
 
+/// Fixed per-object overheads folded into the estimate: vector
+/// headers, shared_ptr control block, map/list nodes, string storage.
+constexpr size_t kPerTupleOverhead = 48;
+constexpr size_t kPerQueryOverhead = 256;
+constexpr size_t kPerDatasetOverhead = 512;
+
+size_t DatabaseBytes(const relational::Database& db) {
+  return db.NumSlots() *
+         (db.schema().num_attrs() * sizeof(double) + kPerTupleOverhead);
+}
+
 }  // namespace
+
+size_t ApproxDatasetBytes(const Dataset& dataset) {
+  return kPerDatasetOverhead + dataset.name.size() +
+         DatabaseBytes(dataset.d0) + DatabaseBytes(dataset.dirty) +
+         dataset.log.size() * kPerQueryOverhead;
+}
+
+DatasetRegistry::DatasetRegistry(RegistryOptions options)
+    : options_(options), clock_(&MonotonicSeconds) {}
+
+void DatasetRegistry::SetClockForTest(std::function<double()> clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = std::move(clock);
+}
+
+double DatasetRegistry::NowLocked() const { return clock_(); }
+
+void DatasetRegistry::TouchLocked(Entry& entry) const {
+  entry.last_used = NowLocked();
+  lru_.splice(lru_.begin(), lru_, entry.lru_it);
+}
+
+void DatasetRegistry::EvictLocked(std::string_view keep,
+                                  std::vector<std::string>* evicted) {
+  const double now = NowLocked();
+  // TTL first: idle entries go regardless of byte pressure. Walk from
+  // the LRU tail — recency order is also idle-time order.
+  if (options_.ttl_seconds > 0.0) {
+    for (auto it = lru_.rbegin(); it != lru_.rend();) {
+      auto entry_it = map_.find(*it);
+      ++it;
+      if (entry_it == map_.end()) continue;
+      Entry& entry = entry_it->second;
+      if (now - entry.last_used < options_.ttl_seconds) break;  // rest newer
+      if (entry_it->first == keep || PinnedLocked(entry)) continue;
+      evicted->push_back(entry_it->first);
+      bytes_ -= std::min(bytes_, entry.bytes);
+      // `it` already advanced past the node being unlinked.
+      lru_.erase(entry.lru_it);
+      map_.erase(entry_it);
+      ++ttl_evictions_;
+      it = lru_.rbegin();  // restart: erase may invalidate the walk
+    }
+  }
+  // LRU byte pressure: evict the coldest unpinned entries until the
+  // budget fits. Pinned entries are skipped — if everything left is
+  // pinned the registry runs over budget rather than yank a snapshot's
+  // name mid-diagnosis.
+  if (options_.max_bytes > 0) {
+    auto it = lru_.rbegin();
+    while (bytes_ > options_.max_bytes && it != lru_.rend()) {
+      auto entry_it = map_.find(*it);
+      ++it;
+      if (entry_it == map_.end()) continue;
+      Entry& entry = entry_it->second;
+      if (entry_it->first == keep || PinnedLocked(entry)) continue;
+      evicted->push_back(entry_it->first);
+      bytes_ -= std::min(bytes_, entry.bytes);
+      lru_.erase(entry.lru_it);
+      map_.erase(entry_it);
+      ++evictions_;
+      it = lru_.rbegin();
+    }
+  }
+}
 
 Result<std::shared_ptr<const Dataset>> DatasetRegistry::Register(
     std::string name, std::string_view d0_text, std::string table_name,
@@ -48,9 +126,9 @@ Result<std::shared_ptr<const Dataset>> DatasetRegistry::Register(
   // slot while this one parses.
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (max_datasets_ > 0 && map_.size() >= max_datasets_ &&
+    if (options_.max_datasets > 0 && map_.size() >= options_.max_datasets &&
         map_.find(name) == map_.end()) {
-      return RegistryFullError(max_datasets_);
+      return RegistryFullError(options_.max_datasets);
     }
   }
 
@@ -70,21 +148,42 @@ Result<std::shared_ptr<const Dataset>> DatasetRegistry::Register(
   ds->dirty = relational::ExecuteLog(ds->log, ds->d0);
 
   std::shared_ptr<const Dataset> published = std::move(ds);
+  const size_t new_bytes = ApproxDatasetBytes(*published);
   bool replaced = false;
+  std::vector<std::string> evicted;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (max_datasets_ > 0 && map_.size() >= max_datasets_ &&
-        map_.find(name) == map_.end()) {
-      return RegistryFullError(max_datasets_);
+    auto it = map_.find(name);
+    if (it == map_.end()) {
+      if (options_.max_datasets > 0 &&
+          map_.size() >= options_.max_datasets) {
+        return RegistryFullError(options_.max_datasets);
+      }
+      lru_.push_front(name);
+      Entry entry;
+      entry.dataset = published;
+      entry.bytes = new_bytes;
+      entry.lru_it = lru_.begin();
+      entry.last_used = NowLocked();
+      it = map_.emplace(std::move(name), std::move(entry)).first;
+      bytes_ += new_bytes;
+    } else {
+      replaced = true;
+      bytes_ -= std::min(bytes_, it->second.bytes);
+      it->second.dataset = published;
+      it->second.bytes = new_bytes;
+      bytes_ += new_bytes;
+      TouchLocked(it->second);
     }
-    auto [it, inserted] = map_.insert_or_assign(std::move(name), published);
-    (void)it;
-    replaced = !inserted;
+    EvictLocked(/*keep=*/it->first, &evicted);
   }
   // Eager invalidation outside the lock: version keys already make the
   // old entries unreachable, this just frees their bytes now.
-  if (replaced && report_cache_ != nullptr) {
-    report_cache_->EraseDataset(published->name);
+  if (report_cache_ != nullptr) {
+    if (replaced) report_cache_->EraseDataset(published->name);
+    for (const std::string& victim : evicted) {
+      report_cache_->EraseDataset(victim);
+    }
   }
   return published;
 }
@@ -93,7 +192,13 @@ bool DatasetRegistry::Erase(std::string_view name) {
   bool erased = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    erased = map_.erase(std::string(name)) > 0;
+    auto it = map_.find(std::string(name));
+    if (it != map_.end()) {
+      bytes_ -= std::min(bytes_, it->second.bytes);
+      lru_.erase(it->second.lru_it);
+      map_.erase(it);
+      erased = true;
+    }
   }
   if (erased && report_cache_ != nullptr) {
     report_cache_->EraseDataset(name);
@@ -105,12 +210,44 @@ std::shared_ptr<const Dataset> DatasetRegistry::Get(
     std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(std::string(name));
-  return it == map_.end() ? nullptr : it->second;
+  if (it == map_.end()) return nullptr;
+  TouchLocked(it->second);
+  return it->second.dataset;
+}
+
+size_t DatasetRegistry::SweepExpired() {
+  std::vector<std::string> evicted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_.ttl_seconds <= 0.0) return 0;
+    // Byte pressure is Register's job; this entry point only ages out.
+    size_t saved_max_bytes = options_.max_bytes;
+    options_.max_bytes = 0;
+    EvictLocked(/*keep=*/"", &evicted);
+    options_.max_bytes = saved_max_bytes;
+  }
+  if (report_cache_ != nullptr) {
+    for (const std::string& victim : evicted) {
+      report_cache_->EraseDataset(victim);
+    }
+  }
+  return evicted.size();
 }
 
 size_t DatasetRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return map_.size();
+}
+
+DatasetRegistry::Stats DatasetRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out;
+  out.datasets = map_.size();
+  out.bytes = bytes_;
+  out.capacity_bytes = options_.max_bytes;
+  out.evictions = evictions_;
+  out.ttl_evictions = ttl_evictions_;
+  return out;
 }
 
 }  // namespace service

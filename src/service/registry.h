@@ -16,9 +16,24 @@
 // report cache keys on; when a name is replaced the registry also
 // eagerly erases that name's entries from the attached ReportCache so
 // the byte budget is not held by unreachable reports.
+//
+// Eviction (the multi-tenant fleet story): with a byte budget set,
+// thousands of tenants fit a fixed memory envelope. Registration and
+// lookup refresh recency; past the budget the least recently used
+// datasets are evicted, and entries idle beyond the TTL are swept.
+// A dataset whose snapshot is still referenced outside the registry
+// (an in-flight diagnosis, a caller-held handle) is PINNED: it is
+// skipped by both LRU and TTL eviction, so a name never vanishes out
+// from under a running solve — and even an evicted snapshot's memory
+// survives until its last reader drops it (shared_ptr). Eviction drops
+// the name's report-cache partition too; re-registering an evicted
+// name is an ordinary registration with a fresh version.
 #ifndef QFIX_SERVICE_REGISTRY_H_
 #define QFIX_SERVICE_REGISTRY_H_
 
+#include <cstdint>
+#include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -38,19 +53,35 @@ namespace service {
 /// One registered diagnosis snapshot. Immutable after construction.
 using Dataset = cache::Dataset;
 
+/// Rough resident-size estimate of one dataset: tuple storage for D0
+/// and the replayed dirty state, plus per-query log overhead. A sizing
+/// knob for the byte budget, not an allocator contract.
+size_t ApproxDatasetBytes(const Dataset& dataset);
+
+struct RegistryOptions {
+  /// Distinct names the registry may hold (0 = unbounded). A full
+  /// registry rejects NEW names with ResourceExhausted (replacement is
+  /// always allowed) — the count cap is back-pressure, never eviction.
+  size_t max_datasets = 0;
+  /// Byte budget over ApproxDatasetBytes of all registered datasets
+  /// (0 = unbounded). Past it, registration evicts the least recently
+  /// used unpinned datasets.
+  size_t max_bytes = 0;
+  /// Idle lifetime: datasets untouched (no Get/Register) this long are
+  /// swept on the next registration or SweepExpired() (0 = no TTL).
+  double ttl_seconds = 0.0;
+};
+
 class DatasetRegistry {
  public:
-  /// `max_datasets` bounds how many distinct names may be registered
-  /// (0 = unbounded). Datasets are pinned in memory for the process
-  /// lifetime, so a served registry must cap them or a client looping
-  /// over fresh names exhausts memory; replacement of an existing name
-  /// is always allowed.
+  explicit DatasetRegistry(RegistryOptions options);
+  /// Back-compat: count cap only, no byte budget, no TTL.
   explicit DatasetRegistry(size_t max_datasets = 0)
-      : max_datasets_(max_datasets) {}
+      : DatasetRegistry(RegistryOptions{max_datasets, 0, 0.0}) {}
 
-  /// Attaches the report cache to invalidate when a name is replaced or
-  /// erased. Non-owning; call before serving (not thread-safe against
-  /// concurrent Register).
+  /// Attaches the report cache to invalidate when a name is replaced,
+  /// erased, or evicted. Non-owning; call before serving (not
+  /// thread-safe against concurrent Register).
   void AttachReportCache(cache::ReportCache* report_cache) {
     report_cache_ = report_cache;
   }
@@ -59,7 +90,8 @@ class DatasetRegistry {
   /// (header of attribute names) or a `qfix-snapshot v1` checkpoint,
   /// auto-detected; `log_sql` is the ';'-separated executed query log.
   /// Replaces any existing dataset of the same name (in-flight requests
-  /// keep their reference to the old version). Thread-safe.
+  /// keep their reference to the old version). May evict other entries
+  /// (TTL, then LRU byte pressure). Thread-safe.
   Result<std::shared_ptr<const Dataset>> Register(std::string name,
                                                   std::string_view d0_text,
                                                   std::string table_name,
@@ -69,16 +101,65 @@ class DatasetRegistry {
   /// whether it was registered. In-flight readers keep their reference.
   bool Erase(std::string_view name);
 
-  /// The current snapshot for `name`, or nullptr. Thread-safe.
+  /// The current snapshot for `name`, or nullptr. Refreshes recency.
+  /// Thread-safe.
   std::shared_ptr<const Dataset> Get(std::string_view name) const;
+
+  /// Evicts every unpinned dataset idle beyond the TTL; returns how
+  /// many were evicted. No-op without a TTL. Thread-safe.
+  size_t SweepExpired();
 
   size_t size() const;
 
+  struct Stats {
+    size_t datasets = 0;
+    /// Sum of ApproxDatasetBytes over registered datasets.
+    size_t bytes = 0;
+    size_t capacity_bytes = 0;
+    /// LRU evictions under byte pressure (lifetime).
+    uint64_t evictions = 0;
+    /// TTL sweeps (lifetime).
+    uint64_t ttl_evictions = 0;
+  };
+  Stats stats() const;
+
+  /// Test hook: replaces the recency/TTL clock (monotonic seconds).
+  void SetClockForTest(std::function<double()> clock);
+
  private:
-  size_t max_datasets_;
+  struct Entry {
+    std::shared_ptr<const Dataset> dataset;
+    size_t bytes = 0;
+    double last_used = 0.0;
+    /// Position in lru_ (front = most recently used).
+    std::list<std::string>::iterator lru_it;
+  };
+
+  double NowLocked() const;
+  void TouchLocked(Entry& entry) const;
+  /// Whether the snapshot is referenced outside the registry map (the
+  /// caller of the eviction scan holds no extra reference). Under mu_
+  /// nobody can acquire a new reference except through Get, which also
+  /// takes mu_ — so use_count is stable for the decision.
+  static bool PinnedLocked(const Entry& entry) {
+    return entry.dataset.use_count() > 1;
+  }
+  /// TTL sweep + LRU byte-pressure eviction, sparing `keep` (the name
+  /// just registered) and every pinned entry. Appends evicted names to
+  /// `evicted` for report-cache invalidation outside the lock.
+  void EvictLocked(std::string_view keep, std::vector<std::string>* evicted);
+
+  RegistryOptions options_;
   cache::ReportCache* report_cache_ = nullptr;
   mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const Dataset>> map_;
+  std::function<double()> clock_;
+  /// mutable: Get() is logically const but refreshes recency.
+  mutable std::unordered_map<std::string, Entry> map_;
+  /// Recency order over registered names; front = most recently used.
+  mutable std::list<std::string> lru_;
+  size_t bytes_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t ttl_evictions_ = 0;
 };
 
 }  // namespace service

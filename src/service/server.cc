@@ -34,39 +34,6 @@ namespace service {
 
 namespace {
 
-/// RAII slots in the admission gate. The gate is counted in batch
-/// items, not requests — one items[] request buys `count` slots so the
-/// gate bounds solver work, not sockets. `admitted()` is false when the
-/// gate lacked room — the request must be shed with 429. Callers cap
-/// `count` at `capacity` so oversized batches stay admittable (on an
-/// empty gate) instead of being shed forever.
-class AdmissionSlot {
- public:
-  AdmissionSlot(std::atomic<int>* inflight, int capacity, int count)
-      : inflight_(inflight), count_(count) {
-    int cur = inflight_->load(std::memory_order_relaxed);
-    while (cur + count_ <= capacity) {
-      if (inflight_->compare_exchange_weak(cur, cur + count_,
-                                           std::memory_order_acq_rel)) {
-        admitted_ = true;
-        return;
-      }
-    }
-  }
-  ~AdmissionSlot() {
-    if (admitted_) inflight_->fetch_sub(count_, std::memory_order_acq_rel);
-  }
-  AdmissionSlot(const AdmissionSlot&) = delete;
-  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
-
-  bool admitted() const { return admitted_; }
-
- private:
-  std::atomic<int>* inflight_;
-  int count_;
-  bool admitted_ = false;
-};
-
 HttpResponse JsonError(int http_status, const std::string& code,
                        const std::string& message) {
   JsonWriter w;
@@ -195,7 +162,9 @@ class DiagnosisServer::Acceptor : public FdHandler {
 
 DiagnosisServer::DiagnosisServer(ServerOptions options)
     : options_(std::move(options)),
-      registry_(static_cast<size_t>(std::max(options_.max_datasets, 0))) {
+      registry_(RegistryOptions{
+          static_cast<size_t>(std::max(options_.max_datasets, 0)),
+          options_.registry_bytes, options_.registry_ttl_seconds}) {
   options_.max_inflight = std::max(options_.max_inflight, 1);
   options_.max_connections = std::max(options_.max_connections, 1);
   options_.max_items = std::max(options_.max_items, 1);
@@ -208,8 +177,17 @@ DiagnosisServer::DiagnosisServer(ServerOptions options)
   conn_config_.max_requests_per_conn = options_.max_requests_per_conn;
   conn_config_.http = options_.http;
   if (options_.cache_bytes > 0) {
-    cache_ = std::make_unique<cache::ReportCache>(options_.cache_bytes);
+    cache_ = std::make_unique<cache::ReportCache>(
+        options_.cache_bytes, /*num_shards=*/8,
+        options_.cache_tenant_fraction);
     registry_.AttachReportCache(cache_.get());
+  }
+  TenantGovernor::Options gov;
+  gov.capacity = options_.max_inflight;
+  gov.activity_window_seconds = options_.tenant_activity_window_seconds;
+  governor_ = std::make_unique<TenantGovernor>(gov);
+  for (const auto& [tenant, weight] : options_.tenant_weights) {
+    governor_->SetWeight(tenant, weight);
   }
 }
 
@@ -443,16 +421,7 @@ bool DiagnosisServer::HandleRequest(HttpRequest request, HttpResponse* out,
     }
     Offload(
         [this, request = std::move(request)] {
-          // Only served diagnoses feed the percentiles: healthz/stats
-          // pollers and shed 429s run in microseconds and would swamp
-          // the sample window, hiding exactly the latency /v1/stats
-          // exists to expose.
-          const double start = MonotonicSeconds();
-          HttpResponse response = HandleDiagnose(request);
-          if (response.status == 200) {
-            latency_.Record(MonotonicSeconds() - start);
-          }
-          return response;
+          return HandleDiagnose(request);
         },
         std::move(done));
     return false;
@@ -567,6 +536,56 @@ HttpResponse DiagnosisServer::HandleStats() {
   w.Key("capacity");
   w.Int(s.inflight_capacity);
   w.EndObject();
+  w.Key("registry");
+  w.BeginObject();
+  w.Key("datasets");
+  w.Uint(s.registry.datasets);
+  w.Key("bytes");
+  w.Uint(s.registry.bytes);
+  w.Key("capacity_bytes");
+  w.Uint(s.registry.capacity_bytes);
+  w.Key("evictions");
+  w.Uint(s.registry.evictions);
+  w.Key("ttl_evictions");
+  w.Uint(s.registry.ttl_evictions);
+  w.EndObject();
+  w.Key("tenants");
+  w.BeginObject();
+  for (const TenantGovernor::TenantStats& t : s.tenants) {
+    w.Key(t.name);
+    w.BeginObject();
+    w.Key("weight");
+    w.Int(t.weight);
+    w.Key("share");
+    w.Int(t.share);
+    w.Key("inflight");
+    w.Int(t.inflight);
+    w.Key("requests");
+    w.Uint(t.requests);
+    w.Key("shed_429");
+    w.Uint(t.shed_429);
+    w.Key("cached_hits");
+    w.Uint(t.cached_hits);
+    w.Key("items");
+    w.Uint(t.items);
+    w.Key("cache_bytes");
+    w.Uint(cache_ != nullptr ? cache_->TenantBytes(t.name) : 0);
+    w.Key("latency");
+    w.BeginObject();
+    w.Key("count");
+    w.Uint(t.latency.count);
+    w.Key("p50_ms");
+    w.Double(t.latency.p50 * 1e3);
+    w.Key("p90_ms");
+    w.Double(t.latency.p90 * 1e3);
+    w.Key("p99_ms");
+    w.Double(t.latency.p99 * 1e3);
+    w.Key("max_ms");
+    w.Double(t.latency.max * 1e3);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndObject();
   w.Key("pool_workers");
   w.Int(pool_ != nullptr ? pool_->num_workers() : 0);
   w.EndObject();
@@ -631,6 +650,13 @@ HttpResponse DiagnosisServer::HandleRegisterDataset(
 }
 
 HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
+  // Only served diagnoses feed the percentiles: healthz/stats pollers
+  // and shed 429s run in microseconds and would swamp the sample
+  // window, hiding exactly the latency /v1/stats exists to expose.
+  // Recorded globally AND per tenant — a slow tenant's solves land in
+  // its own recorder, so its p99 never skews another tenant's.
+  const double start_seconds = MonotonicSeconds();
+
   auto doc = ParseJson(request.body);
   if (!doc.ok()) return StatusError(400, doc.status());
 
@@ -717,6 +743,19 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
     decoded.push_back(std::move(di));
   }
 
+  // The distinct tenants this request touches (items are <= max_items;
+  // a linear scan beats a map at that size).
+  std::vector<std::string> tenants;
+  for (const DiagnoseItem& di : decoded) {
+    std::string tenant(TenantOf(di.dataset->name));
+    if (std::find(tenants.begin(), tenants.end(), tenant) == tenants.end()) {
+      tenants.push_back(std::move(tenant));
+    }
+  }
+  for (const std::string& tenant : tenants) {
+    governor_->CountRequest(tenant);
+  }
+
   // Build the zero-copy batch: every item shares the registered
   // snapshot by reference (no Dataset deep copy, see cache/snapshot.h).
   std::vector<qfixcore::BatchItem> batch;
@@ -792,6 +831,7 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
       if (found.value != nullptr) {
         plan.cached = std::move(found.value);
         counters_.cached_hits.fetch_add(1, std::memory_order_relaxed);
+        governor_->CountCachedHit(TenantOf(plan.key->dataset));
         continue;
       }
       plan.lead = found.lead;
@@ -812,17 +852,30 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
   std::vector<std::string> reports(batch.size());
   if (solves > 0) {
     // Admission is counted in batch items (one request can fan out
-    // items[]); cache hits took no slot. Over capacity, shed rather
-    // than queue — and release any singleflight leadership first. The
-    // weight is capped at the gate's capacity so a request with more
-    // items than max_inflight is still admittable (it must wait for an
-    // empty gate and then occupies all of it) instead of being 429'd
-    // forever.
-    AdmissionSlot slot(&inflight_, options_.max_inflight,
-                       std::min(static_cast<int>(solves),
-                                options_.max_inflight));
-    if (!slot.admitted()) {
+    // items[]); cache hits took no slot. Over capacity — global room,
+    // or another tenant's guaranteed share — shed rather than queue,
+    // releasing any singleflight leadership first. The per-tenant
+    // weights are the solve counts of this request's items, so the
+    // governor bounds solver work, not sockets.
+    std::vector<std::pair<std::string, int>> wants;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (plans[i].cached != nullptr || plans[i].dup_of != SIZE_MAX) continue;
+      std::string tenant(TenantOf(decoded[i].dataset->name));
+      auto it = std::find_if(wants.begin(), wants.end(),
+                             [&](const auto& w) { return w.first == tenant; });
+      if (it == wants.end()) {
+        wants.emplace_back(std::move(tenant), 1);
+      } else {
+        ++it->second;
+      }
+    }
+    TenantGovernor::Ticket ticket;
+    if (!governor_->TryAcquire(wants, &ticket)) {
       abandon_leads();
+      for (const auto& [tenant, count] : wants) {
+        (void)count;
+        governor_->CountShed(tenant);
+      }
       return JsonError(429, "OverCapacity",
                        StringPrintf("diagnosis queue is full (%zu items "
                                     "over %d slots)",
@@ -833,6 +886,9 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
       return JsonError(503, "ShuttingDown", "server is shutting down");
     }
     counters_.items.fetch_add(solves, std::memory_order_relaxed);
+    for (const auto& [tenant, count] : wants) {
+      governor_->CountItems(tenant, static_cast<uint64_t>(count));
+    }
 
     std::vector<qfixcore::BatchItem> to_solve;
     std::vector<size_t> solve_index;
@@ -936,6 +992,11 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
   } else {
     render_item(0, &w);
   }
+  const double elapsed = MonotonicSeconds() - start_seconds;
+  latency_.Record(elapsed);
+  for (const std::string& tenant : tenants) {
+    governor_->RecordLatency(tenant, elapsed);
+  }
   HttpResponse out;
   out.body = w.str();
   return out;
@@ -950,15 +1011,29 @@ HttpResponse DiagnosisServer::HandleDebugSleep(const HttpRequest& request) {
   auto requested = doc->NumberOr("seconds", 0.1);
   if (!requested.ok()) return StatusError(400, requested.status());
   double seconds = std::clamp(*requested, 0.0, 30.0);
+  // Optional tenant attribution so tests can exercise fair sharing and
+  // per-tenant latency with deterministic service times.
+  std::string tenant = "default";
+  if (const JsonValue* t = doc->Find("tenant")) {
+    if (!t->is_string()) {
+      return JsonError(400, "InvalidArgument", "'tenant' must be a string");
+    }
+    tenant = t->AsString();
+  }
 
-  AdmissionSlot slot(&inflight_, options_.max_inflight, /*count=*/1);
-  if (!slot.admitted()) {
+  const double start_seconds = MonotonicSeconds();
+  governor_->CountRequest(tenant);
+  TenantGovernor::Ticket ticket;
+  if (!governor_->TryAcquire({{tenant, 1}}, &ticket)) {
+    governor_->CountShed(tenant);
     return JsonError(429, "OverCapacity", "diagnosis queue is full");
   }
   Deadline deadline = Deadline::AfterSeconds(seconds);
   while (!deadline.Expired() && !shutdown_.cancelled()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
+  ticket.Release();
+  governor_->RecordLatency(tenant, MonotonicSeconds() - start_seconds);
   JsonWriter w;
   w.BeginObject();
   w.Key("slept_seconds");
@@ -1004,12 +1079,14 @@ DiagnosisServer::Stats DiagnosisServer::stats() const {
   s.connections_total = counters_.connections.load(std::memory_order_relaxed);
   s.items_total = counters_.items.load(std::memory_order_relaxed);
   s.cached_hits = counters_.cached_hits.load(std::memory_order_relaxed);
-  s.inflight = inflight_.load(std::memory_order_relaxed);
+  s.inflight = governor_->inflight();
   s.inflight_capacity = options_.max_inflight;
   s.open_connections = open_connections_.load(std::memory_order_relaxed);
   s.latency = latency_.Take();
   s.cache_enabled = cache_ != nullptr;
   if (cache_ != nullptr) s.cache = cache_->stats();
+  s.registry = registry_.stats();
+  s.tenants = governor_->Snapshot();
   return s;
 }
 

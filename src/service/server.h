@@ -31,6 +31,15 @@
 //     with 429 over capacity instead of queueing without bound.
 //     Health/stats/registration bypass the gate so the server stays
 //     observable under load.
+//   * Multi-tenant hardening: the gate is a TenantGovernor (weighted
+//     fair sharing per dataset namespace — an overloaded tenant sheds
+//     against its own share and cannot starve a light one), the
+//     registry takes a byte budget + TTL (LRU eviction keeps thousands
+//     of tenants inside a fixed envelope; pinned in-flight snapshots
+//     are never evicted), the report cache can partition its budget
+//     per tenant, and /v1/stats breaks requests/sheds/latency
+//     percentiles down per tenant so one tenant's p99 never skews
+//     another's.
 //   * Stop() is cooperative: the cancellation token fires (queued batch
 //     items fail fast with ResourceExhausted), the listeners
 //     unregister, open connections close (ones waiting on a dispatched
@@ -61,6 +70,7 @@
 #include "service/connection.h"
 #include "service/http.h"
 #include "service/registry.h"
+#include "service/tenant.h"
 
 namespace qfix {
 namespace service {
@@ -92,9 +102,17 @@ struct ServerOptions {
   /// default is four orders of magnitude above the old
   /// thread-per-connection cap.
   int max_connections = 10000;
-  /// Distinct dataset names the registry will hold (datasets are
-  /// pinned for the process lifetime; replacement is always allowed).
+  /// Distinct dataset names the registry will hold (back-pressure: a
+  /// full registry 429s NEW names; replacement is always allowed).
   int max_datasets = 64;
+  /// Registry byte budget over ApproxDatasetBytes (0 = unbounded).
+  /// Past it, registration evicts the least recently used unpinned
+  /// datasets — the fleet knob that fits thousands of tenants into a
+  /// fixed memory envelope.
+  size_t registry_bytes = 0;
+  /// Registry idle TTL in seconds (0 = none): datasets untouched this
+  /// long are swept on the next registration.
+  double registry_ttl_seconds = 0.0;
   /// Cap on items[] per POST /v1/diagnose. Items share the dataset
   /// snapshot zero-copy, but each still buys an admission slot and a
   /// solve, so the array length stays bounded.
@@ -116,6 +134,18 @@ struct ServerOptions {
   /// Report-cache byte budget; 0 disables caching (every diagnosis
   /// solves cold).
   size_t cache_bytes = 64 * 1024 * 1024;
+  /// Caps one tenant's slice of each report-cache shard's budget, in
+  /// (0, 1]; 1.0 = no partitioning. A cache-hungry tenant then churns
+  /// its own LRU tail instead of flushing everyone else's working set.
+  double cache_tenant_fraction = 1.0;
+  /// Fair-share weights per tenant (dataset namespace); unlisted
+  /// tenants weigh 1. Applied at construction; weights shape the
+  /// guaranteed admission shares, not hard caps (idle capacity is
+  /// borrowable).
+  std::vector<std::pair<std::string, int>> tenant_weights;
+  /// How long a shed tenant keeps its guaranteed admission reservation
+  /// while it retries (see TenantGovernor::Options).
+  double tenant_activity_window_seconds = 5.0;
   HttpLimits http;
   /// Registers POST /v1/debug/sleep {"seconds":s} — occupies one
   /// admission slot while sleeping — and POST /v1/debug/payload
@@ -178,6 +208,11 @@ class DiagnosisServer : private ConnectionHost {
     harness::LatencyRecorder::Snapshot latency;
     bool cache_enabled = false;
     cache::ReportCache::Stats cache;
+    /// Registry occupancy and eviction counters.
+    DatasetRegistry::Stats registry;
+    /// Per-tenant breakdown (weights, shares, sheds, latency), sorted
+    /// by tenant name.
+    std::vector<TenantGovernor::TenantStats> tenants;
   };
   Stats stats() const;
 
@@ -249,8 +284,9 @@ class DiagnosisServer : private ConnectionHost {
   /// Connections currently admitted (shared across shards).
   std::atomic<int> open_connections_{0};
 
-  // Admission gate for diagnosis work (and the debug sleep endpoint).
-  std::atomic<int> inflight_{0};
+  /// Admission gate for diagnosis work (and the debug sleep endpoint):
+  /// weighted fair sharing per tenant, counted in batch items.
+  std::unique_ptr<TenantGovernor> governor_;
 
   Counters counters_;
   harness::LatencyRecorder latency_;

@@ -1,0 +1,287 @@
+// Soak/overload lane: qfix_serve as a real subprocess under a
+// mixed-tenant open-loop overload driven by harness::RunLoad. The
+// default-lane smoke runs a few seconds (QFIX_SOAK_SECONDS=3); the
+// `ctest -L soak` variant runs the same scenario for 30s. Pass
+// criteria: the only errors are 429 sheds (no 4xx/5xx/transport), the
+// server's fd table and resident set do not grow across the soak, and
+// SIGTERM still produces a clean exit afterwards.
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/timer.h"
+#include "harness/loadgen.h"
+#include "service/client.h"
+
+#ifndef QFIX_SERVE_PATH
+#error "QFIX_SERVE_PATH must be defined by the build"
+#endif
+
+namespace qfix {
+namespace {
+
+using harness::LoadOptions;
+using harness::LoadRequestTemplate;
+using harness::LoadResult;
+using harness::LoadTenantSpec;
+using harness::RunLoad;
+
+constexpr const char* kTaxD0Csv =
+    "income,owed,pay\n"
+    "9500,950,8550\n"
+    "90000,22500,67500\n"
+    "86000,21500,64500\n"
+    "86500,21625,64875\n";
+
+constexpr const char* kTaxLogSql =
+    "UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700;\n"
+    "INSERT INTO Taxes VALUES (87000, 21750, 65250);\n"
+    "UPDATE Taxes SET pay = income - owed;\n";
+
+constexpr const char* kTaxComplaintsCsv =
+    "tid,alive,income,owed,pay\n"
+    "2,1,86000,21500,64500\n"
+    "3,1,86500,21625,64875\n";
+
+double SoakSeconds() {
+  const char* env = std::getenv("QFIX_SOAK_SECONDS");
+  if (env == nullptr || *env == '\0') return 3.0;
+  return std::max(std::atof(env), 1.0);
+}
+
+/// A running qfix_serve child whose stdout/stderr we scrape.
+struct ServeProcess {
+  pid_t pid = -1;
+  FILE* output = nullptr;  // child's combined stdout+stderr
+  int port = 0;
+
+  ~ServeProcess() {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+    if (output != nullptr) ::fclose(output);
+  }
+};
+
+bool StartServe(const std::vector<std::string>& extra_args,
+                ServeProcess* serve) {
+  int fds[2];
+  if (::pipe(fds) != 0) return false;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::dup2(fds[1], STDERR_FILENO);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    std::vector<std::string> args = {QFIX_SERVE_PATH, "--port", "0"};
+    args.insert(args.end(), extra_args.begin(), extra_args.end());
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(QFIX_SERVE_PATH, argv.data());
+    std::perror("execv qfix_serve");
+    ::_exit(127);
+  }
+  ::close(fds[1]);
+  serve->pid = pid;
+  serve->output = ::fdopen(fds[0], "r");
+  if (serve->output == nullptr) return false;
+
+  // Scrape "qfix_serve listening on http://HOST:PORT".
+  char line[512];
+  while (std::fgets(line, sizeof(line), serve->output) != nullptr) {
+    const char* marker = std::strstr(line, "listening on http://");
+    if (marker == nullptr) continue;
+    const char* colon = std::strrchr(marker, ':');
+    if (colon == nullptr) return false;
+    serve->port = std::atoi(colon + 1);
+    return serve->port > 0;
+  }
+  return false;  // child exited without listening
+}
+
+/// Open fds of the child, via /proc/<pid>/fd.
+int CountFds(pid_t pid) {
+  const std::string path = "/proc/" + std::to_string(pid) + "/fd";
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return -1;
+  int count = 0;
+  while (dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] != '.') ++count;
+  }
+  ::closedir(dir);
+  return count;
+}
+
+/// Resident set of the child in KiB, via /proc/<pid>/status.
+long RssKb(pid_t pid) {
+  const std::string path = "/proc/" + std::to_string(pid) + "/status";
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return -1;
+  long kb = -1;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmRSS: %ld kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+std::string RegisterBody(const std::string& name) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String(name);
+  w.Key("table");
+  w.String("Taxes");
+  w.Key("d0_csv");
+  w.String(kTaxD0Csv);
+  w.Key("log_sql");
+  w.String(kTaxLogSql);
+  w.EndObject();
+  return w.str();
+}
+
+std::string DiagnoseBody(const std::string& dataset, double pay) {
+  char complaint[160];
+  std::snprintf(complaint, sizeof(complaint),
+                "tid,alive,income,owed,pay\n2,1,86000,21500,%.0f\n", pay);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("dataset");
+  w.String(dataset);
+  w.Key("complaints_csv");
+  w.String(complaint);
+  w.EndObject();
+  return w.str();
+}
+
+/// The mixed-tenant overload mix: per tenant, half the traffic repeats
+/// one cacheable complaint (served from the report cache, no gate
+/// slot) and half cycles cold variants that reach the solver.
+LoadTenantSpec MixedTenant(const std::string& name, int weight) {
+  LoadTenantSpec t;
+  t.name = name;
+  t.weight = weight;
+  const std::string dataset = name + "/taxes";
+  LoadRequestTemplate cached;
+  cached.path = "/v1/diagnose";
+  {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("dataset");
+    w.String(dataset);
+    w.Key("complaints_csv");
+    w.String(kTaxComplaintsCsv);
+    w.EndObject();
+    cached.body = w.str();
+  }
+  cached.weight = 4;
+  t.requests.push_back(std::move(cached));
+  for (int v = 0; v < 4; ++v) {
+    LoadRequestTemplate cold;
+    cold.path = "/v1/diagnose";
+    cold.body = DiagnoseBody(dataset, 64000.0 + v);
+    cold.weight = 1;
+    t.requests.push_back(std::move(cold));
+  }
+  return t;
+}
+
+TEST(SoakTest, MixedTenantOverloadLeaksNothingAndShedsOnly429) {
+  ServeProcess serve;
+  ASSERT_TRUE(StartServe({"--max-inflight", "4", "--jobs", "2",
+                          "--cache-bytes", "4194304",
+                          "--registry-bytes", "1048576"},
+                         &serve))
+      << "qfix_serve did not come up";
+
+  // Register one dataset per tenant namespace.
+  for (const char* tenant : {"t1", "t2", "t3"}) {
+    auto r = service::HttpPost("127.0.0.1", serve.port, "/v1/datasets",
+                               RegisterBody(std::string(tenant) + "/taxes"),
+                               30.0);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->status, 200) << r->body;
+  }
+
+  LoadOptions lo;
+  lo.host = "127.0.0.1";
+  lo.port = serve.port;
+  lo.mode = LoadOptions::Mode::kOpen;
+  lo.concurrency = 8;
+  lo.rate_per_second = 600;  // well past a 4-slot gate: forced overload
+  lo.tenants.push_back(MixedTenant("t1", 3));
+  lo.tenants.push_back(MixedTenant("t2", 1));
+  lo.tenants.push_back(MixedTenant("t3", 1));
+
+  // Warm up (connections, cache, allocator high-water marks), then
+  // snapshot the fd table and resident set.
+  lo.duration_seconds = 1.0;
+  RunLoad(lo);
+  const int fds_before = CountFds(serve.pid);
+  const long rss_before = RssKb(serve.pid);
+  ASSERT_GT(fds_before, 0);
+  ASSERT_GT(rss_before, 0);
+
+  lo.duration_seconds = SoakSeconds();
+  LoadResult r = RunLoad(lo);
+
+  // Give the server a beat to reap the load generator's connections,
+  // then re-measure.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const int fds_after = CountFds(serve.pid);
+  const long rss_after = RssKb(serve.pid);
+
+  // The soak did real work across all three tenants...
+  EXPECT_GT(r.classes.ok_2xx, 0u);
+  for (const auto& t : r.tenants) {
+    EXPECT_GT(t.attempted, 0u) << t.name;
+  }
+  // ...and the only refusals were admission sheds.
+  EXPECT_EQ(r.classes.err_4xx, 0u);
+  EXPECT_EQ(r.classes.err_5xx, 0u);
+  EXPECT_EQ(r.classes.transport, 0u);
+
+  // No fd leak: the table may wobble by a few sockets in flight but
+  // must not grow with request count (thousands served).
+  EXPECT_LE(fds_after, fds_before + 8)
+      << "fd table grew " << fds_before << " -> " << fds_after;
+  // No unbounded memory growth: budgeted caches (4MiB cache, 1MiB
+  // registry) plus allocator slack stay well under 64MiB of growth.
+  EXPECT_LE(rss_after, rss_before + 64 * 1024)
+      << "VmRSS grew " << rss_before << "kB -> " << rss_after << "kB";
+
+  // Clean shutdown on SIGTERM.
+  ASSERT_EQ(::kill(serve.pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(serve.pid, &status, 0), serve.pid);
+  serve.pid = -1;  // the destructor must not re-reap
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+}  // namespace
+}  // namespace qfix

@@ -1,0 +1,374 @@
+// qfix_load — multi-tenant load generator for qfix_serve.
+//
+// Usage:
+//   qfix_load --url http://HOST:PORT [--mode closed|open]
+//             [--duration S] [--concurrency N] [--rate R]
+//             [--tenants N | --tenant NAME=W ...]
+//             [--cached-fraction F] [--register-fraction F]
+//             [--variants N] [--seed N] [--timeout S] [--json FILE]
+//             [--no-setup]
+//
+// Drives a running qfix_serve with a weighted tenant mix (tenant =
+// dataset namespace, e.g. "t1/taxes" belongs to tenant "t1"). Setup
+// registers one taxes dataset per tenant, then each tenant's traffic
+// mixes cache-friendly repeats, cold complaint variants, and optional
+// re-registrations. Two arrival processes (src/harness/loadgen.h):
+// closed-loop fixed concurrency, or open-loop fixed rate with
+// coordinated-omission-corrected latency.
+//
+// Prints a human summary, optionally writes the full JSON result
+// (bench_results/ compatible) with --json. Exits nonzero when the run
+// saw 5xx or transport errors — shed 429s are expected under overload
+// and do NOT fail the run — so CI soak lanes can assert "no errors
+// besides 429" with the exit code alone.
+#include <cerrno>
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "harness/loadgen.h"
+#include "service/client.h"
+
+namespace {
+
+using qfix::JsonWriter;
+using qfix::harness::LoadOptions;
+using qfix::harness::LoadRequestTemplate;
+using qfix::harness::LoadResult;
+using qfix::harness::LoadTenantSpec;
+using qfix::harness::TenantLoadResult;
+
+// The paper's running example, small enough that one diagnosis is a
+// few milliseconds of MILP work — load comes from volume, not size.
+constexpr const char* kTaxD0Csv =
+    "income,owed,pay\n"
+    "9500,950,8550\n"
+    "90000,22500,67500\n"
+    "86000,21500,64500\n"
+    "86500,21625,64875\n";
+
+constexpr const char* kTaxLogSql =
+    "UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700;\n"
+    "INSERT INTO Taxes VALUES (87000, 21750, 65250);\n"
+    "UPDATE Taxes SET pay = income - owed;\n";
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --url http://HOST:PORT [options]\n\n"
+      "  --url URL           server base URL (required)\n"
+      "  --mode closed|open  arrival process (default closed)\n"
+      "  --duration S        run length in seconds (default 10)\n"
+      "  --concurrency N     worker connections (default 4)\n"
+      "  --rate R            open loop: offered requests/second over\n"
+      "                      all tenants (default 100)\n"
+      "  --tenants N         N equal-weight tenants t1..tN (default 3)\n"
+      "  --tenant NAME=W     add tenant NAME with traffic weight W\n"
+      "                      (repeatable; overrides --tenants)\n"
+      "  --cached-fraction F share of each tenant's requests that\n"
+      "                      repeat one complaint set (cache hits\n"
+      "                      after the first solve; default 0.5)\n"
+      "  --register-fraction F\n"
+      "                      share that re-registers the tenant's\n"
+      "                      dataset (invalidates its cache; default 0)\n"
+      "  --variants N        distinct cold complaint sets per tenant\n"
+      "                      (default 8)\n"
+      "  --seed N            RNG seed (default 1)\n"
+      "  --timeout S         per-request timeout (default 30)\n"
+      "  --json FILE         write the full JSON result to FILE\n"
+      "  --no-setup          skip dataset registration\n",
+      argv0);
+}
+
+bool ParseIntFlag(const char* text, long min_value, long max_value,
+                  long* out) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  long value = std::strtol(text, &end, 10);
+  if (errno == ERANGE || end == text || *end != '\0') return false;
+  if (value < min_value || value > max_value) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDoubleFlag(const char* text, double min_value, double max_value,
+                     double* out) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(text, &end);
+  if (errno == ERANGE || end == text || *end != '\0') return false;
+  if (value < min_value || value > max_value) return false;
+  *out = value;
+  return true;
+}
+
+std::string RegisterBody(const std::string& dataset) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String(dataset);
+  w.Key("table");
+  w.String("Taxes");
+  w.Key("d0_csv");
+  w.String(kTaxD0Csv);
+  w.Key("log_sql");
+  w.String(kTaxLogSql);
+  w.EndObject();
+  return w.str();
+}
+
+std::string DiagnoseBody(const std::string& dataset, double pay) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("dataset");
+  w.String(dataset);
+  w.Key("complaints_csv");
+  char rows[128];
+  std::snprintf(rows, sizeof(rows),
+                "tid,alive,income,owed,pay\n2,1,86000,21500,%.0f\n", pay);
+  w.String(rows);
+  w.EndObject();
+  return w.str();
+}
+
+void PrintLatency(const char* label, const qfix::harness::LatencyHistogram& h) {
+  std::printf("  %-10s n=%llu p50=%.2fms p90=%.2fms p99=%.2fms "
+              "p99.9=%.2fms max=%.2fms\n",
+              label, static_cast<unsigned long long>(h.count()),
+              h.Percentile(0.50) * 1e3, h.Percentile(0.90) * 1e3,
+              h.Percentile(0.99) * 1e3, h.Percentile(0.999) * 1e3,
+              h.max() * 1e3);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string url;
+  std::string json_path;
+  LoadOptions options;
+  options.duration_seconds = 10.0;
+  options.concurrency = 4;
+  options.rate_per_second = 100.0;
+  long tenant_count = 3;
+  std::vector<std::pair<std::string, int>> named_tenants;
+  double cached_fraction = 0.5;
+  double register_fraction = 0.0;
+  long variants = 8;
+  bool setup = true;
+
+  bool usage_error = false;
+  for (int i = 1; i < argc && !usage_error; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    auto int_flag = [&](long min_value, long max_value, long* out) {
+      if (!ParseIntFlag(next(), min_value, max_value, out)) {
+        std::fprintf(stderr, "error: %s needs an integer in [%ld, %ld]\n",
+                     arg.c_str(), min_value, max_value);
+        usage_error = true;
+      }
+    };
+    auto double_flag = [&](double min_value, double max_value, double* out) {
+      if (!ParseDoubleFlag(next(), min_value, max_value, out)) {
+        std::fprintf(stderr, "error: %s needs a number in [%g, %g]\n",
+                     arg.c_str(), min_value, max_value);
+        usage_error = true;
+      }
+    };
+    long n = 0;
+    if (arg == "--url") {
+      const char* v = next();
+      if (v == nullptr) {
+        std::fprintf(stderr, "error: --url needs a value\n");
+        usage_error = true;
+      } else {
+        url = v;
+      }
+    } else if (arg == "--mode") {
+      const char* v = next();
+      if (v != nullptr && std::strcmp(v, "closed") == 0) {
+        options.mode = LoadOptions::Mode::kClosed;
+      } else if (v != nullptr && std::strcmp(v, "open") == 0) {
+        options.mode = LoadOptions::Mode::kOpen;
+      } else {
+        std::fprintf(stderr, "error: --mode needs 'closed' or 'open'\n");
+        usage_error = true;
+      }
+    } else if (arg == "--duration") {
+      double_flag(0.1, 86400.0, &options.duration_seconds);
+    } else if (arg == "--concurrency") {
+      int_flag(1, 10000, &n);
+      options.concurrency = static_cast<int>(n);
+    } else if (arg == "--rate") {
+      double_flag(0.001, 1e7, &options.rate_per_second);
+    } else if (arg == "--tenants") {
+      int_flag(1, 10000, &tenant_count);
+    } else if (arg == "--tenant") {
+      const char* v = next();
+      const char* eq = v != nullptr ? std::strchr(v, '=') : nullptr;
+      long weight = 0;
+      if (eq == nullptr || eq == v ||
+          !ParseIntFlag(eq + 1, 1, 1000000, &weight)) {
+        std::fprintf(stderr, "error: --tenant needs NAME=W with W >= 1\n");
+        usage_error = true;
+      } else {
+        named_tenants.emplace_back(std::string(v, eq),
+                                   static_cast<int>(weight));
+      }
+    } else if (arg == "--cached-fraction") {
+      double_flag(0.0, 1.0, &cached_fraction);
+    } else if (arg == "--register-fraction") {
+      double_flag(0.0, 1.0, &register_fraction);
+    } else if (arg == "--variants") {
+      int_flag(1, 1024, &variants);
+    } else if (arg == "--seed") {
+      int_flag(0, LONG_MAX, &n);
+      options.seed = static_cast<uint64_t>(n);
+    } else if (arg == "--timeout") {
+      double_flag(0.001, 86400.0, &options.request_timeout_seconds);
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (v == nullptr) {
+        std::fprintf(stderr, "error: --json needs a path\n");
+        usage_error = true;
+      } else {
+        json_path = v;
+      }
+    } else if (arg == "--no-setup") {
+      setup = false;
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      usage_error = true;
+    }
+  }
+  if (url.empty() && !usage_error) {
+    std::fprintf(stderr, "error: --url is required\n");
+    usage_error = true;
+  }
+  if (usage_error) {
+    PrintUsage(argv[0]);
+    return 2;
+  }
+
+  auto host_port = qfix::service::ParseUrl(url);
+  if (!host_port.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 host_port.status().ToString().c_str());
+    return 2;
+  }
+  options.host = host_port->host;
+  options.port = host_port->port;
+
+  if (named_tenants.empty()) {
+    for (long t = 1; t <= tenant_count; ++t) {
+      named_tenants.emplace_back("t" + std::to_string(t), 1);
+    }
+  }
+
+  // Integer mix weights out of 100 request mass per tenant.
+  const int w_register =
+      static_cast<int>(register_fraction * 100.0 + 0.5);
+  int w_cached = static_cast<int>(cached_fraction * 100.0 + 0.5);
+  int w_cold = 100 - w_register - w_cached;
+  if (w_cold < 0) {
+    w_cold = 0;
+    w_cached = 100 - w_register;
+  }
+  const int w_cold_each =
+      w_cold > 0
+          ? std::max(1, static_cast<int>(w_cold / static_cast<int>(variants)))
+          : 0;
+
+  for (const auto& [name, weight] : named_tenants) {
+    const std::string dataset = name + "/taxes";
+    if (setup) {
+      auto reg = qfix::service::HttpPost(
+          options.host, options.port, "/v1/datasets", RegisterBody(dataset),
+          options.request_timeout_seconds);
+      if (!reg.ok() || reg->status != 200) {
+        std::fprintf(stderr, "error: registering %s failed: %s\n",
+                     dataset.c_str(),
+                     reg.ok() ? reg->body.c_str()
+                              : reg.status().ToString().c_str());
+        return 1;
+      }
+    }
+    LoadTenantSpec spec;
+    spec.name = name;
+    spec.weight = weight;
+    if (w_cached > 0) {
+      // The repeated complaint set: a cache hit after the first solve.
+      spec.requests.push_back({"/v1/diagnose",
+                               DiagnoseBody(dataset, 64500.0), w_cached});
+    }
+    for (long v = 0; v < variants && w_cold_each > 0; ++v) {
+      // Distinct target values -> distinct cache keys -> solver work.
+      spec.requests.push_back(
+          {"/v1/diagnose", DiagnoseBody(dataset, 64000.0 + v),
+           w_cold_each});
+    }
+    if (w_register > 0) {
+      spec.requests.push_back({"/v1/datasets", RegisterBody(dataset),
+                               w_register});
+    }
+    if (spec.requests.empty()) {
+      spec.requests.push_back({"/v1/diagnose",
+                               DiagnoseBody(dataset, 64500.0), 1});
+    }
+    options.tenants.push_back(std::move(spec));
+  }
+
+  LoadResult result = qfix::harness::RunLoad(options);
+
+  std::printf("qfix_load: mode=%s duration=%.1fs attempted=%llu "
+              "achieved=%.1f rps ok=%.1f rps\n",
+              result.mode == LoadOptions::Mode::kOpen ? "open" : "closed",
+              result.duration_seconds,
+              static_cast<unsigned long long>(result.attempted),
+              result.achieved_rps, result.ok_rps);
+  if (result.mode == LoadOptions::Mode::kOpen) {
+    std::printf("  offered=%.1f rps behind_schedule=%llu\n",
+                result.offered_rate,
+                static_cast<unsigned long long>(result.behind_schedule));
+  }
+  std::printf("  classes: 2xx=%llu 429=%llu 4xx=%llu 5xx=%llu "
+              "transport=%llu\n",
+              static_cast<unsigned long long>(result.classes.ok_2xx),
+              static_cast<unsigned long long>(result.classes.shed_429),
+              static_cast<unsigned long long>(result.classes.err_4xx),
+              static_cast<unsigned long long>(result.classes.err_5xx),
+              static_cast<unsigned long long>(result.classes.transport));
+  PrintLatency("overall", result.latency);
+  for (const TenantLoadResult& t : result.tenants) {
+    std::printf("tenant %s: attempted=%llu 2xx=%llu 429=%llu\n",
+                t.name.c_str(),
+                static_cast<unsigned long long>(t.attempted),
+                static_cast<unsigned long long>(t.classes.ok_2xx),
+                static_cast<unsigned long long>(t.classes.shed_429));
+    PrintLatency(t.name.c_str(), t.latency);
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << qfix::harness::LoadResultToJson(result) << "\n";
+  }
+
+  // Overload sheds (429) are healthy; anything else is not.
+  if (result.classes.err_5xx > 0 || result.classes.transport > 0) {
+    std::fprintf(stderr, "qfix_load: FAILED (5xx or transport errors)\n");
+    return 1;
+  }
+  return 0;
+}

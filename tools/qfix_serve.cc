@@ -67,6 +67,20 @@ void PrintUsage(const char* argv0) {
       "                      (default 30)\n"
       "  --cache-bytes N     report-cache byte budget (default 64 MiB)\n"
       "  --cache-off         disable the report cache entirely\n"
+      "  --cache-tenant-fraction F\n"
+      "                      cap one tenant's slice of each cache\n"
+      "                      shard's budget, in (0,1] (default 1.0)\n"
+      "  --registry-bytes N  registry byte budget; past it the least\n"
+      "                      recently used datasets are evicted\n"
+      "                      (default 0 = unbounded)\n"
+      "  --registry-ttl S    evict datasets idle this long (default\n"
+      "                      0 = no TTL)\n"
+      "  --tenant-weight NAME=W\n"
+      "                      fair-share admission weight for tenant\n"
+      "                      NAME (repeatable; unlisted tenants are 1)\n"
+      "  --tenant-activity-window S\n"
+      "                      how long a shed tenant keeps its\n"
+      "                      guaranteed share reserved (default 5)\n"
       "  --idle-timeout S    keep-alive idle budget between requests\n"
       "                      on one connection (default 5)\n"
       "  --max-requests-per-conn N\n"
@@ -177,6 +191,28 @@ int main(int argc, char** argv) {
       options.cache_bytes = static_cast<size_t>(n);
     } else if (arg == "--cache-off") {
       options.cache_bytes = 0;
+    } else if (arg == "--cache-tenant-fraction") {
+      double_flag(0.000001, 1.0, &options.cache_tenant_fraction);
+    } else if (arg == "--registry-bytes") {
+      int_flag(0, LONG_MAX, &n);
+      options.registry_bytes = static_cast<size_t>(n);
+    } else if (arg == "--registry-ttl") {
+      double_flag(0.0, 86400.0 * 365.0, &options.registry_ttl_seconds);
+    } else if (arg == "--tenant-weight") {
+      const char* v = next();
+      const char* eq = v != nullptr ? std::strchr(v, '=') : nullptr;
+      long weight = 0;
+      if (eq == nullptr || eq == v ||
+          !ParseIntFlag(eq + 1, 1, 1000000, &weight)) {
+        std::fprintf(stderr,
+                     "error: --tenant-weight needs NAME=W with W >= 1\n");
+        usage_error = true;
+      } else {
+        options.tenant_weights.emplace_back(std::string(v, eq),
+                                            static_cast<int>(weight));
+      }
+    } else if (arg == "--tenant-activity-window") {
+      double_flag(0.0, 86400.0, &options.tenant_activity_window_seconds);
     } else if (arg == "--idle-timeout") {
       double_flag(0.001, 86400.0, &options.idle_timeout_seconds);
     } else if (arg == "--max-requests-per-conn") {
