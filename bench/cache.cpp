@@ -61,7 +61,7 @@ qfixcore::BatchItem FreshItem() {
   cache::Snapshot snap =
       cache::MakeSnapshot(PaperLog(85700), TaxD0(), "taxes");
   relational::Database truth =
-      relational::ExecuteLog(PaperLog(87500), snap->d0);
+      relational::ExecuteLog(PaperLog(87500), snap->d0());
   provenance::ComplaintSet complaints =
       provenance::DiffStates(snap->dirty, truth);
   qfixcore::QFixOptions options;

@@ -308,5 +308,19 @@ size_t ReportCache::TenantBytes(std::string_view tenant) const {
   return out;
 }
 
+size_t ReportCache::DatasetBytes(std::string_view name) const {
+  size_t out = 0;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& kv : shard.map) {
+      if (kv.first.dataset == name && kv.second.value != nullptr) {
+        out += kv.second.bytes;
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace cache
 }  // namespace qfix

@@ -50,6 +50,11 @@ namespace cache {
 /// Identity of one memoizable diagnosis request.
 struct CacheKey {
   std::string dataset;
+  /// Snapshot identity — historically the exact registration version;
+  /// the batch diagnoser now fills it with cache::WindowSignature (the
+  /// chunk-prefix signature the complaint window can observe) so
+  /// reports survive appends that cannot change them. Either way it is
+  /// unique per lineage: stale entries are unreachable, not wrong.
   uint64_t version = 0;
   /// Canonical hash of the complaint set plus the request knobs that
   /// change the report (k/basic, denoise, engine options) — see
@@ -153,6 +158,11 @@ class ReportCache {
 
   /// Settled bytes currently held by `tenant` across all shards.
   size_t TenantBytes(std::string_view tenant) const;
+
+  /// Settled bytes currently held by entries of dataset `name` (any
+  /// version) across all shards. O(entries); a stats-path gauge, not a
+  /// hot-path accessor.
+  size_t DatasetBytes(std::string_view name) const;
 
  private:
   struct Entry {

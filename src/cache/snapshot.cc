@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "common/logging.h"
 #include "relational/executor.h"
 
 namespace qfix {
@@ -17,7 +18,9 @@ Snapshot MakeSnapshot(relational::QueryLog log, relational::Database d0,
   auto ds = std::make_shared<Dataset>();
   ds->name = std::move(name);
   ds->version = NextSnapshotVersion();
-  ds->d0 = std::move(d0);
+  ds->root = ds->version;
+  ds->d0_state =
+      std::make_shared<const relational::Database>(std::move(d0));
   ds->log = std::move(log);
   ds->dirty = std::move(dirty);
   return Snapshot(std::move(ds));
@@ -28,6 +31,57 @@ Snapshot MakeSnapshot(relational::QueryLog log, relational::Database d0,
   relational::Database dirty = relational::ExecuteLog(log, d0);
   return MakeSnapshot(std::move(log), std::move(d0), std::move(dirty),
                       std::move(name));
+}
+
+Snapshot AppendSnapshot(const Snapshot& base, relational::QueryLog tail) {
+  QFIX_CHECK(static_cast<bool>(base)) << "append on an empty snapshot";
+  const Dataset& old = *base;
+  auto ds = std::make_shared<Dataset>();
+  ds->name = old.name;
+  ds->version = NextSnapshotVersion();
+  ds->root = old.root;
+  ds->d0_state = old.d0_state;  // structural sharing, no copy
+  ds->chunks = old.chunks;      // shared_ptr copies, no chunk is rebuilt
+  if (old.tail_begin() < old.log.size()) {
+    ds->chunks.push_back(ingest::SealChunk(
+        old.log, old.tail_begin(), old.log.size(),
+        old.d0().schema().num_attrs(), old.tail_slots(), old.chunk_sig()));
+  }
+  ds->log = old.log;
+  for (relational::Query& q : tail) ds->log.push_back(std::move(q));
+  // The only per-append tuple work: clone the base's dirty state and
+  // replay just the appended queries onto it.
+  ds->dirty = old.dirty.Clone();
+  for (size_t qi = old.log.size(); qi < ds->log.size(); ++qi) {
+    relational::ApplyQuery(ds->log[qi], ds->dirty);
+  }
+  return Snapshot(std::move(ds));
+}
+
+uint64_t WindowSignature(const Dataset& dataset,
+                         const provenance::ComplaintSet& complaints) {
+  const AttrSet attrs = complaints.ComplaintAttributes(dataset.dirty);
+  std::vector<int64_t> tids;
+  tids.reserve(complaints.size());
+  for (const provenance::Complaint& c : complaints.complaints()) {
+    tids.push_back(c.tid);
+  }
+  // Tail first: if the mutable tail can touch the complaints, the
+  // window covers the whole log of THIS version — salt with the
+  // process-unique version so no other version ever shares the key.
+  if (ingest::QueriesAffect(dataset.log, dataset.tail_begin(),
+                            dataset.log.size(), dataset.tail_slots(), attrs,
+                            tids)) {
+    return ingest::MixHash(dataset.chunk_sig(), dataset.version);
+  }
+  // Otherwise the window ends at the last affecting sealed chunk; its
+  // prefix signature covers everything before it by construction.
+  for (size_t i = dataset.chunks.size(); i-- > 0;) {
+    if (ingest::ChunkAffects(*dataset.chunks[i], attrs, tids)) {
+      return dataset.chunks[i]->prefix_sig;
+    }
+  }
+  return ingest::EmptyPrefixSig(dataset.root);
 }
 
 }  // namespace cache

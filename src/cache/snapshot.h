@@ -1,4 +1,4 @@
-// Versioned zero-copy diagnosis snapshots.
+// Versioned zero-copy diagnosis snapshots with chunked, appendable logs.
 //
 // A Dataset is the paper's system-model triple — trusted checkpoint D0,
 // the executed query log Q, and the replayed dirty state D_n — frozen
@@ -9,6 +9,18 @@
 // construction: (name, version) is the identity the report cache keys
 // on, and a re-registered name gets a fresh version, which is what makes
 // stale cache entries unreachable without any coordination.
+//
+// Incremental ingest (src/ingest): a dataset's log is an ordered list
+// of frozen chunks plus a mutable tail (the queries since the last
+// seal). AppendSnapshot() seals the tail into a chunk and mints a
+// *derived* version that structurally shares the D0 checkpoint and
+// every prior chunk with its base — the only per-append materialization
+// is the new dirty state (one Clone of the base's dirty plus a replay
+// of just the appended queries) and a flattened copy of the query list.
+// No Database is ever implicitly copied (Database::CopyCount() stays
+// flat across appends). `root` names the originating registration: all
+// versions derived from it share the root, which anchors chunk prefix
+// signatures so lineages of different registrations never collide.
 #ifndef QFIX_CACHE_SNAPSHOT_H_
 #define QFIX_CACHE_SNAPSHOT_H_
 
@@ -16,7 +28,10 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "ingest/chunk.h"
+#include "provenance/complaint.h"
 #include "relational/database.h"
 #include "relational/query.h"
 
@@ -33,11 +48,37 @@ struct Dataset {
   std::string name;
   /// Process-unique registration id (see NextSnapshotVersion()).
   uint64_t version = 0;
-  relational::Database d0;
+  /// Version of the registration this dataset descends from: equal to
+  /// `version` for a fresh registration, inherited across appends.
+  uint64_t root = 0;
+  /// Trusted checkpoint D0, shared (never copied) across every version
+  /// derived from one registration.
+  std::shared_ptr<const relational::Database> d0_state =
+      std::make_shared<relational::Database>();
   relational::QueryLog log;
   /// The observed final state, replay of `log` on `d0` — what
   /// complaints are filed against.
   relational::Database dirty;
+  /// Sealed immutable chunks covering log[0, tail_begin()), oldest
+  /// first; the remaining queries are the mutable tail. Shared by
+  /// reference with every version extending this one.
+  std::vector<ingest::LogChunkPtr> chunks;
+
+  const relational::Database& d0() const { return *d0_state; }
+  /// First log index not covered by a sealed chunk.
+  size_t tail_begin() const {
+    return chunks.empty() ? 0 : chunks.back()->end;
+  }
+  /// Database slots entering the tail (D0 slots plus sealed INSERTs).
+  size_t tail_slots() const {
+    return chunks.empty() ? d0_state->NumSlots() : chunks.back()->slots_after;
+  }
+  /// Signature of the full sealed-chunk prefix (the empty-prefix
+  /// signature when nothing is sealed yet).
+  uint64_t chunk_sig() const {
+    return chunks.empty() ? ingest::EmptyPrefixSig(root)
+                          : chunks.back()->prefix_sig;
+  }
 };
 
 /// A cheap, copyable handle on an immutable Dataset. Copying a Snapshot
@@ -71,6 +112,31 @@ Snapshot MakeSnapshot(relational::QueryLog log, relational::Database d0,
 /// on `d0`.
 Snapshot MakeSnapshot(relational::QueryLog log, relational::Database d0,
                       std::string name = "");
+
+/// Derives a new version of `base` whose log is extended by `tail`:
+/// seals the base's mutable tail into a chunk (when non-empty), shares
+/// D0 and every prior chunk structurally, and replays only the appended
+/// queries onto a clone of the base's dirty state. O(N_D + |tail|)
+/// materialization regardless of total log length.
+Snapshot AppendSnapshot(const Snapshot& base, relational::QueryLog tail);
+
+/// The chunk-prefix signature of the log window `complaints` can
+/// observe: the prefix ending at the last sealed chunk whose writes
+/// (UPDATE SET targets, DELETE liveness, INSERT slot ranges) intersect
+/// the complaints' attributes or tuples. When the mutable tail itself
+/// can affect the complaints the signature is salted with the dataset
+/// version (never shared across versions); when nothing affects them it
+/// is the empty-prefix signature. Report-cache keys built from this
+/// survive appends that cannot change the report: a query outside the
+/// window neither corrupted the complained-about cells (its writes are
+/// disjoint) nor can a parameter repair make it do so (repairs change
+/// constants, never the set of written attributes).
+///
+/// Caveat: a surviving hit re-renders the report of the version the
+/// window was first diagnosed on; its query indexes refer to the shared
+/// log prefix, which appends never change.
+uint64_t WindowSignature(const Dataset& dataset,
+                         const provenance::ComplaintSet& complaints);
 
 }  // namespace cache
 }  // namespace qfix

@@ -16,6 +16,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Unbounded";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kAborted:
+      return "Aborted";
     case StatusCode::kUnsupported:
       return "Unsupported";
     case StatusCode::kInternal:

@@ -25,6 +25,10 @@ enum class StatusCode {
   kUnbounded,
   /// A resource budget (time limit, node limit) was exhausted.
   kResourceExhausted,
+  /// The operation lost a race with a concurrent conflicting update
+  /// (e.g. an append raced by a re-registration) and was rolled back;
+  /// the caller may retry against the new state.
+  kAborted,
   /// The requested operation is outside the supported query fragment.
   kUnsupported,
   /// An internal invariant was violated; indicates a library bug.
@@ -61,6 +65,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
   }
@@ -78,6 +85,7 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
 

@@ -1,0 +1,114 @@
+#include "ingest/chunk.h"
+
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace qfix {
+namespace ingest {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+/// Queries in [begin, end) summarized into an existing chunk skeleton:
+/// written attributes, DELETE presence, and the slot high-water mark.
+void SummarizeQueries(const relational::QueryLog& log, size_t begin,
+                      size_t end, AttrSet* writes, bool* has_delete,
+                      size_t* slots) {
+  for (size_t i = begin; i < end; ++i) {
+    const relational::Query& q = log[i];
+    switch (q.type()) {
+      case relational::QueryType::kUpdate:
+        for (const relational::SetClause& sc : q.set_clauses()) {
+          writes->Insert(sc.attr);
+        }
+        break;
+      case relational::QueryType::kDelete:
+        // A repaired DELETE predicate could match any tuple: treat the
+        // chunk as writing liveness (and thus every attribute).
+        *has_delete = true;
+        for (size_t a = 0; a < writes->capacity(); ++a) writes->Insert(a);
+        break;
+      case relational::QueryType::kInsert:
+        // Covered by the [slots_before, slots_after) range instead of
+        // the attribute summary: an INSERT only touches its own slot.
+        ++*slots;
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t MixHash(uint64_t seed, uint64_t value) {
+  uint64_t h = seed;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (i * 8)) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t NextChunkId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t EmptyPrefixSig(uint64_t root_version) {
+  return MixHash(kFnvOffset, root_version);
+}
+
+LogChunkPtr SealChunk(const relational::QueryLog& log, size_t begin,
+                      size_t end, size_t num_attrs, size_t slots_before,
+                      uint64_t prev_sig) {
+  QFIX_CHECK(begin < end && end <= log.size())
+      << "chunk range [" << begin << ", " << end << ") vs log size "
+      << log.size();
+  auto chunk = std::make_shared<LogChunk>();
+  chunk->id = NextChunkId();
+  chunk->begin = begin;
+  chunk->end = end;
+  chunk->writes = AttrSet(num_attrs);
+  chunk->slots_before = slots_before;
+  chunk->slots_after = slots_before;
+  SummarizeQueries(log, begin, end, &chunk->writes, &chunk->has_delete,
+                   &chunk->slots_after);
+  chunk->prefix_sig = MixHash(prev_sig, chunk->id);
+  return chunk;
+}
+
+bool QueriesAffect(const relational::QueryLog& log, size_t begin, size_t end,
+                   size_t slots_before, const AttrSet& attrs,
+                   const std::vector<int64_t>& tids) {
+  AttrSet writes(attrs.capacity());
+  bool has_delete = false;
+  size_t slots_after = slots_before;
+  SummarizeQueries(log, begin, end, &writes, &has_delete, &slots_after);
+  if (has_delete) return true;
+  if (writes.Intersects(attrs)) return true;
+  for (int64_t tid : tids) {
+    if (tid >= 0 && static_cast<size_t>(tid) >= slots_before &&
+        static_cast<size_t>(tid) < slots_after) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ChunkAffects(const LogChunk& chunk, const AttrSet& attrs,
+                  const std::vector<int64_t>& tids) {
+  if (chunk.has_delete) return true;
+  if (chunk.writes.Intersects(attrs)) return true;
+  for (int64_t tid : tids) {
+    if (tid >= 0 && static_cast<size_t>(tid) >= chunk.slots_before &&
+        static_cast<size_t>(tid) < chunk.slots_after) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ingest
+}  // namespace qfix

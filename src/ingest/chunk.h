@@ -1,0 +1,98 @@
+// Log chunks: the unit of structural sharing for incremental ingest.
+//
+// A registered dataset's query log is split into an ordered list of
+// frozen, immutable chunks plus a small mutable tail (the queries
+// appended since the last seal). Appending seals the current tail into
+// a chunk and mints a derived dataset version that shares every prior
+// chunk (and the D0 checkpoint) by reference — no tuple is ever copied.
+//
+// Each chunk carries:
+//  - the log index range it covers ([begin, end)),
+//  - a conservative summary of what it can touch: the attributes
+//    written by its UPDATEs (SET-clause targets) and DELETEs (all
+//    attributes — a repaired DELETE predicate could match anything),
+//    plus the slot range its INSERTs occupy,
+//  - a prefix signature: a hash chain over chunk ids anchored at the
+//    originating registration's version, so two datasets (or two
+//    registrations of one name) never share a signature by accident.
+//
+// The signature is what the encoding cache and the prefix-aware report
+// cache key on: equal prefix signature == byte-identical log prefix.
+#ifndef QFIX_INGEST_CHUNK_H_
+#define QFIX_INGEST_CHUNK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/attr_set.h"
+#include "relational/query.h"
+
+namespace qfix {
+namespace ingest {
+
+/// Mixes `value` into `seed` (FNV-1a over the value's bytes,
+/// order-sensitive). Local to ingest so the module stays below cache in
+/// the dependency order; the constants match cache::HashCombine.
+uint64_t MixHash(uint64_t seed, uint64_t value);
+
+/// Mints a process-unique chunk id. Thread-safe; never returns 0.
+uint64_t NextChunkId();
+
+/// Signature of the empty chunk prefix of a registration: anchored at
+/// the registration's version so re-registering a name (fresh version)
+/// can never collide with signatures of the old lineage.
+uint64_t EmptyPrefixSig(uint64_t root_version);
+
+/// One frozen slice of a query log. Immutable after sealing; shared by
+/// every dataset version whose log extends it.
+struct LogChunk {
+  /// Process-unique id (hash-chain ingredient).
+  uint64_t id = 0;
+  /// Covered log index range [begin, end), end exclusive.
+  size_t begin = 0;
+  size_t end = 0;
+  /// Attributes this chunk's queries may write: UPDATE SET targets plus
+  /// every attribute for chunks containing a DELETE (a repaired DELETE
+  /// predicate could match any tuple, so liveness — and with it every
+  /// attribute — is conservatively "written").
+  AttrSet writes;
+  bool has_delete = false;
+  /// Slot range occupied by this chunk's INSERTs: the database had
+  /// `slots_before` slots entering the chunk and `slots_after` leaving
+  /// it, so tids in [slots_before, slots_after) are born here.
+  size_t slots_before = 0;
+  size_t slots_after = 0;
+  /// Hash chain over [registration version, chunk ids...] up to and
+  /// including this chunk (see EmptyPrefixSig).
+  uint64_t prefix_sig = 0;
+};
+
+using LogChunkPtr = std::shared_ptr<const LogChunk>;
+
+/// Seals log[begin, end) into a chunk. `slots_before` is the number of
+/// database slots entering the chunk (D0 slots plus prior INSERTs);
+/// `prev_sig` is the signature of the chunk prefix being extended
+/// (EmptyPrefixSig for the first chunk). Requires begin < end.
+LogChunkPtr SealChunk(const relational::QueryLog& log, size_t begin,
+                      size_t end, size_t num_attrs, size_t slots_before,
+                      uint64_t prev_sig);
+
+/// Whether queries log[begin, end) could corrupt — or, repaired, could
+/// fix — a complaint window described by its attribute set and tids:
+/// true iff some query writes an attribute in `attrs`, some DELETE is
+/// present (liveness), or some INSERT occupies a complained-about slot.
+/// This is the tail-side counterpart of ChunkAffects, computed on the
+/// fly because the tail has no sealed summary.
+bool QueriesAffect(const relational::QueryLog& log, size_t begin, size_t end,
+                   size_t slots_before, const AttrSet& attrs,
+                   const std::vector<int64_t>& tids);
+
+/// Sealed-chunk variant of QueriesAffect using the frozen summary.
+bool ChunkAffects(const LogChunk& chunk, const AttrSet& attrs,
+                  const std::vector<int64_t>& tids);
+
+}  // namespace ingest
+}  // namespace qfix
+
+#endif  // QFIX_INGEST_CHUNK_H_

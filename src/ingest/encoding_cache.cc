@@ -1,0 +1,162 @@
+#include "ingest/encoding_cache.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "relational/executor.h"
+
+namespace qfix {
+namespace ingest {
+
+namespace {
+
+/// Mirrors the registry's resident-size estimate so the two budgets
+/// speak the same unit (a sizing knob, not an allocator contract).
+constexpr size_t kPerTupleOverhead = 48;
+constexpr size_t kPerEntryOverhead = 256;
+
+size_t StateBytes(const relational::Database& db) {
+  return kPerEntryOverhead +
+         db.NumSlots() *
+             (db.schema().num_attrs() * sizeof(double) + kPerTupleOverhead);
+}
+
+}  // namespace
+
+size_t EncodingCache::KeyHash::operator()(const Key& key) const {
+  uint64_t h = key.sig;
+  for (char c : key.dataset) {
+    h = MixHash(h, static_cast<uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return static_cast<size_t>(h);
+}
+
+EncodingCache::EncodingCache(size_t max_bytes) : max_bytes_(max_bytes) {}
+
+std::shared_ptr<const relational::Database> EncodingCache::Get(
+    std::string_view dataset, uint64_t prefix_sig) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(Key{std::string(dataset), prefix_sig});
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.state;
+}
+
+void EncodingCache::PutLocked(
+    Key key, std::shared_ptr<const relational::Database> state) {
+  const size_t new_bytes = StateBytes(*state);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    bytes_ -= std::min(bytes_, it->second.bytes);
+    it->second.state = std::move(state);
+    it->second.bytes = new_bytes;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  } else {
+    lru_.push_front(key);
+    Entry entry;
+    entry.state = std::move(state);
+    entry.bytes = new_bytes;
+    entry.lru_it = lru_.begin();
+    map_.emplace(std::move(key), std::move(entry));
+  }
+  bytes_ += new_bytes;
+  ++inserts_;
+  while (max_bytes_ > 0 && bytes_ > max_bytes_ && lru_.size() > 1) {
+    auto victim = map_.find(lru_.back());
+    QFIX_CHECK(victim != map_.end());
+    bytes_ -= std::min(bytes_, victim->second.bytes);
+    lru_.pop_back();
+    map_.erase(victim);
+    ++evictions_;
+  }
+}
+
+void EncodingCache::Put(std::string_view dataset, uint64_t prefix_sig,
+                        std::shared_ptr<const relational::Database> state) {
+  if (state == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  PutLocked(Key{std::string(dataset), prefix_sig}, std::move(state));
+}
+
+std::shared_ptr<const relational::Database> EncodingCache::GetOrCompute(
+    std::string_view dataset, const std::vector<LogChunkPtr>& chunks,
+    size_t chunk_index, const relational::Database& d0,
+    const relational::QueryLog& log) {
+  QFIX_CHECK(chunk_index < chunks.size());
+  const uint64_t target_sig = chunks[chunk_index]->prefix_sig;
+  const size_t target_end = chunks[chunk_index]->end;
+  QFIX_CHECK(target_end <= log.size());
+
+  // Find the deepest cached boundary at or below the target.
+  std::shared_ptr<const relational::Database> base;
+  size_t base_end = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = chunk_index + 1; i-- > 0;) {
+      auto it = map_.find(Key{std::string(dataset), chunks[i]->prefix_sig});
+      if (it == map_.end()) continue;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      if (i == chunk_index) {
+        ++hits_;
+        return it->second.state;
+      }
+      base = it->second.state;
+      base_end = chunks[i]->end;
+      break;
+    }
+    ++misses_;
+  }
+
+  // Fill the gap outside the lock: replay only [base_end, target_end),
+  // starting from the cached ancestor (or D0). Concurrent identical
+  // computes race benignly — both replay the same immutable prefix.
+  relational::Database state =
+      base != nullptr ? base->Clone() : d0.Clone();
+  for (size_t qi = base_end; qi < target_end; ++qi) {
+    relational::ApplyQuery(log[qi], state);
+  }
+  auto published = std::make_shared<const relational::Database>(
+      std::move(state));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++computes_;
+    PutLocked(Key{std::string(dataset), target_sig}, published);
+  }
+  return published;
+}
+
+void EncodingCache::EraseDataset(std::string_view dataset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->first.dataset == dataset) {
+      bytes_ -= std::min(bytes_, it->second.bytes);
+      lru_.erase(it->second.lru_it);
+      it = map_.erase(it);
+      ++invalidations_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+EncodingCache::Stats EncodingCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.computes = computes_;
+  out.inserts = inserts_;
+  out.evictions = evictions_;
+  out.invalidations = invalidations_;
+  out.bytes = bytes_;
+  out.entries = map_.size();
+  out.capacity_bytes = max_bytes_;
+  return out;
+}
+
+}  // namespace ingest
+}  // namespace qfix

@@ -1,0 +1,130 @@
+// EncodingCache: memoized per-(dataset, chunk-prefix) replay states.
+//
+// The expensive part of re-encoding a grown log is walking every query
+// over every tuple again. With constant folding on, the encoder folds
+// all queries before the first *parameterized* one down to plain
+// constant propagation — exactly what the relational executor computes.
+// So the encoding of an unchanged chunk prefix is fully captured by one
+// thing: the database state after replaying that prefix. This cache
+// memoizes those states keyed by (dataset name, chunk prefix
+// signature); the engine feeds a cached state into the encoder as the
+// tuple initialization and starts its per-tuple query walk at the
+// prefix boundary, re-encoding only the appended tail.
+//
+// Entries are deep Clones, never aliases into a Dataset: an aliasing
+// shared_ptr would keep an old dataset version (and everything its
+// lineage pins in the registry) alive for as long as the cache held the
+// entry. Clone cost is paid once per (dataset, boundary) and the clone
+// is O(N_D), independent of log length.
+//
+// Thread-safe. Misses compute outside the lock; concurrent identical
+// computes race benignly (last write wins — the values are equal by
+// construction, both are replays of the same immutable prefix).
+#ifndef QFIX_INGEST_ENCODING_CACHE_H_
+#define QFIX_INGEST_ENCODING_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ingest/chunk.h"
+#include "relational/database.h"
+#include "relational/query.h"
+
+namespace qfix {
+namespace ingest {
+
+class EncodingCache {
+ public:
+  /// `max_bytes` bounds the sum of cached state bytes (tuple storage
+  /// estimate plus a small per-entry overhead); least recently used
+  /// entries are evicted beyond it.
+  explicit EncodingCache(size_t max_bytes);
+
+  EncodingCache(const EncodingCache&) = delete;
+  EncodingCache& operator=(const EncodingCache&) = delete;
+
+  /// The cached state for `prefix_sig`, or nullptr. Refreshes recency.
+  std::shared_ptr<const relational::Database> Get(std::string_view dataset,
+                                                  uint64_t prefix_sig);
+
+  /// Publishes a state for `prefix_sig`. `state` must be an owned
+  /// snapshot (a Clone), not an alias into a live Dataset. Last write
+  /// wins on duplicate keys.
+  void Put(std::string_view dataset, uint64_t prefix_sig,
+           std::shared_ptr<const relational::Database> state);
+
+  /// The replay state at the boundary after chunks[chunk_index].
+  /// On a miss, walks back to the nearest cached shallower boundary in
+  /// the same lineage (or `d0`), replays the gap forward, publishes the
+  /// target boundary, and returns it. `log` must be the log the chunks
+  /// were sealed from (any version extending them — chunk ranges index
+  /// into it identically).
+  std::shared_ptr<const relational::Database> GetOrCompute(
+      std::string_view dataset, const std::vector<LogChunkPtr>& chunks,
+      size_t chunk_index, const relational::Database& d0,
+      const relational::QueryLog& log);
+
+  /// Drops every entry of `dataset` (re-registration, eviction).
+  void EraseDataset(std::string_view dataset);
+
+  struct Stats {
+    /// Prefix lookups served from a cached state (includes
+    /// GetOrCompute calls that only had to extend a shallower hit).
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    /// Replays performed to fill a miss (each covers only the gap from
+    /// the nearest cached ancestor, not the whole prefix).
+    uint64_t computes = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+    size_t bytes = 0;
+    size_t entries = 0;
+    size_t capacity_bytes = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Key {
+    std::string dataset;
+    uint64_t sig = 0;
+    bool operator==(const Key& other) const {
+      return sig == other.sig && dataset == other.dataset;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+  struct Entry {
+    std::shared_ptr<const relational::Database> state;
+    size_t bytes = 0;
+    std::list<Key>::iterator lru_it;
+  };
+
+  /// Inserts/overwrites under mu_ and evicts past the budget.
+  void PutLocked(Key key, std::shared_ptr<const relational::Database> state);
+
+  size_t max_bytes_;
+  mutable std::mutex mu_;
+  std::unordered_map<Key, Entry, KeyHash> map_;
+  /// Front = most recently used.
+  std::list<Key> lru_;
+  size_t bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t computes_ = 0;
+  uint64_t inserts_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace ingest
+}  // namespace qfix
+
+#endif  // QFIX_INGEST_ENCODING_CACHE_H_

@@ -95,7 +95,14 @@ BatchItem MakeBatchItem(cache::Snapshot data,
 cache::CacheKey ItemCacheKey(const BatchItem& item) {
   cache::CacheKey key;
   key.dataset = item.data ? item.data.name() : std::string();
-  key.version = item.data.version();
+  // Prefix-aware identity (incremental ingest): instead of the exact
+  // snapshot version, key on the signature of the chunk prefix this
+  // complaint window can actually observe. Versions derived by append
+  // share it unless the appended queries can affect the complaints, so
+  // reports survive unrelated appends; for an unchunked dataset it
+  // degenerates to a version-unique value (same behavior as before).
+  key.version =
+      item.data ? cache::WindowSignature(*item.data, item.complaints) : 0;
   uint64_t h = cache::HashComplaints(item.complaints);
   h = cache::HashCombine(h, static_cast<uint64_t>(item.k));
   h = cache::HashCombine(h, OptionsFingerprint(item.options));
@@ -182,7 +189,7 @@ std::vector<Result<Repair>> BatchDiagnoser::Run(
       if (lead.has_value() && result.ok() && result->stats.optimal) {
         cache::CachedReport report;
         report.report_json =
-            RepairToJson(*result, item.data->log, item.data->d0,
+            RepairToJson(*result, item.data->log, item.data->d0(),
                          item.data->dirty, item.complaints);
         report.payload = std::make_shared<const Repair>(*result);
         lead->Publish(std::move(report));

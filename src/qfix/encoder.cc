@@ -112,6 +112,41 @@ class Encoder {
         return Status::InvalidArgument("tuple slot beyond final state");
       }
     }
+    if (req_.prefix_len > 0) {
+      if (req_.prefix_state == nullptr) {
+        return Status::InvalidArgument("prefix_len set without prefix_state");
+      }
+      if (req_.prefix_len > n) {
+        return Status::InvalidArgument("prefix_len beyond the log");
+      }
+      if (!req_.options.fold_constants) {
+        // Without folding even unparameterized prefix queries emit
+        // pinned-variable constraints, so skipping them changes the
+        // model; the prefix shortcut is only equivalent under folding.
+        return Status::InvalidArgument(
+            "prefix reuse requires fold_constants");
+      }
+      for (size_t i = 0; i < req_.prefix_len; ++i) {
+        if (req_.parameterized[i]) {
+          return Status::InvalidArgument(
+              "prefix covers a parameterized query");
+        }
+      }
+      if (req_.prefix_state->schema().num_attrs() != num_attrs_) {
+        return Status::InvalidArgument("prefix state schema mismatch");
+      }
+      size_t prefix_inserts = 0;
+      for (size_t i = 0; i < req_.prefix_len; ++i) {
+        if ((*req_.log)[i].type() == relational::QueryType::kInsert) {
+          ++prefix_inserts;
+        }
+      }
+      if (req_.prefix_state->NumSlots() !=
+          req_.d0->NumSlots() + prefix_inserts) {
+        return Status::InvalidArgument(
+            "prefix state slot count does not match the prefix replay");
+      }
+    }
     return Status::OK();
   }
 
@@ -521,17 +556,23 @@ class Encoder {
 
     std::vector<Affine> cells(num_attrs_, Affine::Const(0.0));
     BoolVal alive = BoolVal::Const(true);
-    bool exists = tid < static_cast<int64_t>(req_.d0->NumSlots());
+    // With a prefix, the starting point is the replayed prefix state
+    // (which already accounts for prefix INSERTs/DELETEs) and the walk
+    // begins at the first post-prefix query.
+    const relational::Database* init_db =
+        req_.prefix_len > 0 ? req_.prefix_state : req_.d0;
+    bool exists = tid < static_cast<int64_t>(init_db->NumSlots());
     bool broken = false;  // a sliced-away DELETE made liveness unknown
 
     if (exists) {
-      const relational::Tuple& t0 = req_.d0->slot(slot);
+      const relational::Tuple& t0 = init_db->slot(slot);
+      alive = BoolVal::Const(t0.alive);
       for (size_t a = 0; a < num_attrs_; ++a) {
         cells[a] = Affine::Const(t0.values[a]);
       }
     }
 
-    for (size_t qi = 0; qi < log.size() && !broken; ++qi) {
+    for (size_t qi = req_.prefix_len; qi < log.size() && !broken; ++qi) {
       const Query& q = log[qi];
       const bool enc = req_.encoded[qi];
 

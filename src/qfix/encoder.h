@@ -129,6 +129,18 @@ struct EncodeRequest {
   /// are penalized via EncoderOptions::soft_match_weight.
   std::vector<size_t> soft_slots;
 
+  /// Incremental ingest (src/ingest): reuse the replayed state of the
+  /// unchanged log prefix instead of re-walking it. When prefix_len >
+  /// 0, tuples are initialized from `prefix_state` (the executor state
+  /// after log[0, prefix_len)) and the per-tuple query walk starts at
+  /// prefix_len. Sound exactly when no query in the prefix is
+  /// parameterized and constant folding is on: every prefix cell is
+  /// then a plain constant and the encoder's fold of the prefix IS the
+  /// executor's replay, so skipping it changes nothing in the model.
+  /// Both are validated. `prefix_state` must outlive the call.
+  const relational::Database* prefix_state = nullptr;
+  size_t prefix_len = 0;
+
   EncoderOptions options;
 };
 

@@ -7,6 +7,7 @@
 
 #include "common/strings.h"
 #include "common/timer.h"
+#include "ingest/encoding_cache.h"
 #include "relational/executor.h"
 
 namespace qfix {
@@ -106,7 +107,7 @@ QFixEngine::QFixEngine(cache::Snapshot data,
                        QFixOptions options)
     : data_(std::move(data)),
       log_(data_->log),
-      d0_(data_->d0),
+      d0_(data_->d0()),
       dirty_(data_->dirty),
       complaints_(std::move(complaints)),
       options_(options) {
@@ -172,6 +173,36 @@ Result<Repair> QFixEngine::SolveAttempt(
     filter = provenance::RelevantAttributes(log_, active, complaint_attrs_,
                                             num_attrs_);
     req.attr_filter = &filter;
+  }
+
+  // Incremental ingest: start the encoding from the memoized replay of
+  // the deepest sealed chunk prefix below the first parameterized query
+  // (the encoder validates the soundness conditions — see
+  // EncodeRequest::prefix_state). Held via shared_ptr through encode
+  // and refinement; the refinement request copies `req`, so the prefix
+  // carries over.
+  std::shared_ptr<const relational::Database> prefix_state;
+  if (options_.encoding_cache != nullptr && !data_->chunks.empty() &&
+      options_.encoder.fold_constants) {
+    size_t first_param = log_.size();
+    for (size_t i = 0; i < log_.size(); ++i) {
+      if (parameterized[i]) {
+        first_param = i;
+        break;
+      }
+    }
+    size_t chunk_index = data_->chunks.size();
+    for (size_t ci = 0; ci < data_->chunks.size(); ++ci) {
+      if (data_->chunks[ci]->end <= first_param) chunk_index = ci;
+    }
+    if (chunk_index < data_->chunks.size()) {
+      prefix_state = options_.encoding_cache->GetOrCompute(
+          data_->name, data_->chunks, chunk_index, d0_, log_);
+      if (prefix_state != nullptr) {
+        req.prefix_state = prefix_state.get();
+        req.prefix_len = data_->chunks[chunk_index]->end;
+      }
+    }
   }
 
   QFIX_ASSIGN_OR_RETURN(EncodedProblem problem, Encode(req));

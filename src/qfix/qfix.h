@@ -30,6 +30,10 @@
 #include "relational/query.h"
 
 namespace qfix {
+namespace ingest {
+class EncodingCache;
+}  // namespace ingest
+
 namespace qfixcore {
 
 struct QFixOptions {
@@ -53,6 +57,14 @@ struct QFixOptions {
   double time_limit_seconds = 120.0;
   /// Objective weight of the step-2 parameter-distance tiebreak.
   double refine_distance_weight = 1e-3;
+
+  /// Incremental ingest: when set and the snapshot carries sealed
+  /// chunks, attempts reuse the memoized replay of the deepest chunk
+  /// prefix below the first parameterized query, re-encoding only the
+  /// tail (see ingest/encoding_cache.h). Non-owning, may be null.
+  /// Deliberately NOT part of any cache fingerprint: it changes encode
+  /// cost, never results.
+  ingest::EncodingCache* encoding_cache = nullptr;
 
   EncoderOptions encoder;
   milp::MilpOptions milp;

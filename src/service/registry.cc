@@ -51,8 +51,19 @@ size_t DatabaseBytes(const relational::Database& db) {
 
 size_t ApproxDatasetBytes(const Dataset& dataset) {
   return kPerDatasetOverhead + dataset.name.size() +
-         DatabaseBytes(dataset.d0) + DatabaseBytes(dataset.dirty) +
+         DatabaseBytes(dataset.d0()) + DatabaseBytes(dataset.dirty) +
          dataset.log.size() * kPerQueryOverhead;
+}
+
+bool DatasetRegistry::PinnedLocked(Entry& entry) {
+  if (entry.dataset.use_count() > 1) return true;
+  auto& lineage = entry.lineage;
+  lineage.erase(std::remove_if(lineage.begin(), lineage.end(),
+                               [](const std::weak_ptr<const Dataset>& w) {
+                                 return w.expired();
+                               }),
+                lineage.end());
+  return !lineage.empty();
 }
 
 DatasetRegistry::DatasetRegistry(RegistryOptions options)
@@ -135,17 +146,31 @@ Result<std::shared_ptr<const Dataset>> DatasetRegistry::Register(
   auto ds = std::make_shared<Dataset>();
   ds->name = name;
   // Fresh identity per registration: a replaced name gets a new
-  // version, which is what strands stale report-cache entries.
+  // version, which is what strands stale report-cache entries. The
+  // root anchors chunk prefix signatures for the append lineage.
   ds->version = cache::NextSnapshotVersion();
+  ds->root = ds->version;
   // Auto-detect the checkpoint format the CLI also accepts.
+  relational::Database d0;
   if (d0_text.rfind("qfix-snapshot", 0) == 0) {
-    QFIX_ASSIGN_OR_RETURN(ds->d0, io::ReadSnapshot(d0_text));
+    QFIX_ASSIGN_OR_RETURN(d0, io::ReadSnapshot(d0_text));
   } else {
-    QFIX_ASSIGN_OR_RETURN(ds->d0,
+    QFIX_ASSIGN_OR_RETURN(d0,
                           io::DatabaseFromCsv(d0_text, std::move(table_name)));
   }
-  QFIX_ASSIGN_OR_RETURN(ds->log, sql::ParseLog(log_sql, ds->d0.schema()));
-  ds->dirty = relational::ExecuteLog(ds->log, ds->d0);
+  QFIX_ASSIGN_OR_RETURN(ds->log, sql::ParseLog(log_sql, d0.schema()));
+  ds->dirty = relational::ExecuteLog(ds->log, d0);
+  ds->d0_state = std::make_shared<const relational::Database>(std::move(d0));
+  // Seal the registered log into chunk 0 right away (empty mutable
+  // tail): complaint windows diagnosed before the first append key on
+  // this chunk's prefix signature (cache::WindowSignature) instead of a
+  // version-salted one, so the FIRST append already preserves every
+  // report it cannot observe — not just the second and later ones.
+  if (!ds->log.empty()) {
+    ds->chunks.push_back(ingest::SealChunk(
+        ds->log, 0, ds->log.size(), ds->d0().schema().num_attrs(),
+        ds->d0().NumSlots(), ingest::EmptyPrefixSig(ds->root)));
+  }
 
   std::shared_ptr<const Dataset> published = std::move(ds);
   const size_t new_bytes = ApproxDatasetBytes(*published);
@@ -173,17 +198,104 @@ Result<std::shared_ptr<const Dataset>> DatasetRegistry::Register(
       it->second.dataset = published;
       it->second.bytes = new_bytes;
       bytes_ += new_bytes;
+      // Re-registration starts a fresh lineage (new root): superseded
+      // versions of the old root no longer pin the name — in-flight
+      // readers keep their own references alive regardless.
+      it->second.lineage.clear();
       TouchLocked(it->second);
     }
     EvictLocked(/*keep=*/it->first, &evicted);
   }
   // Eager invalidation outside the lock: version keys already make the
   // old entries unreachable, this just frees their bytes now.
-  if (report_cache_ != nullptr) {
-    if (replaced) report_cache_->EraseDataset(published->name);
-    for (const std::string& victim : evicted) {
-      report_cache_->EraseDataset(victim);
+  if (replaced) {
+    if (report_cache_ != nullptr) report_cache_->EraseDataset(published->name);
+    if (encoding_cache_ != nullptr) {
+      encoding_cache_->EraseDataset(published->name);
     }
+  }
+  for (const std::string& victim : evicted) {
+    if (report_cache_ != nullptr) report_cache_->EraseDataset(victim);
+    if (encoding_cache_ != nullptr) encoding_cache_->EraseDataset(victim);
+  }
+  return published;
+}
+
+Result<std::shared_ptr<const Dataset>> DatasetRegistry::Append(
+    std::string_view name, std::string_view log_sql, size_t max_queries) {
+  // Appends serialize with each other (they are cheap — O(N_D + tail));
+  // publish below is then a plain compare-against-base. Register is NOT
+  // serialized with this: a re-registration racing the parse wins and
+  // the append aborts cleanly.
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+  std::shared_ptr<const Dataset> base;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(std::string(name));
+    if (it == map_.end()) {
+      return Status::NotFound(
+          StringPrintf("no dataset named '%.*s'",
+                       static_cast<int>(name.size()), name.data()));
+    }
+    base = it->second.dataset;
+  }
+
+  // Parse outside the lock against the base schema. Any failure from
+  // here on leaves the registered version untouched — the derived
+  // dataset is built on the side and only swapped in at publish.
+  QFIX_ASSIGN_OR_RETURN(relational::QueryLog tail,
+                        sql::ParseLog(log_sql, base->d0().schema()));
+  if (tail.empty()) {
+    return Status::InvalidArgument("append contains no queries");
+  }
+  if (max_queries > 0 && tail.size() > max_queries) {
+    return Status::ResourceExhausted(StringPrintf(
+        "append of %zu queries exceeds the per-append cap (%zu)",
+        tail.size(), max_queries));
+  }
+  cache::Snapshot derived =
+      cache::AppendSnapshot(cache::Snapshot(base), std::move(tail));
+  std::shared_ptr<const Dataset> published = derived.dataset();
+  const size_t new_bytes = ApproxDatasetBytes(*published);
+
+  std::vector<std::string> evicted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(std::string(name));
+    if (it == map_.end() || it->second.dataset != base) {
+      return Status::Aborted(StringPrintf(
+          "dataset '%.*s' was re-registered or removed during the append",
+          static_cast<int>(name.size()), name.data()));
+    }
+    Entry& entry = it->second;
+    // The superseded head may still back in-flight solves; as long as
+    // one of them holds it, the whole chunk-sharing lineage pins the
+    // name against eviction.
+    entry.lineage.push_back(base);
+    bytes_ -= std::min(bytes_, entry.bytes);
+    entry.dataset = published;
+    entry.bytes = new_bytes;
+    bytes_ += new_bytes;
+    ++appends_;
+    TouchLocked(entry);
+    EvictLocked(/*keep=*/it->first, &evicted);
+  }
+
+  // Warm the encoding cache for free: the replay state after ALL
+  // sealed chunks of the new version is exactly the base's dirty state
+  // (the appended queries are the new tail). Stored as a Clone so the
+  // cache never pins the superseded dataset.
+  if (encoding_cache_ != nullptr && !published->chunks.empty()) {
+    encoding_cache_->Put(
+        published->name, published->chunks.back()->prefix_sig,
+        std::make_shared<const relational::Database>(base->dirty.Clone()));
+  }
+  // Deliberately NO report-cache invalidation for `name`: reports whose
+  // complaint window predates the append stay servable — their
+  // prefix-aware keys (cache::WindowSignature) are untouched by design.
+  for (const std::string& victim : evicted) {
+    if (report_cache_ != nullptr) report_cache_->EraseDataset(victim);
+    if (encoding_cache_ != nullptr) encoding_cache_->EraseDataset(victim);
   }
   return published;
 }
@@ -200,8 +312,9 @@ bool DatasetRegistry::Erase(std::string_view name) {
       erased = true;
     }
   }
-  if (erased && report_cache_ != nullptr) {
-    report_cache_->EraseDataset(name);
+  if (erased) {
+    if (report_cache_ != nullptr) report_cache_->EraseDataset(name);
+    if (encoding_cache_ != nullptr) encoding_cache_->EraseDataset(name);
   }
   return erased;
 }
@@ -226,10 +339,9 @@ size_t DatasetRegistry::SweepExpired() {
     EvictLocked(/*keep=*/"", &evicted);
     options_.max_bytes = saved_max_bytes;
   }
-  if (report_cache_ != nullptr) {
-    for (const std::string& victim : evicted) {
-      report_cache_->EraseDataset(victim);
-    }
+  for (const std::string& victim : evicted) {
+    if (report_cache_ != nullptr) report_cache_->EraseDataset(victim);
+    if (encoding_cache_ != nullptr) encoding_cache_->EraseDataset(victim);
   }
   return evicted.size();
 }
@@ -247,6 +359,10 @@ DatasetRegistry::Stats DatasetRegistry::stats() const {
   out.capacity_bytes = options_.max_bytes;
   out.evictions = evictions_;
   out.ttl_evictions = ttl_evictions_;
+  out.appends = appends_;
+  for (const auto& kv : map_) {
+    out.chunks += kv.second.dataset->chunks.size();
+  }
   return out;
 }
 

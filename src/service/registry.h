@@ -44,6 +44,7 @@
 #include "cache/report_cache.h"
 #include "cache/snapshot.h"
 #include "common/result.h"
+#include "ingest/encoding_cache.h"
 #include "relational/database.h"
 #include "relational/query.h"
 
@@ -86,6 +87,13 @@ class DatasetRegistry {
     report_cache_ = report_cache;
   }
 
+  /// Attaches the encoding cache to warm on append and invalidate when
+  /// a name is replaced, erased, or evicted. Non-owning; call before
+  /// serving (not thread-safe against concurrent Register).
+  void AttachEncodingCache(ingest::EncodingCache* encoding_cache) {
+    encoding_cache_ = encoding_cache;
+  }
+
   /// Parses and publishes a dataset. `d0_text` is either a CSV document
   /// (header of attribute names) or a `qfix-snapshot v1` checkpoint,
   /// auto-detected; `log_sql` is the ';'-separated executed query log.
@@ -96,6 +104,22 @@ class DatasetRegistry {
                                                   std::string_view d0_text,
                                                   std::string table_name,
                                                   std::string_view log_sql);
+
+  /// Parses `log_sql` against `name`'s schema and publishes a *derived*
+  /// version whose log is extended by those queries: the current tail
+  /// is sealed into a chunk and the new version shares D0 and every
+  /// prior chunk with its base (cache::AppendSnapshot — no deep copy).
+  /// `max_queries` caps the queries one append may carry (0 =
+  /// unbounded; past it ResourceExhausted). Atomic: any failure —
+  /// unknown name (NotFound), unparsable or empty SQL
+  /// (InvalidArgument), a concurrent re-registration winning the race
+  /// (Aborted) — leaves the registered version untouched. Appends do
+  /// NOT invalidate the name's report-cache partition; prefix-aware
+  /// keys (cache::WindowSignature) keep pre-append windows servable.
+  /// Thread-safe; appends are serialized with each other.
+  Result<std::shared_ptr<const Dataset>> Append(std::string_view name,
+                                                std::string_view log_sql,
+                                                size_t max_queries = 0);
 
   /// Removes `name` (dropping its report-cache entries too). Returns
   /// whether it was registered. In-flight readers keep their reference.
@@ -120,6 +144,10 @@ class DatasetRegistry {
     uint64_t evictions = 0;
     /// TTL sweeps (lifetime).
     uint64_t ttl_evictions = 0;
+    /// Successful Append() publications (lifetime).
+    uint64_t appends = 0;
+    /// Sealed chunks across the currently registered head versions.
+    size_t chunks = 0;
   };
   Stats stats() const;
 
@@ -133,17 +161,22 @@ class DatasetRegistry {
     double last_used = 0.0;
     /// Position in lru_ (front = most recently used).
     std::list<std::string>::iterator lru_it;
+    /// Superseded versions of this name still observable by in-flight
+    /// solves (appends push the old head here). A lockable entry means
+    /// some caller still reads a chunk-sharing ancestor, so the name is
+    /// pinned exactly like a referenced head. Expired pointers are
+    /// pruned opportunistically.
+    std::vector<std::weak_ptr<const Dataset>> lineage;
   };
 
   double NowLocked() const;
   void TouchLocked(Entry& entry) const;
-  /// Whether the snapshot is referenced outside the registry map (the
-  /// caller of the eviction scan holds no extra reference). Under mu_
-  /// nobody can acquire a new reference except through Get, which also
-  /// takes mu_ — so use_count is stable for the decision.
-  static bool PinnedLocked(const Entry& entry) {
-    return entry.dataset.use_count() > 1;
-  }
+  /// Whether the snapshot — or any superseded version of it that an
+  /// in-flight solve still holds — is referenced outside the registry
+  /// map (the caller of the eviction scan holds no extra reference).
+  /// Under mu_ nobody can acquire a new reference except through Get,
+  /// which also takes mu_ — so use_count is stable for the decision.
+  static bool PinnedLocked(Entry& entry);
   /// TTL sweep + LRU byte-pressure eviction, sparing `keep` (the name
   /// just registered) and every pinned entry. Appends evicted names to
   /// `evicted` for report-cache invalidation outside the lock.
@@ -151,6 +184,11 @@ class DatasetRegistry {
 
   RegistryOptions options_;
   cache::ReportCache* report_cache_ = nullptr;
+  ingest::EncodingCache* encoding_cache_ = nullptr;
+  /// Serializes Append() calls with each other (never held together
+  /// with mu_ across a parse): publish becomes a simple
+  /// compare-against-base, and a concurrent Register still wins.
+  std::mutex append_mu_;
   mutable std::mutex mu_;
   std::function<double()> clock_;
   /// mutable: Get() is logically const but refreshes recency.
@@ -160,6 +198,7 @@ class DatasetRegistry {
   size_t bytes_ = 0;
   uint64_t evictions_ = 0;
   uint64_t ttl_evictions_ = 0;
+  uint64_t appends_ = 0;
 };
 
 }  // namespace service

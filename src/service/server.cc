@@ -182,6 +182,11 @@ DiagnosisServer::DiagnosisServer(ServerOptions options)
         options_.cache_tenant_fraction);
     registry_.AttachReportCache(cache_.get());
   }
+  if (options_.encoding_cache_bytes > 0) {
+    encoding_cache_ =
+        std::make_unique<ingest::EncodingCache>(options_.encoding_cache_bytes);
+    registry_.AttachEncodingCache(encoding_cache_.get());
+  }
   TenantGovernor::Options gov;
   gov.capacity = options_.max_inflight;
   gov.activity_window_seconds = options_.tenant_activity_window_seconds;
@@ -426,6 +431,29 @@ bool DiagnosisServer::HandleRequest(HttpRequest request, HttpResponse* out,
         std::move(done));
     return false;
   }
+  // POST /v1/datasets/{name}/append — the dataset name is the path
+  // segment between the registration prefix and the trailing verb.
+  constexpr std::string_view kDatasetsPrefix = "/v1/datasets/";
+  constexpr std::string_view kAppendSuffix = "/append";
+  if (path.size() > kDatasetsPrefix.size() + kAppendSuffix.size() &&
+      path.compare(0, kDatasetsPrefix.size(), kDatasetsPrefix) == 0 &&
+      path.compare(path.size() - kAppendSuffix.size(), kAppendSuffix.size(),
+                   kAppendSuffix) == 0) {
+    counters_.append.fetch_add(1, std::memory_order_relaxed);
+    if (request.method != "POST") {
+      *out = JsonError(405, "MethodNotAllowed", "use POST");
+      return true;
+    }
+    std::string name = path.substr(
+        kDatasetsPrefix.size(),
+        path.size() - kDatasetsPrefix.size() - kAppendSuffix.size());
+    Offload(
+        [this, request = std::move(request), name = std::move(name)] {
+          return HandleAppend(request, name);
+        },
+        std::move(done));
+    return false;
+  }
   if (options_.enable_test_endpoints && path == "/v1/debug/sleep") {
     Offload(
         [this, request = std::move(request)] {
@@ -474,6 +502,8 @@ HttpResponse DiagnosisServer::HandleStats() {
   w.Uint(s.requests_total);
   w.Key("datasets");
   w.Uint(s.requests_datasets);
+  w.Key("append");
+  w.Uint(s.requests_append);
   w.Key("diagnose");
   w.Uint(s.requests_diagnose);
   w.Key("healthz");
@@ -548,6 +578,29 @@ HttpResponse DiagnosisServer::HandleStats() {
   w.Uint(s.registry.evictions);
   w.Key("ttl_evictions");
   w.Uint(s.registry.ttl_evictions);
+  w.EndObject();
+  w.Key("ingest");
+  w.BeginObject();
+  w.Key("appends");
+  w.Uint(s.registry.appends);
+  w.Key("chunks");
+  w.Uint(s.registry.chunks);
+  w.Key("appended_queries");
+  w.Uint(s.appended_queries);
+  w.Key("prefix_hits");
+  w.Uint(s.encoding_cache.hits);
+  w.Key("prefix_misses");
+  w.Uint(s.encoding_cache.misses);
+  w.Key("prefix_computes");
+  w.Uint(s.encoding_cache.computes);
+  w.Key("encoding_cache_enabled");
+  w.Bool(s.encoding_cache_enabled);
+  w.Key("encoding_cache_bytes");
+  w.Uint(s.encoding_cache.bytes);
+  w.Key("encoding_cache_entries");
+  w.Uint(s.encoding_cache.entries);
+  w.Key("surviving_cache_bytes");
+  w.Uint(s.surviving_cache_bytes);
   w.EndObject();
   w.Key("tenants");
   w.BeginObject();
@@ -636,13 +689,69 @@ HttpResponse DiagnosisServer::HandleRegisterDataset(
   w.Key("name");
   w.String(ds.name);
   w.Key("table");
-  w.String(ds.d0.table_name());
+  w.String(ds.d0().table_name());
   w.Key("attrs");
-  w.Uint(ds.d0.schema().num_attrs());
+  w.Uint(ds.d0().schema().num_attrs());
   w.Key("tuples");
-  w.Uint(ds.d0.NumSlots());
+  w.Uint(ds.d0().NumSlots());
   w.Key("queries");
   w.Uint(ds.log.size());
+  w.EndObject();
+  HttpResponse out;
+  out.body = w.str();
+  return out;
+}
+
+HttpResponse DiagnosisServer::HandleAppend(const HttpRequest& request,
+                                           std::string name) {
+  auto doc = ParseJson(request.body);
+  if (!doc.ok()) return StatusError(400, doc.status());
+  auto log_sql = doc->RequiredString("log_sql");
+  if (!log_sql.ok()) return StatusError(400, log_sql.status());
+
+  auto appended =
+      registry_.Append(name, *log_sql, options_.max_append_queries);
+  if (!appended.ok()) {
+    const Status& s = appended.status();
+    // Atomic by contract: any failure left the registered version
+    // untouched, so the error code is all the caller needs.
+    int http = 400;
+    if (s.IsNotFound()) {
+      http = 404;
+    } else if (s.IsResourceExhausted()) {
+      http = 413;  // the append body exceeds this server's limits
+    } else if (s.IsAborted()) {
+      http = 409;  // lost the race with a concurrent re-registration
+    } else if (!s.IsInvalidArgument()) {
+      http = 500;
+    }
+    return StatusError(http, s);
+  }
+
+  const Dataset& ds = **appended;
+  // An append seals the base's tail, so the new version's mutable tail
+  // is exactly the queries this request added.
+  const uint64_t added =
+      static_cast<uint64_t>(ds.log.size() - ds.tail_begin());
+  counters_.appended_queries.fetch_add(added, std::memory_order_relaxed);
+  // Gauge, not a counter: the report-cache bytes of this dataset that
+  // survived the append thanks to prefix-aware keys.
+  counters_.surviving_cache_bytes.store(
+      cache_ != nullptr ? cache_->DatasetBytes(ds.name) : 0,
+      std::memory_order_relaxed);
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String(ds.name);
+  w.Key("version");
+  w.Uint(ds.version);
+  w.Key("queries");
+  w.Uint(ds.log.size());
+  w.Key("appended");
+  w.Uint(added);
+  w.Key("chunks");
+  w.Uint(ds.chunks.size());
   w.EndObject();
   HttpResponse out;
   out.body = w.str();
@@ -706,7 +815,7 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
     auto complaints_csv = item.RequiredString("complaints_csv");
     if (!complaints_csv.ok()) return StatusError(400, complaints_csv.status());
     auto complaints =
-        io::ComplaintsFromCsv(*complaints_csv, di.dataset->d0.schema());
+        io::ComplaintsFromCsv(*complaints_csv, di.dataset->d0().schema());
     if (!complaints.ok()) return StatusError(400, complaints.status());
     di.complaints = std::move(complaints).value();
     if (di.complaints.empty()) {
@@ -771,6 +880,10 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
     // interrupts running searches instead of waiting out their budget.
     item.options.milp.pool = pool_.get();
     item.options.milp.cancel = shutdown_.token();
+    // Prefix reuse for appended datasets: the engine starts encoding
+    // from the memoized chunk-prefix replay instead of re-walking the
+    // whole log (no-op for unchunked datasets or a null cache).
+    item.options.encoding_cache = encoding_cache_.get();
     item.k = di.k;
     batch.push_back(std::move(item));
   }
@@ -916,7 +1029,7 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
       size_t i = solve_index[s];
       if (solved[s].ok()) {
         reports[i] = qfixcore::RepairToJson(
-            *solved[s], batch[i].data->log, batch[i].data->d0,
+            *solved[s], batch[i].data->log, batch[i].data->d0(),
             batch[i].data->dirty, batch[i].complaints);
         // Memoize only proven-optimal repairs: a limit-truncated
         // feasible incumbent depends on this request's budget and must
@@ -1070,6 +1183,7 @@ DiagnosisServer::Stats DiagnosisServer::stats() const {
   Stats s;
   s.requests_total = counters_.total.load(std::memory_order_relaxed);
   s.requests_datasets = counters_.datasets.load(std::memory_order_relaxed);
+  s.requests_append = counters_.append.load(std::memory_order_relaxed);
   s.requests_diagnose = counters_.diagnose.load(std::memory_order_relaxed);
   s.requests_health = counters_.health.load(std::memory_order_relaxed);
   s.requests_stats = counters_.stats.load(std::memory_order_relaxed);
@@ -1086,6 +1200,12 @@ DiagnosisServer::Stats DiagnosisServer::stats() const {
   s.cache_enabled = cache_ != nullptr;
   if (cache_ != nullptr) s.cache = cache_->stats();
   s.registry = registry_.stats();
+  s.appended_queries =
+      counters_.appended_queries.load(std::memory_order_relaxed);
+  s.encoding_cache_enabled = encoding_cache_ != nullptr;
+  if (encoding_cache_ != nullptr) s.encoding_cache = encoding_cache_->stats();
+  s.surviving_cache_bytes =
+      counters_.surviving_cache_bytes.load(std::memory_order_relaxed);
   s.tenants = governor_->Snapshot();
   return s;
 }

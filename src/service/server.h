@@ -48,10 +48,18 @@
 //
 // Endpoints (all JSON; see README "Running the server" for schemas):
 //   POST /v1/datasets   register a named snapshot + query log
+//   POST /v1/datasets/{name}/append
+//                       extend a registered log in place: seals the
+//                       current tail into a chunk and publishes a
+//                       derived version sharing D0 and every prior
+//                       chunk (src/ingest) — report-cache entries
+//                       whose complaint window predates the append
+//                       keep serving
 //   POST /v1/diagnose   run one-or-many complaint sets -> report_json
 //   GET  /v1/healthz    liveness + dataset count
 //   GET  /v1/stats      request counters, latency percentiles, queue,
-//                       report-cache hit/miss/eviction/bytes
+//                       report-cache hit/miss/eviction/bytes, ingest
+//                       append/chunk/prefix-reuse counters
 #ifndef QFIX_SERVICE_SERVER_H_
 #define QFIX_SERVICE_SERVER_H_
 
@@ -117,6 +125,14 @@ struct ServerOptions {
   /// snapshot zero-copy, but each still buys an admission slot and a
   /// solve, so the array length stays bounded.
   int max_items = 64;
+  /// Cap on queries one POST /v1/datasets/{name}/append may carry
+  /// (0 = unbounded). Past it the append is rejected whole with 413 —
+  /// never half-applied.
+  size_t max_append_queries = 4096;
+  /// Byte budget of the incremental-encoding cache (memoized
+  /// chunk-prefix replay states, see ingest/encoding_cache.h);
+  /// 0 disables prefix reuse (every diagnosis re-walks the full log).
+  size_t encoding_cache_bytes = 16 * 1024 * 1024;
   /// Cap applied to a request's per-item time limit (seconds); also the
   /// default when the request names none.
   double max_time_limit_seconds = 30.0;
@@ -184,6 +200,7 @@ class DiagnosisServer : private ConnectionHost {
   struct Stats {
     uint64_t requests_total = 0;
     uint64_t requests_datasets = 0;
+    uint64_t requests_append = 0;
     uint64_t requests_diagnose = 0;
     uint64_t requests_health = 0;
     uint64_t requests_stats = 0;
@@ -210,6 +227,14 @@ class DiagnosisServer : private ConnectionHost {
     cache::ReportCache::Stats cache;
     /// Registry occupancy and eviction counters.
     DatasetRegistry::Stats registry;
+    /// Incremental ingest: queries accepted via append (lifetime),
+    /// encoding-cache counters, and the report-cache bytes of the last
+    /// appended dataset that survived its append (a gauge recorded at
+    /// append time — nonzero proves prefix-aware keys kept reports).
+    uint64_t appended_queries = 0;
+    bool encoding_cache_enabled = false;
+    ingest::EncodingCache::Stats encoding_cache;
+    uint64_t surviving_cache_bytes = 0;
     /// Per-tenant breakdown (weights, shares, sheds, latency), sorted
     /// by tenant name.
     std::vector<TenantGovernor::TenantStats> tenants;
@@ -232,6 +257,11 @@ class DiagnosisServer : private ConnectionHost {
     std::atomic<uint64_t> connections{0};
     std::atomic<uint64_t> items{0};
     std::atomic<uint64_t> cached_hits{0};
+    std::atomic<uint64_t> append{0};
+    std::atomic<uint64_t> appended_queries{0};
+    /// Gauge: report-cache bytes of the appended dataset right after
+    /// its most recent append (surviving entries).
+    std::atomic<uint64_t> surviving_cache_bytes{0};
   };
 
   /// One event-loop thread plus the connections it owns (loop-thread
@@ -261,6 +291,7 @@ class DiagnosisServer : private ConnectionHost {
   HttpResponse HandleHealthz();
   HttpResponse HandleStats();
   HttpResponse HandleRegisterDataset(const HttpRequest& request);
+  HttpResponse HandleAppend(const HttpRequest& request, std::string name);
   HttpResponse HandleDiagnose(const HttpRequest& request);
   HttpResponse HandleDebugSleep(const HttpRequest& request);
   HttpResponse HandleDebugPayload(const HttpRequest& request);
@@ -269,6 +300,10 @@ class DiagnosisServer : private ConnectionHost {
   ConnectionHost::Config conn_config_;
   DatasetRegistry registry_;
   std::unique_ptr<cache::ReportCache> cache_;
+  /// Memoized chunk-prefix replay states (incremental ingest); null
+  /// when encoding_cache_bytes == 0. Wired into every diagnosis's
+  /// QFixOptions and warmed/invalidated by the registry.
+  std::unique_ptr<ingest::EncodingCache> encoding_cache_;
   /// The shared solver pool (jobs) — caller-owned by every solve.
   std::unique_ptr<exec::ThreadPool> pool_;
   /// Small pool running blocking request handlers so the loop threads

@@ -65,7 +65,7 @@ TEST(SnapshotTest, VersionsAreUniqueAndMonotone) {
 
 TEST(SnapshotTest, DerivesDirtyStateByReplay) {
   Snapshot s = MakeSnapshot(test::PaperLog(85700), test::TaxD0());
-  EXPECT_EQ(s->d0.NumSlots(), 4u);
+  EXPECT_EQ(s->d0().NumSlots(), 4u);
   EXPECT_EQ(s->dirty.NumSlots(), 5u);  // the INSERT added a tuple
 }
 
@@ -75,7 +75,7 @@ TEST(SnapshotTest, CopyingSharesStorage) {
   Snapshot t = s;
   Snapshot u = t;
   EXPECT_EQ(Database::CopyCount(), before);
-  EXPECT_EQ(&u->d0, &s->d0);
+  EXPECT_EQ(&u->d0(), &s->d0());
 }
 
 // ---------------------------------------------------------------------------
@@ -298,7 +298,7 @@ TEST(RegistryCacheTest, ReRegistrationMintsNewVersionAndInvalidates) {
 // Zero-copy + memoized BatchDiagnoser
 
 qfixcore::BatchItem PaperItem(const Snapshot& snap) {
-  Database truth = ExecuteLog(test::PaperLog(87500), snap->d0);
+  Database truth = ExecuteLog(test::PaperLog(87500), snap->d0());
   return qfixcore::MakeBatchItem(snap, DiffStates(snap->dirty, truth));
 }
 
@@ -352,9 +352,9 @@ TEST(BatchCacheTest, CacheHitSkipsSolverAndRendersByteIdenticalReport) {
   // Byte-identical rendering, including timing stats (they are the
   // original solve's, not re-measured).
   std::string cold_json = qfixcore::RepairToJson(
-      *cold[0], snap->log, snap->d0, snap->dirty, item.complaints);
+      *cold[0], snap->log, snap->d0(), snap->dirty, item.complaints);
   std::string warm_json = qfixcore::RepairToJson(
-      *warm[0], snap->log, snap->d0, snap->dirty, item.complaints);
+      *warm[0], snap->log, snap->d0(), snap->dirty, item.complaints);
   EXPECT_EQ(cold_json, warm_json);
   // And both match the published report document.
   auto entry = cache.Peek(qfixcore::ItemCacheKey(item));

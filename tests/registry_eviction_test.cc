@@ -244,7 +244,7 @@ TEST(RegistryEvictionTest, ConcurrentRegisterGetAndReadUnderPressure) {
         ASSERT_TRUE(ds.ok());
         // Touch the snapshot after publication — it may already have
         // been evicted by the other registrar, and must still read.
-        ASSERT_EQ((*ds)->d0.NumSlots(), 4u);
+        ASSERT_EQ((*ds)->d0().NumSlots(), 4u);
       }
     });
   }
@@ -259,7 +259,7 @@ TEST(RegistryEvictionTest, ConcurrentRegisterGetAndReadUnderPressure) {
         ASSERT_EQ(ds->log.size(), 3u);
         ASSERT_EQ(ds->dirty.NumSlots(), 5u);
         std::this_thread::yield();
-        ASSERT_EQ(ds->d0.NumSlots(), 4u);
+        ASSERT_EQ(ds->d0().NumSlots(), 4u);
       }
     });
   }

@@ -316,7 +316,7 @@ TEST(DatasetRegistryTest, RegistersAndGets) {
   DatasetRegistry registry;
   auto ds = registry.Register("taxes", kTaxD0Csv, "Taxes", kTaxLogSql);
   ASSERT_TRUE(ds.ok()) << ds.status().ToString();
-  EXPECT_EQ((*ds)->d0.NumSlots(), 4u);
+  EXPECT_EQ((*ds)->d0().NumSlots(), 4u);
   EXPECT_EQ((*ds)->log.size(), 3u);
   EXPECT_EQ((*ds)->dirty.NumSlots(), 5u);  // the INSERT added a tuple
   ASSERT_NE(registry.Get("taxes"), nullptr);
@@ -330,7 +330,7 @@ TEST(DatasetRegistryTest, AcceptsSnapshotCheckpoints) {
   std::string snapshot = io::WriteSnapshot(test::TaxD0());
   auto ds = registry.Register("snap", snapshot, "ignored", kTaxLogSql);
   ASSERT_TRUE(ds.ok()) << ds.status().ToString();
-  EXPECT_EQ((*ds)->d0.table_name(), "Taxes");
+  EXPECT_EQ((*ds)->d0().table_name(), "Taxes");
 }
 
 TEST(DatasetRegistryTest, RejectsBadInputs) {
@@ -409,7 +409,7 @@ TEST(DatasetRegistryTest, ConcurrentRegisterAndGet) {
           ASSERT_NE(ds, nullptr);
           // Read through the snapshot; stale is fine, torn is not.
           ASSERT_EQ(ds->log.size(), 3u);
-          ASSERT_EQ(ds->d0.NumSlots(), 4u);
+          ASSERT_EQ(ds->d0().NumSlots(), 4u);
         }
       }
     });
@@ -588,7 +588,7 @@ TEST_F(ServerTest, EndToEndMatchesLibraryResult) {
   ASSERT_EQ(results.size(), 1u);
   ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
   std::string direct_report = qfixcore::RepairToJson(
-      *results[0], item.data->log, item.data->d0, item.data->dirty,
+      *results[0], item.data->log, item.data->d0(), item.data->dirty,
       item.complaints);
 
   EXPECT_EQ(NormalizeTiming(served_report), NormalizeTiming(direct_report));

@@ -21,6 +21,7 @@
 // saw 5xx or transport errors — shed 429s are expected under overload
 // and do NOT fail the run — so CI soak lanes can assert "no errors
 // besides 429" with the exit code alone.
+#include <algorithm>
 #include <cerrno>
 #include <climits>
 #include <cstdio>
@@ -76,6 +77,13 @@ void PrintUsage(const char* argv0) {
       "  --register-fraction F\n"
       "                      share that re-registers the tenant's\n"
       "                      dataset (invalidates its cache; default 0)\n"
+      "  --append-mix F      share that appends queries to the tenant's\n"
+      "                      dataset (POST /v1/datasets/{name}/append;\n"
+      "                      the appended queries write only 'income',\n"
+      "                      so cached owed/pay reports survive;\n"
+      "                      default 0)\n"
+      "  --append-rows N     queries carried per append request\n"
+      "                      (default 4)\n"
       "  --variants N        distinct cold complaint sets per tenant\n"
       "                      (default 8)\n"
       "  --seed N            RNG seed (default 1)\n"
@@ -124,6 +132,23 @@ std::string RegisterBody(const std::string& dataset) {
   return w.str();
 }
 
+/// `rows` appended queries that write only `income` (a no-op touch of
+/// rows that don't exist): the diagnose mix complains about owed/pay,
+/// so these appends can never affect a cached report's complaint
+/// window — prefix-aware cache keys keep every report servable.
+std::string AppendBody(long rows) {
+  std::string sql;
+  for (long r = 0; r < rows; ++r) {
+    sql += "UPDATE Taxes SET income = income + 0 WHERE income < 0;\n";
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("log_sql");
+  w.String(sql);
+  w.EndObject();
+  return w.str();
+}
+
 std::string DiagnoseBody(const std::string& dataset, double pay) {
   JsonWriter w;
   w.BeginObject();
@@ -160,6 +185,8 @@ int main(int argc, char** argv) {
   std::vector<std::pair<std::string, int>> named_tenants;
   double cached_fraction = 0.5;
   double register_fraction = 0.0;
+  double append_mix = 0.0;
+  long append_rows = 4;
   long variants = 8;
   bool setup = true;
 
@@ -227,6 +254,10 @@ int main(int argc, char** argv) {
       double_flag(0.0, 1.0, &cached_fraction);
     } else if (arg == "--register-fraction") {
       double_flag(0.0, 1.0, &register_fraction);
+    } else if (arg == "--append-mix") {
+      double_flag(0.0, 1.0, &append_mix);
+    } else if (arg == "--append-rows") {
+      int_flag(1, 4096, &append_rows);
     } else if (arg == "--variants") {
       int_flag(1, 1024, &variants);
     } else if (arg == "--seed") {
@@ -276,11 +307,12 @@ int main(int argc, char** argv) {
   // Integer mix weights out of 100 request mass per tenant.
   const int w_register =
       static_cast<int>(register_fraction * 100.0 + 0.5);
+  const int w_append = static_cast<int>(append_mix * 100.0 + 0.5);
   int w_cached = static_cast<int>(cached_fraction * 100.0 + 0.5);
-  int w_cold = 100 - w_register - w_cached;
+  int w_cold = 100 - w_register - w_append - w_cached;
   if (w_cold < 0) {
     w_cold = 0;
-    w_cached = 100 - w_register;
+    w_cached = std::max(0, 100 - w_register - w_append);
   }
   const int w_cold_each =
       w_cold > 0
@@ -314,6 +346,10 @@ int main(int argc, char** argv) {
       spec.requests.push_back(
           {"/v1/diagnose", DiagnoseBody(dataset, 64000.0 + v),
            w_cold_each});
+    }
+    if (w_append > 0) {
+      spec.requests.push_back({"/v1/datasets/" + dataset + "/append",
+                               AppendBody(append_rows), w_append});
     }
     if (w_register > 0) {
       spec.requests.push_back({"/v1/datasets", RegisterBody(dataset),

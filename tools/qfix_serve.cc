@@ -70,6 +70,14 @@ void PrintUsage(const char* argv0) {
       "  --cache-tenant-fraction F\n"
       "                      cap one tenant's slice of each cache\n"
       "                      shard's budget, in (0,1] (default 1.0)\n"
+      "  --max-append-queries N\n"
+      "                      queries one POST /v1/datasets/{name}/append\n"
+      "                      may carry; larger bodies are rejected whole\n"
+      "                      with 413 (default 4096; 0 = unbounded)\n"
+      "  --encoding-cache-bytes N\n"
+      "                      byte budget of the incremental-encoding\n"
+      "                      cache (memoized chunk-prefix replays;\n"
+      "                      default 16 MiB, 0 disables prefix reuse)\n"
       "  --registry-bytes N  registry byte budget; past it the least\n"
       "                      recently used datasets are evicted\n"
       "                      (default 0 = unbounded)\n"
@@ -193,6 +201,12 @@ int main(int argc, char** argv) {
       options.cache_bytes = 0;
     } else if (arg == "--cache-tenant-fraction") {
       double_flag(0.000001, 1.0, &options.cache_tenant_fraction);
+    } else if (arg == "--max-append-queries") {
+      int_flag(0, LONG_MAX, &n);
+      options.max_append_queries = static_cast<size_t>(n);
+    } else if (arg == "--encoding-cache-bytes") {
+      int_flag(0, LONG_MAX, &n);
+      options.encoding_cache_bytes = static_cast<size_t>(n);
     } else if (arg == "--registry-bytes") {
       int_flag(0, LONG_MAX, &n);
       options.registry_bytes = static_cast<size_t>(n);
@@ -263,7 +277,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("registered dataset '%s' (%zu tuples, %zu queries)\n",
-                (*ds)->name.c_str(), (*ds)->d0.NumSlots(),
+                (*ds)->name.c_str(), (*ds)->d0().NumSlots(),
                 (*ds)->log.size());
   }
 
