@@ -1,0 +1,220 @@
+// Observability overhead: what the telemetry layer costs on the
+// serving hot path. Two measurements:
+//
+//  1. Per-instrument costs in a tight loop (Counter::Inc,
+//     Histogram::Observe, TraceContext mint + 6 spans) — nanoseconds
+//     per operation, so a regression in the lock-cheap design is
+//     visible directly.
+//  2. The acceptance bar: the complete per-request instrumentation
+//     block one /v1/diagnose pays (one TraceContext mint, six spans,
+//     the span->histogram mapping, seven histogram observations, five
+//     counter increments) is timed directly and divided by the p50 of
+//     a representative small request (a fixed ~100us compute kernel,
+//     sized like a cheap cached diagnose; real requests are larger).
+//     That ratio — the p50 overhead — must stay <= 2%. The block is
+//     measured directly rather than by A/B-ing instrumented vs bare
+//     request loops because identical ~100us blocks drift several
+//     microseconds by loop position alone on shared CI hardware,
+//     swamping a ~1us effect.
+//
+// Numbers are hardware-dependent (single-core CI containers inflate
+// constant costs relative to the kernel, same caveat as
+// BENCH_service.json); the bar is intentionally generous for that
+// reason. The emitted table is the checked-in baseline BENCH_obs.json.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "harness/table.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+using namespace qfix;
+
+namespace {
+
+/// Fixed deterministic FP work standing in for a small served request
+/// (roughly a cache-hit diagnose: decode + key + render). Returns a
+/// value the caller must consume so the loop cannot be elided.
+double ComputeKernel(int rounds) {
+  double acc = 1.0;
+  for (int i = 0; i < rounds; ++i) {
+    acc += 1.0 / (1.0 + acc * acc);
+  }
+  return acc;
+}
+
+double PercentileOf(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  size_t idx = static_cast<size_t>(q * (samples.size() - 1));
+  return samples[idx];
+}
+
+struct Instruments {
+  obs::MetricsRegistry registry;
+  obs::Counter* requests;
+  obs::Counter* items;
+  obs::Counter* nodes;
+  obs::Counter* lp_iterations;
+  obs::Counter* constraints;
+  obs::Histogram* phases[6];
+  obs::Histogram* tenant_seconds;
+
+  Instruments() {
+    obs::CounterFamily* reqs = registry.AddCounter(
+        "bench_requests_total", "Requests.", {"endpoint"});
+    requests = reqs->WithLabels({"diagnose"});
+    items = registry.AddCounter("bench_items_total", "Items.")->Get();
+    nodes = registry.AddCounter("bench_nodes_total", "Nodes.")->Get();
+    lp_iterations =
+        registry.AddCounter("bench_lp_total", "LP iterations.")->Get();
+    constraints =
+        registry.AddCounter("bench_constraints_total", "Constraints.")->Get();
+    obs::HistogramFamily* phase_family = registry.AddHistogram(
+        "bench_phase_seconds", "Phases.", obs::DefaultLatencyBucketEdges(),
+        {"phase"});
+    const char* names[6] = {"parse",  "cache", "admission",
+                            "encode", "solve", "render"};
+    for (int i = 0; i < 6; ++i) {
+      phases[i] = phase_family->WithLabels({names[i]});
+    }
+    tenant_seconds =
+        registry
+            .AddHistogram("bench_diagnose_seconds", "Diagnose.",
+                          obs::DefaultLatencyBucketEdges(), {"tenant"})
+            ->WithLabels({"t1"});
+  }
+};
+
+}  // namespace
+
+int main() {
+  const int trials = bench::Trials();
+  const int requests = bench::FullMode() ? 20000 : 4000;
+  const int kernel_rounds = 12000;  // ~100us of FP work per "request"
+
+  std::printf("observability overhead: instrumented vs bare hot path\n\n");
+
+  Instruments inst;
+
+  // --- Part 1: per-instrument nanosecond costs. -------------------------
+  harness::Table ops({"operation", "ops", "ns/op"});
+  const int kOps = bench::FullMode() ? 2000000 : 500000;
+  {
+    WallTimer timer;
+    for (int i = 0; i < kOps; ++i) inst.requests->Inc();
+    ops.AddRow({"counter_inc", std::to_string(kOps),
+                harness::Table::Cell(timer.ElapsedSeconds() / kOps * 1e9)});
+  }
+  {
+    WallTimer timer;
+    for (int i = 0; i < kOps; ++i) {
+      inst.phases[4]->Observe(1e-4 * (i % 128));
+    }
+    ops.AddRow({"histogram_observe", std::to_string(kOps),
+                harness::Table::Cell(timer.ElapsedSeconds() / kOps * 1e9)});
+  }
+  {
+    const int kTraces = kOps / 10;
+    WallTimer timer;
+    for (int i = 0; i < kTraces; ++i) {
+      obs::TraceContext trace;
+      for (const char* phase :
+           {"parse", "cache", "admission", "encode", "solve", "render"}) {
+        trace.EndSpan(trace.BeginSpan(phase));
+      }
+    }
+    ops.AddRow({"trace_6_spans", std::to_string(kTraces),
+                harness::Table::Cell(timer.ElapsedSeconds() / kTraces * 1e9)});
+  }
+  bench::PrintAndExport(ops, "obs_ops");
+  std::printf("\n");
+
+  // --- Part 2: the 2%% p50 acceptance bar. ------------------------------
+  // (a) p50 of the representative request, best trial.
+  double request_p50 = 1e9, request_p99 = 0.0;
+  volatile double sink = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<double> samples;
+    samples.reserve(requests);
+    for (int r = 0; r < requests; ++r) {
+      WallTimer timer;
+      sink = sink + ComputeKernel(kernel_rounds);
+      samples.push_back(timer.ElapsedSeconds());
+    }
+    double p50 = PercentileOf(samples, 0.50);
+    if (p50 < request_p50) {
+      request_p50 = p50;
+      request_p99 = PercentileOf(samples, 0.99);
+    }
+  }
+  (void)sink;
+
+  // (b) the full per-request instrumentation block, timed directly.
+  double block_seconds = 1e9;
+  for (int trial = 0; trial < trials; ++trial) {
+    WallTimer timer;
+    for (int r = 0; r < requests; ++r) {
+      obs::TraceContext trace;
+      size_t sp = trace.BeginSpan("parse");
+      trace.EndSpan(sp);
+      sp = trace.BeginSpan("cache");
+      trace.EndSpan(sp);
+      sp = trace.BeginSpan("admission");
+      trace.EndSpan(sp);
+      double before = trace.ElapsedSeconds();
+      double after = trace.ElapsedSeconds();  // the kernel would run here
+      trace.AddSpan("encode", before, before);
+      trace.AddSpan("solve", before, after);
+      sp = trace.BeginSpan("render");
+      trace.EndSpan(sp);
+      inst.requests->Inc();
+      inst.items->Inc();
+      inst.nodes->Inc(3);
+      inst.lp_iterations->Inc(40);
+      inst.constraints->Inc(25);
+      const double elapsed = trace.ElapsedSeconds();
+      for (const obs::TraceSpan& span : trace.spans()) {
+        int i = 0;
+        for (const char* name :
+             {"parse", "cache", "admission", "encode", "solve", "render"}) {
+          if (span.phase == name) {
+            inst.phases[i]->Observe(span.DurationSeconds());
+          }
+          ++i;
+        }
+      }
+      inst.tenant_seconds->Observe(elapsed);
+    }
+    block_seconds = std::min(block_seconds,
+                             timer.ElapsedSeconds() / requests);
+  }
+
+  const double overhead_pct =
+      request_p50 > 0.0 ? block_seconds / request_p50 * 100.0 : 0.0;
+  harness::Table table({"series", "requests", "p50_us", "p99_us",
+                        "obs_block_ns", "overhead_pct"});
+  table.AddRow({"request", std::to_string(requests),
+                harness::Table::Cell(request_p50 * 1e6),
+                harness::Table::Cell(request_p99 * 1e6), "-", "-"});
+  table.AddRow({"instrumented", std::to_string(requests), "-", "-",
+                harness::Table::Cell(block_seconds * 1e9),
+                harness::Table::Cell(overhead_pct)});
+  bench::PrintAndExport(table, "obs");
+
+  // One render at the end: the exposition must lint clean after the
+  // hammering above (the same invariant the unit tests assert).
+  Status lint = obs::LintExposition(inst.registry.RenderPrometheus());
+  if (!lint.ok()) {
+    std::printf("\nexposition lint FAILED: %s\n", lint.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\np50 overhead: %.2f%% (bar: <= 2%%%s)\n", overhead_pct,
+              overhead_pct <= 2.0 ? ", met" : ", MISSED");
+  return 0;
+}

@@ -1,0 +1,226 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace qfix {
+
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<bool> g_log_json{false};
+
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+LogSink& SinkSlot() {
+  static LogSink* sink = new LogSink();
+  return *sink;
+}
+
+void Emit(const std::string& line) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  LogSink& sink = SinkSlot();
+  if (sink) {
+    sink(line);
+  } else {
+    fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+std::string UtcTimestamp() {
+  std::time_t now = std::time(nullptr);
+  std::tm tm_buf;
+  gmtime_r(&now, &tm_buf);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_buf);
+  return buf;
+}
+
+const char* LevelUpper(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+/// Plain format quotes a value when it contains anything that would
+/// break naive key=value splitting.
+bool NeedsQuoting(std::string_view value) {
+  if (value.empty()) return true;
+  for (char c : value) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' || c == '\n' ||
+        c == '\t') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendQuoted(std::string* out, std::string_view value) {
+  *out += '"';
+  for (char c : value) {
+    switch (c) {
+      case '\\': *out += "\\\\"; break;
+      case '"': *out += "\\\""; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default: *out += c;
+    }
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+bool ParseLogLevel(std::string_view name, LogLevel* out) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    if (name == LogLevelName(level)) {
+      *out = level;
+      return true;
+    }
+  }
+  return false;
+}
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogJson(bool json) {
+  g_log_json.store(json, std::memory_order_relaxed);
+}
+
+bool GetLogJson() { return g_log_json.load(std::memory_order_relaxed); }
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkSlot() = std::move(sink);
+}
+
+LogEvent::LogEvent(LogLevel level, std::string_view event)
+    : enabled_(level >= GetLogLevel() && level != LogLevel::kOff),
+      level_(level),
+      event_(enabled_ ? std::string(event) : std::string()) {}
+
+LogEvent& LogEvent::Str(std::string_view key, std::string_view value) {
+  if (enabled_) {
+    fields_.push_back(
+        {std::string(key), std::string(value), /*quoted=*/true});
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::Int(std::string_view key, int64_t value) {
+  if (enabled_) {
+    fields_.push_back({std::string(key),
+                       StringPrintf("%lld", static_cast<long long>(value)),
+                       /*quoted=*/false});
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::Uint(std::string_view key, uint64_t value) {
+  if (enabled_) {
+    fields_.push_back(
+        {std::string(key),
+         StringPrintf("%llu", static_cast<unsigned long long>(value)),
+         /*quoted=*/false});
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::Double(std::string_view key, double value) {
+  if (enabled_) {
+    // Non-finite values would break JSON consumers; quote them.
+    if (std::isfinite(value)) {
+      fields_.push_back(
+          {std::string(key), StringPrintf("%.6g", value), /*quoted=*/false});
+    } else {
+      fields_.push_back({std::string(key),
+                         value > 0 ? "inf" : (value < 0 ? "-inf" : "nan"),
+                         /*quoted=*/true});
+    }
+  }
+  return *this;
+}
+
+LogEvent& LogEvent::Bool(std::string_view key, bool value) {
+  if (enabled_) {
+    fields_.push_back(
+        {std::string(key), value ? "true" : "false", /*quoted=*/false});
+  }
+  return *this;
+}
+
+LogEvent::~LogEvent() {
+  if (!enabled_) return;
+  std::string line;
+  if (GetLogJson()) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("ts");
+    w.String(UtcTimestamp());
+    w.Key("level");
+    w.String(LogLevelName(level_));
+    w.Key("event");
+    w.String(event_);
+    for (const Field& f : fields_) {
+      w.Key(f.key);
+      if (f.quoted) {
+        w.String(f.value);
+      } else {
+        w.Raw(f.value);
+      }
+    }
+    w.EndObject();
+    line = w.str();
+  } else {
+    line = UtcTimestamp();
+    line += ' ';
+    line += LevelUpper(level_);
+    line += ' ';
+    line += event_;
+    for (const Field& f : fields_) {
+      line += ' ';
+      line += f.key;
+      line += '=';
+      if (f.quoted && NeedsQuoting(f.value)) {
+        AppendQuoted(&line, f.value);
+      } else {
+        line += f.value;
+      }
+    }
+  }
+  Emit(line);
+}
+
+}  // namespace qfix

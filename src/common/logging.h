@@ -1,15 +1,31 @@
-// Minimal assertion and logging macros.
+// Assertions and structured leveled logging.
 //
 // QFIX_CHECK(cond) aborts with a message when an internal invariant is
 // violated; it is active in all build types because a wrong repair is far
 // worse than a crash in this domain. Extra context can be streamed in:
 //   QFIX_CHECK(i < n) << "index " << i;
+//
+// LogEvent emits one structured line per event, plain by default:
+//   2026-08-08T12:00:00Z INFO server_started port=8080 loops=2
+// or, with SetLogJson(true), one JSON object per line:
+//   {"ts":"2026-08-08T12:00:00Z","level":"info","event":"server_started",...}
+// Events below the level set by SetLogLevel() are dropped at the call
+// site (no field formatting happens). Usage:
+//   LogEvent(LogLevel::kInfo, "server_started")
+//       .Int("port", port).Int("loops", n);
+// The line is emitted when the temporary dies. SetLogSink() redirects
+// output (tests capture lines instead of reading stderr).
 #ifndef QFIX_COMMON_LOGGING_H_
 #define QFIX_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 namespace qfix {
 namespace internal {
@@ -44,6 +60,64 @@ class Voidify {
 };
 
 }  // namespace internal
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// "debug" / "info" / "warn" / "error" / "off".
+const char* LogLevelName(LogLevel level);
+/// Parses a level name; false on unknown input (out untouched).
+bool ParseLogLevel(std::string_view name, LogLevel* out);
+
+/// Process-wide minimum level (default kInfo). Thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Process-wide output format: plain key=value lines (default) or one
+/// JSON object per line. Thread-safe.
+void SetLogJson(bool json);
+bool GetLogJson();
+
+/// Redirects emitted lines (without trailing newline). nullptr restores
+/// the default stderr sink. Thread-safe; the sink runs under a lock, so
+/// lines never interleave.
+using LogSink = std::function<void(const std::string&)>;
+void SetLogSink(LogSink sink);
+
+/// One structured log event; fields accumulate, the line is emitted on
+/// destruction. Cheap when filtered: a disabled event records nothing.
+class LogEvent {
+ public:
+  LogEvent(LogLevel level, std::string_view event);
+  ~LogEvent();
+
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+
+  LogEvent& Str(std::string_view key, std::string_view value);
+  LogEvent& Int(std::string_view key, int64_t value);
+  LogEvent& Uint(std::string_view key, uint64_t value);
+  LogEvent& Double(std::string_view key, double value);
+  LogEvent& Bool(std::string_view key, bool value);
+
+ private:
+  struct Field {
+    std::string key;
+    std::string value;  // pre-formatted
+    bool quoted = false;
+  };
+
+  bool enabled_;
+  LogLevel level_;
+  std::string event_;
+  std::vector<Field> fields_;
+};
+
 }  // namespace qfix
 
 #define QFIX_CHECK(cond)                               \

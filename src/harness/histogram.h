@@ -46,14 +46,17 @@ class LatencyHistogram {
   /// 0 when empty.
   double Percentile(double q) const;
 
- private:
+  // Bucket layout, public so obs::DefaultLatencyBucketEdges() can derive
+  // Prometheus histogram edges from the same quantization family.
   static constexpr int kLinearBuckets = 64;  // 1us-exact region
   static constexpr int kSubBuckets = 32;     // per power-of-two group
   static constexpr int kGroups = 35;         // covers up to 2^40 us
 
-  static size_t IndexFor(uint64_t us);
   /// Upper-edge value in microseconds of bucket `index`.
   static uint64_t UpperEdgeUs(size_t index);
+
+ private:
+  static size_t IndexFor(uint64_t us);
 
   std::vector<uint64_t> counts_;
   uint64_t count_ = 0;

@@ -107,8 +107,14 @@ class SharedSearch {
       have_incumbent_ = true;
       incumbent_obj_ = obj;
       incumbent_x_ = std::move(x);
+      ++incumbent_updates_;
       incumbent_bound_.store(obj, std::memory_order_release);
     }
+  }
+
+  int64_t incumbent_updates() {
+    std::lock_guard<std::mutex> lock(incumbent_mu_);
+    return incumbent_updates_;
   }
 
   bool GetIncumbent(double* obj, std::vector<double>* x) {
@@ -154,6 +160,7 @@ class SharedSearch {
   std::mutex incumbent_mu_;
   bool have_incumbent_ = false;
   double incumbent_obj_ = 0.0;
+  int64_t incumbent_updates_ = 0;
   std::vector<double> incumbent_x_;
 
   std::mutex stats_mu_;
@@ -550,6 +557,7 @@ MilpSolution MilpSolver::Solve(const Model& model) const {
   out.stats.nodes = merged.nodes;
   out.stats.lp_iterations = merged.lp_iterations;
   out.stats.spawned_subtrees = merged.spawned_subtrees;
+  out.stats.incumbent_updates = shared.incumbent_updates();
   out.stats.wall_seconds = MonotonicSeconds() - start;
 
   if (shared.too_large()) {

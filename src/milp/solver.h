@@ -55,6 +55,8 @@ struct MilpStats {
   double wall_seconds = 0.0;
   /// Subtree tasks handed to the work-stealing pool (0 in serial runs).
   int64_t spawned_subtrees = 0;
+  /// Times a new best feasible solution was installed (across workers).
+  int64_t incumbent_updates = 0;
   /// Worker threads the search actually used.
   int workers = 1;
   /// Binaries fixed by root probing (0 when probing is disabled).
@@ -75,6 +77,7 @@ struct MilpStats {
     nodes += worker.nodes;
     lp_iterations += worker.lp_iterations;
     spawned_subtrees += worker.spawned_subtrees;
+    incumbent_updates += worker.incumbent_updates;
   }
 };
 

@@ -1,0 +1,739 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <set>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "harness/histogram.h"
+
+namespace qfix {
+namespace obs {
+
+namespace {
+
+/// Render a double the way the exposition expects: integral values as
+/// integers, everything else with enough digits to survive a strtod
+/// round trip of our edge values, +Inf spelled the Prometheus way.
+std::string FormatValue(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    return StringPrintf("%.0f", v);
+  }
+  return StringPrintf("%.10g", v);
+}
+
+void AppendEscapedLabelValue(std::string* out, std::string_view value) {
+  for (char c : value) {
+    switch (c) {
+      case '\\': *out += "\\\\"; break;
+      case '"': *out += "\\\""; break;
+      case '\n': *out += "\\n"; break;
+      default: *out += c;
+    }
+  }
+}
+
+void AppendEscapedHelp(std::string* out, std::string_view help) {
+  for (char c : help) {
+    switch (c) {
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      default: *out += c;
+    }
+  }
+}
+
+void AppendLabels(std::string* out,
+                  const std::vector<std::string>& label_names,
+                  const std::vector<std::string>& label_values,
+                  const char* extra_name = nullptr,
+                  const std::string* extra_value = nullptr) {
+  if (label_names.empty() && extra_name == nullptr) return;
+  *out += '{';
+  bool first = true;
+  for (size_t i = 0; i < label_names.size(); ++i) {
+    if (!first) *out += ',';
+    first = false;
+    *out += label_names[i];
+    *out += "=\"";
+    AppendEscapedLabelValue(out, label_values[i]);
+    *out += '"';
+  }
+  if (extra_name != nullptr) {
+    if (!first) *out += ',';
+    *out += extra_name;
+    *out += "=\"";
+    AppendEscapedLabelValue(out, *extra_value);
+    *out += '"';
+  }
+  *out += '}';
+}
+
+const char* KindName(MetricsRegistry::Kind kind) {
+  switch (kind) {
+    case MetricsRegistry::Kind::kCounter: return "counter";
+    case MetricsRegistry::Kind::kGauge: return "gauge";
+    case MetricsRegistry::Kind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Instruments
+
+void Gauge::Add(double delta) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> upper_edges)
+    : edges_(std::move(upper_edges)),
+      buckets_(new std::atomic<uint64_t>[edges_.size() + 1]) {
+  for (size_t i = 0; i + 1 < edges_.size(); ++i) {
+    QFIX_CHECK(edges_[i] < edges_[i + 1])
+        << "histogram edges must be strictly ascending";
+  }
+  for (size_t i = 0; i <= edges_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double value) {
+  if (std::isnan(value)) return;
+  // Prometheus `le` bounds are inclusive: an observation equal to an
+  // edge lands in that edge's bucket (lower_bound, not upper_bound).
+  size_t idx = static_cast<size_t>(
+      std::lower_bound(edges_.begin(), edges_.end(), value) - edges_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::BucketCount(size_t i) const {
+  QFIX_CHECK(i <= edges_.size());
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+std::vector<double> DefaultLatencyBucketEdges() {
+  using harness::LatencyHistogram;
+  std::vector<double> edges;
+  // The last 1us-exact linear bucket (63us)...
+  edges.push_back(static_cast<double>(LatencyHistogram::UpperEdgeUs(
+                      LatencyHistogram::kLinearBuckets - 1)) *
+                  1e-6);
+  // ...then the top sub-bucket of each power-of-two group: (64<<g)-1 us.
+  // 20 groups reach ~67s, past any served request's budget.
+  for (int g = 1; g <= 20; ++g) {
+    size_t index = static_cast<size_t>(LatencyHistogram::kLinearBuckets) +
+                   static_cast<size_t>(g) * LatencyHistogram::kSubBuckets - 1;
+    edges.push_back(static_cast<double>(LatencyHistogram::UpperEdgeUs(index)) *
+                    1e-6);
+  }
+  return edges;
+}
+
+// ---------------------------------------------------------------------------
+// Families
+
+namespace internal {
+
+struct Family {
+  std::string name;
+  std::string help;
+  MetricsRegistry::Kind kind = MetricsRegistry::Kind::kCounter;
+  std::vector<std::string> label_names;
+  std::vector<double> edges;  // histogram families only
+
+  /// Guards the series maps; never held while a caller uses an
+  /// instrument (pointers are stable — std::map nodes don't move).
+  std::mutex mu;
+  std::map<std::vector<std::string>, std::unique_ptr<Counter>> counters;
+  std::map<std::vector<std::string>, std::unique_ptr<Gauge>> gauges;
+  std::map<std::vector<std::string>, std::unique_ptr<Histogram>> histograms;
+
+  /// Non-null for callback families.
+  MetricsRegistry::CollectFn collect;
+};
+
+}  // namespace internal
+
+Counter* CounterFamily::WithLabels(std::vector<std::string> label_values) {
+  internal::Family* f = family_;
+  QFIX_CHECK(label_values.size() == f->label_names.size())
+      << f->name << ": expected " << f->label_names.size()
+      << " label values, got " << label_values.size();
+  std::lock_guard<std::mutex> lock(f->mu);
+  auto& slot = f->counters[std::move(label_values)];
+  if (slot == nullptr) slot.reset(new Counter());
+  return slot.get();
+}
+
+Gauge* GaugeFamily::WithLabels(std::vector<std::string> label_values) {
+  internal::Family* f = family_;
+  QFIX_CHECK(label_values.size() == f->label_names.size())
+      << f->name << ": expected " << f->label_names.size()
+      << " label values, got " << label_values.size();
+  std::lock_guard<std::mutex> lock(f->mu);
+  auto& slot = f->gauges[std::move(label_values)];
+  if (slot == nullptr) slot.reset(new Gauge());
+  return slot.get();
+}
+
+Histogram* HistogramFamily::WithLabels(std::vector<std::string> label_values) {
+  internal::Family* f = family_;
+  QFIX_CHECK(label_values.size() == f->label_names.size())
+      << f->name << ": expected " << f->label_names.size()
+      << " label values, got " << label_values.size();
+  std::lock_guard<std::mutex> lock(f->mu);
+  auto& slot = f->histograms[std::move(label_values)];
+  if (slot == nullptr) slot.reset(new Histogram(f->edges));
+  return slot.get();
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+internal::Family* MetricsRegistry::AddFamily(
+    std::string name, std::string help, Kind kind,
+    std::vector<std::string> label_names) {
+  QFIX_CHECK(ValidMetricName(name)) << "bad metric name: " << name;
+  for (const std::string& label : label_names) {
+    QFIX_CHECK(ValidLabelName(label))
+        << name << ": bad label name: " << label;
+    QFIX_CHECK(label != "le") << name << ": 'le' is reserved for histograms";
+  }
+  auto family = std::make_unique<internal::Family>();
+  family->name = std::move(name);
+  family->help = std::move(help);
+  family->kind = kind;
+  family->label_names = std::move(label_names);
+  internal::Family* raw = family.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = families_.emplace(raw->name, std::move(family));
+  QFIX_CHECK(inserted) << "metric registered twice: " << it->first;
+  return raw;
+}
+
+CounterFamily* MetricsRegistry::AddCounter(
+    std::string name, std::string help,
+    std::vector<std::string> label_names) {
+  internal::Family* f = AddFamily(std::move(name), std::move(help),
+                                  Kind::kCounter, std::move(label_names));
+  std::lock_guard<std::mutex> lock(mu_);
+  counter_handles_.emplace_back(new CounterFamily(f));
+  return counter_handles_.back().get();
+}
+
+GaugeFamily* MetricsRegistry::AddGauge(std::string name, std::string help,
+                                       std::vector<std::string> label_names) {
+  internal::Family* f = AddFamily(std::move(name), std::move(help),
+                                  Kind::kGauge, std::move(label_names));
+  std::lock_guard<std::mutex> lock(mu_);
+  gauge_handles_.emplace_back(new GaugeFamily(f));
+  return gauge_handles_.back().get();
+}
+
+HistogramFamily* MetricsRegistry::AddHistogram(
+    std::string name, std::string help, std::vector<double> upper_edges,
+    std::vector<std::string> label_names) {
+  QFIX_CHECK(!upper_edges.empty()) << name << ": histogram needs edges";
+  internal::Family* f = AddFamily(std::move(name), std::move(help),
+                                  Kind::kHistogram, std::move(label_names));
+  f->edges = std::move(upper_edges);
+  std::lock_guard<std::mutex> lock(mu_);
+  histogram_handles_.emplace_back(new HistogramFamily(f));
+  return histogram_handles_.back().get();
+}
+
+void MetricsRegistry::AddCallback(std::string name, std::string help,
+                                  Kind kind,
+                                  std::vector<std::string> label_names,
+                                  CollectFn fn) {
+  QFIX_CHECK(kind != Kind::kHistogram)
+      << name << ": callback families must be counters or gauges";
+  QFIX_CHECK(fn != nullptr) << name << ": null collect callback";
+  internal::Family* f = AddFamily(std::move(name), std::move(help), kind,
+                                  std::move(label_names));
+  f->collect = std::move(fn);
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::string out;
+  out.reserve(16 * 1024);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, family] : families_) {
+    internal::Family* f = family.get();
+    out += "# HELP ";
+    out += name;
+    out += ' ';
+    AppendEscapedHelp(&out, f->help);
+    out += '\n';
+    out += "# TYPE ";
+    out += name;
+    out += ' ';
+    out += KindName(f->kind);
+    out += '\n';
+
+    if (f->collect != nullptr) {
+      std::vector<Sample> samples;
+      f->collect(&samples);
+      for (const Sample& s : samples) {
+        QFIX_CHECK(s.label_values.size() == f->label_names.size())
+            << name << ": callback emitted " << s.label_values.size()
+            << " label values";
+        out += name;
+        AppendLabels(&out, f->label_names, s.label_values);
+        out += ' ';
+        out += FormatValue(s.value);
+        out += '\n';
+      }
+      continue;
+    }
+
+    std::lock_guard<std::mutex> series_lock(f->mu);
+    switch (f->kind) {
+      case Kind::kCounter:
+        for (const auto& [values, counter] : f->counters) {
+          out += name;
+          AppendLabels(&out, f->label_names, values);
+          out += ' ';
+          out += StringPrintf("%llu", static_cast<unsigned long long>(
+                                          counter->Value()));
+          out += '\n';
+        }
+        break;
+      case Kind::kGauge:
+        for (const auto& [values, gauge] : f->gauges) {
+          out += name;
+          AppendLabels(&out, f->label_names, values);
+          out += ' ';
+          out += FormatValue(gauge->Value());
+          out += '\n';
+        }
+        break;
+      case Kind::kHistogram:
+        for (const auto& [values, hist] : f->histograms) {
+          // One relaxed read per bucket; _count derives from the same
+          // reads so the rendered series is internally consistent even
+          // under concurrent Observe().
+          uint64_t cumulative = 0;
+          for (size_t b = 0; b < hist->edges().size(); ++b) {
+            cumulative += hist->BucketCount(b);
+            std::string le = FormatValue(hist->edges()[b]);
+            out += name;
+            out += "_bucket";
+            AppendLabels(&out, f->label_names, values, "le", &le);
+            out += ' ';
+            out += StringPrintf("%llu",
+                                static_cast<unsigned long long>(cumulative));
+            out += '\n';
+          }
+          cumulative += hist->BucketCount(hist->edges().size());
+          std::string inf = "+Inf";
+          out += name;
+          out += "_bucket";
+          AppendLabels(&out, f->label_names, values, "le", &inf);
+          out += ' ';
+          out += StringPrintf("%llu",
+                              static_cast<unsigned long long>(cumulative));
+          out += '\n';
+          out += name;
+          out += "_sum";
+          AppendLabels(&out, f->label_names, values);
+          out += ' ';
+          out += FormatValue(hist->Sum());
+          out += '\n';
+          out += name;
+          out += "_count";
+          AppendLabels(&out, f->label_names, values);
+          out += ' ';
+          out += StringPrintf("%llu",
+                              static_cast<unsigned long long>(cumulative));
+          out += '\n';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Name validation
+
+bool ValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+bool ValidLabelName(std::string_view name) {
+  if (name.empty()) return false;
+  if (name.size() >= 2 && name[0] == '_' && name[1] == '_') return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Exposition parsing
+
+const std::string* ParsedSample::FindLabel(std::string_view name) const {
+  for (const auto& [key, value] : labels) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+Status ParseError(int line, const std::string& message) {
+  return Status::InvalidArgument(
+      StringPrintf("exposition line %d: %s", line, message.c_str()));
+}
+
+/// Parses one numeric sample value; accepts +Inf/-Inf/NaN spellings.
+bool ParseSampleValue(std::string_view text, double* out) {
+  if (text == "+Inf" || text == "Inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (text == "-Inf") {
+    *out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (text == "NaN") {
+    *out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  std::string buf(text);
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Result<ParsedExposition> ParseExposition(std::string_view text) {
+  ParsedExposition out;
+  int line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = eol == std::string_view::npos
+                                ? text.substr(pos)
+                                : text.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      // "# HELP name text" | "# TYPE name type" | arbitrary comment.
+      if (line.rfind("# HELP ", 0) == 0) {
+        std::string_view rest = line.substr(7);
+        size_t sp = rest.find(' ');
+        std::string name(sp == std::string_view::npos ? rest
+                                                      : rest.substr(0, sp));
+        std::string help_text;
+        if (sp != std::string_view::npos) {
+          std::string_view raw = rest.substr(sp + 1);
+          for (size_t i = 0; i < raw.size(); ++i) {
+            if (raw[i] == '\\' && i + 1 < raw.size()) {
+              char next = raw[i + 1];
+              if (next == 'n') {
+                help_text += '\n';
+                ++i;
+                continue;
+              }
+              if (next == '\\') {
+                help_text += '\\';
+                ++i;
+                continue;
+              }
+            }
+            help_text += raw[i];
+          }
+        }
+        if (name.empty()) return ParseError(line_no, "HELP without a name");
+        out.help[name] = std::move(help_text);
+        continue;
+      }
+      if (line.rfind("# TYPE ", 0) == 0) {
+        std::string_view rest = line.substr(7);
+        size_t sp = rest.find(' ');
+        if (sp == std::string_view::npos) {
+          return ParseError(line_no, "TYPE without a type");
+        }
+        std::string name(rest.substr(0, sp));
+        std::string type(rest.substr(sp + 1));
+        if (name.empty() || type.empty()) {
+          return ParseError(line_no, "malformed TYPE line");
+        }
+        if (out.types.count(name) != 0) {
+          return ParseError(line_no, "duplicate TYPE for " + name);
+        }
+        out.types[name] = std::move(type);
+        out.type_line[name] = line_no;
+        continue;
+      }
+      continue;  // plain comment
+    }
+
+    // Sample: name[{label="value",...}] value [timestamp]
+    ParsedSample sample;
+    sample.line = line_no;
+    size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    if (i == 0) return ParseError(line_no, "sample without a metric name");
+    sample.name = std::string(line.substr(0, i));
+
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      while (true) {
+        while (i < line.size() && (line[i] == ' ' || line[i] == ',')) ++i;
+        if (i < line.size() && line[i] == '}') {
+          ++i;
+          break;
+        }
+        size_t eq = line.find('=', i);
+        if (eq == std::string_view::npos) {
+          return ParseError(line_no, "label without '='");
+        }
+        std::string label_name(line.substr(i, eq - i));
+        i = eq + 1;
+        if (i >= line.size() || line[i] != '"') {
+          return ParseError(line_no, "label value must be quoted");
+        }
+        ++i;
+        std::string value;
+        bool closed = false;
+        while (i < line.size()) {
+          char c = line[i];
+          if (c == '\\') {
+            if (i + 1 >= line.size()) {
+              return ParseError(line_no, "dangling escape in label value");
+            }
+            char next = line[i + 1];
+            if (next == '\\') {
+              value += '\\';
+            } else if (next == '"') {
+              value += '"';
+            } else if (next == 'n') {
+              value += '\n';
+            } else {
+              return ParseError(line_no,
+                                StringPrintf("bad escape \\%c", next));
+            }
+            i += 2;
+            continue;
+          }
+          if (c == '"') {
+            closed = true;
+            ++i;
+            break;
+          }
+          value += c;
+          ++i;
+        }
+        if (!closed) return ParseError(line_no, "unterminated label value");
+        sample.labels.emplace_back(std::move(label_name), std::move(value));
+      }
+    }
+
+    while (i < line.size() && line[i] == ' ') ++i;
+    size_t value_end = i;
+    while (value_end < line.size() && line[value_end] != ' ') ++value_end;
+    if (value_end == i) return ParseError(line_no, "sample without a value");
+    if (!ParseSampleValue(line.substr(i, value_end - i), &sample.value)) {
+      return ParseError(line_no, "unparseable sample value '" +
+                                     std::string(line.substr(
+                                         i, value_end - i)) +
+                                     "'");
+    }
+    // Anything after the value is an optional timestamp; accept and
+    // ignore (we never emit one).
+    out.samples.push_back(std::move(sample));
+  }
+  return out;
+}
+
+namespace {
+
+/// Family a sample belongs to: histogram series suffixes map back to
+/// their base family when (and only when) that base is typed.
+std::string FamilyOf(const std::string& sample_name,
+                     const std::map<std::string, std::string>& types) {
+  if (types.count(sample_name) != 0) return sample_name;
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    size_t len = std::strlen(suffix);
+    if (sample_name.size() > len &&
+        sample_name.compare(sample_name.size() - len, len, suffix) == 0) {
+      std::string base = sample_name.substr(0, sample_name.size() - len);
+      auto it = types.find(base);
+      if (it != types.end() && it->second == "histogram") return base;
+    }
+  }
+  return "";
+}
+
+std::string SeriesKey(const ParsedSample& sample) {
+  std::vector<std::pair<std::string, std::string>> sorted = sample.labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = sample.name;
+  for (const auto& [name, value] : sorted) {
+    key += '\x1f';
+    key += name;
+    key += '\x1e';
+    key += value;
+  }
+  return key;
+}
+
+}  // namespace
+
+Status LintExposition(std::string_view text) {
+  auto parsed = ParseExposition(text);
+  if (!parsed.ok()) return parsed.status();
+
+  std::set<std::string> seen_series;
+  // Histogram bookkeeping: family -> non-le label key -> bucket series.
+  struct HistogramGroup {
+    std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+    bool has_sum = false;
+    bool has_count = false;
+    double count_value = 0.0;
+    int first_line = 0;
+  };
+  std::map<std::string, HistogramGroup> groups;
+
+  for (const ParsedSample& s : parsed->samples) {
+    if (!ValidMetricName(s.name)) {
+      return ParseError(s.line, "illegal metric name '" + s.name + "'");
+    }
+    std::set<std::string> label_names;
+    for (const auto& [name, value] : s.labels) {
+      (void)value;
+      if (!ValidLabelName(name)) {
+        return ParseError(s.line, "illegal label name '" + name + "'");
+      }
+      if (!label_names.insert(name).second) {
+        return ParseError(s.line, "duplicate label '" + name + "'");
+      }
+    }
+    if (!seen_series.insert(SeriesKey(s)).second) {
+      return ParseError(s.line, "duplicate series for " + s.name);
+    }
+
+    std::string family = FamilyOf(s.name, parsed->types);
+    if (family.empty()) {
+      return ParseError(s.line, "sample " + s.name + " has no # TYPE");
+    }
+    auto declared = parsed->type_line.find(family);
+    if (declared == parsed->type_line.end() || declared->second > s.line) {
+      return ParseError(s.line,
+                        "# TYPE for " + family + " must precede its samples");
+    }
+    const std::string& type = parsed->types.at(family);
+
+    if (type == "counter") {
+      if (std::isnan(s.value) || s.value < 0.0) {
+        return ParseError(s.line, "counter " + s.name + " is negative/NaN");
+      }
+    }
+    if (type == "histogram") {
+      // Group by the labels minus `le`.
+      std::string group_key = family;
+      std::vector<std::pair<std::string, std::string>> rest;
+      const std::string* le = nullptr;
+      for (const auto& label : s.labels) {
+        if (label.first == "le") {
+          le = &label.second;
+        } else {
+          rest.push_back(label);
+        }
+      }
+      std::sort(rest.begin(), rest.end());
+      for (const auto& [name, value] : rest) {
+        group_key += '\x1f';
+        group_key += name;
+        group_key += '\x1e';
+        group_key += value;
+      }
+      HistogramGroup& group = groups[group_key];
+      if (group.first_line == 0) group.first_line = s.line;
+      if (s.name == family + "_bucket") {
+        if (le == nullptr) {
+          return ParseError(s.line, s.name + " is missing its 'le' label");
+        }
+        double bound = 0.0;
+        if (!ParseSampleValue(*le, &bound)) {
+          return ParseError(s.line, "unparseable le '" + *le + "'");
+        }
+        group.buckets.emplace_back(bound, s.value);
+      } else if (s.name == family + "_sum") {
+        group.has_sum = true;
+      } else if (s.name == family + "_count") {
+        group.has_count = true;
+        group.count_value = s.value;
+      }
+    }
+  }
+
+  for (const auto& [key, group] : groups) {
+    std::string family = key.substr(0, key.find('\x1f'));
+    auto fail = [&](const std::string& what) {
+      return ParseError(group.first_line, "histogram " + family + ": " + what);
+    };
+    if (group.buckets.empty()) return fail("no _bucket series");
+    for (size_t i = 0; i + 1 < group.buckets.size(); ++i) {
+      if (!(group.buckets[i].first < group.buckets[i + 1].first)) {
+        return fail("le bounds not strictly ascending");
+      }
+      if (group.buckets[i].second > group.buckets[i + 1].second) {
+        return fail("cumulative bucket counts decrease");
+      }
+    }
+    if (!std::isinf(group.buckets.back().first)) {
+      return fail("missing +Inf bucket");
+    }
+    if (!group.has_sum) return fail("missing _sum");
+    if (!group.has_count) return fail("missing _count");
+    if (group.count_value != group.buckets.back().second) {
+      return fail("_count disagrees with the +Inf bucket");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace qfix

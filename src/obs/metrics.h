@@ -1,0 +1,235 @@
+// obs::MetricsRegistry — the serving stack's telemetry surface.
+//
+// Lock-cheap by construction: the hot path touches only owned
+// instruments, and every owned instrument is a handful of relaxed
+// atomics (a Counter is one fetch_add; a Histogram::Observe is a
+// binary search over ~20 edges plus one fetch_add and one CAS-add).
+// Label families hand out stable instrument pointers, so callers
+// resolve labels once at startup and never pay the map lookup per
+// request. Subsystems that already accumulate their own stats
+// (cache::ReportCache, DatasetRegistry, ingest::EncodingCache,
+// TenantGovernor, the server's request counters) register *callback*
+// families instead: the registry asks them for samples only at scrape
+// time, so nothing is double-accounted and the hot path pays zero.
+//
+// RenderPrometheus() emits Prometheus text exposition format 0.0.4
+// (# HELP/# TYPE lines, escaped label values, cumulative histogram
+// buckets with a +Inf bound) — what GET /metrics serves.
+//
+// ParseExposition()/LintExposition() are the in-repo consumers: the
+// round-trip unit tests, the CI serve-smoke lint (no network, so no
+// promtool), and `qfix_load --scrape-metrics` all validate the
+// exposition with the same code that could mis-render it — a format
+// bug fails the build, not the fleet's scraper.
+#ifndef QFIX_OBS_METRICS_H_
+#define QFIX_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace qfix {
+namespace obs {
+
+/// Monotonically increasing event count. Thread-safe, wait-free.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A value that can go up and down. Thread-safe.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with atomic per-bucket counts. Observe() is
+/// lock-free; rendering reads relaxed snapshots (Prometheus scrapes
+/// tolerate the instantaneous skew, and RenderPrometheus derives
+/// _count from the buckets it read so the exposition is always
+/// internally consistent).
+class Histogram {
+ public:
+  /// `upper_edges` are the finite bucket bounds, strictly ascending;
+  /// an implicit +Inf bucket is appended.
+  explicit Histogram(std::vector<double> upper_edges);
+
+  void Observe(double value);
+
+  const std::vector<double>& edges() const { return edges_; }
+  /// Non-cumulative count of bucket `i` (i == edges().size() is +Inf).
+  uint64_t BucketCount(size_t i) const;
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> edges_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // edges_.size() + 1
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default histogram edges for latency-in-seconds metrics, derived from
+/// harness::LatencyHistogram's HDR bucket layout: the last 1us-exact
+/// linear bucket, then the top sub-bucket of each power-of-two group —
+/// (64 << g) - 1 microseconds — up to ~67s. Same quantization family
+/// as the load harness, coarsened to a Prometheus-friendly 21 edges.
+std::vector<double> DefaultLatencyBucketEdges();
+
+namespace internal {
+struct Family;
+}  // namespace internal
+
+/// A named counter metric with fixed label names. WithLabels() returns
+/// a stable pointer — resolve once, Inc() forever.
+class CounterFamily {
+ public:
+  Counter* WithLabels(std::vector<std::string> label_values);
+  /// The label-less series (only valid for families with no labels).
+  Counter* Get() { return WithLabels({}); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit CounterFamily(internal::Family* family) : family_(family) {}
+  internal::Family* family_;
+};
+
+class GaugeFamily {
+ public:
+  Gauge* WithLabels(std::vector<std::string> label_values);
+  Gauge* Get() { return WithLabels({}); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit GaugeFamily(internal::Family* family) : family_(family) {}
+  internal::Family* family_;
+};
+
+class HistogramFamily {
+ public:
+  Histogram* WithLabels(std::vector<std::string> label_values);
+  Histogram* Get() { return WithLabels({}); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit HistogramFamily(internal::Family* family) : family_(family) {}
+  internal::Family* family_;
+};
+
+class MetricsRegistry {
+ public:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  /// One scrape-time sample a callback family emits: label values (in
+  /// the family's label-name order) and the value.
+  struct Sample {
+    std::vector<std::string> label_values;
+    double value = 0.0;
+  };
+  using CollectFn = std::function<void(std::vector<Sample>*)>;
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Register an owned family. Name/label validity and uniqueness are
+  /// QFIX_CHECKed — a bad metric name is a programming error, not a
+  /// runtime condition. The returned family outlives the registry call
+  /// sites (owned by the registry, freed with it).
+  CounterFamily* AddCounter(std::string name, std::string help,
+                            std::vector<std::string> label_names = {});
+  GaugeFamily* AddGauge(std::string name, std::string help,
+                        std::vector<std::string> label_names = {});
+  HistogramFamily* AddHistogram(std::string name, std::string help,
+                                std::vector<double> upper_edges,
+                                std::vector<std::string> label_names = {});
+
+  /// Register a scrape-time callback family (counter or gauge): `fn`
+  /// runs inside RenderPrometheus() and emits the family's current
+  /// samples. This is how subsystems with their own stats structs
+  /// (cache, registry, governor, ingest) export without maintaining a
+  /// second set of counters on the hot path.
+  void AddCallback(std::string name, std::string help, Kind kind,
+                   std::vector<std::string> label_names, CollectFn fn);
+
+  /// Prometheus text exposition format 0.0.4, families sorted by name,
+  /// series sorted by label values.
+  std::string RenderPrometheus() const;
+
+ private:
+  internal::Family* AddFamily(std::string name, std::string help, Kind kind,
+                              std::vector<std::string> label_names);
+
+  mutable std::mutex mu_;  // guards families_ layout (not instrument values)
+  std::map<std::string, std::unique_ptr<internal::Family>> families_;
+  std::vector<std::unique_ptr<CounterFamily>> counter_handles_;
+  std::vector<std::unique_ptr<GaugeFamily>> gauge_handles_;
+  std::vector<std::unique_ptr<HistogramFamily>> histogram_handles_;
+};
+
+/// True for a legal Prometheus metric name: [a-zA-Z_:][a-zA-Z0-9_:]*.
+bool ValidMetricName(std::string_view name);
+/// True for a legal label name: [a-zA-Z_][a-zA-Z0-9_]* (not __-prefixed).
+bool ValidLabelName(std::string_view name);
+
+// ---------------------------------------------------------------------------
+// Exposition parsing + lint (test/CI/load-generator consumers)
+
+struct ParsedSample {
+  std::string name;
+  /// In source order; values are unescaped.
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+  int line = 0;
+
+  /// Label value by name, or nullptr.
+  const std::string* FindLabel(std::string_view name) const;
+};
+
+struct ParsedExposition {
+  /// Family name -> declared TYPE ("counter", "gauge", "histogram", ...).
+  std::map<std::string, std::string> types;
+  /// Family name -> HELP text (unescaped).
+  std::map<std::string, std::string> help;
+  /// 1-based line number of each family's # TYPE declaration.
+  std::map<std::string, int> type_line;
+  std::vector<ParsedSample> samples;
+};
+
+/// Parses text exposition format. Fails with InvalidArgument (naming
+/// the line) on malformed lines, bad escapes, or unparseable values.
+Result<ParsedExposition> ParseExposition(std::string_view text);
+
+/// Strict format lint over one exposition payload:
+///   * parses cleanly; every metric and label name is legal;
+///   * every sample belongs to a family whose # TYPE precedes it;
+///   * no duplicate series (same name + label set);
+///   * counter samples are finite and non-negative;
+///   * histograms: per label set, `le` bounds strictly ascending with a
+///     +Inf bucket, cumulative bucket counts non-decreasing, _count
+///     equal to the +Inf bucket, and _sum present.
+/// OK means a Prometheus scraper will ingest the payload verbatim.
+Status LintExposition(std::string_view text);
+
+}  // namespace obs
+}  // namespace qfix
+
+#endif  // QFIX_OBS_METRICS_H_

@@ -1,0 +1,99 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "common/timer.h"
+
+namespace qfix {
+namespace obs {
+
+TraceContext::TraceContext(std::string request_id)
+    : request_id_(std::move(request_id)), birth_seconds_(MonotonicSeconds()) {
+  if (request_id_.empty()) request_id_ = GenerateRequestId();
+  spans_.reserve(8);
+}
+
+size_t TraceContext::BeginSpan(std::string_view phase) {
+  TraceSpan span;
+  span.phase = std::string(phase);
+  span.start_seconds = MonotonicSeconds() - birth_seconds_;
+  span.end_seconds = span.start_seconds;
+  spans_.push_back(std::move(span));
+  return spans_.size() - 1;
+}
+
+void TraceContext::EndSpan(size_t index) {
+  QFIX_CHECK(index < spans_.size());
+  double now = MonotonicSeconds() - birth_seconds_;
+  if (now > spans_[index].end_seconds) spans_[index].end_seconds = now;
+}
+
+void TraceContext::AddSpan(std::string_view phase, double start_seconds,
+                           double end_seconds) {
+  TraceSpan span;
+  span.phase = std::string(phase);
+  span.start_seconds = start_seconds;
+  span.end_seconds = end_seconds < start_seconds ? start_seconds : end_seconds;
+  spans_.push_back(std::move(span));
+}
+
+double TraceContext::ElapsedSeconds() const {
+  return MonotonicSeconds() - birth_seconds_;
+}
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::atomic<uint64_t> g_request_id_state{0};
+
+}  // namespace
+
+std::string GenerateRequestId() {
+  uint64_t state = g_request_id_state.load(std::memory_order_relaxed);
+  if (state == 0) {
+    // One-time clock seed; a racing second seeder is harmless (the CAS
+    // loser just uses the winner's value).
+    uint64_t seed = static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    seed |= 1;  // never re-seed
+    g_request_id_state.compare_exchange_strong(state, seed,
+                                               std::memory_order_relaxed);
+  }
+  uint64_t ticket =
+      g_request_id_state.fetch_add(0x9e3779b97f4a7c15ULL,
+                                   std::memory_order_relaxed);
+  uint64_t value = SplitMix64(&ticket);
+  // Manual hex formatting: this runs once per request (snprintf's
+  // format parsing is measurable at that rate, bench/obs.cpp).
+  char buf[18];
+  buf[0] = 'q';
+  buf[1] = '-';
+  static const char kHex[] = "0123456789abcdef";
+  for (int i = 15; i >= 0; --i) {
+    buf[2 + i] = kHex[value & 0xf];
+    value >>= 4;
+  }
+  return std::string(buf, sizeof(buf));
+}
+
+std::string SanitizeRequestId(std::string_view id) {
+  if (id.empty() || id.size() > 64) return std::string();
+  for (char c : id) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return std::string();
+  }
+  return std::string(id);
+}
+
+}  // namespace obs
+}  // namespace qfix

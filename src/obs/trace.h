@@ -1,0 +1,79 @@
+// Per-request phase tracing.
+//
+// A TraceContext is minted when a request enters the server (carrying
+// the client's X-Request-Id, or a generated one) and rides through the
+// pipeline. Handlers bracket each phase with BeginSpan()/EndSpan();
+// span timestamps are offsets from the context's birth on the
+// process-wide monotonic clock, so spans recorded on different threads
+// (loop thread vs. handler pool) line up. The span list feeds three
+// sinks: the opt-in "timings" block on /v1/diagnose responses, the
+// per-phase latency histograms in obs::MetricsRegistry, and the
+// slow-request log.
+//
+// Deliberately not thread-safe: one request's spans are recorded by
+// one thread at a time (the connection hands the request to exactly
+// one handler), and the hot path shouldn't pay for a lock it never
+// contends.
+#ifndef QFIX_OBS_TRACE_H_
+#define QFIX_OBS_TRACE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qfix {
+namespace obs {
+
+struct TraceSpan {
+  std::string phase;
+  /// Offsets in seconds from the TraceContext's birth.
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+
+  double DurationSeconds() const { return end_seconds - start_seconds; }
+};
+
+class TraceContext {
+ public:
+  /// `request_id` empty means "generate one".
+  explicit TraceContext(std::string request_id = {});
+
+  const std::string& request_id() const { return request_id_; }
+
+  /// Opens a span at now; returns its index for EndSpan().
+  size_t BeginSpan(std::string_view phase);
+  /// Closes span `index` at now. No-op for an already-closed span end
+  /// in the past — callers may re-close to extend.
+  void EndSpan(size_t index);
+  /// Records a span with explicit offsets (both relative to birth);
+  /// used when a phase's extent is computed after the fact, e.g. the
+  /// encode/solve split inside one BatchDiagnoser run.
+  void AddSpan(std::string_view phase, double start_seconds,
+               double end_seconds);
+
+  /// Seconds since this context was born.
+  double ElapsedSeconds() const;
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+ private:
+  std::string request_id_;
+  double birth_seconds_ = 0.0;  // monotonic
+  std::vector<TraceSpan> spans_;
+};
+
+/// A fresh request id: "q-" + 16 lowercase hex digits, unique within
+/// the process and effectively unique across restarts (seeded from the
+/// clock once). Thread-safe.
+std::string GenerateRequestId();
+
+/// Returns the id if it is safe to echo into a response header and a
+/// JSON string — 1..64 chars of [A-Za-z0-9._-] — else empty. Anything
+/// else (CR/LF header injection, quotes, overlong ids) is discarded
+/// and the server generates its own.
+std::string SanitizeRequestId(std::string_view id);
+
+}  // namespace obs
+}  // namespace qfix
+
+#endif  // QFIX_OBS_TRACE_H_

@@ -201,6 +201,7 @@ Result<Repair> QFixEngine::SolveAttempt(
       if (prefix_state != nullptr) {
         req.prefix_state = prefix_state.get();
         req.prefix_len = data_->chunks[chunk_index]->end;
+        stats->prefix_reused = true;
       }
     }
   }
@@ -223,6 +224,8 @@ Result<Repair> QFixEngine::SolveAttempt(
   milp::MilpSolution sol = milp::MilpSolver(milp_opts).Solve(problem.model);
   stats->solve_seconds += solve_timer.ElapsedSeconds();
   stats->solver_nodes += sol.stats.nodes;
+  stats->lp_iterations += sol.stats.lp_iterations;
+  stats->incumbent_updates += sol.stats.incumbent_updates;
 
   stats->optimal = sol.status == milp::MilpStatus::kOptimal;
   switch (sol.status) {
@@ -313,6 +316,8 @@ Result<Repair> QFixEngine::SolveAttempt(
           milp::MilpSolver(refine_opts).Solve(refined->model);
       stats->solve_seconds += refine_solve.ElapsedSeconds();
       stats->solver_nodes += rsol.stats.nodes;
+      stats->lp_iterations += rsol.stats.lp_iterations;
+      stats->incumbent_updates += rsol.stats.incumbent_updates;
       if (!milp::HasSolution(rsol.status)) break;
 
       QueryLog refined_log = ConvertQLog(log_, *refined, rsol.x);

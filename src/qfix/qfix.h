@@ -79,6 +79,13 @@ struct RepairStats {
   int32_t num_constraints = 0;
   int32_t num_integer_vars = 0;
   int64_t solver_nodes = 0;
+  /// Summed simplex iterations across every MILP behind this repair.
+  int64_t lp_iterations = 0;
+  /// Times any branch & bound worker installed a new best incumbent.
+  int64_t incumbent_updates = 0;
+  /// Whether the encoder replayed a memoized chunk-prefix state instead
+  /// of re-encoding the full log (ingest::EncodingCache hit).
+  bool prefix_reused = false;
   /// Batches attempted (incremental mode).
   int attempts = 0;
   /// Whether the step-2 refinement MILP ran.

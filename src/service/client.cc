@@ -156,15 +156,20 @@ Result<HttpResponse> ReadFramedResponse(int fd, Deadline deadline,
   }
 }
 
-std::string BuildRequest(const char* method, const std::string& host,
-                         int port, const std::string& path,
-                         const std::string& body, bool keep_alive) {
+std::string BuildRequest(
+    const char* method, const std::string& host, int port,
+    const std::string& path, const std::string& body, bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers =
+        {}) {
   std::string out = StringPrintf("%s %s HTTP/1.1\r\n", method, path.c_str());
   out += StringPrintf("Host: %s:%d\r\n", host.c_str(), port);
   if (!body.empty()) {
     out += "Content-Type: application/json\r\n";
   }
   out += StringPrintf("Content-Length: %zu\r\n", body.size());
+  for (const auto& [name, value] : extra_headers) {
+    out += StringPrintf("%s: %s\r\n", name.c_str(), value.c_str());
+  }
   out += keep_alive ? "Connection: keep-alive\r\n\r\n"
                     : "Connection: close\r\n\r\n";
   out += body;
@@ -193,13 +198,13 @@ Result<HttpResponse> Roundtrip(const std::string& host, int port,
 
 }  // namespace
 
-Result<HttpResponse> HttpPost(const std::string& host, int port,
-                              const std::string& path,
-                              const std::string& body,
-                              double timeout_seconds) {
+Result<HttpResponse> HttpPost(
+    const std::string& host, int port, const std::string& path,
+    const std::string& body, double timeout_seconds,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   return Roundtrip(host, port,
                    BuildRequest("POST", host, port, path, body,
-                                /*keep_alive=*/false),
+                                /*keep_alive=*/false, extra_headers),
                    timeout_seconds);
 }
 

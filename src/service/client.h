@@ -9,6 +9,8 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "service/http.h"
@@ -19,10 +21,13 @@ namespace service {
 /// POSTs `body` (application/json) to http://host:port/path and returns
 /// the parsed response. Fails with InvalidArgument/Internal on socket
 /// or protocol errors; HTTP error statuses are returned, not errors.
-Result<HttpResponse> HttpPost(const std::string& host, int port,
-                              const std::string& path,
-                              const std::string& body,
-                              double timeout_seconds = 30.0);
+/// `extra_headers` are sent verbatim after the standard headers (the
+/// tests use this to exercise X-Request-Id echoing).
+Result<HttpResponse> HttpPost(
+    const std::string& host, int port, const std::string& path,
+    const std::string& body, double timeout_seconds = 30.0,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers =
+        {});
 
 /// GETs http://host:port/path.
 Result<HttpResponse> HttpGet(const std::string& host, int port,

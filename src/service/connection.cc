@@ -1,11 +1,15 @@
 #include "service/connection.h"
 
+#include <strings.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <utility>
+
+#include "common/timer.h"
+#include "obs/trace.h"
 
 namespace qfix {
 namespace service {
@@ -103,6 +107,23 @@ void Connection::HandleParsedRequest() {
   HttpRequest request = parser_.request();
   leftover_ = parser_.TakeLeftover();
   wants_keep_alive_ = request.WantsKeepAlive();
+  // Adopt the client's X-Request-Id when it is safe to echo; otherwise
+  // mint one. The sanitized id is written back into the request headers
+  // so the handler and the response header agree on one id.
+  request_id_.clear();
+  if (const std::string* client_id = request.FindHeader("X-Request-Id")) {
+    request_id_ = obs::SanitizeRequestId(*client_id);
+  }
+  if (request_id_.empty()) request_id_ = obs::GenerateRequestId();
+  bool rewrote = false;
+  for (auto& [name, value] : request.headers) {
+    if (name.size() == 12 && strncasecmp(name.c_str(), "X-Request-Id", 12) == 0) {
+      value = request_id_;
+      rewrote = true;
+      break;
+    }
+  }
+  if (!rewrote) request.headers.emplace_back("X-Request-Id", request_id_);
   // No read interest while the request is in flight; pipelined bytes
   // already received sit in leftover_ until the response is out.
   SetInterest(0);
@@ -144,8 +165,14 @@ void Connection::FinishDispatch(HttpResponse response) {
 }
 
 void Connection::StartWrite(HttpResponse response) {
+  // Every response carries a request id — parse errors, 408s, and the
+  // over-capacity reject path never reached HandleParsedRequest, so
+  // they mint one here.
+  if (request_id_.empty()) request_id_ = obs::GenerateRequestId();
+  response.headers.emplace_back("X-Request-Id", request_id_);
   host_->CountResponse(response.status);
   keep_after_write_ = response.keep_alive;
+  write_start_seconds_ = MonotonicSeconds();
   outbuf_ = response.Serialize();
   outoff_ = 0;
   state_ = State::kWriting;
@@ -181,6 +208,10 @@ void Connection::TryFlush() {
 
 void Connection::FinishResponse() {
   CancelTimer();
+  if (write_start_seconds_ > 0.0) {
+    host_->RecordWritePhase(MonotonicSeconds() - write_start_seconds_);
+    write_start_seconds_ = 0.0;
+  }
   outbuf_.clear();
   outoff_ = 0;
   if (!keep_after_write_) {
@@ -195,6 +226,7 @@ void Connection::NextRequest() {
   parser_.Reset();
   got_request_bytes_ = false;
   first_request_ = false;
+  request_id_.clear();
   if (host_->shutting_down()) {
     Close();
     return;

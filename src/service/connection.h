@@ -77,6 +77,10 @@ class ConnectionHost {
   /// Counts one answered request for /v1/stats (total + error class).
   virtual void CountResponse(int http_status) = 0;
 
+  /// Observes how long one response took to drain to the socket
+  /// (StartWrite -> fully flushed). Default: not recorded.
+  virtual void RecordWritePhase(double seconds) { (void)seconds; }
+
   /// The connection closed and finished every obligation: unregister
   /// and delete it. Runs on the connection's loop thread.
   virtual void OnConnectionClosed(Connection* conn) = 0;
@@ -159,6 +163,11 @@ class Connection : public FdHandler {
   int served_ = 0;
   uint64_t timer_id_ = 0;
   uint32_t interest_ = 0;
+  /// Request id for the in-flight request: the client's sanitized
+  /// X-Request-Id or a generated one. Echoed on every response,
+  /// including parse errors, timeouts, and reject paths.
+  std::string request_id_;
+  double write_start_seconds_ = 0.0;  // monotonic; 0 = not writing
 };
 
 }  // namespace service

@@ -23,6 +23,7 @@
 #include "common/strings.h"
 #include "common/timer.h"
 #include "io/csv.h"
+#include "obs/trace.h"
 #include "provenance/denoiser.h"
 #include "qfix/batch.h"
 #include "qfix/report_json.h"
@@ -194,6 +195,304 @@ DiagnosisServer::DiagnosisServer(ServerOptions options)
   for (const auto& [tenant, weight] : options_.tenant_weights) {
     governor_->SetWeight(tenant, weight);
   }
+  SetupMetrics();
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registration
+//
+// Two tiers, matching the header's design note in obs/metrics.h:
+//   * owned instruments for data nothing else accumulates — per-phase
+//     latency, per-tenant diagnose latency, solver/encoder totals;
+//   * scrape-time callbacks over the stats structs the subsystems
+//     already maintain (counters_, cache_, registry_, governor_,
+//     encoding_cache_) — zero hot-path cost and no double accounting.
+void DiagnosisServer::SetupMetrics() {
+  std::vector<double> edges = obs::DefaultLatencyBucketEdges();
+
+  obs::HistogramFamily* phases = metrics_.AddHistogram(
+      "qfix_request_phase_seconds",
+      "Per-phase latency of served /v1/diagnose requests "
+      "(parse/cache/admission/encode/solve/render) plus response drain "
+      "time (write).",
+      edges, {"phase"});
+  phase_parse_ = phases->WithLabels({"parse"});
+  phase_cache_ = phases->WithLabels({"cache"});
+  phase_admission_ = phases->WithLabels({"admission"});
+  phase_encode_ = phases->WithLabels({"encode"});
+  phase_solve_ = phases->WithLabels({"solve"});
+  phase_render_ = phases->WithLabels({"render"});
+  phase_write_ = phases->WithLabels({"write"});
+  diagnose_seconds_by_tenant_ = metrics_.AddHistogram(
+      "qfix_diagnose_seconds",
+      "Wall time of served /v1/diagnose requests, by tenant.", edges,
+      {"tenant"});
+  solver_nodes_total_ = metrics_.AddCounter(
+      "qfix_solver_nodes_total",
+      "Branch & bound nodes explored across all served diagnoses.")->Get();
+  solver_lp_iterations_total_ = metrics_.AddCounter(
+      "qfix_solver_lp_iterations_total",
+      "Simplex iterations across all served diagnoses.")->Get();
+  solver_incumbent_updates_total_ = metrics_.AddCounter(
+      "qfix_solver_incumbent_updates_total",
+      "Times a branch & bound worker installed a new best incumbent.")
+      ->Get();
+  encoder_constraints_total_ = metrics_.AddCounter(
+      "qfix_encoder_constraints_total",
+      "MILP constraints emitted by the encoder.")->Get();
+  encoder_variables_total_ = metrics_.AddCounter(
+      "qfix_encoder_variables_total",
+      "MILP variables emitted by the encoder.")->Get();
+  encoder_prefix_reused_total_ = metrics_.AddCounter(
+      "qfix_encoder_prefix_reused_total",
+      "Diagnoses that replayed a memoized chunk-prefix state instead of "
+      "re-encoding the full log.")->Get();
+  slow_requests_total_ = metrics_.AddCounter(
+      "qfix_slow_requests_total",
+      "Diagnose requests slower than --slow-request-ms.")->Get();
+
+  using Kind = obs::MetricsRegistry::Kind;
+  using Sample = obs::MetricsRegistry::Sample;
+  metrics_.AddCallback(
+      "qfix_requests_total", "Requests routed, by endpoint.", Kind::kCounter,
+      {"endpoint"}, [this](std::vector<Sample>* out) {
+        auto add = [out](const char* endpoint, uint64_t v) {
+          out->push_back({{endpoint}, static_cast<double>(v)});
+        };
+        add("append", counters_.append.load(std::memory_order_relaxed));
+        add("datasets", counters_.datasets.load(std::memory_order_relaxed));
+        add("debug", counters_.debug.load(std::memory_order_relaxed));
+        add("diagnose", counters_.diagnose.load(std::memory_order_relaxed));
+        add("healthz", counters_.health.load(std::memory_order_relaxed));
+        add("metrics", counters_.metrics.load(std::memory_order_relaxed));
+        add("stats", counters_.stats.load(std::memory_order_relaxed));
+      });
+  metrics_.AddCallback(
+      "qfix_http_responses_total", "Responses written, by status class.",
+      Kind::kCounter, {"class"}, [this](std::vector<Sample>* out) {
+        uint64_t total = counters_.total.load(std::memory_order_relaxed);
+        uint64_t e4 = counters_.err4xx.load(std::memory_order_relaxed);
+        uint64_t e5 = counters_.err5xx.load(std::memory_order_relaxed);
+        uint64_t ok = total >= e4 + e5 ? total - e4 - e5 : 0;
+        out->push_back({{"2xx"}, static_cast<double>(ok)});
+        out->push_back({{"4xx"}, static_cast<double>(e4)});
+        out->push_back({{"5xx"}, static_cast<double>(e5)});
+      });
+  metrics_.AddCallback(
+      "qfix_shed_total", "Requests shed with 429 over capacity.",
+      Kind::kCounter, {}, [this](std::vector<Sample>* out) {
+        out->push_back({{}, static_cast<double>(counters_.shed.load(
+                                std::memory_order_relaxed))});
+      });
+  metrics_.AddCallback(
+      "qfix_connections_total", "TCP connections accepted.", Kind::kCounter,
+      {}, [this](std::vector<Sample>* out) {
+        out->push_back({{}, static_cast<double>(counters_.connections.load(
+                                std::memory_order_relaxed))});
+      });
+  metrics_.AddCallback(
+      "qfix_open_connections", "Connections currently admitted.",
+      Kind::kGauge, {}, [this](std::vector<Sample>* out) {
+        out->push_back({{}, static_cast<double>(open_connections_.load(
+                                std::memory_order_relaxed))});
+      });
+  metrics_.AddCallback(
+      "qfix_inflight_items", "Batch items currently inside the admission "
+      "gate.", Kind::kGauge, {}, [this](std::vector<Sample>* out) {
+        out->push_back({{}, static_cast<double>(governor_->inflight())});
+      });
+  metrics_.AddCallback(
+      "qfix_inflight_capacity", "Admission gate capacity in batch items.",
+      Kind::kGauge, {}, [this](std::vector<Sample>* out) {
+        out->push_back({{}, static_cast<double>(options_.max_inflight)});
+      });
+  metrics_.AddCallback(
+      "qfix_items_total", "Batch items admitted and solved.", Kind::kCounter,
+      {}, [this](std::vector<Sample>* out) {
+        out->push_back({{}, static_cast<double>(counters_.items.load(
+                                std::memory_order_relaxed))});
+      });
+  metrics_.AddCallback(
+      "qfix_cached_hits_total",
+      "Diagnose sub-requests answered from the report cache.",
+      Kind::kCounter, {}, [this](std::vector<Sample>* out) {
+        out->push_back({{}, static_cast<double>(counters_.cached_hits.load(
+                                std::memory_order_relaxed))});
+      });
+  metrics_.AddCallback(
+      "qfix_report_cache_events_total", "Report cache events, by kind.",
+      Kind::kCounter, {"event"}, [this](std::vector<Sample>* out) {
+        if (cache_ == nullptr) return;
+        cache::ReportCache::Stats s = cache_->stats();
+        auto add = [out](const char* event, uint64_t v) {
+          out->push_back({{event}, static_cast<double>(v)});
+        };
+        add("coalesced", s.coalesced);
+        add("evictions", s.evictions);
+        add("hits", s.hits);
+        add("inserts", s.inserts);
+        add("invalidations", s.invalidations);
+        add("misses", s.misses);
+      });
+  metrics_.AddCallback(
+      "qfix_report_cache_bytes", "Report cache occupancy in bytes.",
+      Kind::kGauge, {}, [this](std::vector<Sample>* out) {
+        if (cache_ == nullptr) return;
+        out->push_back({{}, static_cast<double>(cache_->stats().bytes)});
+      });
+  metrics_.AddCallback(
+      "qfix_report_cache_entries", "Report cache entries.", Kind::kGauge, {},
+      [this](std::vector<Sample>* out) {
+        if (cache_ == nullptr) return;
+        out->push_back({{}, static_cast<double>(cache_->stats().entries)});
+      });
+  metrics_.AddCallback(
+      "qfix_report_cache_capacity_bytes", "Report cache byte budget.",
+      Kind::kGauge, {}, [this](std::vector<Sample>* out) {
+        if (cache_ == nullptr) return;
+        out->push_back(
+            {{}, static_cast<double>(cache_->stats().capacity_bytes)});
+      });
+  metrics_.AddCallback(
+      "qfix_registry_datasets", "Datasets currently registered.",
+      Kind::kGauge, {}, [this](std::vector<Sample>* out) {
+        out->push_back({{}, static_cast<double>(registry_.stats().datasets)});
+      });
+  metrics_.AddCallback(
+      "qfix_registry_bytes", "Registry occupancy over ApproxDatasetBytes.",
+      Kind::kGauge, {}, [this](std::vector<Sample>* out) {
+        out->push_back({{}, static_cast<double>(registry_.stats().bytes)});
+      });
+  metrics_.AddCallback(
+      "qfix_registry_capacity_bytes", "Registry byte budget (0 = unbounded).",
+      Kind::kGauge, {}, [this](std::vector<Sample>* out) {
+        out->push_back(
+            {{}, static_cast<double>(registry_.stats().capacity_bytes)});
+      });
+  metrics_.AddCallback(
+      "qfix_registry_evictions_total", "Registry evictions, by kind.",
+      Kind::kCounter, {"kind"}, [this](std::vector<Sample>* out) {
+        DatasetRegistry::Stats s = registry_.stats();
+        out->push_back({{"lru"}, static_cast<double>(s.evictions)});
+        out->push_back({{"ttl"}, static_cast<double>(s.ttl_evictions)});
+      });
+  metrics_.AddCallback(
+      "qfix_ingest_appends_total", "Successful append publications.",
+      Kind::kCounter, {}, [this](std::vector<Sample>* out) {
+        out->push_back({{}, static_cast<double>(registry_.stats().appends)});
+      });
+  metrics_.AddCallback(
+      "qfix_ingest_chunks", "Sealed chunks across registered head versions.",
+      Kind::kGauge, {}, [this](std::vector<Sample>* out) {
+        out->push_back({{}, static_cast<double>(registry_.stats().chunks)});
+      });
+  metrics_.AddCallback(
+      "qfix_ingest_appended_queries_total", "Queries accepted via append.",
+      Kind::kCounter, {}, [this](std::vector<Sample>* out) {
+        out->push_back(
+            {{}, static_cast<double>(counters_.appended_queries.load(
+                     std::memory_order_relaxed))});
+      });
+  metrics_.AddCallback(
+      "qfix_encoding_cache_events_total",
+      "Chunk-prefix encoding cache events, by kind.", Kind::kCounter,
+      {"event"}, [this](std::vector<Sample>* out) {
+        if (encoding_cache_ == nullptr) return;
+        ingest::EncodingCache::Stats s = encoding_cache_->stats();
+        out->push_back({{"compute"}, static_cast<double>(s.computes)});
+        out->push_back({{"hit"}, static_cast<double>(s.hits)});
+        out->push_back({{"miss"}, static_cast<double>(s.misses)});
+      });
+  metrics_.AddCallback(
+      "qfix_encoding_cache_bytes", "Encoding cache occupancy in bytes.",
+      Kind::kGauge, {}, [this](std::vector<Sample>* out) {
+        if (encoding_cache_ == nullptr) return;
+        out->push_back(
+            {{}, static_cast<double>(encoding_cache_->stats().bytes)});
+      });
+  metrics_.AddCallback(
+      "qfix_encoding_cache_entries", "Encoding cache entries.", Kind::kGauge,
+      {}, [this](std::vector<Sample>* out) {
+        if (encoding_cache_ == nullptr) return;
+        out->push_back(
+            {{}, static_cast<double>(encoding_cache_->stats().entries)});
+      });
+  metrics_.AddCallback(
+      "qfix_surviving_cache_bytes",
+      "Report-cache bytes of the last appended dataset that survived its "
+      "append.", Kind::kGauge, {}, [this](std::vector<Sample>* out) {
+        out->push_back(
+            {{}, static_cast<double>(counters_.surviving_cache_bytes.load(
+                     std::memory_order_relaxed))});
+      });
+  metrics_.AddCallback(
+      "qfix_tenant_requests_total", "Diagnose requests, by tenant.",
+      Kind::kCounter, {"tenant"}, [this](std::vector<Sample>* out) {
+        for (const TenantGovernor::TenantStats& t : governor_->Snapshot()) {
+          out->push_back({{t.name}, static_cast<double>(t.requests)});
+        }
+      });
+  metrics_.AddCallback(
+      "qfix_tenant_shed_total", "429 sheds, by tenant.", Kind::kCounter,
+      {"tenant"}, [this](std::vector<Sample>* out) {
+        for (const TenantGovernor::TenantStats& t : governor_->Snapshot()) {
+          out->push_back({{t.name}, static_cast<double>(t.shed_429)});
+        }
+      });
+  metrics_.AddCallback(
+      "qfix_tenant_items_total", "Batch items admitted, by tenant.",
+      Kind::kCounter, {"tenant"}, [this](std::vector<Sample>* out) {
+        for (const TenantGovernor::TenantStats& t : governor_->Snapshot()) {
+          out->push_back({{t.name}, static_cast<double>(t.items)});
+        }
+      });
+  metrics_.AddCallback(
+      "qfix_tenant_cached_hits_total", "Report-cache hits, by tenant.",
+      Kind::kCounter, {"tenant"}, [this](std::vector<Sample>* out) {
+        for (const TenantGovernor::TenantStats& t : governor_->Snapshot()) {
+          out->push_back({{t.name}, static_cast<double>(t.cached_hits)});
+        }
+      });
+  metrics_.AddCallback(
+      "qfix_tenant_inflight", "Items inside the gate, by tenant.",
+      Kind::kGauge, {"tenant"}, [this](std::vector<Sample>* out) {
+        for (const TenantGovernor::TenantStats& t : governor_->Snapshot()) {
+          out->push_back({{t.name}, static_cast<double>(t.inflight)});
+        }
+      });
+  metrics_.AddCallback(
+      "qfix_tenant_share", "Guaranteed admission share, by tenant.",
+      Kind::kGauge, {"tenant"}, [this](std::vector<Sample>* out) {
+        for (const TenantGovernor::TenantStats& t : governor_->Snapshot()) {
+          out->push_back({{t.name}, static_cast<double>(t.share)});
+        }
+      });
+  metrics_.AddCallback(
+      "qfix_tenant_weight", "Fair-share weight, by tenant.", Kind::kGauge,
+      {"tenant"}, [this](std::vector<Sample>* out) {
+        for (const TenantGovernor::TenantStats& t : governor_->Snapshot()) {
+          out->push_back({{t.name}, static_cast<double>(t.weight)});
+        }
+      });
+  metrics_.AddCallback(
+      "qfix_pool_workers", "Workers of the shared solver pool.", Kind::kGauge,
+      {}, [this](std::vector<Sample>* out) {
+        out->push_back({{}, static_cast<double>(
+                                pool_ != nullptr ? pool_->num_workers() : 0)});
+      });
+  metrics_.AddCallback(
+      "qfix_event_loops", "Event-loop threads sharing the listener.",
+      Kind::kGauge, {}, [this](std::vector<Sample>* out) {
+        out->push_back({{}, static_cast<double>(options_.event_loop_threads)});
+      });
+  metrics_.AddCallback(
+      "qfix_uptime_seconds", "Seconds since Start().", Kind::kGauge, {},
+      [this](std::vector<Sample>* out) {
+        out->push_back(
+            {{}, running_.load(std::memory_order_relaxed)
+                     ? MonotonicSeconds() - started_at_seconds_
+                     : 0.0});
+      });
 }
 
 DiagnosisServer::~DiagnosisServer() { Stop(); }
@@ -282,6 +581,13 @@ Status DiagnosisServer::Start() {
     LoopShard* s = shard.get();
     s->thread = std::thread([s] { s->loop.Run(); });
   }
+  LogEvent(LogLevel::kInfo, "server_started")
+      .Str("host", options_.host)
+      .Int("port", bound_port_)
+      .Int("event_loops", options_.event_loop_threads)
+      .Int("jobs", options_.jobs)
+      .Int("max_inflight", options_.max_inflight)
+      .Int("max_connections", options_.max_connections);
   return Status::OK();
 }
 
@@ -312,6 +618,12 @@ void DiagnosisServer::Stop() {
   if (was_running) {
     handler_pool_.reset();
     pool_.reset();
+    LogEvent(LogLevel::kInfo, "server_stopped")
+        .Int("port", bound_port_)
+        .Uint("requests_total",
+              counters_.total.load(std::memory_order_relaxed))
+        .Uint("connections_total",
+              counters_.connections.load(std::memory_order_relaxed));
   }
 }
 
@@ -376,6 +688,10 @@ void DiagnosisServer::CountResponse(int http_status) {
   }
 }
 
+void DiagnosisServer::RecordWritePhase(double seconds) {
+  phase_write_->Observe(seconds);
+}
+
 void DiagnosisServer::Offload(std::function<HttpResponse()> handler,
                               std::function<void(HttpResponse)> done) {
   handler_pool_->Submit(
@@ -403,6 +719,15 @@ bool DiagnosisServer::HandleRequest(HttpRequest request, HttpResponse* out,
       return true;
     }
     *out = HandleStats();
+    return true;
+  }
+  if (path == "/metrics") {
+    counters_.metrics.fetch_add(1, std::memory_order_relaxed);
+    if (request.method != "GET") {
+      *out = JsonError(405, "MethodNotAllowed", "use GET");
+      return true;
+    }
+    *out = HandleMetrics();
     return true;
   }
   if (path == "/v1/datasets") {
@@ -455,6 +780,7 @@ bool DiagnosisServer::HandleRequest(HttpRequest request, HttpResponse* out,
     return false;
   }
   if (options_.enable_test_endpoints && path == "/v1/debug/sleep") {
+    counters_.debug.fetch_add(1, std::memory_order_relaxed);
     Offload(
         [this, request = std::move(request)] {
           return HandleDebugSleep(request);
@@ -463,6 +789,7 @@ bool DiagnosisServer::HandleRequest(HttpRequest request, HttpResponse* out,
     return false;
   }
   if (options_.enable_test_endpoints && path == "/v1/debug/payload") {
+    counters_.debug.fetch_add(1, std::memory_order_relaxed);
     Offload(
         [this, request = std::move(request)] {
           return HandleDebugPayload(request);
@@ -477,6 +804,17 @@ bool DiagnosisServer::HandleRequest(HttpRequest request, HttpResponse* out,
 // ---------------------------------------------------------------------------
 // Endpoint handlers
 
+// Baked in by src/CMakeLists.txt; fallbacks cover non-CMake builds.
+#ifndef QFIX_VERSION_STRING
+#define QFIX_VERSION_STRING "dev"
+#endif
+#ifndef QFIX_BUILD_TYPE
+#define QFIX_BUILD_TYPE "unknown"
+#endif
+#ifndef QFIX_SANITIZE_CONFIG
+#define QFIX_SANITIZE_CONFIG "OFF"
+#endif
+
 HttpResponse DiagnosisServer::HandleHealthz() {
   JsonWriter w;
   w.BeginObject();
@@ -486,9 +824,30 @@ HttpResponse DiagnosisServer::HandleHealthz() {
   w.Uint(registry_.size());
   w.Key("uptime_seconds");
   w.Double(MonotonicSeconds() - started_at_seconds_);
+  // Build info: lets fleet tooling tell ASan/TSan/Release binaries
+  // apart when triaging a misbehaving replica.
+  w.Key("build");
+  w.BeginObject();
+  w.Key("version");
+  w.String(QFIX_VERSION_STRING);
+  w.Key("compiler");
+  w.String(__VERSION__);
+  w.Key("build_type");
+  w.String(QFIX_BUILD_TYPE);
+  w.Key("sanitize");
+  w.String(QFIX_SANITIZE_CONFIG);
+  w.EndObject();
   w.EndObject();
   HttpResponse out;
   out.body = w.str();
+  return out;
+}
+
+HttpResponse DiagnosisServer::HandleMetrics() {
+  HttpResponse out;
+  out.headers.emplace_back("Content-Type",
+                           "text/plain; version=0.0.4; charset=utf-8");
+  out.body = metrics_.RenderPrometheus();
   return out;
 }
 
@@ -510,6 +869,10 @@ HttpResponse DiagnosisServer::HandleStats() {
   w.Uint(s.requests_health);
   w.Key("stats");
   w.Uint(s.requests_stats);
+  w.Key("metrics");
+  w.Uint(s.requests_metrics);
+  w.Key("debug");
+  w.Uint(s.requests_debug);
   w.Key("shed_429");
   w.Uint(s.shed_429);
   w.Key("errors_4xx");
@@ -765,9 +1128,16 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
   // Recorded globally AND per tenant — a slow tenant's solves land in
   // its own recorder, so its p99 never skews another tenant's.
   const double start_seconds = MonotonicSeconds();
+  // The connection layer already sanitized (or minted) X-Request-Id,
+  // so the trace id below matches the response header byte-for-byte.
+  const std::string* rid = request.FindHeader("X-Request-Id");
+  obs::TraceContext trace(rid != nullptr ? *rid : std::string());
+  size_t sp_parse = trace.BeginSpan("parse");
 
   auto doc = ParseJson(request.body);
   if (!doc.ok()) return StatusError(400, doc.status());
+  auto with_timings = doc->BoolOr("timings", false);
+  if (!with_timings.ok()) return StatusError(400, with_timings.status());
 
   // One request is either a single diagnosis object or {"items":[...]}.
   std::vector<const JsonValue*> item_docs;
@@ -851,6 +1221,7 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
     }
     decoded.push_back(std::move(di));
   }
+  trace.EndSpan(sp_parse);
 
   // The distinct tenants this request touches (items are <= max_items;
   // a linear scan beats a map at that size).
@@ -905,6 +1276,7 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
   };
   std::vector<ItemPlan> plans(batch.size());
   size_t solves = 0;
+  size_t sp_cache = trace.BeginSpan("cache");
   if (cache_ == nullptr) {
     solves = batch.size();
   } else {
@@ -951,6 +1323,7 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
       ++solves;
     }
   }
+  trace.EndSpan(sp_cache);
   auto abandon_leads = [&]() {
     for (const ItemPlan& plan : plans) {
       if (plan.lead) cache_->Abandon(*plan.key);
@@ -963,6 +1336,7 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
       batch.size(),
       Result<qfixcore::Repair>(Status::Internal("served from cache")));
   std::vector<std::string> reports(batch.size());
+  size_t sp_admission = trace.BeginSpan("admission");
   if (solves > 0) {
     // Admission is counted in batch items (one request can fan out
     // items[]); cache hits took no slot. Over capacity — global room,
@@ -1002,6 +1376,7 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
     for (const auto& [tenant, count] : wants) {
       governor_->CountItems(tenant, static_cast<uint64_t>(count));
     }
+    trace.EndSpan(sp_admission);
 
     std::vector<qfixcore::BatchItem> to_solve;
     std::vector<size_t> solve_index;
@@ -1023,7 +1398,33 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
     // admission gate and splice the cached report bytes verbatim,
     // neither of which the library path can know about.
     qfixcore::BatchDiagnoser diagnoser(batch_options);
+    const double run_begin = trace.ElapsedSeconds();
     std::vector<Result<qfixcore::Repair>> solved = diagnoser.Run(to_solve);
+    const double run_end = trace.ElapsedSeconds();
+
+    // The encode/solve split inside one Run(): the engine reports
+    // per-item encode vs. solve seconds; their sum is clamped to the
+    // run's wall time (items run concurrently on the pool, so summed
+    // phase seconds can exceed wall seconds — the span view keeps the
+    // invariant sum(spans) <= wall).
+    double encode_total = 0.0;
+    for (size_t s = 0; s < solved.size(); ++s) {
+      if (!solved[s].ok()) continue;
+      const auto& st = solved[s]->stats;
+      encode_total += st.encode_seconds;
+      solver_nodes_total_->Inc(static_cast<uint64_t>(st.solver_nodes));
+      solver_lp_iterations_total_->Inc(
+          static_cast<uint64_t>(st.lp_iterations));
+      solver_incumbent_updates_total_->Inc(
+          static_cast<uint64_t>(st.incumbent_updates));
+      encoder_constraints_total_->Inc(
+          static_cast<uint64_t>(st.num_constraints));
+      encoder_variables_total_->Inc(static_cast<uint64_t>(st.num_vars));
+      if (st.prefix_reused) encoder_prefix_reused_total_->Inc();
+    }
+    const double encode_span = std::min(encode_total, run_end - run_begin);
+    trace.AddSpan("encode", run_begin, run_begin + encode_span);
+    trace.AddSpan("solve", run_begin + encode_span, run_end);
 
     for (size_t s = 0; s < solved.size(); ++s) {
       size_t i = solve_index[s];
@@ -1049,6 +1450,14 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
       }
       results[i] = std::move(solved[s]);
     }
+  } else {
+    // All items were cache hits (or duplicates of hits): the request
+    // still reports zero-length admission/encode/solve phases so the
+    // timings shape is uniform.
+    trace.EndSpan(sp_admission);
+    const double now = trace.ElapsedSeconds();
+    trace.AddSpan("encode", now, now);
+    trace.AddSpan("solve", now, now);
   }
   // Resolve in-request duplicates and belt-and-braces any leadership
   // still held (e.g. an item skipped by cancellation).
@@ -1062,7 +1471,35 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
   // Render: per-item ok/report or ok/error, plus whether the report
   // came from the cache. The report document is the exact report_json
   // rendering — a cache hit splices the original solve's bytes.
-  auto render_item = [&](size_t i, JsonWriter* w) {
+  size_t sp_render = trace.BeginSpan("render");
+  // Writes the opt-in "timings" block. Closing the render span first
+  // keeps sum(phases) <= total_ms: the few bytes of timings JSON
+  // serialized after the measurement are the only untracked work.
+  auto write_timings = [&](JsonWriter* w) {
+    trace.EndSpan(sp_render);
+    w->Key("timings");
+    w->BeginObject();
+    w->Key("request_id");
+    w->String(trace.request_id());
+    w->Key("total_ms");
+    w->Double(trace.ElapsedSeconds() * 1e3);
+    w->Key("phases");
+    w->BeginArray();
+    for (const obs::TraceSpan& span : trace.spans()) {
+      w->BeginObject();
+      w->Key("phase");
+      w->String(span.phase);
+      w->Key("start_ms");
+      w->Double(span.start_seconds * 1e3);
+      w->Key("ms");
+      w->Double(span.DurationSeconds() * 1e3);
+      w->EndObject();
+    }
+    w->EndArray();
+    w->EndObject();
+  };
+
+  auto render_item = [&](size_t i, JsonWriter* w, bool include_timings) {
     const ItemPlan& plan = plans[i];
     // Duplicates read through the item that did the lookup/solve.
     const size_t src = plan.dup_of != SIZE_MAX ? plan.dup_of : i;
@@ -1089,6 +1526,7 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
       w->String(results[i].status().message());
       w->EndObject();
     }
+    if (include_timings) write_timings(w);
     w->EndObject();
   };
 
@@ -1098,18 +1536,57 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
     w.Key("results");
     w.BeginArray();
     for (size_t i = 0; i < batch.size(); ++i) {
-      render_item(i, &w);
+      render_item(i, &w, /*include_timings=*/false);
     }
     w.EndArray();
+    if (*with_timings) write_timings(&w);
     w.EndObject();
   } else {
-    render_item(0, &w);
+    render_item(0, &w, /*include_timings=*/*with_timings);
   }
+  if (!*with_timings) trace.EndSpan(sp_render);
+
   const double elapsed = MonotonicSeconds() - start_seconds;
   latency_.Record(elapsed);
   for (const std::string& tenant : tenants) {
     governor_->RecordLatency(tenant, elapsed);
+    diagnose_seconds_by_tenant_->WithLabels({tenant})->Observe(elapsed);
   }
+  for (const obs::TraceSpan& span : trace.spans()) {
+    obs::Histogram* h = nullptr;
+    if (span.phase == "parse") {
+      h = phase_parse_;
+    } else if (span.phase == "cache") {
+      h = phase_cache_;
+    } else if (span.phase == "admission") {
+      h = phase_admission_;
+    } else if (span.phase == "encode") {
+      h = phase_encode_;
+    } else if (span.phase == "solve") {
+      h = phase_solve_;
+    } else if (span.phase == "render") {
+      h = phase_render_;
+    }
+    if (h != nullptr) h->Observe(span.DurationSeconds());
+  }
+  if (options_.slow_request_ms > 0.0 &&
+      elapsed * 1e3 >= options_.slow_request_ms) {
+    slow_requests_total_->Inc();
+    LogEvent log(LogLevel::kWarn, "slow_request");
+    log.Str("request_id", trace.request_id())
+        .Double("total_ms", elapsed * 1e3)
+        .Uint("items", batch.size());
+    std::string tenant_list;
+    for (const std::string& tenant : tenants) {
+      if (!tenant_list.empty()) tenant_list += ',';
+      tenant_list += tenant;
+    }
+    log.Str("tenants", tenant_list);
+    for (const obs::TraceSpan& span : trace.spans()) {
+      log.Double(span.phase + "_ms", span.DurationSeconds() * 1e3);
+    }
+  }
+
   HttpResponse out;
   out.body = w.str();
   return out;
@@ -1187,6 +1664,8 @@ DiagnosisServer::Stats DiagnosisServer::stats() const {
   s.requests_diagnose = counters_.diagnose.load(std::memory_order_relaxed);
   s.requests_health = counters_.health.load(std::memory_order_relaxed);
   s.requests_stats = counters_.stats.load(std::memory_order_relaxed);
+  s.requests_metrics = counters_.metrics.load(std::memory_order_relaxed);
+  s.requests_debug = counters_.debug.load(std::memory_order_relaxed);
   s.shed_429 = counters_.shed.load(std::memory_order_relaxed);
   s.errors_4xx = counters_.err4xx.load(std::memory_order_relaxed);
   s.errors_5xx = counters_.err5xx.load(std::memory_order_relaxed);

@@ -75,6 +75,7 @@
 #include "exec/cancellation.h"
 #include "exec/thread_pool.h"
 #include "harness/metrics.h"
+#include "obs/metrics.h"
 #include "service/connection.h"
 #include "service/http.h"
 #include "service/registry.h"
@@ -169,6 +170,10 @@ struct ServerOptions {
   /// Tests and the service bench use them to make over-capacity bursts
   /// and slow-reader reaping deterministic; never enable in production.
   bool enable_test_endpoints = false;
+  /// Diagnose requests slower than this (wall ms) emit one WARN
+  /// `slow_request` log line with the request id and per-phase
+  /// breakdown. 0 disables the slow-request log.
+  double slow_request_ms = 0.0;
 };
 
 class DiagnosisServer : private ConnectionHost {
@@ -204,6 +209,8 @@ class DiagnosisServer : private ConnectionHost {
     uint64_t requests_diagnose = 0;
     uint64_t requests_health = 0;
     uint64_t requests_stats = 0;
+    uint64_t requests_metrics = 0;
+    uint64_t requests_debug = 0;
     uint64_t shed_429 = 0;
     uint64_t errors_4xx = 0;
     uint64_t errors_5xx = 0;
@@ -244,6 +251,10 @@ class DiagnosisServer : private ConnectionHost {
   /// The report cache, or nullptr when disabled (cache_bytes == 0).
   cache::ReportCache* report_cache() { return cache_.get(); }
 
+  /// The telemetry registry behind GET /metrics. Exposed so embedders
+  /// (and the obs bench) can scrape without a socket.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   struct Counters {
     std::atomic<uint64_t> total{0};
@@ -251,6 +262,8 @@ class DiagnosisServer : private ConnectionHost {
     std::atomic<uint64_t> diagnose{0};
     std::atomic<uint64_t> health{0};
     std::atomic<uint64_t> stats{0};
+    std::atomic<uint64_t> metrics{0};
+    std::atomic<uint64_t> debug{0};
     std::atomic<uint64_t> shed{0};
     std::atomic<uint64_t> err4xx{0};
     std::atomic<uint64_t> err5xx{0};
@@ -278,6 +291,7 @@ class DiagnosisServer : private ConnectionHost {
   bool HandleRequest(HttpRequest request, HttpResponse* out,
                      std::function<void(HttpResponse)> done) override;
   void CountResponse(int http_status) override;
+  void RecordWritePhase(double seconds) override;
   void OnConnectionClosed(Connection* conn) override;
 
   /// Accepted `fd` lands on `shard`: admit as a served connection or
@@ -290,6 +304,7 @@ class DiagnosisServer : private ConnectionHost {
 
   HttpResponse HandleHealthz();
   HttpResponse HandleStats();
+  HttpResponse HandleMetrics();
   HttpResponse HandleRegisterDataset(const HttpRequest& request);
   HttpResponse HandleAppend(const HttpRequest& request, std::string name);
   HttpResponse HandleDiagnose(const HttpRequest& request);
@@ -323,9 +338,33 @@ class DiagnosisServer : private ConnectionHost {
   /// weighted fair sharing per tenant, counted in batch items.
   std::unique_ptr<TenantGovernor> governor_;
 
+  /// Registers every metric family (owned instruments for phase/tenant
+  /// latency + solver counters, scrape-time callbacks over the existing
+  /// stats structs). Called once, at the end of the constructor.
+  void SetupMetrics();
+
   Counters counters_;
   harness::LatencyRecorder latency_;
   double started_at_seconds_ = 0.0;
+
+  obs::MetricsRegistry metrics_;
+  // Owned instruments, resolved once in SetupMetrics(). Phase
+  // histograms share one family (label: phase).
+  obs::Histogram* phase_parse_ = nullptr;
+  obs::Histogram* phase_cache_ = nullptr;
+  obs::Histogram* phase_admission_ = nullptr;
+  obs::Histogram* phase_encode_ = nullptr;
+  obs::Histogram* phase_solve_ = nullptr;
+  obs::Histogram* phase_render_ = nullptr;
+  obs::Histogram* phase_write_ = nullptr;
+  obs::HistogramFamily* diagnose_seconds_by_tenant_ = nullptr;
+  obs::Counter* solver_nodes_total_ = nullptr;
+  obs::Counter* solver_lp_iterations_total_ = nullptr;
+  obs::Counter* solver_incumbent_updates_total_ = nullptr;
+  obs::Counter* encoder_constraints_total_ = nullptr;
+  obs::Counter* encoder_variables_total_ = nullptr;
+  obs::Counter* encoder_prefix_reused_total_ = nullptr;
+  obs::Counter* slow_requests_total_ = nullptr;
 };
 
 }  // namespace service

@@ -1,0 +1,490 @@
+// Tests for the observability layer: obs::MetricsRegistry (instruments,
+// Prometheus exposition, the in-repo parser/linter the CI smoke and
+// qfix_load reuse), obs::TraceContext (span bracketing, request ids),
+// and the structured logger in common/logging.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "harness/histogram.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace qfix {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Instruments
+
+TEST(MetricsTest, CounterAndGaugeBasics) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.Value(), 42u);
+
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Add(-1.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 1.5);
+}
+
+TEST(MetricsTest, HistogramBucketsAndSum) {
+  Histogram h({0.1, 1.0, 10.0});
+  h.Observe(0.05);   // bucket 0
+  h.Observe(0.1);    // le=0.1 is inclusive: bucket 0
+  h.Observe(0.5);    // bucket 1
+  h.Observe(100.0);  // +Inf bucket
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 0u);
+  EXPECT_EQ(h.BucketCount(3), 1u);  // +Inf
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.05 + 0.1 + 0.5 + 100.0);
+}
+
+TEST(MetricsTest, DefaultLatencyEdgesMatchHarnessHistogramLayout) {
+  std::vector<double> edges = DefaultLatencyBucketEdges();
+  ASSERT_FALSE(edges.empty());
+  // Strictly ascending (a Histogram constructor invariant, but assert
+  // it here so a bad derivation fails with a readable message).
+  for (size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_LT(edges[i - 1], edges[i]) << "edge " << i;
+  }
+  // Every edge must be an exact harness::LatencyHistogram bucket upper
+  // edge: recording an edge-valued latency into both histograms lands
+  // in buckets with identical upper bounds.
+  using harness::LatencyHistogram;
+  std::set<uint64_t> harness_edges_us;
+  const size_t total =
+      LatencyHistogram::kLinearBuckets +
+      LatencyHistogram::kGroups * LatencyHistogram::kSubBuckets;
+  for (size_t i = 0; i < total; ++i) {
+    harness_edges_us.insert(LatencyHistogram::UpperEdgeUs(i));
+  }
+  for (double edge : edges) {
+    uint64_t us = static_cast<uint64_t>(std::llround(edge * 1e6));
+    EXPECT_TRUE(harness_edges_us.count(us))
+        << edge << "s is not a harness bucket edge";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry + exposition round-trip
+
+TEST(MetricsTest, RenderParsesBackWithTypesHelpAndValues) {
+  MetricsRegistry registry;
+  CounterFamily* requests =
+      registry.AddCounter("test_requests_total", "Requests served.",
+                          {"endpoint"});
+  requests->WithLabels({"diagnose"})->Inc(3);
+  requests->WithLabels({"healthz"})->Inc(1);
+  GaugeFamily* inflight = registry.AddGauge("test_inflight", "In flight.");
+  inflight->Get()->Set(2.0);
+
+  auto parsed = ParseExposition(registry.RenderPrometheus());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->types.at("test_requests_total"), "counter");
+  EXPECT_EQ(parsed->types.at("test_inflight"), "gauge");
+  EXPECT_EQ(parsed->help.at("test_requests_total"), "Requests served.");
+
+  double diagnose = -1, healthz = -1, gauge = -1;
+  for (const auto& sample : parsed->samples) {
+    if (sample.name == "test_requests_total") {
+      const std::string* endpoint = sample.FindLabel("endpoint");
+      ASSERT_NE(endpoint, nullptr);
+      (*endpoint == "diagnose" ? diagnose : healthz) = sample.value;
+    } else if (sample.name == "test_inflight") {
+      gauge = sample.value;
+    }
+  }
+  EXPECT_DOUBLE_EQ(diagnose, 3.0);
+  EXPECT_DOUBLE_EQ(healthz, 1.0);
+  EXPECT_DOUBLE_EQ(gauge, 2.0);
+}
+
+TEST(MetricsTest, LabelValueEscapingRoundTrips) {
+  MetricsRegistry registry;
+  CounterFamily* family =
+      registry.AddCounter("test_escapes_total", "Help with \\ and \n inside.",
+                          {"tenant"});
+  const std::string nasty = "a\"b\\c\nd";
+  family->WithLabels({nasty})->Inc();
+
+  std::string text = registry.RenderPrometheus();
+  auto parsed = ParseExposition(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->help.at("test_escapes_total"),
+            "Help with \\ and \n inside.");
+  ASSERT_EQ(parsed->samples.size(), 1u);
+  const std::string* tenant = parsed->samples[0].FindLabel("tenant");
+  ASSERT_NE(tenant, nullptr);
+  EXPECT_EQ(*tenant, nasty);
+  EXPECT_TRUE(LintExposition(text).ok());
+}
+
+TEST(MetricsTest, HistogramExpositionIsCumulativeAndLintsClean) {
+  MetricsRegistry registry;
+  HistogramFamily* family = registry.AddHistogram(
+      "test_latency_seconds", "Latency.", {0.1, 1.0}, {"phase"});
+  Histogram* h = family->WithLabels({"solve"});
+  h->Observe(0.05);
+  h->Observe(0.5);
+  h->Observe(5.0);
+
+  std::string text = registry.RenderPrometheus();
+  ASSERT_TRUE(LintExposition(text).ok()) << LintExposition(text).ToString();
+
+  auto parsed = ParseExposition(text);
+  ASSERT_TRUE(parsed.ok());
+  double le_01 = -1, le_1 = -1, le_inf = -1, sum = -1, count = -1;
+  for (const auto& sample : parsed->samples) {
+    if (sample.name == "test_latency_seconds_bucket") {
+      const std::string* le = sample.FindLabel("le");
+      ASSERT_NE(le, nullptr);
+      if (*le == "0.1") le_01 = sample.value;
+      if (*le == "1") le_1 = sample.value;
+      if (*le == "+Inf") le_inf = sample.value;
+    } else if (sample.name == "test_latency_seconds_sum") {
+      sum = sample.value;
+    } else if (sample.name == "test_latency_seconds_count") {
+      count = sample.value;
+    }
+  }
+  EXPECT_DOUBLE_EQ(le_01, 1.0);   // cumulative
+  EXPECT_DOUBLE_EQ(le_1, 2.0);
+  EXPECT_DOUBLE_EQ(le_inf, 3.0);
+  EXPECT_DOUBLE_EQ(count, 3.0);
+  EXPECT_NEAR(sum, 5.55, 1e-9);
+}
+
+TEST(MetricsTest, WithLabelsReturnsStablePointer) {
+  MetricsRegistry registry;
+  CounterFamily* family =
+      registry.AddCounter("test_stable_total", "Stable.", {"k"});
+  Counter* first = family->WithLabels({"v"});
+  first->Inc();
+  // Creating more series must not move existing instruments.
+  for (int i = 0; i < 100; ++i) {
+    family->WithLabels({"other" + std::to_string(i)})->Inc();
+  }
+  EXPECT_EQ(family->WithLabels({"v"}), first);
+  EXPECT_EQ(first->Value(), 1u);
+}
+
+TEST(MetricsTest, CallbackFamilySampledAtScrapeTime) {
+  MetricsRegistry registry;
+  std::atomic<int> source{7};
+  registry.AddCallback(
+      "test_callback_total", "Callback.", MetricsRegistry::Kind::kCounter,
+      {"kind"}, [&source](std::vector<MetricsRegistry::Sample>* out) {
+        out->push_back({{"a"}, static_cast<double>(source.load())});
+      });
+
+  auto first = ParseExposition(registry.RenderPrometheus());
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(first->samples[0].value, 7.0);
+
+  source = 9;  // a later scrape sees the new value: nothing is cached
+  auto second = ParseExposition(registry.RenderPrometheus());
+  ASSERT_TRUE(second.ok());
+  EXPECT_DOUBLE_EQ(second->samples[0].value, 9.0);
+}
+
+TEST(MetricsTest, NameValidation) {
+  EXPECT_TRUE(ValidMetricName("qfix_requests_total"));
+  EXPECT_TRUE(ValidMetricName("ns:sub_total"));
+  EXPECT_FALSE(ValidMetricName(""));
+  EXPECT_FALSE(ValidMetricName("9starts_with_digit"));
+  EXPECT_FALSE(ValidMetricName("has-dash"));
+  EXPECT_TRUE(ValidLabelName("tenant"));
+  EXPECT_FALSE(ValidLabelName("__reserved"));
+  EXPECT_FALSE(ValidLabelName("has.dot"));
+}
+
+// ---------------------------------------------------------------------------
+// Lint negative cases: each payload is one specific scraper-visible bug.
+
+TEST(MetricsLintTest, RejectsSampleWithoutType) {
+  EXPECT_FALSE(LintExposition("orphan_total 1\n").ok());
+}
+
+TEST(MetricsLintTest, RejectsDuplicateSeries) {
+  const char* text =
+      "# TYPE dup_total counter\n"
+      "dup_total{t=\"a\"} 1\n"
+      "dup_total{t=\"a\"} 2\n";
+  EXPECT_FALSE(LintExposition(text).ok());
+}
+
+TEST(MetricsLintTest, RejectsNegativeCounter) {
+  EXPECT_FALSE(
+      LintExposition("# TYPE neg_total counter\nneg_total -1\n").ok());
+}
+
+TEST(MetricsLintTest, RejectsNonCumulativeHistogram) {
+  const char* text =
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"0.1\"} 5\n"
+      "h_bucket{le=\"1\"} 3\n"          // decreasing: not cumulative
+      "h_bucket{le=\"+Inf\"} 5\n"
+      "h_sum 1\n"
+      "h_count 5\n";
+  EXPECT_FALSE(LintExposition(text).ok());
+}
+
+TEST(MetricsLintTest, RejectsHistogramWithoutInfBucket) {
+  const char* text =
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"0.1\"} 1\n"
+      "h_sum 1\n"
+      "h_count 1\n";
+  EXPECT_FALSE(LintExposition(text).ok());
+}
+
+TEST(MetricsLintTest, RejectsCountDisagreeingWithInfBucket) {
+  const char* text =
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"+Inf\"} 3\n"
+      "h_sum 1\n"
+      "h_count 4\n";
+  EXPECT_FALSE(LintExposition(text).ok());
+}
+
+TEST(MetricsParseTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseExposition("no_value\n").ok());
+  EXPECT_FALSE(ParseExposition("bad{unterminated=\"x} 1\n").ok());
+  EXPECT_FALSE(ParseExposition("bad_value notanumber\n").ok());
+}
+
+TEST(MetricsParseTest, AcceptsInfNanAndTimestamps) {
+  auto parsed = ParseExposition(
+      "g_one +Inf\n"
+      "g_two -Inf\n"
+      "g_three NaN\n"
+      "g_four 1.5 1712000000000\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->samples.size(), 4u);
+  EXPECT_TRUE(std::isinf(parsed->samples[0].value));
+  EXPECT_TRUE(std::isinf(parsed->samples[1].value));
+  EXPECT_LT(parsed->samples[1].value, 0);
+  EXPECT_TRUE(std::isnan(parsed->samples[2].value));
+  EXPECT_DOUBLE_EQ(parsed->samples[3].value, 1.5);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: scrapes interleaved with writers must stay lint-clean.
+// (Run under the TSan lane in CI; the assertions here catch torn
+// exposition, TSan catches races.)
+
+TEST(MetricsTest, ConcurrentObserveAndRenderStaysConsistent) {
+  MetricsRegistry registry;
+  CounterFamily* counters =
+      registry.AddCounter("test_mt_total", "MT.", {"worker"});
+  HistogramFamily* hists = registry.AddHistogram(
+      "test_mt_seconds", "MT latency.", {0.001, 0.01, 0.1}, {"worker"});
+
+  constexpr int kWriters = 4;
+  constexpr int kOpsPerWriter = 5000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      const std::string label = "w" + std::to_string(w);
+      Counter* c = counters->WithLabels({label});
+      Histogram* h = hists->WithLabels({label});
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        c->Inc();
+        h->Observe(0.0005 * (i % 400));
+      }
+    });
+  }
+  // Scrape continuously while writers run; every payload must lint.
+  int scrapes = 0;
+  while (!stop.load()) {
+    std::string text = registry.RenderPrometheus();
+    Status lint = LintExposition(text);
+    ASSERT_TRUE(lint.ok()) << lint.ToString();
+    ++scrapes;
+    bool all_done = true;
+    for (int w = 0; w < kWriters; ++w) {
+      if (counters->WithLabels({"w" + std::to_string(w)})->Value() <
+          kOpsPerWriter) {
+        all_done = false;
+      }
+    }
+    if (all_done) stop = true;
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_GE(scrapes, 1);
+
+  // Final totals are exact once writers are quiescent.
+  auto parsed = ParseExposition(registry.RenderPrometheus());
+  ASSERT_TRUE(parsed.ok());
+  double total = 0, count_total = 0;
+  for (const auto& sample : parsed->samples) {
+    if (sample.name == "test_mt_total") total += sample.value;
+    if (sample.name == "test_mt_seconds_count") count_total += sample.value;
+  }
+  EXPECT_DOUBLE_EQ(total, kWriters * kOpsPerWriter);
+  EXPECT_DOUBLE_EQ(count_total, kWriters * kOpsPerWriter);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+
+TEST(TraceTest, SpansRecordOrderedOffsets) {
+  TraceContext trace("test-id");
+  EXPECT_EQ(trace.request_id(), "test-id");
+
+  size_t parse = trace.BeginSpan("parse");
+  trace.EndSpan(parse);
+  size_t solve = trace.BeginSpan("solve");
+  trace.EndSpan(solve);
+
+  ASSERT_EQ(trace.spans().size(), 2u);
+  const TraceSpan& first = trace.spans()[0];
+  const TraceSpan& second = trace.spans()[1];
+  EXPECT_EQ(first.phase, "parse");
+  EXPECT_EQ(second.phase, "solve");
+  EXPECT_GE(first.start_seconds, 0.0);
+  EXPECT_LE(first.start_seconds, first.end_seconds);
+  EXPECT_LE(first.end_seconds, second.start_seconds);
+  EXPECT_LE(second.end_seconds, trace.ElapsedSeconds());
+}
+
+TEST(TraceTest, EndSpanOnlyExtendsForward) {
+  TraceContext trace;
+  size_t span = trace.BeginSpan("phase");
+  trace.EndSpan(span);
+  double first_end = trace.spans()[0].end_seconds;
+  trace.EndSpan(span);  // re-close later: extends
+  EXPECT_GE(trace.spans()[0].end_seconds, first_end);
+}
+
+TEST(TraceTest, AddSpanClampsBackwardExtents) {
+  TraceContext trace;
+  trace.AddSpan("computed", 0.5, 0.2);  // end before start: clamped
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_DOUBLE_EQ(trace.spans()[0].start_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(trace.spans()[0].end_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(trace.spans()[0].DurationSeconds(), 0.0);
+}
+
+TEST(TraceTest, GeneratedRequestIdsAreUniqueAndWellFormed) {
+  std::set<std::string> ids;
+  for (int i = 0; i < 1000; ++i) {
+    std::string id = GenerateRequestId();
+    ASSERT_EQ(id.size(), 18u) << id;
+    ASSERT_EQ(id.compare(0, 2, "q-"), 0) << id;
+    for (size_t p = 2; p < id.size(); ++p) {
+      char c = id[p];
+      ASSERT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << id;
+    }
+    EXPECT_TRUE(ids.insert(id).second) << "duplicate id " << id;
+  }
+  // An empty-constructed context mints an id too.
+  EXPECT_FALSE(TraceContext().request_id().empty());
+}
+
+TEST(TraceTest, SanitizeRequestIdFiltersUnsafeValues) {
+  EXPECT_EQ(SanitizeRequestId("abc-123.XYZ_ok"), "abc-123.XYZ_ok");
+  EXPECT_EQ(SanitizeRequestId(""), "");
+  EXPECT_EQ(SanitizeRequestId("evil\r\nSet-Cookie: x"), "");
+  EXPECT_EQ(SanitizeRequestId("has space"), "");
+  EXPECT_EQ(SanitizeRequestId("quote\"inject"), "");
+  EXPECT_EQ(SanitizeRequestId(std::string(65, 'a')), "");
+  EXPECT_EQ(SanitizeRequestId(std::string(64, 'a')), std::string(64, 'a'));
+}
+
+// ---------------------------------------------------------------------------
+// Structured logging
+
+class LogCaptureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetLogSink([this](const std::string& line) { lines_.push_back(line); });
+    SetLogLevel(LogLevel::kInfo);
+    SetLogJson(false);
+  }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetLogLevel(LogLevel::kInfo);
+    SetLogJson(false);
+  }
+  std::vector<std::string> lines_;
+};
+
+TEST_F(LogCaptureTest, PlainFormatAndFieldQuoting) {
+  LogEvent(LogLevel::kInfo, "request_done")
+      .Str("id", "q-1234")
+      .Str("msg", "two words")
+      .Int("items", 3)
+      .Double("ms", 1.5)
+      .Bool("cached", true);
+  ASSERT_EQ(lines_.size(), 1u);
+  const std::string& line = lines_[0];
+  EXPECT_NE(line.find(" INFO request_done "), std::string::npos) << line;
+  EXPECT_NE(line.find("id=q-1234"), std::string::npos) << line;
+  // Values with spaces are quoted; bare tokens are not.
+  EXPECT_NE(line.find("msg=\"two words\""), std::string::npos) << line;
+  EXPECT_NE(line.find("items=3"), std::string::npos) << line;
+  EXPECT_NE(line.find("cached=true"), std::string::npos) << line;
+}
+
+TEST_F(LogCaptureTest, LevelFilterDropsBelowThreshold) {
+  SetLogLevel(LogLevel::kWarn);
+  LogEvent(LogLevel::kInfo, "dropped");
+  LogEvent(LogLevel::kDebug, "dropped_too");
+  LogEvent(LogLevel::kWarn, "kept");
+  LogEvent(LogLevel::kError, "kept_too");
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_NE(lines_[0].find("kept"), std::string::npos);
+  EXPECT_NE(lines_[1].find("kept_too"), std::string::npos);
+
+  SetLogLevel(LogLevel::kOff);
+  LogEvent(LogLevel::kError, "silenced");
+  EXPECT_EQ(lines_.size(), 2u);
+}
+
+TEST_F(LogCaptureTest, JsonLinesCarryAllFields) {
+  SetLogJson(true);
+  LogEvent(LogLevel::kWarn, "slow_request")
+      .Str("id", "q-ff")
+      .Double("total_ms", 12.25)
+      .Int("items", -2);
+  ASSERT_EQ(lines_.size(), 1u);
+  const std::string& line = lines_[0];
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_NE(line.find("\"level\":\"warn\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"event\":\"slow_request\""), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"id\":\"q-ff\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"items\":-2"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"ts\":\""), std::string::npos) << line;
+}
+
+TEST(LogLevelTest, ParseAndNameRoundTrip) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("off", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_EQ(level, LogLevel::kOff);  // untouched on failure
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "warn");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace qfix

@@ -6,13 +6,17 @@
 // acceptance: an over-capacity burst sheds with 429 instead of
 // queueing, and the server recovers afterwards.
 #include <gtest/gtest.h>
+#include <strings.h>
 
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/json.h"
+#include "common/logging.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 #include "io/csv.h"
 #include "io/snapshot.h"
 #include "qfix/batch.h"
@@ -1008,6 +1012,319 @@ TEST_F(ServerTest, StopCancelsDebugSleepCooperatively) {
   sleeper.join();
   // Cooperative cancellation: far less than the requested 25 s.
   EXPECT_LT(stop_seconds, 10.0);
+}
+
+// ---------------------------------------------------------------------------
+// Observability: /metrics, request ids, timings, slow-request log
+
+// HttpResponse has no FindHeader; the tests scan case-insensitively.
+const std::string* ResponseHeader(const service::HttpResponse& response,
+                                  const char* name) {
+  for (const auto& [key, value] : response.headers) {
+    if (strcasecmp(key.c_str(), name) == 0) return &value;
+  }
+  return nullptr;
+}
+
+TEST_F(ServerTest, MetricsExpositionLintsCleanAndCoversSubsystems) {
+  ServerOptions options;
+  options.enable_test_endpoints = true;
+  StartServer(options);
+
+  ASSERT_EQ(Post("/v1/datasets", RegisterTaxesBody()).status, 200);
+  ASSERT_EQ(Post("/v1/diagnose", DiagnoseTaxesBody()).status, 200);
+  ASSERT_EQ(Post("/v1/diagnose", DiagnoseTaxesBody()).status, 200);  // hit
+  ASSERT_EQ(Post("/v1/datasets/taxes/append",
+                 "{\"log_sql\":\"UPDATE Taxes SET pay = pay WHERE "
+                 "income < 0;\"}")
+                .status,
+            200);
+
+  auto metrics = Get("/metrics");
+  ASSERT_EQ(metrics.status, 200) << metrics.body;
+  const std::string* content_type = ResponseHeader(metrics, "Content-Type");
+  ASSERT_NE(content_type, nullptr);
+  EXPECT_NE(content_type->find("version=0.0.4"), std::string::npos);
+
+  Status lint = obs::LintExposition(metrics.body);
+  EXPECT_TRUE(lint.ok()) << lint.ToString();
+
+  auto parsed = obs::ParseExposition(metrics.body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  // Every layer of the stack shows up in one scrape.
+  for (const char* family :
+       {"qfix_requests_total", "qfix_http_responses_total",
+        "qfix_open_connections", "qfix_inflight_items",
+        "qfix_request_phase_seconds", "qfix_diagnose_seconds",
+        "qfix_report_cache_events_total", "qfix_registry_datasets",
+        "qfix_encoding_cache_events_total", "qfix_ingest_appends_total",
+        "qfix_tenant_requests_total", "qfix_solver_nodes_total",
+        "qfix_encoder_constraints_total", "qfix_pool_workers",
+        "qfix_uptime_seconds"}) {
+    EXPECT_TRUE(parsed->types.count(family)) << "missing family " << family;
+  }
+
+  // Spot-check values: requests routed, phases observed, solver worked.
+  auto series = [&](const char* name, const char* label_name,
+                    const char* label_value) -> double {
+    for (const auto& sample : parsed->samples) {
+      if (sample.name != name) continue;
+      if (label_name == nullptr) return sample.value;
+      const std::string* v = sample.FindLabel(label_name);
+      if (v != nullptr && *v == label_value) return sample.value;
+    }
+    return -1.0;
+  };
+  EXPECT_EQ(series("qfix_requests_total", "endpoint", "diagnose"), 2.0);
+  EXPECT_EQ(series("qfix_requests_total", "endpoint", "append"), 1.0);
+  EXPECT_EQ(series("qfix_registry_datasets", nullptr, nullptr), 1.0);
+  EXPECT_EQ(series("qfix_ingest_appends_total", nullptr, nullptr), 1.0);
+  EXPECT_GE(series("qfix_solver_nodes_total", nullptr, nullptr), 1.0);
+  EXPECT_GE(series("qfix_encoder_constraints_total", nullptr, nullptr), 1.0);
+  // One cold solve + one cache hit, both diagnoses phase-traced.
+  EXPECT_GE(series("qfix_report_cache_events_total", "event", "hits"), 1.0);
+  EXPECT_EQ(series("qfix_request_phase_seconds_count", "phase", "solve"),
+            2.0);
+  EXPECT_EQ(series("qfix_request_phase_seconds_count", "phase", "parse"),
+            2.0);
+  // TenantOf("taxes") is "taxes": unprefixed datasets are their own
+  // tenant namespace.
+  EXPECT_EQ(series("qfix_diagnose_seconds_count", "tenant", "taxes"), 2.0);
+  // The write phase is recorded at the connection layer for every
+  // response served so far.
+  EXPECT_GE(series("qfix_request_phase_seconds_count", "phase", "write"),
+            4.0);
+
+  // /metrics serves GET only.
+  EXPECT_EQ(Post("/metrics", "{}").status, 405);
+}
+
+TEST_F(ServerTest, TimingsBlockIsOptInAndInternallyConsistent) {
+  StartServer(ServerOptions{});
+  ASSERT_EQ(Post("/v1/datasets", RegisterTaxesBody()).status, 200);
+
+  // Without the flag: no timings block.
+  auto plain = Post("/v1/diagnose", DiagnoseTaxesBody());
+  ASSERT_EQ(plain.status, 200);
+  EXPECT_EQ(plain.body.find("\"timings\""), std::string::npos);
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("dataset");
+  w.String("taxes");
+  w.Key("complaints_csv");
+  w.String(kTaxComplaintsCsv);
+  w.Key("timings");
+  w.Bool(true);
+  w.EndObject();
+  auto timed = Post("/v1/diagnose", w.str());
+  ASSERT_EQ(timed.status, 200) << timed.body;
+
+  auto doc = ParseJson(timed.body);
+  ASSERT_TRUE(doc.ok()) << timed.body;
+  const JsonValue* timings = doc->Find("timings");
+  ASSERT_NE(timings, nullptr) << timed.body;
+
+  // The id in the body is the id on the wire.
+  const JsonValue* request_id = timings->Find("request_id");
+  ASSERT_NE(request_id, nullptr);
+  const std::string* header_id = ResponseHeader(timed, "X-Request-Id");
+  ASSERT_NE(header_id, nullptr);
+  EXPECT_EQ(request_id->AsString(), *header_id);
+
+  const JsonValue* total_ms = timings->Find("total_ms");
+  ASSERT_NE(total_ms, nullptr);
+  EXPECT_GT(total_ms->AsNumber(), 0.0);
+
+  const JsonValue* phases = timings->Find("phases");
+  ASSERT_NE(phases, nullptr);
+  ASSERT_TRUE(phases->is_array());
+  std::vector<std::string> names;
+  double phase_sum_ms = 0.0;
+  double prev_start = -1.0;
+  for (const JsonValue& phase : phases->AsArray()) {
+    names.push_back(phase.Find("phase")->AsString());
+    double start = phase.Find("start_ms")->AsNumber();
+    double ms = phase.Find("ms")->AsNumber();
+    EXPECT_GE(ms, 0.0);
+    EXPECT_GE(start, prev_start);  // spans in chronological order
+    prev_start = start;
+    phase_sum_ms += ms;
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"parse", "cache", "admission",
+                                             "encode", "solve", "render"}));
+  // Phases are disjoint sub-intervals of the request: their sum cannot
+  // exceed the total (the render span closes before serialization).
+  EXPECT_LE(phase_sum_ms, total_ms->AsNumber() + 1e-6);
+}
+
+TEST_F(ServerTest, RequestIdEchoedGeneratedAndSanitized) {
+  StartServer(ServerOptions{});
+
+  // A safe client id is echoed byte-for-byte.
+  auto echoed = service::HttpPost("127.0.0.1", port_, "/v1/diagnose",
+                                  DiagnoseTaxesBody(), 30.0,
+                                  {{"X-Request-Id", "client-id.42"}});
+  ASSERT_TRUE(echoed.ok());
+  const std::string* id = ResponseHeader(*echoed, "X-Request-Id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(*id, "client-id.42");
+  EXPECT_EQ(echoed->status, 404);  // unregistered dataset: errors echo too
+
+  // An unsafe id (header injection shape) is replaced, not echoed.
+  auto unsafe = service::HttpPost("127.0.0.1", port_, "/v1/healthz", "",
+                                  30.0, {{"X-Request-Id", "bad id\"!"}});
+  ASSERT_TRUE(unsafe.ok());
+  id = ResponseHeader(*unsafe, "X-Request-Id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->compare(0, 2, "q-"), 0) << *id;
+
+  // No client id: the server mints one, on every route including 404s.
+  auto generated = Get("/v1/healthz");
+  id = ResponseHeader(generated, "X-Request-Id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->compare(0, 2, "q-"), 0) << *id;
+  auto missing = Get("/v1/nope");
+  EXPECT_EQ(missing.status, 404);
+  id = ResponseHeader(missing, "X-Request-Id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_FALSE(id->empty());
+}
+
+TEST_F(ServerTest, EveryRoutedEndpointIncrementsExactlyOneCounter) {
+  ServerOptions options;
+  options.enable_test_endpoints = true;
+  StartServer(options);
+
+  struct Snapshot {
+    uint64_t total, datasets, append, diagnose, health, stats, metrics,
+        debug;
+  };
+  auto snapshot = [this]() -> Snapshot {
+    DiagnosisServer::Stats s = server_->stats();
+    return {s.requests_total,  s.requests_datasets, s.requests_append,
+            s.requests_diagnose, s.requests_health, s.requests_stats,
+            s.requests_metrics, s.requests_debug};
+  };
+  auto endpoint_sum = [](const Snapshot& s) {
+    return s.datasets + s.append + s.diagnose + s.health + s.stats +
+           s.metrics + s.debug;
+  };
+  auto expect_one = [&](const char* label, uint64_t before_field,
+                        uint64_t after_field, const Snapshot& before,
+                        const Snapshot& after) {
+    EXPECT_EQ(after.total - before.total, 1u) << label;
+    EXPECT_EQ(after_field - before_field, 1u) << label;
+    EXPECT_EQ(endpoint_sum(after) - endpoint_sum(before), 1u) << label;
+  };
+
+  Snapshot before = snapshot();
+  Get("/v1/healthz");
+  Snapshot after = snapshot();
+  expect_one("healthz", before.health, after.health, before, after);
+
+  before = after;
+  Get("/v1/stats");
+  after = snapshot();
+  expect_one("stats", before.stats, after.stats, before, after);
+
+  before = after;
+  Get("/metrics");
+  after = snapshot();
+  expect_one("metrics", before.metrics, after.metrics, before, after);
+
+  before = after;
+  Post("/v1/datasets", RegisterTaxesBody());
+  after = snapshot();
+  expect_one("datasets", before.datasets, after.datasets, before, after);
+
+  before = after;
+  Post("/v1/datasets/taxes/append",
+       "{\"log_sql\":\"UPDATE Taxes SET pay = pay WHERE income < 0;\"}");
+  after = snapshot();
+  expect_one("append", before.append, after.append, before, after);
+
+  before = after;
+  Post("/v1/diagnose", DiagnoseTaxesBody());
+  after = snapshot();
+  expect_one("diagnose", before.diagnose, after.diagnose, before, after);
+
+  before = after;
+  Post("/v1/debug/payload", "{\"bytes\": 16}");
+  after = snapshot();
+  expect_one("debug", before.debug, after.debug, before, after);
+
+  // Unrouted paths count toward the total but no endpoint bucket.
+  before = after;
+  Get("/v1/nope");
+  after = snapshot();
+  EXPECT_EQ(after.total - before.total, 1u);
+  EXPECT_EQ(endpoint_sum(after) - endpoint_sum(before), 0u);
+}
+
+TEST_F(ServerTest, SlowRequestLogFiresAboveThresholdOnly) {
+  std::vector<std::string> lines;
+  std::mutex lines_mu;
+  SetLogSink([&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(lines_mu);
+    lines.push_back(line);
+  });
+
+  // Threshold far above any loopback diagnosis: nothing logged.
+  ServerOptions quiet;
+  quiet.slow_request_ms = 1e9;
+  StartServer(quiet);
+  ASSERT_EQ(Post("/v1/datasets", RegisterTaxesBody()).status, 200);
+  auto fast = Post("/v1/diagnose", DiagnoseTaxesBody());
+  ASSERT_EQ(fast.status, 200);
+  {
+    std::lock_guard<std::mutex> lock(lines_mu);
+    for (const std::string& line : lines) {
+      EXPECT_EQ(line.find("slow_request"), std::string::npos) << line;
+    }
+  }
+  server_->Stop();
+
+  // Threshold below any diagnosis: the warn line fires and carries the
+  // request id the client saw.
+  ServerOptions noisy;
+  noisy.slow_request_ms = 1e-6;
+  StartServer(noisy);
+  ASSERT_EQ(Post("/v1/datasets", RegisterTaxesBody()).status, 200);
+  auto slow = service::HttpPost("127.0.0.1", port_, "/v1/diagnose",
+                                DiagnoseTaxesBody(), 30.0,
+                                {{"X-Request-Id", "slow-probe-1"}});
+  ASSERT_TRUE(slow.ok());
+  ASSERT_EQ(slow->status, 200);
+  {
+    std::lock_guard<std::mutex> lock(lines_mu);
+    bool found = false;
+    for (const std::string& line : lines) {
+      if (line.find("slow_request") == std::string::npos) continue;
+      found = true;
+      EXPECT_NE(line.find("slow-probe-1"), std::string::npos) << line;
+      EXPECT_NE(line.find("WARN"), std::string::npos) << line;
+      EXPECT_NE(line.find("solve_ms"), std::string::npos) << line;
+    }
+    EXPECT_TRUE(found);
+  }
+  SetLogSink(nullptr);
+}
+
+TEST_F(ServerTest, HealthzCarriesBuildInfo) {
+  StartServer(ServerOptions{});
+  auto health = Get("/v1/healthz");
+  ASSERT_EQ(health.status, 200);
+  auto doc = ParseJson(health.body);
+  ASSERT_TRUE(doc.ok());
+  const JsonValue* build = doc->Find("build");
+  ASSERT_NE(build, nullptr) << health.body;
+  for (const char* key : {"version", "compiler", "build_type", "sanitize"}) {
+    const JsonValue* field = build->Find(key);
+    ASSERT_NE(field, nullptr) << key;
+    EXPECT_FALSE(field->AsString().empty()) << key;
+  }
 }
 
 }  // namespace

@@ -6,7 +6,7 @@
 //             [--tenants N | --tenant NAME=W ...]
 //             [--cached-fraction F] [--register-fraction F]
 //             [--variants N] [--seed N] [--timeout S] [--json FILE]
-//             [--no-setup]
+//             [--no-setup] [--scrape-metrics]
 //
 // Drives a running qfix_serve with a weighted tenant mix (tenant =
 // dataset namespace, e.g. "t1/taxes" belongs to tenant "t1"). Setup
@@ -28,11 +28,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "common/json.h"
 #include "harness/loadgen.h"
+#include "obs/metrics.h"
 #include "service/client.h"
 
 namespace {
@@ -89,7 +91,10 @@ void PrintUsage(const char* argv0) {
       "  --seed N            RNG seed (default 1)\n"
       "  --timeout S         per-request timeout (default 30)\n"
       "  --json FILE         write the full JSON result to FILE\n"
-      "  --no-setup          skip dataset registration\n",
+      "  --no-setup          skip dataset registration\n"
+      "  --scrape-metrics    GET /metrics before and after the run,\n"
+      "                      lint both payloads (failures fail the run),\n"
+      "                      and print the nonzero counter deltas\n",
       argv0);
 }
 
@@ -172,6 +177,60 @@ void PrintLatency(const char* label, const qfix::harness::LatencyHistogram& h) {
               h.max() * 1e3);
 }
 
+/// One --scrape-metrics snapshot: GET /metrics, lint the payload with
+/// the in-repo linter, and flatten every counter sample — plus each
+/// histogram's `_count` series, which is a counter in all but name —
+/// into "name{label=\"v\",...}" -> value. False (with a message) on any
+/// transport, lint, or parse failure.
+bool ScrapeCounters(const std::string& host, int port, double timeout,
+                    std::map<std::string, double>* out) {
+  auto resp = qfix::service::HttpGet(host, port, "/metrics", timeout);
+  if (!resp.ok() || resp->status != 200) {
+    std::fprintf(stderr, "error: GET /metrics failed: %s\n",
+                 resp.ok() ? resp->body.c_str()
+                           : resp.status().ToString().c_str());
+    return false;
+  }
+  qfix::Status lint = qfix::obs::LintExposition(resp->body);
+  if (!lint.ok()) {
+    std::fprintf(stderr, "error: /metrics failed lint: %s\n",
+                 lint.ToString().c_str());
+    return false;
+  }
+  auto parsed = qfix::obs::ParseExposition(resp->body);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: /metrics did not parse: %s\n",
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  for (const auto& sample : parsed->samples) {
+    bool keep = false;
+    auto type = parsed->types.find(sample.name);
+    if (type != parsed->types.end()) {
+      keep = type->second == "counter";
+    } else if (sample.name.size() > 6 &&
+               sample.name.compare(sample.name.size() - 6, 6, "_count") ==
+                   0) {
+      auto base =
+          parsed->types.find(sample.name.substr(0, sample.name.size() - 6));
+      keep = base != parsed->types.end() && base->second == "histogram";
+    }
+    if (!keep) continue;
+    std::string key = sample.name;
+    if (!sample.labels.empty()) {
+      key += "{";
+      for (size_t i = 0; i < sample.labels.size(); ++i) {
+        if (i > 0) key += ",";
+        key += sample.labels[i].first + "=\"" + sample.labels[i].second +
+               "\"";
+      }
+      key += "}";
+    }
+    (*out)[key] = sample.value;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -189,6 +248,7 @@ int main(int argc, char** argv) {
   long append_rows = 4;
   long variants = 8;
   bool setup = true;
+  bool scrape_metrics = false;
 
   bool usage_error = false;
   for (int i = 1; i < argc && !usage_error; ++i) {
@@ -275,6 +335,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--no-setup") {
       setup = false;
+    } else if (arg == "--scrape-metrics") {
+      scrape_metrics = true;
     } else {
       std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
       usage_error = true;
@@ -362,6 +424,15 @@ int main(int argc, char** argv) {
     options.tenants.push_back(std::move(spec));
   }
 
+  // Baseline scrape AFTER setup so registration traffic doesn't muddy
+  // the run's deltas.
+  std::map<std::string, double> metrics_before;
+  if (scrape_metrics &&
+      !ScrapeCounters(options.host, options.port,
+                      options.request_timeout_seconds, &metrics_before)) {
+    return 1;
+  }
+
   LoadResult result = qfix::harness::RunLoad(options);
 
   std::printf("qfix_load: mode=%s duration=%.1fs attempted=%llu "
@@ -390,6 +461,22 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(t.classes.ok_2xx),
                 static_cast<unsigned long long>(t.classes.shed_429));
     PrintLatency(t.name.c_str(), t.latency);
+  }
+
+  if (scrape_metrics) {
+    std::map<std::string, double> metrics_after;
+    if (!ScrapeCounters(options.host, options.port,
+                        options.request_timeout_seconds, &metrics_after)) {
+      return 1;
+    }
+    std::printf("metrics deltas (nonzero counters over the run):\n");
+    for (const auto& [series, after] : metrics_after) {
+      auto before = metrics_before.find(series);
+      double delta = after - (before != metrics_before.end() ? before->second
+                                                             : 0.0);
+      if (delta == 0.0) continue;
+      std::printf("  %-60s +%.0f\n", series.c_str(), delta);
+    }
   }
 
   if (!json_path.empty()) {

@@ -31,6 +31,7 @@
 #include <string>
 #include <thread>
 
+#include "common/logging.h"
 #include "service/registry.h"
 #include "service/server.h"
 #include "tool_common.h"
@@ -95,6 +96,11 @@ void PrintUsage(const char* argv0) {
       "                      requests one connection may carry before\n"
       "                      the server closes it (default 100;\n"
       "                      1 disables keep-alive)\n"
+      "  --slow-request-ms MS\n"
+      "                      WARN-log any /v1/diagnose slower than MS\n"
+      "                      milliseconds end to end (default 0 = off)\n"
+      "  --log-level LEVEL   debug|info|warn|error|off (default info)\n"
+      "  --log-json          emit structured logs as JSON lines\n"
       "  --name/--table/--d0/--log\n"
       "                      preregister one dataset from files before\n"
       "                      serving (same formats as qfix --d0/--log)\n"
@@ -232,6 +238,20 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-requests-per-conn") {
       int_flag(1, 1000000000, &n);
       options.max_requests_per_conn = static_cast<int>(n);
+    } else if (arg == "--slow-request-ms") {
+      double_flag(0.0, 86400.0 * 1e3, &options.slow_request_ms);
+    } else if (arg == "--log-level") {
+      const char* v = next();
+      qfix::LogLevel level = qfix::LogLevel::kInfo;
+      if (v == nullptr || !qfix::ParseLogLevel(v, &level)) {
+        std::fprintf(stderr,
+                     "error: --log-level needs debug|info|warn|error|off\n");
+        usage_error = true;
+      } else {
+        qfix::SetLogLevel(level);
+      }
+    } else if (arg == "--log-json") {
+      qfix::SetLogJson(true);
     } else if (arg == "--name") {
       pre_name = next() ? argv[i] : "";
     } else if (arg == "--table") {
@@ -276,9 +296,10 @@ int main(int argc, char** argv) {
                    ds.status().ToString().c_str());
       return 1;
     }
-    std::printf("registered dataset '%s' (%zu tuples, %zu queries)\n",
-                (*ds)->name.c_str(), (*ds)->d0().NumSlots(),
-                (*ds)->log.size());
+    qfix::LogEvent(qfix::LogLevel::kInfo, "dataset_registered")
+        .Str("name", (*ds)->name)
+        .Uint("tuples", (*ds)->d0().NumSlots())
+        .Uint("queries", (*ds)->log.size());
   }
 
   qfix::Status started = server.Start();
@@ -302,7 +323,7 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
-  std::printf("shutting down\n");
+  qfix::LogEvent(qfix::LogLevel::kInfo, "shutdown_signal");
   server.Stop();
   return 0;
 }
