@@ -8,6 +8,7 @@
 
 #include "common/json.h"
 #include "common/strings.h"
+#include "common/timer.h"
 
 namespace qfix {
 
@@ -15,6 +16,41 @@ namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
 std::atomic<bool> g_log_json{false};
+
+// WARN-line token bucket. The rate is read with one relaxed load on
+// every WARN (zero means the bucket is bypassed entirely); only
+// rate-limited WARNs take the bucket mutex.
+std::atomic<double> g_warn_per_sec{0.0};
+std::atomic<uint64_t> g_dropped_lines{0};
+
+struct WarnBucket {
+  std::mutex mu;
+  double tokens = 0.0;
+  double last_refill_seconds = 0.0;
+};
+
+WarnBucket& TheWarnBucket() {
+  static WarnBucket* bucket = new WarnBucket();
+  return *bucket;
+}
+
+/// True when this WARN line may be emitted.
+bool AcquireWarnToken() {
+  double rate = g_warn_per_sec.load(std::memory_order_relaxed);
+  if (rate <= 0.0) return true;
+  const double burst = rate < 1.0 ? 1.0 : rate;
+  WarnBucket& bucket = TheWarnBucket();
+  std::lock_guard<std::mutex> lock(bucket.mu);
+  double now = MonotonicSeconds();
+  bucket.tokens += (now - bucket.last_refill_seconds) * rate;
+  if (bucket.tokens > burst) bucket.tokens = burst;
+  bucket.last_refill_seconds = now;
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    return true;
+  }
+  return false;
+}
 
 std::mutex& SinkMutex() {
   static std::mutex* mu = new std::mutex();
@@ -126,10 +162,28 @@ void SetLogSink(LogSink sink) {
   SinkSlot() = std::move(sink);
 }
 
+void SetWarnLogPerSec(double per_sec) {
+  WarnBucket& bucket = TheWarnBucket();
+  std::lock_guard<std::mutex> lock(bucket.mu);
+  g_warn_per_sec.store(per_sec, std::memory_order_relaxed);
+  bucket.tokens = per_sec < 1.0 ? 1.0 : per_sec;  // reset to full burst
+  bucket.last_refill_seconds = MonotonicSeconds();
+}
+
+uint64_t DroppedLogLines() {
+  return g_dropped_lines.load(std::memory_order_relaxed);
+}
+
 LogEvent::LogEvent(LogLevel level, std::string_view event)
     : enabled_(level >= GetLogLevel() && level != LogLevel::kOff),
       level_(level),
-      event_(enabled_ ? std::string(event) : std::string()) {}
+      event_(enabled_ ? std::string(event) : std::string()) {
+  if (enabled_ && level == LogLevel::kWarn && !AcquireWarnToken()) {
+    enabled_ = false;
+    event_.clear();
+    g_dropped_lines.fetch_add(1, std::memory_order_relaxed);
+  }
+}
 
 LogEvent& LogEvent::Str(std::string_view key, std::string_view value) {
   if (enabled_) {

@@ -89,6 +89,18 @@ bool GetLogJson();
 using LogSink = std::function<void(const std::string&)>;
 void SetLogSink(LogSink sink);
 
+/// Process-wide token-bucket cap on WARN-level lines per second
+/// (burst = max(1, per_sec); 0 = unlimited, the default). An overload
+/// that would emit thousands of slow_request/stall warnings per second
+/// keeps the first `per_sec` each second and drops the rest at the
+/// call site (no formatting happens for dropped lines). ERROR lines
+/// are never rate-limited. Calling this resets the bucket to full.
+/// Thread-safe.
+void SetWarnLogPerSec(double per_sec);
+/// Lifetime count of WARN lines dropped by the rate limit (exported
+/// as qfix_log_lines_dropped_total).
+uint64_t DroppedLogLines();
+
 /// One structured log event; fields accumulate, the line is emitted on
 /// destruction. Cheap when filtered: a disabled event records nothing.
 class LogEvent {

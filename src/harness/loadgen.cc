@@ -1,5 +1,7 @@
 #include "harness/loadgen.h"
 
+#include <strings.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -9,6 +11,7 @@
 
 #include "common/json.h"
 #include "common/logging.h"
+#include "common/strings.h"
 #include "common/timer.h"
 #include "service/client.h"
 
@@ -180,14 +183,39 @@ LoadResult RunLoad(const LoadOptions& options) {
     std::mt19937_64 rng(options.seed * 0x9E3779B97F4A7C15ull +
                         static_cast<uint64_t>(index));
     service::ClientConnection conn(options.host, options.port);
+    // Deterministic per-request ids: <prefix>-w<worker>-<seq>. The
+    // server echoes the id, logs it on errors, and keys the retained
+    // trace by it, so any outlier in this run's report is pullable
+    // from /v1/debug/traces afterwards. A template carrying its own
+    // X-Request-Id wins (it is sent verbatim AFTER the stamp, but the
+    // stamp is skipped to keep exactly one id on the wire).
+    uint64_t seq = 0;
+    auto headers_for =
+        [&](const LoadRequestTemplate& t)
+        -> std::vector<std::pair<std::string, std::string>> {
+      std::vector<std::pair<std::string, std::string>> out;
+      bool has_id = false;
+      for (const auto& h : t.headers) {
+        if (strcasecmp(h.first.c_str(), "X-Request-Id") == 0) has_id = true;
+        out.push_back(h);
+      }
+      if (!has_id && !options.request_id_prefix.empty()) {
+        out.emplace_back(
+            "X-Request-Id",
+            StringPrintf("%s-w%d-%llu", options.request_id_prefix.c_str(),
+                         index, static_cast<unsigned long long>(seq++)));
+      }
+      return out;
+    };
     if (options.mode == LoadOptions::Mode::kClosed) {
       while (MonotonicSeconds() < deadline) {
         const Pick p = pick(rng);
         TenantAcc& ta = acc.tenants[p.tenant];
         ++ta.attempted;
         const double t0 = MonotonicSeconds();
-        auto response = conn.Post(p.request->path, p.request->body,
-                                  options.request_timeout_seconds);
+        auto response =
+            conn.Post(p.request->path, p.request->body,
+                      options.request_timeout_seconds, headers_for(*p.request));
         Classify(response, &ta.classes);
         if (response.ok()) {
           ta.latency.Record(MonotonicSeconds() - t0);
@@ -211,8 +239,9 @@ LoadResult RunLoad(const LoadOptions& options) {
       const Pick p = pick(rng);
       TenantAcc& ta = acc.tenants[p.tenant];
       ++ta.attempted;
-      auto response = conn.Post(p.request->path, p.request->body,
-                                options.request_timeout_seconds);
+      auto response =
+          conn.Post(p.request->path, p.request->body,
+                    options.request_timeout_seconds, headers_for(*p.request));
       Classify(response, &ta.classes);
       if (response.ok()) {
         // Coordinated-omission corrected: measured from the scheduled

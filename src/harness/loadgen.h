@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/histogram.h"
@@ -38,6 +39,9 @@ struct LoadRequestTemplate {
   std::string body;
   /// Relative pick weight within the tenant's mix.
   int weight = 1;
+  /// Extra headers sent verbatim with every instance of this template.
+  /// An X-Request-Id here overrides the generator's per-request stamp.
+  std::vector<std::pair<std::string, std::string>> headers;
 };
 
 /// One tenant's traffic: a share of the overall mix plus its own
@@ -64,6 +68,12 @@ struct LoadOptions {
   double rate_per_second = 100.0;
   double request_timeout_seconds = 30.0;
   uint64_t seed = 1;
+  /// Every request is stamped with a deterministic
+  /// `X-Request-Id: <prefix>-w<worker>-<seq>` so a latency outlier in
+  /// the load report correlates with the server's logs and its
+  /// retained trace in /v1/debug/traces. Empty disables the stamp
+  /// (templates may still carry their own).
+  std::string request_id_prefix = "load";
   std::vector<LoadTenantSpec> tenants;
 };
 

@@ -102,14 +102,32 @@ class SharedSearch {
   /// Installs `x` as the incumbent if it beats the current one. `x` must
   /// already be verified feasible against the original model.
   void OfferIncumbent(double obj, std::vector<double> x) {
-    std::lock_guard<std::mutex> lock(incumbent_mu_);
-    if (!have_incumbent_ || obj < incumbent_obj_) {
-      have_incumbent_ = true;
-      incumbent_obj_ = obj;
-      incumbent_x_ = std::move(x);
-      ++incumbent_updates_;
-      incumbent_bound_.store(obj, std::memory_order_release);
+    bool installed = false;
+    {
+      std::lock_guard<std::mutex> lock(incumbent_mu_);
+      if (!have_incumbent_ || obj < incumbent_obj_) {
+        have_incumbent_ = true;
+        incumbent_obj_ = obj;
+        incumbent_x_ = std::move(x);
+        ++incumbent_updates_;
+        incumbent_bound_.store(obj, std::memory_order_release);
+        installed = true;
+      }
     }
+    if (installed && trace() != nullptr) {
+      // Zero-width mark at the moment a better solution landed — the
+      // retained trace shows when the solve stopped improving.
+      double t = trace()->ElapsedSeconds();
+      trace()->AddSpan("incumbent_update", t, t, trace_parent());
+    }
+  }
+
+  obs::TraceContext* trace() const { return options_.trace; }
+  size_t trace_parent() const { return options_.trace_parent_span; }
+  /// Claims one of the solve-wide "node_batch" span slots.
+  bool TakeNodeBatchSpanSlot() {
+    return node_batch_spans_.fetch_add(1, std::memory_order_relaxed) <
+           kMaxNodeBatchSpans;
   }
 
   int64_t incumbent_updates() {
@@ -154,6 +172,7 @@ class SharedSearch {
   std::atomic<bool> unbounded_{false};
   std::atomic<bool> inexact_{false};
   std::atomic<int> open_tasks_{0};
+  std::atomic<int64_t> node_batch_spans_{0};
 
   std::atomic<double> incumbent_bound_{
       std::numeric_limits<double>::infinity()};
@@ -185,6 +204,7 @@ class SubtreeWorker {
   /// into the shared stats.
   void Search(Domains domains, bool try_rounding) {
     Dfs(domains, /*depth=*/0, try_rounding);
+    FlushNodeBatch();
     shared_.MergeStats(stats_);
   }
 
@@ -204,8 +224,21 @@ class SubtreeWorker {
     if (shared_.Halted()) return;
     if (!shared_.TakeNode()) return;
     ++stats_.nodes;
+    if (shared_.trace() != nullptr) TickNodeBatch();
 
+    // The root worker's first LP is the root relaxation — the span an
+    // operator reads first when a solve is slow (a fat root LP means
+    // the model, not the tree, is the problem).
+    const bool is_root_lp =
+        depth == 0 && try_rounding && shared_.trace() != nullptr;
+    double root_lp_start = 0.0;
+    if (is_root_lp) root_lp_start = shared_.trace()->ElapsedSeconds();
     LpResult lp = SolveLp(model(), domains, LpOptionsForNode());
+    if (is_root_lp) {
+      shared_.trace()->AddSpan("root_lp", root_lp_start,
+                               shared_.trace()->ElapsedSeconds(),
+                               shared_.trace_parent());
+    }
     stats_.lp_iterations += lp.iterations;
     switch (lp.status) {
       case LpStatus::kInfeasible:
@@ -443,6 +476,27 @@ class SubtreeWorker {
     RewindTrail(domains, trail_, mark);
   }
 
+  // Sampled node-batch spans: one span per kTraceNodeBatch nodes this
+  // worker processes, bounded solve-wide by kMaxNodeBatchSpans (and by
+  // the trace's own span cap). At a high node rate the per-node cost
+  // is one branch; the clock is only read at batch edges.
+  void TickNodeBatch() {
+    if (batch_nodes_ == 0) {
+      batch_start_ = shared_.trace()->ElapsedSeconds();
+    }
+    if (++batch_nodes_ >= kTraceNodeBatch) FlushNodeBatch();
+  }
+
+  void FlushNodeBatch() {
+    if (batch_nodes_ == 0) return;
+    obs::TraceContext* trace = shared_.trace();
+    if (trace != nullptr && shared_.TakeNodeBatchSpanSlot()) {
+      trace->AddSpan("node_batch", batch_start_, trace->ElapsedSeconds(),
+                     shared_.trace_parent());
+    }
+    batch_nodes_ = 0;
+  }
+
   // LP options with the solver's remaining wall-clock budget threaded
   // through, so a single large LP cannot outlive the MILP deadline.
   SimplexOptions LpOptionsForNode() const {
@@ -470,6 +524,8 @@ class SubtreeWorker {
   std::vector<PseudoCost> pcosts_;
   BoundTrail trail_;
   MilpStats stats_;
+  int64_t batch_nodes_ = 0;
+  double batch_start_ = 0.0;
 };
 
 int NormalizedJobs(const MilpOptions& options) {
@@ -503,9 +559,21 @@ MilpSolution MilpSolver::Solve(const Model& model) const {
 
   Domains domains = model.InitialDomains();
   if (options.enable_presolve) {
+    double presolve_start = 0.0;
+    if (options.trace != nullptr) {
+      presolve_start = options.trace->ElapsedSeconds();
+    }
+    auto end_presolve_span = [&] {
+      if (options.trace != nullptr) {
+        options.trace->AddSpan("presolve", presolve_start,
+                               options.trace->ElapsedSeconds(),
+                               options.trace_parent_span);
+      }
+    };
     Status s = PropagateBounds(model, domains, options.propagation_rounds,
                                nullptr);
     if (s.IsInfeasible()) {
+      end_presolve_span();
       out.status = MilpStatus::kInfeasible;
       out.stats.wall_seconds = MonotonicSeconds() - start;
       return out;
@@ -524,11 +592,13 @@ MilpSolution MilpSolver::Solve(const Model& model) const {
       out.stats.probe_fixed = probe.fixed_binaries;
       out.stats.probe_tightened = probe.tightened_bounds;
       if (s.IsInfeasible()) {
+        end_presolve_span();
         out.status = MilpStatus::kInfeasible;
         out.stats.wall_seconds = MonotonicSeconds() - start;
         return out;
       }
     }
+    end_presolve_span();
   }
 
   if (options.jobs <= 1) {

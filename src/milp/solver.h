@@ -17,6 +17,7 @@
 #include "exec/cancellation.h"
 #include "milp/model.h"
 #include "milp/simplex.h"
+#include "obs/trace.h"
 
 namespace qfix {
 namespace exec {
@@ -146,8 +147,25 @@ struct MilpOptions {
   /// service shut down without waiting out in-flight solves. The
   /// default token never fires.
   exec::CancellationToken cancel;
+  /// Optional request trace the solve records solver-internal child
+  /// spans into: "presolve", "root_lp", zero-width "incumbent_update"
+  /// marks, and sampled "node_batch" spans (one per kTraceNodeBatch
+  /// nodes per worker, capped at kMaxNodeBatchSpans per solve so span
+  /// overhead stays bounded at high node rates). Runtime-only wiring
+  /// like `pool` and `cancel` — never part of any cache fingerprint.
+  /// Non-owning; must outlive the Solve() call. nullptr disables span
+  /// recording entirely (the default; zero cost).
+  obs::TraceContext* trace = nullptr;
+  /// Index in `trace` of the enclosing span (the server's "solve"
+  /// phase); kNoParent leaves solver spans at top level.
+  size_t trace_parent_span = obs::TraceContext::kNoParent;
   SimplexOptions lp;
 };
+
+/// Nodes per sampled "node_batch" trace span (per worker).
+inline constexpr int64_t kTraceNodeBatch = 256;
+/// Cap on "node_batch" spans one Solve() may record.
+inline constexpr int64_t kMaxNodeBatchSpans = 32;
 
 /// Solves a MILP to optimality (or best effort under limits).
 class MilpSolver {

@@ -10,6 +10,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "common/timer.h"
 #include "harness/histogram.h"
 
 namespace qfix {
@@ -99,7 +100,8 @@ void Gauge::Add(double delta) {
 
 Histogram::Histogram(std::vector<double> upper_edges)
     : edges_(std::move(upper_edges)),
-      buckets_(new std::atomic<uint64_t>[edges_.size() + 1]) {
+      buckets_(new std::atomic<uint64_t>[edges_.size() + 1]),
+      exemplars_(new ExemplarSlot[edges_.size() + 1]) {
   for (size_t i = 0; i + 1 < edges_.size(); ++i) {
     QFIX_CHECK(edges_[i] < edges_[i + 1])
         << "histogram edges must be strictly ascending";
@@ -120,6 +122,41 @@ void Histogram::Observe(double value) {
   while (!sum_.compare_exchange_weak(cur, cur + value,
                                      std::memory_order_relaxed)) {
   }
+}
+
+void Histogram::ObserveWithExemplar(double value, std::string_view trace_id) {
+  Observe(value);
+  if (trace_id.empty() || std::isnan(value)) return;
+  size_t idx = static_cast<size_t>(
+      std::lower_bound(edges_.begin(), edges_.end(), value) - edges_.begin());
+  ExemplarSlot& slot = exemplars_[idx];
+  const double now = MonotonicSeconds();
+  // Fast filter: not a new worst and the stored worst is still fresh —
+  // nothing to do, no lock taken. This is the overwhelmingly common
+  // outcome (most requests are not the bucket's recent maximum).
+  double cur = slot.value.load(std::memory_order_relaxed);
+  double stamp = slot.stamp_seconds.load(std::memory_order_relaxed);
+  if (value < cur && now - stamp < kExemplarHorizonSeconds) return;
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  cur = slot.value.load(std::memory_order_relaxed);
+  stamp = slot.stamp_seconds.load(std::memory_order_relaxed);
+  if (value < cur && now - stamp < kExemplarHorizonSeconds) return;
+  slot.value.store(value, std::memory_order_relaxed);
+  slot.stamp_seconds.store(now, std::memory_order_relaxed);
+  slot.trace_id.assign(trace_id.data(), trace_id.size());
+  has_exemplars_.store(true, std::memory_order_release);
+}
+
+Histogram::Exemplar Histogram::ExemplarFor(size_t i) const {
+  QFIX_CHECK(i <= edges_.size());
+  Exemplar out;
+  if (!has_exemplars_.load(std::memory_order_acquire)) return out;
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  const ExemplarSlot& slot = exemplars_[i];
+  if (slot.trace_id.empty()) return out;
+  out.value = slot.value.load(std::memory_order_relaxed);
+  out.trace_id = slot.trace_id;
+  return out;
 }
 
 uint64_t Histogram::BucketCount(size_t i) const {
@@ -331,7 +368,18 @@ std::string MetricsRegistry::RenderPrometheus() const {
         for (const auto& [values, hist] : f->histograms) {
           // One relaxed read per bucket; _count derives from the same
           // reads so the rendered series is internally consistent even
-          // under concurrent Observe().
+          // under concurrent Observe(). Buckets whose histogram carries
+          // exemplars get an OpenMetrics-style `# {trace_id="..."} v`
+          // suffix — our own parser/linter accept it, and it is what
+          // links a scrape's latency spike to a retained trace.
+          auto append_exemplar = [&](size_t bucket) {
+            Histogram::Exemplar ex = hist->ExemplarFor(bucket);
+            if (!ex.valid()) return;
+            out += " # {trace_id=\"";
+            AppendEscapedLabelValue(&out, ex.trace_id);
+            out += "\"} ";
+            out += FormatValue(ex.value);
+          };
           uint64_t cumulative = 0;
           for (size_t b = 0; b < hist->edges().size(); ++b) {
             cumulative += hist->BucketCount(b);
@@ -342,6 +390,7 @@ std::string MetricsRegistry::RenderPrometheus() const {
             out += ' ';
             out += StringPrintf("%llu",
                                 static_cast<unsigned long long>(cumulative));
+            append_exemplar(b);
             out += '\n';
           }
           cumulative += hist->BucketCount(hist->edges().size());
@@ -352,6 +401,7 @@ std::string MetricsRegistry::RenderPrometheus() const {
           out += ' ';
           out += StringPrintf("%llu",
                               static_cast<unsigned long long>(cumulative));
+          append_exemplar(hist->edges().size());
           out += '\n';
           out += name;
           out += "_sum";
@@ -412,11 +462,78 @@ const std::string* ParsedSample::FindLabel(std::string_view name) const {
   return nullptr;
 }
 
+const std::string* ParsedSample::FindExemplarLabel(
+    std::string_view name) const {
+  for (const auto& [key, value] : exemplar_labels) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
 namespace {
 
 Status ParseError(int line, const std::string& message) {
   return Status::InvalidArgument(
       StringPrintf("exposition line %d: %s", line, message.c_str()));
+}
+
+/// Parses a `{name="value",...}` block starting at (*ip) == '{';
+/// advances *ip past the closing brace. Shared by sample labels and
+/// exemplar labels.
+Status ParseLabelBlock(
+    std::string_view line, size_t* ip, int line_no,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  size_t i = *ip + 1;  // past '{'
+  while (true) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == ',')) ++i;
+    if (i < line.size() && line[i] == '}') {
+      ++i;
+      break;
+    }
+    size_t eq = line.find('=', i);
+    if (eq == std::string_view::npos) {
+      return ParseError(line_no, "label without '='");
+    }
+    std::string label_name(line.substr(i, eq - i));
+    i = eq + 1;
+    if (i >= line.size() || line[i] != '"') {
+      return ParseError(line_no, "label value must be quoted");
+    }
+    ++i;
+    std::string value;
+    bool closed = false;
+    while (i < line.size()) {
+      char c = line[i];
+      if (c == '\\') {
+        if (i + 1 >= line.size()) {
+          return ParseError(line_no, "dangling escape in label value");
+        }
+        char next = line[i + 1];
+        if (next == '\\') {
+          value += '\\';
+        } else if (next == '"') {
+          value += '"';
+        } else if (next == 'n') {
+          value += '\n';
+        } else {
+          return ParseError(line_no, StringPrintf("bad escape \\%c", next));
+        }
+        i += 2;
+        continue;
+      }
+      if (c == '"') {
+        closed = true;
+        ++i;
+        break;
+      }
+      value += c;
+      ++i;
+    }
+    if (!closed) return ParseError(line_no, "unterminated label value");
+    out->emplace_back(std::move(label_name), std::move(value));
+  }
+  *ip = i;
+  return Status::OK();
 }
 
 /// Parses one numeric sample value; accepts +Inf/-Inf/NaN spellings.
@@ -518,56 +635,8 @@ Result<ParsedExposition> ParseExposition(std::string_view text) {
     sample.name = std::string(line.substr(0, i));
 
     if (i < line.size() && line[i] == '{') {
-      ++i;
-      while (true) {
-        while (i < line.size() && (line[i] == ' ' || line[i] == ',')) ++i;
-        if (i < line.size() && line[i] == '}') {
-          ++i;
-          break;
-        }
-        size_t eq = line.find('=', i);
-        if (eq == std::string_view::npos) {
-          return ParseError(line_no, "label without '='");
-        }
-        std::string label_name(line.substr(i, eq - i));
-        i = eq + 1;
-        if (i >= line.size() || line[i] != '"') {
-          return ParseError(line_no, "label value must be quoted");
-        }
-        ++i;
-        std::string value;
-        bool closed = false;
-        while (i < line.size()) {
-          char c = line[i];
-          if (c == '\\') {
-            if (i + 1 >= line.size()) {
-              return ParseError(line_no, "dangling escape in label value");
-            }
-            char next = line[i + 1];
-            if (next == '\\') {
-              value += '\\';
-            } else if (next == '"') {
-              value += '"';
-            } else if (next == 'n') {
-              value += '\n';
-            } else {
-              return ParseError(line_no,
-                                StringPrintf("bad escape \\%c", next));
-            }
-            i += 2;
-            continue;
-          }
-          if (c == '"') {
-            closed = true;
-            ++i;
-            break;
-          }
-          value += c;
-          ++i;
-        }
-        if (!closed) return ParseError(line_no, "unterminated label value");
-        sample.labels.emplace_back(std::move(label_name), std::move(value));
-      }
+      Status st = ParseLabelBlock(line, &i, line_no, &sample.labels);
+      if (!st.ok()) return st;
     }
 
     while (i < line.size() && line[i] == ' ') ++i;
@@ -580,8 +649,28 @@ Result<ParsedExposition> ParseExposition(std::string_view text) {
                                          i, value_end - i)) +
                                      "'");
     }
-    // Anything after the value is an optional timestamp; accept and
-    // ignore (we never emit one).
+    i = value_end;
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i < line.size() && line[i] == '#') {
+      // OpenMetrics-style exemplar: `# {labels} value`.
+      ++i;
+      while (i < line.size() && line[i] == ' ') ++i;
+      if (i >= line.size() || line[i] != '{') {
+        return ParseError(line_no, "exemplar without a label block");
+      }
+      Status st = ParseLabelBlock(line, &i, line_no, &sample.exemplar_labels);
+      if (!st.ok()) return st;
+      while (i < line.size() && line[i] == ' ') ++i;
+      size_t ex_end = i;
+      while (ex_end < line.size() && line[ex_end] != ' ') ++ex_end;
+      if (ex_end == i || !ParseSampleValue(line.substr(i, ex_end - i),
+                                           &sample.exemplar_value)) {
+        return ParseError(line_no, "exemplar without a value");
+      }
+      sample.has_exemplar = true;
+    }
+    // Anything else after the value is an optional timestamp; accept
+    // and ignore (we never emit one).
     out.samples.push_back(std::move(sample));
   }
   return out;
@@ -668,6 +757,25 @@ Status LintExposition(std::string_view text) {
     if (type == "counter") {
       if (std::isnan(s.value) || s.value < 0.0) {
         return ParseError(s.line, "counter " + s.name + " is negative/NaN");
+      }
+    }
+    if (s.has_exemplar) {
+      if (type != "histogram" || s.name != family + "_bucket") {
+        return ParseError(s.line,
+                          "exemplar on non-bucket series " + s.name);
+      }
+      for (const auto& [ex_name, ex_value] : s.exemplar_labels) {
+        (void)ex_value;
+        if (!ValidLabelName(ex_name)) {
+          return ParseError(s.line,
+                            "illegal exemplar label '" + ex_name + "'");
+        }
+      }
+      const std::string* le = s.FindLabel("le");
+      double bound = 0.0;
+      if (le != nullptr && ParseSampleValue(*le, &bound) &&
+          !(s.exemplar_value <= bound)) {
+        return ParseError(s.line, "exemplar value above the bucket's le");
       }
     }
     if (type == "histogram") {

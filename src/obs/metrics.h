@@ -66,23 +66,61 @@ class Gauge {
 /// tolerate the instantaneous skew, and RenderPrometheus derives
 /// _count from the buckets it read so the exposition is always
 /// internally consistent).
+///
+/// Exemplars: ObserveWithExemplar() additionally remembers, per
+/// bucket, the request id of the worst recent observation — "worst"
+/// meaning the largest value to land in that bucket within the last
+/// kExemplarHorizonSeconds. The common case (not a new worst) is two
+/// relaxed loads; only a new worst pays the exemplar mutex. The
+/// renderer emits them as OpenMetrics-style `# {trace_id="..."} v`
+/// suffixes on _bucket lines, which links a latency spike in a scrape
+/// straight to a retained trace in the flight recorder.
 class Histogram {
  public:
+  /// An exemplar slot's freshness window: a stored worst observation
+  /// older than this yields to any newer one, so the exemplar tracks
+  /// "recently worst", not "worst ever".
+  static constexpr double kExemplarHorizonSeconds = 60.0;
+
+  struct Exemplar {
+    double value = 0.0;
+    std::string trace_id;  // empty = no exemplar recorded
+    bool valid() const { return !trace_id.empty(); }
+  };
+
   /// `upper_edges` are the finite bucket bounds, strictly ascending;
   /// an implicit +Inf bucket is appended.
   explicit Histogram(std::vector<double> upper_edges);
 
   void Observe(double value);
+  /// Observe() plus exemplar bookkeeping; `trace_id` empty degrades to
+  /// a plain Observe().
+  void ObserveWithExemplar(double value, std::string_view trace_id);
 
   const std::vector<double>& edges() const { return edges_; }
   /// Non-cumulative count of bucket `i` (i == edges().size() is +Inf).
   uint64_t BucketCount(size_t i) const;
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// The exemplar for bucket `i` (same indexing as BucketCount).
+  Exemplar ExemplarFor(size_t i) const;
 
  private:
+  struct ExemplarSlot {
+    /// Fast-path filter: current worst value and when it was set.
+    std::atomic<double> value{-1.0};
+    std::atomic<double> stamp_seconds{0.0};
+    /// Guarded by exemplar_mu_ (strings can't be atomic).
+    std::string trace_id;
+  };
+
   std::vector<double> edges_;
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // edges_.size() + 1
   std::atomic<double> sum_{0.0};
+  mutable std::mutex exemplar_mu_;
+  std::unique_ptr<ExemplarSlot[]> exemplars_;  // edges_.size() + 1
+  /// Set on the first ObserveWithExemplar(): lets the renderer skip
+  /// the slot scan for histograms that never carry exemplars.
+  std::atomic<bool> has_exemplars_{false};
 };
 
 /// Default histogram edges for latency-in-seconds metrics, derived from
@@ -199,9 +237,16 @@ struct ParsedSample {
   std::vector<std::pair<std::string, std::string>> labels;
   double value = 0.0;
   int line = 0;
+  /// OpenMetrics-style exemplar suffix (`# {labels} value`), when the
+  /// sample carried one.
+  bool has_exemplar = false;
+  std::vector<std::pair<std::string, std::string>> exemplar_labels;
+  double exemplar_value = 0.0;
 
   /// Label value by name, or nullptr.
   const std::string* FindLabel(std::string_view name) const;
+  /// Exemplar label value by name, or nullptr.
+  const std::string* FindExemplarLabel(std::string_view name) const;
 };
 
 struct ParsedExposition {
@@ -225,7 +270,9 @@ Result<ParsedExposition> ParseExposition(std::string_view text);
 ///   * counter samples are finite and non-negative;
 ///   * histograms: per label set, `le` bounds strictly ascending with a
 ///     +Inf bucket, cumulative bucket counts non-decreasing, _count
-///     equal to the +Inf bucket, and _sum present.
+///     equal to the +Inf bucket, and _sum present;
+///   * exemplars only on _bucket series, with legal label names and an
+///     exemplar value within the bucket's `le` bound.
 /// OK means a Prometheus scraper will ingest the payload verbatim.
 Status LintExposition(std::string_view text);
 

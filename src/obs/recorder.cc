@@ -1,0 +1,178 @@
+#include "obs/recorder.h"
+
+#include <algorithm>
+#include <ctime>
+
+namespace qfix {
+namespace obs {
+
+const char* TraceOutcomeName(TraceOutcome outcome) {
+  switch (outcome) {
+    case TraceOutcome::kOk: return "ok";
+    case TraceOutcome::kSlow: return "slow";
+    case TraceOutcome::kError: return "error";
+    case TraceOutcome::kShed: return "shed";
+  }
+  return "?";
+}
+
+bool ParseTraceOutcome(std::string_view name, TraceOutcome* out) {
+  for (TraceOutcome o : {TraceOutcome::kOk, TraceOutcome::kSlow,
+                         TraceOutcome::kError, TraceOutcome::kShed}) {
+    if (name == TraceOutcomeName(o)) {
+      *out = o;
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t RetainedTrace::ApproxBytes() const {
+  size_t bytes = sizeof(RetainedTrace);
+  bytes += request_id.capacity() + tenant.capacity() + dataset.capacity() +
+           endpoint.capacity() + retain_reason.capacity();
+  bytes += spans.capacity() * sizeof(TraceSpan);
+  for (const TraceSpan& span : spans) bytes += span.phase.capacity();
+  return bytes;
+}
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  uint64_t z = x + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(Options options) : options_(options) {}
+
+bool TraceRecorder::SampledIn() {
+  if (options_.sample_probability >= 1.0) return true;
+  if (options_.sample_probability <= 0.0) return false;
+  uint64_t seq = sample_seq_.fetch_add(1, std::memory_order_relaxed);
+  // 53 high bits -> uniform double in [0, 1).
+  double u = static_cast<double>(SplitMix64(seq) >> 11) * 0x1.0p-53;
+  return u < options_.sample_probability;
+}
+
+bool TraceRecorder::Record(RetainedTrace trace) {
+  recorded_total_.fetch_add(1, std::memory_order_relaxed);
+
+  // Tail classification: a completed-OK request at/over the slow
+  // threshold is upgraded so filters and retention see it as slow.
+  if (trace.outcome == TraceOutcome::kOk &&
+      options_.slow_threshold_seconds > 0.0 &&
+      trace.duration_seconds >= options_.slow_threshold_seconds) {
+    trace.outcome = TraceOutcome::kSlow;
+  }
+
+  bool keep = trace.outcome != TraceOutcome::kOk;
+  if (keep && trace.retain_reason.empty()) {
+    trace.retain_reason = TraceOutcomeName(trace.outcome);
+  }
+
+  bool maybe_pinned =
+      pins_outstanding_.load(std::memory_order_acquire) > 0;
+  if (!keep && !maybe_pinned) {
+    // The common path: ok-fast trace, nothing pinned. One atomic and
+    // one hash, no lock, trace freed on return.
+    if (!SampledIn()) {
+      sampled_out_total_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    keep = true;
+    trace.retain_reason = "sampled";
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (maybe_pinned) {
+    for (auto it = pins_.begin(); it != pins_.end(); ++it) {
+      if (it->first == trace.request_id) {
+        trace.forced = true;
+        trace.retain_reason = std::move(it->second);
+        pins_.erase(it);
+        pins_outstanding_.fetch_sub(1, std::memory_order_release);
+        ++forced_total_;
+        keep = true;
+        break;
+      }
+    }
+    if (!keep) {
+      // Pin table didn't match; fall back to the sampler.
+      if (!SampledIn()) {
+        sampled_out_total_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      keep = true;
+      trace.retain_reason = "sampled";
+    }
+  }
+
+  trace.recorded_unix_seconds =
+      static_cast<double>(std::time(nullptr));
+  ring_bytes_ += trace.ApproxBytes();
+  ring_.push_back(std::move(trace));
+  ++retained_total_;
+  // Evict oldest past the budget, but never the trace just added: a
+  // single oversized trace still lands (budget as a soft ceiling beats
+  // silently losing the one slow request the operator wants).
+  while (ring_.size() > 1 && ring_bytes_ > options_.byte_budget) {
+    ring_bytes_ -= ring_.front().ApproxBytes();
+    ring_.pop_front();
+    ++evicted_total_;
+  }
+  return true;
+}
+
+void TraceRecorder::ForceRetain(const std::string& request_id,
+                                std::string reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, r] : pins_) {
+    if (id == request_id) {
+      r = std::move(reason);
+      return;
+    }
+  }
+  if (pins_.size() >= kMaxPins) {
+    pins_.erase(pins_.begin());
+    pins_outstanding_.fetch_sub(1, std::memory_order_release);
+  }
+  pins_.emplace_back(request_id, std::move(reason));
+  pins_outstanding_.fetch_add(1, std::memory_order_release);
+}
+
+std::vector<RetainedTrace> TraceRecorder::Snapshot(
+    const Filter& filter) const {
+  std::vector<RetainedTrace> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if (out.size() >= filter.limit) break;
+    const RetainedTrace& t = *it;
+    if (!filter.tenant.empty() && t.tenant != filter.tenant) continue;
+    if (!filter.dataset.empty() && t.dataset != filter.dataset) continue;
+    if (t.duration_seconds < filter.min_duration_seconds) continue;
+    if (filter.has_outcome && t.outcome != filter.outcome) continue;
+    out.push_back(t);
+  }
+  return out;
+}
+
+TraceRecorder::Stats TraceRecorder::stats() const {
+  Stats s;
+  s.recorded_total = recorded_total_.load(std::memory_order_relaxed);
+  s.sampled_out_total = sampled_out_total_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.retained_total = retained_total_;
+  s.forced_total = forced_total_;
+  s.evicted_total = evicted_total_;
+  s.buffered = ring_.size();
+  s.buffered_bytes = ring_bytes_;
+  s.byte_budget = options_.byte_budget;
+  return s;
+}
+
+}  // namespace obs
+}  // namespace qfix

@@ -16,28 +16,48 @@ TraceContext::TraceContext(std::string request_id)
   spans_.reserve(8);
 }
 
-size_t TraceContext::BeginSpan(std::string_view phase) {
+size_t TraceContext::BeginSpan(std::string_view phase, size_t parent) {
+  double now = MonotonicSeconds() - birth_seconds_;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return kDroppedSpan;
+  }
   TraceSpan span;
   span.phase = std::string(phase);
-  span.start_seconds = MonotonicSeconds() - birth_seconds_;
-  span.end_seconds = span.start_seconds;
+  span.start_seconds = now;
+  span.end_seconds = now;
+  span.parent = (parent == kNoParent || parent >= spans_.size())
+                    ? -1
+                    : static_cast<int>(parent);
   spans_.push_back(std::move(span));
   return spans_.size() - 1;
 }
 
 void TraceContext::EndSpan(size_t index) {
-  QFIX_CHECK(index < spans_.size());
+  if (index == kDroppedSpan) return;
   double now = MonotonicSeconds() - birth_seconds_;
+  std::lock_guard<std::mutex> lock(mu_);
+  QFIX_CHECK(index < spans_.size());
   if (now > spans_[index].end_seconds) spans_[index].end_seconds = now;
 }
 
-void TraceContext::AddSpan(std::string_view phase, double start_seconds,
-                           double end_seconds) {
+size_t TraceContext::AddSpan(std::string_view phase, double start_seconds,
+                             double end_seconds, size_t parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return kDroppedSpan;
+  }
   TraceSpan span;
   span.phase = std::string(phase);
   span.start_seconds = start_seconds;
   span.end_seconds = end_seconds < start_seconds ? start_seconds : end_seconds;
+  span.parent = (parent == kNoParent || parent >= spans_.size())
+                    ? -1
+                    : static_cast<int>(parent);
   spans_.push_back(std::move(span));
+  return spans_.size() - 1;
 }
 
 double TraceContext::ElapsedSeconds() const {

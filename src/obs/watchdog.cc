@@ -1,0 +1,163 @@
+#include "obs/watchdog.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace qfix {
+namespace obs {
+
+Watchdog::Watchdog(Options options, StallFn on_stall)
+    : options_(options), on_stall_(std::move(on_stall)) {
+  QFIX_CHECK(on_stall_ != nullptr);
+}
+
+Watchdog::~Watchdog() { Stop(); }
+
+void Watchdog::Start() {
+  if (running_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { Run(); });
+}
+
+void Watchdog::Stop() {
+  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    stop_requested_ = true;
+  }
+  run_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+int Watchdog::RegisterHeartbeat(std::string name) {
+  auto hb = std::make_unique<Heartbeat>();
+  hb->name = std::move(name);
+  hb->last_beat_seconds.store(MonotonicSeconds(), std::memory_order_relaxed);
+  heartbeats_.push_back(std::move(hb));
+  return static_cast<int>(heartbeats_.size()) - 1;
+}
+
+void Watchdog::Beat(int handle) {
+  if (handle < 0 || handle >= static_cast<int>(heartbeats_.size())) return;
+  heartbeats_[static_cast<size_t>(handle)]->last_beat_seconds.store(
+      MonotonicSeconds(), std::memory_order_relaxed);
+}
+
+uint64_t Watchdog::BeginSolve(std::string request_id) {
+  std::lock_guard<std::mutex> lock(solves_mu_);
+  InflightSolve solve;
+  solve.token = next_token_++;
+  solve.request_id = std::move(request_id);
+  solve.started_seconds = MonotonicSeconds();
+  solves_.push_back(std::move(solve));
+  return solves_.back().token;
+}
+
+void Watchdog::EndSolve(uint64_t token) {
+  std::lock_guard<std::mutex> lock(solves_mu_);
+  for (auto it = solves_.begin(); it != solves_.end(); ++it) {
+    if (it->token == token) {
+      solves_.erase(it);
+      return;
+    }
+  }
+}
+
+void Watchdog::SetStarvationProbe(StarvationProbe probe) {
+  starvation_probe_ = std::move(probe);
+}
+
+int Watchdog::PollOnce() {
+  int fired = 0;
+  const double now = MonotonicSeconds();
+
+  if (options_.loop_stall_seconds > 0.0) {
+    for (auto& hb : heartbeats_) {
+      double age =
+          now - hb->last_beat_seconds.load(std::memory_order_relaxed);
+      if (age >= options_.loop_stall_seconds) {
+        if (!hb->stalled) {
+          hb->stalled = true;
+          StallEvent event;
+          event.kind = "event_loop";
+          event.detail = hb->name;
+          event.age_seconds = age;
+          on_stall_(event);
+          ++fired;
+        }
+      } else {
+        hb->stalled = false;  // recovered: re-arm the edge
+      }
+    }
+  }
+
+  if (options_.solve_deadline_warn_seconds > 0.0) {
+    // Collect overdue solves under the lock, fire outside it (the
+    // callback logs and touches the recorder; keep BeginSolve cheap).
+    std::vector<StallEvent> overdue;
+    {
+      std::lock_guard<std::mutex> lock(solves_mu_);
+      for (InflightSolve& solve : solves_) {
+        double age = now - solve.started_seconds;
+        if (age >= options_.solve_deadline_warn_seconds && !solve.flagged) {
+          solve.flagged = true;
+          StallEvent event;
+          event.kind = "solve_deadline";
+          event.detail = solve.request_id;
+          event.request_id = solve.request_id;
+          event.age_seconds = age;
+          overdue.push_back(std::move(event));
+        }
+      }
+    }
+    for (const StallEvent& event : overdue) {
+      on_stall_(event);
+      ++fired;
+    }
+  }
+
+  if (options_.starvation_window_seconds > 0.0 && starvation_probe_) {
+    std::string detail;
+    if (starvation_probe_(&detail)) {
+      if (starving_since_seconds_ == 0.0) starving_since_seconds_ = now;
+      double age = now - starving_since_seconds_;
+      if (age >= options_.starvation_window_seconds &&
+          !starvation_flagged_) {
+        starvation_flagged_ = true;
+        StallEvent event;
+        event.kind = "admission_starvation";
+        event.detail = detail;
+        event.age_seconds = age;
+        on_stall_(event);
+        ++fired;
+      }
+    } else {
+      starving_since_seconds_ = 0.0;
+      starvation_flagged_ = false;
+    }
+  }
+
+  return fired;
+}
+
+void Watchdog::Run() {
+  const auto interval = std::chrono::duration<double>(
+      options_.poll_interval_seconds > 0.0 ? options_.poll_interval_seconds
+                                           : 0.25);
+  std::unique_lock<std::mutex> lock(run_mu_);
+  while (!stop_requested_) {
+    run_cv_.wait_for(lock, interval, [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    lock.unlock();
+    PollOnce();
+    lock.lock();
+  }
+}
+
+}  // namespace obs
+}  // namespace qfix

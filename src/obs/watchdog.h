@@ -1,0 +1,139 @@
+// obs::Watchdog — notices when the process stops making progress.
+//
+// Three stall classes, one monitor thread:
+//   * event_loop: each event loop registers a heartbeat and bumps it
+//     every iteration (one relaxed atomic store of the monotonic
+//     clock). A heartbeat older than the threshold means the loop is
+//     wedged — a handler ran inline too long, a syscall hung.
+//   * solve_deadline: in-flight solves register on entry; one running
+//     longer than the warn deadline is flagged (once) while still
+//     running, so the operator learns about the runaway solve before
+//     it finishes — or doesn't.
+//   * admission_starvation: a host-supplied probe reports whether the
+//     admission gate has been pinned at capacity and shedding for the
+//     whole starvation window.
+//
+// Detection is edge-triggered per entity: one event when a heartbeat
+// goes stale (re-armed on recovery), one per overdue solve, one per
+// starvation episode. The watchdog itself only observes — the host's
+// callback does the judging (WARN `stall` log line, the
+// qfix_stalls_total{kind} counter, force-retaining the trace in the
+// recorder).
+//
+// The monitor thread wakes every poll interval and on Stop(); probes
+// are cheap (a few atomic loads per registered entity), so the
+// interval can be short without showing up anywhere.
+#ifndef QFIX_OBS_WATCHDOG_H_
+#define QFIX_OBS_WATCHDOG_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace qfix {
+namespace obs {
+
+class Watchdog {
+ public:
+  struct Options {
+    double poll_interval_seconds = 0.25;
+    /// Heartbeat staleness beyond this is an event_loop stall.
+    /// 0 disables the heartbeat probe.
+    double loop_stall_seconds = 1.0;
+    /// In-flight solves older than this are flagged. 0 disables.
+    double solve_deadline_warn_seconds = 0.0;
+    /// Starvation probe must report shedding-at-capacity continuously
+    /// for this long. 0 disables.
+    double starvation_window_seconds = 0.0;
+  };
+
+  struct StallEvent {
+    /// "event_loop" | "solve_deadline" | "admission_starvation".
+    std::string kind;
+    /// The wedged loop's name, or the overdue solve's request id, or
+    /// the probe's detail string.
+    std::string detail;
+    /// Request id to force-retain, when one is implicated (overdue
+    /// solves carry theirs; loop/starvation stalls have none).
+    std::string request_id;
+    /// How long the entity has been stalled, seconds.
+    double age_seconds = 0.0;
+  };
+  /// Runs on the monitor thread; must not block for long.
+  using StallFn = std::function<void(const StallEvent&)>;
+
+  Watchdog(Options options, StallFn on_stall);
+  ~Watchdog();  // stops if running
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// Registers a heartbeat (call before Start; returns its handle).
+  int RegisterHeartbeat(std::string name);
+  /// Marks heartbeat `handle` alive now. Wait-free; called every loop
+  /// iteration.
+  void Beat(int handle);
+
+  /// Registers an in-flight solve; returns a token for EndSolve().
+  /// Cheap enough for once-per-admitted-request use.
+  uint64_t BeginSolve(std::string request_id);
+  void EndSolve(uint64_t token);
+
+  /// Starvation probe: return true while the admission gate is pinned
+  /// at capacity and shedding; fill `detail` for the event. Install
+  /// before Start().
+  using StarvationProbe = std::function<bool(std::string* detail)>;
+  void SetStarvationProbe(StarvationProbe probe);
+
+  /// One synchronous sweep (what the monitor thread runs each tick);
+  /// exposed so tests need no timing dependence. Returns events fired.
+  int PollOnce();
+
+ private:
+  struct Heartbeat {
+    std::string name;
+    std::atomic<double> last_beat_seconds{0.0};
+    bool stalled = false;  // monitor-thread state (edge trigger)
+  };
+  struct InflightSolve {
+    uint64_t token = 0;
+    std::string request_id;
+    double started_seconds = 0.0;
+    bool flagged = false;
+  };
+
+  void Run();
+
+  const Options options_;
+  const StallFn on_stall_;
+
+  std::vector<std::unique_ptr<Heartbeat>> heartbeats_;
+
+  std::mutex solves_mu_;
+  std::vector<InflightSolve> solves_;
+  uint64_t next_token_ = 1;
+
+  StarvationProbe starvation_probe_;
+  double starving_since_seconds_ = 0.0;  // 0 = not currently starving
+  bool starvation_flagged_ = false;
+
+  std::mutex run_mu_;
+  std::condition_variable run_cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace obs
+}  // namespace qfix
+
+#endif  // QFIX_OBS_WATCHDOG_H_

@@ -8,6 +8,7 @@
 #include "common/strings.h"
 #include "common/timer.h"
 #include "ingest/encoding_cache.h"
+#include "obs/trace.h"
 #include "relational/executor.h"
 
 namespace qfix {
@@ -151,7 +152,15 @@ std::vector<bool> QFixEngine::EncodedSet(
 Result<Repair> QFixEngine::SolveAttempt(
     const std::vector<bool>& parameterized, const Deadline& deadline,
     RepairStats* stats) {
+  // Engine-recorded trace phases: the engine owns the encode/solve
+  // split (the server can't see it), so it opens those spans itself and
+  // hangs prefix-replay / solver-internal children off them.
+  obs::TraceContext* trace = options_.milp.trace;
+  const size_t phase_parent = options_.milp.trace_parent_span;
+
   WallTimer encode_timer;
+  size_t encode_span = obs::TraceContext::kDroppedSpan;
+  if (trace != nullptr) encode_span = trace->BeginSpan("encode", phase_parent);
 
   EncodeRequest req;
   req.log = &log_;
@@ -196,18 +205,27 @@ Result<Repair> QFixEngine::SolveAttempt(
       if (data_->chunks[ci]->end <= first_param) chunk_index = ci;
     }
     if (chunk_index < data_->chunks.size()) {
+      const double replay_start =
+          trace != nullptr ? trace->ElapsedSeconds() : 0.0;
       prefix_state = options_.encoding_cache->GetOrCompute(
           data_->name, data_->chunks, chunk_index, d0_, log_);
       if (prefix_state != nullptr) {
         req.prefix_state = prefix_state.get();
         req.prefix_len = data_->chunks[chunk_index]->end;
         stats->prefix_reused = true;
+        if (trace != nullptr) {
+          trace->AddSpan("prefix_replay", replay_start,
+                         trace->ElapsedSeconds(), encode_span);
+        }
       }
     }
   }
 
-  QFIX_ASSIGN_OR_RETURN(EncodedProblem problem, Encode(req));
+  Result<EncodedProblem> encoded = Encode(req);
   stats->encode_seconds += encode_timer.ElapsedSeconds();
+  if (trace != nullptr) trace->EndSpan(encode_span);
+  if (!encoded.ok()) return encoded.status();
+  EncodedProblem problem = std::move(*encoded);
   stats->num_vars = problem.model.NumVars();
   stats->num_constraints = problem.model.NumConstraints();
   stats->num_integer_vars = problem.model.NumIntegerVars();
@@ -220,9 +238,17 @@ Result<Repair> QFixEngine::SolveAttempt(
                milp_opts.time_limit_seconds > 0
                    ? milp_opts.time_limit_seconds
                    : deadline.RemainingSeconds());
+  size_t solve_span = obs::TraceContext::kDroppedSpan;
+  if (trace != nullptr) {
+    solve_span = trace->BeginSpan("solve", phase_parent);
+    // Solver-internal spans (presolve/root_lp/node_batch/...) nest
+    // under this attempt's "solve" span, not the caller's parent.
+    milp_opts.trace_parent_span = solve_span;
+  }
   WallTimer solve_timer;
   milp::MilpSolution sol = milp::MilpSolver(milp_opts).Solve(problem.model);
   stats->solve_seconds += solve_timer.ElapsedSeconds();
+  if (trace != nullptr) trace->EndSpan(solve_span);
   stats->solver_nodes += sol.stats.nodes;
   stats->lp_iterations += sol.stats.lp_iterations;
   stats->incumbent_updates += sol.stats.incumbent_updates;
@@ -305,16 +331,27 @@ Result<Repair> QFixEngine::SolveAttempt(
           options_.refine_distance_weight;
 
       WallTimer refine_encode;
+      size_t refine_encode_span = obs::TraceContext::kDroppedSpan;
+      if (trace != nullptr) {
+        refine_encode_span = trace->BeginSpan("refine_encode", phase_parent);
+      }
       auto refined = Encode(refine);
       stats->encode_seconds += refine_encode.ElapsedSeconds();
+      if (trace != nullptr) trace->EndSpan(refine_encode_span);
       if (!refined.ok()) break;
       milp::MilpOptions refine_opts = options_.milp;
       refine_opts.time_limit_seconds =
           std::min(deadline.RemainingSeconds(), 15.0);
+      size_t refine_solve_span = obs::TraceContext::kDroppedSpan;
+      if (trace != nullptr) {
+        refine_solve_span = trace->BeginSpan("refine_solve", phase_parent);
+        refine_opts.trace_parent_span = refine_solve_span;
+      }
       WallTimer refine_solve;
       milp::MilpSolution rsol =
           milp::MilpSolver(refine_opts).Solve(refined->model);
       stats->solve_seconds += refine_solve.ElapsedSeconds();
+      if (trace != nullptr) trace->EndSpan(refine_solve_span);
       stats->solver_nodes += rsol.stats.nodes;
       stats->lp_iterations += rsol.stats.lp_iterations;
       stats->incumbent_updates += rsol.stats.incumbent_updates;

@@ -238,12 +238,12 @@ Status ClientConnection::EnsureConnected(double timeout_seconds) {
   return Status::OK();
 }
 
-Result<HttpResponse> ClientConnection::Roundtrip(const char* method,
-                                                 const std::string& path,
-                                                 const std::string& body,
-                                                 double timeout_seconds) {
-  std::string request =
-      BuildRequest(method, host_, port_, path, body, /*keep_alive=*/true);
+Result<HttpResponse> ClientConnection::Roundtrip(
+    const char* method, const std::string& path, const std::string& body,
+    double timeout_seconds,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  std::string request = BuildRequest(method, host_, port_, path, body,
+                                     /*keep_alive=*/true, extra_headers);
   Deadline deadline = Deadline::AfterSeconds(timeout_seconds);
   // Two attempts: a reused socket may have been closed by the server
   // (idle timeout, request budget) between requests; the retry runs on
@@ -279,15 +279,15 @@ Result<HttpResponse> ClientConnection::Roundtrip(const char* method,
   return Status::Internal("unreachable");
 }
 
-Result<HttpResponse> ClientConnection::Post(const std::string& path,
-                                            const std::string& body,
-                                            double timeout_seconds) {
-  return Roundtrip("POST", path, body, timeout_seconds);
+Result<HttpResponse> ClientConnection::Post(
+    const std::string& path, const std::string& body, double timeout_seconds,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  return Roundtrip("POST", path, body, timeout_seconds, extra_headers);
 }
 
 Result<HttpResponse> ClientConnection::Get(const std::string& path,
                                            double timeout_seconds) {
-  return Roundtrip("GET", path, "", timeout_seconds);
+  return Roundtrip("GET", path, "", timeout_seconds, {});
 }
 
 Result<HostPort> ParseUrl(std::string_view url) {

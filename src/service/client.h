@@ -47,8 +47,15 @@ class ClientConnection {
   ClientConnection(const ClientConnection&) = delete;
   ClientConnection& operator=(const ClientConnection&) = delete;
 
-  Result<HttpResponse> Post(const std::string& path, const std::string& body,
-                            double timeout_seconds = 30.0);
+  /// `extra_headers` are sent verbatim after the standard headers —
+  /// the load generator stamps a per-request X-Request-Id this way so
+  /// client-side latency outliers correlate with server-side retained
+  /// traces.
+  Result<HttpResponse> Post(
+      const std::string& path, const std::string& body,
+      double timeout_seconds = 30.0,
+      const std::vector<std::pair<std::string, std::string>>& extra_headers =
+          {});
   Result<HttpResponse> Get(const std::string& path,
                            double timeout_seconds = 30.0);
 
@@ -57,9 +64,10 @@ class ClientConnection {
   int connects() const { return connects_; }
 
  private:
-  Result<HttpResponse> Roundtrip(const char* method, const std::string& path,
-                                 const std::string& body,
-                                 double timeout_seconds);
+  Result<HttpResponse> Roundtrip(
+      const char* method, const std::string& path, const std::string& body,
+      double timeout_seconds,
+      const std::vector<std::pair<std::string, std::string>>& extra_headers);
   Status EnsureConnected(double timeout_seconds);
   void CloseSocket();
 

@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/timer.h"
 #include "obs/trace.h"
 
@@ -171,6 +172,16 @@ void Connection::StartWrite(HttpResponse response) {
   if (request_id_.empty()) request_id_ = obs::GenerateRequestId();
   response.headers.emplace_back("X-Request-Id", request_id_);
   host_->CountResponse(response.status);
+  // Every error response leaves a log line carrying the request id —
+  // the id the client saw in its X-Request-Id header, so an error
+  // report correlates with the server's log (and, for diagnose
+  // requests, its retained trace) without guesswork. WARN level rides
+  // the process-wide token bucket, so shed storms cannot flood the log.
+  if (response.status >= 400) {
+    LogEvent(LogLevel::kWarn, "request_error")
+        .Str("request_id", request_id_)
+        .Int("status", response.status);
+  }
   keep_after_write_ = response.keep_alive;
   write_start_seconds_ = MonotonicSeconds();
   outbuf_ = response.Serialize();

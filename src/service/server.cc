@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <thread>
@@ -80,6 +81,12 @@ struct DiagnosisServer::LoopShard {
   std::unordered_set<Connection*> conns;
   std::unique_ptr<Acceptor> acceptor;
   int index = 0;
+  /// Watchdog heartbeat: a self-rescheduling timer-wheel entry proves
+  /// the loop is dispatching (an idle loop parked in epoll_wait with no
+  /// timers would otherwise read as wedged). Owned here so the
+  /// recursive closure has a stable home.
+  int hb_handle = -1;
+  std::function<void()> hb_tick;
 };
 
 /// One shard's registration on the shared nonblocking listener
@@ -172,6 +179,18 @@ DiagnosisServer::DiagnosisServer(ServerOptions options)
   options_.max_requests_per_conn = std::max(options_.max_requests_per_conn, 1);
   options_.event_loop_threads =
       std::clamp(options_.event_loop_threads, 1, 64);
+  options_.trace_sample_probability =
+      std::clamp(options_.trace_sample_probability, 0.0, 1.0);
+  if (options_.warn_log_per_sec > 0.0) {
+    SetWarnLogPerSec(options_.warn_log_per_sec);
+  }
+  if (options_.trace_buffer_bytes > 0) {
+    obs::TraceRecorder::Options rec;
+    rec.byte_budget = options_.trace_buffer_bytes;
+    rec.sample_probability = options_.trace_sample_probability;
+    rec.slow_threshold_seconds = options_.slow_request_ms / 1e3;
+    recorder_ = std::make_unique<obs::TraceRecorder>(rec);
+  }
   conn_config_.read_timeout_seconds = options_.read_timeout_seconds;
   conn_config_.write_timeout_seconds = options_.write_timeout_seconds;
   conn_config_.idle_timeout_seconds = options_.idle_timeout_seconds;
@@ -493,6 +512,61 @@ void DiagnosisServer::SetupMetrics() {
                      ? MonotonicSeconds() - started_at_seconds_
                      : 0.0});
       });
+  metrics_.AddCallback(
+      "qfix_metrics_scrapes_total", "GET /metrics responses served.",
+      Kind::kCounter, {}, [this](std::vector<Sample>* out) {
+        out->push_back({{}, static_cast<double>(counters_.metrics.load(
+                                std::memory_order_relaxed))});
+      });
+  metrics_.AddCallback(
+      "qfix_log_lines_dropped_total",
+      "WARN log lines dropped by the --warn-log-per-sec token bucket.",
+      Kind::kCounter, {}, [](std::vector<Sample>* out) {
+        out->push_back({{}, static_cast<double>(DroppedLogLines())});
+      });
+  metrics_.AddCallback(
+      "qfix_stalls_total", "Watchdog stall events, by kind.", Kind::kCounter,
+      {"kind"}, [this](std::vector<Sample>* out) {
+        out->push_back(
+            {{"admission_starvation"},
+             static_cast<double>(stalls_admission_starvation_.load(
+                 std::memory_order_relaxed))});
+        out->push_back({{"event_loop"},
+                        static_cast<double>(stalls_event_loop_.load(
+                            std::memory_order_relaxed))});
+        out->push_back({{"solve_deadline"},
+                        static_cast<double>(stalls_solve_deadline_.load(
+                            std::memory_order_relaxed))});
+      });
+  metrics_.AddCallback(
+      "qfix_trace_recorder_events_total",
+      "Flight-recorder retention decisions, by kind.", Kind::kCounter,
+      {"event"}, [this](std::vector<Sample>* out) {
+        if (recorder_ == nullptr) return;
+        obs::TraceRecorder::Stats s = recorder_->stats();
+        auto add = [out](const char* event, uint64_t v) {
+          out->push_back({{event}, static_cast<double>(v)});
+        };
+        add("evicted", s.evicted_total);
+        add("forced", s.forced_total);
+        add("recorded", s.recorded_total);
+        add("retained", s.retained_total);
+        add("sampled_out", s.sampled_out_total);
+      });
+  metrics_.AddCallback(
+      "qfix_trace_buffer_bytes", "Flight-recorder ring occupancy in bytes.",
+      Kind::kGauge, {}, [this](std::vector<Sample>* out) {
+        if (recorder_ == nullptr) return;
+        out->push_back(
+            {{}, static_cast<double>(recorder_->stats().buffered_bytes)});
+      });
+  metrics_.AddCallback(
+      "qfix_trace_buffer_traces", "Traces currently in the flight recorder.",
+      Kind::kGauge, {}, [this](std::vector<Sample>* out) {
+        if (recorder_ == nullptr) return;
+        out->push_back(
+            {{}, static_cast<double>(recorder_->stats().buffered)});
+      });
 }
 
 DiagnosisServer::~DiagnosisServer() { Stop(); }
@@ -554,6 +628,40 @@ Status DiagnosisServer::Start() {
   shutdown_ = exec::CancellationSource();
   started_at_seconds_ = MonotonicSeconds();
 
+  // The watchdog is rebuilt per Start(): heartbeats register per
+  // event-loop shard below, and RegisterHeartbeat must precede its
+  // Start(). Probes that are disabled (threshold 0) cost nothing.
+  obs::Watchdog::Options wd;
+  wd.loop_stall_seconds = options_.loop_stall_warn_seconds;
+  wd.solve_deadline_warn_seconds = options_.solve_deadline_warn_ms / 1e3;
+  wd.starvation_window_seconds = options_.admission_starvation_warn_seconds;
+  // Poll at a quarter of the tightest enabled threshold (within
+  // [10ms, 250ms]) — a 20ms solve deadline is meaningless when the
+  // monitor only looks every 250ms.
+  double tightest = 0.0;
+  for (double t : {wd.loop_stall_seconds, wd.solve_deadline_warn_seconds,
+                   wd.starvation_window_seconds}) {
+    if (t > 0.0 && (tightest == 0.0 || t < tightest)) tightest = t;
+  }
+  if (tightest > 0.0) {
+    wd.poll_interval_seconds = std::clamp(tightest / 4.0, 0.01, 0.25);
+  }
+  watchdog_ = std::make_unique<obs::Watchdog>(
+      wd, [this](const obs::Watchdog::StallEvent& e) { OnStall(e); });
+  watchdog_->SetStarvationProbe([this](std::string* detail) {
+    int inflight = governor_->inflight();
+    if (inflight < options_.max_inflight) return false;
+    *detail = StringPrintf("admission gate pinned at %d/%d items", inflight,
+                           options_.max_inflight);
+    return true;
+  });
+  // Beat well inside the stall threshold so one missed wakeup never
+  // reads as a stall.
+  const double hb_interval =
+      options_.loop_stall_warn_seconds > 0.0
+          ? std::clamp(options_.loop_stall_warn_seconds / 4.0, 0.01, 0.25)
+          : 0.0;
+
   shards_.clear();
   for (int i = 0; i < options_.event_loop_threads; ++i) {
     auto shard = std::make_unique<LoopShard>();
@@ -561,6 +669,7 @@ Status DiagnosisServer::Start() {
     Status init = shard->loop.Init();
     if (!init.ok()) {
       shards_.clear();
+      watchdog_.reset();
       ::close(listen_fd_);
       listen_fd_ = -1;
       handler_pool_.reset();
@@ -573,8 +682,20 @@ Status DiagnosisServer::Start() {
     // Registration runs on the Start() thread, legal because the loop
     // has not started yet (InLoopThread() covers the pre-Run owner).
     s->acceptor->Register();
+    if (hb_interval > 0.0) {
+      s->hb_handle =
+          watchdog_->RegisterHeartbeat(StringPrintf("event_loop_%d", i));
+      s->hb_tick = [this, s, hb_interval] {
+        watchdog_->Beat(s->hb_handle);
+        s->loop.timers().Schedule(hb_interval, s->hb_tick);
+      };
+      // First beat + schedule from the Start() thread (pre-Run, same
+      // legality as the acceptor registration above).
+      s->hb_tick();
+    }
     shards_.push_back(std::move(shard));
   }
+  watchdog_->Start();
 
   running_.store(true, std::memory_order_release);
   for (auto& shard : shards_) {
@@ -593,6 +714,11 @@ Status DiagnosisServer::Start() {
 
 void DiagnosisServer::Stop() {
   bool was_running = running_.exchange(false);
+  // Silence the watchdog before tearing anything down: a draining
+  // server legitimately misses heartbeats and overruns deadlines, and
+  // those are not stalls worth a WARN. The object itself outlives the
+  // handler pool (in-flight handlers still call Begin/EndSolve).
+  if (watchdog_ != nullptr) watchdog_->Stop();
   // Fire the token first so queued batch items fail fast and debug
   // sleeps wake; then ask every loop to close its connections (a
   // connection waiting on a dispatched handler survives until the
@@ -618,6 +744,7 @@ void DiagnosisServer::Stop() {
   if (was_running) {
     handler_pool_.reset();
     pool_.reset();
+    watchdog_.reset();
     LogEvent(LogLevel::kInfo, "server_stopped")
         .Int("port", bound_port_)
         .Uint("requests_total",
@@ -775,6 +902,23 @@ bool DiagnosisServer::HandleRequest(HttpRequest request, HttpResponse* out,
     Offload(
         [this, request = std::move(request), name = std::move(name)] {
           return HandleAppend(request, name);
+        },
+        std::move(done));
+    return false;
+  }
+  if (path == "/v1/debug/traces") {
+    counters_.debug.fetch_add(1, std::memory_order_relaxed);
+    if (request.method != "GET") {
+      *out = JsonError(405, "MethodNotAllowed", "use GET");
+      return true;
+    }
+    // Bypasses the admission gate like healthz/stats: the endpoint
+    // exists precisely for when the server is saturated. Offloaded
+    // anyway — rendering a few MB of retained traces has no place on a
+    // loop thread.
+    Offload(
+        [this, request = std::move(request)] {
+          return HandleDebugTraces(request);
         },
         std::move(done));
     return false;
@@ -1004,6 +1148,40 @@ HttpResponse DiagnosisServer::HandleStats() {
   w.EndObject();
   w.Key("pool_workers");
   w.Int(pool_ != nullptr ? pool_->num_workers() : 0);
+  w.Key("uptime_seconds");
+  w.Double(s.uptime_seconds);
+  w.Key("metrics_scrapes_total");
+  w.Uint(s.metrics_scrapes_total);
+  w.Key("trace_recorder");
+  w.BeginObject();
+  w.Key("enabled");
+  w.Bool(recorder_ != nullptr);
+  w.Key("recorded");
+  w.Uint(s.trace_recorder.recorded_total);
+  w.Key("retained");
+  w.Uint(s.trace_recorder.retained_total);
+  w.Key("sampled_out");
+  w.Uint(s.trace_recorder.sampled_out_total);
+  w.Key("forced");
+  w.Uint(s.trace_recorder.forced_total);
+  w.Key("evicted");
+  w.Uint(s.trace_recorder.evicted_total);
+  w.Key("buffered");
+  w.Uint(s.trace_recorder.buffered);
+  w.Key("buffered_bytes");
+  w.Uint(s.trace_recorder.buffered_bytes);
+  w.EndObject();
+  w.Key("stalls");
+  w.BeginObject();
+  w.Key("event_loop");
+  w.Uint(s.stalls_event_loop);
+  w.Key("solve_deadline");
+  w.Uint(s.stalls_solve_deadline);
+  w.Key("admission_starvation");
+  w.Uint(s.stalls_admission_starvation);
+  w.EndObject();
+  w.Key("log_lines_dropped");
+  w.Uint(DroppedLogLines());
   w.EndObject();
   HttpResponse out;
   out.body = w.str();
@@ -1122,16 +1300,31 @@ HttpResponse DiagnosisServer::HandleAppend(const HttpRequest& request,
 }
 
 HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
-  // Only served diagnoses feed the percentiles: healthz/stats pollers
-  // and shed 429s run in microseconds and would swamp the sample
-  // window, hiding exactly the latency /v1/stats exists to expose.
-  // Recorded globally AND per tenant — a slow tenant's solves land in
-  // its own recorder, so its p99 never skews another tenant's.
-  const double start_seconds = MonotonicSeconds();
   // The connection layer already sanitized (or minted) X-Request-Id,
   // so the trace id below matches the response header byte-for-byte.
   const std::string* rid = request.FindHeader("X-Request-Id");
   obs::TraceContext trace(rid != nullptr ? *rid : std::string());
+  std::string tenant;
+  std::string dataset;
+  HttpResponse out = DiagnoseInner(request, trace, &tenant, &dataset);
+  // Tail-based retention: the outcome is only known now, at
+  // completion. Shed and errored requests are always kept; ok traces
+  // face the sampler (and a slowness upgrade) inside the recorder.
+  obs::TraceOutcome outcome = obs::TraceOutcome::kOk;
+  if (out.status == 429) {
+    outcome = obs::TraceOutcome::kShed;
+  } else if (out.status >= 400) {
+    outcome = obs::TraceOutcome::kError;
+  }
+  RecordTrace(trace, outcome, out.status, trace.ElapsedSeconds(), tenant,
+              dataset);
+  return out;
+}
+
+HttpResponse DiagnosisServer::DiagnoseInner(const HttpRequest& request,
+                                            obs::TraceContext& trace,
+                                            std::string* primary_tenant,
+                                            std::string* primary_dataset) {
   size_t sp_parse = trace.BeginSpan("parse");
 
   auto doc = ParseJson(request.body);
@@ -1232,6 +1425,11 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
       tenants.push_back(std::move(tenant));
     }
   }
+  // Attribution for the retained trace: the first item speaks for the
+  // request (a batch can span tenants, but one label is what the
+  // flight-recorder filter needs).
+  *primary_tenant = tenants.front();
+  *primary_dataset = decoded.front().dataset->name;
   for (const std::string& tenant : tenants) {
     governor_->CountRequest(tenant);
   }
@@ -1251,6 +1449,12 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
     // interrupts running searches instead of waiting out their budget.
     item.options.milp.pool = pool_.get();
     item.options.milp.cancel = shutdown_.token();
+    // Solver-boundary tracing: the engine opens "encode"/"solve" spans
+    // itself (it owns that split) and the MILP search hangs
+    // presolve/root_lp/node_batch/incumbent children off them.
+    // TraceContext is thread-safe, so concurrent batch items may
+    // record into it. Runtime-only wiring, never part of cache keys.
+    item.options.milp.trace = &trace;
     // Prefix reuse for appended datasets: the engine starts encoding
     // from the memoized chunk-prefix replay instead of re-walking the
     // whole log (no-op for unchunked datasets or a null cache).
@@ -1398,20 +1602,20 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
     // admission gate and splice the cached report bytes verbatim,
     // neither of which the library path can know about.
     qfixcore::BatchDiagnoser diagnoser(batch_options);
-    const double run_begin = trace.ElapsedSeconds();
+    // The watchdog flags this solve — by request id, while it is still
+    // running — if it overruns --solve-deadline-warn-ms, and
+    // force-retains its trace.
+    const uint64_t solve_token =
+        watchdog_ != nullptr ? watchdog_->BeginSolve(trace.request_id()) : 0;
     std::vector<Result<qfixcore::Repair>> solved = diagnoser.Run(to_solve);
-    const double run_end = trace.ElapsedSeconds();
+    if (watchdog_ != nullptr) watchdog_->EndSolve(solve_token);
 
-    // The encode/solve split inside one Run(): the engine reports
-    // per-item encode vs. solve seconds; their sum is clamped to the
-    // run's wall time (items run concurrently on the pool, so summed
-    // phase seconds can exceed wall seconds — the span view keeps the
-    // invariant sum(spans) <= wall).
-    double encode_total = 0.0;
+    // Per-item "encode"/"solve" spans (and their solver-internal
+    // children) were recorded by the engine during Run(); here only the
+    // scrape-time counters remain to accumulate.
     for (size_t s = 0; s < solved.size(); ++s) {
       if (!solved[s].ok()) continue;
       const auto& st = solved[s]->stats;
-      encode_total += st.encode_seconds;
       solver_nodes_total_->Inc(static_cast<uint64_t>(st.solver_nodes));
       solver_lp_iterations_total_->Inc(
           static_cast<uint64_t>(st.lp_iterations));
@@ -1422,9 +1626,6 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
       encoder_variables_total_->Inc(static_cast<uint64_t>(st.num_vars));
       if (st.prefix_reused) encoder_prefix_reused_total_->Inc();
     }
-    const double encode_span = std::min(encode_total, run_end - run_begin);
-    trace.AddSpan("encode", run_begin, run_begin + encode_span);
-    trace.AddSpan("solve", run_begin + encode_span, run_end);
 
     for (size_t s = 0; s < solved.size(); ++s) {
       size_t i = solve_index[s];
@@ -1493,6 +1694,12 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
       w->Double(span.start_seconds * 1e3);
       w->Key("ms");
       w->Double(span.DurationSeconds() * 1e3);
+      // Index of the enclosing span in this array; top-level spans
+      // omit it.
+      if (span.parent >= 0) {
+        w->Key("parent");
+        w->Int(span.parent);
+      }
       w->EndObject();
     }
     w->EndArray();
@@ -1546,28 +1753,52 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
   }
   if (!*with_timings) trace.EndSpan(sp_render);
 
-  const double elapsed = MonotonicSeconds() - start_seconds;
+  // Only served diagnoses feed the percentiles: healthz/stats pollers
+  // and shed 429s run in microseconds and would swamp the sample
+  // window, hiding exactly the latency /v1/stats exists to expose.
+  // Recorded globally AND per tenant — a slow tenant's solves land in
+  // its own recorder, so its p99 never skews another tenant's.
+  const double elapsed = trace.ElapsedSeconds();
   latency_.Record(elapsed);
   for (const std::string& tenant : tenants) {
     governor_->RecordLatency(tenant, elapsed);
-    diagnose_seconds_by_tenant_->WithLabels({tenant})->Observe(elapsed);
+    // The exemplar pins the request id of the worst recent observation
+    // to its bucket, so a latency spike on the dashboard links straight
+    // to its retained trace in /v1/debug/traces.
+    diagnose_seconds_by_tenant_->WithLabels({tenant})->ObserveWithExemplar(
+        elapsed, trace.request_id());
   }
-  for (const obs::TraceSpan& span : trace.spans()) {
-    obs::Histogram* h = nullptr;
-    if (span.phase == "parse") {
-      h = phase_parse_;
-    } else if (span.phase == "cache") {
-      h = phase_cache_;
-    } else if (span.phase == "admission") {
-      h = phase_admission_;
-    } else if (span.phase == "encode") {
-      h = phase_encode_;
-    } else if (span.phase == "solve") {
-      h = phase_solve_;
-    } else if (span.phase == "render") {
-      h = phase_render_;
+  // Phase histograms count one observation per phase per request: the
+  // engine records encode/solve once per batch item (plus refinement
+  // rounds), so per-item durations are summed before observing.
+  // Solver-internal child spans are trace-only detail.
+  {
+    double by_phase[6] = {0, 0, 0, 0, 0, 0};
+    bool seen[6] = {false, false, false, false, false, false};
+    obs::Histogram* hists[6] = {phase_parse_,  phase_cache_, phase_admission_,
+                                phase_encode_, phase_solve_, phase_render_};
+    for (const obs::TraceSpan& span : trace.spans()) {
+      int idx = -1;
+      if (span.phase == "parse") {
+        idx = 0;
+      } else if (span.phase == "cache") {
+        idx = 1;
+      } else if (span.phase == "admission") {
+        idx = 2;
+      } else if (span.phase == "encode" || span.phase == "refine_encode") {
+        idx = 3;
+      } else if (span.phase == "solve" || span.phase == "refine_solve") {
+        idx = 4;
+      } else if (span.phase == "render") {
+        idx = 5;
+      }
+      if (idx < 0) continue;
+      by_phase[idx] += span.DurationSeconds();
+      seen[idx] = true;
     }
-    if (h != nullptr) h->Observe(span.DurationSeconds());
+    for (int i = 0; i < 6; ++i) {
+      if (seen[i]) hists[i]->Observe(by_phase[i]);
+    }
   }
   if (options_.slow_request_ms > 0.0 &&
       elapsed * 1e3 >= options_.slow_request_ms) {
@@ -1582,14 +1813,223 @@ HttpResponse DiagnosisServer::HandleDiagnose(const HttpRequest& request) {
       tenant_list += tenant;
     }
     log.Str("tenants", tenant_list);
+    // Aggregate by phase name: a batch records encode/solve (and
+    // solver-internal children) once per item, and one log line must
+    // not carry duplicate keys.
+    std::vector<std::pair<std::string, double>> phase_ms;
     for (const obs::TraceSpan& span : trace.spans()) {
-      log.Double(span.phase + "_ms", span.DurationSeconds() * 1e3);
+      auto it = std::find_if(
+          phase_ms.begin(), phase_ms.end(),
+          [&](const auto& p) { return p.first == span.phase; });
+      if (it == phase_ms.end()) {
+        phase_ms.emplace_back(span.phase, span.DurationSeconds() * 1e3);
+      } else {
+        it->second += span.DurationSeconds() * 1e3;
+      }
+    }
+    for (const auto& [phase, ms] : phase_ms) {
+      log.Double(phase + "_ms", ms);
     }
   }
 
   HttpResponse out;
   out.body = w.str();
   return out;
+}
+
+namespace {
+
+/// Splits "k=v&k2=v2" into pairs. Values are taken verbatim — every
+/// filterable field (tenant, dataset, outcome, numbers) is drawn from
+/// [A-Za-z0-9._-], so nothing needs %-decoding.
+std::vector<std::pair<std::string, std::string>> ParseQueryParams(
+    std::string_view query) {
+  std::vector<std::pair<std::string, std::string>> out;
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string_view::npos) amp = query.size();
+    std::string_view pair = query.substr(pos, amp - pos);
+    if (!pair.empty()) {
+      size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        out.emplace_back(std::string(pair), std::string());
+      } else {
+        out.emplace_back(std::string(pair.substr(0, eq)),
+                         std::string(pair.substr(eq + 1)));
+      }
+    }
+    pos = amp + 1;
+  }
+  return out;
+}
+
+/// Strict full-string double parse; false on trailing garbage.
+bool ParseQueryDouble(const std::string& value, double* out) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end != value.c_str() + value.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+HttpResponse DiagnosisServer::HandleDebugTraces(const HttpRequest& request) {
+  obs::TraceRecorder::Filter filter;
+  for (const auto& [key, value] : ParseQueryParams(request.query())) {
+    if (key == "tenant") {
+      filter.tenant = value;
+    } else if (key == "dataset") {
+      filter.dataset = value;
+    } else if (key == "min_duration_ms") {
+      double ms = 0.0;
+      if (!ParseQueryDouble(value, &ms) || ms < 0.0) {
+        return JsonError(400, "InvalidArgument",
+                         "'min_duration_ms' must be a non-negative number");
+      }
+      filter.min_duration_seconds = ms / 1e3;
+    } else if (key == "outcome") {
+      if (!obs::ParseTraceOutcome(value, &filter.outcome)) {
+        return JsonError(400, "InvalidArgument",
+                         "'outcome' must be one of ok|slow|error|shed");
+      }
+      filter.has_outcome = true;
+    } else if (key == "limit") {
+      double n = 0.0;
+      if (!ParseQueryDouble(value, &n) || n < 1.0 || n > 1024.0 ||
+          n != static_cast<size_t>(n)) {
+        return JsonError(400, "InvalidArgument",
+                         "'limit' must be an integer in [1, 1024]");
+      }
+      filter.limit = static_cast<size_t>(n);
+    } else {
+      return JsonError(400, "InvalidArgument",
+                       "unknown filter '" + key +
+                           "' (tenant, dataset, min_duration_ms, outcome, "
+                           "limit)");
+    }
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("enabled");
+  w.Bool(recorder_ != nullptr);
+  if (recorder_ != nullptr) {
+    obs::TraceRecorder::Stats s = recorder_->stats();
+    w.Key("recorder");
+    w.BeginObject();
+    w.Key("recorded");
+    w.Uint(s.recorded_total);
+    w.Key("retained");
+    w.Uint(s.retained_total);
+    w.Key("sampled_out");
+    w.Uint(s.sampled_out_total);
+    w.Key("forced");
+    w.Uint(s.forced_total);
+    w.Key("evicted");
+    w.Uint(s.evicted_total);
+    w.Key("buffered");
+    w.Uint(s.buffered);
+    w.Key("buffered_bytes");
+    w.Uint(s.buffered_bytes);
+    w.Key("byte_budget");
+    w.Uint(s.byte_budget);
+    w.EndObject();
+  }
+  w.Key("traces");
+  w.BeginArray();
+  if (recorder_ != nullptr) {
+    for (const obs::RetainedTrace& t : recorder_->Snapshot(filter)) {
+      w.BeginObject();
+      w.Key("request_id");
+      w.String(t.request_id);
+      w.Key("tenant");
+      w.String(t.tenant);
+      w.Key("dataset");
+      w.String(t.dataset);
+      w.Key("endpoint");
+      w.String(t.endpoint);
+      w.Key("outcome");
+      w.String(obs::TraceOutcomeName(t.outcome));
+      w.Key("http_status");
+      w.Int(t.http_status);
+      w.Key("duration_ms");
+      w.Double(t.duration_seconds * 1e3);
+      w.Key("recorded_unix_seconds");
+      w.Double(t.recorded_unix_seconds);
+      w.Key("forced");
+      w.Bool(t.forced);
+      w.Key("retain_reason");
+      w.String(t.retain_reason);
+      w.Key("spans");
+      w.BeginArray();
+      for (const obs::TraceSpan& span : t.spans) {
+        w.BeginObject();
+        w.Key("phase");
+        w.String(span.phase);
+        w.Key("start_ms");
+        w.Double(span.start_seconds * 1e3);
+        w.Key("ms");
+        w.Double(span.DurationSeconds() * 1e3);
+        if (span.parent >= 0) {
+          w.Key("parent");
+          w.Int(span.parent);
+        }
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  HttpResponse out;
+  out.body = w.str();
+  return out;
+}
+
+void DiagnosisServer::RecordTrace(const obs::TraceContext& trace,
+                                  obs::TraceOutcome outcome, int http_status,
+                                  double duration_seconds,
+                                  const std::string& tenant,
+                                  const std::string& dataset) {
+  if (recorder_ == nullptr) return;
+  obs::RetainedTrace rt;
+  rt.request_id = trace.request_id();
+  rt.tenant = tenant;
+  rt.dataset = dataset;
+  rt.endpoint = "/v1/diagnose";
+  rt.outcome = outcome;
+  rt.http_status = http_status;
+  rt.duration_seconds = duration_seconds;
+  // Safe to read spans(): the solve (the only concurrent recorder)
+  // joined before the handler returned.
+  rt.spans = trace.spans();
+  recorder_->Record(std::move(rt));
+}
+
+void DiagnosisServer::OnStall(const obs::Watchdog::StallEvent& event) {
+  if (event.kind == "event_loop") {
+    stalls_event_loop_.fetch_add(1, std::memory_order_relaxed);
+  } else if (event.kind == "solve_deadline") {
+    stalls_solve_deadline_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stalls_admission_starvation_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Pin before the WARN: the offending request may complete while this
+  // line renders, and the pin must already be in place when its trace
+  // lands in the recorder.
+  if (!event.request_id.empty() && recorder_ != nullptr) {
+    recorder_->ForceRetain(event.request_id, "stall:" + event.kind);
+  }
+  LogEvent(LogLevel::kWarn, "stall")
+      .Str("kind", event.kind)
+      .Str("request_id", event.request_id)
+      .Str("detail", event.detail)
+      .Double("age_seconds", event.age_seconds);
 }
 
 HttpResponse DiagnosisServer::HandleDebugSleep(const HttpRequest& request) {
@@ -1686,6 +2126,17 @@ DiagnosisServer::Stats DiagnosisServer::stats() const {
   s.surviving_cache_bytes =
       counters_.surviving_cache_bytes.load(std::memory_order_relaxed);
   s.tenants = governor_->Snapshot();
+  s.uptime_seconds = running_.load(std::memory_order_relaxed)
+                         ? MonotonicSeconds() - started_at_seconds_
+                         : 0.0;
+  s.metrics_scrapes_total =
+      counters_.metrics.load(std::memory_order_relaxed);
+  if (recorder_ != nullptr) s.trace_recorder = recorder_->stats();
+  s.stalls_event_loop = stalls_event_loop_.load(std::memory_order_relaxed);
+  s.stalls_solve_deadline =
+      stalls_solve_deadline_.load(std::memory_order_relaxed);
+  s.stalls_admission_starvation =
+      stalls_admission_starvation_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -59,7 +59,15 @@
 //   GET  /v1/healthz    liveness + dataset count
 //   GET  /v1/stats      request counters, latency percentiles, queue,
 //                       report-cache hit/miss/eviction/bytes, ingest
-//                       append/chunk/prefix-reuse counters
+//                       append/chunk/prefix-reuse counters, uptime,
+//                       flight-recorder occupancy, stall counts
+//   GET  /v1/debug/traces
+//                       the flight recorder: tail-sampled retained
+//                       traces of completed requests (slow/errored/
+//                       shed always kept), filterable by tenant,
+//                       dataset, min duration, and outcome; bypasses
+//                       the admission gate like healthz/stats so it
+//                       answers even when the server is saturated
 #ifndef QFIX_SERVICE_SERVER_H_
 #define QFIX_SERVICE_SERVER_H_
 
@@ -76,6 +84,8 @@
 #include "exec/thread_pool.h"
 #include "harness/metrics.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/watchdog.h"
 #include "service/connection.h"
 #include "service/http.h"
 #include "service/registry.h"
@@ -172,8 +182,34 @@ struct ServerOptions {
   bool enable_test_endpoints = false;
   /// Diagnose requests slower than this (wall ms) emit one WARN
   /// `slow_request` log line with the request id and per-phase
-  /// breakdown. 0 disables the slow-request log.
+  /// breakdown, and their traces are always retained by the flight
+  /// recorder. 0 disables the slow-request log (and slowness
+  /// classification in the recorder).
   double slow_request_ms = 0.0;
+  /// Flight recorder (GET /v1/debug/traces): byte budget of the ring
+  /// of retained completed-request traces. 0 disables the recorder
+  /// (the endpoint then answers with an empty list).
+  size_t trace_buffer_bytes = 4 * 1024 * 1024;
+  /// Probability an ok-and-fast request's trace is retained. Slow,
+  /// errored, and shed requests are retained with probability 1.0
+  /// regardless (tail-based sampling: the decision happens at request
+  /// completion, when the outcome is known).
+  double trace_sample_probability = 0.01;
+  /// Watchdog: WARN `stall` when an event loop's heartbeat goes stale
+  /// this long (a handler ran inline too long, a syscall hung).
+  /// 0 disables the probe.
+  double loop_stall_warn_seconds = 1.0;
+  /// Watchdog: WARN `stall` while a dispatched solve has been running
+  /// longer than this (wall ms) — flagged once, while still running,
+  /// and the offending trace is force-retained. 0 disables.
+  double solve_deadline_warn_ms = 0.0;
+  /// Watchdog: WARN `stall` when the admission gate has been pinned at
+  /// capacity continuously for this long. 0 disables.
+  double admission_starvation_warn_seconds = 0.0;
+  /// Token-bucket cap on WARN log lines per second (process-wide, see
+  /// SetWarnLogPerSec in common/logging.h); dropped lines count into
+  /// qfix_log_lines_dropped_total. 0 = unlimited.
+  double warn_log_per_sec = 0.0;
 };
 
 class DiagnosisServer : private ConnectionHost {
@@ -245,6 +281,17 @@ class DiagnosisServer : private ConnectionHost {
     /// Per-tenant breakdown (weights, shares, sheds, latency), sorted
     /// by tenant name.
     std::vector<TenantGovernor::TenantStats> tenants;
+    /// Seconds since Start() (0 when not running).
+    double uptime_seconds = 0.0;
+    /// GET /metrics responses served.
+    uint64_t metrics_scrapes_total = 0;
+    /// Flight-recorder occupancy and retention counters (all zero when
+    /// trace_buffer_bytes == 0).
+    obs::TraceRecorder::Stats trace_recorder;
+    /// Watchdog events fired, by kind.
+    uint64_t stalls_event_loop = 0;
+    uint64_t stalls_solve_deadline = 0;
+    uint64_t stalls_admission_starvation = 0;
   };
   Stats stats() const;
 
@@ -254,6 +301,10 @@ class DiagnosisServer : private ConnectionHost {
   /// The telemetry registry behind GET /metrics. Exposed so embedders
   /// (and the obs bench) can scrape without a socket.
   const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The flight recorder behind GET /v1/debug/traces, or nullptr when
+  /// disabled (trace_buffer_bytes == 0).
+  obs::TraceRecorder* recorder() { return recorder_.get(); }
 
  private:
   struct Counters {
@@ -308,8 +359,25 @@ class DiagnosisServer : private ConnectionHost {
   HttpResponse HandleRegisterDataset(const HttpRequest& request);
   HttpResponse HandleAppend(const HttpRequest& request, std::string name);
   HttpResponse HandleDiagnose(const HttpRequest& request);
+  /// The body of HandleDiagnose. The wrapper owns the TraceContext and
+  /// completion bookkeeping (outcome classification, flight-recorder
+  /// hand-off); the inner function fills `tenant`/`dataset` with the
+  /// first item's attribution once decoded.
+  HttpResponse DiagnoseInner(const HttpRequest& request,
+                             obs::TraceContext& trace, std::string* tenant,
+                             std::string* dataset);
+  HttpResponse HandleDebugTraces(const HttpRequest& request);
   HttpResponse HandleDebugSleep(const HttpRequest& request);
   HttpResponse HandleDebugPayload(const HttpRequest& request);
+
+  /// Hands a completed request's trace to the flight recorder (no-op
+  /// when the recorder is disabled).
+  void RecordTrace(const obs::TraceContext& trace, obs::TraceOutcome outcome,
+                   int http_status, double duration_seconds,
+                   const std::string& tenant, const std::string& dataset);
+  /// The watchdog's stall callback: WARN log line, counter, and — when
+  /// the event implicates a request — a force-retain pin.
+  void OnStall(const obs::Watchdog::StallEvent& event);
 
   ServerOptions options_;
   ConnectionHost::Config conn_config_;
@@ -337,6 +405,18 @@ class DiagnosisServer : private ConnectionHost {
   /// Admission gate for diagnosis work (and the debug sleep endpoint):
   /// weighted fair sharing per tenant, counted in batch items.
   std::unique_ptr<TenantGovernor> governor_;
+
+  /// Flight recorder (null when trace_buffer_bytes == 0). Constructed
+  /// once and never reset: the watchdog's monitor thread may pin into
+  /// it between Stop() and destruction.
+  std::unique_ptr<obs::TraceRecorder> recorder_;
+  /// Stall watchdog; rebuilt on each Start() (heartbeats register per
+  /// event-loop shard), stopped first thing in Stop().
+  std::unique_ptr<obs::Watchdog> watchdog_;
+  /// Stall events by kind (feeds qfix_stalls_total{kind} and stats()).
+  std::atomic<uint64_t> stalls_event_loop_{0};
+  std::atomic<uint64_t> stalls_solve_deadline_{0};
+  std::atomic<uint64_t> stalls_admission_starvation_{0};
 
   /// Registers every metric family (owned instruments for phase/tenant
   /// latency + solver counters, scrape-time callbacks over the existing

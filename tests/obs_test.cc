@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
 #include <string>
@@ -14,7 +15,9 @@
 #include "common/logging.h"
 #include "harness/histogram.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 
 namespace qfix {
 namespace obs {
@@ -483,6 +486,364 @@ TEST(LogLevelTest, ParseAndNameRoundTrip) {
   EXPECT_FALSE(ParseLogLevel("verbose", &level));
   EXPECT_EQ(level, LogLevel::kOff);  // untouched on failure
   EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "warn");
+}
+
+TEST_F(LogCaptureTest, WarnRateLimitDropsAndCounts) {
+  const uint64_t dropped_before = DroppedLogLines();
+  SetWarnLogPerSec(2.0);  // burst 2, then drops
+  for (int i = 0; i < 10; ++i) {
+    LogEvent(LogLevel::kWarn, "slow_request").Int("i", i);
+  }
+  // ERROR is never limited, even with the WARN bucket empty.
+  LogEvent(LogLevel::kError, "still_logged");
+  SetWarnLogPerSec(0.0);  // restore: unlimited
+  size_t warns = 0, errors = 0;
+  for (const std::string& line : lines_) {
+    if (line.find("slow_request") != std::string::npos) ++warns;
+    if (line.find("still_logged") != std::string::npos) ++errors;
+  }
+  EXPECT_EQ(warns, 2u);
+  EXPECT_EQ(errors, 1u);
+  EXPECT_EQ(DroppedLogLines() - dropped_before, 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram exemplars
+
+TEST(MetricsTest, ExemplarTracksWorstRecentPerBucket) {
+  Histogram h({0.1, 1.0});
+  h.ObserveWithExemplar(0.05, "q-fast");
+  h.ObserveWithExemplar(0.5, "q-mid");
+  h.ObserveWithExemplar(0.7, "q-mid-worse");
+  h.ObserveWithExemplar(0.3, "q-mid-better");  // not a new worst
+  h.ObserveWithExemplar(50.0, "q-inf");
+  ASSERT_TRUE(h.ExemplarFor(0).valid());
+  EXPECT_EQ(h.ExemplarFor(0).trace_id, "q-fast");
+  ASSERT_TRUE(h.ExemplarFor(1).valid());
+  EXPECT_EQ(h.ExemplarFor(1).trace_id, "q-mid-worse");
+  EXPECT_DOUBLE_EQ(h.ExemplarFor(1).value, 0.7);
+  ASSERT_TRUE(h.ExemplarFor(2).valid());
+  EXPECT_EQ(h.ExemplarFor(2).trace_id, "q-inf");
+  // Empty trace id degrades to a plain Observe: count moves, exemplar
+  // unchanged.
+  h.ObserveWithExemplar(0.9, "");
+  EXPECT_EQ(h.ExemplarFor(1).trace_id, "q-mid-worse");
+}
+
+TEST(MetricsTest, ExemplarsRenderAndParseAndLintClean) {
+  MetricsRegistry registry;
+  auto* family = registry.AddHistogram("qfix_test_seconds", "test latency",
+                                       {0.1, 1.0});
+  Histogram* h = family->WithLabels({});
+  h->ObserveWithExemplar(0.05, "q-abc123");
+  h->ObserveWithExemplar(0.5, "q-def456");
+
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# {trace_id=\"q-abc123\"} 0.05"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# {trace_id=\"q-def456\"} 0.5"), std::string::npos)
+      << text;
+
+  Status lint = LintExposition(text);
+  EXPECT_TRUE(lint.ok()) << lint.ToString();
+  auto parsed = ParseExposition(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  bool found = false;
+  for (const auto& sample : parsed->samples) {
+    if (sample.name != "qfix_test_seconds_bucket") continue;
+    const std::string* le = sample.FindLabel("le");
+    if (le == nullptr || *le != "0.1") continue;
+    found = true;
+    ASSERT_TRUE(sample.has_exemplar);
+    const std::string* trace_id = sample.FindExemplarLabel("trace_id");
+    ASSERT_NE(trace_id, nullptr);
+    EXPECT_EQ(*trace_id, "q-abc123");
+    EXPECT_DOUBLE_EQ(sample.exemplar_value, 0.05);
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+
+RetainedTrace MakeTrace(const std::string& id, TraceOutcome outcome,
+                        double duration_seconds, int status = 200) {
+  RetainedTrace t;
+  t.request_id = id;
+  t.tenant = "t1";
+  t.dataset = "t1/taxes";
+  t.endpoint = "/v1/diagnose";
+  t.outcome = outcome;
+  t.http_status = status;
+  t.duration_seconds = duration_seconds;
+  return t;
+}
+
+TEST(TraceRecorderTest, TailSamplingRetainsSlowErrorShedAlways) {
+  TraceRecorder::Options options;
+  options.sample_probability = 0.0;  // ok-fast is NEVER kept
+  options.slow_threshold_seconds = 0.1;
+  TraceRecorder recorder(options);
+
+  EXPECT_FALSE(recorder.Record(MakeTrace("ok", TraceOutcome::kOk, 0.01)));
+  // Duration at/over the threshold upgrades kOk to kSlow.
+  EXPECT_TRUE(recorder.Record(MakeTrace("slow", TraceOutcome::kOk, 0.1)));
+  EXPECT_TRUE(
+      recorder.Record(MakeTrace("err", TraceOutcome::kError, 0.01, 500)));
+  EXPECT_TRUE(
+      recorder.Record(MakeTrace("shed", TraceOutcome::kShed, 0.001, 429)));
+
+  TraceRecorder::Stats stats = recorder.stats();
+  EXPECT_EQ(stats.recorded_total, 4u);
+  EXPECT_EQ(stats.retained_total, 3u);
+  EXPECT_EQ(stats.sampled_out_total, 1u);
+
+  auto all = recorder.Snapshot({});
+  ASSERT_EQ(all.size(), 3u);
+  // Newest first.
+  EXPECT_EQ(all[0].request_id, "shed");
+  EXPECT_EQ(all[1].request_id, "err");
+  EXPECT_EQ(all[2].request_id, "slow");
+  EXPECT_EQ(all[2].outcome, TraceOutcome::kSlow);  // upgraded
+  EXPECT_EQ(all[2].retain_reason, "slow");
+}
+
+TEST(TraceRecorderTest, ProbabilityOneRetainsEverything) {
+  TraceRecorder::Options options;
+  options.sample_probability = 1.0;
+  TraceRecorder recorder(options);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(recorder.Record(
+        MakeTrace("ok-" + std::to_string(i), TraceOutcome::kOk, 0.001)));
+  }
+  EXPECT_EQ(recorder.stats().retained_total, 100u);
+  EXPECT_EQ(recorder.stats().sampled_out_total, 0u);
+}
+
+TEST(TraceRecorderTest, ByteBudgetEvictsOldestButKeepsNewest) {
+  TraceRecorder::Options options;
+  options.sample_probability = 1.0;
+  // Tiny budget: a couple of traces at most.
+  options.byte_budget = 2 * MakeTrace("x", TraceOutcome::kOk, 0.0)
+                                .ApproxBytes();
+  TraceRecorder recorder(options);
+  for (int i = 0; i < 50; ++i) {
+    recorder.Record(MakeTrace("t" + std::to_string(i), TraceOutcome::kOk,
+                              0.001));
+  }
+  TraceRecorder::Stats stats = recorder.stats();
+  EXPECT_EQ(stats.retained_total, 50u);
+  EXPECT_GT(stats.evicted_total, 0u);
+  EXPECT_LE(stats.buffered_bytes, stats.byte_budget);
+  EXPECT_GE(stats.buffered, 1u);  // the newest trace always survives
+  auto all = recorder.Snapshot({});
+  ASSERT_FALSE(all.empty());
+  EXPECT_EQ(all.front().request_id, "t49");
+}
+
+TEST(TraceRecorderTest, ForceRetainPinsOkFastTraceOnce) {
+  TraceRecorder::Options options;
+  options.sample_probability = 0.0;
+  TraceRecorder recorder(options);
+  recorder.ForceRetain("q-pinned", "stall:solve_deadline");
+
+  EXPECT_TRUE(recorder.Record(MakeTrace("q-pinned", TraceOutcome::kOk, 0.01)));
+  // The pin was consumed: the same id records again as plain ok-fast.
+  EXPECT_FALSE(recorder.Record(MakeTrace("q-pinned", TraceOutcome::kOk, 0.01)));
+
+  auto all = recorder.Snapshot({});
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_TRUE(all[0].forced);
+  EXPECT_EQ(all[0].retain_reason, "stall:solve_deadline");
+  EXPECT_EQ(recorder.stats().forced_total, 1u);
+}
+
+TEST(TraceRecorderTest, SnapshotFiltersMatch) {
+  TraceRecorder::Options options;
+  options.sample_probability = 1.0;
+  TraceRecorder recorder(options);
+  auto t1 = MakeTrace("a", TraceOutcome::kOk, 0.001);
+  auto t2 = MakeTrace("b", TraceOutcome::kError, 0.5, 500);
+  t2.tenant = "t2";
+  t2.dataset = "t2/sales";
+  recorder.Record(std::move(t1));
+  recorder.Record(std::move(t2));
+
+  TraceRecorder::Filter by_tenant;
+  by_tenant.tenant = "t2";
+  auto got = recorder.Snapshot(by_tenant);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].request_id, "b");
+
+  TraceRecorder::Filter by_duration;
+  by_duration.min_duration_seconds = 0.1;
+  got = recorder.Snapshot(by_duration);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].request_id, "b");
+
+  TraceRecorder::Filter by_outcome;
+  by_outcome.has_outcome = true;
+  by_outcome.outcome = TraceOutcome::kError;
+  got = recorder.Snapshot(by_outcome);
+  ASSERT_EQ(got.size(), 1u);
+
+  TraceRecorder::Filter limited;
+  limited.limit = 1;
+  got = recorder.Snapshot(limited);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].request_id, "b");  // newest wins the limit
+}
+
+TEST(TraceRecorderTest, OutcomeNamesRoundTrip) {
+  EXPECT_STREQ(TraceOutcomeName(TraceOutcome::kSlow), "slow");
+  TraceOutcome out = TraceOutcome::kOk;
+  EXPECT_TRUE(ParseTraceOutcome("shed", &out));
+  EXPECT_EQ(out, TraceOutcome::kShed);
+  EXPECT_FALSE(ParseTraceOutcome("bogus", &out));
+  EXPECT_EQ(out, TraceOutcome::kShed);  // untouched on failure
+}
+
+TEST(TraceRecorderTest, ConcurrentRecordSnapshotAndPinStayConsistent) {
+  TraceRecorder::Options options;
+  options.sample_probability = 0.5;
+  options.slow_threshold_seconds = 0.1;
+  options.byte_budget = 64 * 1024;
+  TraceRecorder recorder(options);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kThreads; ++w) {
+    writers.emplace_back([&, w] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < kPerThread; ++i) {
+        auto outcome = i % 7 == 0 ? TraceOutcome::kError : TraceOutcome::kOk;
+        double duration = i % 11 == 0 ? 0.5 : 0.001;
+        recorder.Record(MakeTrace(
+            "w" + std::to_string(w) + "-" + std::to_string(i), outcome,
+            duration, outcome == TraceOutcome::kError ? 500 : 200));
+        if (i % 13 == 0) {
+          recorder.ForceRetain("w" + std::to_string(w) + "-pin", "test");
+        }
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!go.load()) std::this_thread::yield();
+    for (int i = 0; i < 200; ++i) {
+      auto snap = recorder.Snapshot({});
+      for (size_t j = 1; j < snap.size(); ++j) {
+        // Newest-first order holds under concurrent writes.
+        EXPECT_GE(snap[j - 1].recorded_unix_seconds,
+                  snap[j].recorded_unix_seconds);
+      }
+      (void)recorder.stats();
+    }
+  });
+  go.store(true);
+  for (auto& t : writers) t.join();
+  reader.join();
+
+  TraceRecorder::Stats stats = recorder.stats();
+  EXPECT_EQ(stats.recorded_total,
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.recorded_total,
+            stats.retained_total + stats.sampled_out_total);
+  EXPECT_LE(stats.buffered_bytes, stats.byte_budget);
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+
+TEST(WatchdogTest, HeartbeatStallFiresOnceAndRearmsOnRecovery) {
+  Watchdog::Options options;
+  options.loop_stall_seconds = 0.01;
+  std::vector<Watchdog::StallEvent> events;
+  Watchdog wd(options, [&](const Watchdog::StallEvent& e) {
+    events.push_back(e);
+  });
+  int hb = wd.RegisterHeartbeat("loop-0");
+  wd.Beat(hb);
+  EXPECT_EQ(wd.PollOnce(), 0);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(wd.PollOnce(), 1);  // stale -> one event
+  EXPECT_EQ(wd.PollOnce(), 0);  // edge-triggered: not repeated
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, "event_loop");
+  EXPECT_EQ(events[0].detail, "loop-0");
+  EXPECT_GE(events[0].age_seconds, 0.01);
+
+  wd.Beat(hb);  // recovery re-arms the edge
+  EXPECT_EQ(wd.PollOnce(), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(wd.PollOnce(), 1);
+  EXPECT_EQ(events.size(), 2u);
+}
+
+TEST(WatchdogTest, OverdueSolveFlaggedOnceWhileRunning) {
+  Watchdog::Options options;
+  options.loop_stall_seconds = 0.0;  // isolate the solve probe
+  options.solve_deadline_warn_seconds = 0.01;
+  std::vector<Watchdog::StallEvent> events;
+  Watchdog wd(options, [&](const Watchdog::StallEvent& e) {
+    events.push_back(e);
+  });
+  uint64_t token = wd.BeginSolve("q-runaway");
+  EXPECT_EQ(wd.PollOnce(), 0);  // not overdue yet
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(wd.PollOnce(), 1);
+  EXPECT_EQ(wd.PollOnce(), 0);  // flagged once
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, "solve_deadline");
+  EXPECT_EQ(events[0].request_id, "q-runaway");
+  wd.EndSolve(token);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(wd.PollOnce(), 0);  // finished solves can't re-fire
+}
+
+TEST(WatchdogTest, StarvationNeedsContinuousWindow) {
+  Watchdog::Options options;
+  options.loop_stall_seconds = 0.0;
+  options.starvation_window_seconds = 0.02;
+  std::vector<Watchdog::StallEvent> events;
+  Watchdog wd(options, [&](const Watchdog::StallEvent& e) {
+    events.push_back(e);
+  });
+  bool starving = true;
+  wd.SetStarvationProbe([&](std::string* detail) {
+    *detail = "gate pinned";
+    return starving;
+  });
+  EXPECT_EQ(wd.PollOnce(), 0);  // window starts now
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  starving = false;
+  EXPECT_EQ(wd.PollOnce(), 0);  // recovered before the window elapsed
+  starving = true;
+  EXPECT_EQ(wd.PollOnce(), 0);  // window restarts
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(wd.PollOnce(), 1);
+  EXPECT_EQ(wd.PollOnce(), 0);  // once per episode
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, "admission_starvation");
+  EXPECT_EQ(events[0].detail, "gate pinned");
+}
+
+TEST(WatchdogTest, MonitorThreadFiresWithoutManualPolling) {
+  Watchdog::Options options;
+  options.poll_interval_seconds = 0.005;
+  options.loop_stall_seconds = 0.01;
+  std::atomic<int> fired{0};
+  Watchdog wd(options, [&](const Watchdog::StallEvent&) { ++fired; });
+  int hb = wd.RegisterHeartbeat("loop-0");
+  wd.Beat(hb);
+  wd.Start();
+  for (int i = 0; i < 200 && fired.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  wd.Stop();
+  EXPECT_GE(fired.load(), 1);
 }
 
 }  // namespace

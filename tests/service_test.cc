@@ -9,6 +9,7 @@
 #include <strings.h>
 
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -1309,6 +1310,204 @@ TEST_F(ServerTest, SlowRequestLogFiresAboveThresholdOnly) {
     }
     EXPECT_TRUE(found);
   }
+  SetLogSink(nullptr);
+}
+
+// Builds a dataset whose basic-mode diagnosis is genuinely slow: the
+// padding no-ops sit BEFORE the final `pay = income - owed` update, so
+// upstream of the complained-about attributes their parameterizations
+// all interact with the repair (appended after it they are dead code
+// presolve prunes in microseconds). Mirrors tools/qfix_load's
+// --probe-traces recipe.
+std::string SlowTaxLogSql() {
+  std::string log =
+      "UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700;\n"
+      "INSERT INTO Taxes VALUES (87000, 21750, 65250);\n";
+  for (int i = 0; i < 8; ++i) {
+    log += "UPDATE Taxes SET income = income + 0 WHERE income < 0;\n";
+  }
+  log += "UPDATE Taxes SET pay = income - owed;\n";
+  return log;
+}
+
+std::string RegisterSlowTaxesBody(const std::string& name) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String(name);
+  w.Key("table");
+  w.String("Taxes");
+  w.Key("d0_csv");
+  w.String(kTaxD0Csv);
+  w.Key("log_sql");
+  w.String(SlowTaxLogSql());
+  w.EndObject();
+  return w.str();
+}
+
+std::string DiagnoseSlowTaxesBody(const std::string& name) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("dataset");
+  w.String(name);
+  w.Key("basic");
+  w.Bool(true);
+  w.Key("time_limit_seconds");
+  w.Double(20.0);
+  w.Key("complaints_csv");
+  w.String("tid,alive,income,owed,pay\n2,1,86000,21500,50000\n");
+  w.EndObject();
+  return w.str();
+}
+
+TEST_F(ServerTest, SlowRequestRetainedInDebugTracesWithSolverSpans) {
+  ServerOptions options;
+  options.slow_request_ms = 10.0;
+  // Tail sampling at probability zero: only the slow classification
+  // (or a watchdog pin) can retain anything.
+  options.trace_sample_probability = 0.0;
+  StartServer(options);
+  ASSERT_EQ(Post("/v1/datasets", RegisterSlowTaxesBody("slowtax")).status,
+            200);
+
+  auto slow = service::HttpPost("127.0.0.1", port_, "/v1/diagnose",
+                                DiagnoseSlowTaxesBody("slowtax"), 60.0,
+                                {{"X-Request-Id", "it-slow-1"}});
+  ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+  ASSERT_EQ(slow->status, 200) << slow->body;
+
+  auto traces = Get("/v1/debug/traces?outcome=slow");
+  ASSERT_EQ(traces.status, 200) << traces.body;
+  auto doc = ParseJson(traces.body);
+  ASSERT_TRUE(doc.ok()) << traces.body;
+  const JsonValue* list = doc->Find("traces");
+  ASSERT_NE(list, nullptr);
+  ASSERT_TRUE(list->is_array());
+
+  const JsonValue* mine = nullptr;
+  for (const JsonValue& t : list->AsArray()) {
+    const JsonValue* id = t.Find("request_id");
+    if (id != nullptr && id->is_string() && id->AsString() == "it-slow-1") {
+      mine = &t;
+      break;
+    }
+  }
+  ASSERT_NE(mine, nullptr)
+      << "slow request not retained in /v1/debug/traces: " << traces.body;
+  EXPECT_EQ(mine->Find("outcome")->AsString(), "slow");
+  EXPECT_EQ(mine->Find("retain_reason")->AsString(), "slow");
+  EXPECT_EQ(mine->Find("dataset")->AsString(), "slowtax");
+  EXPECT_GE(mine->Find("duration_ms")->AsNumber(), 10.0);
+
+  // The retained trace crosses the solver boundary: at least one
+  // solver-internal child span, nested under a top-level phase.
+  const JsonValue* spans = mine->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_TRUE(spans->is_array());
+  size_t solver_children = 0;
+  std::set<std::string> phases;
+  for (const JsonValue& span : spans->AsArray()) {
+    const std::string phase = span.Find("phase")->AsString();
+    phases.insert(phase);
+    if (phase == "presolve" || phase == "root_lp" || phase == "node_batch" ||
+        phase == "incumbent_update") {
+      ++solver_children;
+      const JsonValue* parent = span.Find("parent");
+      ASSERT_NE(parent, nullptr) << "solver span '" << phase
+                                 << "' has no parent";
+      EXPECT_GE(parent->AsNumber(), 0.0);
+    }
+  }
+  EXPECT_GE(solver_children, 1u) << traces.body;
+  for (const char* top : {"parse", "encode", "solve", "render"}) {
+    EXPECT_TRUE(phases.count(top)) << "missing top-level phase " << top;
+  }
+
+  // Filters: an impossible duration floor excludes it.
+  auto none = Get("/v1/debug/traces?min_duration_ms=1000000000");
+  ASSERT_EQ(none.status, 200);
+  EXPECT_EQ(none.body.find("it-slow-1"), std::string::npos);
+
+  // The slow diagnosis is the worst-recent in its latency bucket, so
+  // the histogram exemplar carries its request id.
+  auto metrics = Get("/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("trace_id=\"it-slow-1\""), std::string::npos);
+  EXPECT_TRUE(obs::LintExposition(metrics.body).ok());
+}
+
+TEST_F(ServerTest, WatchdogFlagsOverdueSolveAndForceRetainsTrace) {
+  std::vector<std::string> lines;
+  std::mutex lines_mu;
+  SetLogSink([&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(lines_mu);
+    lines.push_back(line);
+  });
+
+  ServerOptions options;
+  // Retention can only come from the watchdog's pin: sampling is off
+  // and the slow classification is disabled.
+  options.trace_sample_probability = 0.0;
+  options.slow_request_ms = 0.0;
+  options.solve_deadline_warn_ms = 10.0;
+  StartServer(options);
+  ASSERT_EQ(Post("/v1/datasets", RegisterSlowTaxesBody("stalltax")).status,
+            200);
+
+  auto slow = service::HttpPost("127.0.0.1", port_, "/v1/diagnose",
+                                DiagnoseSlowTaxesBody("stalltax"), 60.0,
+                                {{"X-Request-Id", "it-stall-1"}});
+  ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+  ASSERT_EQ(slow->status, 200) << slow->body;
+
+  // The watchdog flagged the solve while it was still running.
+  {
+    std::lock_guard<std::mutex> lock(lines_mu);
+    bool found = false;
+    for (const std::string& line : lines) {
+      if (line.find("stall") == std::string::npos ||
+          line.find("solve_deadline") == std::string::npos) {
+        continue;
+      }
+      found = true;
+      EXPECT_NE(line.find("it-stall-1"), std::string::npos) << line;
+      EXPECT_NE(line.find("WARN"), std::string::npos) << line;
+    }
+    EXPECT_TRUE(found) << "no solve_deadline stall WARN logged";
+  }
+
+  // ... counted it ...
+  auto metrics = Get("/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  auto parsed = obs::ParseExposition(metrics.body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  double stalls = -1.0;
+  for (const auto& sample : parsed->samples) {
+    if (sample.name != "qfix_stalls_total") continue;
+    const std::string* kind = sample.FindLabel("kind");
+    if (kind != nullptr && *kind == "solve_deadline") stalls = sample.value;
+  }
+  EXPECT_GE(stalls, 1.0);
+
+  // ... and pinned the offending trace despite sampling being off.
+  auto traces = Get("/v1/debug/traces");
+  ASSERT_EQ(traces.status, 200);
+  auto doc = ParseJson(traces.body);
+  ASSERT_TRUE(doc.ok()) << traces.body;
+  const JsonValue* list = doc->Find("traces");
+  ASSERT_NE(list, nullptr);
+  bool retained = false;
+  for (const JsonValue& t : list->AsArray()) {
+    const JsonValue* id = t.Find("request_id");
+    if (id == nullptr || !id->is_string() || id->AsString() != "it-stall-1") {
+      continue;
+    }
+    retained = true;
+    EXPECT_TRUE(t.Find("forced")->AsBool());
+    EXPECT_EQ(t.Find("retain_reason")->AsString(), "stall:solve_deadline");
+  }
+  EXPECT_TRUE(retained) << "stalled request's trace not force-retained: "
+                        << traces.body;
   SetLogSink(nullptr);
 }
 

@@ -12,6 +12,8 @@
 //
 // Example (the paper's Figure 2):
 //   qfix --d0 taxes_d0.csv --log taxes.sql --complaints taxes_fix.csv
+#include <strings.h>
+
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -60,6 +62,9 @@ struct CliOptions {
   /// Client mode: also hold N concurrent connections open at once and
   /// healthz each (the CI serve-smoke's concurrency check).
   int smoke_connections = 0;
+  /// Client mode: X-Request-Id to stamp on the diagnose request, so
+  /// this run correlates with the server's logs and retained trace.
+  std::string request_id;
 };
 
 void PrintUsage(const char* argv0) {
@@ -98,7 +103,12 @@ void PrintUsage(const char* argv0) {
       "                prints /v1/healthz and /v1/stats\n"
       "  --smoke-connections N  (client mode) additionally open N\n"
       "                concurrent connections and healthz each; fails\n"
-      "                unless every one answers 200\n\n"
+      "                unless every one answers 200\n"
+      "  --request-id ID  (client mode) X-Request-Id to send with the\n"
+      "                diagnosis; the server echoes it on the response,\n"
+      "                stamps it on every log line about the request,\n"
+      "                and keys the retained trace in /v1/debug/traces\n"
+      "                by it (default: server-minted)\n\n"
       "  --d0 also accepts a checkpoint snapshot (qfix-snapshot v1).\n",
       argv0);
 }
@@ -217,21 +227,39 @@ int RunClient(const CliOptions& opt) {
     w.Bool(true);
   }
   w.EndObject();
-  auto diag = qfix::service::HttpPost(hp->host, hp->port, "/v1/diagnose",
-                                      w.str(), opt.time_limit + 30.0);
+  std::vector<std::pair<std::string, std::string>> headers;
+  if (!opt.request_id.empty()) {
+    headers.emplace_back("X-Request-Id", opt.request_id);
+  }
+  auto diag =
+      qfix::service::HttpPost(hp->host, hp->port, "/v1/diagnose", w.str(),
+                              opt.time_limit + 30.0, headers);
   if (!diag.ok()) {
-    std::fprintf(stderr, "error posting diagnosis: %s\n",
+    std::fprintf(stderr, "error posting diagnosis (request_id=%s): %s\n",
+                 opt.request_id.empty() ? "?" : opt.request_id.c_str(),
                  diag.status().ToString().c_str());
     return 1;
   }
+  // The server echoes the id it served (ours, sanitized, or minted) —
+  // print it so the operator can pull the request's retained trace from
+  // /v1/debug/traces and grep the server log without guessing.
+  std::string served_id;
+  for (const auto& [name, value] : diag->headers) {
+    if (strcasecmp(name.c_str(), "X-Request-Id") == 0) served_id = value;
+  }
+  if (!served_id.empty()) {
+    std::fprintf(stderr, "request_id: %s\n", served_id.c_str());
+  }
   std::printf("%s\n", diag->body.c_str());
   if (diag->status != 200) {
-    std::fprintf(stderr, "diagnosis failed (HTTP %d)\n", diag->status);
+    std::fprintf(stderr, "diagnosis failed (HTTP %d, request_id=%s)\n",
+                 diag->status, served_id.c_str());
     return 1;
   }
   // The response carries "ok":true when the repair succeeded.
   if (diag->body.find("\"ok\":true") == std::string::npos) {
-    std::fprintf(stderr, "diagnosis reported no repair\n");
+    std::fprintf(stderr, "diagnosis reported no repair (request_id=%s)\n",
+                 served_id.c_str());
     return 1;
   }
   return 0;
@@ -280,6 +308,8 @@ int main(int argc, char** argv) {
       opt.jobs = next() ? std::atoi(argv[i]) : 1;
     } else if (arg == "--client") {
       opt.client_url = next() ? argv[i] : "";
+    } else if (arg == "--request-id") {
+      opt.request_id = next() ? argv[i] : "";
     } else if (arg == "--smoke-connections") {
       const char* v = next();
       char* end = nullptr;

@@ -6,7 +6,7 @@
 //             [--tenants N | --tenant NAME=W ...]
 //             [--cached-fraction F] [--register-fraction F]
 //             [--variants N] [--seed N] [--timeout S] [--json FILE]
-//             [--no-setup] [--scrape-metrics]
+//             [--no-setup] [--scrape-metrics] [--probe-traces]
 //
 // Drives a running qfix_serve with a weighted tenant mix (tenant =
 // dataset namespace, e.g. "t1/taxes" belongs to tenant "t1"). Setup
@@ -27,6 +27,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <map>
 #include <string>
@@ -36,6 +37,7 @@
 #include "harness/loadgen.h"
 #include "obs/metrics.h"
 #include "service/client.h"
+#include "service/json_value.h"
 
 namespace {
 
@@ -94,7 +96,14 @@ void PrintUsage(const char* argv0) {
       "  --no-setup          skip dataset registration\n"
       "  --scrape-metrics    GET /metrics before and after the run,\n"
       "                      lint both payloads (failures fail the run),\n"
-      "                      and print the nonzero counter deltas\n",
+      "                      and print the nonzero counter deltas\n"
+      "  --probe-traces      after the run, post one deliberately slow\n"
+      "                      basic-mode diagnose (own padded dataset)\n"
+      "                      with a known X-Request-Id and assert its\n"
+      "                      trace — with solver-internal child spans —\n"
+      "                      is retained in /v1/debug/traces. Needs a\n"
+      "                      server running with --slow-request-ms set\n"
+      "                      so slow requests are tail-retained\n",
       argv0);
 }
 
@@ -231,6 +240,142 @@ bool ScrapeCounters(const std::string& host, int port, double timeout,
   return true;
 }
 
+/// --probe-traces: one deliberately slow diagnose stamped with a known
+/// X-Request-Id, then assert the flight recorder retained its trace
+/// with at least one solver-internal child span. Exercises the whole
+/// observability chain the way an operator debugging a slow request
+/// would: id in -> same id out of GET /v1/debug/traces.
+///
+/// The probe registers its own dataset whose query log is padded with
+/// no-op updates and diagnoses it in basic mode (Algorithm 1
+/// parameterizes EVERY logged query, so the padding is real MILP work
+/// the incremental slicer would otherwise discard). Calibration: ~10
+/// padding queries put a cold solve in the tens of milliseconds —
+/// decisively past any sane --slow-request-ms, guaranteeing tail
+/// retention — while the time_limit_seconds guard keeps a slow CI
+/// machine bounded (a limit-hit solve still answers 200 with solver
+/// spans, so the probe still passes).
+bool ProbeTraces(const LoadOptions& options, const std::string& tenant) {
+  const std::string probe_id = "qfix-load-slow-probe";
+  const std::string dataset = tenant + "/trace-probe";
+  // The padding no-ops go BEFORE the final `pay = income - owed`
+  // update: upstream of the complained-about attributes their
+  // parameterizations can all interact with the repair, which is what
+  // makes the MILP genuinely hard. Appended after it they are dead
+  // code the solver's presolve prunes in microseconds.
+  std::string log =
+      "UPDATE Taxes SET owed = income * 0.3 WHERE income >= 85700;\n"
+      "INSERT INTO Taxes VALUES (87000, 21750, 65250);\n";
+  for (int i = 0; i < 8; ++i) {
+    log += "UPDATE Taxes SET income = income + 0 WHERE income < 0;\n";
+  }
+  log += "UPDATE Taxes SET pay = income - owed;\n";
+  JsonWriter reg_body;
+  reg_body.BeginObject();
+  reg_body.Key("name");
+  reg_body.String(dataset);
+  reg_body.Key("table");
+  reg_body.String("Taxes");
+  reg_body.Key("d0_csv");
+  reg_body.String(kTaxD0Csv);
+  reg_body.Key("log_sql");
+  reg_body.String(log);
+  reg_body.EndObject();
+  auto reg = qfix::service::HttpPost(options.host, options.port,
+                                     "/v1/datasets", reg_body.str(),
+                                     options.request_timeout_seconds);
+  if (!reg.ok() || reg->status != 200) {
+    std::fprintf(stderr, "error: trace probe registration failed: %s\n",
+                 reg.ok() ? reg->body.c_str()
+                          : reg.status().ToString().c_str());
+    return false;
+  }
+  JsonWriter diag_body;
+  diag_body.BeginObject();
+  diag_body.Key("dataset");
+  diag_body.String(dataset);
+  diag_body.Key("basic");
+  diag_body.Bool(true);
+  diag_body.Key("time_limit_seconds");
+  diag_body.Double(10.0);
+  diag_body.Key("complaints_csv");
+  // The complaint target varies per invocation so a repeat probe
+  // against a long-lived server misses the report cache and solves
+  // cold again (a cache hit is fast, and fast+ok is only sampled).
+  char complaint[128];
+  std::snprintf(complaint, sizeof(complaint),
+                "tid,alive,income,owed,pay\n2,1,86000,21500,%ld\n",
+                50000 + static_cast<long>(std::time(nullptr) % 40000));
+  diag_body.String(complaint);
+  diag_body.EndObject();
+  auto diag = qfix::service::HttpPost(
+      options.host, options.port, "/v1/diagnose", diag_body.str(),
+      std::max(options.request_timeout_seconds, 30.0),
+      {{"X-Request-Id", probe_id}});
+  if (!diag.ok() || diag->status != 200) {
+    std::fprintf(stderr, "error: trace probe diagnose failed: %s\n",
+                 diag.ok() ? diag->body.c_str()
+                           : diag.status().ToString().c_str());
+    return false;
+  }
+  auto traces = qfix::service::HttpGet(options.host, options.port,
+                                       "/v1/debug/traces?limit=1024",
+                                       options.request_timeout_seconds);
+  if (!traces.ok() || traces->status != 200) {
+    std::fprintf(stderr, "error: GET /v1/debug/traces failed: %s\n",
+                 traces.ok() ? traces->body.c_str()
+                             : traces.status().ToString().c_str());
+    return false;
+  }
+  auto doc = qfix::service::ParseJson(traces->body);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "error: /v1/debug/traces did not parse: %s\n",
+                 doc.status().ToString().c_str());
+    return false;
+  }
+  const qfix::service::JsonValue* list = doc->Find("traces");
+  if (list == nullptr || !list->is_array()) {
+    std::fprintf(stderr, "error: /v1/debug/traces has no traces array\n");
+    return false;
+  }
+  for (const qfix::service::JsonValue& trace : list->AsArray()) {
+    const qfix::service::JsonValue* id = trace.Find("request_id");
+    if (id == nullptr || !id->is_string() || id->AsString() != probe_id) {
+      continue;
+    }
+    const qfix::service::JsonValue* spans = trace.Find("spans");
+    size_t solver_children = 0;
+    if (spans != nullptr && spans->is_array()) {
+      for (const qfix::service::JsonValue& span : spans->AsArray()) {
+        const qfix::service::JsonValue* phase = span.Find("phase");
+        if (phase == nullptr || !phase->is_string()) continue;
+        const std::string& p = phase->AsString();
+        if (p == "presolve" || p == "root_lp" || p == "node_batch" ||
+            p == "incumbent_update") {
+          ++solver_children;
+        }
+      }
+    }
+    if (solver_children == 0) {
+      std::fprintf(stderr,
+                   "error: probe trace %s retained without solver-internal "
+                   "spans\n",
+                   probe_id.c_str());
+      return false;
+    }
+    std::printf("trace probe: %s retained with %zu solver-internal "
+                "span(s)\n",
+                probe_id.c_str(), solver_children);
+    return true;
+  }
+  std::fprintf(stderr,
+               "error: probe request %s not found in /v1/debug/traces — is "
+               "the server running with --slow-request-ms set (and a "
+               "nonzero --trace-buffer-bytes)?\n",
+               probe_id.c_str());
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -249,6 +394,7 @@ int main(int argc, char** argv) {
   long variants = 8;
   bool setup = true;
   bool scrape_metrics = false;
+  bool probe_traces = false;
 
   bool usage_error = false;
   for (int i = 1; i < argc && !usage_error; ++i) {
@@ -337,6 +483,8 @@ int main(int argc, char** argv) {
       setup = false;
     } else if (arg == "--scrape-metrics") {
       scrape_metrics = true;
+    } else if (arg == "--probe-traces") {
+      probe_traces = true;
     } else {
       std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
       usage_error = true;
@@ -398,28 +546,31 @@ int main(int argc, char** argv) {
     LoadTenantSpec spec;
     spec.name = name;
     spec.weight = weight;
+    auto add_request = [&spec](std::string path, std::string body, int w) {
+      LoadRequestTemplate t;
+      t.path = std::move(path);
+      t.body = std::move(body);
+      t.weight = w;
+      spec.requests.push_back(std::move(t));
+    };
     if (w_cached > 0) {
       // The repeated complaint set: a cache hit after the first solve.
-      spec.requests.push_back({"/v1/diagnose",
-                               DiagnoseBody(dataset, 64500.0), w_cached});
+      add_request("/v1/diagnose", DiagnoseBody(dataset, 64500.0), w_cached);
     }
     for (long v = 0; v < variants && w_cold_each > 0; ++v) {
       // Distinct target values -> distinct cache keys -> solver work.
-      spec.requests.push_back(
-          {"/v1/diagnose", DiagnoseBody(dataset, 64000.0 + v),
-           w_cold_each});
+      add_request("/v1/diagnose", DiagnoseBody(dataset, 64000.0 + v),
+                  w_cold_each);
     }
     if (w_append > 0) {
-      spec.requests.push_back({"/v1/datasets/" + dataset + "/append",
-                               AppendBody(append_rows), w_append});
+      add_request("/v1/datasets/" + dataset + "/append",
+                  AppendBody(append_rows), w_append);
     }
     if (w_register > 0) {
-      spec.requests.push_back({"/v1/datasets", RegisterBody(dataset),
-                               w_register});
+      add_request("/v1/datasets", RegisterBody(dataset), w_register);
     }
     if (spec.requests.empty()) {
-      spec.requests.push_back({"/v1/diagnose",
-                               DiagnoseBody(dataset, 64500.0), 1});
+      add_request("/v1/diagnose", DiagnoseBody(dataset, 64500.0), 1);
     }
     options.tenants.push_back(std::move(spec));
   }
@@ -461,6 +612,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(t.classes.ok_2xx),
                 static_cast<unsigned long long>(t.classes.shed_429));
     PrintLatency(t.name.c_str(), t.latency);
+  }
+
+  if (probe_traces && !ProbeTraces(options, named_tenants.front().first)) {
+    std::fprintf(stderr, "qfix_load: FAILED (trace probe)\n");
+    return 1;
   }
 
   if (scrape_metrics) {

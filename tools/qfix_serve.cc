@@ -98,7 +98,36 @@ void PrintUsage(const char* argv0) {
       "                      1 disables keep-alive)\n"
       "  --slow-request-ms MS\n"
       "                      WARN-log any /v1/diagnose slower than MS\n"
-      "                      milliseconds end to end (default 0 = off)\n"
+      "                      milliseconds end to end (default 0 = off);\n"
+      "                      slow requests are also always retained in\n"
+      "                      the flight recorder\n"
+      "  --trace-buffer-bytes N\n"
+      "                      flight-recorder byte budget for retained\n"
+      "                      request traces, served by GET\n"
+      "                      /v1/debug/traces (default 4 MiB; 0\n"
+      "                      disables the recorder)\n"
+      "  --trace-sample-probability F\n"
+      "                      retention probability in [0,1] for fast,\n"
+      "                      successful requests; slow/errored/shed\n"
+      "                      requests are always retained (default\n"
+      "                      0.01)\n"
+      "  --loop-stall-warn-ms MS\n"
+      "                      WARN `stall` when an event-loop heartbeat\n"
+      "                      goes stale this long (default 1000;\n"
+      "                      0 = off)\n"
+      "  --solve-deadline-warn-ms MS\n"
+      "                      WARN `stall` when one solve runs longer\n"
+      "                      than MS and force-retain its trace\n"
+      "                      (default 0 = off)\n"
+      "  --starvation-warn-ms MS\n"
+      "                      WARN `stall` when the admission gate stays\n"
+      "                      pinned at max-inflight this long (default\n"
+      "                      0 = off)\n"
+      "  --warn-log-per-sec N\n"
+      "                      token-bucket cap on WARN log lines per\n"
+      "                      second; drops count in\n"
+      "                      qfix_log_lines_dropped_total (default\n"
+      "                      0 = unlimited)\n"
       "  --log-level LEVEL   debug|info|warn|error|off (default info)\n"
       "  --log-json          emit structured logs as JSON lines\n"
       "  --name/--table/--d0/--log\n"
@@ -240,6 +269,23 @@ int main(int argc, char** argv) {
       options.max_requests_per_conn = static_cast<int>(n);
     } else if (arg == "--slow-request-ms") {
       double_flag(0.0, 86400.0 * 1e3, &options.slow_request_ms);
+    } else if (arg == "--trace-buffer-bytes") {
+      int_flag(0, LONG_MAX, &n);
+      options.trace_buffer_bytes = static_cast<size_t>(n);
+    } else if (arg == "--trace-sample-probability") {
+      double_flag(0.0, 1.0, &options.trace_sample_probability);
+    } else if (arg == "--loop-stall-warn-ms") {
+      double stall_ms = options.loop_stall_warn_seconds * 1e3;
+      double_flag(0.0, 86400.0 * 1e3, &stall_ms);
+      options.loop_stall_warn_seconds = stall_ms / 1e3;
+    } else if (arg == "--solve-deadline-warn-ms") {
+      double_flag(0.0, 86400.0 * 1e3, &options.solve_deadline_warn_ms);
+    } else if (arg == "--starvation-warn-ms") {
+      double starve_ms = options.admission_starvation_warn_seconds * 1e3;
+      double_flag(0.0, 86400.0 * 1e3, &starve_ms);
+      options.admission_starvation_warn_seconds = starve_ms / 1e3;
+    } else if (arg == "--warn-log-per-sec") {
+      double_flag(0.0, 1e9, &options.warn_log_per_sec);
     } else if (arg == "--log-level") {
       const char* v = next();
       qfix::LogLevel level = qfix::LogLevel::kInfo;
